@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: the PD controller gains (paper: kp = 0.1, kd = 0.2).
+ * Sweeps both gains over the Figure 11 scenario and reports how hot
+ * the worst CPU got, how many adjustments were needed, and whether
+ * anything was dropped or red-lined — showing the published gains sit
+ * in a robust region.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "freon/experiment.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::bench;
+
+    banner("Ablation", "PD gains (kp, kd) on the Figure 11 scenario");
+
+    std::printf("kp,kd,m1_peak_C,adjustments,drops,servers_off\n");
+    double paper_peak = 0.0;
+    for (double kp : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+        for (double kd : {0.0, 0.1, 0.2, 0.4}) {
+            if (kp == 0.0 && kd == 0.0)
+                continue; // output would always be zero
+            freon::ExperimentConfig config;
+            config.policy = freon::PolicyKind::FreonBase;
+            config.workload.duration = 2000.0;
+            config.addPaperEmergencies();
+            config.freon.kp = kp;
+            config.freon.kd = kd;
+            freon::ExperimentResult result =
+                freon::runExperiment(config);
+            std::printf("%.2f,%.2f,%.2f,%llu,%llu,%llu\n", kp, kd,
+                        result.peakCpuTemperature.at("m1"),
+                        static_cast<unsigned long long>(
+                            result.weightAdjustments),
+                        static_cast<unsigned long long>(result.dropped),
+                        static_cast<unsigned long long>(
+                            result.serversTurnedOff));
+            if (kp == 0.1 && kd == 0.2)
+                paper_peak = result.peakCpuTemperature.at("m1");
+        }
+    }
+    summary("paper_gains_m1_peak_C", paper_peak);
+    paperClaim("gains", "kp=0.1, kd=0.2 manage temperatures smoothly "
+                        "with no drops");
+    return 0;
+}

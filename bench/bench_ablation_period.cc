@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: tempd's monitoring period (paper: one minute). Section 4.1
+ * warns that "an intense thermal emergency may cause a temperature
+ * that is just below T_h to increase by more than T_r - T_h in one
+ * minute" — slower monitoring risks red-lining, faster monitoring
+ * costs communication. The sweep shows where the cliff sits.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "freon/experiment.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::bench;
+
+    banner("Ablation", "tempd monitoring period on the Figure 11 "
+                       "scenario (T_r - T_h = 2 degC)");
+
+    std::printf("period_s,m1_peak_C,adjustments,drops,servers_off,"
+                "redlined\n");
+    for (double period : {15.0, 30.0, 60.0, 120.0, 240.0, 480.0}) {
+        freon::ExperimentConfig config;
+        config.policy = freon::PolicyKind::FreonBase;
+        config.workload.duration = 2000.0;
+        config.addPaperEmergencies();
+        config.freon.tempdPeriodSeconds = period;
+        freon::ExperimentResult result = freon::runExperiment(config);
+        bool redlined = result.serversTurnedOff > 0;
+        std::printf("%.0f,%.2f,%llu,%llu,%llu,%s\n", period,
+                    result.peakCpuTemperature.at("m1"),
+                    static_cast<unsigned long long>(
+                        result.weightAdjustments),
+                    static_cast<unsigned long long>(result.dropped),
+                    static_cast<unsigned long long>(
+                        result.serversTurnedOff),
+                    redlined ? "yes" : "no");
+    }
+    paperClaim("period", "1 minute suffices for these emergencies; "
+                         "T_h must sit far enough below T_r for the "
+                         "chosen period");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 6: "Calibrating Mercury for disk usage and temperature."
+ * The disk twin of Figure 5: a 14 000 s staircase of disk utilization
+ * levels; the in-disk sensor (platters probe) is the reference.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "calib/validation.hh"
+#include "core/spec.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::bench;
+    using namespace mercury::calib;
+
+    banner("Figure 6",
+           "disk calibration microbenchmark, 14000 s, emulated vs real");
+
+    refmodel::ReferenceConfig reference_config;
+    ReferenceRun real = runReference(
+        reference_config, kCalibrationDuration,
+        {{"disk", diskCalibrationWaveform()}}, {"disk_platters"}, true);
+
+    CalibrationResult calibration =
+        calibrateTable1AgainstReference(reference_config, true);
+
+    Experiment experiment;
+    experiment.duration = kCalibrationDuration;
+    experiment.loads.emplace_back("disk_platters",
+                                  diskCalibrationWaveform());
+    std::vector<TimeSeries> emulated =
+        simulateExperiment(calibration.spec, experiment,
+                           {"disk_platters"});
+    std::vector<TimeSeries> uncalibrated = simulateExperiment(
+        core::table1Server(), experiment, {"disk_platters"});
+
+    TimeSeries util("disk_util_percent");
+    for (double t = 0.0; t <= kCalibrationDuration; t += 20.0)
+        util.add(t, 100.0 * diskCalibrationWaveform()(t));
+
+    TimeSeries real_temp = real.temperatures.at("disk_platters");
+    TimeSeries emulated_temp = emulated[0];
+    emitSeries({&util, &real_temp, &emulated_temp}, 2);
+
+    summary("calibration_mean_error_before_degC",
+            calibration.initialError);
+    summary("calibration_mean_error_after_degC", calibration.finalError);
+    summary("disk_max_error_degC", emulated_temp.maxAbsError(real_temp));
+    summary("disk_max_error_uncalibrated_degC",
+            uncalibrated[0].maxAbsError(real_temp));
+    paperClaim("behaviour", "emulated disk temperature tracks the "
+                            "in-disk sensor staircase");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 8: "Real-system disk validation" — the disk face of the same
+ * frozen-input mixed benchmark as Figure 7.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "calib/validation.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::bench;
+    using namespace mercury::calib;
+
+    banner("Figure 8", "validation: disk on the mixed 5000 s benchmark, "
+                       "calibrated inputs frozen");
+
+    refmodel::ReferenceConfig reference_config;
+    CalibrationResult calibration =
+        calibrateTable1AgainstReference(reference_config, true);
+
+    refmodel::ReferenceConfig truth_config = reference_config;
+    truth_config.sensorNoiseStddev = 0.0;
+    truth_config.sensorQuantization = 0.0;
+    truth_config.sensorLagSeconds = 0.0;
+
+    std::vector<std::pair<std::string, Waveform>> loads{
+        {"cpu", validationCpuWaveform()},
+        {"disk", validationDiskWaveform()}};
+    ReferenceRun truth = runReference(truth_config, kValidationDuration,
+                                      loads, {"disk_platters"}, false);
+    ReferenceRun sensed = runReference(reference_config,
+                                       kValidationDuration, loads,
+                                       {"disk_platters"}, true);
+
+    Experiment experiment;
+    experiment.duration = kValidationDuration;
+    experiment.loads.emplace_back("cpu", validationCpuWaveform());
+    experiment.loads.emplace_back("disk_platters",
+                                  validationDiskWaveform());
+    std::vector<TimeSeries> emulated =
+        simulateExperiment(calibration.spec, experiment,
+                           {"disk_platters"});
+
+    TimeSeries util("disk_util_percent");
+    for (double t = 0.0; t <= kValidationDuration; t += 10.0)
+        util.add(t, 100.0 * validationDiskWaveform()(t));
+
+    TimeSeries real_temp = sensed.temperatures.at("disk_platters");
+    TimeSeries emulated_temp = emulated[0];
+    emitSeries({&util, &real_temp, &emulated_temp}, 2);
+
+    summary("disk_max_error_vs_truth_degC",
+            emulated_temp.maxAbsError(
+                truth.temperatures.at("disk_platters")));
+    summary("disk_mean_error_vs_truth_degC",
+            emulated_temp.meanAbsError(
+                truth.temperatures.at("disk_platters")));
+    summary("disk_max_error_vs_sensors_degC",
+            emulated_temp.maxAbsError(real_temp));
+    paperClaim("disk_max_error_degC",
+               "<= 1.0 at all times (Figure 8; in-disk sensor itself "
+               "is only good to 3 degC)");
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Microbenchmarks of the Mercury suite primitives (Section 2.3's
+ * performance notes): the solver takes ~100 us per iteration on the
+ * paper's hardware for the Figure 1 graphs, and a UDP readsensor()
+ * round trip costs ~300 us — "substantially lower than the average
+ * access time of the real thermal sensor in our SCSI disks, 500 us".
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/solver.hh"
+#include "core/trace.hh"
+#include "proto/solver_daemon.hh"
+#include "proto/solver_service.hh"
+#include "refmodel/reference_server.hh"
+#include "sensor/client.hh"
+#include "sensor/transport.hh"
+
+namespace {
+
+using namespace mercury;
+
+void
+BM_SolverIterationOneMachine(benchmark::State &state)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    solver.setUtilization("m1", "cpu", 0.7);
+    for (auto _ : state)
+        solver.iterate();
+    state.SetLabel("paper: ~100 us per iteration (trace mode)");
+}
+BENCHMARK(BM_SolverIterationOneMachine);
+
+void
+BM_SolverIterationCluster(benchmark::State &state)
+{
+    // Iteration cost vs installation size (trace replication lets
+    // Mercury emulate clusters far larger than the testbed).
+    int machines = static_cast<int>(state.range(0));
+    core::Solver solver;
+    std::vector<std::string> names;
+    for (int i = 0; i < machines; ++i)
+        names.push_back("m" + std::to_string(i + 1));
+    for (const std::string &name : names)
+        solver.addMachine(core::table1Server(name));
+    solver.setRoom(core::table1Room(names, 18.0));
+    for (const std::string &name : names)
+        solver.setUtilization(name, "cpu", 0.7);
+    for (auto _ : state)
+        solver.iterate();
+    state.SetItemsProcessed(state.iterations() * machines);
+}
+BENCHMARK(BM_SolverIterationCluster)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_MessageEncodeDecode(benchmark::State &state)
+{
+    proto::UtilizationUpdate update;
+    update.machine = "machine1";
+    update.component = "disk";
+    update.utilization = 0.375;
+    for (auto _ : state) {
+        proto::Packet packet = proto::encode(update);
+        auto decoded = proto::decode(packet);
+        benchmark::DoNotOptimize(decoded);
+    }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void
+BM_ReadSensorInProcess(benchmark::State &state)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    proto::SolverService service(solver);
+    sensor::SensorClient client(
+        std::make_unique<sensor::LocalTransport>(service), "m1");
+    for (auto _ : state) {
+        auto value = client.read("cpu");
+        benchmark::DoNotOptimize(value);
+    }
+}
+BENCHMARK(BM_ReadSensorInProcess);
+
+void
+BM_ReadSensorUdpLoopback(benchmark::State &state)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.iterationSeconds = 0.0;
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+
+    {
+        sensor::SensorClient client(
+            std::make_unique<sensor::UdpTransport>("127.0.0.1",
+                                                   daemon.port()),
+            "m1");
+        for (auto _ : state) {
+            auto value = client.read("cpu");
+            benchmark::DoNotOptimize(value);
+        }
+    }
+    daemon.stop();
+    server.join();
+    state.SetLabel("paper: ~300 us (real SCSI in-disk sensor: 500 us)");
+}
+BENCHMARK(BM_ReadSensorUdpLoopback);
+
+void
+BM_ReferenceServerStep(benchmark::State &state)
+{
+    refmodel::ReferenceConfig config;
+    refmodel::ReferenceServer server(config);
+    server.setUtilization("cpu", 0.7);
+    for (auto _ : state)
+        server.step(1.0);
+    state.SetLabel("one emulated second of the RK4 reference model");
+}
+BENCHMARK(BM_ReferenceServerStep);
+
+void
+BM_OfflineTraceThroughput(benchmark::State &state)
+{
+    // Emulated seconds per wall second in offline (trace) mode.
+    core::UtilizationTrace trace;
+    trace.add(0.0, "m1", "cpu", 0.8);
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::Solver solver;
+        solver.addMachine(core::table1Server("m1"));
+        core::TraceRunner runner(solver, trace);
+        runner.record("m1", "cpu");
+        state.ResumeTiming();
+        runner.run(1000.0);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+    state.SetLabel("items = emulated seconds");
+}
+BENCHMARK(BM_OfflineTraceThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

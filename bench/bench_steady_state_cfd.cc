@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Section 3.2: "Simulated machine experiments" — Mercury versus the
+ * CFD solver (the paper used Fluent).
+ *
+ * Method, as published: mesh a 2-D server case with a CPU, a disk and
+ * a power supply; let the fine-grained solver characterise the
+ * material-to-air boundaries; enter those values into Mercury together
+ * with "a rough approximation of the air flow that was also provided
+ * by [the solver]"; then compare steady-state temperatures for 14
+ * combinations of CPU and disk power at a fixed PSU power.
+ *
+ * The boundary characterisation uses three solves (a base case plus
+ * one sensitivity solve per variable block), which pins each block's
+ * temperature/power slope and its preheat from the PSU stream — the
+ * 2-D case's analogue of Figure 1(b)'s cross-branch air edges. The
+ * paper reports agreement within 0.25 degC (disk) / 0.32 degC (CPU);
+ * absolute temperatures differ with the geometry, but the agreement
+ * must hold across the sweep.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cfd/cfd2d.hh"
+#include "core/thermal_graph.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace mercury;
+
+/** Per-block linear characterisation extracted from the CFD. */
+struct BlockFit
+{
+    double slope = 0.0;     //!< dT_block/dP [K/W]
+    double intercept = 0.0; //!< T_block at P = 0 [degC]
+};
+
+/**
+ * Build the Mercury machine for the 2-D case. Each variable block has
+ * its own air branch; the branch inflow mixes fresh inlet air with a
+ * slice of the PSU exhaust stream sized to reproduce the block's
+ * zero-power intercept, and the heat constant k is set so the total
+ * temperature/power slope matches the CFD's.
+ */
+core::MachineSpec
+mercuryCaseFromCfd(const cfd::CfdSolver &calibrated, const BlockFit &cpu,
+                   const BlockFit &disk)
+{
+    const double t_in = 21.6;
+    const double mdot_c =
+        calibrated.massFlow() * units::kAirSpecificHeat;
+
+    core::MachineSpec spec;
+    spec.name = "case2d";
+    spec.inletTemperature = t_in;
+    spec.initialTemperature = t_in;
+    spec.fanCfm =
+        units::m3PerSToCfm(calibrated.massFlow() / units::kAirDensity);
+
+    auto component = [](const char *name) {
+        core::NodeSpec node;
+        node.name = name;
+        node.kind = core::NodeKind::Component;
+        node.mass = 0.3; // steady state is mass-independent
+        node.specificHeat = 896.0;
+        node.hasPower = true;
+        node.minPower = 1.0;
+        node.maxPower = 1.0;
+        return node;
+    };
+    spec.nodes.push_back(component("cpu"));
+    spec.nodes.push_back(component("disk"));
+    spec.nodes.push_back(component("ps"));
+
+    auto air = [](const char *name, core::NodeKind kind) {
+        core::NodeSpec node;
+        node.name = name;
+        node.kind = kind;
+        return node;
+    };
+    spec.nodes.push_back(air("inlet", core::NodeKind::Inlet));
+    spec.nodes.push_back(air("cpu_air", core::NodeKind::Air));
+    spec.nodes.push_back(air("disk_air", core::NodeKind::Air));
+    spec.nodes.push_back(air("ps_air", core::NodeKind::Air));
+    spec.nodes.push_back(air("ps_air_down", core::NodeKind::Air));
+    spec.nodes.push_back(air("bypass_air", core::NodeKind::Air));
+    spec.nodes.push_back(air("exhaust", core::NodeKind::Exhaust));
+
+    // PSU branch straight from the solver's boundary properties.
+    const double kPsPower = 40.0;
+    double f_ps = calibrated.heatCarryingFraction("ps");
+    double k_ps = calibrated.effectiveK("ps");
+    double dt_ps = kPsPower / (f_ps * mdot_c); // PSU stream heat-up
+
+    // Variable blocks: fix the branch flow, then match slope and
+    // intercept.
+    const double f_cpu = 0.20;
+    const double f_disk = 0.20;
+    auto branch = [&](const BlockFit &fit, double f_branch, double *k_out,
+                      double *g_out) {
+        double air_term = 1.0 / (f_branch * mdot_c);
+        double k = 1.0 / std::max(fit.slope - air_term, 1e-3);
+        // Preheat: fraction g of the branch flow taken from the PSU
+        // stream reproduces the zero-power intercept.
+        double g = f_branch * (fit.intercept - t_in) / dt_ps;
+        g = std::clamp(g, 0.0, 0.9 * f_ps);
+        *k_out = k;
+        *g_out = g;
+    };
+    double k_cpu = 0.0, g_cpu = 0.0;
+    double k_disk = 0.0, g_disk = 0.0;
+    branch(cpu, f_cpu, &k_cpu, &g_cpu);
+    branch(disk, f_disk, &k_disk, &g_disk);
+
+    spec.heatEdges.push_back({"cpu", "cpu_air", k_cpu});
+    spec.heatEdges.push_back({"disk", "disk_air", k_disk});
+    spec.heatEdges.push_back({"ps", "ps_air", k_ps});
+
+    // Air topology: inlet feeds the PSU branch, the fresh parts of the
+    // cpu/disk branches and a bypass; the PSU exhaust stream donates
+    // the preheat slices.
+    double inlet_cpu = f_cpu - g_cpu;
+    double inlet_disk = f_disk - g_disk;
+    double bypass = 1.0 - f_ps - inlet_cpu - inlet_disk;
+    spec.airEdges.push_back({"inlet", "ps_air", f_ps});
+    spec.airEdges.push_back({"inlet", "cpu_air", inlet_cpu});
+    spec.airEdges.push_back({"inlet", "disk_air", inlet_disk});
+    spec.airEdges.push_back({"inlet", "bypass_air", bypass});
+    spec.airEdges.push_back({"ps_air", "ps_air_down", 1.0});
+    spec.airEdges.push_back({"ps_air_down", "cpu_air", g_cpu / f_ps});
+    spec.airEdges.push_back({"ps_air_down", "disk_air", g_disk / f_ps});
+    spec.airEdges.push_back(
+        {"ps_air_down", "exhaust", 1.0 - (g_cpu + g_disk) / f_ps});
+    spec.airEdges.push_back({"cpu_air", "exhaust", 1.0});
+    spec.airEdges.push_back({"disk_air", "exhaust", 1.0});
+    spec.airEdges.push_back({"bypass_air", "exhaust", 1.0});
+    return spec;
+}
+
+/** Mercury steady state for one power combination. */
+void
+mercurySteadyState(const core::MachineSpec &spec, double cpu_w,
+                   double disk_w, double ps_w, double *cpu_t,
+                   double *disk_t)
+{
+    core::ThermalGraph graph(spec);
+    graph.setPowerRange("cpu", cpu_w, cpu_w);
+    graph.setPowerRange("disk", disk_w, disk_w);
+    graph.setPowerRange("ps", ps_w, ps_w);
+    for (int i = 0; i < 30000; ++i)
+        graph.step(1.0);
+    *cpu_t = graph.temperature("cpu");
+    *disk_t = graph.temperature("disk");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::bench;
+
+    banner("Section 3.2", "Mercury vs 2-D CFD steady states, 14 power "
+                          "combinations (PSU fixed at 40 W)");
+
+    const double kPsPower = 40.0;
+
+    // 1. Characterisation solves: base + one step per variable block.
+    cfd::CfdSolver base(cfd::serverCase(7.0, 9.0, kPsPower));
+    cfd::CfdSolver cpu_step(cfd::serverCase(31.0, 9.0, kPsPower));
+    cfd::CfdSolver disk_step(cfd::serverCase(7.0, 14.0, kPsPower));
+    cfd::SolveStats stats = base.solve();
+    cpu_step.solve();
+    disk_step.solve();
+    std::printf("# base solve: %d iterations, residual %.2e\n",
+                stats.iterations, stats.residual);
+
+    BlockFit cpu_fit;
+    cpu_fit.slope = (cpu_step.blockMeanTemperature("cpu") -
+                     base.blockMeanTemperature("cpu")) /
+                    24.0;
+    cpu_fit.intercept =
+        base.blockMeanTemperature("cpu") - cpu_fit.slope * 7.0;
+    BlockFit disk_fit;
+    disk_fit.slope = (disk_step.blockMeanTemperature("disk") -
+                      base.blockMeanTemperature("disk")) /
+                     5.0;
+    disk_fit.intercept =
+        base.blockMeanTemperature("disk") - disk_fit.slope * 9.0;
+    std::printf("# fits: cpu slope=%.3f K/W intercept=%.2f C; disk "
+                "slope=%.3f K/W intercept=%.2f C\n",
+                cpu_fit.slope, cpu_fit.intercept, disk_fit.slope,
+                disk_fit.intercept);
+
+    core::MachineSpec spec = mercuryCaseFromCfd(base, cpu_fit, disk_fit);
+
+    // 2. The 14 experiments (Table 1's component power ranges).
+    std::printf("cpu_w,disk_w,cfd_cpu_C,mercury_cpu_C,cpu_err_C,"
+                "cfd_disk_C,mercury_disk_C,disk_err_C\n");
+    double worst_cpu = 0.0;
+    double worst_disk = 0.0;
+    for (double disk_w : {9.0, 14.0}) {
+        for (double cpu_w : {7.0, 11.0, 15.0, 19.0, 23.0, 27.0, 31.0}) {
+            cfd::CfdSolver reference(
+                cfd::serverCase(cpu_w, disk_w, kPsPower));
+            reference.solve();
+            double cfd_cpu = reference.blockMeanTemperature("cpu");
+            double cfd_disk = reference.blockMeanTemperature("disk");
+
+            double mercury_cpu = 0.0;
+            double mercury_disk = 0.0;
+            mercurySteadyState(spec, cpu_w, disk_w, kPsPower,
+                               &mercury_cpu, &mercury_disk);
+
+            double cpu_err = std::abs(mercury_cpu - cfd_cpu);
+            double disk_err = std::abs(mercury_disk - cfd_disk);
+            worst_cpu = std::max(worst_cpu, cpu_err);
+            worst_disk = std::max(worst_disk, disk_err);
+            std::printf("%.0f,%.0f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+                        cpu_w, disk_w, cfd_cpu, mercury_cpu, cpu_err,
+                        cfd_disk, mercury_disk, disk_err);
+        }
+    }
+
+    summary("max_cpu_error_degC", worst_cpu);
+    summary("max_disk_error_degC", worst_disk);
+    paperClaim("max_cpu_error_degC", "0.32 (vs Fluent)");
+    paperClaim("max_disk_error_degC", "0.25 (vs Fluent)");
+    return 0;
+}

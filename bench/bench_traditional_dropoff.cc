@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Section 5.1's comparison experiment: "we also ran an experiment
+ * assuming the traditional approach to handling emergencies, i.e. we
+ * turned servers off when the temperature of their CPUs crossed
+ * T_r^CPU ... Overall, the traditional system dropped 14% of the
+ * requests in our trace." Same trace, same emergencies, three
+ * policies side by side.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "freon/experiment.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::bench;
+
+    banner("Section 5.1", "traditional red-line-only policy vs Freon "
+                          "vs no management");
+
+    std::printf("policy,drop_rate,dropped,completed,servers_off,"
+                "weight_adjustments,m1_peak_C,m3_peak_C,"
+                "mean_latency_ms,p99_latency_ms\n");
+    double traditional_rate = 0.0;
+    double freon_rate = 0.0;
+    for (auto [policy, label] :
+         {std::pair{freon::PolicyKind::None, "none"},
+          std::pair{freon::PolicyKind::FreonBase, "freon"},
+          std::pair{freon::PolicyKind::Traditional, "traditional"}}) {
+        freon::ExperimentConfig config;
+        config.policy = policy;
+        config.workload.duration = 2000.0;
+        config.addPaperEmergencies();
+        freon::ExperimentResult result = freon::runExperiment(config);
+        std::printf("%s,%.4f,%llu,%llu,%llu,%llu,%.2f,%.2f,%.1f,%.1f\n",
+                    label, result.dropRate,
+                    static_cast<unsigned long long>(result.dropped),
+                    static_cast<unsigned long long>(result.completed),
+                    static_cast<unsigned long long>(
+                        result.serversTurnedOff),
+                    static_cast<unsigned long long>(
+                        result.weightAdjustments),
+                    result.peakCpuTemperature.at("m1"),
+                    result.peakCpuTemperature.at("m3"),
+                    1000.0 * result.meanLatency,
+                    1000.0 * result.p99Latency);
+        if (policy == freon::PolicyKind::Traditional)
+            traditional_rate = result.dropRate;
+        if (policy == freon::PolicyKind::FreonBase)
+            freon_rate = result.dropRate;
+    }
+
+    summary("traditional_drop_rate", traditional_rate);
+    summary("freon_drop_rate", freon_rate);
+    paperClaim("traditional_drop_rate",
+               "0.14 (m1 off at ~1440 s, m3 just before 1500 s)");
+    paperClaim("freon_drop_rate", "0 (no requests dropped)");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: consistent
+ * headers, CSV emission at a reduced sample rate, and paper-vs-
+ * measured summary lines. Every bench prints
+ *
+ *   # <figure id>: <description>
+ *   <CSV series>
+ *   SUMMARY <key> = <value>
+ *   PAPER   <key> = <value>      (the published claim, for comparison)
+ */
+
+#ifndef MERCURY_BENCH_BENCH_UTIL_HH
+#define MERCURY_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace mercury {
+namespace bench {
+
+/** Print the bench banner. */
+inline void
+banner(const std::string &figure, const std::string &description)
+{
+    std::printf("# %s: %s\n", figure.c_str(), description.c_str());
+}
+
+/** Print one measured summary value. */
+inline void
+summary(const std::string &key, double value)
+{
+    std::printf("SUMMARY %s = %.4g\n", key.c_str(), value);
+}
+
+inline void
+summary(const std::string &key, const std::string &value)
+{
+    std::printf("SUMMARY %s = %s\n", key.c_str(), value.c_str());
+}
+
+/** Print the corresponding claim from the paper. */
+inline void
+paperClaim(const std::string &key, const std::string &value)
+{
+    std::printf("PAPER   %s = %s\n", key.c_str(), value.c_str());
+}
+
+/**
+ * Emit aligned series as CSV, sampling every @p stride-th point of
+ * the first series (the figures have thousands of samples; the CSV
+ * stays plottable without drowning the terminal).
+ */
+inline void
+emitSeries(const std::vector<const TimeSeries *> &series, size_t stride)
+{
+    if (series.empty() || series.front()->empty())
+        return;
+    std::printf("time_s");
+    for (const TimeSeries *ts : series)
+        std::printf(",%s", ts->name().c_str());
+    std::printf("\n");
+    const TimeSeries &base = *series.front();
+    for (size_t i = 0; i < base.size(); i += stride) {
+        double t = base.timeAt(i);
+        std::printf("%g", t);
+        for (const TimeSeries *ts : series)
+            std::printf(",%.3f", ts->sampleAt(t));
+        std::printf("\n");
+    }
+}
+
+} // namespace bench
+} // namespace mercury
+
+#endif // MERCURY_BENCH_BENCH_UTIL_HH

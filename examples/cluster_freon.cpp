@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The paper's Section 5 scenario as a library user would run it: four
+ * emulated Apache servers behind a weighted-least-connections LVS, a
+ * diurnal trace with 30% CGI requests, cooling emergencies on two
+ * machines, and Freon's base policy keeping temperatures under the
+ * threshold without dropping requests.
+ *
+ * Run:  ./examples/cluster_freon
+ */
+
+#include <cstdio>
+
+#include "freon/experiment.hh"
+
+int
+main()
+{
+    using namespace mercury;
+
+    freon::ExperimentConfig config;
+    config.policy = freon::PolicyKind::FreonBase;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+
+    std::printf("running the Figure 11 scenario (4 servers, Freon base "
+                "policy)...\n\n");
+    freon::ExperimentResult result = freon::runExperiment(config);
+
+    std::printf("requests: %llu submitted, %llu completed, %llu "
+                "dropped (%.2f%%)\n",
+                static_cast<unsigned long long>(result.submitted),
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.dropped),
+                100.0 * result.dropRate);
+    std::printf("load-balancer weight adjustments: %llu\n",
+                static_cast<unsigned long long>(result.weightAdjustments));
+    std::printf("servers powered off: %llu\n\n",
+                static_cast<unsigned long long>(result.serversTurnedOff));
+
+    std::printf("machine  peak_cpu_C  first_over_Th_s\n");
+    for (const auto &[name, peak] : result.peakCpuTemperature) {
+        std::printf("%-7s  %10.2f  %15.0f\n", name.c_str(), peak,
+                    result.firstTimeOverHigh.at(name));
+    }
+
+    std::printf("\nCPU temperature every 200 s:\n  time");
+    for (const auto &[name, series] : result.cpuTemperature)
+        std::printf("  %6s", name.c_str());
+    std::printf("\n");
+    for (double t = 200.0; t <= 2000.0; t += 200.0) {
+        std::printf("  %4.0f", t);
+        for (const auto &[name, series] : result.cpuTemperature)
+            std::printf("  %6.2f", series.sampleAt(t));
+        std::printf("\n");
+    }
+    return 0;
+}

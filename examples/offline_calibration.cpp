@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Section 3.1 calibration recipe, as a user would run it:
+ *
+ *  1. run a CPU and a disk microbenchmark on the "real machine"
+ *     (here: the bundled high-fidelity reference model, read through
+ *     its noisy sensors — on a real deployment this would be
+ *     monitord --record plus your thermometers);
+ *  2. tune the Table 1 heat constants until Mercury reproduces the
+ *     measurements ("taking one of us less than an hour"; the
+ *     coordinate-descent calibrator needs a few seconds);
+ *  3. freeze the inputs and validate on an unseen mixed workload.
+ *
+ * Run:  ./examples/offline_calibration
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "calib/validation.hh"
+
+int
+main()
+{
+    using namespace mercury;
+    using namespace mercury::calib;
+
+    std::printf("1) running the calibration microbenchmarks on the "
+                "reference machine (2 x %.0f s)...\n",
+                kCalibrationDuration);
+    refmodel::ReferenceConfig real_machine; // noisy, quantized sensors
+
+    std::printf("2) tuning the Table 1 heat constants...\n");
+    CalibrationResult calibration =
+        calibrateTable1AgainstReference(real_machine);
+    std::printf("   mean error %.2f -> %.2f degC after %d objective "
+                "evaluations\n",
+                calibration.initialError, calibration.finalError,
+                calibration.evaluations);
+    for (const core::HeatEdgeSpec &edge : calibration.spec.heatEdges) {
+        core::MachineSpec original = core::table1Server();
+        for (const core::HeatEdgeSpec &base : original.heatEdges) {
+            if (base.a == edge.a && base.b == edge.b &&
+                std::abs(base.k - edge.k) > 1e-9) {
+                std::printf("   k(%s -- %s): %.3f -> %.3f W/K\n",
+                            edge.a.c_str(), edge.b.c_str(), base.k,
+                            edge.k);
+            }
+        }
+    }
+
+    std::printf("3) validating on the unseen mixed benchmark "
+                "(%.0f s, inputs frozen)...\n",
+                kValidationDuration);
+    ReferenceRun truth = runReference(
+        real_machine, kValidationDuration,
+        {{"cpu", validationCpuWaveform()},
+         {"disk", validationDiskWaveform()}},
+        {"cpu_air", "disk_platters"}, /*use_sensors=*/false);
+
+    Experiment mixed;
+    mixed.duration = kValidationDuration;
+    mixed.loads.emplace_back("cpu", validationCpuWaveform());
+    mixed.loads.emplace_back("disk_platters", validationDiskWaveform());
+    std::vector<TimeSeries> emulated = simulateExperiment(
+        calibration.spec, mixed, {"cpu_air", "disk_platters"});
+
+    double cpu_err =
+        emulated[0].maxAbsError(truth.temperatures.at("cpu_air"));
+    double disk_err =
+        emulated[1].maxAbsError(truth.temperatures.at("disk_platters"));
+    std::printf("   max error: cpu_air %.2f degC, disk %.2f degC\n",
+                cpu_err, disk_err);
+    std::printf("   (the paper reports <= 1 degC for both)\n");
+    return cpu_err < 1.0 && disk_err < 1.0 ? 0 : 1;
+}

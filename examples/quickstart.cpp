@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: emulate the paper's Table 1 server and read its
+ * temperatures exactly like Figure 3 does — through the
+ * opensensor()/readsensor()/closesensor() API — while a synthetic
+ * load heats the CPU.
+ *
+ * Run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/solver.hh"
+#include "core/spec.hh"
+#include "proto/solver_service.hh"
+#include "sensor/sensor_api.hh"
+
+int
+main()
+{
+    using namespace mercury;
+
+    // 1. Build the emulated machine: the paper's Pentium III server
+    //    with its Table 1 constants (you can also load a .dot config
+    //    via graphdot::loadConfigFile).
+    core::Solver solver;
+    solver.addMachine(core::table1Server("server1"));
+
+    // 2. Expose it through the message-level sensor interface and
+    //    install it as the process-local solver so the classic C API
+    //    works without a network.
+    proto::SolverService service(solver);
+    installLocalSolver(&service);
+
+    // 3. Figure 3, almost verbatim.
+    int sd = opensensor_for("local", 8367, "server1", "disk");
+    int cpu_sd = opensensor_for("local", 8367, "server1", "cpu");
+
+    std::printf("time_s  cpu_util  cpu_C   disk_C\n");
+    for (int minute = 0; minute <= 30; ++minute) {
+        // Load steps: idle -> busy -> idle again.
+        double utilization = (minute >= 5 && minute < 20) ? 0.9 : 0.05;
+        solver.setUtilization("server1", "cpu", utilization);
+        solver.setUtilization("server1", "disk", utilization * 0.5);
+        solver.run(60.0); // one emulated minute
+
+        float disk_temp = readsensor(sd);
+        float cpu_temp = readsensor(cpu_sd);
+        std::printf("%6.0f  %8.2f  %6.2f  %6.2f\n",
+                    solver.emulatedSeconds(), utilization, cpu_temp,
+                    disk_temp);
+    }
+
+    closesensor(sd);
+    closesensor(cpu_sd);
+    installLocalSolver(nullptr);
+    return 0;
+}

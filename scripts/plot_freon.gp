@@ -1,0 +1,30 @@
+# Regenerate Figure 11/12's temperature panel from the bench CSV.
+#
+#   build/bench/bench_fig11_freon_base > fig11.txt
+#   awk '/CPU temperatures/{f=1;next} /CPU utilizations/{f=0} \
+#        f && !/^#/' fig11.txt > fig11_temps.csv
+#   gnuplot -e "csv='fig11_temps.csv'; out='fig11.png'; th=74; tr=76" \
+#       scripts/plot_freon.gp
+
+if (!exists("csv")) csv = "fig11_temps.csv"
+if (!exists("out")) out = "fig11.png"
+if (!exists("th")) th = 74.0
+if (!exists("tr")) tr = 76.0
+
+set terminal pngcairo size 1000,500
+set output out
+set datafile separator ","
+set key top left
+set xlabel "time (seconds)"
+set ylabel "CPU temperature (C)"
+set yrange [20:80]
+
+set arrow from graph 0, first th to graph 1, first th nohead \
+    lc rgb "#888888" dt 2
+set arrow from graph 0, first tr to graph 1, first tr nohead \
+    lc rgb "#cc0000" dt 3
+
+plot csv using 1:2 skip 1 with lines title "m1", \
+     csv using 1:3 skip 1 with lines title "m2", \
+     csv using 1:4 skip 1 with lines title "m3", \
+     csv using 1:5 skip 1 with lines title "m4"

@@ -1,0 +1,30 @@
+# Regenerate the paper's Figure 5/6/7/8 plots from the bench CSV.
+#
+#   build/bench/bench_fig07_cpu_validation | grep -v '^#\|SUMMARY\|PAPER' \
+#       > fig07.csv
+#   gnuplot -e "csv='fig07.csv'; out='fig07.png'" scripts/plot_validation.gp
+#
+# Matches the paper's layout: utilization (left axis, %) against the
+# real and emulated temperatures (right axis, degC).
+
+if (!exists("csv")) csv = "fig07.csv"
+if (!exists("out")) out = "figure.png"
+
+set terminal pngcairo size 1000,500
+set output out
+set datafile separator ","
+set key top left
+set xlabel "Time (Seconds)"
+set ylabel "Percent Utilization"
+set y2label "Temperature (C)"
+set yrange [0:100]
+set y2range [20:40]
+set ytics nomirror
+set y2tics
+
+plot csv using 1:2 skip 1 with lines lc rgb "#bbbbbb" \
+         title "Utilization", \
+     csv using 1:3 skip 1 axes x1y2 with lines lc rgb "#d62728" \
+         title "Real", \
+     csv using 1:4 skip 1 axes x1y2 with lines lc rgb "#1f77b4" \
+         title "Emulated"

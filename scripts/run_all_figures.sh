@@ -1,0 +1,30 @@
+#!/bin/sh
+# Run every figure/table bench and collect the outputs under
+# results/. Plots (if gnuplot is installed) land next to the CSVs.
+set -e
+BUILD=${1:-build}
+OUT=${2:-results}
+mkdir -p "$OUT"
+
+for bench in "$BUILD"/bench/bench_*; do
+    name=$(basename "$bench")
+    echo "== $name"
+    "$bench" > "$OUT/$name.txt"
+done
+
+# Figure 7: utilization + real/emulated CPU air.
+grep -v '^#\|^SUMMARY\|^PAPER' "$OUT/bench_fig07_cpu_validation.txt" \
+    > "$OUT/fig07.csv" || true
+# Figure 11: the temperature panel.
+awk '/CPU temperatures/{f=1;next} /CPU utilizations/{f=0} f && !/^#/' \
+    "$OUT/bench_fig11_freon_base.txt" > "$OUT/fig11_temps.csv" || true
+
+if command -v gnuplot >/dev/null 2>&1; then
+    gnuplot -e "csv='$OUT/fig07.csv'; out='$OUT/fig07.png'" \
+        scripts/plot_validation.gp || true
+    gnuplot -e "csv='$OUT/fig11_temps.csv'; out='$OUT/fig11.png'" \
+        scripts/plot_freon.gp || true
+    echo "plots written to $OUT/"
+else
+    echo "gnuplot not found; CSVs are in $OUT/"
+fi

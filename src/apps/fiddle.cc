@@ -1,0 +1,98 @@
+/**
+ * @file
+ * fiddle: the thermal-emergency tool (paper Section 2.3, Figure 4).
+ * Sends one command to the solver, or replays a whole script with real
+ * `sleep` pacing.
+ *
+ *   fiddle machine1 temperature inlet 30
+ *   fiddle --script emergencies.fiddle
+ *
+ * The solver address comes from --solver (host:port) or the
+ * MERCURY_SOLVER environment variable; default 127.0.0.1:8367.
+ */
+
+#include <cstdlib>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "fiddle/script.hh"
+#include "sensor/client.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace {
+
+using namespace mercury;
+
+/** Parse "host:port" with a default port of 8367. */
+std::pair<std::string, uint16_t>
+parseSolverAddress(const std::string &spec)
+{
+    size_t colon = spec.rfind(':');
+    if (colon == std::string::npos)
+        return {spec, 8367};
+    auto port = parseInt(spec.substr(colon + 1));
+    if (!port || *port <= 0 || *port > 65535)
+        fatal("bad solver address '", spec, "'");
+    return {spec.substr(0, colon), static_cast<uint16_t>(*port)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("fiddle",
+                  "inject thermal emergencies into a running solver");
+    flags.defineString("solver", "",
+                       "solver address host[:port] (default: "
+                       "$MERCURY_SOLVER or 127.0.0.1:8367)");
+    flags.defineString("script", "",
+                       "replay a fiddle script (sleep lines pace in "
+                       "real time)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    std::string address = flags.getString("solver");
+    if (address.empty()) {
+        const char *env = std::getenv("MERCURY_SOLVER");
+        address = env ? env : "127.0.0.1:8367";
+    }
+    auto [host, port] = parseSolverAddress(address);
+
+    sensor::SensorClient client(
+        std::make_unique<sensor::UdpTransport>(host, port), "fiddle");
+
+    if (!flags.getString("script").empty()) {
+        fiddle::FiddleScript script =
+            fiddle::FiddleScript::loadFile(flags.getString("script"));
+        double clock = 0.0;
+        for (const fiddle::TimedCommand &timed : script.commands()) {
+            if (timed.time > clock) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(timed.time - clock));
+                clock = timed.time;
+            }
+            auto [ok, message] = client.fiddle(timed.command.line);
+            if (!ok)
+                warn("'", timed.command.line, "': ", message);
+        }
+        return 0;
+    }
+
+    // One-shot: the positional arguments are the command itself.
+    if (flags.positional().empty())
+        fatal("usage: fiddle [--solver host:port] <machine> <property> "
+              "...  (or --script <file>)");
+    std::string line;
+    for (const std::string &token : flags.positional()) {
+        if (!line.empty())
+            line += ' ';
+        line += token;
+    }
+    auto [ok, message] = client.fiddle(line);
+    std::cout << (ok ? "ok" : "error") << ": " << message << '\n';
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * freon_clusterd: command-line driver for the Section 5 cluster
+ * experiments. Picks a policy, a cluster size and emergency settings,
+ * runs the deterministic experiment and emits the same CSV series the
+ * paper's figures plot.
+ *
+ *   freon_clusterd --policy freon-ec --servers 4 --duration 2000 \
+ *                  --paper-emergencies
+ */
+
+#include <iostream>
+
+#include "freon/experiment.hh"
+#include "util/csv.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace {
+
+using namespace mercury;
+
+freon::PolicyKind
+parsePolicy(const std::string &name)
+{
+    std::string low = toLower(name);
+    if (low == "none")
+        return freon::PolicyKind::None;
+    if (low == "freon" || low == "base")
+        return freon::PolicyKind::FreonBase;
+    if (low == "traditional")
+        return freon::PolicyKind::Traditional;
+    if (low == "freon-ec" || low == "ec")
+        return freon::PolicyKind::FreonEC;
+    if (low == "two-stage" || low == "freon-two-stage")
+        return freon::PolicyKind::FreonTwoStage;
+    fatal("unknown policy '", name,
+          "' (none | freon | traditional | freon-ec | two-stage)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("freon_clusterd",
+                  "run a Freon cluster experiment and emit its series");
+    flags.defineString("policy", "freon",
+                       "none | freon | traditional | freon-ec | "
+                       "two-stage");
+    flags.defineInt("servers", 4, "cluster size");
+    flags.defineDouble("duration", 2000.0, "experiment length [s]");
+    flags.defineBool("paper-emergencies", true,
+                     "inject the Figure 11 inlet emergencies at 480 s");
+    flags.defineString("emergency", "",
+                       "extra emergency time:machine:inletC "
+                       "(e.g. 600:m2:33)");
+    flags.defineBool("dvfs", false, "enable per-CPU DVFS governors");
+    flags.defineBool("variable-fans", false,
+                     "enable temperature-driven fans");
+    flags.defineDouble("record-period", 10.0, "series sample period [s]");
+    flags.defineBool("summary-only", false, "suppress the CSV series");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    freon::ExperimentConfig config;
+    config.policy = parsePolicy(flags.getString("policy"));
+    config.servers = static_cast<int>(flags.getInt("servers"));
+    config.workload.duration = flags.getDouble("duration");
+    config.recordPeriod = flags.getDouble("record-period");
+    config.enableDvfs = flags.getBool("dvfs");
+    config.enableVariableFans = flags.getBool("variable-fans");
+    if (flags.getBool("paper-emergencies"))
+        config.addPaperEmergencies();
+    if (!flags.getString("emergency").empty()) {
+        auto parts = split(flags.getString("emergency"), ':');
+        if (parts.size() != 3)
+            fatal("--emergency wants time:machine:inletC");
+        auto time = parseDouble(parts[0]);
+        auto temp = parseDouble(parts[2]);
+        if (!time || !temp)
+            fatal("--emergency wants numeric time and temperature");
+        config.emergencies.push_back({*time, parts[1], *temp});
+    }
+
+    freon::ExperimentResult result = freon::runExperiment(config);
+
+    if (!flags.getBool("summary-only")) {
+        std::vector<const TimeSeries *> series;
+        for (const auto &[name, ts] : result.cpuTemperature)
+            series.push_back(&ts);
+        for (const auto &[name, ts] : result.cpuUtilization)
+            series.push_back(&ts);
+        series.push_back(&result.activeServers);
+        series.push_back(&result.clusterPower);
+        writeAlignedSeries(std::cout, series);
+    }
+
+    std::cerr << format(
+        "policy=%s submitted=%llu completed=%llu dropped=%llu "
+        "(%.2f%%)\n",
+        flags.getString("policy").c_str(),
+        static_cast<unsigned long long>(result.submitted),
+        static_cast<unsigned long long>(result.completed),
+        static_cast<unsigned long long>(result.dropped),
+        100.0 * result.dropRate);
+    std::cerr << format(
+        "adjustments=%llu off=%llu on=%llu energy=%.0f J\n",
+        static_cast<unsigned long long>(result.weightAdjustments),
+        static_cast<unsigned long long>(result.serversTurnedOff),
+        static_cast<unsigned long long>(result.serversTurnedOn),
+        result.energyJoules);
+    for (const auto &[name, peak] : result.peakCpuTemperature) {
+        std::cerr << format("%s peak=%.2f C firstOverTh=%.0f s\n",
+                            name.c_str(), peak,
+                            result.firstTimeOverHigh.at(name));
+    }
+    return 0;
+}

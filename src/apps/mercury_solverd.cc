@@ -1,0 +1,79 @@
+/**
+ * @file
+ * mercury_solverd: the solver daemon. Loads the machine/room graphs
+ * from a modified-dot config file, then serves sensor reads, fiddle
+ * commands and utilization updates over UDP while stepping the
+ * emulation once per second (paper Section 2.3).
+ *
+ *   mercury_solverd --config configs/table1_cluster.dot --port 8367
+ */
+
+#include <csignal>
+
+#include "core/solver.hh"
+#include "graphdot/parser.hh"
+#include "proto/solver_daemon.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
+
+namespace {
+
+mercury::proto::SolverDaemon *runningDaemon = nullptr;
+
+void
+handleSignal(int)
+{
+    if (runningDaemon)
+        runningDaemon->stop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mercury;
+
+    FlagSet flags("mercury_solverd",
+                  "Mercury temperature-emulation solver daemon");
+    flags.defineString("config", "configs/table1_server.dot",
+                       "modified-dot config file (machines + room)");
+    flags.defineInt("port", 8367, "UDP port to listen on");
+    flags.defineDouble("iteration-seconds", 1.0,
+                       "emulated/wall seconds per solver iteration");
+    flags.defineBool("verbose", false, "enable info logging");
+    if (!flags.parse(argc, argv))
+        return 0;
+    if (flags.getBool("verbose"))
+        setLogLevel(LogLevel::Info);
+
+    core::ConfigSpec config =
+        graphdot::loadConfigFile(flags.getString("config"));
+    if (config.machines.empty())
+        fatal("config has no machines");
+
+    core::SolverConfig solver_config;
+    solver_config.iterationSeconds = flags.getDouble("iteration-seconds");
+    core::Solver solver(solver_config);
+    for (const core::MachineSpec &machine : config.machines)
+        solver.addMachine(machine);
+    if (config.room)
+        solver.setRoom(*config.room);
+
+    proto::SolverDaemon::Config daemon_config;
+    daemon_config.port = static_cast<uint16_t>(flags.getInt("port"));
+    daemon_config.iterationSeconds = flags.getDouble("iteration-seconds");
+    proto::SolverDaemon daemon(solver, daemon_config);
+
+    runningDaemon = &daemon;
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+
+    inform("mercury_solverd: ", config.machines.size(),
+           " machine(s), listening on UDP port ", daemon.port());
+    daemon.run();
+    inform("mercury_solverd: ", daemon.service().updatesApplied(),
+           " updates, ", daemon.service().sensorReads(), " sensor reads, ",
+           daemon.service().fiddlesApplied(), " fiddles");
+    return 0;
+}

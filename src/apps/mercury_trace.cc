@@ -1,0 +1,96 @@
+/**
+ * @file
+ * mercury_trace: the offline mode. Drives a solver from a utilization
+ * trace file and writes the full usage+temperature time series as CSV
+ * — "the end result is another file containing all the usage and
+ * temperature information for each component in the system over time"
+ * (Section 2.3). --replicate clones one traced machine across many,
+ * the paper's trick for emulating large clusters.
+ *
+ *   mercury_trace --config configs/table1_server.dot \
+ *                 --trace load.csv --duration 5000 > temps.csv
+ */
+
+#include <iostream>
+
+#include "core/solver.hh"
+#include "core/trace.hh"
+#include "graphdot/parser.hh"
+#include "graphdot/writer.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mercury;
+
+    FlagSet flags("mercury_trace", "offline trace-driven emulation");
+    flags.defineString("config", "configs/table1_server.dot",
+                       "modified-dot config file");
+    flags.defineString("trace", "", "utilization trace CSV");
+    flags.defineDouble("duration", -1.0,
+                       "emulated seconds (default: trace duration)");
+    flags.defineString("record", "all",
+                       "comma-separated machine.node list, or 'all'");
+    flags.defineString("replicate", "",
+                       "clone a traced machine: src=dst1+dst2+...");
+    flags.defineDouble("iteration-seconds", 1.0,
+                       "emulated seconds per solver iteration");
+    flags.defineBool("graphviz", false,
+                     "dump the first machine as Graphviz dot and exit");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ConfigSpec config =
+        graphdot::loadConfigFile(flags.getString("config"));
+    if (config.machines.empty())
+        fatal("config has no machines");
+
+    if (flags.getBool("graphviz")) {
+        graphdot::writeGraphviz(std::cout, config.machines.front());
+        return 0;
+    }
+
+    if (flags.getString("trace").empty())
+        fatal("--trace is required (CSV: time_s,machine,component,util)");
+    core::UtilizationTrace trace =
+        core::UtilizationTrace::loadFile(flags.getString("trace"));
+
+    std::string replicate = flags.getString("replicate");
+    if (!replicate.empty()) {
+        auto parts = split(replicate, '=');
+        if (parts.size() != 2)
+            fatal("--replicate wants src=dst1+dst2+...");
+        std::map<std::string, std::vector<std::string>> mapping;
+        mapping[parts[0]] = split(parts[1], '+');
+        trace = trace.replicated(mapping);
+    }
+
+    core::SolverConfig solver_config;
+    solver_config.iterationSeconds = flags.getDouble("iteration-seconds");
+    core::Solver solver(solver_config);
+    for (const core::MachineSpec &machine : config.machines)
+        solver.addMachine(machine);
+    if (config.room)
+        solver.setRoom(*config.room);
+
+    core::TraceRunner runner(solver, trace);
+    std::string record = flags.getString("record");
+    if (record == "all") {
+        runner.recordAll();
+    } else {
+        for (const std::string &item : split(record, ',')) {
+            auto dot = item.find('.');
+            if (dot == std::string::npos)
+                fatal("--record items look like machine.node, got '",
+                      item, "'");
+            runner.record(item.substr(0, dot), item.substr(dot + 1));
+        }
+    }
+
+    runner.run(flags.getDouble("duration"));
+    runner.writeCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * monitord: per-machine monitoring daemon. Samples CPU/disk/network
+ * utilization (from /proc by default, or replayed from a trace) once
+ * per second and ships 128-byte UDP updates to the solver (paper
+ * Section 2.3).
+ *
+ *   monitord --machine m1 --solver-host solvermachine --solver-port 8367
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "core/trace.hh"
+#include "monitor/monitord.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
+
+namespace {
+
+std::string
+localHostname()
+{
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0)
+        return "localhost";
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mercury;
+
+    FlagSet flags("monitord", "Mercury component-utilization monitor");
+    flags.defineString("machine", "", "machine name (default: hostname)");
+    flags.defineString("solver-host", "127.0.0.1", "solver host");
+    flags.defineInt("solver-port", 8367, "solver UDP port");
+    flags.defineDouble("period", 1.0, "seconds between updates");
+    flags.defineString("source", "proc",
+                       "utilization source: proc | trace");
+    flags.defineString("trace", "", "trace file for --source trace");
+    flags.defineDouble("duration", 0.0,
+                       "exit after this many seconds (0 = forever)");
+    flags.defineString("record", "",
+                       "also append every sample to this utilization "
+                       "trace CSV (for later offline replay)");
+    flags.defineBool("verbose", false, "enable info logging");
+    if (!flags.parse(argc, argv))
+        return 0;
+    if (flags.getBool("verbose"))
+        setLogLevel(LogLevel::Info);
+
+    std::string machine = flags.getString("machine");
+    if (machine.empty())
+        machine = localHostname();
+
+    auto address = net::resolveHost(flags.getString("solver-host"));
+    if (!address)
+        fatal("cannot resolve solver host '",
+              flags.getString("solver-host"), "'");
+    net::Endpoint solver{*address,
+                         static_cast<uint16_t>(flags.getInt("solver-port"))};
+
+    std::unique_ptr<monitor::UtilizationSource> source;
+    core::UtilizationTrace trace; // must outlive the source
+    std::string kind = flags.getString("source");
+    if (kind == "proc") {
+        auto proc = std::make_unique<monitor::ProcSource>();
+        if (!proc->available())
+            fatal("/proc is not readable; use --source trace");
+        source = std::move(proc);
+    } else if (kind == "trace") {
+        if (flags.getString("trace").empty())
+            fatal("--source trace needs --trace <file>");
+        trace = core::UtilizationTrace::loadFile(flags.getString("trace"));
+        source = std::make_unique<monitor::TraceSource>(trace, machine);
+    } else {
+        fatal("unknown source '", kind, "'");
+    }
+
+    auto socket = std::make_shared<net::UdpSocket>();
+    monitor::Monitord::Sink sink =
+        monitor::Monitord::udpSink(socket, solver);
+
+    // --record: tee every sample into a trace file so a live machine's
+    // behaviour can be replayed offline later (mercury_trace).
+    core::UtilizationTrace recorded;
+    std::ofstream record_file;
+    auto record_clock = std::make_shared<double>(0.0);
+    bool recording = !flags.getString("record").empty();
+    if (recording) {
+        record_file.open(flags.getString("record"));
+        if (!record_file)
+            fatal("cannot open --record file '",
+                  flags.getString("record"), "'");
+        monitor::Monitord::Sink udp = std::move(sink);
+        sink = [udp, &recorded, record_clock](
+                   const proto::UtilizationUpdate &update) {
+            udp(update);
+            recorded.add(*record_clock, update.machine, update.component,
+                         update.utilization);
+        };
+    }
+
+    monitor::Monitord daemon(machine, std::move(source), std::move(sink));
+
+    inform("monitord: machine '", machine, "' -> ", solver.toString());
+    double period = flags.getDouble("period");
+    double duration = flags.getDouble("duration");
+    auto start = std::chrono::steady_clock::now();
+    while (true) {
+        auto now = std::chrono::steady_clock::now();
+        double elapsed = std::chrono::duration<double>(now - start).count();
+        if (duration > 0.0 && elapsed >= duration)
+            break;
+        *record_clock = elapsed;
+        daemon.tick(elapsed);
+        std::this_thread::sleep_for(std::chrono::duration<double>(period));
+    }
+    if (recording) {
+        recorded.save(record_file);
+        inform("monitord: trace written to ", flags.getString("record"));
+    }
+    inform("monitord: sent ", daemon.updatesSent(), " updates");
+    return 0;
+}

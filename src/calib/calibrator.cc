@@ -1,0 +1,214 @@
+#include "calib/calibrator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/thermal_graph.hh"
+#include "util/logging.hh"
+
+namespace mercury {
+namespace calib {
+
+namespace {
+
+/**
+ * Golden-section minimisation of @p fn over [lo, hi].
+ * @return the best x found after @p iterations shrink steps.
+ */
+double
+goldenSection(const std::function<double(double)> &fn, double lo, double hi,
+              int iterations)
+{
+    constexpr double kInvPhi = 0.6180339887498949;
+    double a = lo;
+    double b = hi;
+    double x1 = b - kInvPhi * (b - a);
+    double x2 = a + kInvPhi * (b - a);
+    double f1 = fn(x1);
+    double f2 = fn(x2);
+    for (int i = 0; i < iterations; ++i) {
+        if (f1 < f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - kInvPhi * (b - a);
+            f1 = fn(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + kInvPhi * (b - a);
+            f2 = fn(x2);
+        }
+    }
+    return f1 < f2 ? x1 : x2;
+}
+
+} // namespace
+
+std::vector<TimeSeries>
+simulateExperiment(const core::MachineSpec &spec,
+                   const Experiment &experiment,
+                   const std::vector<std::string> &record_nodes)
+{
+    core::ThermalGraph graph(spec);
+    if (experiment.inletTemperature)
+        graph.setInletTemperature(*experiment.inletTemperature);
+
+    std::vector<TimeSeries> out;
+    out.reserve(record_nodes.size());
+    for (const std::string &node : record_nodes)
+        out.emplace_back(node);
+
+    double dt = experiment.sampleInterval;
+    for (double t = dt; t <= experiment.duration + 1e-9; t += dt) {
+        // Loads take effect at the start of the interval.
+        for (const auto &[component, waveform] : experiment.loads)
+            graph.setUtilization(component, waveform(t - dt));
+        graph.step(dt);
+        for (size_t i = 0; i < record_nodes.size(); ++i)
+            out[i].add(t, graph.temperature(record_nodes[i]));
+    }
+    return out;
+}
+
+Calibrator::Calibrator(core::MachineSpec base)
+    : base_(std::move(base))
+{
+    std::vector<std::string> problems = validate(base_);
+    if (!problems.empty())
+        MERCURY_PANIC("Calibrator: invalid base spec: ", problems.front());
+}
+
+void
+Calibrator::addExperiment(Experiment experiment)
+{
+    if (experiment.duration <= 0.0 || experiment.sampleInterval <= 0.0)
+        MERCURY_PANIC("Calibrator: experiment needs duration/interval > 0");
+    if (experiment.references.empty())
+        MERCURY_PANIC("Calibrator: experiment has no reference series");
+    experiments_.push_back(std::move(experiment));
+}
+
+void
+Calibrator::tuneHeatEdge(const std::string &a, const std::string &b)
+{
+    for (const core::HeatEdgeSpec &edge : base_.heatEdges) {
+        if ((edge.a == a && edge.b == b) || (edge.a == b && edge.b == a)) {
+            parameters_.push_back({false, a, b});
+            return;
+        }
+    }
+    MERCURY_PANIC("Calibrator: no heat edge ", a, " -- ", b);
+}
+
+void
+Calibrator::tuneFanCfm()
+{
+    parameters_.push_back({true, "", ""});
+}
+
+double
+Calibrator::getParameter(const core::MachineSpec &spec,
+                         const Parameter &param) const
+{
+    if (param.isFan)
+        return spec.fanCfm;
+    for (const core::HeatEdgeSpec &edge : spec.heatEdges) {
+        if ((edge.a == param.a && edge.b == param.b) ||
+            (edge.a == param.b && edge.b == param.a)) {
+            return edge.k;
+        }
+    }
+    MERCURY_PANIC("Calibrator: lost heat edge ", param.a, " -- ", param.b);
+}
+
+void
+Calibrator::setParameter(core::MachineSpec &spec, const Parameter &param,
+                         double value) const
+{
+    if (param.isFan) {
+        spec.fanCfm = value;
+        return;
+    }
+    for (core::HeatEdgeSpec &edge : spec.heatEdges) {
+        if ((edge.a == param.a && edge.b == param.b) ||
+            (edge.a == param.b && edge.b == param.a)) {
+            edge.k = value;
+            return;
+        }
+    }
+    MERCURY_PANIC("Calibrator: lost heat edge ", param.a, " -- ", param.b);
+}
+
+double
+Calibrator::objective(const core::MachineSpec &candidate) const
+{
+    ++evaluations_;
+    double total_error = 0.0;
+    size_t total_samples = 0;
+    for (const Experiment &experiment : experiments_) {
+        std::vector<std::string> nodes;
+        nodes.reserve(experiment.references.size());
+        for (const auto &[node, series] : experiment.references)
+            nodes.push_back(node);
+        std::vector<TimeSeries> simulated =
+            simulateExperiment(candidate, experiment, nodes);
+        for (size_t i = 0; i < simulated.size(); ++i) {
+            const TimeSeries *reference = experiment.references[i].second;
+            for (size_t s = 0; s < simulated[i].size(); ++s) {
+                total_error += std::abs(
+                    simulated[i].valueAt(s) -
+                    reference->sampleAt(simulated[i].timeAt(s)));
+                ++total_samples;
+            }
+        }
+    }
+    return total_samples ? total_error / total_samples : 0.0;
+}
+
+CalibrationResult
+Calibrator::run(int passes, double span)
+{
+    if (experiments_.empty())
+        MERCURY_PANIC("Calibrator: no experiments");
+    if (parameters_.empty())
+        MERCURY_PANIC("Calibrator: no parameters to tune");
+    if (span <= 1.0)
+        MERCURY_PANIC("Calibrator: span must exceed 1");
+
+    evaluations_ = 0;
+    CalibrationResult result;
+    result.spec = base_;
+    result.initialError = objective(result.spec);
+
+    for (int pass = 0; pass < passes; ++pass) {
+        for (const Parameter &param : parameters_) {
+            double current = getParameter(result.spec, param);
+            double lo = std::log(current / span);
+            double hi = std::log(current * span);
+            double best_log = goldenSection(
+                [&](double log_value) {
+                    core::MachineSpec candidate = result.spec;
+                    setParameter(candidate, param, std::exp(log_value));
+                    return objective(candidate);
+                },
+                lo, hi, 12);
+            setParameter(result.spec, param, std::exp(best_log));
+        }
+        // Successive passes search a narrower neighbourhood.
+        span = std::max(1.5, std::sqrt(span));
+    }
+
+    result.finalError = objective(result.spec);
+    // Never return something worse than the starting point.
+    if (result.finalError > result.initialError) {
+        result.spec = base_;
+        result.finalError = result.initialError;
+    }
+    result.evaluations = evaluations_;
+    return result;
+}
+
+} // namespace calib
+} // namespace mercury

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Input calibration (Section 3.1 of the paper).
+ *
+ * "It is often useful to have a calibration phase, where a single,
+ * isolated machine is tested as fully as possible, and then the heat-
+ * and air-flow constants are tuned until the emulated readings match
+ * the calibration experiment."
+ *
+ * The Calibrator runs Mercury's machine model through the same
+ * utilization schedule as a reference run (real measurements in the
+ * paper; our high-fidelity refmodel here), and tunes selected
+ * heat-flow constants k (and optionally the fan flow) by coordinate
+ * descent with golden-section line searches in log-space, minimising
+ * the mean absolute temperature error across all reference probes.
+ */
+
+#ifndef MERCURY_CALIB_CALIBRATOR_HH
+#define MERCURY_CALIB_CALIBRATOR_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec.hh"
+#include "util/stats.hh"
+
+namespace mercury {
+namespace calib {
+
+/** One calibration experiment: a load schedule plus reference series. */
+struct Experiment
+{
+    /** Total emulated duration [s]. */
+    double duration = 0.0;
+
+    /** Solver iteration / comparison interval [s]. */
+    double sampleInterval = 1.0;
+
+    /** Component utilization waveforms (component name -> u(t)). */
+    std::vector<std::pair<std::string, std::function<double(double)>>> loads;
+
+    /** Inlet boundary override for this experiment [degC]. */
+    std::optional<double> inletTemperature;
+
+    /**
+     * Reference temperature series keyed by the Mercury node that
+     * should reproduce them (series are borrowed, not owned).
+     */
+    std::vector<std::pair<std::string, const TimeSeries *>> references;
+};
+
+/** Outcome of a calibration run. */
+struct CalibrationResult
+{
+    core::MachineSpec spec;    //!< tuned machine
+    double initialError = 0.0; //!< mean |dT| before tuning [degC]
+    double finalError = 0.0;   //!< mean |dT| after tuning [degC]
+    int evaluations = 0;       //!< objective evaluations performed
+};
+
+/**
+ * Coordinate-descent calibrator for one machine spec.
+ */
+class Calibrator
+{
+  public:
+    explicit Calibrator(core::MachineSpec base);
+
+    /** Add a calibration experiment (at least one is required). */
+    void addExperiment(Experiment experiment);
+
+    /** Tune the k of this heat edge (must exist in the spec). */
+    void tuneHeatEdge(const std::string &a, const std::string &b);
+
+    /** Also tune the fan's volumetric flow. */
+    void tuneFanCfm();
+
+    /**
+     * Run the optimisation.
+     * @param passes coordinate-descent sweeps over all parameters
+     * @param span multiplicative search range per parameter
+     */
+    CalibrationResult run(int passes = 3, double span = 6.0);
+
+    /** Mean absolute error of a candidate spec over all experiments. */
+    double objective(const core::MachineSpec &candidate) const;
+
+  private:
+    struct Parameter
+    {
+        bool isFan = false;
+        std::string a;
+        std::string b;
+    };
+
+    double getParameter(const core::MachineSpec &spec,
+                        const Parameter &param) const;
+    void setParameter(core::MachineSpec &spec, const Parameter &param,
+                      double value) const;
+
+    core::MachineSpec base_;
+    std::vector<Experiment> experiments_;
+    std::vector<Parameter> parameters_;
+    mutable int evaluations_ = 0;
+};
+
+/**
+ * Run one machine spec through an experiment and return the simulated
+ * series for the requested nodes (used by the figure benches to plot
+ * emulated-vs-real curves).
+ */
+std::vector<TimeSeries>
+simulateExperiment(const core::MachineSpec &spec,
+                   const Experiment &experiment,
+                   const std::vector<std::string> &record_nodes);
+
+} // namespace calib
+} // namespace mercury
+
+#endif // MERCURY_CALIB_CALIBRATOR_HH

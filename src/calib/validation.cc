@@ -1,0 +1,139 @@
+#include "calib/validation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace calib {
+
+namespace {
+
+/** Square wave through the given levels, @p segment seconds each. */
+Waveform
+stepWaveform(std::vector<double> levels, double segment)
+{
+    return [levels = std::move(levels), segment](double t) {
+        size_t index = static_cast<size_t>(t / segment);
+        if (index >= levels.size())
+            index = levels.size() - 1;
+        return levels[index];
+    };
+}
+
+} // namespace
+
+Waveform
+cpuCalibrationWaveform()
+{
+    // 14 segments x 1000 s = 14 000 s: "various levels of utilization
+    // interspersed with idle periods" (Figure 5's staircase).
+    return stepWaveform({0.0, 0.25, 0.0, 0.5, 0.0, 0.75, 0.0, 1.0, 0.0,
+                         0.6, 0.0, 0.9, 0.0, 0.3},
+                        1000.0);
+}
+
+Waveform
+diskCalibrationWaveform()
+{
+    return stepWaveform({0.0, 0.3, 0.0, 0.6, 0.0, 1.0, 0.0, 0.8, 0.0,
+                         0.45, 0.0, 0.9, 0.0, 0.2},
+                        1000.0);
+}
+
+Waveform
+validationCpuWaveform()
+{
+    // Deterministic but "widely different utilizations over time ...
+    // change constantly and quickly": incommensurate sinusoids plus a
+    // fast square component.
+    return [](double t) {
+        double value = 0.5 + 0.30 * std::sin(t / 97.0) +
+                       0.25 * std::sin(t / 31.0 + 1.7) +
+                       (std::fmod(t, 440.0) < 220.0 ? 0.15 : -0.15);
+        return std::clamp(value, 0.0, 1.0);
+    };
+}
+
+Waveform
+validationDiskWaveform()
+{
+    return [](double t) {
+        double value = 0.45 + 0.35 * std::sin(t / 53.0 + 0.4) +
+                       0.25 * std::sin(t / 17.0 + 2.9) +
+                       (std::fmod(t, 610.0) < 305.0 ? -0.12 : 0.12);
+        return std::clamp(value, 0.0, 1.0);
+    };
+}
+
+ReferenceRun
+runReference(const refmodel::ReferenceConfig &config, double duration,
+             const std::vector<std::pair<std::string, Waveform>> &loads,
+             const std::vector<std::string> &probes, bool use_sensors)
+{
+    refmodel::ReferenceServer server(config);
+    ReferenceRun run;
+    for (const auto &[component, waveform] : loads)
+        run.loads.emplace(component, TimeSeries(component));
+    for (const std::string &probe : probes)
+        run.temperatures.emplace(probe, TimeSeries(probe));
+
+    for (double t = 1.0; t <= duration + 1e-9; t += 1.0) {
+        for (const auto &[component, waveform] : loads) {
+            double u = waveform(t - 1.0);
+            server.setUtilization(component, u);
+            run.loads.at(component).add(t, u);
+        }
+        server.step(1.0);
+        for (const std::string &probe : probes) {
+            double value = use_sensors ? server.readSensor(probe)
+                                       : server.trueTemperature(probe);
+            run.temperatures.at(probe).add(t, value);
+        }
+    }
+    return run;
+}
+
+CalibrationResult
+calibrateTable1AgainstReference(const refmodel::ReferenceConfig &config,
+                                bool use_sensors, double duration)
+{
+    // 1. Run the two microbenchmarks on the "real machine".
+    ReferenceRun cpu_run = runReference(
+        config, duration, {{"cpu", cpuCalibrationWaveform()}},
+        {"cpu_air", "disk_platters"}, use_sensors);
+    ReferenceRun disk_run = runReference(
+        config, duration, {{"disk", diskCalibrationWaveform()}},
+        {"cpu_air", "disk_platters"}, use_sensors);
+
+    // 2. Tune the Table 1 constants to reproduce them. The probes map
+    // 1:1 onto Mercury nodes: the paper's external sensor sits in the
+    // CPU air stream, the in-disk sensor next to the platters.
+    Calibrator calibrator(core::table1Server());
+
+    Experiment cpu_experiment;
+    cpu_experiment.duration = duration;
+    cpu_experiment.loads.emplace_back("cpu", cpuCalibrationWaveform());
+    cpu_experiment.references.emplace_back(
+        "cpu_air", &cpu_run.temperatures.at("cpu_air"));
+    calibrator.addExperiment(std::move(cpu_experiment));
+
+    Experiment disk_experiment;
+    disk_experiment.duration = duration;
+    disk_experiment.loads.emplace_back("disk_platters",
+                                       diskCalibrationWaveform());
+    disk_experiment.references.emplace_back(
+        "disk_platters", &disk_run.temperatures.at("disk_platters"));
+    calibrator.addExperiment(std::move(disk_experiment));
+
+    calibrator.tuneHeatEdge("cpu", "cpu_air");
+    calibrator.tuneHeatEdge("disk_platters", "disk_shell");
+    calibrator.tuneHeatEdge("disk_shell", "disk_air");
+    calibrator.tuneHeatEdge("motherboard", "void_air");
+
+    return calibrator.run(2);
+}
+
+} // namespace calib
+} // namespace mercury

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Section 3.1 validation methodology, packaged for reuse by the
+ * tests and the figure benches:
+ *
+ *  - the CPU and disk calibration microbenchmarks (Figures 5 and 6):
+ *    square waves through several utilization levels interspersed
+ *    with idle periods, 14 000 s long;
+ *  - the "more challenging benchmark" of Figures 7 and 8: CPU and
+ *    disk exercised simultaneously with widely and quickly varying
+ *    utilizations, 5 000 s long;
+ *  - reference runs: drive the high-fidelity ReferenceServer through a
+ *    load schedule and record its (optionally noisy) sensors;
+ *  - the end-to-end calibration recipe: tune the Table 1 machine's
+ *    heat constants against the two microbenchmark reference runs.
+ */
+
+#ifndef MERCURY_CALIB_VALIDATION_HH
+#define MERCURY_CALIB_VALIDATION_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.hh"
+#include "refmodel/reference_server.hh"
+#include "util/stats.hh"
+
+namespace mercury {
+namespace calib {
+
+/** Utilization as a function of time [s]. */
+using Waveform = std::function<double(double)>;
+
+/** Figure 5's CPU microbenchmark: utilization steps with idle gaps. */
+Waveform cpuCalibrationWaveform();
+
+/** Figure 6's disk microbenchmark. */
+Waveform diskCalibrationWaveform();
+
+/** Figures 7-8: rapidly varying CPU load (deterministic). */
+Waveform validationCpuWaveform();
+
+/** Figures 7-8: rapidly varying disk load, uncorrelated with the CPU. */
+Waveform validationDiskWaveform();
+
+/** Duration of the calibration microbenchmarks [s] (paper: 14 000). */
+inline constexpr double kCalibrationDuration = 14000.0;
+
+/** Duration of the validation benchmark [s] (paper: 5 000). */
+inline constexpr double kValidationDuration = 5000.0;
+
+/** A recorded reference run. */
+struct ReferenceRun
+{
+    /** Utilization series per component. */
+    std::map<std::string, TimeSeries> loads;
+
+    /** Temperature series per probe. */
+    std::map<std::string, TimeSeries> temperatures;
+};
+
+/**
+ * Drive a ReferenceServer through @p loads for @p duration seconds
+ * (1 Hz sampling) and record @p probes.
+ *
+ * @param use_sensors read through the noisy/quantized/lagged sensors
+ * (what a real experimenter gets) instead of the exact state.
+ */
+ReferenceRun
+runReference(const refmodel::ReferenceConfig &config, double duration,
+             const std::vector<std::pair<std::string, Waveform>> &loads,
+             const std::vector<std::string> &probes, bool use_sensors);
+
+/**
+ * The full Section 3.1 calibration: run the CPU and disk
+ * microbenchmarks on the reference machine, then tune the Table 1
+ * spec's four main heat constants (cpu--cpu_air, disk_platters--
+ * disk_shell, disk_shell--disk_air, motherboard--void_air) to match
+ * the cpu_air and disk_platters reference probes.
+ */
+CalibrationResult
+calibrateTable1AgainstReference(const refmodel::ReferenceConfig &config,
+                                bool use_sensors = true,
+                                double duration = kCalibrationDuration);
+
+} // namespace calib
+} // namespace mercury
+
+#endif // MERCURY_CALIB_VALIDATION_HH

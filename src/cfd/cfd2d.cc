@@ -1,0 +1,404 @@
+#include "cfd/cfd2d.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace cfd {
+
+namespace {
+
+/** Thermal conductivity of air [W/(m K)]. */
+constexpr double kAirConductivity = 0.0262;
+
+} // namespace
+
+CfdCase
+serverCase(double cpu_power, double disk_power, double ps_power)
+{
+    CfdCase geometry;
+    geometry.width = 0.40;
+    geometry.height = 0.15;
+    geometry.depth = 0.15;
+    geometry.cell = 0.005;
+    geometry.inletTemperature = 21.6;
+    geometry.inletVelocity = 0.5;
+
+    // Disk near the inlet, upper band; power supply near the inlet,
+    // lower band; CPU (with heat sink -> higher effective
+    // conductivity) mid-case, downstream, in the middle channel
+    // between the two so its air is mostly fresh inlet flow.
+    geometry.blocks.push_back(
+        {"disk", 0.06, 0.095, 0.14, 0.140, disk_power, 20.0});
+    geometry.blocks.push_back(
+        {"ps", 0.05, 0.012, 0.15, 0.062, ps_power, 15.0});
+    geometry.blocks.push_back(
+        {"cpu", 0.22, 0.063, 0.26, 0.093, cpu_power, 40.0});
+    return geometry;
+}
+
+CfdSolver::CfdSolver(CfdCase geometry)
+    : case_(std::move(geometry))
+{
+    if (case_.cell <= 0.0 || case_.width <= 0.0 || case_.height <= 0.0)
+        MERCURY_PANIC("CfdSolver: bad geometry");
+    nx_ = static_cast<int>(std::lround(case_.width / case_.cell));
+    ny_ = static_cast<int>(std::lround(case_.height / case_.cell));
+    if (nx_ < 4 || ny_ < 4)
+        MERCURY_PANIC("CfdSolver: grid too coarse");
+    discretize();
+}
+
+void
+CfdSolver::discretize()
+{
+    const double dx = case_.cell;
+    blockId_.assign(static_cast<size_t>(nx_ * ny_), -1);
+    temp_.assign(static_cast<size_t>(nx_ * ny_), case_.inletTemperature);
+
+    for (size_t b = 0; b < case_.blocks.size(); ++b) {
+        const Block &block = case_.blocks[b];
+        for (int j = 0; j < ny_; ++j) {
+            for (int i = 0; i < nx_; ++i) {
+                double xc = (i + 0.5) * dx;
+                double yc = (j + 0.5) * dx;
+                if (xc >= block.x0 && xc <= block.x1 && yc >= block.y0 &&
+                    yc <= block.y1) {
+                    if (blockId_[index(i, j)] != -1)
+                        MERCURY_PANIC("CfdSolver: blocks overlap at cell ",
+                                      i, ",", j);
+                    blockId_[index(i, j)] = static_cast<int>(b);
+                }
+            }
+        }
+    }
+
+    // Streamfunction psi on the (nx_+1) x (ny_+1) grid corners. On a
+    // vertical grid line, psi rises by an equal share of the total
+    // flux across every *open* cell edge (open = air on both adjacent
+    // columns) and stays flat across blocked ones: u = dpsi/dy,
+    // v = -dpsi/dx, which conserves mass identically and keeps solid
+    // cells velocity-free.
+    const double total_flux = case_.inletVelocity * case_.height; // m^2/s
+    std::vector<double> psi(static_cast<size_t>((nx_ + 1) * (ny_ + 1)),
+                            0.0);
+    auto psi_at = [&](int i, int j) -> double & {
+        return psi[static_cast<size_t>(j * (nx_ + 1) + i)];
+    };
+    auto edge_open = [&](int line, int j) {
+        // The vertical edge on grid line `line` beside row j is open
+        // when the cells on both sides are air (boundary lines use the
+        // single adjacent column).
+        bool left_air = line == 0 || blockIdAt(line - 1, j) == -1;
+        bool right_air = line == nx_ || blockIdAt(line, j) == -1;
+        return left_air && right_air;
+    };
+    for (int line = 0; line <= nx_; ++line) {
+        int open = 0;
+        for (int j = 0; j < ny_; ++j) {
+            if (edge_open(line, j))
+                ++open;
+        }
+        if (open == 0)
+            MERCURY_PANIC("CfdSolver: a column is fully blocked");
+        double share = total_flux / static_cast<double>(open);
+        psi_at(line, 0) = 0.0;
+        for (int j = 0; j < ny_; ++j) {
+            psi_at(line, j + 1) =
+                psi_at(line, j) + (edge_open(line, j) ? share : 0.0);
+        }
+    }
+
+    // Face velocities from the streamfunction.
+    uFace_.assign(static_cast<size_t>((nx_ + 1) * ny_), 0.0);
+    vFace_.assign(static_cast<size_t>(nx_ * (ny_ + 1)), 0.0);
+    for (int line = 0; line <= nx_; ++line) {
+        for (int j = 0; j < ny_; ++j) {
+            uFace_[static_cast<size_t>(j * (nx_ + 1) + line)] =
+                (psi_at(line, j + 1) - psi_at(line, j)) / dx;
+        }
+    }
+    for (int i = 0; i < nx_; ++i) {
+        for (int j = 0; j <= ny_; ++j) {
+            vFace_[static_cast<size_t>(j * nx_ + i)] =
+                -(psi_at(i + 1, j) - psi_at(i, j)) / dx;
+        }
+    }
+}
+
+SolveStats
+CfdSolver::solve(int max_iterations, double tolerance)
+{
+    const double dx = case_.cell;
+    const double rho_c = units::kAirDensity * units::kAirSpecificHeat;
+    // Plain Gauss-Seidel: the upwind advection matrix is only weakly
+    // diagonally dominant and non-symmetric, so over-relaxation can
+    // diverge. Sweeping along the flow direction converges quickly.
+    const double omega = 1.0;
+
+    auto conductivity = [&](int i, int j) {
+        int id = blockIdAt(i, j);
+        return id < 0 ? kAirConductivity : case_.blocks[id].conductivity;
+    };
+    auto harmonic = [](double a, double b) {
+        return 2.0 * a * b / (a + b);
+    };
+    auto u_at = [&](int line, int j) {
+        return uFace_[static_cast<size_t>(j * (nx_ + 1) + line)];
+    };
+    auto v_at = [&](int i, int j) {
+        return vFace_[static_cast<size_t>(j * nx_ + i)];
+    };
+
+    // Per-cell volumetric source, expressed per unit depth [W/m].
+    std::vector<double> source(static_cast<size_t>(nx_ * ny_), 0.0);
+    std::vector<int> block_cells(case_.blocks.size(), 0);
+    for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+            int id = blockIdAt(i, j);
+            if (id >= 0)
+                ++block_cells[id];
+        }
+    }
+    for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+            int id = blockIdAt(i, j);
+            if (id >= 0) {
+                source[index(i, j)] =
+                    case_.blocks[id].power / case_.depth /
+                    static_cast<double>(block_cells[id]);
+            }
+        }
+    }
+
+    SolveStats stats;
+    for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        double worst = 0.0;
+        for (int i = 0; i < nx_; ++i) { // sweep along the flow
+            for (int j = 0; j < ny_; ++j) {
+                // Standard upwind finite volumes. Writing F_out for a
+                // face's *outward* advective flux, the neighbour
+                // coefficient is D + max(-F_out, 0) (heat arriving
+                // with T_nb) and a_P collects D + max(F_out, 0) (heat
+                // leaving with T_P). Face velocities u/v are positive
+                // east/north, so F_out = -F on the west/south faces
+                // and +F on the east/north faces.
+                double kP = conductivity(i, j);
+                double a_p = 0.0;
+                double rhs = source[index(i, j)];
+
+                // West face (u positive = inflow into P).
+                double Fw = rho_c * u_at(i, j) * dx;
+                if (i > 0) {
+                    double D = harmonic(kP, conductivity(i - 1, j));
+                    double a_nb = D + std::max(Fw, 0.0);
+                    a_p += D + std::max(-Fw, 0.0);
+                    rhs += a_nb * temp_[index(i - 1, j)];
+                } else {
+                    // Inlet: Dirichlet at T_in across a half cell.
+                    double a_nb = 2.0 * kP + std::max(Fw, 0.0);
+                    a_p += 2.0 * kP + std::max(-Fw, 0.0);
+                    rhs += a_nb * case_.inletTemperature;
+                }
+
+                // East face (u positive = outflow from P).
+                double Fe = rho_c * u_at(i + 1, j) * dx;
+                if (i < nx_ - 1) {
+                    double D = harmonic(kP, conductivity(i + 1, j));
+                    double a_nb = D + std::max(-Fe, 0.0);
+                    a_p += D + std::max(Fe, 0.0);
+                    rhs += a_nb * temp_[index(i + 1, j)];
+                } else {
+                    // Outflow boundary: advection leaves with T_P.
+                    a_p += std::max(Fe, 0.0);
+                }
+
+                // South face (v positive = inflow into P).
+                double Fs = rho_c * v_at(i, j) * dx;
+                if (j > 0) {
+                    double D = harmonic(kP, conductivity(i, j - 1));
+                    double a_nb = D + std::max(Fs, 0.0);
+                    a_p += D + std::max(-Fs, 0.0);
+                    rhs += a_nb * temp_[index(i, j - 1)];
+                }
+
+                // North face (v positive = outflow from P).
+                double Fn = rho_c * v_at(i, j + 1) * dx;
+                if (j < ny_ - 1) {
+                    double D = harmonic(kP, conductivity(i, j + 1));
+                    double a_nb = D + std::max(-Fn, 0.0);
+                    a_p += D + std::max(Fn, 0.0);
+                    rhs += a_nb * temp_[index(i, j + 1)];
+                }
+
+                if (a_p <= 0.0)
+                    MERCURY_PANIC("CfdSolver: singular cell ", i, ",", j);
+                double updated = rhs / a_p;
+                double &cell = temp_[index(i, j)];
+                double next = cell + omega * (updated - cell);
+                worst = std::max(worst, std::abs(next - cell));
+                cell = next;
+            }
+        }
+        stats.iterations = iteration + 1;
+        stats.residual = worst;
+        if (worst < tolerance) {
+            stats.converged = true;
+            break;
+        }
+    }
+    solved_ = true;
+    return stats;
+}
+
+double
+CfdSolver::temperature(int i, int j) const
+{
+    return temp_[index(i, j)];
+}
+
+bool
+CfdSolver::isSolid(int i, int j) const
+{
+    return blockIdAt(i, j) >= 0;
+}
+
+const Block &
+CfdSolver::findBlock(const std::string &name) const
+{
+    for (const Block &block : case_.blocks) {
+        if (block.name == name)
+            return block;
+    }
+    MERCURY_PANIC("CfdSolver: unknown block '", name, "'");
+}
+
+double
+CfdSolver::blockMeanTemperature(const std::string &name) const
+{
+    const Block &block = findBlock(name);
+    int id = static_cast<int>(&block - case_.blocks.data());
+    double sum = 0.0;
+    int count = 0;
+    for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+            if (blockIdAt(i, j) == id) {
+                sum += temp_[index(i, j)];
+                ++count;
+            }
+        }
+    }
+    return count ? sum / count : case_.inletTemperature;
+}
+
+double
+CfdSolver::blockMaxTemperature(const std::string &name) const
+{
+    const Block &block = findBlock(name);
+    int id = static_cast<int>(&block - case_.blocks.data());
+    double worst = case_.inletTemperature;
+    for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+            if (blockIdAt(i, j) == id)
+                worst = std::max(worst, temp_[index(i, j)]);
+        }
+    }
+    return worst;
+}
+
+double
+CfdSolver::airTemperatureNear(const std::string &name) const
+{
+    const Block &block = findBlock(name);
+    int id = static_cast<int>(&block - case_.blocks.data());
+    double sum = 0.0;
+    int count = 0;
+    auto visit = [&](int i, int j) {
+        if (i < 0 || i >= nx_ || j < 0 || j >= ny_)
+            return;
+        if (blockIdAt(i, j) == -1) {
+            sum += temp_[index(i, j)];
+            ++count;
+        }
+    };
+    for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+            if (blockIdAt(i, j) != id)
+                continue;
+            visit(i - 1, j);
+            visit(i + 1, j);
+            visit(i, j - 1);
+            visit(i, j + 1);
+        }
+    }
+    return count ? sum / count : case_.inletTemperature;
+}
+
+double
+CfdSolver::effectiveK(const std::string &name) const
+{
+    const Block &block = findBlock(name);
+    double delta =
+        blockMeanTemperature(name) - airTemperatureNear(name);
+    if (delta <= 1e-9)
+        return 0.0;
+    return block.power / delta;
+}
+
+double
+CfdSolver::heatCarryingFraction(const std::string &name) const
+{
+    const Block &block = findBlock(name);
+    double rise = airTemperatureNear(name) - case_.inletTemperature;
+    if (rise <= 1e-9)
+        return 1.0;
+    double fraction = block.power /
+                      (massFlow() * units::kAirSpecificHeat * rise);
+    return std::clamp(fraction, 0.01, 1.0);
+}
+
+double
+CfdSolver::outletMeanTemperature() const
+{
+    // Flux-weighted mean across the east boundary.
+    double flux_sum = 0.0;
+    double weighted = 0.0;
+    for (int j = 0; j < ny_; ++j) {
+        double u = uFace_[static_cast<size_t>(j * (nx_ + 1) + nx_)];
+        if (u <= 0.0)
+            continue;
+        flux_sum += u;
+        weighted += u * temp_[index(nx_ - 1, j)];
+    }
+    return flux_sum > 0.0 ? weighted / flux_sum : case_.inletTemperature;
+}
+
+double
+CfdSolver::massFlow() const
+{
+    return units::kAirDensity * case_.inletVelocity * case_.height *
+           case_.depth;
+}
+
+void
+CfdSolver::writeFieldCsv(std::ostream &out) const
+{
+    out << "x_m,y_m,temperature_C,solid\n";
+    char buf[96];
+    for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+            std::snprintf(buf, sizeof(buf), "%.4f,%.4f,%.4f,%d\n",
+                          (i + 0.5) * case_.cell, (j + 0.5) * case_.cell,
+                          temp_[index(i, j)], isSolid(i, j) ? 1 : 0);
+            out << buf;
+        }
+    }
+}
+
+} // namespace cfd
+} // namespace mercury

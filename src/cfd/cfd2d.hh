@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The commercial-CFD substitute for Section 3.2's validation.
+ *
+ * The paper models "a 2D description of a server case, with a CPU, a
+ * disk, and a power supply" in Fluent, lets Fluent compute the
+ * heat-transfer properties of the material-to-air boundaries, feeds
+ * those constants into Mercury, and compares steady-state temperatures
+ * for 14 fixed power combinations.
+ *
+ * This module provides the same capability from scratch: a 2-D
+ * finite-volume steady solver for advection-diffusion of heat,
+ *
+ *     div(k grad T) - rho c u . grad T + q = 0,
+ *
+ * on a uniform grid over a server-case cross-section containing solid
+ * blocks with volumetric heat sources. The air velocity field is
+ * derived from a streamfunction that distributes the inlet flux across
+ * the open cells of every column, which is mass-conserving by
+ * construction; advection is first-order upwind; the linear system is
+ * solved by SOR sweeps ordered along the flow.
+ */
+
+#ifndef MERCURY_CFD_CFD2D_HH
+#define MERCURY_CFD_CFD2D_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mercury {
+namespace cfd {
+
+/** A rectangular solid block with a uniform volumetric heat source. */
+struct Block
+{
+    std::string name;
+    double x0 = 0.0, y0 = 0.0; //!< lower-left corner [m]
+    double x1 = 0.0, y1 = 0.0; //!< upper-right corner [m]
+    double power = 0.0;        //!< total dissipation [W]
+    double conductivity = 15.0; //!< effective solid conductivity [W/mK]
+};
+
+/** Geometry and boundary conditions of one case. */
+struct CfdCase
+{
+    double width = 0.40;  //!< x extent [m] (flow direction)
+    double height = 0.15; //!< y extent [m]
+    double depth = 0.15;  //!< assumed case depth [m] for W -> W/m
+    double cell = 0.005;  //!< grid spacing [m]
+    double inletTemperature = 21.6; //!< degC at the left boundary
+    double inletVelocity = 0.5;     //!< uniform inlet speed [m/s]
+    std::vector<Block> blocks;
+};
+
+/**
+ * The 2-D server case of Section 3.2: disk near the inlet top, power
+ * supply near the inlet bottom, CPU mid-case downstream.
+ */
+CfdCase serverCase(double cpu_power, double disk_power, double ps_power);
+
+/** Convergence report. */
+struct SolveStats
+{
+    int iterations = 0;
+    double residual = 0.0; //!< max |dT| of the final sweep [degC]
+    bool converged = false;
+};
+
+/**
+ * Steady-state solver over one CfdCase.
+ */
+class CfdSolver
+{
+  public:
+    explicit CfdSolver(CfdCase geometry);
+
+    /** Run SOR sweeps until the update drops below @p tolerance. */
+    SolveStats solve(int max_iterations = 40000, double tolerance = 1e-6);
+
+    /** @name Field access */
+    /// @{
+    int nx() const { return nx_; }
+    int ny() const { return ny_; }
+    double temperature(int i, int j) const;
+    bool isSolid(int i, int j) const;
+    /// @}
+
+    /** @name Block summaries (inputs to Mercury calibration) */
+    /// @{
+    double blockMeanTemperature(const std::string &name) const;
+    double blockMaxTemperature(const std::string &name) const;
+
+    /** Mean temperature of the air cells adjacent to the block. */
+    double airTemperatureNear(const std::string &name) const;
+
+    /**
+     * Effective boundary heat-transfer constant [W/K]:
+     * power / (T_block_mean - T_adjacent_air). This is what the paper
+     * "entered as input" into Mercury.
+     */
+    double effectiveK(const std::string &name) const;
+
+    /**
+     * Fraction of the inlet mass flow that carries the block's heat:
+     * power / (mdot_total c (T_near - T_inlet)), clamped to (0, 1].
+     * Used to label Mercury's air-flow edges for the 2-D case.
+     */
+    double heatCarryingFraction(const std::string &name) const;
+    /// @}
+
+    /** Flux-weighted outlet air temperature [degC]. */
+    double outletMeanTemperature() const;
+
+    /** Total inlet mass flow per the 2-D assumptions [kg/s]. */
+    double massFlow() const;
+
+    /**
+     * Dump the temperature field as CSV (x_m, y_m, temperature_C,
+     * solid) for external plotting of the Section 3.2 case.
+     */
+    void writeFieldCsv(std::ostream &out) const;
+
+  private:
+    int index(int i, int j) const { return j * nx_ + i; }
+    int blockIdAt(int i, int j) const { return blockId_[index(i, j)]; }
+    const Block &findBlock(const std::string &name) const;
+
+    /** Build blockId_, velocities and coefficients. */
+    void discretize();
+
+    CfdCase case_;
+    int nx_ = 0;
+    int ny_ = 0;
+    std::vector<int> blockId_;  //!< -1 = air, else index into blocks
+    std::vector<double> temp_;  //!< cell temperatures
+    std::vector<double> uFace_; //!< x velocity at west face of cell
+    std::vector<double> vFace_; //!< y velocity at south face of cell
+    bool solved_ = false;
+};
+
+} // namespace cfd
+} // namespace mercury
+
+#endif // MERCURY_CFD_CFD2D_HH

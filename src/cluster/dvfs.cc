@@ -1,0 +1,70 @@
+#include "cluster/dvfs.hh"
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace cluster {
+
+DvfsGovernor::DvfsGovernor(sim::Simulator &simulator, ServerMachine &machine,
+                           ReadTemperatureFn read, ApplyFrequencyFn apply,
+                           DvfsConfig config)
+    : simulator_(simulator), machine_(machine), read_(std::move(read)),
+      applyFn_(std::move(apply)), config_(std::move(config))
+{
+    if (!read_)
+        MERCURY_PANIC("DvfsGovernor: temperature reader required");
+    if (config_.frequencies.empty())
+        MERCURY_PANIC("DvfsGovernor: empty frequency ladder");
+    for (size_t i = 1; i < config_.frequencies.size(); ++i) {
+        if (config_.frequencies[i] <= config_.frequencies[i - 1])
+            MERCURY_PANIC("DvfsGovernor: ladder must ascend");
+    }
+    if (config_.releaseTemperature >= config_.triggerTemperature)
+        MERCURY_PANIC("DvfsGovernor: release must sit below trigger");
+    level_ = static_cast<int>(config_.frequencies.size()) - 1;
+    applyLevel();
+}
+
+double
+DvfsGovernor::frequency() const
+{
+    return config_.frequencies[static_cast<size_t>(level_)];
+}
+
+void
+DvfsGovernor::applyLevel()
+{
+    machine_.setCpuSpeed(frequency());
+    if (applyFn_)
+        applyFn_(frequency());
+}
+
+void
+DvfsGovernor::evaluate()
+{
+    double temperature = read_();
+    int top = static_cast<int>(config_.frequencies.size()) - 1;
+    if (temperature > config_.triggerTemperature && level_ > 0) {
+        --level_;
+        ++throttleEvents_;
+        applyLevel();
+    } else if (temperature < config_.releaseTemperature && level_ < top) {
+        ++level_;
+        applyLevel();
+    }
+}
+
+void
+DvfsGovernor::start()
+{
+    if (started_)
+        MERCURY_PANIC("DvfsGovernor: start() called twice");
+    started_ = true;
+    simulator_.every(sim::seconds(config_.periodSeconds), [this] {
+        evaluate();
+        return true;
+    });
+}
+
+} // namespace cluster
+} // namespace mercury

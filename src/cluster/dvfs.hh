@@ -1,0 +1,93 @@
+/**
+ * @file
+ * CPU-local thermal management by voltage/frequency scaling — the
+ * hardware technique Section 4.3 contrasts with Freon's "remote
+ * throttling". The governor watches its own CPU temperature and steps
+ * through a discrete frequency ladder: scaling down cuts the CPU's
+ * power draw (~f^3 with voltage tracking frequency) but inflates the
+ * service time of every request, which is precisely the throughput
+ * hazard the paper attributes to local scaling.
+ *
+ * Section 7 notes such behaviours "can be incorporated either
+ * internally or externally (via fiddle)"; this governor is the
+ * internal form and the ablation bench compares it against Freon.
+ */
+
+#ifndef MERCURY_CLUSTER_DVFS_HH
+#define MERCURY_CLUSTER_DVFS_HH
+
+#include <functional>
+#include <vector>
+
+#include "cluster/server_machine.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace cluster {
+
+/** Governor tuning. */
+struct DvfsConfig
+{
+    /** Frequency ladder, relative to nominal, ascending. */
+    std::vector<double> frequencies{0.6, 0.75, 0.9, 1.0};
+
+    /** Step one level down when the CPU exceeds this [degC]. */
+    double triggerTemperature = 74.0;
+
+    /** Step one level up when the CPU drops below this [degC]. */
+    double releaseTemperature = 70.0;
+
+    /** Evaluation period [s]; hardware reacts much faster than
+     *  Freon's one-minute loop. */
+    double periodSeconds = 5.0;
+};
+
+/**
+ * Per-machine DVFS governor.
+ */
+class DvfsGovernor
+{
+  public:
+    /** Reads this machine's CPU temperature [degC]. */
+    using ReadTemperatureFn = std::function<double()>;
+
+    /** Applies a new relative frequency to the thermal model (e.g.
+     *  rescales the Mercury CPU power range). */
+    using ApplyFrequencyFn = std::function<void(double)>;
+
+    DvfsGovernor(sim::Simulator &simulator, ServerMachine &machine,
+                 ReadTemperatureFn read, ApplyFrequencyFn apply,
+                 DvfsConfig config = {});
+
+    /** Begin periodic evaluation. */
+    void start();
+
+    /** One evaluation (exposed for tests). */
+    void evaluate();
+
+    /** Current relative frequency. */
+    double frequency() const;
+
+    /** Ladder index (0 = slowest). */
+    int level() const { return level_; }
+
+    /** Number of downward transitions taken. */
+    uint64_t throttleEvents() const { return throttleEvents_; }
+
+  private:
+    void applyLevel();
+
+    sim::Simulator &simulator_;
+    ServerMachine &machine_;
+    ReadTemperatureFn read_;
+    ApplyFrequencyFn applyFn_;
+    DvfsConfig config_;
+    int level_ = 0;
+    uint64_t throttleEvents_ = 0;
+    bool started_ = false;
+};
+
+} // namespace cluster
+} // namespace mercury
+
+#endif // MERCURY_CLUSTER_DVFS_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Web requests as the cluster simulation sees them. The paper's
+ * workload mixes 70% static content with 30% dynamic CGI requests
+ * that compute for 25 ms and produce a small reply (Section 5).
+ */
+
+#ifndef MERCURY_CLUSTER_REQUEST_HH
+#define MERCURY_CLUSTER_REQUEST_HH
+
+#include <cstdint>
+
+namespace mercury {
+namespace cluster {
+
+/** One HTTP request. */
+struct Request
+{
+    uint64_t id = 0;
+
+    /** Arrival time at the load balancer [s since experiment start]. */
+    double arrivalTime = 0.0;
+
+    /** CPU demand [s] (the paper's CGI script computes for 25 ms). */
+    double cpuSeconds = 0.0;
+
+    /** Disk demand [s]; zero for cached static files. */
+    double diskSeconds = 0.0;
+
+    /** True for dynamic-content (CGI) requests. */
+    bool dynamic = false;
+};
+
+/** Terminal states a request can reach. */
+enum class RequestOutcome {
+    Completed,     //!< served successfully
+    DroppedNoServer,   //!< no enabled server could accept it
+    DroppedOverload,   //!< server queue exceeded its limit
+};
+
+} // namespace cluster
+} // namespace mercury
+
+#endif // MERCURY_CLUSTER_REQUEST_HH

@@ -1,0 +1,108 @@
+#include "cluster/thermal_bridge.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace cluster {
+
+namespace {
+
+/** Samples a simulated ServerMachine for monitord. */
+class ServerSource : public monitor::UtilizationSource
+{
+  public:
+    explicit ServerSource(ServerMachine &server) : server_(server) {}
+
+    std::vector<monitor::Reading>
+    sample(double) override
+    {
+        ServerMachine::UtilizationSample sample =
+            server_.sampleUtilization();
+        return {{"cpu", sample.cpu}, {"disk", sample.disk}};
+    }
+
+  private:
+    ServerMachine &server_;
+};
+
+} // namespace
+
+ThermalBridge::ThermalBridge(sim::Simulator &simulator, core::Solver &solver)
+    : simulator_(simulator), solver_(solver), service_(solver)
+{
+}
+
+void
+ThermalBridge::attach(ServerMachine &server, const core::MachineSpec &spec)
+{
+    if (started_)
+        MERCURY_PANIC("ThermalBridge: attach() after start()");
+    if (server.name() != spec.name)
+        MERCURY_PANIC("ThermalBridge: server '", server.name(),
+                      "' vs spec '", spec.name, "'");
+    if (!solver_.hasMachine(spec.name))
+        MERCURY_PANIC("ThermalBridge: solver has no machine '", spec.name,
+                      "'");
+
+    auto attachment = std::make_unique<Attachment>();
+    attachment->server = &server;
+    attachment->spec = spec;
+    attachment->monitord = std::make_unique<monitor::Monitord>(
+        spec.name, std::make_unique<ServerSource>(server),
+        monitor::Monitord::serviceSink(service_));
+
+    Attachment *raw = attachment.get();
+    server.setStateFn([this, raw](const ServerMachine &,
+                                  PowerState state) {
+        applyPowerState(*raw, state);
+    });
+
+    attachments_.push_back(std::move(attachment));
+}
+
+void
+ThermalBridge::applyPowerState(const Attachment &attachment,
+                               PowerState state)
+{
+    core::ThermalGraph &graph = solver_.machine(attachment.spec.name);
+    bool powered = state != PowerState::Off;
+    for (const core::NodeSpec &node : attachment.spec.nodes) {
+        if (!node.hasPower)
+            continue;
+        if (powered) {
+            graph.setPowerRange(node.name, node.minPower, node.maxPower);
+        } else {
+            // Split the standby trickle across the PSU only; every
+            // other component is fully dark.
+            bool is_psu = node.name == "ps";
+            double standby = is_psu ? kStandbyPower : 0.0;
+            graph.setPowerRange(node.name, standby, standby);
+            graph.setUtilization(node.name, 0.0);
+        }
+    }
+}
+
+void
+ThermalBridge::start(double period_seconds)
+{
+    if (started_)
+        MERCURY_PANIC("ThermalBridge: start() called twice");
+    if (std::abs(period_seconds - solver_.iterationSeconds()) > 1e-9) {
+        MERCURY_PANIC("ThermalBridge: period ", period_seconds,
+                      " does not match solver iteration ",
+                      solver_.iterationSeconds());
+    }
+    started_ = true;
+    simulator_.every(sim::seconds(period_seconds), [this] {
+        double now = simulator_.nowSeconds();
+        for (auto &attachment : attachments_)
+            attachment->monitord->tick(now);
+        solver_.iterate();
+        return true;
+    });
+}
+
+} // namespace cluster
+} // namespace mercury

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Glue between the discrete-event cluster and the Mercury solver.
+ *
+ * In the paper's testbed each server runs monitord, which ships
+ * utilization updates to the solver once per second. Here the same
+ * monitord code runs against a source that samples the simulated
+ * ServerMachine, delivering the same 128-byte packets to the same
+ * SolverService — only the clock is simulated.
+ *
+ * The bridge also models the thermal effect of power cycling: a
+ * machine that Freon-EC powers off stops dissipating (its Mercury
+ * power ranges drop to standby levels), which is what lets the paper's
+ * Figure 12 machines cool by ~10 degC while off.
+ */
+
+#ifndef MERCURY_CLUSTER_THERMAL_BRIDGE_HH
+#define MERCURY_CLUSTER_THERMAL_BRIDGE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/server_machine.hh"
+#include "core/solver.hh"
+#include "core/spec.hh"
+#include "monitor/monitord.hh"
+#include "proto/solver_service.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace cluster {
+
+/**
+ * Couples ServerMachines to a Solver inside one simulation.
+ */
+class ThermalBridge
+{
+  public:
+    /** Standby power once a machine is off [W] (PSU trickle). */
+    static constexpr double kStandbyPower = 2.0;
+
+    ThermalBridge(sim::Simulator &simulator, core::Solver &solver);
+
+    /**
+     * Couple one server to its Mercury machine model. @p spec must be
+     * the spec the machine was added to the solver with (it supplies
+     * the powered nodes' nominal ranges for restore-on-boot).
+     */
+    void attach(ServerMachine &server, const core::MachineSpec &spec);
+
+    /**
+     * Start the once-per-period sampling/iteration loop. The period
+     * must match the solver's iteration period.
+     */
+    void start(double period_seconds = 1.0);
+
+    /** The message-level service (for sensor clients / tempd). */
+    proto::SolverService &service() { return service_; }
+
+    core::Solver &solver() { return solver_; }
+
+  private:
+    struct Attachment
+    {
+        ServerMachine *server = nullptr;
+        core::MachineSpec spec;
+        std::unique_ptr<monitor::Monitord> monitord;
+    };
+
+    void applyPowerState(const Attachment &attachment, PowerState state);
+
+    sim::Simulator &simulator_;
+    core::Solver &solver_;
+    proto::SolverService service_;
+    std::vector<std::unique_ptr<Attachment>> attachments_;
+    bool started_ = false;
+};
+
+} // namespace cluster
+} // namespace mercury
+
+#endif // MERCURY_CLUSTER_THERMAL_BRIDGE_HH

@@ -1,0 +1,51 @@
+#include "core/fan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/thermal_graph.hh"
+#include "util/logging.hh"
+
+namespace mercury {
+namespace core {
+
+double
+FanCurve::cfmFor(double temperature) const
+{
+    if (temperature <= lowTemperature)
+        return minCfm;
+    if (temperature >= highTemperature)
+        return maxCfm;
+    double alpha = (temperature - lowTemperature) /
+                   (highTemperature - lowTemperature);
+    return minCfm + alpha * (maxCfm - minCfm);
+}
+
+FanController::FanController(ThermalGraph &graph, std::string control_node,
+                             FanCurve curve)
+    : graph_(graph), controlNode_(std::move(control_node)), curve_(curve)
+{
+    if (!graph_.tryNodeId(controlNode_)) {
+        MERCURY_PANIC("FanController: machine '", graph_.name(),
+                      "' has no node '", controlNode_, "'");
+    }
+    if (curve_.highTemperature <= curve_.lowTemperature ||
+        curve_.maxCfm < curve_.minCfm || curve_.minCfm < 0.0) {
+        MERCURY_PANIC("FanController: malformed fan curve");
+    }
+    currentCfm_ = curve_.cfmFor(graph_.temperature(controlNode_));
+    graph_.setFanCfm(currentCfm_);
+}
+
+void
+FanController::update()
+{
+    double target = curve_.cfmFor(graph_.temperature(controlNode_));
+    if (std::abs(target - currentCfm_) < curve_.hysteresisCfm)
+        return;
+    currentCfm_ = target;
+    graph_.setFanCfm(currentCfm_);
+}
+
+} // namespace core
+} // namespace mercury

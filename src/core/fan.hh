@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Variable-speed fans — one of the paper's Section 7 extensions:
+ * "we are currently extending our models to consider clock throttling
+ * and variable-speed fans. Modeling ... variable-speed fans is
+ * actually fairly simple, since these behaviors are well-defined and
+ * essentially depend on temperature, which Mercury emulates."
+ *
+ * A FanController maps a control temperature (typically the CPU's)
+ * onto a fan speed with a linear ramp between two set-points plus
+ * hysteresis, and writes the resulting CFM into the machine's thermal
+ * graph every solver iteration — which re-derives all air mass flows,
+ * exactly as a BIOS fan curve would.
+ */
+
+#ifndef MERCURY_CORE_FAN_HH
+#define MERCURY_CORE_FAN_HH
+
+#include <string>
+
+namespace mercury {
+namespace core {
+
+class ThermalGraph;
+class Solver;
+
+/** A BIOS-style fan curve with hysteresis. */
+struct FanCurve
+{
+    /** Below this control temperature the fan idles [degC]. */
+    double lowTemperature = 35.0;
+
+    /** At/above this temperature the fan runs flat out [degC]. */
+    double highTemperature = 65.0;
+
+    /** Idle and maximum volumetric flows [CFM]. */
+    double minCfm = 15.0;
+    double maxCfm = 55.0;
+
+    /** Speed changes smaller than this are suppressed (hysteresis,
+     *  so the emulation does not chatter) [CFM]. */
+    double hysteresisCfm = 1.0;
+
+    /** Flow for a control temperature, on the linear ramp. */
+    double cfmFor(double temperature) const;
+};
+
+/**
+ * Drives one machine's fan from one of its node temperatures.
+ */
+class FanController
+{
+  public:
+    /**
+     * @param graph the machine (borrowed; must outlive the controller)
+     * @param control_node node whose temperature steers the fan
+     */
+    FanController(ThermalGraph &graph, std::string control_node,
+                  FanCurve curve = {});
+
+    /** Recompute and apply the fan speed; call once per iteration. */
+    void update();
+
+    /** Last applied flow [CFM]. */
+    double currentCfm() const { return currentCfm_; }
+
+    const FanCurve &curve() const { return curve_; }
+
+  private:
+    ThermalGraph &graph_;
+    std::string controlNode_;
+    FanCurve curve_;
+    double currentCfm_ = 0.0;
+};
+
+} // namespace core
+} // namespace mercury
+
+#endif // MERCURY_CORE_FAN_HH

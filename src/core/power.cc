@@ -1,0 +1,134 @@
+#include "core/power.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace core {
+
+LinearPowerModel::LinearPowerModel(double p_base, double p_max)
+    : pBase_(p_base), pMax_(p_max)
+{
+    if (p_base < 0.0 || p_max < p_base)
+        MERCURY_PANIC("LinearPowerModel: bad range [", p_base, ", ",
+                      p_max, "]");
+}
+
+double
+LinearPowerModel::power(double utilization) const
+{
+    double u = std::clamp(utilization, 0.0, 1.0);
+    return pBase_ + u * (pMax_ - pBase_);
+}
+
+void
+LinearPowerModel::setRange(double p_base, double p_max)
+{
+    if (p_base < 0.0 || p_max < p_base)
+        MERCURY_PANIC("LinearPowerModel::setRange: bad range [", p_base,
+                      ", ", p_max, "]");
+    pBase_ = p_base;
+    pMax_ = p_max;
+}
+
+TablePowerModel::TablePowerModel(
+    std::vector<std::pair<double, double>> points)
+    : points_(std::move(points))
+{
+    if (points_.size() < 2)
+        MERCURY_PANIC("TablePowerModel: need at least two points");
+    for (size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].first <= points_[i - 1].first)
+            MERCURY_PANIC("TablePowerModel: non-increasing utilizations");
+    }
+    if (points_.front().first > 0.0 || points_.back().first < 1.0)
+        MERCURY_PANIC("TablePowerModel: points must cover [0, 1]");
+}
+
+double
+TablePowerModel::power(double utilization) const
+{
+    double u = std::clamp(utilization, 0.0, 1.0);
+    auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                               [](const auto &pt, double value) {
+                                   return pt.first < value;
+                               });
+    if (it == points_.begin())
+        return it->second;
+    if (it == points_.end())
+        return points_.back().second;
+    auto lo = *(it - 1);
+    auto hi = *it;
+    double span = hi.first - lo.first;
+    double alpha = span > 0.0 ? (u - lo.first) / span : 1.0;
+    return lo.second + alpha * (hi.second - lo.second);
+}
+
+PerfCounterPowerModel::PerfCounterPowerModel(std::vector<EventClass> events,
+                                             double p_base, double p_max)
+    : events_(std::move(events)), pBase_(p_base), pMax_(p_max)
+{
+    if (events_.empty())
+        MERCURY_PANIC("PerfCounterPowerModel: no event classes");
+    if (p_base < 0.0 || p_max <= p_base)
+        MERCURY_PANIC("PerfCounterPowerModel: bad power range [", p_base,
+                      ", ", p_max, "]");
+    for (const EventClass &event : events_) {
+        if (event.nanojoulesPerEvent < 0.0)
+            MERCURY_PANIC("PerfCounterPowerModel: negative energy for ",
+                          event.name);
+    }
+}
+
+double
+PerfCounterPowerModel::intervalEnergy(const std::vector<uint64_t> &counts,
+                                      double interval_seconds) const
+{
+    if (counts.size() != events_.size()) {
+        MERCURY_PANIC("PerfCounterPowerModel: got ", counts.size(),
+                      " counts for ", events_.size(), " event classes");
+    }
+    if (interval_seconds <= 0.0)
+        MERCURY_PANIC("PerfCounterPowerModel: non-positive interval");
+    double joules = pBase_ * interval_seconds;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        joules += static_cast<double>(counts[i]) *
+                  events_[i].nanojoulesPerEvent * 1e-9;
+    }
+    return joules;
+}
+
+double
+PerfCounterPowerModel::intervalPower(const std::vector<uint64_t> &counts,
+                                     double interval_seconds) const
+{
+    return intervalEnergy(counts, interval_seconds) / interval_seconds;
+}
+
+double
+PerfCounterPowerModel::lowLevelUtilization(double average_power) const
+{
+    double u = (average_power - pBase_) / (pMax_ - pBase_);
+    return std::clamp(u, 0.0, 1.0);
+}
+
+PerfCounterPowerModel
+pentium4CounterModel(double p_base, double p_max)
+{
+    // Event energies loosely follow the event-driven accounting
+    // literature: memory traffic costs far more per event than retired
+    // micro-ops. Magnitudes are chosen so a fully loaded synthetic P4
+    // (~2e9 uops/s plus cache/memory traffic) lands near p_max.
+    std::vector<PerfCounterPowerModel::EventClass> events{
+        {"uops_retired", 8.0},
+        {"l2_misses", 120.0},
+        {"memory_transactions", 320.0},
+        {"branch_mispredicts", 40.0},
+    };
+    return PerfCounterPowerModel(std::move(events), p_base, p_max);
+}
+
+} // namespace core
+} // namespace mercury

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Component power models (Section 2.1, equations 3-4).
+ *
+ * The default model is linear in the component's high-level
+ * utilization: P(u) = Pbase + u (Pmax - Pbase). The paper notes this
+ * can be replaced per component; we also provide a piecewise-linear
+ * table model and the performance-counter model the authors built for
+ * the Pentium 4 (Section 2.3), which maps observed event counts to an
+ * energy estimate and back to a "low-level utilization".
+ */
+
+#ifndef MERCURY_CORE_POWER_HH
+#define MERCURY_CORE_POWER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mercury {
+namespace core {
+
+/**
+ * Maps a utilization in [0, 1] to average power draw [W].
+ */
+class PowerModel
+{
+  public:
+    virtual ~PowerModel() = default;
+
+    /** Average power at the given utilization [W]. */
+    virtual double power(double utilization) const = 0;
+
+    /** Power when idle [W]. */
+    virtual double basePower() const { return power(0.0); }
+
+    /** Power when fully utilized [W]. */
+    virtual double maxPower() const { return power(1.0); }
+};
+
+/**
+ * Equation 4: P(u) = Pbase + u (Pmax - Pbase).
+ */
+class LinearPowerModel : public PowerModel
+{
+  public:
+    LinearPowerModel(double p_base, double p_max);
+
+    double power(double utilization) const override;
+    double basePower() const override { return pBase_; }
+    double maxPower() const override { return pMax_; }
+
+    /** Change the range on-line (fiddle uses this). */
+    void setRange(double p_base, double p_max);
+
+  private:
+    double pBase_;
+    double pMax_;
+};
+
+/**
+ * Piecewise-linear utilization -> power curve for components whose
+ * consumption is not linear in high-level utilization.
+ */
+class TablePowerModel : public PowerModel
+{
+  public:
+    /**
+     * @param points (utilization, power) pairs; utilizations must be
+     * strictly increasing and cover 0 and 1.
+     */
+    explicit TablePowerModel(std::vector<std::pair<double, double>> points);
+
+    double power(double utilization) const override;
+
+  private:
+    std::vector<std::pair<double, double>> points_;
+};
+
+/**
+ * Performance-counter energy accounting for modern CPUs (Section 2.3).
+ *
+ * Each hardware event class carries an energy cost; an observation
+ * interval's counts yield an energy, hence an average power, which is
+ * then normalised into the [Pbase, Pmax] range as a "low-level
+ * utilization" so the rest of Mercury is unchanged.
+ */
+class PerfCounterPowerModel
+{
+  public:
+    /** One monitored event class and its per-occurrence energy [nJ]. */
+    struct EventClass
+    {
+        std::string name;
+        double nanojoulesPerEvent;
+    };
+
+    PerfCounterPowerModel(std::vector<EventClass> events, double p_base,
+                          double p_max);
+
+    /** Number of configured event classes. */
+    size_t eventCount() const { return events_.size(); }
+
+    const EventClass &eventClass(size_t i) const { return events_[i]; }
+
+    /**
+     * Energy [J] for one observation interval given per-class counts
+     * (same order as the configured classes). The idle power burns for
+     * the whole interval on top of the event energy.
+     */
+    double intervalEnergy(const std::vector<uint64_t> &counts,
+                          double interval_seconds) const;
+
+    /** Average power [W] over the interval. */
+    double intervalPower(const std::vector<uint64_t> &counts,
+                         double interval_seconds) const;
+
+    /**
+     * Map an average power onto [0, 1] with 0 = Pbase, 1 = Pmax
+     * (clamped); this is the utilization monitord reports to the
+     * solver for perf-counter-driven CPUs.
+     */
+    double lowLevelUtilization(double average_power) const;
+
+    double basePower() const { return pBase_; }
+    double maxPower() const { return pMax_; }
+
+  private:
+    std::vector<EventClass> events_;
+    double pBase_;
+    double pMax_;
+};
+
+/**
+ * A default Pentium 4-flavoured event set with plausible per-event
+ * energies, for tests and the synthetic counter source. The absolute
+ * values only need to produce powers inside [Pbase, Pmax]; the paper's
+ * own mapping came from Bellosa's event-driven accounting.
+ */
+PerfCounterPowerModel pentium4CounterModel(double p_base = 10.0,
+                                           double p_max = 55.0);
+
+} // namespace core
+} // namespace mercury
+
+#endif // MERCURY_CORE_POWER_HH

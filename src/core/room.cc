@@ -1,0 +1,268 @@
+#include "core/room.hh"
+
+#include <algorithm>
+
+#include "core/thermal_graph.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace core {
+
+RoomModel::RoomModel(
+    const RoomSpec &spec,
+    const std::unordered_map<std::string, ThermalGraph *> &machines)
+{
+    size_t source_count = 0;
+    double total_demand = 0.0;
+    for (const RoomNodeSpec &ns : spec.nodes) {
+        Node node;
+        node.name = ns.name;
+        node.kind = ns.kind;
+        node.temperature = ns.temperature;
+        if (ns.kind == RoomNodeKind::Machine) {
+            auto it = machines.find(ns.machine);
+            if (it == machines.end() || !it->second) {
+                MERCURY_PANIC("room node '", ns.name,
+                              "': no live machine named '", ns.machine, "'");
+            }
+            node.machine = it->second;
+            node.massFlow = units::cfmToKgPerS(node.machine->fanCfm());
+            total_demand += node.massFlow;
+            node.temperature = node.machine->exhaustTemperature();
+        }
+        if (ns.kind == RoomNodeKind::Source)
+            ++source_count;
+        byName_[ns.name] = nodes_.size();
+        nodes_.push_back(node);
+    }
+    if (source_count == 0)
+        MERCURY_PANIC("room '", spec.name, "' has no air source");
+
+    // Approximation: each source supplies an equal share of the total
+    // machine fan demand. Mixing weights are renormalized per receiving
+    // vertex, so only the relative magnitudes matter (e.g. against
+    // recirculated exhaust streams).
+    for (Node &node : nodes_) {
+        if (node.kind == RoomNodeKind::Source)
+            node.massFlow = total_demand / static_cast<double>(source_count);
+    }
+
+    for (const AirEdgeSpec &es : spec.edges) {
+        edges_.push_back(
+            {requireNode(es.from), requireNode(es.to), es.fraction});
+    }
+
+    // Topological order (spec validation guaranteed acyclicity).
+    std::vector<size_t> in_degree(nodes_.size(), 0);
+    for (const Edge &edge : edges_)
+        ++in_degree[edge.to];
+    std::vector<size_t> ready;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (in_degree[i] == 0)
+            ready.push_back(i);
+    }
+    while (!ready.empty()) {
+        auto it = std::min_element(ready.begin(), ready.end());
+        size_t id = *it;
+        ready.erase(it);
+        order_.push_back(id);
+        for (const Edge &edge : edges_) {
+            if (edge.from == id && --in_degree[edge.to] == 0)
+                ready.push_back(edge.to);
+        }
+    }
+    if (order_.size() != nodes_.size())
+        MERCURY_PANIC("room graph has a cycle");
+
+    // Mix vertices pass through the flow they receive; compute once.
+    for (size_t id : order_) {
+        Node &node = nodes_[id];
+        if (node.kind != RoomNodeKind::Mix && node.kind != RoomNodeKind::Sink)
+            continue;
+        double flow = 0.0;
+        for (const Edge &edge : edges_) {
+            if (edge.to == id)
+                flow += edge.fraction * nodes_[edge.from].massFlow;
+        }
+        node.massFlow = flow;
+    }
+}
+
+size_t
+RoomModel::requireNode(const std::string &node_name) const
+{
+    auto it = byName_.find(node_name);
+    if (it == byName_.end())
+        MERCURY_PANIC("room: unknown node '", node_name, "'");
+    return it->second;
+}
+
+void
+RoomModel::step()
+{
+    // Machines may change their fan speeds at run time (variable-speed
+    // fans, fiddle): refresh flows before mixing. Sources keep
+    // supplying an equal share of the current total demand; mixing
+    // vertices pass through what they receive.
+    double total_demand = 0.0;
+    size_t source_count = 0;
+    for (Node &node : nodes_) {
+        if (node.kind == RoomNodeKind::Machine) {
+            node.massFlow = units::cfmToKgPerS(node.machine->fanCfm());
+            total_demand += node.massFlow;
+        } else if (node.kind == RoomNodeKind::Source) {
+            ++source_count;
+        }
+    }
+    for (Node &node : nodes_) {
+        if (node.kind == RoomNodeKind::Source) {
+            node.massFlow =
+                total_demand / static_cast<double>(source_count);
+        }
+    }
+    for (size_t id : order_) {
+        Node &mix_node = nodes_[id];
+        if (mix_node.kind == RoomNodeKind::Mix ||
+            mix_node.kind == RoomNodeKind::Sink) {
+            double flow = 0.0;
+            for (const Edge &edge : edges_) {
+                if (edge.to == id)
+                    flow += edge.fraction * nodes_[edge.from].massFlow;
+            }
+            mix_node.massFlow = flow;
+        }
+    }
+
+    // March downstream. A vertex's mixed inflow temperature is the
+    // flow-weighted average of its incoming streams (perfect mixing).
+    for (size_t id : order_) {
+        Node &node = nodes_[id];
+        if (node.kind == RoomNodeKind::Source)
+            continue; // fixed supply temperature
+
+        double flow_in = 0.0;
+        double mix = 0.0;
+        for (const Edge &edge : edges_) {
+            if (edge.to != id)
+                continue;
+            double contribution = edge.fraction * nodes_[edge.from].massFlow;
+            flow_in += contribution;
+            mix += contribution * nodes_[edge.from].temperature;
+        }
+        double mixed = flow_in > 1e-12 ? mix / flow_in : node.temperature;
+
+        switch (node.kind) {
+          case RoomNodeKind::Machine:
+            if (node.inletOverride) {
+                node.machine->setInletTemperature(*node.inletOverride);
+            } else if (flow_in > 1e-12) {
+                node.machine->setInletTemperature(mixed);
+            }
+            // The vertex itself carries the machine's exhaust stream.
+            node.temperature = node.machine->exhaustTemperature();
+            break;
+          case RoomNodeKind::Mix:
+          case RoomNodeKind::Sink:
+            if (flow_in > 1e-12)
+                node.temperature = mixed;
+            break;
+          case RoomNodeKind::Source:
+            break;
+        }
+    }
+}
+
+double
+RoomModel::temperature(const std::string &node_name) const
+{
+    return nodes_[requireNode(node_name)].temperature;
+}
+
+void
+RoomModel::setSourceTemperature(const std::string &node_name, double celsius)
+{
+    Node &node = nodes_[requireNode(node_name)];
+    if (node.kind != RoomNodeKind::Source)
+        MERCURY_PANIC("room node '", node_name, "' is not a source");
+    node.temperature = celsius;
+}
+
+void
+RoomModel::setEdgeFraction(const std::string &from, const std::string &to,
+                           double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        MERCURY_PANIC("room edge fraction ", fraction, " outside [0, 1]");
+    size_t nf = requireNode(from);
+    size_t nt = requireNode(to);
+    for (Edge &edge : edges_) {
+        if (edge.from == nf && edge.to == nt) {
+            edge.fraction = fraction;
+            return;
+        }
+    }
+    MERCURY_PANIC("room: no edge ", from, " -> ", to);
+}
+
+void
+RoomModel::setInletOverride(const std::string &machine_name,
+                            std::optional<double> celsius)
+{
+    Node &node = nodes_[requireNode(machine_name)];
+    if (node.kind != RoomNodeKind::Machine)
+        MERCURY_PANIC("room node '", machine_name, "' is not a machine");
+    node.inletOverride = celsius;
+    if (celsius)
+        node.machine->setInletTemperature(*celsius);
+}
+
+std::optional<double>
+RoomModel::inletOverride(const std::string &machine_name) const
+{
+    const Node &node = nodes_[requireNode(machine_name)];
+    if (node.kind != RoomNodeKind::Machine)
+        MERCURY_PANIC("room node '", machine_name, "' is not a machine");
+    return node.inletOverride;
+}
+
+bool
+RoomModel::hasNode(const std::string &node_name) const
+{
+    return byName_.count(node_name) != 0;
+}
+
+bool
+RoomModel::isSource(const std::string &node_name) const
+{
+    auto it = byName_.find(node_name);
+    return it != byName_.end() &&
+           nodes_[it->second].kind == RoomNodeKind::Source;
+}
+
+bool
+RoomModel::hasEdge(const std::string &from, const std::string &to) const
+{
+    auto nf = byName_.find(from);
+    auto nt = byName_.find(to);
+    if (nf == byName_.end() || nt == byName_.end())
+        return false;
+    for (const Edge &edge : edges_) {
+        if (edge.from == nf->second && edge.to == nt->second)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+RoomModel::nodeNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(nodes_.size());
+    for (const Node &node : nodes_)
+        out.push_back(node.name);
+    return out;
+}
+
+} // namespace core
+} // namespace mercury

@@ -1,0 +1,237 @@
+#include "core/solver.hh"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mercury {
+namespace core {
+
+Solver::Solver(SolverConfig config)
+    : config_(config)
+{
+    if (config_.iterationSeconds <= 0.0) {
+        MERCURY_PANIC("Solver: non-positive iteration period ",
+                      config_.iterationSeconds);
+    }
+    // The paper's sensor API opens "disk"; the in-disk sensor sits next
+    // to the platters in the two-lump drive model borrowed from
+    // Gurumurthi et al.
+    aliases_["disk"] = "disk_platters";
+}
+
+ThermalGraph &
+Solver::addMachine(const MachineSpec &spec)
+{
+    if (machineIndex_.count(spec.name))
+        MERCURY_PANIC("Solver: duplicate machine '", spec.name, "'");
+    if (room_)
+        MERCURY_PANIC("Solver: add machines before installing the room");
+    machines_.push_back(std::make_unique<ThermalGraph>(spec));
+    machineIndex_[spec.name] = machines_.size() - 1;
+    return *machines_.back();
+}
+
+void
+Solver::setRoom(const RoomSpec &spec)
+{
+    if (room_)
+        MERCURY_PANIC("Solver: room already installed");
+    std::unordered_map<std::string, ThermalGraph *> live;
+    for (auto &graph : machines_)
+        live[graph->name()] = graph.get();
+    room_ = std::make_unique<RoomModel>(spec, live);
+}
+
+RoomModel &
+Solver::room()
+{
+    if (!room_)
+        MERCURY_PANIC("Solver: no room model installed");
+    return *room_;
+}
+
+const RoomModel &
+Solver::room() const
+{
+    if (!room_)
+        MERCURY_PANIC("Solver: no room model installed");
+    return *room_;
+}
+
+bool
+Solver::hasMachine(const std::string &machine_name) const
+{
+    return machineIndex_.count(machine_name) != 0;
+}
+
+ThermalGraph &
+Solver::machine(const std::string &machine_name)
+{
+    auto it = machineIndex_.find(machine_name);
+    if (it == machineIndex_.end())
+        MERCURY_PANIC("Solver: unknown machine '", machine_name, "'");
+    return *machines_[it->second];
+}
+
+const ThermalGraph &
+Solver::machine(const std::string &machine_name) const
+{
+    auto it = machineIndex_.find(machine_name);
+    if (it == machineIndex_.end())
+        MERCURY_PANIC("Solver: unknown machine '", machine_name, "'");
+    return *machines_[it->second];
+}
+
+std::vector<std::string>
+Solver::machineNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(machines_.size());
+    for (const auto &graph : machines_)
+        out.push_back(graph->name());
+    return out;
+}
+
+void
+Solver::iterate()
+{
+    if (room_)
+        room_->step();
+    for (auto &graph : machines_)
+        graph->step(config_.iterationSeconds);
+    ++iterations_;
+}
+
+void
+Solver::run(double seconds)
+{
+    long steps = std::lround(seconds / config_.iterationSeconds);
+    for (long i = 0; i < steps; ++i)
+        iterate();
+}
+
+double
+Solver::emulatedSeconds() const
+{
+    return static_cast<double>(iterations_) * config_.iterationSeconds;
+}
+
+void
+Solver::addAlias(const std::string &alias, const std::string &node_name)
+{
+    aliases_[alias] = node_name;
+}
+
+std::string
+Solver::resolveNode(const std::string &machine_name,
+                    const std::string &component) const
+{
+    auto resolved = tryResolveNode(machine_name, component);
+    if (!resolved) {
+        MERCURY_PANIC("Solver: machine '", machine_name,
+                      "' has no component '", component, "'");
+    }
+    return *resolved;
+}
+
+std::optional<std::string>
+Solver::tryResolveNode(const std::string &machine_name,
+                       const std::string &component) const
+{
+    if (!hasMachine(machine_name))
+        return std::nullopt;
+    const ThermalGraph &graph = machine(machine_name);
+    if (graph.tryNodeId(component))
+        return component;
+    auto it = aliases_.find(component);
+    if (it != aliases_.end() && graph.tryNodeId(it->second))
+        return it->second;
+    return std::nullopt;
+}
+
+double
+Solver::temperature(const std::string &machine_name,
+                    const std::string &component) const
+{
+    const ThermalGraph &graph = machine(machine_name);
+    return graph.temperature(resolveNode(machine_name, component));
+}
+
+void
+Solver::setUtilization(const std::string &machine_name,
+                       const std::string &component, double value)
+{
+    ThermalGraph &graph = machine(machine_name);
+    graph.setUtilization(resolveNode(machine_name, component), value);
+}
+
+void
+Solver::setInletTemperature(const std::string &machine_name, double celsius)
+{
+    ThermalGraph &graph = machine(machine_name);
+    if (room_) {
+        room_->setInletOverride(machine_name, celsius);
+    } else {
+        graph.setInletTemperature(celsius);
+    }
+}
+
+void
+Solver::clearInletOverride(const std::string &machine_name)
+{
+    if (room_)
+        room_->setInletOverride(machine_name, std::nullopt);
+}
+
+void
+Solver::saveState(std::ostream &out) const
+{
+    out << "machine,node,temperature_c\n";
+    for (const auto &graph : machines_) {
+        std::vector<double> temps = graph->temperatures();
+        for (NodeId id = 0; id < temps.size(); ++id) {
+            out << graph->name() << ',' << graph->nodeName(id)
+                << format(",%.9g\n", temps[id]);
+        }
+    }
+}
+
+void
+Solver::loadState(std::istream &in)
+{
+    std::string line;
+    size_t line_no = 0;
+    size_t applied = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        if (line_no == 1 && startsWith(text, "machine"))
+            continue;
+        std::vector<std::string> cells = split(text, ',');
+        if (cells.size() != 3)
+            fatal("state line ", line_no, ": expected 3 fields");
+        auto value = parseDouble(cells[2]);
+        if (!value)
+            fatal("state line ", line_no, ": bad temperature");
+        if (!hasMachine(cells[0]))
+            fatal("state line ", line_no, ": unknown machine '",
+                  cells[0], "'");
+        ThermalGraph &graph = machine(cells[0]);
+        if (!graph.tryNodeId(cells[1]))
+            fatal("state line ", line_no, ": unknown node '", cells[1],
+                  "'");
+        graph.setTemperature(cells[1], *value);
+        ++applied;
+    }
+    if (applied == 0)
+        fatal("loadState: no temperatures found");
+}
+
+} // namespace core
+} // namespace mercury

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The Mercury solver: owns the machine models and the optional room
+ * model, advances them in lock-step iterations (one per emulated
+ * second by default) and answers temperature queries by name.
+ *
+ * In the paper this logic runs inside the `solver` process on a
+ * separate machine; here it is a library class that the solver daemon
+ * (apps/mercury_solverd.cc), the offline trace runner, the benches and
+ * the tests all share.
+ */
+
+#ifndef MERCURY_CORE_SOLVER_HH
+#define MERCURY_CORE_SOLVER_HH
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/room.hh"
+#include "core/spec.hh"
+#include "core/thermal_graph.hh"
+
+namespace mercury {
+namespace core {
+
+/** Solver tuning knobs. */
+struct SolverConfig
+{
+    /** Emulated seconds advanced per iterate() call (paper: 1 s). */
+    double iterationSeconds = 1.0;
+};
+
+/**
+ * Whole-system temperature emulator.
+ */
+class Solver
+{
+  public:
+    explicit Solver(SolverConfig config = {});
+
+    Solver(const Solver &) = delete;
+    Solver &operator=(const Solver &) = delete;
+
+    /** @name Topology */
+    /// @{
+
+    /** Instantiate a machine from its spec; the name must be unique. */
+    ThermalGraph &addMachine(const MachineSpec &spec);
+
+    /** Install the inter-machine room model (after adding machines). */
+    void setRoom(const RoomSpec &spec);
+
+    bool hasRoom() const { return room_ != nullptr; }
+    RoomModel &room();
+    const RoomModel &room() const;
+
+    bool hasMachine(const std::string &machine_name) const;
+    ThermalGraph &machine(const std::string &machine_name);
+    const ThermalGraph &machine(const std::string &machine_name) const;
+    std::vector<std::string> machineNames() const;
+
+    /// @}
+    /** @name Time stepping */
+    /// @{
+
+    /** Advance everything by one iteration period. */
+    void iterate();
+
+    /** Advance by (approximately) @p seconds of emulated time. */
+    void run(double seconds);
+
+    uint64_t iterations() const { return iterations_; }
+    double iterationSeconds() const { return config_.iterationSeconds; }
+    double emulatedSeconds() const;
+
+    /// @}
+    /** @name Named queries (sensor interface) */
+    /// @{
+
+    /**
+     * Register an alias so user-facing component names map onto graph
+     * nodes (e.g. the paper opens the sensor "disk", which reads the
+     * disk_platters vertex). Aliases apply to every machine.
+     */
+    void addAlias(const std::string &alias, const std::string &node_name);
+
+    /** Resolve a component name to a node name for a given machine. */
+    std::string resolveNode(const std::string &machine_name,
+                            const std::string &component) const;
+
+    /** Like resolveNode but returns nullopt instead of panicking —
+     *  used by the network-facing daemons, which must stay up when a
+     *  peer sends garbage. */
+    std::optional<std::string>
+    tryResolveNode(const std::string &machine_name,
+                   const std::string &component) const;
+
+    /** Temperature of a component, through the alias map [degC]. */
+    double temperature(const std::string &machine_name,
+                       const std::string &component) const;
+
+    /** Update a component's utilization (monitord's entry point). */
+    void setUtilization(const std::string &machine_name,
+                        const std::string &component, double value);
+
+    /// @}
+    /** @name Environment control (fiddle's entry points) */
+    /// @{
+
+    /**
+     * Force a machine's inlet temperature. With a room model this
+     * installs an override (so the room stops driving that inlet);
+     * standalone it writes the boundary directly.
+     */
+    void setInletTemperature(const std::string &machine_name,
+                             double celsius);
+
+    /** Return the inlet to room control (no-op without a room). */
+    void clearInletOverride(const std::string &machine_name);
+
+    /// @}
+    /** @name State snapshots */
+    /// @{
+
+    /**
+     * Save every node temperature as CSV
+     * (`machine,node,temperature_c`). Together with loadState this
+     * warm-starts long experiments past their thermal transient.
+     */
+    void saveState(std::ostream &out) const;
+
+    /**
+     * Restore temperatures from saveState output. Unknown machines or
+     * nodes are fatal (the topology must match).
+     */
+    void loadState(std::istream &in);
+
+    /// @}
+
+  private:
+    SolverConfig config_;
+    std::vector<std::unique_ptr<ThermalGraph>> machines_;
+    std::map<std::string, size_t> machineIndex_;
+    std::unique_ptr<RoomModel> room_;
+    std::map<std::string, std::string> aliases_;
+    uint64_t iterations_ = 0;
+};
+
+} // namespace core
+} // namespace mercury
+
+#endif // MERCURY_CORE_SOLVER_HH

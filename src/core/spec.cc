@@ -1,0 +1,357 @@
+#include "core/spec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/strings.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace core {
+
+const NodeSpec *
+MachineSpec::findNode(const std::string &node_name) const
+{
+    for (const NodeSpec &node : nodes) {
+        if (node.name == node_name)
+            return &node;
+    }
+    return nullptr;
+}
+
+const RoomNodeSpec *
+RoomSpec::findNode(const std::string &node_name) const
+{
+    for (const RoomNodeSpec &node : nodes) {
+        if (node.name == node_name)
+            return &node;
+    }
+    return nullptr;
+}
+
+const MachineSpec *
+ConfigSpec::findMachine(const std::string &machine_name) const
+{
+    for (const MachineSpec &machine : machines) {
+        if (machine.name == machine_name)
+            return &machine;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** True when a node kind carries flowing air. */
+bool
+isAirKind(NodeKind kind)
+{
+    return kind == NodeKind::Air || kind == NodeKind::Inlet ||
+           kind == NodeKind::Exhaust;
+}
+
+/** Kahn's algorithm: true when the directed edge list is acyclic. */
+bool
+isAcyclic(const std::vector<std::string> &names,
+          const std::vector<AirEdgeSpec> &edges)
+{
+    std::map<std::string, int> indegree;
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const std::string &name : names)
+        indegree[name] = 0;
+    for (const AirEdgeSpec &edge : edges) {
+        adj[edge.from].push_back(edge.to);
+        ++indegree[edge.to];
+    }
+    std::vector<std::string> ready;
+    for (auto &[name, deg] : indegree) {
+        if (deg == 0)
+            ready.push_back(name);
+    }
+    size_t visited = 0;
+    while (!ready.empty()) {
+        std::string node = ready.back();
+        ready.pop_back();
+        ++visited;
+        for (const std::string &next : adj[node]) {
+            if (--indegree[next] == 0)
+                ready.push_back(next);
+        }
+    }
+    return visited == names.size();
+}
+
+} // namespace
+
+std::vector<std::string>
+validate(const MachineSpec &spec)
+{
+    std::vector<std::string> problems;
+    auto report = [&](const std::string &msg) {
+        problems.push_back("machine '" + spec.name + "': " + msg);
+    };
+
+    if (spec.name.empty())
+        problems.push_back("machine with empty name");
+    if (spec.fanCfm < 0.0)
+        report("negative fan flow");
+
+    std::set<std::string> names;
+    size_t inlets = 0;
+    size_t exhausts = 0;
+    for (const NodeSpec &node : spec.nodes) {
+        if (node.name.empty()) {
+            report("node with empty name");
+            continue;
+        }
+        if (!names.insert(node.name).second)
+            report("duplicate node '" + node.name + "'");
+        if (node.kind == NodeKind::Inlet)
+            ++inlets;
+        if (node.kind == NodeKind::Exhaust)
+            ++exhausts;
+        if (node.kind == NodeKind::Component) {
+            if (node.mass <= 0.0)
+                report("component '" + node.name + "' needs mass > 0");
+            if (node.specificHeat <= 0.0)
+                report("component '" + node.name +
+                       "' needs specific heat > 0");
+        }
+        if (node.hasPower) {
+            if (node.minPower < 0.0 || node.maxPower < node.minPower) {
+                report("node '" + node.name +
+                       "' has inconsistent power range");
+            }
+        }
+    }
+    if (inlets != 1)
+        report(format("expected exactly 1 inlet, found %zu", inlets));
+    if (exhausts != 1)
+        report(format("expected exactly 1 exhaust, found %zu", exhausts));
+
+    for (const HeatEdgeSpec &edge : spec.heatEdges) {
+        if (!names.count(edge.a))
+            report("heat edge references unknown node '" + edge.a + "'");
+        if (!names.count(edge.b))
+            report("heat edge references unknown node '" + edge.b + "'");
+        if (edge.a == edge.b)
+            report("heat edge from '" + edge.a + "' to itself");
+        if (edge.k <= 0.0)
+            report("heat edge " + edge.a + " -- " + edge.b +
+                   " needs k > 0");
+    }
+
+    // Outgoing air fractions must sum to 1 for every air vertex that
+    // has any outgoing flow; exhausts must have none.
+    std::map<std::string, double> out_frac;
+    std::vector<std::string> air_names;
+    for (const NodeSpec &node : spec.nodes) {
+        if (isAirKind(node.kind))
+            air_names.push_back(node.name);
+    }
+    for (const AirEdgeSpec &edge : spec.airEdges) {
+        const NodeSpec *from = spec.findNode(edge.from);
+        const NodeSpec *to = spec.findNode(edge.to);
+        if (!from) {
+            report("air edge references unknown node '" + edge.from + "'");
+            continue;
+        }
+        if (!to) {
+            report("air edge references unknown node '" + edge.to + "'");
+            continue;
+        }
+        if (!isAirKind(from->kind) || !isAirKind(to->kind)) {
+            report("air edge " + edge.from + " -> " + edge.to +
+                   " must connect air vertices");
+            continue;
+        }
+        if (from->kind == NodeKind::Exhaust)
+            report("exhaust '" + edge.from + "' has outgoing air flow");
+        if (to->kind == NodeKind::Inlet)
+            report("inlet '" + edge.to + "' has incoming air flow");
+        if (edge.fraction <= 0.0 || edge.fraction > 1.0) {
+            report("air edge " + edge.from + " -> " + edge.to +
+                   " has fraction outside (0, 1]");
+        }
+        out_frac[edge.from] += edge.fraction;
+    }
+    for (const NodeSpec &node : spec.nodes) {
+        if (!isAirKind(node.kind) || node.kind == NodeKind::Exhaust)
+            continue;
+        auto it = out_frac.find(node.name);
+        double sum = it == out_frac.end() ? 0.0 : it->second;
+        if (std::abs(sum - 1.0) > 1e-6) {
+            report(format("air vertex '%s' has outgoing fractions summing "
+                          "to %.6f (expected 1)", node.name.c_str(), sum));
+        }
+    }
+    if (problems.empty() && !isAcyclic(air_names, spec.airEdges))
+        report("air-flow graph has a cycle");
+
+    return problems;
+}
+
+std::vector<std::string>
+validate(const RoomSpec &room, const ConfigSpec &config)
+{
+    std::vector<std::string> problems;
+    auto report = [&](const std::string &msg) {
+        problems.push_back("room '" + room.name + "': " + msg);
+    };
+
+    std::set<std::string> names;
+    std::vector<std::string> all_names;
+    for (const RoomNodeSpec &node : room.nodes) {
+        if (!names.insert(node.name).second)
+            report("duplicate node '" + node.name + "'");
+        all_names.push_back(node.name);
+        if (node.kind == RoomNodeKind::Machine &&
+            !config.findMachine(node.machine)) {
+            report("machine node '" + node.name +
+                   "' references unknown machine '" + node.machine + "'");
+        }
+    }
+
+    std::map<std::string, double> out_frac;
+    for (const AirEdgeSpec &edge : room.edges) {
+        if (!names.count(edge.from))
+            report("edge references unknown node '" + edge.from + "'");
+        if (!names.count(edge.to))
+            report("edge references unknown node '" + edge.to + "'");
+        if (edge.fraction <= 0.0 || edge.fraction > 1.0) {
+            report("edge " + edge.from + " -> " + edge.to +
+                   " has fraction outside (0, 1]");
+        }
+        out_frac[edge.from] += edge.fraction;
+    }
+    for (const RoomNodeSpec &node : room.nodes) {
+        if (node.kind == RoomNodeKind::Sink)
+            continue;
+        auto it = out_frac.find(node.name);
+        double sum = it == out_frac.end() ? 0.0 : it->second;
+        if (std::abs(sum - 1.0) > 1e-6) {
+            report(format("node '%s' has outgoing fractions summing to "
+                          "%.6f (expected 1)", node.name.c_str(), sum));
+        }
+    }
+    if (problems.empty() && !isAcyclic(all_names, room.edges))
+        report("room air graph has a cycle");
+
+    return problems;
+}
+
+MachineSpec
+table1Server(const std::string &name)
+{
+    using units::kAluminumSpecificHeat;
+    using units::kFr4SpecificHeat;
+
+    MachineSpec spec;
+    spec.name = name;
+    spec.inletTemperature = 21.6;
+    spec.fanCfm = 38.6;
+    spec.initialTemperature = 21.6;
+
+    auto component = [](std::string node_name, double mass, double c,
+                        double pmin, double pmax, bool powered) {
+        NodeSpec node;
+        node.name = std::move(node_name);
+        node.kind = NodeKind::Component;
+        node.mass = mass;
+        node.specificHeat = c;
+        node.minPower = pmin;
+        node.maxPower = pmax;
+        node.hasPower = powered;
+        return node;
+    };
+    auto air = [](std::string node_name, NodeKind kind = NodeKind::Air) {
+        NodeSpec node;
+        node.name = std::move(node_name);
+        node.kind = kind;
+        return node;
+    };
+
+    // Table 1: masses [kg], specific heats [J/(kg K)], (min, max)
+    // powers [W]. The power supply and motherboard dissipate a fixed
+    // load-independent power.
+    spec.nodes.push_back(
+        component("disk_platters", 0.336, kAluminumSpecificHeat, 9, 14,
+                  true));
+    spec.nodes.push_back(
+        component("disk_shell", 0.505, kAluminumSpecificHeat, 0, 0, false));
+    spec.nodes.push_back(
+        component("cpu", 0.151, kAluminumSpecificHeat, 7, 31, true));
+    spec.nodes.push_back(
+        component("ps", 1.643, kAluminumSpecificHeat, 40, 40, true));
+    spec.nodes.push_back(
+        component("motherboard", 0.718, kFr4SpecificHeat, 4, 4, true));
+
+    spec.nodes.push_back(air("inlet", NodeKind::Inlet));
+    spec.nodes.push_back(air("disk_air"));
+    spec.nodes.push_back(air("disk_air_down"));
+    spec.nodes.push_back(air("ps_air"));
+    spec.nodes.push_back(air("ps_air_down"));
+    spec.nodes.push_back(air("void_air"));
+    spec.nodes.push_back(air("cpu_air"));
+    spec.nodes.push_back(air("cpu_air_down"));
+    spec.nodes.push_back(air("exhaust", NodeKind::Exhaust));
+
+    // Table 1 heat-flow constants k [W/K].
+    spec.heatEdges.push_back({"disk_platters", "disk_shell", 2.0});
+    spec.heatEdges.push_back({"disk_shell", "disk_air", 1.9});
+    spec.heatEdges.push_back({"cpu", "cpu_air", 0.75});
+    spec.heatEdges.push_back({"ps", "ps_air", 4.0});
+    spec.heatEdges.push_back({"motherboard", "void_air", 10.0});
+    spec.heatEdges.push_back({"motherboard", "cpu", 0.1});
+
+    // Table 1 air fractions (Figure 1(b) topology).
+    spec.airEdges.push_back({"inlet", "disk_air", 0.4});
+    spec.airEdges.push_back({"inlet", "ps_air", 0.5});
+    spec.airEdges.push_back({"inlet", "void_air", 0.1});
+    spec.airEdges.push_back({"disk_air", "disk_air_down", 1.0});
+    spec.airEdges.push_back({"disk_air_down", "void_air", 1.0});
+    spec.airEdges.push_back({"ps_air", "ps_air_down", 1.0});
+    spec.airEdges.push_back({"ps_air_down", "void_air", 0.85});
+    spec.airEdges.push_back({"ps_air_down", "cpu_air", 0.15});
+    spec.airEdges.push_back({"void_air", "cpu_air", 0.05});
+    spec.airEdges.push_back({"void_air", "exhaust", 0.95});
+    spec.airEdges.push_back({"cpu_air", "cpu_air_down", 1.0});
+    spec.airEdges.push_back({"cpu_air_down", "exhaust", 1.0});
+
+    return spec;
+}
+
+RoomSpec
+table1Room(const std::vector<std::string> &machine_names,
+           double ac_supply_temperature)
+{
+    RoomSpec room;
+    room.name = "room";
+
+    RoomNodeSpec ac;
+    ac.name = "ac";
+    ac.kind = RoomNodeKind::Source;
+    ac.temperature = ac_supply_temperature;
+    room.nodes.push_back(ac);
+
+    RoomNodeSpec sink;
+    sink.name = "cluster_exhaust";
+    sink.kind = RoomNodeKind::Sink;
+    room.nodes.push_back(sink);
+
+    double share = 1.0 / static_cast<double>(machine_names.size());
+    for (const std::string &machine_name : machine_names) {
+        RoomNodeSpec node;
+        node.name = machine_name;
+        node.kind = RoomNodeKind::Machine;
+        node.machine = machine_name;
+        room.nodes.push_back(node);
+        room.edges.push_back({"ac", machine_name, share});
+        room.edges.push_back({machine_name, "cluster_exhaust", 1.0});
+    }
+    return room;
+}
+
+} // namespace core
+} // namespace mercury

@@ -1,0 +1,545 @@
+#include "core/thermal_graph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace core {
+
+namespace {
+
+bool
+isAirKind(NodeKind kind)
+{
+    return kind == NodeKind::Air || kind == NodeKind::Inlet ||
+           kind == NodeKind::Exhaust;
+}
+
+} // namespace
+
+ThermalGraph::ThermalGraph(const MachineSpec &spec)
+    : name_(spec.name), fanCfm_(spec.fanCfm)
+{
+    std::vector<std::string> problems = validate(spec);
+    if (!problems.empty()) {
+        std::string joined;
+        for (const std::string &p : problems)
+            joined += "\n  " + p;
+        MERCURY_PANIC("invalid machine spec:", joined);
+    }
+
+    nodes_.reserve(spec.nodes.size());
+    for (const NodeSpec &ns : spec.nodes) {
+        Node node;
+        node.name = ns.name;
+        node.kind = ns.kind;
+        node.mass = ns.mass;
+        node.specificHeat = ns.specificHeat;
+        node.temperature =
+            ns.initialTemperature.value_or(spec.initialTemperature);
+        if (ns.hasPower) {
+            node.powerModel =
+                std::make_unique<LinearPowerModel>(ns.minPower, ns.maxPower);
+        }
+        byName_[ns.name] = nodes_.size();
+        if (ns.kind == NodeKind::Inlet)
+            inlet_ = nodes_.size();
+        if (ns.kind == NodeKind::Exhaust)
+            exhaust_ = nodes_.size();
+        nodes_.push_back(std::move(node));
+    }
+    nodes_[inlet_].temperature = spec.inletTemperature;
+
+    for (const HeatEdgeSpec &es : spec.heatEdges)
+        heatEdges_.push_back({requireNode(es.a), requireNode(es.b), es.k});
+    for (const AirEdgeSpec &es : spec.airEdges) {
+        airEdges_.push_back(
+            {requireNode(es.from), requireNode(es.to), es.fraction});
+    }
+
+    incidentHeat_.assign(nodes_.size(), {});
+    for (size_t i = 0; i < heatEdges_.size(); ++i) {
+        incidentHeat_[heatEdges_[i].a].push_back(i);
+        incidentHeat_[heatEdges_[i].b].push_back(i);
+    }
+
+    recomputeFlows();
+}
+
+NodeId
+ThermalGraph::requireNode(const std::string &node_name) const
+{
+    auto it = byName_.find(node_name);
+    if (it == byName_.end())
+        MERCURY_PANIC("machine '", name_, "': unknown node '", node_name,
+                      "'");
+    return it->second;
+}
+
+std::optional<NodeId>
+ThermalGraph::tryNodeId(const std::string &node_name) const
+{
+    auto it = byName_.find(node_name);
+    if (it == byName_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+NodeId
+ThermalGraph::nodeId(const std::string &node_name) const
+{
+    return requireNode(node_name);
+}
+
+const std::string &
+ThermalGraph::nodeName(NodeId id) const
+{
+    return nodes_.at(id).name;
+}
+
+NodeKind
+ThermalGraph::nodeKind(NodeId id) const
+{
+    return nodes_.at(id).kind;
+}
+
+std::vector<std::string>
+ThermalGraph::nodeNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(nodes_.size());
+    for (const Node &node : nodes_)
+        out.push_back(node.name);
+    return out;
+}
+
+void
+ThermalGraph::recomputeFlows()
+{
+    incomingAir_.assign(nodes_.size(), {});
+    std::vector<size_t> out_degree(nodes_.size(), 0);
+    for (size_t i = 0; i < airEdges_.size(); ++i) {
+        incomingAir_[airEdges_[i].to].push_back(i);
+        ++out_degree[airEdges_[i].from];
+    }
+
+    // Topological order over air vertices (Kahn), starting from the
+    // inlet. The spec validator already guaranteed acyclicity.
+    std::vector<size_t> in_degree(nodes_.size(), 0);
+    for (const AirEdge &edge : airEdges_)
+        ++in_degree[edge.to];
+
+    airOrder_.clear();
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (isAirKind(nodes_[id].kind) && in_degree[id] == 0)
+            ready.push_back(id);
+    }
+    std::vector<size_t> remaining = in_degree;
+    std::vector<NodeId> order;
+    while (!ready.empty()) {
+        // Pop the smallest id for determinism.
+        auto it = std::min_element(ready.begin(), ready.end());
+        NodeId id = *it;
+        ready.erase(it);
+        order.push_back(id);
+        for (const AirEdge &edge : airEdges_) {
+            if (edge.from == id && --remaining[edge.to] == 0)
+                ready.push_back(edge.to);
+        }
+    }
+
+    // Propagate mass flow from the fan through the edge fractions.
+    for (Node &node : nodes_)
+        node.massFlow = 0.0;
+    nodes_[inlet_].massFlow = units::cfmToKgPerS(fanCfm_);
+    for (NodeId id : order) {
+        for (size_t edge_idx : incomingAir_[id]) {
+            const AirEdge &edge = airEdges_[edge_idx];
+            nodes_[id].massFlow +=
+                edge.fraction * nodes_[edge.from].massFlow;
+        }
+    }
+
+    // The marching order used by substep() excludes the inlet (a
+    // boundary) but includes everything downstream of it.
+    airOrder_.clear();
+    for (NodeId id : order) {
+        if (id != inlet_)
+            airOrder_.push_back(id);
+    }
+}
+
+int
+ThermalGraph::substepsFor(double dt_seconds) const
+{
+    // Explicit Euler on a solid node is stable when
+    // dt * (sum of incident k) / (m c) < 1; we target <= 0.25 for
+    // accuracy. Air vertices are updated algebraically and do not
+    // constrain dt, except stagnant ones which use a fixed capacity.
+    double worst_rate = 0.0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node &node = nodes_[id];
+        double capacity = 0.0;
+        if (node.kind == NodeKind::Component) {
+            capacity = node.mass * node.specificHeat;
+        } else if (node.kind == NodeKind::Air && node.massFlow <= 0.0) {
+            capacity = node.mass > 0.0 && node.specificHeat > 0.0
+                           ? node.mass * node.specificHeat
+                           : kStagnantAirHeatCapacity;
+        } else {
+            continue;
+        }
+        double k_sum = 0.0;
+        for (size_t edge_idx : incidentHeat_[id])
+            k_sum += heatEdges_[edge_idx].k;
+        if (capacity > 0.0)
+            worst_rate = std::max(worst_rate, k_sum / capacity);
+    }
+    if (worst_rate <= 0.0)
+        return 1;
+    double max_dt = 0.25 / worst_rate;
+    return std::max(1, static_cast<int>(std::ceil(dt_seconds / max_dt)));
+}
+
+void
+ThermalGraph::step(double dt_seconds)
+{
+    if (dt_seconds <= 0.0)
+        MERCURY_PANIC("ThermalGraph::step: non-positive dt ", dt_seconds);
+    int substeps = substepsFor(dt_seconds);
+    double dt = dt_seconds / substeps;
+    for (int i = 0; i < substeps; ++i)
+        substep(dt);
+}
+
+void
+ThermalGraph::substep(double dt)
+{
+    // 1. Heat generated by each powered component (eq. 3-4).
+    for (Node &node : nodes_) {
+        node.heatGain = 0.0;
+        if (node.powerModel) {
+            double watts = node.powerModel->power(node.utilization);
+            node.heatGain += watts * dt;
+            energyConsumed_ += watts * dt;
+        }
+    }
+
+    // 2. Heat transferred along every heat edge (eq. 2), using the
+    // temperatures at the start of the substep.
+    for (const HeatEdge &edge : heatEdges_) {
+        double q = edge.k *
+                   (nodes_[edge.a].temperature - nodes_[edge.b].temperature) *
+                   dt;
+        nodes_[edge.a].heatGain -= q;
+        nodes_[edge.b].heatGain += q;
+    }
+
+    // 3. Solid temperature update (eq. 5).
+    for (Node &node : nodes_) {
+        if (node.kind != NodeKind::Component)
+            continue;
+        if (node.pin) {
+            node.temperature = *node.pin;
+            continue;
+        }
+        node.temperature += node.heatGain / (node.mass * node.specificHeat);
+    }
+
+    // 4. Air traversal: march downstream from the inlet. Each vertex
+    // mixes its inflows perfectly and exchanges heat with its
+    // neighbours. The flowing-air balance is solved implicitly —
+    //   F_c (Ta - T_mix) = sum_j k_j (T_j - Ta),  F_c = mdot c_air —
+    // which is unconditionally stable even when a heat edge's k
+    // exceeds the stream's heat-capacity rate, and identical to the
+    // explicit form at steady state.
+    for (NodeId id : airOrder_) {
+        Node &node = nodes_[id];
+        if (node.pin) {
+            node.temperature = *node.pin;
+            continue;
+        }
+        double flow_in = 0.0;
+        double mix = 0.0;
+        for (size_t edge_idx : incomingAir_[id]) {
+            const AirEdge &edge = airEdges_[edge_idx];
+            double contribution = edge.fraction * nodes_[edge.from].massFlow;
+            flow_in += contribution;
+            mix += contribution * nodes_[edge.from].temperature;
+        }
+        if (flow_in > 1e-12) {
+            double capacity_rate = flow_in * units::kAirSpecificHeat;
+            double numer = mix * units::kAirSpecificHeat;
+            double denom = capacity_rate;
+            for (size_t edge_idx : incidentHeat_[id]) {
+                const HeatEdge &edge = heatEdges_[edge_idx];
+                NodeId other = edge.a == id ? edge.b : edge.a;
+                numer += edge.k * nodes_[other].temperature;
+                denom += edge.k;
+            }
+            if (node.powerModel)
+                numer += node.powerModel->power(node.utilization);
+            node.temperature = numer / denom;
+        } else {
+            // Stagnant air: integrate like a small thermal mass.
+            double capacity = node.mass > 0.0 && node.specificHeat > 0.0
+                                  ? node.mass * node.specificHeat
+                                  : kStagnantAirHeatCapacity;
+            node.temperature += node.heatGain / capacity;
+        }
+    }
+
+    // Pinned inlet handled by setInletTemperature / pinTemperature.
+    if (nodes_[inlet_].pin)
+        nodes_[inlet_].temperature = *nodes_[inlet_].pin;
+}
+
+double
+ThermalGraph::temperature(NodeId id) const
+{
+    return nodes_.at(id).temperature;
+}
+
+double
+ThermalGraph::temperature(const std::string &node_name) const
+{
+    return nodes_[requireNode(node_name)].temperature;
+}
+
+std::vector<double>
+ThermalGraph::temperatures() const
+{
+    std::vector<double> out;
+    out.reserve(nodes_.size());
+    for (const Node &node : nodes_)
+        out.push_back(node.temperature);
+    return out;
+}
+
+void
+ThermalGraph::setTemperatures(const std::vector<double> &values)
+{
+    if (values.size() != nodes_.size()) {
+        MERCURY_PANIC("setTemperatures: got ", values.size(),
+                      " values for ", nodes_.size(), " nodes");
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i].temperature = values[i];
+}
+
+double
+ThermalGraph::exhaustTemperature() const
+{
+    return nodes_[exhaust_].temperature;
+}
+
+double
+ThermalGraph::massFlow(NodeId id) const
+{
+    return nodes_.at(id).massFlow;
+}
+
+double
+ThermalGraph::utilization(const std::string &node_name) const
+{
+    return nodes_[requireNode(node_name)].utilization;
+}
+
+double
+ThermalGraph::power(const std::string &node_name) const
+{
+    const Node &node = nodes_[requireNode(node_name)];
+    if (!node.powerModel)
+        return 0.0;
+    return node.powerModel->power(node.utilization);
+}
+
+double
+ThermalGraph::totalPower() const
+{
+    double sum = 0.0;
+    for (const Node &node : nodes_) {
+        if (node.powerModel)
+            sum += node.powerModel->power(node.utilization);
+    }
+    return sum;
+}
+
+ThermalGraph::Node &
+ThermalGraph::poweredNode(const std::string &node_name)
+{
+    Node &node = nodes_[requireNode(node_name)];
+    if (!node.powerModel)
+        MERCURY_PANIC("machine '", name_, "': node '", node_name,
+                      "' has no power model");
+    return node;
+}
+
+void
+ThermalGraph::setUtilization(const std::string &node_name, double value)
+{
+    poweredNode(node_name).utilization = std::clamp(value, 0.0, 1.0);
+}
+
+void
+ThermalGraph::setInletTemperature(double celsius)
+{
+    nodes_[inlet_].temperature = celsius;
+}
+
+double
+ThermalGraph::inletTemperature() const
+{
+    return nodes_[inlet_].temperature;
+}
+
+void
+ThermalGraph::setTemperature(const std::string &node_name, double celsius)
+{
+    nodes_[requireNode(node_name)].temperature = celsius;
+}
+
+void
+ThermalGraph::pinTemperature(const std::string &node_name, double celsius)
+{
+    Node &node = nodes_[requireNode(node_name)];
+    node.pin = celsius;
+    node.temperature = celsius;
+}
+
+void
+ThermalGraph::unpinTemperature(const std::string &node_name)
+{
+    nodes_[requireNode(node_name)].pin.reset();
+}
+
+bool
+ThermalGraph::isPinned(const std::string &node_name) const
+{
+    return nodes_[requireNode(node_name)].pin.has_value();
+}
+
+void
+ThermalGraph::setHeatK(const std::string &a, const std::string &b, double k)
+{
+    if (k <= 0.0)
+        MERCURY_PANIC("setHeatK: non-positive k ", k);
+    NodeId na = requireNode(a);
+    NodeId nb = requireNode(b);
+    for (HeatEdge &edge : heatEdges_) {
+        if ((edge.a == na && edge.b == nb) ||
+            (edge.a == nb && edge.b == na)) {
+            edge.k = k;
+            return;
+        }
+    }
+    MERCURY_PANIC("machine '", name_, "': no heat edge ", a, " -- ", b);
+}
+
+double
+ThermalGraph::heatK(const std::string &a, const std::string &b) const
+{
+    NodeId na = requireNode(a);
+    NodeId nb = requireNode(b);
+    for (const HeatEdge &edge : heatEdges_) {
+        if ((edge.a == na && edge.b == nb) ||
+            (edge.a == nb && edge.b == na)) {
+            return edge.k;
+        }
+    }
+    MERCURY_PANIC("machine '", name_, "': no heat edge ", a, " -- ", b);
+}
+
+bool
+ThermalGraph::hasHeatEdge(const std::string &a, const std::string &b) const
+{
+    auto na = tryNodeId(a);
+    auto nb = tryNodeId(b);
+    if (!na || !nb)
+        return false;
+    for (const HeatEdge &edge : heatEdges_) {
+        if ((edge.a == *na && edge.b == *nb) ||
+            (edge.a == *nb && edge.b == *na)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ThermalGraph::hasAirEdge(const std::string &from, const std::string &to) const
+{
+    auto nf = tryNodeId(from);
+    auto nt = tryNodeId(to);
+    if (!nf || !nt)
+        return false;
+    for (const AirEdge &edge : airEdges_) {
+        if (edge.from == *nf && edge.to == *nt)
+            return true;
+    }
+    return false;
+}
+
+bool
+ThermalGraph::isPowered(const std::string &node_name) const
+{
+    auto id = tryNodeId(node_name);
+    return id && nodes_[*id].powerModel != nullptr;
+}
+
+void
+ThermalGraph::setAirFraction(const std::string &from, const std::string &to,
+                             double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        MERCURY_PANIC("setAirFraction: fraction ", fraction,
+                      " outside [0, 1]");
+    NodeId nf = requireNode(from);
+    NodeId nt = requireNode(to);
+    for (AirEdge &edge : airEdges_) {
+        if (edge.from == nf && edge.to == nt) {
+            edge.fraction = fraction;
+            recomputeFlows();
+            return;
+        }
+    }
+    MERCURY_PANIC("machine '", name_, "': no air edge ", from, " -> ", to);
+}
+
+void
+ThermalGraph::setFanCfm(double cfm)
+{
+    if (cfm < 0.0)
+        MERCURY_PANIC("setFanCfm: negative flow ", cfm);
+    fanCfm_ = cfm;
+    recomputeFlows();
+}
+
+void
+ThermalGraph::setPowerRange(const std::string &node_name, double p_min,
+                            double p_max)
+{
+    Node &node = poweredNode(node_name);
+    auto *linear = dynamic_cast<LinearPowerModel *>(node.powerModel.get());
+    if (linear) {
+        linear->setRange(p_min, p_max);
+    } else {
+        node.powerModel = std::make_unique<LinearPowerModel>(p_min, p_max);
+    }
+}
+
+void
+ThermalGraph::setPowerModel(const std::string &node_name,
+                            std::unique_ptr<PowerModel> model)
+{
+    if (!model)
+        MERCURY_PANIC("setPowerModel: null model");
+    nodes_[requireNode(node_name)].powerModel = std::move(model);
+}
+
+} // namespace core
+} // namespace mercury

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Runtime thermal model of one machine: the coarse-grained
+ * finite-element analysis at Mercury's heart (Section 2 of the paper).
+ *
+ * Per time step the model performs the paper's traversals:
+ *   1. component heat generation, Q = P(u) dt          (eq. 3-4)
+ *   2. inter-component heat flow, Q = k (T1 - T2) dt   (eq. 2)
+ *   3. solid temperature update, dT = dQ / (m c)       (eq. 5)
+ *   4. intra-machine air movement: every air vertex takes the
+ *      mass-flow-weighted average of its upstream temperatures
+ *      (perfect mixing) plus the heat it absorbed from components.
+ *
+ * A time step is automatically split into explicit-Euler substeps when
+ * the stiffest solid node would otherwise be unstable.
+ */
+
+#ifndef MERCURY_CORE_THERMAL_GRAPH_HH
+#define MERCURY_CORE_THERMAL_GRAPH_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/power.hh"
+#include "core/spec.hh"
+
+namespace mercury {
+namespace core {
+
+/** Dense index of a node inside one ThermalGraph. */
+using NodeId = size_t;
+
+/**
+ * One machine instantiated from a MachineSpec.
+ */
+class ThermalGraph
+{
+  public:
+    /** Build from a validated spec; panics when the spec is invalid. */
+    explicit ThermalGraph(const MachineSpec &spec);
+
+    ThermalGraph(const ThermalGraph &) = delete;
+    ThermalGraph &operator=(const ThermalGraph &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** @name Simulation */
+    /// @{
+
+    /** Advance the model by @p dt_seconds (substeps are automatic). */
+    void step(double dt_seconds);
+
+    /** Substep count step() would use for @p dt_seconds. */
+    int substepsFor(double dt_seconds) const;
+
+    /// @}
+    /** @name State access */
+    /// @{
+
+    NodeId nodeId(const std::string &node_name) const;
+    std::optional<NodeId> tryNodeId(const std::string &node_name) const;
+    size_t nodeCount() const { return nodes_.size(); }
+    const std::string &nodeName(NodeId id) const;
+    NodeKind nodeKind(NodeId id) const;
+    std::vector<std::string> nodeNames() const;
+
+    double temperature(NodeId id) const;
+    double temperature(const std::string &node_name) const;
+
+    /** Snapshot every node temperature, in node-id order. */
+    std::vector<double> temperatures() const;
+
+    /** Restore a snapshot taken from an identical graph. */
+    void setTemperatures(const std::vector<double> &values);
+
+    /** Exhaust air temperature [degC] (input to the room model). */
+    double exhaustTemperature() const;
+
+    /** Air mass flow through a vertex [kg/s] (0 for solids). */
+    double massFlow(NodeId id) const;
+
+    /** Current utilization of a powered node in [0, 1]. */
+    double utilization(const std::string &node_name) const;
+
+    /** Instantaneous power draw of a node [W] (0 when unpowered). */
+    double power(const std::string &node_name) const;
+
+    /** Sum of all component powers [W]. */
+    double totalPower() const;
+
+    /** Electrical energy integrated since construction [J]. */
+    double energyConsumed() const { return energyConsumed_; }
+
+    /// @}
+    /** @name Dynamic inputs (monitord, fiddle, room model) */
+    /// @{
+
+    /** Set a powered node's utilization (clamped to [0, 1]). */
+    void setUtilization(const std::string &node_name, double value);
+
+    /** Inlet boundary temperature [degC]. */
+    void setInletTemperature(double celsius);
+    double inletTemperature() const;
+
+    /** Instantly set a node temperature; it evolves freely afterwards. */
+    void setTemperature(const std::string &node_name, double celsius);
+
+    /** Hold a node at a fixed temperature until unpinned. */
+    void pinTemperature(const std::string &node_name, double celsius);
+    void unpinTemperature(const std::string &node_name);
+    bool isPinned(const std::string &node_name) const;
+
+    /** Change the k constant of an existing heat edge [W/K]. */
+    void setHeatK(const std::string &a, const std::string &b, double k);
+    double heatK(const std::string &a, const std::string &b) const;
+    bool hasHeatEdge(const std::string &a, const std::string &b) const;
+
+    /** True when a directed air edge from -> to exists. */
+    bool hasAirEdge(const std::string &from, const std::string &to) const;
+
+    /** True when the node exists and has a power model. */
+    bool isPowered(const std::string &node_name) const;
+
+    /** Change the fraction of an existing air edge; flows recompute. */
+    void setAirFraction(const std::string &from, const std::string &to,
+                        double fraction);
+
+    /** Change the fan's volumetric flow [CFM]; flows recompute. */
+    void setFanCfm(double cfm);
+    double fanCfm() const { return fanCfm_; }
+
+    /** Replace a node's linear power range [W]. */
+    void setPowerRange(const std::string &node_name, double p_min,
+                       double p_max);
+
+    /** Install a custom power model for a node. */
+    void setPowerModel(const std::string &node_name,
+                       std::unique_ptr<PowerModel> model);
+
+    /// @}
+
+  private:
+    struct Node
+    {
+        std::string name;
+        NodeKind kind;
+        double mass = 0.0;          // kg (solids; fallback air mass)
+        double specificHeat = 0.0;  // J/(kg K)
+        double temperature = 0.0;   // degC
+        double utilization = 0.0;   // [0, 1]
+        std::unique_ptr<PowerModel> powerModel; // null if unpowered
+        std::optional<double> pin;  // pinned temperature
+        double massFlow = 0.0;      // kg/s through this air vertex
+        double heatGain = 0.0;      // scratch: J accumulated this substep
+    };
+
+    struct HeatEdge
+    {
+        NodeId a;
+        NodeId b;
+        double k; // W/K
+    };
+
+    struct AirEdge
+    {
+        NodeId from;
+        NodeId to;
+        double fraction;
+    };
+
+    NodeId requireNode(const std::string &node_name) const;
+    Node &poweredNode(const std::string &node_name);
+
+    /** Recompute per-vertex mass flows and the air topological order. */
+    void recomputeFlows();
+
+    /** One explicit-Euler substep of @p dt seconds. */
+    void substep(double dt);
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<HeatEdge> heatEdges_;
+    std::vector<AirEdge> airEdges_;
+    std::unordered_map<std::string, NodeId> byName_;
+
+    NodeId inlet_ = 0;
+    NodeId exhaust_ = 0;
+    double fanCfm_ = 0.0;
+
+    /** Air vertices in upstream-to-downstream order (excludes inlet). */
+    std::vector<NodeId> airOrder_;
+
+    /** Incoming air edges per node, resolved once. */
+    std::vector<std::vector<size_t>> incomingAir_;
+
+    /** Heat edges incident to each node (indices into heatEdges_). */
+    std::vector<std::vector<size_t>> incidentHeat_;
+
+    double energyConsumed_ = 0.0;
+
+    /** Thermal mass [J/K] used for stagnant (zero-flow) air vertices. */
+    static constexpr double kStagnantAirHeatCapacity = 60.0;
+};
+
+} // namespace core
+} // namespace mercury
+
+#endif // MERCURY_CORE_THERMAL_GRAPH_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Offline (trace-driven) operation: Section 2.3's "the solver ...
+ * receives component utilizations from a trace file". Traces allow
+ * parameter tuning without running the system software, and
+ * *replicating* a trace across machine names lets Mercury emulate
+ * clusters far larger than the physical testbed.
+ */
+
+#ifndef MERCURY_CORE_TRACE_HH
+#define MERCURY_CORE_TRACE_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace mercury {
+namespace core {
+
+class Solver;
+
+/** One utilization observation. */
+struct UtilizationSample
+{
+    double time = 0.0; //!< emulated seconds since trace start
+    std::string machine;
+    std::string component;
+    double utilization = 0.0; //!< [0, 1]
+};
+
+/**
+ * A time-ordered utilization trace.
+ */
+class UtilizationTrace
+{
+  public:
+    /** Append a sample (kept sorted on read access). */
+    void add(double time, const std::string &machine,
+             const std::string &component, double utilization);
+
+    /** Parse the CSV format `time_s,machine,component,utilization`. */
+    static UtilizationTrace load(std::istream &in);
+
+    /** Load from a file path; fatal on I/O error. */
+    static UtilizationTrace loadFile(const std::string &path);
+
+    /** Emit the CSV format. */
+    void save(std::ostream &out) const;
+
+    /** Samples sorted by time (stable for ties). */
+    const std::vector<UtilizationSample> &samples() const;
+
+    /** Time of the last sample; 0 for an empty trace. */
+    double duration() const;
+
+    size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * Clone samples of one machine onto many: the paper replicates
+     * traces to emulate large installations. Each entry maps a source
+     * machine name to the list of clone names (which may include the
+     * source itself to keep it).
+     */
+    UtilizationTrace replicated(
+        const std::map<std::string, std::vector<std::string>> &mapping) const;
+
+  private:
+    void sortIfNeeded() const;
+
+    mutable std::vector<UtilizationSample> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Drives a Solver from a trace and records temperature series — the
+ * offline mode whose output is "another file containing all the usage
+ * and temperature information for each component over time".
+ */
+class TraceRunner
+{
+  public:
+    /** @param solver configured solver (machines/room already added). */
+    TraceRunner(Solver &solver, const UtilizationTrace &trace);
+
+    /** Record this component's temperature each iteration. */
+    void record(const std::string &machine, const std::string &component);
+
+    /** Record every node of every machine. */
+    void recordAll();
+
+    /**
+     * Run for @p duration_seconds (default: trace duration), applying
+     * samples as their timestamps pass and recording after every
+     * solver iteration.
+     */
+    void run(double duration_seconds = -1.0);
+
+    /** Recorded series for one component; fatal when not recorded. */
+    const TimeSeries &series(const std::string &machine,
+                             const std::string &component) const;
+
+    /** All recorded series, in registration order. */
+    const std::vector<TimeSeries> &allSeries() const { return series_; }
+
+    /** Write every recorded series as one aligned CSV table. */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    Solver &solver_;
+    const UtilizationTrace &trace_;
+    std::vector<std::pair<std::string, std::string>> recorded_;
+    std::vector<TimeSeries> series_;
+    bool ran_ = false;
+};
+
+} // namespace core
+} // namespace mercury
+
+#endif // MERCURY_CORE_TRACE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The fiddle command language (Section 2.3's thermal-emergency tool).
+ *
+ * "Fiddle can force the solver to change any constant or temperature
+ * on-line" — e.g. `fiddle machine1 temperature inlet 30` raises a
+ * machine's inlet air to 30 degC, emulating an air-conditioner failure.
+ *
+ * Supported commands (a leading literal `fiddle` token is accepted and
+ * ignored so the paper's script lines work verbatim):
+ *
+ *   <machine> temperature <node> <value>     set a temperature; for the
+ *                                            inlet this is a persistent
+ *                                            boundary override
+ *   <machine> temperature inlet auto         return the inlet to room
+ *                                            (or default) control
+ *   <machine> pin <node> <value>             hold a node's temperature
+ *   <machine> unpin <node>                   release a pin
+ *   <machine> utilization <component> <u>    force a utilization
+ *   <machine> fan <cfm>                      change the fan flow
+ *   <machine> k <a>:<b> <value>              change a heat constant
+ *   <machine> fraction <from>:<to> <value>   change an air fraction
+ *   <machine> power <component> <min> <max>  change a power range
+ *   room ac <source> <value>                 change an AC supply temp
+ *   room fraction <from>:<to> <value>        change a room air fraction
+ */
+
+#ifndef MERCURY_FIDDLE_COMMAND_HH
+#define MERCURY_FIDDLE_COMMAND_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mercury {
+
+namespace core {
+class Solver;
+} // namespace core
+
+namespace fiddle {
+
+/** A parsed fiddle command. */
+struct FiddleCommand
+{
+    std::string machine;  //!< machine name, or "room"
+    std::string property; //!< temperature, pin, fan, k, fraction, ...
+    std::string target;   //!< node / component / "a:b" edge, may be empty
+    std::vector<double> values;
+    bool autoValue = false; //!< `auto` given instead of a number
+    std::string line;       //!< original text, for diagnostics
+};
+
+/**
+ * Parse one command line. On failure returns nullopt and, when
+ * @p error is non-null, stores a human-readable description.
+ */
+std::optional<FiddleCommand> parseCommand(const std::string &line,
+                                          std::string *error = nullptr);
+
+/** Outcome of applying a command. */
+struct FiddleResult
+{
+    bool ok = false;
+    std::string message;
+};
+
+/**
+ * Apply a command to a live solver. All failure modes (unknown
+ * machine, node, edge, malformed ranges) are reported in the result —
+ * this function never panics on bad user input, since it sits behind
+ * the network daemon.
+ */
+FiddleResult apply(core::Solver &solver, const FiddleCommand &command);
+
+/** Convenience: parse then apply. */
+FiddleResult applyLine(core::Solver &solver, const std::string &line);
+
+} // namespace fiddle
+} // namespace mercury
+
+#endif // MERCURY_FIDDLE_COMMAND_HH

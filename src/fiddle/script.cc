@@ -1,0 +1,101 @@
+#include "fiddle/script.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/solver.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mercury {
+namespace fiddle {
+
+FiddleScript
+FiddleScript::parse(const std::string &text, std::vector<std::string> *errors)
+{
+    FiddleScript script;
+    double clock = 0.0;
+    int line_no = 0;
+    std::istringstream in(text);
+    std::string raw;
+    auto report = [&](const std::string &message) {
+        if (errors)
+            errors->push_back(format("line %d: ", line_no) + message);
+    };
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue; // comments and the shebang
+        std::vector<std::string> tokens = splitWhitespace(line);
+        if (tokens[0] == "sleep") {
+            if (tokens.size() != 2) {
+                report("usage: sleep <seconds>");
+                continue;
+            }
+            auto secs = parseDouble(tokens[1]);
+            if (!secs || *secs < 0.0) {
+                report("bad sleep duration '" + tokens[1] + "'");
+                continue;
+            }
+            clock += *secs;
+        } else if (tokens[0] == "fiddle") {
+            std::string error;
+            auto command = parseCommand(line, &error);
+            if (!command) {
+                report(error);
+                continue;
+            }
+            script.commands_.push_back({clock, std::move(*command)});
+        } else {
+            report("unrecognized statement '" + tokens[0] + "'");
+        }
+    }
+    return script;
+}
+
+FiddleScript
+FiddleScript::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open fiddle script '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<std::string> errors;
+    FiddleScript script = parse(buffer.str(), &errors);
+    if (!errors.empty()) {
+        std::string joined;
+        for (const std::string &err : errors)
+            joined += "\n  " + err;
+        fatal("errors in fiddle script '", path, "':", joined);
+    }
+    return script;
+}
+
+double
+FiddleScript::duration() const
+{
+    return commands_.empty() ? 0.0 : commands_.back().time;
+}
+
+void
+FiddleScript::scheduleOn(sim::Simulator &simulator,
+                         core::Solver &solver) const
+{
+    for (const TimedCommand &timed : commands_) {
+        FiddleCommand command = timed.command;
+        simulator.after(sim::seconds(timed.time),
+                        [&solver, command = std::move(command)] {
+                            FiddleResult result = apply(solver, command);
+                            if (!result.ok) {
+                                warn("fiddle: '", command.line,
+                                     "' failed: ", result.message);
+                            }
+                        });
+    }
+}
+
+} // namespace fiddle
+} // namespace mercury

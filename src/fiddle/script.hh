@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fiddle scripts (the paper's Figure 4): shell-style files whose only
+ * significant lines are `sleep <seconds>` and `fiddle <command...>`.
+ * A script is parsed into (time, command) pairs and can be scheduled
+ * onto the discrete-event simulator, so an emergency scenario is both
+ * human-readable and exactly repeatable.
+ *
+ *   #!/bin/bash
+ *   sleep 100
+ *   fiddle machine1 temperature inlet 30
+ *   sleep 200
+ *   fiddle machine1 temperature inlet 21.6
+ */
+
+#ifndef MERCURY_FIDDLE_SCRIPT_HH
+#define MERCURY_FIDDLE_SCRIPT_HH
+
+#include <string>
+#include <vector>
+
+#include "fiddle/command.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+
+namespace core {
+class Solver;
+} // namespace core
+
+namespace fiddle {
+
+/** One command with its firing time (seconds from script start). */
+struct TimedCommand
+{
+    double time = 0.0;
+    FiddleCommand command;
+};
+
+/**
+ * A parsed fiddle script.
+ */
+class FiddleScript
+{
+  public:
+    /**
+     * Parse script text. Shebang lines, blank lines and `#` comments
+     * are ignored. Problems are appended to @p errors (when non-null);
+     * well-formed lines are kept even when other lines are broken.
+     */
+    static FiddleScript parse(const std::string &text,
+                              std::vector<std::string> *errors = nullptr);
+
+    /** Load and parse from a file; fatal on I/O or parse errors. */
+    static FiddleScript loadFile(const std::string &path);
+
+    const std::vector<TimedCommand> &commands() const { return commands_; }
+    bool empty() const { return commands_.empty(); }
+
+    /** Total scripted duration (time of the last command). */
+    double duration() const;
+
+    /**
+     * Schedule every command on @p simulator (relative to its current
+     * time) against @p solver. Failures are logged as warnings at fire
+     * time; they do not stop the run.
+     */
+    void scheduleOn(sim::Simulator &simulator, core::Solver &solver) const;
+
+  private:
+    std::vector<TimedCommand> commands_;
+};
+
+} // namespace fiddle
+} // namespace mercury
+
+#endif // MERCURY_FIDDLE_SCRIPT_HH

@@ -1,0 +1,25 @@
+#include "freon/config.hh"
+
+namespace mercury {
+namespace freon {
+
+FreonConfig
+FreonConfig::paperDefaults()
+{
+    FreonConfig config;
+    config.components["cpu"] = Thresholds{67.0, 64.0, 69.0};
+    config.components["disk"] = Thresholds{65.0, 62.0, 67.0};
+    return config;
+}
+
+FreonConfig
+FreonConfig::table1Defaults()
+{
+    FreonConfig config;
+    config.components["cpu"] = Thresholds{74.0, 71.0, 76.0};
+    config.components["disk"] = Thresholds{65.0, 62.0, 67.0};
+    return config;
+}
+
+} // namespace freon
+} // namespace mercury

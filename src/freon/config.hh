@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Freon configuration: per-component thresholds and controller gains
+ * (Section 4.1 of the paper, experimental values from Section 5).
+ */
+
+#ifndef MERCURY_FREON_CONFIG_HH
+#define MERCURY_FREON_CONFIG_HH
+
+#include <map>
+#include <string>
+
+namespace mercury {
+namespace freon {
+
+/** Per-component temperature thresholds [degC]. */
+struct Thresholds
+{
+    /** T_h: trigger load-shifting above this. */
+    double high = 0.0;
+
+    /** T_l: below this the component is cool; restrictions lift when
+     *  every component is below its T_l. */
+    double low = 0.0;
+
+    /** T_r: red line — the server is turned off to protect the
+     *  hardware. "T_h should be set just below T_r, e.g. 2 degC
+     *  lower." */
+    double redline = 0.0;
+};
+
+/** All Freon tunables. */
+struct FreonConfig
+{
+    /** Thresholds keyed by monitored component ("cpu", "disk"). */
+    std::map<std::string, Thresholds> components;
+
+    /** PD controller gains (paper: kp = 0.1, kd = 0.2). */
+    double kp = 0.1;
+    double kd = 0.2;
+
+    /** tempd wake-up / adjustment repeat period [s] (paper: 1 min). */
+    double tempdPeriodSeconds = 60.0;
+
+    /** admd LVS-statistics sampling period [s] (paper: 5 s). */
+    double admdSamplePeriodSeconds = 5.0;
+
+    /** Rolling window for the concurrent-connection average [s]. */
+    double connectionWindowSeconds = 60.0;
+
+    /** Freon-EC: add capacity above this projected utilization. */
+    double utilizationHigh = 0.70;
+
+    /** Freon-EC: remove capacity while the average stays below this. */
+    double utilizationLow = 0.60;
+
+    /** Freon-EC: projection horizon in observation intervals. */
+    int projectionIntervals = 2;
+
+    /**
+     * The Section 5 experimental settings: T_h^CPU = 67, T_l^CPU = 64,
+     * T_h^disk = 65, T_l^disk = 62 (degC), red lines 2 degC above T_h.
+     */
+    static FreonConfig paperDefaults();
+
+    /**
+     * Thresholds matched to the Table 1 *emulated* server, "the
+     * proper values for our components": its CPU runs ~1.7 degC per
+     * watt above its air stream (k = 0.75 W/K), reaching ~74.5 degC
+     * at full load under the nominal inlet. T_h^CPU = 74 keeps normal
+     * full-load operation safe while the paper's 38.6/35.6 degC inlet
+     * emergencies still force threshold crossings — the same margins
+     * the authors had on their physical server with 67/64.
+     */
+    static FreonConfig table1Defaults();
+};
+
+} // namespace freon
+} // namespace mercury
+
+#endif // MERCURY_FREON_CONFIG_HH

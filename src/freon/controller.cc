@@ -1,0 +1,484 @@
+#include "freon/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace freon {
+
+FreonController::FreonController(sim::Simulator &simulator,
+                                 lb::LoadBalancer &balancer,
+                                 Options options)
+    : simulator_(simulator), balancer_(balancer),
+      options_(std::move(options))
+{
+    if (options_.policy == PolicyKind::FreonEC) {
+        std::set<int> regions;
+        for (const std::string &name : balancer_.serverNames()) {
+            auto it = options_.regionOf.find(name);
+            if (it == options_.regionOf.end()) {
+                MERCURY_PANIC("FreonController: machine '", name,
+                              "' has no region (Freon-EC needs one)");
+            }
+            regions.insert(it->second);
+        }
+        regionIds_.assign(regions.begin(), regions.end());
+        for (int region : regionIds_)
+            regionEmergencies_[region] = 0;
+    }
+    for (const std::string &name : balancer_.serverNames())
+        states_[name] = ServerState{};
+}
+
+void
+FreonController::start()
+{
+    if (started_)
+        MERCURY_PANIC("FreonController: start() called twice");
+    started_ = true;
+    // admd samples the LVS connection statistics every 5 seconds.
+    simulator_.every(
+        sim::seconds(options_.config.admdSamplePeriodSeconds), [this] {
+            sampleConnections();
+            return true;
+        });
+    if (options_.policy == PolicyKind::FreonEC) {
+        // Reconfiguration decisions run on the reporting period,
+        // offset half a period so fresh reports have arrived.
+        simulator_.every(
+            sim::seconds(options_.config.tempdPeriodSeconds), [this] {
+                ecTick();
+                return true;
+            },
+            sim::seconds(options_.config.tempdPeriodSeconds * 1.5));
+    }
+}
+
+FreonController::ServerState &
+FreonController::state(const std::string &machine)
+{
+    auto it = states_.find(machine);
+    if (it == states_.end())
+        MERCURY_PANIC("FreonController: unknown machine '", machine, "'");
+    return it->second;
+}
+
+const FreonController::ServerState *
+FreonController::findState(const std::string &machine) const
+{
+    auto it = states_.find(machine);
+    return it == states_.end() ? nullptr : &it->second;
+}
+
+void
+FreonController::sampleConnections()
+{
+    double now = simulator_.nowSeconds();
+    double horizon = now - options_.config.connectionWindowSeconds;
+    for (const std::string &name : balancer_.serverNames()) {
+        ServerState &server = state(name);
+        server.connSamples.emplace_back(
+            now, static_cast<double>(balancer_.activeConnections(name)));
+        while (!server.connSamples.empty() &&
+               server.connSamples.front().first < horizon) {
+            server.connSamples.pop_front();
+        }
+    }
+}
+
+double
+FreonController::averageConnections(const std::string &machine) const
+{
+    const ServerState *server = findState(machine);
+    if (!server || server->connSamples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[time, conns] : server->connSamples)
+        sum += conns;
+    return sum / static_cast<double>(server->connSamples.size());
+}
+
+void
+FreonController::onReport(const TempdReport &report)
+{
+    ServerState &server = state(report.machine);
+    if (!report.utilizations.empty())
+        server.utilization = report.utilizations;
+
+    switch (report.kind) {
+      case TempdReport::Kind::Status:
+        return;
+      case TempdReport::Kind::Hot:
+        handleHot(report);
+        return;
+      case TempdReport::Kind::Cool:
+        handleCool(report);
+        return;
+    }
+}
+
+void
+FreonController::handleHot(const TempdReport &report)
+{
+    ServerState &server = state(report.machine);
+    bool newly_hot = !server.hot;
+    server.hot = true;
+    if (options_.policy == PolicyKind::FreonEC && newly_hot) {
+        auto region = options_.regionOf.find(report.machine);
+        if (region != options_.regionOf.end())
+            ++regionEmergencies_[region->second];
+    }
+
+    switch (options_.policy) {
+      case PolicyKind::None:
+        return;
+      case PolicyKind::Traditional:
+        // The traditional approach reacts only at the red line.
+        if (report.redline)
+            turnOff(report.machine);
+        return;
+      case PolicyKind::FreonBase:
+        if (report.redline) {
+            turnOff(report.machine);
+            return;
+        }
+        applyBaseAdjustment(report.machine, report.output);
+        return;
+      case PolicyKind::FreonTwoStage:
+        if (report.redline) {
+            turnOff(report.machine);
+            return;
+        }
+        // Stage 1: keep the hot server serving, but only cheap static
+        // content. Stage 2 (still hot a period later): the base
+        // weight/cap actuation on top.
+        if (!server.avoidingDynamic) {
+            balancer_.setDynamicContentAllowed(report.machine, false);
+            server.avoidingDynamic = true;
+            server.restricted = true;
+            return;
+        }
+        applyBaseAdjustment(report.machine, report.output);
+        return;
+      case PolicyKind::FreonEC:
+        ecHandleHot(report);
+        return;
+    }
+}
+
+void
+FreonController::handleCool(const TempdReport &report)
+{
+    ServerState &server = state(report.machine);
+    bool was_hot = server.hot;
+    server.hot = false;
+    if (options_.policy == PolicyKind::FreonEC && was_hot) {
+        auto region = options_.regionOf.find(report.machine);
+        if (region != options_.regionOf.end()) {
+            regionEmergencies_[region->second] =
+                std::max(0, regionEmergencies_[region->second] - 1);
+        }
+    }
+    if (options_.policy == PolicyKind::None ||
+        options_.policy == PolicyKind::Traditional) {
+        return;
+    }
+    liftRestrictions(report.machine);
+}
+
+void
+FreonController::applyBaseAdjustment(const std::string &machine,
+                                     double output)
+{
+    ServerState &server = state(machine);
+
+    // New weight such that the server receives 1/(output+1) of the
+    // load share it currently receives; "this requires accounting for
+    // the weights of all servers". With share s = w / (w + W_rest)
+    // and target share s' = s / (output + 1), the new weight is
+    // w' = s' W_rest / (1 - s').
+    long long rest = 0;
+    for (const std::string &name : balancer_.serverNames()) {
+        if (name != machine && balancer_.enabled(name) &&
+            balancer_.server(name).isOn()) {
+            rest += balancer_.weight(name);
+        }
+    }
+    int current = balancer_.weight(machine);
+    if (rest > 0 && current > 0 && output > 0.0) {
+        double share = static_cast<double>(current) /
+                       static_cast<double>(current + rest);
+        double target = share / (output + 1.0);
+        if (target < 0.999) {
+            double next = target * static_cast<double>(rest) /
+                          (1.0 - target);
+            int weight =
+                std::max(1, static_cast<int>(std::lround(next)));
+            balancer_.setWeight(machine, weight);
+            ++weightAdjustments_;
+        }
+    }
+
+    // "Freon also orders LVS to limit the maximum allowed number of
+    // concurrent requests to the hot server at the average number of
+    // concurrent requests over the last time interval."
+    int cap = std::max(
+        1, static_cast<int>(std::lround(averageConnections(machine))));
+    balancer_.setConnectionCap(machine, cap);
+    server.restricted = true;
+}
+
+void
+FreonController::liftRestrictions(const std::string &machine)
+{
+    ServerState &server = state(machine);
+    if (!server.restricted)
+        return;
+    balancer_.setWeight(machine, lb::LoadBalancer::kDefaultWeight);
+    balancer_.setConnectionCap(machine, 0);
+    if (server.avoidingDynamic) {
+        balancer_.setDynamicContentAllowed(machine, true);
+        server.avoidingDynamic = false;
+    }
+    server.restricted = false;
+}
+
+void
+FreonController::turnOff(const std::string &machine)
+{
+    cluster::ServerMachine &target = balancer_.server(machine);
+    if (target.isOff() || target.powerState() ==
+                              cluster::PowerState::Draining) {
+        return;
+    }
+    balancer_.setEnabled(machine, false);
+    target.beginShutdown();
+    ++turnedOff_;
+    inform("freon: turning off ", machine, " at t=",
+           simulator_.nowSeconds());
+}
+
+void
+FreonController::turnOn(const std::string &machine)
+{
+    cluster::ServerMachine &target = balancer_.server(machine);
+    if (!target.isOff())
+        return;
+    liftRestrictions(machine);
+    balancer_.setEnabled(machine, true);
+    balancer_.setWeight(machine, lb::LoadBalancer::kDefaultWeight);
+    balancer_.setConnectionCap(machine, 0);
+    target.powerOn();
+    ++turnedOn_;
+    inform("freon: turning on ", machine, " at t=",
+           simulator_.nowSeconds());
+}
+
+int
+FreonController::activeServers() const
+{
+    int active = 0;
+    for (const std::string &name : balancer_.serverNames()) {
+        auto power = balancer_.server(name).powerState();
+        if (power == cluster::PowerState::On ||
+            power == cluster::PowerState::Booting) {
+            ++active;
+        }
+    }
+    return active;
+}
+
+bool
+FreonController::isRestricted(const std::string &machine) const
+{
+    const ServerState *server = findState(machine);
+    return server && server->restricted;
+}
+
+int
+FreonController::regionEmergencies(int region) const
+{
+    auto it = regionEmergencies_.find(region);
+    return it == regionEmergencies_.end() ? 0 : it->second;
+}
+
+std::map<std::string, double>
+FreonController::averageUtilization() const
+{
+    std::map<std::string, double> sums;
+    int active = 0;
+    for (const std::string &name : balancer_.serverNames()) {
+        if (!balancer_.server(name).isOn())
+            continue;
+        const ServerState *server = findState(name);
+        if (!server)
+            continue;
+        ++active;
+        for (const auto &[component, value] : server->utilization)
+            sums[component] += value;
+    }
+    if (active > 0) {
+        for (auto &[component, value] : sums)
+            value /= static_cast<double>(active);
+    }
+    return sums;
+}
+
+bool
+FreonController::cannotRemoveServer() const
+{
+    int active = 0;
+    for (const std::string &name : balancer_.serverNames()) {
+        if (balancer_.server(name).isOn())
+            ++active;
+    }
+    if (active <= options_.minActiveServers)
+        return true;
+    std::map<std::string, double> avg = averageUtilization();
+    for (const auto &[component, value] : avg) {
+        double scaled = value * static_cast<double>(active) /
+                        static_cast<double>(active - 1);
+        if (scaled >= options_.config.utilizationLow)
+            return true;
+    }
+    return false;
+}
+
+std::optional<std::string>
+FreonController::pickServerToTurnOn()
+{
+    if (regionIds_.empty())
+        return std::nullopt;
+    // Two passes over the regions in round-robin order: first insist
+    // on emergency-free regions, then accept any region with an off
+    // server (Figure 10: "preferably is not under an emergency").
+    for (int pass = 0; pass < 2; ++pass) {
+        for (size_t step = 0; step < regionIds_.size(); ++step) {
+            int region = regionIds_[(nextRegion_ + step) %
+                                    regionIds_.size()];
+            if (pass == 0 && regionEmergencies(region) > 0)
+                continue;
+            for (const std::string &name : balancer_.serverNames()) {
+                auto it = options_.regionOf.find(name);
+                if (it == options_.regionOf.end() ||
+                    it->second != region) {
+                    continue;
+                }
+                if (balancer_.server(name).isOff()) {
+                    nextRegion_ = (nextRegion_ + step + 1) %
+                                  regionIds_.size();
+                    return name;
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+void
+FreonController::ecHandleHot(const TempdReport &report)
+{
+    bool has_off_server = false;
+    for (const std::string &name : balancer_.serverNames()) {
+        if (balancer_.server(name).isOff())
+            has_off_server = true;
+    }
+
+    bool cannot_remove = cannotRemoveServer();
+    if (cannot_remove && !has_off_server) {
+        // "if (all servers in the cluster need to be active) apply
+        // Freon's base thermal policy".
+        if (report.redline) {
+            turnOff(report.machine);
+            return;
+        }
+        applyBaseAdjustment(report.machine, report.output);
+        return;
+    }
+    // Otherwise the hot server is replaced: bring up a substitute
+    // first if losing one outright would hurt, then power it off.
+    if (cannot_remove) {
+        if (auto replacement = pickServerToTurnOn())
+            turnOn(*replacement);
+    }
+    turnOff(report.machine);
+}
+
+void
+FreonController::ecTick()
+{
+    // --- Add capacity on projected utilization (Figure 10 top). ---
+    std::map<std::string, double> avg = averageUtilization();
+    bool need_add = false;
+    if (havePrevAvg_) {
+        for (const auto &[component, value] : avg) {
+            double prev = prevAvgUtilization_.count(component)
+                              ? prevAvgUtilization_.at(component)
+                              : value;
+            double projected =
+                value +
+                options_.config.projectionIntervals * (value - prev);
+            if (projected > options_.config.utilizationHigh)
+                need_add = true;
+        }
+    }
+    prevAvgUtilization_ = avg;
+    havePrevAvg_ = true;
+
+    if (need_add) {
+        if (auto name = pickServerToTurnOn())
+            turnOn(*name);
+    }
+
+    // --- Remove capacity while it is safe (Figure 10 bottom). ---
+    // "turn off as many servers as possible in increasing order of
+    // current processing capacity" — with homogeneous machines the
+    // current LVS weight is the capacity proxy (restricted servers
+    // carry less load). The total utilization *mass* is fixed at tick
+    // entry: removing servers concentrates it onto the survivors, so
+    // each removal is checked against total / (remaining - 1).
+    if (need_add)
+        return;
+    std::map<std::string, double> total;
+    std::vector<std::string> on_servers;
+    for (const std::string &name : balancer_.serverNames()) {
+        if (!balancer_.server(name).isOn())
+            continue;
+        on_servers.push_back(name);
+        const ServerState *server = findState(name);
+        if (!server)
+            continue;
+        for (const auto &[component, value] : server->utilization)
+            total[component] += value;
+    }
+    std::sort(on_servers.begin(), on_servers.end(),
+              [&](const std::string &a, const std::string &b) {
+                  int wa = balancer_.weight(a);
+                  int wb = balancer_.weight(b);
+                  if (wa != wb)
+                      return wa < wb;
+                  return a < b;
+              });
+    int remaining = static_cast<int>(on_servers.size());
+    for (const std::string &victim : on_servers) {
+        if (remaining <= options_.minActiveServers)
+            break;
+        bool safe = true;
+        for (const auto &[component, mass] : total) {
+            if (mass / static_cast<double>(remaining - 1) >=
+                options_.config.utilizationLow) {
+                safe = false;
+            }
+        }
+        if (!safe)
+            break;
+        turnOff(victim);
+        --remaining;
+    }
+}
+
+} // namespace freon
+} // namespace mercury

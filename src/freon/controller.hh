@@ -1,0 +1,160 @@
+/**
+ * @file
+ * admd: Freon's admission-control daemon at the load-balancer node
+ * (Sections 4.1-4.2), plus the policy variants evaluated in Section 5:
+ *
+ *  - FreonBase: on a Hot report, rescale the hot server's LVS weight
+ *    so it receives 1/(output+1) of its current load share, and cap
+ *    its concurrent connections at the last-minute average; lift both
+ *    on Cool; power the server off only at the red line.
+ *  - Traditional: power servers off at the red line, nothing else —
+ *    the comparison policy that drops 14% of the paper's trace.
+ *  - FreonEC: adds energy conservation — servers are powered on/off
+ *    with the cluster's (projected) utilization, organised in
+ *    physical regions so replacements come from areas unaffected by
+ *    the emergency (Figure 10's pseudo-code).
+ *  - None: monitoring only (ablation baseline).
+ */
+
+#ifndef MERCURY_FREON_CONTROLLER_HH
+#define MERCURY_FREON_CONTROLLER_HH
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "freon/config.hh"
+#include "freon/tempd.hh"
+#include "lb/load_balancer.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace freon {
+
+/** Which thermal-management policy admd runs. */
+enum class PolicyKind {
+    None,
+    FreonBase,
+    Traditional,
+    FreonEC,
+
+    /** The two-stage policy Section 4.3 proposes but could not build
+     *  on stock LVS: stage 1 routes only non-CPU-bound (static)
+     *  requests to the hot server; stage 2 falls back to the base
+     *  weight/cap actuation if the server stays hot. */
+    FreonTwoStage,
+};
+
+/**
+ * The admission-control daemon.
+ */
+class FreonController
+{
+  public:
+    struct Options
+    {
+        FreonConfig config = FreonConfig::paperDefaults();
+        PolicyKind policy = PolicyKind::FreonBase;
+
+        /** Freon-EC: machine -> physical region id. */
+        std::map<std::string, int> regionOf;
+
+        /** Freon-EC never shrinks below this many active servers. */
+        int minActiveServers = 1;
+    };
+
+    FreonController(sim::Simulator &simulator, lb::LoadBalancer &balancer,
+                    Options options);
+
+    /** Begin periodic sampling (and EC reconfiguration). */
+    void start();
+
+    /** Entry point for tempd reports (wire Tempd::SendFn here). */
+    void onReport(const TempdReport &report);
+
+    /** @name Introspection for the tests and benches */
+    /// @{
+
+    /** Servers currently On or Booting. */
+    int activeServers() const;
+
+    /** True while load restrictions are installed on a machine. */
+    bool isRestricted(const std::string &machine) const;
+
+    /** Rolling-average concurrent connections for a machine. */
+    double averageConnections(const std::string &machine) const;
+
+    uint64_t weightAdjustments() const { return weightAdjustments_; }
+    uint64_t serversTurnedOff() const { return turnedOff_; }
+    uint64_t serversTurnedOn() const { return turnedOn_; }
+
+    /** Current emergency count of a region (EC). */
+    int regionEmergencies(int region) const;
+
+    /// @}
+
+  private:
+    struct ServerState
+    {
+        bool restricted = false;
+        bool hot = false; //!< counted as an emergency (EC regions)
+        bool avoidingDynamic = false; //!< two-stage policy, stage 1
+        std::deque<std::pair<double, double>> connSamples;
+        std::map<std::string, double> utilization;
+    };
+
+    ServerState &state(const std::string &machine);
+    const ServerState *findState(const std::string &machine) const;
+
+    void sampleConnections();
+    void handleHot(const TempdReport &report);
+    void handleCool(const TempdReport &report);
+
+    /** The base policy's weight/cap actuation for one Hot report. */
+    void applyBaseAdjustment(const std::string &machine, double output);
+
+    /** Restore the default weight and remove the connection cap. */
+    void liftRestrictions(const std::string &machine);
+
+    void turnOff(const std::string &machine);
+    void turnOn(const std::string &machine);
+
+    /** @name Freon-EC (Figure 10) */
+    /// @{
+    void ecTick();
+    void ecHandleHot(const TempdReport &report);
+
+    /** Average utilization per component over On servers. */
+    std::map<std::string, double> averageUtilization() const;
+
+    /** True when the cluster cannot afford to lose one On server. */
+    bool cannotRemoveServer() const;
+
+    /** Round-robin region pick, preferring emergency-free regions. */
+    std::optional<std::string> pickServerToTurnOn();
+    /// @}
+
+    sim::Simulator &simulator_;
+    lb::LoadBalancer &balancer_;
+    Options options_;
+
+    std::map<std::string, ServerState> states_;
+    std::map<std::string, double> prevAvgUtilization_;
+    bool havePrevAvg_ = false;
+
+    std::vector<int> regionIds_; //!< distinct regions, sorted
+    size_t nextRegion_ = 0;
+    std::map<int, int> regionEmergencies_;
+
+    uint64_t weightAdjustments_ = 0;
+    uint64_t turnedOff_ = 0;
+    uint64_t turnedOn_ = 0;
+    bool started_ = false;
+};
+
+} // namespace freon
+} // namespace mercury
+
+#endif // MERCURY_FREON_CONTROLLER_HH

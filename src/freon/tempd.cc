@@ -1,0 +1,112 @@
+#include "freon/tempd.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace freon {
+
+Tempd::Tempd(sim::Simulator &simulator, std::string machine,
+             FreonConfig config, ReadFn read, SendFn send,
+             UtilFn utilization)
+    : simulator_(simulator), machine_(std::move(machine)),
+      config_(std::move(config)), read_(std::move(read)),
+      send_(std::move(send)), utilization_(std::move(utilization))
+{
+    if (!read_ || !send_)
+        MERCURY_PANIC("Tempd: read and send callbacks are required");
+    if (config_.components.empty())
+        MERCURY_PANIC("Tempd: no components configured");
+}
+
+void
+Tempd::start()
+{
+    if (started_)
+        MERCURY_PANIC("Tempd: start() called twice");
+    started_ = true;
+    simulator_.every(sim::seconds(config_.tempdPeriodSeconds), [this] {
+        tick();
+        return true;
+    });
+}
+
+void
+Tempd::tick()
+{
+    TempdReport report;
+    report.machine = machine_;
+
+    bool any_hot = false;
+    bool all_cool = true;
+    double output = 0.0;
+
+    for (const auto &[component, thresholds] : config_.components) {
+        std::optional<double> reading = read_(component);
+        if (!reading) {
+            warn("tempd(", machine_, "): sensor read failed for ",
+                 component);
+            all_cool = false; // unknown is not provably cool
+            continue;
+        }
+        double current = *reading;
+        report.temperatures[component] = current;
+
+        if (current >= thresholds.redline)
+            report.redline = true;
+        if (current > thresholds.high) {
+            any_hot = true;
+            // PD controller (Section 4.1): runs only above T_h, and
+            // the output is forced non-negative.
+            auto last_it = lastTemperature_.find(component);
+            double last = last_it != lastTemperature_.end()
+                              ? last_it->second
+                              : current;
+            double value =
+                std::max(config_.kp * (current - thresholds.high) +
+                             config_.kd * (current - last),
+                         0.0);
+            output = std::max(output, value);
+        }
+        if (current >= thresholds.low)
+            all_cool = false;
+        lastTemperature_[component] = current;
+    }
+
+    if (utilization_) {
+        for (const auto &[component, thresholds] : config_.components)
+            report.utilizations[component] = utilization_(component);
+    }
+
+    if (report.redline) {
+        report.kind = TempdReport::Kind::Hot;
+        report.output = output;
+        restricted_ = true;
+        send_(report);
+        return;
+    }
+    if (any_hot) {
+        report.kind = TempdReport::Kind::Hot;
+        report.output = output;
+        restricted_ = true;
+        send_(report);
+        return;
+    }
+    if (restricted_ && all_cool) {
+        // Transition: the emergency is over, lift the restrictions.
+        report.kind = TempdReport::Kind::Cool;
+        restricted_ = false;
+        send_(report);
+        return;
+    }
+    // Between T_l and T_h: no thermal message, but Freon-EC still
+    // wants its periodic utilization info.
+    if (utilization_) {
+        report.kind = TempdReport::Kind::Status;
+        send_(report);
+    }
+}
+
+} // namespace freon
+} // namespace mercury

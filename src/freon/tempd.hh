@@ -1,0 +1,106 @@
+/**
+ * @file
+ * tempd: Freon's per-server temperature daemon (Section 4.1).
+ *
+ * Wakes once per minute, reads the CPU and disk temperatures (through
+ * Mercury's sensor interface in the experiments), and talks to admd:
+ *
+ *  - while any component is above its T_h, it sends the output of a
+ *    PD controller, output = max_c max(kp (T_curr - T_h) +
+ *    kd (T_curr - T_last), 0), once per period;
+ *  - when every component has dropped below its T_l, it orders admd
+ *    to lift all restrictions (sent on the transition);
+ *  - between T_l and T_h nothing is sent ("there is no communication
+ *    between the daemons");
+ *  - a component above its red line T_r is reported immediately so
+ *    the server can be powered off;
+ *  - (Freon-EC) utilization info rides along every period.
+ */
+
+#ifndef MERCURY_FREON_TEMPD_HH
+#define MERCURY_FREON_TEMPD_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "freon/config.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace freon {
+
+/** What tempd tells admd. */
+struct TempdReport
+{
+    enum class Kind {
+        Hot,    //!< some component above T_h; `output` is valid
+        Cool,   //!< every component below T_l; lift restrictions
+        Status, //!< periodic utilization report (Freon-EC)
+    };
+
+    std::string machine;
+    Kind kind = Kind::Status;
+
+    /** PD controller output (Kind::Hot). */
+    double output = 0.0;
+
+    /** True when some component exceeded its red line T_r. */
+    bool redline = false;
+
+    /** Component temperatures at this wake-up [degC]. */
+    std::map<std::string, double> temperatures;
+
+    /** Component utilizations in [0, 1] (for Freon-EC). */
+    std::map<std::string, double> utilizations;
+};
+
+/**
+ * The per-server daemon.
+ */
+class Tempd
+{
+  public:
+    /** Reads one component's temperature; nullopt on sensor failure. */
+    using ReadFn =
+        std::function<std::optional<double>(const std::string &)>;
+
+    /** Reads one component's utilization (Freon-EC); may be null. */
+    using UtilFn = std::function<double(const std::string &)>;
+
+    /** Delivers a report to admd. */
+    using SendFn = std::function<void(const TempdReport &)>;
+
+    Tempd(sim::Simulator &simulator, std::string machine,
+          FreonConfig config, ReadFn read, SendFn send,
+          UtilFn utilization = nullptr);
+
+    /** Begin the periodic wake-ups. */
+    void start();
+
+    /** One wake-up (exposed for tests). */
+    void tick();
+
+    const std::string &machine() const { return machine_; }
+
+    /** True while load restrictions are believed to be installed. */
+    bool restricted() const { return restricted_; }
+
+  private:
+    sim::Simulator &simulator_;
+    std::string machine_;
+    FreonConfig config_;
+    ReadFn read_;
+    SendFn send_;
+    UtilFn utilization_;
+
+    std::map<std::string, double> lastTemperature_;
+    bool restricted_ = false;
+    bool started_ = false;
+};
+
+} // namespace freon
+} // namespace mercury
+
+#endif // MERCURY_FREON_TEMPD_HH

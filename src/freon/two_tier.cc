@@ -1,0 +1,216 @@
+#include "freon/two_tier.hh"
+
+#include <memory>
+
+#include "cluster/server_machine.hh"
+#include "cluster/thermal_bridge.hh"
+#include "core/solver.hh"
+#include "fiddle/command.hh"
+#include "lb/load_balancer.hh"
+#include "sensor/client.hh"
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mercury {
+namespace freon {
+
+namespace {
+
+/** Everything one tier owns. */
+struct Tier
+{
+    std::vector<std::string> names;
+    std::vector<core::MachineSpec> specs;
+    std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
+    lb::LoadBalancer balancer;
+    std::unique_ptr<FreonController> controller;
+    std::vector<std::unique_ptr<sensor::SensorClient>> sensors;
+    std::vector<std::unique_ptr<Tempd>> tempds;
+};
+
+void
+startTierManagement(Tier &tier, const TwoTierConfig &config,
+                    sim::Simulator &simulator, core::Solver &solver,
+                    cluster::ThermalBridge &bridge)
+{
+    FreonController::Options options;
+    options.config = config.freon;
+    options.policy = config.policy;
+    if (options.policy == PolicyKind::FreonEC) {
+        for (size_t i = 0; i < tier.names.size(); ++i)
+            options.regionOf[tier.names[i]] = static_cast<int>(i % 2);
+    }
+    tier.controller = std::make_unique<FreonController>(
+        simulator, tier.balancer, options);
+    tier.controller->start();
+
+    for (const std::string &name : tier.names) {
+        tier.sensors.push_back(std::make_unique<sensor::SensorClient>(
+            std::make_unique<sensor::LocalTransport>(bridge.service()),
+            name));
+        sensor::SensorClient *client = tier.sensors.back().get();
+        core::ThermalGraph &graph = solver.machine(name);
+        FreonController *controller = tier.controller.get();
+        tier.tempds.push_back(std::make_unique<Tempd>(
+            simulator, name, config.freon,
+            [client](const std::string &component) {
+                return client->read(component);
+            },
+            [controller](const TempdReport &report) {
+                controller->onReport(report);
+            },
+            [&graph, &solver, name](const std::string &component) {
+                return graph.utilization(
+                    solver.resolveNode(name, component));
+            }));
+        tier.tempds.back()->start();
+    }
+}
+
+void
+collectTier(const Tier &tier, TierResult *out)
+{
+    out->submitted = tier.balancer.submitted();
+    out->completed = tier.balancer.completed();
+    out->dropped = tier.balancer.dropped();
+    out->weightAdjustments = tier.controller->weightAdjustments();
+    out->serversTurnedOff = tier.controller->serversTurnedOff();
+}
+
+} // namespace
+
+TwoTierResult
+runTwoTierExperiment(const TwoTierConfig &config)
+{
+    sim::Simulator simulator;
+    core::Solver solver;
+
+    // One room over both tiers. Machines must all exist before the
+    // room is installed, so specs/solver machines come first and the
+    // bridge attachments second.
+    Tier web;
+    Tier app;
+    for (int i = 0; i < config.webServers; ++i) {
+        std::string name = "w" + std::to_string(i + 1);
+        web.names.push_back(name);
+        web.specs.push_back(core::table1Server(name));
+        solver.addMachine(web.specs.back());
+    }
+    for (int i = 0; i < config.appServers; ++i) {
+        std::string name = "a" + std::to_string(i + 1);
+        app.names.push_back(name);
+        app.specs.push_back(core::table1Server(name));
+        solver.addMachine(app.specs.back());
+    }
+    std::vector<std::string> all_names = web.names;
+    all_names.insert(all_names.end(), app.names.begin(), app.names.end());
+    solver.setRoom(core::table1Room(all_names, config.acTemperature));
+
+    // Phase 2: simulated machines + balancers + thermal coupling.
+    cluster::ThermalBridge bridge(simulator, solver);
+    auto attach_tier = [&](Tier &tier) {
+        for (size_t i = 0; i < tier.names.size(); ++i) {
+            tier.machines.push_back(
+                std::make_unique<cluster::ServerMachine>(simulator,
+                                                         tier.names[i]));
+            tier.balancer.addServer(tier.machines.back().get());
+            bridge.attach(*tier.machines.back(), tier.specs[i]);
+        }
+    };
+    attach_tier(web);
+    attach_tier(app);
+    bridge.start(solver.iterationSeconds());
+
+    // Tier chaining: a completed dynamic front request issues the
+    // application-tier sub-request.
+    uint64_t next_app_id = 1;
+    web.balancer.setCompletionObserver(
+        [&](const cluster::ServerMachine &, const cluster::Request &req,
+            cluster::RequestOutcome outcome) {
+            if (outcome != cluster::RequestOutcome::Completed ||
+                !req.dynamic) {
+                return;
+            }
+            cluster::Request sub;
+            sub.id = next_app_id++;
+            sub.arrivalTime = simulator.nowSeconds();
+            sub.dynamic = true;
+            sub.cpuSeconds = config.appCpuSeconds;
+            sub.diskSeconds = config.appDiskSeconds;
+            app.balancer.submit(sub);
+        });
+
+    // Workload into the web tier; if no peak rate is given, load the
+    // bottleneck tier to 70%.
+    workload::WorkloadConfig workload_config = config.workload;
+    if (workload_config.peakRate <= 0.0) {
+        double web_rate = workload::peakRateForUtilization(
+            0.70, config.webServers, workload_config);
+        double app_demand_per_request =
+            workload_config.cgiFraction * config.appCpuSeconds;
+        double app_rate = 0.70 * config.appServers /
+                          std::max(1e-9, app_demand_per_request);
+        workload_config.peakRate = std::min(web_rate, app_rate);
+    }
+    workload::WorkloadGenerator generator(simulator, web.balancer,
+                                          workload_config);
+    generator.start();
+
+    startTierManagement(web, config, simulator, solver, bridge);
+    startTierManagement(app, config, simulator, solver, bridge);
+
+    // Emergencies.
+    for (const TwoTierConfig::Emergency &emergency : config.emergencies) {
+        simulator.at(sim::seconds(emergency.time), [&solver, emergency] {
+            fiddle::FiddleResult result = fiddle::applyLine(
+                solver, format("fiddle %s temperature inlet %g",
+                               emergency.machine.c_str(),
+                               emergency.inletCelsius));
+            if (!result.ok)
+                warn("two-tier emergency failed: ", result.message);
+        });
+    }
+
+    // Recording.
+    TwoTierResult result;
+    auto record_setup = [&](Tier &tier, TierResult *out) {
+        for (const std::string &name : tier.names) {
+            out->cpuTemperature.emplace(name,
+                                        TimeSeries(name + ".cpu_temp"));
+            out->cpuUtilization.emplace(name,
+                                        TimeSeries(name + ".cpu_util"));
+            out->peakCpuTemperature[name] = 0.0;
+        }
+    };
+    record_setup(web, &result.web);
+    record_setup(app, &result.app);
+    simulator.every(sim::seconds(config.recordPeriod), [&] {
+        double now = simulator.nowSeconds();
+        auto record = [&](Tier &tier, TierResult *out) {
+            for (const std::string &name : tier.names) {
+                core::ThermalGraph &graph = solver.machine(name);
+                double temp = graph.temperature("cpu");
+                out->cpuTemperature.at(name).add(now, temp);
+                out->cpuUtilization.at(name).add(
+                    now, graph.utilization("cpu"));
+                out->peakCpuTemperature[name] =
+                    std::max(out->peakCpuTemperature[name], temp);
+            }
+        };
+        record(web, &result.web);
+        record(app, &result.app);
+        return true;
+    });
+
+    simulator.runUntil(sim::seconds(workload_config.duration));
+
+    collectTier(web, &result.web);
+    collectTier(app, &result.app);
+    for (const std::string &name : all_names)
+        result.energyJoules += solver.machine(name).energyConsumed();
+    return result;
+}
+
+} // namespace freon
+} // namespace mercury

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multi-tier services — the paper's Section 7 extension ("Freon needs
+ * to be extended to deal with multi-tier services").
+ *
+ * The setup mirrors a classic two-tier Web service: a front (web)
+ * tier terminates every request cheaply, and each dynamic request
+ * then issues a sub-request to an application tier that runs the
+ * expensive logic. Every machine of both tiers is emulated by the
+ * same Mercury solver under one room; each tier has its own LVS-style
+ * balancer and its own admd, so a thermal emergency in either tier is
+ * handled where it occurs — the web tier keeps serving while the app
+ * tier shifts its own load, and vice versa.
+ */
+
+#ifndef MERCURY_FREON_TWO_TIER_HH
+#define MERCURY_FREON_TWO_TIER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "freon/controller.hh"
+#include "util/stats.hh"
+#include "workload/generator.hh"
+
+namespace mercury {
+namespace freon {
+
+/** Configuration of a two-tier experiment. */
+struct TwoTierConfig
+{
+    int webServers = 4;
+    int appServers = 3;
+
+    /** Policy for both tiers' admds. */
+    PolicyKind policy = PolicyKind::FreonBase;
+
+    FreonConfig freon = FreonConfig::table1Defaults();
+
+    /** Front-tier workload; web CPU cost comes from this config's
+     *  static/CGI parameters. */
+    workload::WorkloadConfig workload;
+
+    /** App-tier CPU seconds consumed per dynamic request. */
+    double appCpuSeconds = 0.020;
+
+    /** App-tier disk seconds per dynamic request. */
+    double appDiskSeconds = 0.004;
+
+    double acTemperature = 21.6;
+
+    /** Inlet emergencies (machine names: w1.., a1..). */
+    struct Emergency
+    {
+        double time = 0.0;
+        std::string machine;
+        double inletCelsius = 0.0;
+    };
+    std::vector<Emergency> emergencies;
+
+    double recordPeriod = 10.0;
+};
+
+/** Per-tier results. */
+struct TierResult
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t dropped = 0;
+    uint64_t weightAdjustments = 0;
+    uint64_t serversTurnedOff = 0;
+    std::map<std::string, double> peakCpuTemperature;
+    std::map<std::string, TimeSeries> cpuTemperature;
+    std::map<std::string, TimeSeries> cpuUtilization;
+};
+
+/** Whole-experiment results. */
+struct TwoTierResult
+{
+    TierResult web;
+    TierResult app;
+    double energyJoules = 0.0;
+};
+
+/** Run the two-tier experiment to completion (deterministic). */
+TwoTierResult runTwoTierExperiment(const TwoTierConfig &config);
+
+} // namespace freon
+} // namespace mercury
+
+#endif // MERCURY_FREON_TWO_TIER_HH

@@ -1,0 +1,260 @@
+#include "graphdot/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.hh"
+
+namespace mercury {
+namespace graphdot {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Number:     return "number";
+      case TokenKind::String:     return "string";
+      case TokenKind::LBrace:     return "'{'";
+      case TokenKind::RBrace:     return "'}'";
+      case TokenKind::LBracket:   return "'['";
+      case TokenKind::RBracket:   return "']'";
+      case TokenKind::Semicolon:  return "';'";
+      case TokenKind::Comma:      return "','";
+      case TokenKind::Equals:     return "'='";
+      case TokenKind::HeatEdge:   return "'--'";
+      case TokenKind::AirEdge:    return "'->'";
+      case TokenKind::EndOfFile:  return "end of file";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string source)
+    : source_(std::move(source))
+{
+}
+
+char
+Lexer::peek(size_t ahead) const
+{
+    size_t at = pos_ + ahead;
+    return at < source_.size() ? source_[at] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char ch = source_[pos_++];
+    if (ch == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return ch;
+}
+
+void
+Lexer::error(const std::string &message)
+{
+    errors_.push_back(format("line %d:%d: ", tokenLine_, tokenColumn_) +
+                      message);
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    while (!atEnd()) {
+        char ch = peek();
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            advance();
+        } else if (ch == '#' || (ch == '/' && peek(1) == '/')) {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (ch == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (atEnd()) {
+                tokenLine_ = line_;
+                tokenColumn_ = column_;
+                error("unterminated block comment");
+            } else {
+                advance();
+                advance();
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::make(TokenKind kind, std::string text)
+{
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = tokenLine_;
+    token.column = tokenColumn_;
+    return token;
+}
+
+Token
+Lexer::lexNumber()
+{
+    std::string spelling;
+    if (peek() == '-' || peek() == '+')
+        spelling += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+        spelling += advance();
+    if (peek() == '.') {
+        spelling += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            spelling += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+        spelling += advance();
+        if (peek() == '-' || peek() == '+')
+            spelling += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            spelling += advance();
+    }
+    Token token = make(TokenKind::Number, spelling);
+    auto value = parseDouble(spelling);
+    if (!value) {
+        error("malformed number '" + spelling + "'");
+        token.number = 0.0;
+    } else {
+        token.number = *value;
+    }
+    return token;
+}
+
+Token
+Lexer::lexIdentifier()
+{
+    std::string spelling;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_' || peek() == '.') {
+        spelling += advance();
+    }
+    return make(TokenKind::Identifier, spelling);
+}
+
+Token
+Lexer::lexString()
+{
+    advance(); // opening quote
+    std::string contents;
+    while (!atEnd() && peek() != '"') {
+        char ch = advance();
+        if (ch == '\\' && !atEnd()) {
+            char esc = advance();
+            switch (esc) {
+              case 'n': contents += '\n'; break;
+              case 't': contents += '\t'; break;
+              case '"': contents += '"'; break;
+              case '\\': contents += '\\'; break;
+              default:
+                error(std::string("unknown escape '\\") + esc + "'");
+                contents += esc;
+            }
+        } else {
+            contents += ch;
+        }
+    }
+    if (atEnd()) {
+        error("unterminated string literal");
+    } else {
+        advance(); // closing quote
+    }
+    return make(TokenKind::String, contents);
+}
+
+std::vector<Token>
+Lexer::tokenize()
+{
+    std::vector<Token> tokens;
+    while (true) {
+        skipWhitespaceAndComments();
+        tokenLine_ = line_;
+        tokenColumn_ = column_;
+        if (atEnd()) {
+            tokens.push_back(make(TokenKind::EndOfFile));
+            break;
+        }
+        char ch = peek();
+        if (std::isdigit(static_cast<unsigned char>(ch)) ||
+            ((ch == '-' || ch == '+') &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            if (ch == '-' && peek(1) == '-') {
+                // fallthrough to '--' handling below
+            } else if (ch == '-' && peek(1) == '>') {
+                // fallthrough to '->' handling below
+            } else {
+                tokens.push_back(lexNumber());
+                continue;
+            }
+        }
+        if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+            tokens.push_back(lexIdentifier());
+            continue;
+        }
+        switch (ch) {
+          case '"':
+            tokens.push_back(lexString());
+            continue;
+          case '{':
+            advance();
+            tokens.push_back(make(TokenKind::LBrace, "{"));
+            continue;
+          case '}':
+            advance();
+            tokens.push_back(make(TokenKind::RBrace, "}"));
+            continue;
+          case '[':
+            advance();
+            tokens.push_back(make(TokenKind::LBracket, "["));
+            continue;
+          case ']':
+            advance();
+            tokens.push_back(make(TokenKind::RBracket, "]"));
+            continue;
+          case ';':
+            advance();
+            tokens.push_back(make(TokenKind::Semicolon, ";"));
+            continue;
+          case ',':
+            advance();
+            tokens.push_back(make(TokenKind::Comma, ","));
+            continue;
+          case '=':
+            advance();
+            tokens.push_back(make(TokenKind::Equals, "="));
+            continue;
+          case '-':
+            if (peek(1) == '-') {
+                advance();
+                advance();
+                tokens.push_back(make(TokenKind::HeatEdge, "--"));
+                continue;
+            }
+            if (peek(1) == '>') {
+                advance();
+                advance();
+                tokens.push_back(make(TokenKind::AirEdge, "->"));
+                continue;
+            }
+            [[fallthrough]];
+          default:
+            error(std::string("unexpected character '") + ch + "'");
+            advance();
+        }
+    }
+    return tokens;
+}
+
+} // namespace graphdot
+} // namespace mercury

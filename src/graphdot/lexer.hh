@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lexer for the modified-dot configuration language. Supports `#` and
+ * `//` line comments and C-style block comments.
+ */
+
+#ifndef MERCURY_GRAPHDOT_LEXER_HH
+#define MERCURY_GRAPHDOT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "graphdot/token.hh"
+
+namespace mercury {
+namespace graphdot {
+
+/**
+ * Turns source text into a token stream. Lexing errors are recorded
+ * (with positions) rather than thrown so the caller can report all
+ * problems at once.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Tokenize the whole input; the last token is EndOfFile. */
+    std::vector<Token> tokenize();
+
+    const std::vector<std::string> &errors() const { return errors_; }
+
+  private:
+    char peek(size_t ahead = 0) const;
+    char advance();
+    bool atEnd() const { return pos_ >= source_.size(); }
+    void skipWhitespaceAndComments();
+    Token lexNumber();
+    Token lexIdentifier();
+    Token lexString();
+    Token make(TokenKind kind, std::string text = "");
+    void error(const std::string &message);
+
+    std::string source_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    int tokenLine_ = 1;
+    int tokenColumn_ = 1;
+    std::vector<std::string> errors_;
+};
+
+} // namespace graphdot
+} // namespace mercury
+
+#endif // MERCURY_GRAPHDOT_LEXER_HH

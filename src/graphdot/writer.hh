@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Serializers: emit a ConfigSpec back to the modified-dot language
+ * (round-trippable through the parser) and export plain Graphviz dot
+ * for visualization — the paper points out that keeping the language
+ * dot-like "enables freely available programs to draw the graphs".
+ */
+
+#ifndef MERCURY_GRAPHDOT_WRITER_HH
+#define MERCURY_GRAPHDOT_WRITER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/spec.hh"
+
+namespace mercury {
+namespace graphdot {
+
+/** Emit a machine in the modified-dot syntax. */
+void writeMachine(std::ostream &out, const core::MachineSpec &spec);
+
+/** Emit a room in the modified-dot syntax. */
+void writeRoom(std::ostream &out, const core::RoomSpec &room);
+
+/** Emit a whole config (machines then room). */
+void writeConfig(std::ostream &out, const core::ConfigSpec &config);
+
+/** Render a whole config to a string. */
+std::string toText(const core::ConfigSpec &config);
+
+/**
+ * Export one machine as standard Graphviz dot: heat edges become
+ * undirected-styled edges labelled with k, air edges become directed
+ * edges labelled with their fraction.
+ */
+void writeGraphviz(std::ostream &out, const core::MachineSpec &spec);
+
+} // namespace graphdot
+} // namespace mercury
+
+#endif // MERCURY_GRAPHDOT_WRITER_HH

@@ -1,0 +1,227 @@
+#include "lb/load_balancer.hh"
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace lb {
+
+void
+LoadBalancer::addServer(cluster::ServerMachine *server, int weight)
+{
+    if (!server)
+        MERCURY_PANIC("LoadBalancer: null server");
+    if (byName_.count(server->name()))
+        MERCURY_PANIC("LoadBalancer: duplicate server '", server->name(),
+                      "'");
+    if (weight < 0)
+        MERCURY_PANIC("LoadBalancer: negative weight");
+
+    Entry entry;
+    entry.machine = server;
+    entry.weight = weight;
+    byName_[server->name()] = servers_.size();
+    servers_.push_back(entry);
+
+    server->setCompletionFn([this](const cluster::ServerMachine &machine,
+                                   const cluster::Request &request,
+                                   cluster::RequestOutcome outcome) {
+        if (outcome == cluster::RequestOutcome::Completed) {
+            ++completed_;
+        } else {
+            ++dropped_;
+        }
+        if (observer_)
+            observer_(machine, request, outcome);
+    });
+}
+
+LoadBalancer::Entry &
+LoadBalancer::find(const std::string &name)
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        MERCURY_PANIC("LoadBalancer: unknown server '", name, "'");
+    return servers_[it->second];
+}
+
+const LoadBalancer::Entry &
+LoadBalancer::find(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        MERCURY_PANIC("LoadBalancer: unknown server '", name, "'");
+    return servers_[it->second];
+}
+
+void
+LoadBalancer::setWeight(const std::string &name, int weight)
+{
+    if (weight < 0)
+        MERCURY_PANIC("LoadBalancer: negative weight for ", name);
+    find(name).weight = weight;
+}
+
+int
+LoadBalancer::weight(const std::string &name) const
+{
+    return find(name).weight;
+}
+
+void
+LoadBalancer::setConnectionCap(const std::string &name, int cap)
+{
+    if (cap < 0)
+        MERCURY_PANIC("LoadBalancer: negative connection cap for ", name);
+    find(name).connectionCap = cap;
+}
+
+int
+LoadBalancer::connectionCap(const std::string &name) const
+{
+    return find(name).connectionCap;
+}
+
+void
+LoadBalancer::setEnabled(const std::string &name, bool enabled)
+{
+    find(name).enabled = enabled;
+}
+
+bool
+LoadBalancer::enabled(const std::string &name) const
+{
+    return find(name).enabled;
+}
+
+void
+LoadBalancer::setDynamicContentAllowed(const std::string &name,
+                                       bool allowed)
+{
+    find(name).dynamicAllowed = allowed;
+}
+
+bool
+LoadBalancer::dynamicContentAllowed(const std::string &name) const
+{
+    return find(name).dynamicAllowed;
+}
+
+void
+LoadBalancer::submit(const cluster::Request &request)
+{
+    ++submitted_;
+
+    // Weighted least connections: minimise conns/weight, compared via
+    // cross-multiplication exactly like LVS's WLC scheduler. The
+    // content-aware pass first tries only servers accepting dynamic
+    // requests; if none qualifies, the restriction is waived rather
+    // than dropping the request.
+    auto pick = [&](bool respect_content) -> Entry * {
+        Entry *best = nullptr;
+        for (Entry &entry : servers_) {
+            if (!entry.enabled || entry.weight <= 0 ||
+                !entry.machine->isOn()) {
+                continue;
+            }
+            if (respect_content && request.dynamic &&
+                !entry.dynamicAllowed) {
+                continue;
+            }
+            int conns = entry.machine->activeConnections();
+            if (entry.connectionCap > 0 && conns >= entry.connectionCap)
+                continue;
+            if (!best) {
+                best = &entry;
+                continue;
+            }
+            long long lhs = static_cast<long long>(conns) * best->weight;
+            long long rhs =
+                static_cast<long long>(
+                    best->machine->activeConnections()) *
+                entry.weight;
+            if (lhs < rhs)
+                best = &entry;
+        }
+        return best;
+    };
+
+    Entry *best = pick(true);
+    if (!best)
+        best = pick(false);
+    if (!best) {
+        ++dropped_;
+        return;
+    }
+    ++best->dispatched;
+    best->machine->offer(request); // drops are counted via the hook
+}
+
+int
+LoadBalancer::activeConnections(const std::string &name) const
+{
+    return find(name).machine->activeConnections();
+}
+
+std::vector<std::string>
+LoadBalancer::serverNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(servers_.size());
+    for (const Entry &entry : servers_)
+        out.push_back(entry.machine->name());
+    return out;
+}
+
+cluster::ServerMachine &
+LoadBalancer::server(const std::string &name)
+{
+    return *find(name).machine;
+}
+
+const cluster::ServerMachine &
+LoadBalancer::server(const std::string &name) const
+{
+    return *find(name).machine;
+}
+
+double
+LoadBalancer::dropRate() const
+{
+    if (submitted_ == 0)
+        return 0.0;
+    return static_cast<double>(dropped_) /
+           static_cast<double>(submitted_);
+}
+
+uint64_t
+LoadBalancer::dispatchedTo(const std::string &name) const
+{
+    return find(name).dispatched;
+}
+
+void
+LoadBalancer::setCompletionObserver(Observer observer)
+{
+    observer_ = std::move(observer);
+}
+
+RunningStats
+LoadBalancer::latencyStats() const
+{
+    RunningStats out;
+    for (const Entry &entry : servers_)
+        out.merge(entry.machine->latencyStats());
+    return out;
+}
+
+Histogram
+LoadBalancer::latencyHistogram() const
+{
+    Histogram out(0.0, 20.0, 2000);
+    for (const Entry &entry : servers_)
+        out.merge(entry.machine->latencyHistogram());
+    return out;
+}
+
+} // namespace lb
+} // namespace mercury

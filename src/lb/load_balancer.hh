@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The LVS substitute: a layer-4 load balancer with *weighted
+ * least-connections* request distribution (Section 4.1; Zhang's Linux
+ * Virtual Server). Freon manipulates exactly the knobs LVS exposes:
+ * per-server weights, per-server concurrent-connection caps, and
+ * administrative removal/addition of servers; admd also queries the
+ * active-connection statistics.
+ */
+
+#ifndef MERCURY_LB_LOAD_BALANCER_HH
+#define MERCURY_LB_LOAD_BALANCER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/request.hh"
+#include "cluster/server_machine.hh"
+
+namespace mercury {
+namespace lb {
+
+/**
+ * Weighted least-connections dispatcher over ServerMachines.
+ */
+class LoadBalancer
+{
+  public:
+    /** Default weight given to newly added servers (LVS uses integer
+     *  weights; a large base keeps Freon's rescaling precise). */
+    static constexpr int kDefaultWeight = 1000;
+
+    LoadBalancer() = default;
+
+    /** Register a server (borrowed). Installs the completion hook. */
+    void addServer(cluster::ServerMachine *server,
+                   int weight = kDefaultWeight);
+
+    /** @name LVS control interface (used by Freon's admd) */
+    /// @{
+
+    /** Set a server's weight; 0 stops new connections to it. */
+    void setWeight(const std::string &name, int weight);
+    int weight(const std::string &name) const;
+
+    /** Cap concurrent connections; 0 removes the cap. */
+    void setConnectionCap(const std::string &name, int cap);
+    int connectionCap(const std::string &name) const;
+
+    /** Administratively include/exclude a server (power cycling). */
+    void setEnabled(const std::string &name, bool enabled);
+    bool enabled(const std::string &name) const;
+
+    /**
+     * Content-aware dispatch (the extension Section 4.3 proposes):
+     * when disallowed, CPU-heavy dynamic requests avoid this server as
+     * long as at least one other eligible server accepts them; static
+     * requests still flow normally.
+     */
+    void setDynamicContentAllowed(const std::string &name, bool allowed);
+    bool dynamicContentAllowed(const std::string &name) const;
+
+    /// @}
+    /** @name Dispatch */
+    /// @{
+
+    /**
+     * Route one request with weighted least-connections: among
+     * enabled, powered-on, positively weighted servers below their
+     * caps, pick the one minimising activeConnections / weight.
+     * Requests with no eligible server are dropped.
+     */
+    void submit(const cluster::Request &request);
+
+    /// @}
+    /** @name Statistics */
+    /// @{
+
+    int activeConnections(const std::string &name) const;
+    std::vector<std::string> serverNames() const;
+    cluster::ServerMachine &server(const std::string &name);
+    const cluster::ServerMachine &server(const std::string &name) const;
+
+    uint64_t submitted() const { return submitted_; }
+    uint64_t completed() const { return completed_; }
+    uint64_t dropped() const { return dropped_; }
+
+    /** Fraction of submitted requests dropped so far. */
+    double dropRate() const;
+
+    /** Aggregate completion-latency summary across all servers [s]. */
+    RunningStats latencyStats() const;
+
+    /** Aggregate latency distribution across all servers [s]. */
+    Histogram latencyHistogram() const;
+
+    /** Requests dispatched to one server since start. */
+    uint64_t dispatchedTo(const std::string &name) const;
+
+    /// @}
+
+    /**
+     * Observe every terminal request outcome (after the balancer's own
+     * accounting). Multi-tier setups use this to launch the next
+     * tier's sub-request when a front-tier request completes.
+     */
+    using Observer = std::function<void(const cluster::ServerMachine &,
+                                        const cluster::Request &,
+                                        cluster::RequestOutcome)>;
+    void setCompletionObserver(Observer observer);
+
+  private:
+    struct Entry
+    {
+        cluster::ServerMachine *machine = nullptr;
+        int weight = kDefaultWeight;
+        int connectionCap = 0; // 0 = uncapped
+        bool enabled = true;
+        bool dynamicAllowed = true;
+        uint64_t dispatched = 0;
+    };
+
+    Entry &find(const std::string &name);
+    const Entry &find(const std::string &name) const;
+
+    std::vector<Entry> servers_;
+    std::map<std::string, size_t> byName_;
+    Observer observer_;
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+} // namespace lb
+} // namespace mercury
+
+#endif // MERCURY_LB_LOAD_BALANCER_HH

@@ -1,0 +1,56 @@
+#include "monitor/monitord.hh"
+
+#include "proto/solver_service.hh"
+#include "util/logging.hh"
+
+namespace mercury {
+namespace monitor {
+
+Monitord::Monitord(std::string machine,
+                   std::unique_ptr<UtilizationSource> source, Sink sink)
+    : machine_(std::move(machine)), source_(std::move(source)),
+      sink_(std::move(sink))
+{
+    if (!source_)
+        MERCURY_PANIC("Monitord: null source");
+    if (!sink_)
+        MERCURY_PANIC("Monitord: null sink");
+}
+
+void
+Monitord::tick(double now_seconds)
+{
+    for (const Reading &reading : source_->sample(now_seconds)) {
+        proto::UtilizationUpdate update;
+        update.machine = machine_;
+        update.component = reading.component;
+        update.utilization = reading.utilization;
+        update.sequence = sequence_++;
+        sink_(update);
+        ++updatesSent_;
+    }
+}
+
+Monitord::Sink
+Monitord::udpSink(std::shared_ptr<net::UdpSocket> socket,
+                  net::Endpoint solver)
+{
+    if (!socket)
+        MERCURY_PANIC("Monitord::udpSink: null socket");
+    return [socket, solver](const proto::UtilizationUpdate &update) {
+        proto::Packet packet = proto::encode(update);
+        socket->sendTo(solver, packet.data(), packet.size());
+    };
+}
+
+Monitord::Sink
+Monitord::serviceSink(proto::SolverService &service)
+{
+    return [&service](const proto::UtilizationUpdate &update) {
+        proto::Packet packet = proto::encode(update);
+        service.handlePacket(packet.data(), packet.size());
+    };
+}
+
+} // namespace monitor
+} // namespace mercury

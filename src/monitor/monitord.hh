@@ -1,0 +1,72 @@
+/**
+ * @file
+ * monitord: periodically samples a machine's component utilizations
+ * and ships them to the solver as 128-byte UtilizationUpdate messages
+ * (paper Section 2.3). The update frequency is a tunable set to one
+ * second by default, like the paper's.
+ *
+ * The sink is pluggable: a UDP sink for the real daemon, an in-process
+ * sink straight into a SolverService for simulated clusters and tests.
+ */
+
+#ifndef MERCURY_MONITOR_MONITORD_HH
+#define MERCURY_MONITOR_MONITORD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "monitor/source.hh"
+#include "net/udp.hh"
+#include "proto/messages.hh"
+
+namespace mercury {
+
+namespace proto {
+class SolverService;
+} // namespace proto
+
+namespace monitor {
+
+/**
+ * The monitoring daemon for one machine.
+ */
+class Monitord
+{
+  public:
+    /** Delivers one encoded update to the solver. */
+    using Sink = std::function<void(const proto::UtilizationUpdate &)>;
+
+    /**
+     * @param machine name reported in every update
+     * @param source utilization source (owned)
+     * @param sink update delivery (UDP or in-process)
+     */
+    Monitord(std::string machine, std::unique_ptr<UtilizationSource> source,
+             Sink sink);
+
+    /** Sample once and ship every reading. Call once per interval. */
+    void tick(double now_seconds);
+
+    uint64_t updatesSent() const { return updatesSent_; }
+    const std::string &machine() const { return machine_; }
+
+    /** Sink that sends 128-byte datagrams to a solver endpoint. */
+    static Sink udpSink(std::shared_ptr<net::UdpSocket> socket,
+                        net::Endpoint solver);
+
+    /** Sink that feeds a SolverService directly (same packet bytes). */
+    static Sink serviceSink(proto::SolverService &service);
+
+  private:
+    std::string machine_;
+    std::unique_ptr<UtilizationSource> source_;
+    Sink sink_;
+    uint64_t updatesSent_ = 0;
+    uint64_t sequence_ = 0;
+};
+
+} // namespace monitor
+} // namespace mercury
+
+#endif // MERCURY_MONITOR_MONITORD_HH

@@ -1,0 +1,228 @@
+#include "monitor/source.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mercury {
+namespace monitor {
+
+ProcSource::ProcSource(double nic_bytes_per_second, std::string proc_root)
+    : procRoot_(std::move(proc_root)),
+      nicBytesPerSecond_(nic_bytes_per_second)
+{
+    std::ifstream stat(procPath("stat"));
+    available_ = stat.good();
+}
+
+std::string
+ProcSource::procPath(const char *name) const
+{
+    return procRoot_ + "/" + name;
+}
+
+ProcSource::CpuTimes
+ProcSource::readCpu()
+{
+    CpuTimes out;
+    std::ifstream stat(procPath("stat"));
+    std::string line;
+    while (std::getline(stat, line)) {
+        if (!startsWith(line, "cpu "))
+            continue;
+        auto fields = splitWhitespace(line);
+        // cpu user nice system idle iowait irq softirq steal ...
+        uint64_t total = 0;
+        uint64_t idle = 0;
+        for (size_t i = 1; i < fields.size() && i <= 10; ++i) {
+            auto value = parseInt(fields[i]);
+            if (!value)
+                continue;
+            total += static_cast<uint64_t>(*value);
+            if (i == 4 || i == 5) // idle + iowait
+                idle += static_cast<uint64_t>(*value);
+        }
+        out.total = total;
+        out.busy = total - idle;
+        break;
+    }
+    return out;
+}
+
+uint64_t
+ProcSource::readDiskIoMs()
+{
+    std::ifstream diskstats(procPath("diskstats"));
+    std::string line;
+    uint64_t io_ms = 0;
+    while (std::getline(diskstats, line)) {
+        auto fields = splitWhitespace(line);
+        // major minor name reads ... field 12 (0-based in fields: 12)
+        // is "time spent doing I/Os (ms)".
+        if (fields.size() < 13)
+            continue;
+        const std::string &name = fields[2];
+        // Skip partitions, loop and ram devices; keep whole disks.
+        if (startsWith(name, "loop") || startsWith(name, "ram"))
+            continue;
+        bool partition = !name.empty() &&
+                         std::isdigit(static_cast<unsigned char>(
+                             name.back())) &&
+                         (startsWith(name, "sd") || startsWith(name, "hd") ||
+                          startsWith(name, "vd"));
+        if (partition)
+            continue;
+        auto value = parseInt(fields[12]);
+        if (value)
+            io_ms += static_cast<uint64_t>(*value);
+    }
+    return io_ms;
+}
+
+uint64_t
+ProcSource::readNetBytes()
+{
+    std::ifstream netdev(procPath("net/dev"));
+    std::string line;
+    uint64_t bytes = 0;
+    while (std::getline(netdev, line)) {
+        size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string name = trim(line.substr(0, colon));
+        if (name == "lo")
+            continue;
+        auto fields = splitWhitespace(line.substr(colon + 1));
+        if (fields.size() < 9)
+            continue;
+        auto rx = parseInt(fields[0]);
+        auto tx = parseInt(fields[8]);
+        if (rx)
+            bytes += static_cast<uint64_t>(*rx);
+        if (tx)
+            bytes += static_cast<uint64_t>(*tx);
+    }
+    return bytes;
+}
+
+std::vector<Reading>
+ProcSource::sample(double now_seconds)
+{
+    if (!available_)
+        return {};
+    CpuTimes cpu = readCpu();
+    uint64_t disk_ms = readDiskIoMs();
+    uint64_t net_bytes = readNetBytes();
+
+    std::vector<Reading> out;
+    if (first_) {
+        first_ = false;
+        out.push_back({"cpu", 0.0});
+        out.push_back({"disk", 0.0});
+        out.push_back({"net", 0.0});
+    } else {
+        double dt = std::max(1e-6, now_seconds - lastTime_);
+        double cpu_util = 0.0;
+        if (cpu.total > lastCpu_.total) {
+            cpu_util = static_cast<double>(cpu.busy - lastCpu_.busy) /
+                       static_cast<double>(cpu.total - lastCpu_.total);
+        }
+        double disk_util =
+            static_cast<double>(disk_ms - lastDiskMs_) / (dt * 1000.0);
+        double net_util = static_cast<double>(net_bytes - lastNetBytes_) /
+                          (dt * nicBytesPerSecond_);
+        out.push_back({"cpu", std::clamp(cpu_util, 0.0, 1.0)});
+        out.push_back({"disk", std::clamp(disk_util, 0.0, 1.0)});
+        out.push_back({"net", std::clamp(net_util, 0.0, 1.0)});
+    }
+    lastTime_ = now_seconds;
+    lastCpu_ = cpu;
+    lastDiskMs_ = disk_ms;
+    lastNetBytes_ = net_bytes;
+    return out;
+}
+
+TraceSource::TraceSource(const core::UtilizationTrace &trace,
+                         std::string machine)
+    : trace_(trace), machine_(std::move(machine))
+{
+}
+
+std::vector<Reading>
+TraceSource::sample(double now_seconds)
+{
+    const auto &samples = trace_.samples();
+    while (next_ < samples.size() && samples[next_].time <= now_seconds) {
+        if (samples[next_].machine == machine_)
+            current_[samples[next_].component] = samples[next_].utilization;
+        ++next_;
+    }
+    std::vector<Reading> out;
+    out.reserve(current_.size());
+    for (const auto &[component, utilization] : current_)
+        out.push_back({component, utilization});
+    return out;
+}
+
+void
+SyntheticSource::addComponent(const std::string &component,
+                              Waveform waveform)
+{
+    if (!waveform)
+        MERCURY_PANIC("SyntheticSource: empty waveform for ", component);
+    components_.emplace_back(component, std::move(waveform));
+}
+
+std::vector<Reading>
+SyntheticSource::sample(double now_seconds)
+{
+    std::vector<Reading> out;
+    out.reserve(components_.size());
+    for (const auto &[component, waveform] : components_) {
+        out.push_back(
+            {component, std::clamp(waveform(now_seconds), 0.0, 1.0)});
+    }
+    return out;
+}
+
+CounterSource::CounterSource(core::PerfCounterPowerModel model,
+                             Waveform load, std::vector<double> peak_rates,
+                             uint64_t seed, std::string component)
+    : model_(std::move(model)), load_(std::move(load)),
+      peakRates_(std::move(peak_rates)), rng_(seed),
+      component_(std::move(component))
+{
+    if (peakRates_.size() != model_.eventCount()) {
+        MERCURY_PANIC("CounterSource: ", peakRates_.size(),
+                      " peak rates for ", model_.eventCount(),
+                      " event classes");
+    }
+}
+
+std::vector<Reading>
+CounterSource::sample(double now_seconds)
+{
+    double dt = first_ ? 1.0 : std::max(1e-6, now_seconds - lastTime_);
+    first_ = false;
+    lastTime_ = now_seconds;
+
+    double load = std::clamp(load_(now_seconds), 0.0, 1.0);
+    lastCounts_.assign(model_.eventCount(), 0);
+    for (size_t i = 0; i < peakRates_.size(); ++i) {
+        double expected = load * peakRates_[i] * dt;
+        // +-5% multiplicative noise, floored at zero.
+        double noisy = expected * (1.0 + 0.05 * rng_.gaussian());
+        lastCounts_[i] =
+            static_cast<uint64_t>(std::llround(std::max(0.0, noisy)));
+    }
+    double power = model_.intervalPower(lastCounts_, dt);
+    return {{component_, model_.lowLevelUtilization(power)}};
+}
+
+} // namespace monitor
+} // namespace mercury

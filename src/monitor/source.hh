@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Utilization sources for monitord.
+ *
+ * The paper's monitord samples CPU/disk/NIC utilization from /proc
+ * once per second. This reproduction keeps that source (it works on
+ * any Linux host) and adds three more that feed the same daemon:
+ * trace playback (offline mode), synthetic waveforms (calibration
+ * microbenchmarks), and a synthetic performance-counter source that
+ * exercises the Pentium 4 event-energy path of Section 2.3.
+ */
+
+#ifndef MERCURY_MONITOR_SOURCE_HH
+#define MERCURY_MONITOR_SOURCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/power.hh"
+#include "core/trace.hh"
+#include "util/random.hh"
+
+namespace mercury {
+namespace monitor {
+
+/** One sampled component utilization. */
+struct Reading
+{
+    std::string component;
+    double utilization = 0.0; //!< [0, 1]
+};
+
+/**
+ * Produces utilization readings for one machine.
+ */
+class UtilizationSource
+{
+  public:
+    virtual ~UtilizationSource() = default;
+
+    /**
+     * Sample the utilizations for the interval ending now.
+     * @param now_seconds monotonically increasing timestamp.
+     */
+    virtual std::vector<Reading> sample(double now_seconds) = 0;
+};
+
+/**
+ * Real /proc sampling (Linux). CPU from /proc/stat, disk from
+ * /proc/diskstats (milliseconds doing I/O), network from /proc/net/dev
+ * byte counters against a nominal link capacity. Utilizations are
+ * deltas, so the first sample reports zeros.
+ */
+class ProcSource : public UtilizationSource
+{
+  public:
+    /**
+     * @param nic_bytes_per_second nominal full-duplex link capacity
+     * @param proc_root where the procfs lives; tests point this at a
+     * fixture directory containing stat/diskstats/net_dev files
+     */
+    explicit ProcSource(double nic_bytes_per_second = 125e6,
+                        std::string proc_root = "/proc");
+
+    std::vector<Reading> sample(double now_seconds) override;
+
+    /** True when /proc was readable at construction. */
+    bool available() const { return available_; }
+
+  private:
+    struct CpuTimes
+    {
+        uint64_t busy = 0;
+        uint64_t total = 0;
+    };
+
+    CpuTimes readCpu();
+    uint64_t readDiskIoMs();
+    uint64_t readNetBytes();
+
+    /** Path of one procfs file under the configured root. */
+    std::string procPath(const char *name) const;
+
+    std::string procRoot_;
+    double nicBytesPerSecond_;
+    bool available_ = false;
+    bool first_ = true;
+    double lastTime_ = 0.0;
+    CpuTimes lastCpu_;
+    uint64_t lastDiskMs_ = 0;
+    uint64_t lastNetBytes_ = 0;
+};
+
+/**
+ * Replays one machine's utilizations from a trace.
+ */
+class TraceSource : public UtilizationSource
+{
+  public:
+    /** @param trace borrowed; must outlive the source. */
+    TraceSource(const core::UtilizationTrace &trace, std::string machine);
+
+    std::vector<Reading> sample(double now_seconds) override;
+
+  private:
+    const core::UtilizationTrace &trace_;
+    std::string machine_;
+    size_t next_ = 0;
+    std::map<std::string, double> current_;
+};
+
+/**
+ * Function-of-time utilizations — the calibration microbenchmarks
+ * (Figures 5-8) are built from these.
+ */
+class SyntheticSource : public UtilizationSource
+{
+  public:
+    /** Utilization in [0, 1] as a function of time [s]. */
+    using Waveform = std::function<double(double)>;
+
+    /** Register one component's waveform. */
+    void addComponent(const std::string &component, Waveform waveform);
+
+    std::vector<Reading> sample(double now_seconds) override;
+
+  private:
+    std::vector<std::pair<std::string, Waveform>> components_;
+};
+
+/**
+ * Synthetic hardware performance counters for one CPU: a load level in
+ * [0, 1] is turned into plausible per-interval event counts (with
+ * multiplicative noise), which are then pushed through the
+ * event-energy model and normalised back to a "low-level utilization"
+ * — exactly the monitord pipeline the paper describes for the P4.
+ */
+class CounterSource : public UtilizationSource
+{
+  public:
+    using Waveform = std::function<double(double)>;
+
+    /**
+     * @param model event-energy model (defines the event classes)
+     * @param load CPU load level over time
+     * @param peak_rates per-event-class counts per second at load 1.0
+     * @param seed RNG seed for the count noise
+     * @param component reported component name
+     */
+    CounterSource(core::PerfCounterPowerModel model, Waveform load,
+                  std::vector<double> peak_rates, uint64_t seed = 1,
+                  std::string component = "cpu");
+
+    std::vector<Reading> sample(double now_seconds) override;
+
+    /** The raw counts of the last sample (for tests/diagnostics). */
+    const std::vector<uint64_t> &lastCounts() const { return lastCounts_; }
+
+  private:
+    core::PerfCounterPowerModel model_;
+    Waveform load_;
+    std::vector<double> peakRates_;
+    Rng rng_;
+    std::string component_;
+    double lastTime_ = 0.0;
+    bool first_ = true;
+    std::vector<uint64_t> lastCounts_;
+};
+
+} // namespace monitor
+} // namespace mercury
+
+#endif // MERCURY_MONITOR_SOURCE_HH

@@ -1,0 +1,151 @@
+#include "net/udp.hh"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace mercury {
+namespace net {
+
+std::string
+Endpoint::toString() const
+{
+    in_addr addr;
+    addr.s_addr = address;
+    char buf[INET_ADDRSTRLEN] = {};
+    inet_ntop(AF_INET, &addr, buf, sizeof(buf));
+    return format("%s:%u", buf, static_cast<unsigned>(port));
+}
+
+std::optional<uint32_t>
+resolveHost(const std::string &host)
+{
+    in_addr parsed;
+    if (inet_pton(AF_INET, host.c_str(), &parsed) == 1)
+        return parsed.s_addr;
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_DGRAM;
+    addrinfo *result = nullptr;
+    if (getaddrinfo(host.c_str(), nullptr, &hints, &result) != 0)
+        return std::nullopt;
+    std::optional<uint32_t> out;
+    for (addrinfo *it = result; it; it = it->ai_next) {
+        if (it->ai_family == AF_INET) {
+            out = reinterpret_cast<sockaddr_in *>(it->ai_addr)
+                      ->sin_addr.s_addr;
+            break;
+        }
+    }
+    freeaddrinfo(result);
+    return out;
+}
+
+UdpSocket::UdpSocket()
+{
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0)
+        fatal("socket(): ", std::strerror(errno));
+}
+
+UdpSocket::~UdpSocket()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket &&other) noexcept
+    : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+UdpSocket &
+UdpSocket::operator=(UdpSocket &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+UdpSocket::bind(uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0)
+        fatal("bind(", port, "): ", std::strerror(errno));
+}
+
+uint16_t
+UdpSocket::localPort() const
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr), &len) < 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+bool
+UdpSocket::sendTo(const Endpoint &to, const void *data, size_t length)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = to.address;
+    addr.sin_port = htons(to.port);
+    ssize_t sent = ::sendto(fd_, data, length, 0,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr));
+    if (sent < 0) {
+        warn("sendto(", to.toString(), "): ", std::strerror(errno));
+        return false;
+    }
+    return static_cast<size_t>(sent) == length;
+}
+
+std::optional<size_t>
+UdpSocket::recvFrom(void *buffer, size_t capacity, Endpoint *from,
+                    double timeout_seconds)
+{
+    pollfd pfd{fd_, POLLIN, 0};
+    int timeout_ms = timeout_seconds < 0
+                         ? -1
+                         : static_cast<int>(std::ceil(timeout_seconds *
+                                                      1000.0));
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0)
+        return std::nullopt;
+
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    ssize_t got = ::recvfrom(fd_, buffer, capacity, 0,
+                             reinterpret_cast<sockaddr *>(&addr), &len);
+    if (got < 0)
+        return std::nullopt;
+    if (from) {
+        from->address = addr.sin_addr.s_addr;
+        from->port = ntohs(addr.sin_port);
+    }
+    return static_cast<size_t>(got);
+}
+
+} // namespace net
+} // namespace mercury

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Thin RAII wrapper around POSIX UDP sockets. Mercury's daemons speak
+ * fixed-size datagrams (proto/messages.hh); this wrapper adds bounded
+ * waits and address resolution and nothing else.
+ */
+
+#ifndef MERCURY_NET_UDP_HH
+#define MERCURY_NET_UDP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mercury {
+namespace net {
+
+/** A resolved IPv4 endpoint. */
+struct Endpoint
+{
+    uint32_t address = 0; //!< network byte order
+    uint16_t port = 0;    //!< host byte order
+
+    std::string toString() const;
+};
+
+/** Resolve a host name or dotted quad; nullopt on failure. */
+std::optional<uint32_t> resolveHost(const std::string &host);
+
+/**
+ * Move-only UDP socket.
+ */
+class UdpSocket
+{
+  public:
+    /** Creates the socket; fatal when the OS refuses. */
+    UdpSocket();
+    ~UdpSocket();
+
+    UdpSocket(UdpSocket &&other) noexcept;
+    UdpSocket &operator=(UdpSocket &&other) noexcept;
+    UdpSocket(const UdpSocket &) = delete;
+    UdpSocket &operator=(const UdpSocket &) = delete;
+
+    /** Bind to a local port (0 = ephemeral); fatal on failure. */
+    void bind(uint16_t port);
+
+    /** Local port after bind (or after the first send). */
+    uint16_t localPort() const;
+
+    /** Send one datagram to an endpoint. Returns false on error. */
+    bool sendTo(const Endpoint &to, const void *data, size_t length);
+
+    /**
+     * Wait up to @p timeout_seconds for a datagram. Returns the byte
+     * count, or nullopt on timeout/error. @p from (optional) receives
+     * the sender's endpoint.
+     */
+    std::optional<size_t> recvFrom(void *buffer, size_t capacity,
+                                   Endpoint *from, double timeout_seconds);
+
+    /** Raw descriptor (for poll integration in the daemons). */
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace net
+} // namespace mercury
+
+#endif // MERCURY_NET_UDP_HH

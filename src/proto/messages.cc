@@ -1,0 +1,309 @@
+#include "proto/messages.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace proto {
+
+namespace {
+
+/** Little-endian primitive writers/readers over a Packet. */
+class Writer
+{
+  public:
+    explicit Writer(Packet &packet) : packet_(packet)
+    {
+        packet_.fill(0);
+    }
+
+    void
+    u8(uint8_t value)
+    {
+        check(1);
+        packet_[pos_++] = value;
+    }
+
+    void
+    u16(uint16_t value)
+    {
+        check(2);
+        packet_[pos_++] = static_cast<uint8_t>(value);
+        packet_[pos_++] = static_cast<uint8_t>(value >> 8);
+    }
+
+    void
+    u32(uint32_t value)
+    {
+        u16(static_cast<uint16_t>(value));
+        u16(static_cast<uint16_t>(value >> 16));
+    }
+
+    void
+    u64(uint64_t value)
+    {
+        u32(static_cast<uint32_t>(value));
+        u32(static_cast<uint32_t>(value >> 32));
+    }
+
+    void
+    f64(double value)
+    {
+        u64(std::bit_cast<uint64_t>(value));
+    }
+
+    /** NUL-padded fixed-width string field; fatal when too long. */
+    void
+    fixedString(const std::string &value, size_t width,
+                const char *field)
+    {
+        if (value.size() >= width) {
+            fatal("proto: field '", field, "' too long (",
+                  value.size(), " >= ", width, " bytes): ", value);
+        }
+        check(width);
+        std::memcpy(packet_.data() + pos_, value.data(), value.size());
+        pos_ += width;
+    }
+
+  private:
+    void
+    check(size_t need)
+    {
+        if (pos_ + need > kMessageSize)
+            MERCURY_PANIC("proto: packet overflow at offset ", pos_);
+    }
+
+    Packet &packet_;
+    size_t pos_ = 0;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const Packet &packet) : packet_(packet) {}
+
+    uint8_t
+    u8()
+    {
+        return packet_[pos_++];
+    }
+
+    uint16_t
+    u16()
+    {
+        uint16_t lo = u8();
+        uint16_t hi = u8();
+        return static_cast<uint16_t>(lo | (hi << 8));
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t lo = u16();
+        uint32_t hi = u16();
+        return lo | (hi << 16);
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t lo = u32();
+        uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    std::string
+    fixedString(size_t width)
+    {
+        size_t len = 0;
+        while (len < width && packet_[pos_ + len] != 0)
+            ++len;
+        std::string out(reinterpret_cast<const char *>(packet_.data() +
+                                                       pos_),
+                        len);
+        pos_ += width;
+        return out;
+    }
+
+  private:
+    const Packet &packet_;
+    size_t pos_ = 0;
+};
+
+void
+writeHeader(Writer &writer, MessageType type)
+{
+    writer.u32(kMagic);
+    writer.u8(kVersion);
+    writer.u8(static_cast<uint8_t>(type));
+    writer.u16(0); // reserved
+}
+
+constexpr size_t kNameWidth = 32;
+constexpr size_t kFiddleRequestWidth = kMessageSize - 8 - 4;  // 116
+constexpr size_t kFiddleReplyWidth = kMessageSize - 8 - 4 - 1; // 115
+
+} // namespace
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Ok:               return "ok";
+      case Status::UnknownMachine:   return "unknown machine";
+      case Status::UnknownComponent: return "unknown component";
+      case Status::BadCommand:       return "bad command";
+      case Status::InternalError:    return "internal error";
+    }
+    return "?";
+}
+
+Packet
+encode(const UtilizationUpdate &msg)
+{
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::UtilizationUpdate);
+    writer.fixedString(msg.machine, kNameWidth, "machine");
+    writer.fixedString(msg.component, kNameWidth, "component");
+    writer.f64(msg.utilization);
+    writer.u64(msg.sequence);
+    return packet;
+}
+
+Packet
+encode(const SensorRequest &msg)
+{
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::SensorRequest);
+    writer.u32(msg.requestId);
+    writer.fixedString(msg.machine, kNameWidth, "machine");
+    writer.fixedString(msg.component, kNameWidth, "component");
+    return packet;
+}
+
+Packet
+encode(const SensorReply &msg)
+{
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::SensorReply);
+    writer.u32(msg.requestId);
+    writer.u8(static_cast<uint8_t>(msg.status));
+    writer.u8(0);
+    writer.u16(0);
+    writer.f64(msg.temperature);
+    return packet;
+}
+
+Packet
+encode(const FiddleRequest &msg)
+{
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::FiddleRequest);
+    writer.u32(msg.requestId);
+    writer.fixedString(msg.commandLine, kFiddleRequestWidth, "command");
+    return packet;
+}
+
+Packet
+encode(const FiddleReply &msg)
+{
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::FiddleReply);
+    writer.u32(msg.requestId);
+    writer.u8(static_cast<uint8_t>(msg.status));
+    writer.fixedString(msg.message, kFiddleReplyWidth, "message");
+    return packet;
+}
+
+std::optional<Message>
+decode(const Packet &packet)
+{
+    Reader reader(packet);
+    if (reader.u32() != kMagic)
+        return std::nullopt;
+    if (reader.u8() != kVersion)
+        return std::nullopt;
+    uint8_t type = reader.u8();
+    reader.u16(); // reserved
+
+    switch (static_cast<MessageType>(type)) {
+      case MessageType::UtilizationUpdate: {
+        UtilizationUpdate msg;
+        msg.machine = reader.fixedString(kNameWidth);
+        msg.component = reader.fixedString(kNameWidth);
+        msg.utilization = reader.f64();
+        msg.sequence = reader.u64();
+        if (msg.machine.empty() || msg.component.empty())
+            return std::nullopt;
+        return msg;
+      }
+      case MessageType::SensorRequest: {
+        SensorRequest msg;
+        msg.requestId = reader.u32();
+        msg.machine = reader.fixedString(kNameWidth);
+        msg.component = reader.fixedString(kNameWidth);
+        if (msg.machine.empty() || msg.component.empty())
+            return std::nullopt;
+        return msg;
+      }
+      case MessageType::SensorReply: {
+        SensorReply msg;
+        msg.requestId = reader.u32();
+        uint8_t status = reader.u8();
+        if (status > static_cast<uint8_t>(Status::InternalError))
+            return std::nullopt;
+        msg.status = static_cast<Status>(status);
+        reader.u8();
+        reader.u16();
+        msg.temperature = reader.f64();
+        return msg;
+      }
+      case MessageType::FiddleRequest: {
+        FiddleRequest msg;
+        msg.requestId = reader.u32();
+        msg.commandLine = reader.fixedString(kFiddleRequestWidth);
+        if (msg.commandLine.empty())
+            return std::nullopt;
+        return msg;
+      }
+      case MessageType::FiddleReply: {
+        FiddleReply msg;
+        msg.requestId = reader.u32();
+        uint8_t status = reader.u8();
+        if (status > static_cast<uint8_t>(Status::InternalError))
+            return std::nullopt;
+        msg.status = static_cast<Status>(status);
+        msg.message = reader.fixedString(kFiddleReplyWidth);
+        return msg;
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<Message>
+decode(const uint8_t *data, size_t length)
+{
+    if (length != kMessageSize)
+        return std::nullopt;
+    Packet packet;
+    std::memcpy(packet.data(), data, kMessageSize);
+    return decode(packet);
+}
+
+} // namespace proto
+} // namespace mercury

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Wire formats for the Mercury suite.
+ *
+ * The paper's implementation exchanges fixed-size 128-byte UDP
+ * messages: monitord -> solver utilization updates, sensor-library
+ * requests/replies, and fiddle commands. We keep that exact framing:
+ * every packet is kMessageSize bytes, starts with a 8-byte header
+ * (magic, version, type) and is explicitly serialized little-endian so
+ * heterogeneous hosts interoperate.
+ */
+
+#ifndef MERCURY_PROTO_MESSAGES_HH
+#define MERCURY_PROTO_MESSAGES_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace mercury {
+namespace proto {
+
+/** Fixed packet size (paper Section 2.3: "128-byte UDP messages"). */
+inline constexpr size_t kMessageSize = 128;
+
+/** Packet buffer type. */
+using Packet = std::array<uint8_t, kMessageSize>;
+
+/** Protocol magic ('M''R''C''1'). */
+inline constexpr uint32_t kMagic = 0x3143524dU;
+
+/** Protocol version. */
+inline constexpr uint8_t kVersion = 1;
+
+/** Message discriminator. */
+enum class MessageType : uint8_t {
+    UtilizationUpdate = 1,
+    SensorRequest = 2,
+    SensorReply = 3,
+    FiddleRequest = 4,
+    FiddleReply = 5,
+};
+
+/** Status codes carried in replies. */
+enum class Status : uint8_t {
+    Ok = 0,
+    UnknownMachine = 1,
+    UnknownComponent = 2,
+    BadCommand = 3,
+    InternalError = 4,
+};
+
+/** Human-readable status name. */
+const char *statusName(Status status);
+
+/** monitord -> solver: one component's utilization this interval. */
+struct UtilizationUpdate
+{
+    std::string machine;   //!< max 31 bytes on the wire
+    std::string component; //!< max 31 bytes on the wire
+    double utilization = 0.0;
+    uint64_t sequence = 0; //!< sender sequence number (loss diagnosis)
+};
+
+/** sensor library -> solver: read one emulated sensor. */
+struct SensorRequest
+{
+    uint32_t requestId = 0;
+    std::string machine;
+    std::string component;
+};
+
+/** solver -> sensor library. */
+struct SensorReply
+{
+    uint32_t requestId = 0;
+    Status status = Status::Ok;
+    double temperature = 0.0; //!< degC, valid when status == Ok
+};
+
+/** fiddle -> solver: a textual command line (see fiddle/command.hh). */
+struct FiddleRequest
+{
+    uint32_t requestId = 0;
+    std::string commandLine; //!< max 115 bytes on the wire
+};
+
+/** solver -> fiddle. */
+struct FiddleReply
+{
+    uint32_t requestId = 0;
+    Status status = Status::Ok;
+    std::string message; //!< short diagnostic, max 114 bytes
+};
+
+/** Any decoded message. */
+using Message = std::variant<UtilizationUpdate, SensorRequest, SensorReply,
+                             FiddleRequest, FiddleReply>;
+
+/** @name Encoding (fatal on oversized string fields) */
+/// @{
+Packet encode(const UtilizationUpdate &msg);
+Packet encode(const SensorRequest &msg);
+Packet encode(const SensorReply &msg);
+Packet encode(const FiddleRequest &msg);
+Packet encode(const FiddleReply &msg);
+/// @}
+
+/**
+ * Decode a packet. Returns nullopt on bad magic/version/type or
+ * malformed fields (never crashes on hostile input).
+ */
+std::optional<Message> decode(const Packet &packet);
+
+/** Decode from a raw buffer of @p length bytes. */
+std::optional<Message> decode(const uint8_t *data, size_t length);
+
+} // namespace proto
+} // namespace mercury
+
+#endif // MERCURY_PROTO_MESSAGES_HH

@@ -1,0 +1,64 @@
+#include "proto/solver_daemon.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/solver.hh"
+#include "util/logging.hh"
+
+namespace mercury {
+namespace proto {
+
+SolverDaemon::SolverDaemon(core::Solver &solver, Config config)
+    : solver_(solver), config_(config), service_(solver)
+{
+    socket_.bind(config_.port);
+}
+
+uint16_t
+SolverDaemon::port() const
+{
+    return socket_.localPort();
+}
+
+void
+SolverDaemon::run()
+{
+    using Clock = std::chrono::steady_clock;
+    const bool stepping = config_.iterationSeconds > 0.0;
+    auto period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(
+            stepping ? config_.iterationSeconds : 0.1));
+    auto next_iteration = Clock::now() + period;
+
+    while (!stop_.load(std::memory_order_relaxed)) {
+        double timeout = 0.05;
+        if (stepping) {
+            auto now = Clock::now();
+            if (now >= next_iteration) {
+                solver_.iterate();
+                next_iteration += period;
+                // If we fell behind (heavy queries), skip forward
+                // rather than bursting iterations.
+                if (next_iteration < now)
+                    next_iteration = now + period;
+            }
+            auto until = std::chrono::duration<double>(next_iteration -
+                                                       Clock::now())
+                             .count();
+            timeout = std::clamp(until, 0.0, 0.05);
+        }
+
+        uint8_t buffer[kMessageSize];
+        net::Endpoint from;
+        auto got = socket_.recvFrom(buffer, sizeof(buffer), &from, timeout);
+        if (!got)
+            continue;
+        auto reply = service_.handlePacket(buffer, *got);
+        if (reply)
+            socket_.sendTo(from, reply->data(), reply->size());
+    }
+}
+
+} // namespace proto
+} // namespace mercury

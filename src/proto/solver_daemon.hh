@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The blocking UDP solver daemon: binds a port, answers sensor and
+ * fiddle requests, applies utilization updates, and advances the
+ * solver once per (wall-clock) iteration period — this is the paper's
+ * `solver` process running "on a separate machine".
+ *
+ * apps/mercury_solverd.cc wraps this in a main(); the network tests
+ * run it on a background thread against an ephemeral port.
+ */
+
+#ifndef MERCURY_PROTO_SOLVER_DAEMON_HH
+#define MERCURY_PROTO_SOLVER_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/udp.hh"
+#include "proto/solver_service.hh"
+
+namespace mercury {
+
+namespace core {
+class Solver;
+} // namespace core
+
+namespace proto {
+
+/**
+ * UDP front end for a Solver.
+ */
+class SolverDaemon
+{
+  public:
+    struct Config
+    {
+        /** UDP port to bind; 0 picks an ephemeral port. The paper's
+         *  example uses 8367. */
+        uint16_t port = 8367;
+
+        /** Wall-clock seconds between solver iterations; <= 0
+         *  disables time-stepping (useful in tests that step the
+         *  solver themselves). */
+        double iterationSeconds = 1.0;
+    };
+
+    SolverDaemon(core::Solver &solver, Config config);
+
+    /** Bound UDP port (after construction). */
+    uint16_t port() const;
+
+    /**
+     * Serve until stop() is called from another thread. Packets and
+     * iteration deadlines are interleaved on one thread, so the solver
+     * needs no locking.
+     */
+    void run();
+
+    /** Ask a running run() loop to return (thread-safe). */
+    void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+    const SolverService &service() const { return service_; }
+
+  private:
+    core::Solver &solver_;
+    Config config_;
+    SolverService service_;
+    net::UdpSocket socket_;
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace proto
+} // namespace mercury
+
+#endif // MERCURY_PROTO_SOLVER_DAEMON_HH

@@ -1,0 +1,98 @@
+#include "proto/solver_service.hh"
+
+#include "core/solver.hh"
+#include "fiddle/command.hh"
+#include "util/logging.hh"
+
+namespace mercury {
+namespace proto {
+
+SolverService::SolverService(core::Solver &solver)
+    : solver_(solver)
+{
+}
+
+std::optional<Packet>
+SolverService::handlePacket(const uint8_t *data, size_t length)
+{
+    std::optional<Message> message = decode(data, length);
+    if (!message) {
+        ++undecodable_;
+        return std::nullopt;
+    }
+    return handle(*message);
+}
+
+std::optional<Packet>
+SolverService::handle(const Message &message)
+{
+    if (const auto *update = std::get_if<UtilizationUpdate>(&message)) {
+        onUtilization(*update);
+        return std::nullopt; // one-way, like the paper's monitord
+    }
+    if (const auto *request = std::get_if<SensorRequest>(&message))
+        return onSensorRequest(*request);
+    if (const auto *request = std::get_if<FiddleRequest>(&message))
+        return onFiddleRequest(*request);
+    // Reply types arriving at the server are peer bugs; drop them.
+    ++undecodable_;
+    return std::nullopt;
+}
+
+Packet
+SolverService::onUtilization(const UtilizationUpdate &msg)
+{
+    auto node = solver_.hasMachine(msg.machine)
+                    ? solver_.tryResolveNode(msg.machine, msg.component)
+                    : std::nullopt;
+    if (!node || !solver_.machine(msg.machine).isPowered(*node)) {
+        ++updatesRejected_;
+        std::string key = msg.machine + "." + msg.component;
+        if (warnedTargets_.insert(key).second) {
+            warn("solver: dropping utilization updates for ", key,
+                 " (no powered node; further drops are silent)");
+        }
+        return Packet{};
+    }
+    solver_.machine(msg.machine).setUtilization(*node, msg.utilization);
+    ++updatesApplied_;
+    return Packet{};
+}
+
+Packet
+SolverService::onSensorRequest(const SensorRequest &msg)
+{
+    SensorReply reply;
+    reply.requestId = msg.requestId;
+    if (!solver_.hasMachine(msg.machine)) {
+        reply.status = Status::UnknownMachine;
+        return encode(reply);
+    }
+    auto node = solver_.tryResolveNode(msg.machine, msg.component);
+    if (!node) {
+        reply.status = Status::UnknownComponent;
+        return encode(reply);
+    }
+    reply.status = Status::Ok;
+    reply.temperature = solver_.machine(msg.machine).temperature(*node);
+    ++sensorReads_;
+    return encode(reply);
+}
+
+Packet
+SolverService::onFiddleRequest(const FiddleRequest &msg)
+{
+    FiddleReply reply;
+    reply.requestId = msg.requestId;
+    fiddle::FiddleResult result =
+        fiddle::applyLine(solver_, msg.commandLine);
+    reply.status = result.ok ? Status::Ok : Status::BadCommand;
+    // Clamp the diagnostic to the wire field.
+    reply.message = result.message.substr(0, 110);
+    if (result.ok)
+        ++fiddlesApplied_;
+    return encode(reply);
+}
+
+} // namespace proto
+} // namespace mercury

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Server-side message handler: the logic of the solver daemon,
+ * independent of the transport. mercury_solverd pumps UDP packets
+ * through it; the in-process transport (used by the cluster simulation
+ * and the tests) calls it directly.
+ */
+
+#ifndef MERCURY_PROTO_SOLVER_SERVICE_HH
+#define MERCURY_PROTO_SOLVER_SERVICE_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "proto/messages.hh"
+
+namespace mercury {
+
+namespace core {
+class Solver;
+} // namespace core
+
+namespace proto {
+
+/**
+ * Dispatches decoded Mercury messages onto a live Solver.
+ */
+class SolverService
+{
+  public:
+    /** @param solver the configured solver (borrowed, not owned). */
+    explicit SolverService(core::Solver &solver);
+
+    /**
+     * Handle one raw packet; returns the reply packet when the message
+     * type warrants one (sensor and fiddle requests), nullopt for
+     * one-way messages (utilization updates) and undecodable input.
+     */
+    std::optional<Packet> handlePacket(const uint8_t *data, size_t length);
+
+    /** Handle a decoded message. */
+    std::optional<Packet> handle(const Message &message);
+
+    /** @name Counters (observability for the daemon and the tests) */
+    /// @{
+    uint64_t updatesApplied() const { return updatesApplied_; }
+    uint64_t updatesRejected() const { return updatesRejected_; }
+    uint64_t sensorReads() const { return sensorReads_; }
+    uint64_t fiddlesApplied() const { return fiddlesApplied_; }
+    uint64_t undecodable() const { return undecodable_; }
+    /// @}
+
+  private:
+    Packet onUtilization(const UtilizationUpdate &msg);
+    Packet onSensorRequest(const SensorRequest &msg);
+    Packet onFiddleRequest(const FiddleRequest &msg);
+
+    core::Solver &solver_;
+
+    /** Unmapped update targets already warned about. A machine whose
+     *  graph has no NIC node, say, produces a "net" update every
+     *  second in /proc mode; warn once, not once per second. */
+    std::set<std::string> warnedTargets_;
+
+    uint64_t updatesApplied_ = 0;
+    uint64_t updatesRejected_ = 0;
+    uint64_t sensorReads_ = 0;
+    uint64_t fiddlesApplied_ = 0;
+    uint64_t undecodable_ = 0;
+};
+
+} // namespace proto
+} // namespace mercury
+
+#endif // MERCURY_PROTO_SOLVER_SERVICE_HH

@@ -1,0 +1,284 @@
+#include "refmodel/reference_server.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace refmodel {
+
+namespace {
+
+/** Nominal fan flow the convective couplings were "measured" at. */
+constexpr double kNominalCfm = 38.6;
+
+/** Lump heat capacities [J/K] = mass [kg] x specific heat [J/(kg K)]. */
+constexpr double kCapacity[ReferenceServer::kStateCount] = {
+    0.021 * 700.0,  // cpu_die (die + spreader)
+    0.130 * 896.0,  // heat_sink
+    0.336 * 896.0,  // disk_platters
+    0.505 * 896.0,  // disk_shell
+    1.643 * 896.0,  // ps
+    0.718 * 1245.0, // motherboard
+    0.005 * 1006.0, // disk_air
+    0.005 * 1006.0, // ps_air
+    0.008 * 1006.0, // void_air
+    0.003 * 1006.0, // cpu_air
+    0.004 * 1006.0, // exhaust
+};
+
+/** Air fractions of the inlet flow reaching each region (Table 1). */
+constexpr double kDiskBranch = 0.4;
+constexpr double kPsBranch = 0.5;
+constexpr double kVoidDirect = 0.1;
+constexpr double kPsToVoid = 0.85;
+constexpr double kPsToCpu = 0.15;
+constexpr double kVoidToCpu = 0.05;
+constexpr double kVoidToExhaust = 0.95;
+
+} // namespace
+
+ReferenceServer::ReferenceServer(ReferenceConfig config)
+    : config_(config), temps_(kStateCount, config.inletTemperature),
+      noise_(config.noiseSeed)
+{
+    if (config_.integrationStep <= 0.0)
+        MERCURY_PANIC("ReferenceServer: non-positive integration step");
+    for (const std::string &probe : probeNames())
+        sensorState_[probe] = config_.inletTemperature;
+}
+
+void
+ReferenceServer::setUtilization(const std::string &component,
+                                double utilization)
+{
+    double u = std::clamp(utilization, 0.0, 1.0);
+    if (component == "cpu") {
+        cpuUtilization_ = u;
+    } else if (component == "disk") {
+        diskUtilization_ = u;
+    } else {
+        MERCURY_PANIC("ReferenceServer: unknown component '", component,
+                      "' (want cpu or disk)");
+    }
+}
+
+void
+ReferenceServer::setInletTemperature(double celsius)
+{
+    config_.inletTemperature = celsius;
+}
+
+void
+ReferenceServer::setFanCfm(double cfm)
+{
+    if (cfm < 0.0)
+        MERCURY_PANIC("ReferenceServer: negative fan flow");
+    config_.fanCfm = cfm;
+}
+
+double
+ReferenceServer::cpuPower() const
+{
+    // Mildly super-linear: high utilization costs proportionally more
+    // (frequency-scaling-free P3 behaviour; Mercury's linear equation 4
+    // must absorb this through calibration).
+    double u = cpuUtilization_;
+    return 7.0 + 24.0 * (0.88 * u + 0.12 * u * u);
+}
+
+double
+ReferenceServer::diskPower() const
+{
+    // Seek-dominated: concave in utilization.
+    return 9.0 + 5.0 * std::pow(diskUtilization_, 0.85);
+}
+
+double
+ReferenceServer::totalPower() const
+{
+    double cpu = cpuPower();
+    double disk = diskPower();
+    double ps = 38.5 + 0.06 * (cpu + disk);
+    return cpu + disk + ps + 4.0;
+}
+
+double
+ReferenceServer::convection(double h_nominal, double) const
+{
+    // Forced-convection scaling with flow^0.8 (Dittus-Boelter-like).
+    double ratio = std::max(0.02, config_.fanCfm / kNominalCfm);
+    return h_nominal * std::pow(ratio, 0.8);
+}
+
+ReferenceServer::State
+ReferenceServer::derivative(const State &t) const
+{
+    State rate(kStateCount, 0.0);
+    auto add = [&](StateIndex node, double watts) {
+        rate[node] += watts / kCapacity[node];
+    };
+    // Conduction/convection between two lumps; h drifts slightly with
+    // the hotter lump's temperature (Mercury assumes it does not).
+    auto couple = [&](StateIndex a, StateIndex b, double h) {
+        double hot = std::max(t[a], t[b]);
+        double h_eff = h * (1.0 + 0.002 * (hot - 25.0));
+        double watts = h_eff * (t[a] - t[b]);
+        add(a, -watts);
+        add(b, watts);
+    };
+
+    double cpu = cpuPower();
+    double disk = diskPower();
+    double ps = 38.5 + 0.06 * (cpu + disk);
+
+    // Heat generation.
+    add(kCpuDie, cpu);
+    add(kDiskPlatters, disk);
+    add(kPs, ps);
+    add(kMotherboard, 4.0);
+
+    // Solid-solid conduction (flow-independent).
+    couple(kCpuDie, kHeatSink, 6.0);
+    couple(kCpuDie, kMotherboard, 0.12);
+    couple(kDiskPlatters, kDiskShell, 2.2);
+
+    // Solid-air convection (flow-dependent).
+    couple(kHeatSink, kCpuAir, convection(1.0, kPsToCpu));
+    couple(kDiskShell, kDiskAir, convection(2.1, kDiskBranch));
+    couple(kPs, kPsAir, convection(4.4, kPsBranch));
+    couple(kMotherboard, kVoidAir, convection(10.5, 1.0));
+
+    // Advection: mdot_in c (T_upstream_mix - T_region).
+    double flow = units::cfmToKgPerS(config_.fanCfm);
+    double c_air = units::kAirSpecificHeat;
+    double t_in = config_.inletTemperature;
+
+    auto advect = [&](StateIndex node, double mdot_in, double mix) {
+        add(node, mdot_in * c_air * (mix - t[node]));
+    };
+
+    advect(kDiskAir, kDiskBranch * flow, t_in);
+    advect(kPsAir, kPsBranch * flow, t_in);
+
+    double void_in = (kVoidDirect + kDiskBranch + kPsToVoid * kPsBranch) *
+                     flow;
+    double void_mix = 0.0;
+    if (void_in > 1e-12) {
+        void_mix = (kVoidDirect * flow * t_in +
+                    kDiskBranch * flow * t[kDiskAir] +
+                    kPsToVoid * kPsBranch * flow * t[kPsAir]) /
+                   void_in;
+    }
+    advect(kVoidAir, void_in, void_mix);
+
+    double cpu_in = (kPsToCpu * kPsBranch + kVoidToCpu * 0.925) * flow;
+    double cpu_mix = 0.0;
+    if (cpu_in > 1e-12) {
+        cpu_mix = (kPsToCpu * kPsBranch * flow * t[kPsAir] +
+                   kVoidToCpu * 0.925 * flow * t[kVoidAir]) /
+                  cpu_in;
+    }
+    advect(kCpuAir, cpu_in, cpu_mix);
+
+    double exhaust_in = (kVoidToExhaust * 0.925 + 0.12125) * flow;
+    double exhaust_mix = 0.0;
+    if (exhaust_in > 1e-12) {
+        exhaust_mix = (kVoidToExhaust * 0.925 * flow * t[kVoidAir] +
+                       0.12125 * flow * t[kCpuAir]) /
+                      exhaust_in;
+    }
+    advect(kExhaust, exhaust_in, exhaust_mix);
+
+    return rate;
+}
+
+void
+ReferenceServer::rk4Step(double dt)
+{
+    State k1 = derivative(temps_);
+    State probe(kStateCount);
+    for (int i = 0; i < kStateCount; ++i)
+        probe[i] = temps_[i] + 0.5 * dt * k1[i];
+    State k2 = derivative(probe);
+    for (int i = 0; i < kStateCount; ++i)
+        probe[i] = temps_[i] + 0.5 * dt * k2[i];
+    State k3 = derivative(probe);
+    for (int i = 0; i < kStateCount; ++i)
+        probe[i] = temps_[i] + dt * k3[i];
+    State k4 = derivative(probe);
+    for (int i = 0; i < kStateCount; ++i) {
+        temps_[i] +=
+            dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+void
+ReferenceServer::step(double dt)
+{
+    if (dt <= 0.0)
+        MERCURY_PANIC("ReferenceServer::step: non-positive dt");
+    double remaining = dt;
+    while (remaining > 1e-12) {
+        double h = std::min(remaining, config_.integrationStep);
+        rk4Step(h);
+        time_ += h;
+        remaining -= h;
+        // First-order sensor lag tracks the true values continuously.
+        if (config_.sensorLagSeconds > 0.0) {
+            double alpha = h / config_.sensorLagSeconds;
+            alpha = std::min(1.0, alpha);
+            for (auto &[probe, state] : sensorState_)
+                state += alpha * (trueTemperature(probe) - state);
+        } else {
+            for (auto &[probe, state] : sensorState_)
+                state = trueTemperature(probe);
+        }
+    }
+}
+
+double
+ReferenceServer::trueTemperature(const std::string &probe) const
+{
+    static const std::map<std::string, StateIndex> kProbes = {
+        {"cpu_die", kCpuDie},         {"heat_sink", kHeatSink},
+        {"disk_platters", kDiskPlatters}, {"disk_shell", kDiskShell},
+        {"ps", kPs},                  {"motherboard", kMotherboard},
+        {"disk_air", kDiskAir},       {"ps_air", kPsAir},
+        {"void_air", kVoidAir},       {"cpu_air", kCpuAir},
+        {"exhaust", kExhaust},
+    };
+    auto it = kProbes.find(probe);
+    if (it == kProbes.end())
+        MERCURY_PANIC("ReferenceServer: unknown probe '", probe, "'");
+    return temps_[it->second];
+}
+
+double
+ReferenceServer::readSensor(const std::string &probe)
+{
+    auto it = sensorState_.find(probe);
+    if (it == sensorState_.end())
+        MERCURY_PANIC("ReferenceServer: unknown probe '", probe, "'");
+    double value = it->second;
+    if (config_.sensorNoiseStddev > 0.0)
+        value += noise_.gaussian(0.0, config_.sensorNoiseStddev);
+    if (config_.sensorQuantization > 0.0) {
+        value = std::round(value / config_.sensorQuantization) *
+                config_.sensorQuantization;
+    }
+    return value;
+}
+
+std::vector<std::string>
+ReferenceServer::probeNames() const
+{
+    return {"cpu_die",   "heat_sink", "disk_platters", "disk_shell",
+            "ps",        "motherboard", "disk_air",    "ps_air",
+            "void_air",  "cpu_air",   "exhaust"};
+}
+
+} // namespace refmodel
+} // namespace mercury

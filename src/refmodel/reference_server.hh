@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The "real machine" substitute used for Mercury's validation
+ * (Section 3.1 of the paper used a physical Pentium III server).
+ *
+ * This reference model is deliberately *richer* than Mercury's
+ * coarse-grained emulation, so that calibrating Mercury against it
+ * exercises the same correction the paper performed against hardware:
+ *
+ *  - components are split into multiple lumps (CPU die + heat sink,
+ *    disk platters + shell) with their own masses;
+ *  - convective couplings scale with air flow as h ~ (flow)^0.8 and
+ *    drift slightly with temperature — Mercury assumes constant k;
+ *  - power curves are mildly non-linear in utilization — Mercury
+ *    assumes the linear equation 4;
+ *  - air regions have thermal mass (transport lag) instead of
+ *    Mercury's instantaneous mixing;
+ *  - the whole state is integrated with RK4 at a 100 ms step;
+ *  - sensors add first-order lag, Gaussian noise and quantization
+ *    (the paper's thermometers were good to 1.5 degC, the in-disk
+ *    sensor to 3 degC).
+ */
+
+#ifndef MERCURY_REFMODEL_REFERENCE_SERVER_HH
+#define MERCURY_REFMODEL_REFERENCE_SERVER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace mercury {
+namespace refmodel {
+
+/** Tunables of the reference machine. */
+struct ReferenceConfig
+{
+    double inletTemperature = 21.6; //!< degC
+    double fanCfm = 38.6;
+
+    /** Sensor imperfections (set noise to 0 for exact reads). */
+    double sensorNoiseStddev = 0.15; //!< degC
+    double sensorQuantization = 0.1; //!< degC steps; 0 disables
+    double sensorLagSeconds = 4.0;   //!< first-order time constant
+    uint64_t noiseSeed = 12345;
+
+    /** Internal RK4 step [s]. */
+    double integrationStep = 0.1;
+};
+
+/**
+ * High-fidelity Table-1-like server. Probes (for trueTemperature and
+ * readSensor): cpu_die, heat_sink, cpu_air, disk_platters, disk_shell,
+ * disk_air, ps, motherboard, void_air, exhaust.
+ */
+class ReferenceServer
+{
+  public:
+    explicit ReferenceServer(ReferenceConfig config = {});
+
+    /** @name Inputs */
+    /// @{
+    /** @param component "cpu" or "disk". */
+    void setUtilization(const std::string &component, double utilization);
+    void setInletTemperature(double celsius);
+    void setFanCfm(double cfm);
+    double inletTemperature() const { return config_.inletTemperature; }
+    /// @}
+
+    /** Advance the model by @p dt seconds (internally substepped). */
+    void step(double dt);
+
+    double time() const { return time_; }
+
+    /** Exact state of a probe [degC] (no sensor artifacts). */
+    double trueTemperature(const std::string &probe) const;
+
+    /** Sensor reading: lagged, noisy, quantized. */
+    double readSensor(const std::string &probe);
+
+    /** All probe names. */
+    std::vector<std::string> probeNames() const;
+
+    /** Instantaneous electrical power [W]. */
+    double totalPower() const;
+
+    /** Indices into the state vector (public for the implementation's
+     *  capacity table; not part of the stable API). */
+    enum StateIndex {
+        kCpuDie,
+        kHeatSink,
+        kDiskPlatters,
+        kDiskShell,
+        kPs,
+        kMotherboard,
+        kDiskAir,
+        kPsAir,
+        kVoidAir,
+        kCpuAir,
+        kExhaust,
+        kStateCount
+    };
+
+  private:
+    using State = std::vector<double>;
+
+    /** dT/dt for the full state. */
+    State derivative(const State &temps) const;
+
+    void rk4Step(double dt);
+
+    double cpuPower() const;
+    double diskPower() const;
+
+    /** Flow-dependent convective coupling [W/K]. */
+    double convection(double h_nominal, double branch_flow_nominal) const;
+
+    ReferenceConfig config_;
+    State temps_;
+    double cpuUtilization_ = 0.0;
+    double diskUtilization_ = 0.0;
+    double time_ = 0.0;
+    mutable Rng noise_;
+
+    /** First-order-lagged sensor states, keyed by probe. */
+    std::map<std::string, double> sensorState_;
+};
+
+} // namespace refmodel
+} // namespace mercury
+
+#endif // MERCURY_REFMODEL_REFERENCE_SERVER_HH

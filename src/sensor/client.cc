@@ -1,0 +1,53 @@
+#include "sensor/client.hh"
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace sensor {
+
+SensorClient::SensorClient(std::unique_ptr<Transport> transport,
+                           std::string machine)
+    : transport_(std::move(transport)), machine_(std::move(machine))
+{
+    if (!transport_)
+        MERCURY_PANIC("SensorClient: null transport");
+}
+
+std::optional<double>
+SensorClient::read(const std::string &component)
+{
+    proto::SensorRequest request;
+    request.requestId = nextRequestId_++;
+    request.machine = machine_;
+    request.component = component;
+
+    auto reply = transport_->roundTrip(proto::encode(request));
+    if (!reply)
+        return std::nullopt;
+    const auto *sensor_reply = std::get_if<proto::SensorReply>(&*reply);
+    if (!sensor_reply || sensor_reply->requestId != request.requestId ||
+        sensor_reply->status != proto::Status::Ok) {
+        return std::nullopt;
+    }
+    return sensor_reply->temperature;
+}
+
+std::pair<bool, std::string>
+SensorClient::fiddle(const std::string &command_line)
+{
+    proto::FiddleRequest request;
+    request.requestId = nextRequestId_++;
+    request.commandLine = command_line;
+
+    auto reply = transport_->roundTrip(proto::encode(request));
+    if (!reply)
+        return {false, "no reply from solver"};
+    const auto *fiddle_reply = std::get_if<proto::FiddleReply>(&*reply);
+    if (!fiddle_reply || fiddle_reply->requestId != request.requestId)
+        return {false, "mismatched reply from solver"};
+    return {fiddle_reply->status == proto::Status::Ok,
+            fiddle_reply->message};
+}
+
+} // namespace sensor
+} // namespace mercury

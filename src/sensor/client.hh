@@ -1,0 +1,50 @@
+/**
+ * @file
+ * C++ sensor client: typed reads of emulated sensors, plus a fiddle
+ * round-trip helper (the fiddle CLI is a thin wrapper over this).
+ */
+
+#ifndef MERCURY_SENSOR_CLIENT_HH
+#define MERCURY_SENSOR_CLIENT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sensor/transport.hh"
+
+namespace mercury {
+namespace sensor {
+
+/**
+ * Reads emulated temperatures for one machine through a Transport.
+ * "The programmer can treat Mercury as a regular, local sensor
+ * device" — this is the typed face of that interface.
+ */
+class SensorClient
+{
+  public:
+    /**
+     * @param transport how to reach the solver (owned)
+     * @param machine which machine's sensors to read
+     */
+    SensorClient(std::unique_ptr<Transport> transport, std::string machine);
+
+    /** Read one component's temperature [degC]; nullopt on failure. */
+    std::optional<double> read(const std::string &component);
+
+    /** Send a fiddle command line; returns (ok, diagnostic). */
+    std::pair<bool, std::string> fiddle(const std::string &command_line);
+
+    const std::string &machine() const { return machine_; }
+
+  private:
+    std::unique_ptr<Transport> transport_;
+    std::string machine_;
+    uint32_t nextRequestId_ = 1;
+};
+
+} // namespace sensor
+} // namespace mercury
+
+#endif // MERCURY_SENSOR_CLIENT_HH

@@ -1,0 +1,110 @@
+#include "sensor/sensor_api.hh"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sensor/client.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using mercury::proto::SolverService;
+using mercury::sensor::LocalTransport;
+using mercury::sensor::SensorClient;
+using mercury::sensor::Transport;
+using mercury::sensor::UdpTransport;
+
+struct OpenSensor
+{
+    std::unique_ptr<SensorClient> client;
+    std::string component;
+};
+
+std::mutex registryMutex;
+std::map<int, OpenSensor> registry;
+int nextDescriptor = 1;
+SolverService *localService = nullptr;
+
+std::string
+localHostname()
+{
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0)
+        return "localhost";
+    return buf;
+}
+
+} // namespace
+
+int
+opensensor_for(const char *host, int port, const char *machine,
+               const char *component)
+{
+    if (!host || !machine || !component || port <= 0 || port > 65535)
+        return -1;
+
+    std::unique_ptr<Transport> transport;
+    {
+        std::lock_guard<std::mutex> guard(registryMutex);
+        if (std::string(host) == "local" && localService) {
+            transport = std::make_unique<LocalTransport>(*localService);
+        }
+    }
+    if (!transport) {
+        auto udp = std::make_unique<UdpTransport>(
+            host, static_cast<uint16_t>(port));
+        if (!udp->valid())
+            return -1;
+        transport = std::move(udp);
+    }
+
+    std::lock_guard<std::mutex> guard(registryMutex);
+    int sd = nextDescriptor++;
+    registry[sd] = OpenSensor{
+        std::make_unique<SensorClient>(std::move(transport), machine),
+        component};
+    return sd;
+}
+
+int
+opensensor(const char *host, int port, const char *component)
+{
+    return opensensor_for(host, port, localHostname().c_str(), component);
+}
+
+float
+readsensor(int sd)
+{
+    // The registry lock is held across the round trip so a concurrent
+    // closesensor() cannot free the client mid-read. Descriptors are a
+    // convenience API; heavy multi-threaded use should hold its own
+    // SensorClient instances instead.
+    std::lock_guard<std::mutex> guard(registryMutex);
+    auto it = registry.find(sd);
+    if (it == registry.end())
+        return std::numeric_limits<float>::quiet_NaN();
+    auto value = it->second.client->read(it->second.component);
+    if (!value)
+        return std::numeric_limits<float>::quiet_NaN();
+    return static_cast<float>(*value);
+}
+
+void
+closesensor(int sd)
+{
+    std::lock_guard<std::mutex> guard(registryMutex);
+    registry.erase(sd);
+}
+
+void
+installLocalSolver(SolverService *service)
+{
+    std::lock_guard<std::mutex> guard(registryMutex);
+    localService = service;
+}

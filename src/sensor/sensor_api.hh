@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's C-style sensor API (Figure 3):
+ *
+ *   int sd;
+ *   float temp;
+ *   sd = opensensor("solvermachine", 8367, "disk");
+ *   temp = readsensor(sd);
+ *   closesensor(sd);
+ *
+ * opensensor() defaults the machine name to the local hostname, just
+ * like probing a local hardware sensor; opensensor_for() names the
+ * machine explicitly (useful when one process watches a whole
+ * cluster, as Freon's admd does in tests).
+ *
+ * For in-process experiments, installLocalSolver() short-circuits the
+ * UDP path: subsequent opensensor() calls with the host "local" talk
+ * directly to the given service.
+ */
+
+#ifndef MERCURY_SENSOR_SENSOR_API_HH
+#define MERCURY_SENSOR_SENSOR_API_HH
+
+namespace mercury {
+namespace proto {
+class SolverService;
+} // namespace proto
+} // namespace mercury
+
+/**
+ * Open an emulated sensor on the solver at @p host : @p port for
+ * @p component of the local machine. Returns a descriptor >= 0, or -1
+ * on failure.
+ */
+int opensensor(const char *host, int port, const char *component);
+
+/** Like opensensor() but for an explicit machine. */
+int opensensor_for(const char *host, int port, const char *machine,
+                   const char *component);
+
+/**
+ * Read the sensor. Returns the temperature in degrees Celsius, or a
+ * quiet NaN when the read fails (bad descriptor, timeout, unknown
+ * component).
+ */
+float readsensor(int sd);
+
+/** Close the sensor; invalid descriptors are ignored. */
+void closesensor(int sd);
+
+/**
+ * Route subsequent opensensor("local", ...) calls straight into an
+ * in-process solver service (pass nullptr to uninstall).
+ */
+void installLocalSolver(mercury::proto::SolverService *service);
+
+#endif // MERCURY_SENSOR_SENSOR_API_HH

@@ -1,0 +1,59 @@
+#include "sensor/transport.hh"
+
+#include "proto/solver_service.hh"
+#include "util/logging.hh"
+
+namespace mercury {
+namespace sensor {
+
+UdpTransport::UdpTransport(const std::string &host, uint16_t port,
+                           double timeout_seconds, int retries)
+    : timeoutSeconds_(timeout_seconds), retries_(retries)
+{
+    auto address = net::resolveHost(host);
+    if (!address) {
+        warn("sensor: cannot resolve solver host '", host, "'");
+        return;
+    }
+    server_.address = *address;
+    server_.port = port;
+    socket_.bind(0);
+    valid_ = true;
+}
+
+std::optional<proto::Message>
+UdpTransport::roundTrip(const proto::Packet &request)
+{
+    if (!valid_)
+        return std::nullopt;
+    for (int attempt = 0; attempt <= retries_; ++attempt) {
+        if (!socket_.sendTo(server_, request.data(), request.size()))
+            continue;
+        uint8_t buffer[proto::kMessageSize];
+        auto got = socket_.recvFrom(buffer, sizeof(buffer), nullptr,
+                                    timeoutSeconds_);
+        if (!got)
+            continue;
+        auto reply = proto::decode(buffer, *got);
+        if (reply)
+            return reply;
+    }
+    return std::nullopt;
+}
+
+LocalTransport::LocalTransport(proto::SolverService &service)
+    : service_(service)
+{
+}
+
+std::optional<proto::Message>
+LocalTransport::roundTrip(const proto::Packet &request)
+{
+    auto reply = service_.handlePacket(request.data(), request.size());
+    if (!reply)
+        return std::nullopt;
+    return proto::decode(*reply);
+}
+
+} // namespace sensor
+} // namespace mercury

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Request/reply transports for the sensor library and fiddle client.
+ *
+ * Two implementations: real UDP against a mercury_solverd process
+ * (what the paper measures at ~300 us per readsensor()), and an
+ * in-process shortcut straight into a SolverService (what the
+ * discrete-event cluster experiments and the tests use — same message
+ * bytes, no sockets).
+ */
+
+#ifndef MERCURY_SENSOR_TRANSPORT_HH
+#define MERCURY_SENSOR_TRANSPORT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/udp.hh"
+#include "proto/messages.hh"
+
+namespace mercury {
+
+namespace proto {
+class SolverService;
+} // namespace proto
+
+namespace sensor {
+
+/**
+ * Sends one encoded request packet and waits for the reply packet.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Perform one round trip. Returns nullopt on timeout or when the
+     * reply cannot be decoded.
+     */
+    virtual std::optional<proto::Message>
+    roundTrip(const proto::Packet &request) = 0;
+};
+
+/**
+ * UDP transport with per-request timeout and bounded retries.
+ */
+class UdpTransport : public Transport
+{
+  public:
+    /**
+     * @param host solver host name or address
+     * @param port solver UDP port
+     * @param timeout_seconds per-attempt reply timeout
+     * @param retries additional attempts after the first
+     */
+    UdpTransport(const std::string &host, uint16_t port,
+                 double timeout_seconds = 0.25, int retries = 2);
+
+    /** True when the host resolved and the socket is usable. */
+    bool valid() const { return valid_; }
+
+    std::optional<proto::Message>
+    roundTrip(const proto::Packet &request) override;
+
+  private:
+    net::UdpSocket socket_;
+    net::Endpoint server_;
+    double timeoutSeconds_;
+    int retries_;
+    bool valid_ = false;
+};
+
+/**
+ * Direct in-process dispatch into a SolverService.
+ */
+class LocalTransport : public Transport
+{
+  public:
+    explicit LocalTransport(proto::SolverService &service);
+
+    std::optional<proto::Message>
+    roundTrip(const proto::Packet &request) override;
+
+  private:
+    proto::SolverService &service_;
+};
+
+} // namespace sensor
+} // namespace mercury
+
+#endif // MERCURY_SENSOR_TRANSPORT_HH

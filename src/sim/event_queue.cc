@@ -1,0 +1,68 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace sim {
+
+EventId
+EventQueue::schedule(SimTime when, Callback fn)
+{
+    if (!fn)
+        MERCURY_PANIC("EventQueue::schedule: empty callback");
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    live_.insert(id);
+    ++pending_;
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Only events that are still queued can be cancelled; ids of fired
+    // events are no longer in the live set, so this is a no-op for them.
+    if (live_.erase(id) == 0)
+        return;
+    cancelled_.insert(id);
+    --pending_;
+}
+
+void
+EventQueue::prune() const
+{
+    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+        cancelled_.erase(heap_.top().id);
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    prune();
+    return heap_.empty();
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    prune();
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Callback>
+EventQueue::pop()
+{
+    prune();
+    if (heap_.empty())
+        MERCURY_PANIC("EventQueue::pop on empty queue");
+    Entry top = heap_.top();
+    heap_.pop();
+    live_.erase(top.id);
+    --pending_;
+    return {top.when, std::move(top.fn)};
+}
+
+} // namespace sim
+} // namespace mercury

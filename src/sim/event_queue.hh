@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The event queue at the heart of the discrete-event engine.
+ *
+ * Events at equal timestamps fire in insertion order (a monotonically
+ * increasing sequence number breaks ties), which keeps multi-component
+ * experiments deterministic.
+ */
+
+#ifndef MERCURY_SIM_EVENT_QUEUE_HH
+#define MERCURY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace mercury {
+namespace sim {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = uint64_t;
+
+/**
+ * Time-ordered queue of callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p fn at absolute time @p when. Returns a cancel handle. */
+    EventId schedule(SimTime when, Callback fn);
+
+    /** Cancel a pending event; cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const;
+
+    /** Number of live (non-cancelled) pending events. */
+    size_t size() const { return pending_; }
+
+    /** Timestamp of the earliest live event; kTimeNever when empty. */
+    SimTime nextTime() const;
+
+    /**
+     * Pop and return the earliest live event. Must not be called when
+     * empty(). The caller invokes the callback (the queue does not, so
+     * that the simulator can update its clock first).
+     */
+    std::pair<SimTime, Callback> pop();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        uint64_t seq;
+        EventId id;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the top of the heap. */
+    void prune() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> live_;
+    uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    size_t pending_ = 0;
+};
+
+} // namespace sim
+} // namespace mercury
+
+#endif // MERCURY_SIM_EVENT_QUEUE_HH

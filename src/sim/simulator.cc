@@ -1,0 +1,100 @@
+#include "sim/simulator.hh"
+
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace sim {
+
+EventId
+Simulator::at(SimTime when, Callback fn)
+{
+    if (when < now_)
+        MERCURY_PANIC("Simulator::at: time ", when, " is before now ", now_);
+    return queue_.schedule(when, std::move(fn));
+}
+
+EventId
+Simulator::after(SimTime delay, Callback fn)
+{
+    if (delay < 0)
+        MERCURY_PANIC("Simulator::after: negative delay ", delay);
+    return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId
+Simulator::every(SimTime period, PeriodicFn fn, SimTime phase)
+{
+    if (period <= 0)
+        MERCURY_PANIC("Simulator::every: non-positive period ", period);
+    if (phase < 0)
+        phase = period;
+    EventId chain = nextChainId_++;
+    armPeriodic(chain, now_ + phase, period, std::move(fn));
+    return chain;
+}
+
+void
+Simulator::armPeriodic(EventId chain, SimTime when, SimTime period,
+                       PeriodicFn fn)
+{
+    EventId armed = queue_.schedule(when, [this, chain, when, period,
+                                           fn = std::move(fn)]() mutable {
+        // If the chain was cancelled after this event was popped but
+        // before it ran, the map entry is gone; bail out.
+        auto it = chainArm_.find(chain);
+        if (it == chainArm_.end())
+            return;
+        bool keep = fn();
+        if (keep) {
+            armPeriodic(chain, when + period, period, std::move(fn));
+        } else {
+            chainArm_.erase(chain);
+        }
+    });
+    chainArm_[chain] = armed;
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    auto it = chainArm_.find(id);
+    if (it != chainArm_.end()) {
+        queue_.cancel(it->second);
+        chainArm_.erase(it);
+        return;
+    }
+    queue_.cancel(id);
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    ++eventsRun_;
+    fn();
+    return true;
+}
+
+void
+Simulator::runUntil(SimTime deadline)
+{
+    while (!queue_.empty() && queue_.nextTime() <= deadline)
+        step();
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+void
+Simulator::runToCompletion()
+{
+    while (step()) {
+    }
+}
+
+} // namespace sim
+} // namespace mercury

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulated-time representation.
+ *
+ * Simulated time is an integer count of microseconds so that event
+ * ordering is exact and runs are bit-for-bit repeatable (floating-point
+ * accumulation of timestamps would eventually reorder ties).
+ */
+
+#ifndef MERCURY_SIM_TIME_HH
+#define MERCURY_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace mercury {
+namespace sim {
+
+/** Microseconds since the start of the simulation. */
+using SimTime = int64_t;
+
+/** Sentinel for "no deadline". */
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+inline constexpr SimTime
+microseconds(int64_t us)
+{
+    return us;
+}
+
+inline constexpr SimTime
+milliseconds(double ms)
+{
+    return static_cast<SimTime>(ms * 1e3);
+}
+
+inline constexpr SimTime
+seconds(double s)
+{
+    return static_cast<SimTime>(s * 1e6);
+}
+
+inline constexpr SimTime
+minutes(double m)
+{
+    return seconds(m * 60.0);
+}
+
+/** SimTime -> fractional seconds (for physics and reporting). */
+inline constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+} // namespace sim
+} // namespace mercury
+
+#endif // MERCURY_SIM_TIME_HH

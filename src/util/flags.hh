@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A minimal command-line flag parser for the suite's binaries
+ * (mercury_solverd, monitord, fiddle, the figure benches). Flags take
+ * the forms `--name value` and `--name=value`; `--help` prints usage.
+ */
+
+#ifndef MERCURY_UTIL_FLAGS_HH
+#define MERCURY_UTIL_FLAGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mercury {
+
+/**
+ * Declarative flag registry plus parsed results.
+ */
+class FlagSet
+{
+  public:
+    /** @param program name shown in usage, @param summary one-liner. */
+    FlagSet(std::string program, std::string summary);
+
+    /** Declare a string flag with a default value. */
+    void defineString(const std::string &name, const std::string &def,
+                      const std::string &help);
+
+    /** Declare a floating-point flag. */
+    void defineDouble(const std::string &name, double def,
+                      const std::string &help);
+
+    /** Declare an integer flag. */
+    void defineInt(const std::string &name, long long def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (`--name` alone means true). */
+    void defineBool(const std::string &name, bool def,
+                    const std::string &help);
+
+    /**
+     * Parse argv. Unknown flags or malformed values are fatal. Returns
+     * false (after printing usage) when --help was requested.
+     * Non-flag arguments are collected into positional().
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    long long getInt(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** True when the user supplied the flag explicitly. */
+    bool provided(const std::string &name) const;
+
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Render usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Double, Int, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string help;
+        std::string value;   // canonical textual value
+        std::string defValue;
+        bool provided = false;
+    };
+
+    const Flag &lookup(const std::string &name, Kind kind) const;
+
+    std::string program_;
+    std::string summary_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_FLAGS_HH

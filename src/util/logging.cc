@@ -1,0 +1,63 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace mercury {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Normal};
+std::mutex emitMutex;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(emitMutex);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> guard(emitMutex);
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+        std::fflush(stderr);
+    }
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> guard(emitMutex);
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+        std::fflush(stderr);
+    }
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace mercury

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (aborts), fatal() for user errors (exits), warn()/inform() for
+ * non-fatal status. All messages go to stderr so that data written to
+ * stdout (CSV series from benches, for instance) stays clean.
+ */
+
+#ifndef MERCURY_UTIL_LOGGING_HH
+#define MERCURY_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mercury {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Quiet,   //!< fatal/panic only
+    Normal,  //!< + warn
+    Info,    //!< + inform
+    Debug    //!< + debugLog
+};
+
+/** Set the global verbosity. Thread-safe via atomic store. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit one formatted line with the given severity tag. */
+void emit(const char *tag, const std::string &msg);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Internal invariant violation: print and abort (core-dumpable). */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, Args &&...args)
+{
+    detail::panicImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+/** User-caused unrecoverable error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Possibly-incorrect behaviour the user should investigate. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Normal)
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Normal operating status, no connotation of a problem. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Developer-facing trace output. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug", detail::concat(std::forward<Args>(args)...));
+}
+
+#define MERCURY_PANIC(...) ::mercury::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_LOGGING_HH

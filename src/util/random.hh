@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic element in the suite (workload arrivals, sensor
+ * noise, synthetic utilization) draws from an explicitly seeded Rng so
+ * that experiments are bit-for-bit repeatable — repeatability is one of
+ * Mercury's core selling points over real-hardware measurement.
+ */
+
+#ifndef MERCURY_UTIL_RANDOM_HH
+#define MERCURY_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace mercury {
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256**). Not cryptographic; more
+ * than adequate for workload synthesis and noise injection.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal via Box-Muller (cached second variate). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Exponential with the given rate (mean 1/rate). */
+    double exponential(double rate);
+
+    /** Bernoulli trial. */
+    bool chance(double probability);
+
+    /** Re-seed, clearing any cached state. */
+    void seed(uint64_t seed);
+
+  private:
+    uint64_t state_[4];
+    bool hasCachedGaussian_ = false;
+    double cachedGaussian_ = 0.0;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_RANDOM_HH

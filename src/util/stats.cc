@@ -1,0 +1,221 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mercury {
+
+void
+RunningStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    size_t total = count_ + other.count_;
+    m2_ += other.m2_ + delta * delta *
+           static_cast<double>(count_) * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.count_) /
+             static_cast<double>(total);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = total;
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+TimeSeries::add(double time, double value)
+{
+    if (!times_.empty() && time < times_.back()) {
+        MERCURY_PANIC("TimeSeries '", name_, "': non-monotonic time ",
+                      time, " after ", times_.back());
+    }
+    times_.push_back(time);
+    values_.push_back(value);
+}
+
+double
+TimeSeries::sampleAt(double time) const
+{
+    if (times_.empty())
+        MERCURY_PANIC("TimeSeries '", name_, "': sampleAt on empty series");
+    if (time <= times_.front())
+        return values_.front();
+    if (time >= times_.back())
+        return values_.back();
+    auto it = std::lower_bound(times_.begin(), times_.end(), time);
+    size_t hi = static_cast<size_t>(it - times_.begin());
+    size_t lo = hi - 1;
+    double span = times_[hi] - times_[lo];
+    if (span <= 0.0)
+        return values_[hi];
+    double alpha = (time - times_[lo]) / span;
+    return values_[lo] + alpha * (values_[hi] - values_[lo]);
+}
+
+double
+TimeSeries::minValue() const
+{
+    double out = values_.empty() ? 0.0 : values_.front();
+    for (double v : values_)
+        out = std::min(out, v);
+    return out;
+}
+
+double
+TimeSeries::maxValue() const
+{
+    double out = values_.empty() ? 0.0 : values_.front();
+    for (double v : values_)
+        out = std::max(out, v);
+    return out;
+}
+
+double
+TimeSeries::meanValue() const
+{
+    if (values_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum / static_cast<double>(values_.size());
+}
+
+double
+TimeSeries::lastValue(double fallback) const
+{
+    return values_.empty() ? fallback : values_.back();
+}
+
+double
+TimeSeries::maxAbsError(const TimeSeries &other) const
+{
+    double worst = 0.0;
+    for (size_t i = 0; i < times_.size(); ++i) {
+        double diff = std::abs(values_[i] - other.sampleAt(times_[i]));
+        worst = std::max(worst, diff);
+    }
+    return worst;
+}
+
+double
+TimeSeries::meanAbsError(const TimeSeries &other) const
+{
+    if (times_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < times_.size(); ++i)
+        sum += std::abs(values_[i] - other.sampleAt(times_[i]));
+    return sum / static_cast<double>(times_.size());
+}
+
+double
+TimeSeries::firstTimeAbove(double threshold) const
+{
+    for (size_t i = 0; i < times_.size(); ++i) {
+        if (values_[i] >= threshold)
+            return times_[i];
+    }
+    return -1.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        MERCURY_PANIC("Histogram: bad range [", lo, ", ", hi, ") x", bins);
+}
+
+void
+Histogram::add(double value)
+{
+    double frac = (value - lo_) / (hi_ - lo_);
+    long bin = static_cast<long>(frac * static_cast<double>(counts_.size()));
+    bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.counts_.size() != counts_.size()) {
+        MERCURY_PANIC("Histogram::merge: shape mismatch");
+    }
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+           static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(size_t i) const
+{
+    return binLow(i + 1);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    double target = q * static_cast<double>(total_);
+    double seen = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += static_cast<double>(counts_[i]);
+        if (seen >= target)
+            return 0.5 * (binLow(i) + binHigh(i));
+    }
+    return hi_;
+}
+
+} // namespace mercury

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Running statistics and time-series containers used by the validation
+ * harnesses (error accounting against the reference model) and by the
+ * Freon evaluation (utilization/temperature series, drop counting).
+ */
+
+#ifndef MERCURY_UTIL_STATS_HH
+#define MERCURY_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mercury {
+
+/**
+ * Single-pass accumulator for mean/variance/min/max (Welford).
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance; zero with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named (time, value) series with summary helpers. Used to collect
+ * temperature and utilization traces for the figure benches.
+ */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+    explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+    /** Append a sample; times are expected to be non-decreasing. */
+    void add(double time, double value);
+
+    const std::string &name() const { return name_; }
+    size_t size() const { return times_.size(); }
+    bool empty() const { return times_.empty(); }
+
+    double timeAt(size_t i) const { return times_[i]; }
+    double valueAt(size_t i) const { return values_[i]; }
+    const std::vector<double> &times() const { return times_; }
+    const std::vector<double> &values() const { return values_; }
+
+    /** Linear interpolation at @p time (clamped to the covered range). */
+    double sampleAt(double time) const;
+
+    double minValue() const;
+    double maxValue() const;
+    double meanValue() const;
+
+    /** Last value, or @p fallback when empty. */
+    double lastValue(double fallback = 0.0) const;
+
+    /**
+     * Maximum absolute difference against another series, comparing at
+     * this series' sample times via interpolation. This is the "within
+     * 1 degree C" validation metric from the paper's Section 3.
+     */
+    double maxAbsError(const TimeSeries &other) const;
+
+    /** Mean absolute difference, sampled like maxAbsError. */
+    double meanAbsError(const TimeSeries &other) const;
+
+    /** First time the series reaches @p threshold, or -1 if never. */
+    double firstTimeAbove(double threshold) const;
+
+  private:
+    std::string name_;
+    std::vector<double> times_;
+    std::vector<double> values_;
+};
+
+/**
+ * Histogram with fixed-width bins, for latency distributions.
+ */
+class Histogram
+{
+  public:
+    /** @param lo lower bound, @param hi upper bound, @param bins count. */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add a sample (clamped into the outermost bins). */
+    void add(double value);
+
+    /** Merge another histogram of identical shape. */
+    void merge(const Histogram &other);
+
+    size_t count() const { return total_; }
+    size_t binCount() const { return counts_.size(); }
+    size_t binAt(size_t i) const { return counts_[i]; }
+    double binLow(size_t i) const;
+    double binHigh(size_t i) const;
+
+    /** Approximate quantile (0..1) by linear scan over bins. */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<size_t> counts_;
+    size_t total_ = 0;
+};
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_STATS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Physical constants and unit conversions used throughout the thermal
+ * models. Mercury works internally in SI units (kg, J, W, seconds,
+ * degrees Celsius for temperatures — all heat-transfer equations only
+ * involve temperature differences, so Celsius and Kelvin are
+ * interchangeable there).
+ */
+
+#ifndef MERCURY_UTIL_UNITS_HH
+#define MERCURY_UTIL_UNITS_HH
+
+namespace mercury {
+namespace units {
+
+/** Specific heat capacity of air at ~300 K [J/(kg K)]. */
+inline constexpr double kAirSpecificHeat = 1006.0;
+
+/** Density of air at ~300 K, 1 atm [kg/m^3]. */
+inline constexpr double kAirDensity = 1.184;
+
+/** Specific heat capacity of aluminium [J/(kg K)] (Table 1 uses 896). */
+inline constexpr double kAluminumSpecificHeat = 896.0;
+
+/** Specific heat capacity of FR4 board material [J/(kg K)] (Table 1: 1245). */
+inline constexpr double kFr4SpecificHeat = 1245.0;
+
+/** Cubic feet per minute -> cubic metres per second. */
+inline constexpr double
+cfmToM3PerS(double cfm)
+{
+    return cfm * 0.3048 * 0.3048 * 0.3048 / 60.0;
+}
+
+/** Cubic metres per second -> cubic feet per minute. */
+inline constexpr double
+m3PerSToCfm(double m3s)
+{
+    return m3s * 60.0 / (0.3048 * 0.3048 * 0.3048);
+}
+
+/** Volumetric air flow [m^3/s] -> mass flow [kg/s]. */
+inline constexpr double
+airMassFlow(double m3s)
+{
+    return m3s * kAirDensity;
+}
+
+/** Fan speed in CFM -> air mass flow in kg/s. */
+inline constexpr double
+cfmToKgPerS(double cfm)
+{
+    return airMassFlow(cfmToM3PerS(cfm));
+}
+
+/** Celsius -> Kelvin. */
+inline constexpr double
+celsiusToKelvin(double celsius)
+{
+    return celsius + 273.15;
+}
+
+/** Kelvin -> Celsius. */
+inline constexpr double
+kelvinToCelsius(double kelvin)
+{
+    return kelvin - 273.15;
+}
+
+} // namespace units
+} // namespace mercury
+
+#endif // MERCURY_UTIL_UNITS_HH

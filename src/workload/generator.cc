@@ -1,0 +1,104 @@
+#include "workload/generator.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace workload {
+
+double
+peakRateForUtilization(double utilization, int servers,
+                       const WorkloadConfig &config)
+{
+    double mean_cpu = config.cgiFraction * config.cgiCpuSeconds +
+                      (1.0 - config.cgiFraction) * config.staticCpuSeconds;
+    if (mean_cpu <= 0.0)
+        MERCURY_PANIC("peakRateForUtilization: zero mean CPU demand");
+    return utilization * static_cast<double>(servers) / mean_cpu;
+}
+
+WorkloadGenerator::WorkloadGenerator(sim::Simulator &simulator,
+                                     lb::LoadBalancer &balancer,
+                                     WorkloadConfig config)
+    : simulator_(simulator), balancer_(balancer), config_(config),
+      rng_(config.seed)
+{
+    if (config_.peakRate <= 0.0 || config_.duration <= 0.0)
+        MERCURY_PANIC("WorkloadGenerator: bad config");
+    // Thinning generates candidate arrivals at peakRate, so the rate
+    // curve must never exceed it.
+    if (config_.valleyRate > config_.peakRate)
+        MERCURY_PANIC("WorkloadGenerator: valley rate ",
+                      config_.valleyRate, " exceeds peak rate ",
+                      config_.peakRate);
+}
+
+double
+WorkloadGenerator::rateAt(double t) const
+{
+    // Flat-topped diurnal bump: full rate across the plateau, Gaussian
+    // shoulders on both sides; repeats every cycle when configured.
+    if (config_.cycleSeconds > 0.0)
+        t = std::fmod(t, config_.cycleSeconds);
+    double distance = std::abs(t - config_.peakTime) -
+                      0.5 * config_.peakPlateauSeconds;
+    if (distance < 0.0)
+        distance = 0.0;
+    double z = distance / config_.bumpWidth;
+    return config_.valleyRate +
+           (config_.peakRate - config_.valleyRate) *
+               std::exp(-0.5 * z * z);
+}
+
+cluster::Request
+WorkloadGenerator::makeRequest(double arrival_time)
+{
+    cluster::Request request;
+    request.id = nextId_++;
+    request.arrivalTime = arrival_time;
+    if (rng_.chance(config_.cgiFraction)) {
+        request.dynamic = true;
+        request.cpuSeconds = config_.cgiCpuSeconds;
+        request.diskSeconds = config_.cgiDiskSeconds;
+    } else {
+        request.dynamic = false;
+        request.cpuSeconds = config_.staticCpuSeconds;
+        request.diskSeconds = rng_.chance(config_.staticDiskProbability)
+                                  ? config_.staticDiskSeconds
+                                  : 0.0;
+    }
+    return request;
+}
+
+void
+WorkloadGenerator::start()
+{
+    if (started_)
+        MERCURY_PANIC("WorkloadGenerator: start() called twice");
+    started_ = true;
+    scheduleNext();
+}
+
+void
+WorkloadGenerator::scheduleNext()
+{
+    // Inhomogeneous Poisson arrivals by thinning against the peak.
+    double t = simulator_.nowSeconds();
+    while (true) {
+        t += rng_.exponential(config_.peakRate);
+        if (t > config_.duration)
+            return; // workload over
+        if (rng_.uniform() <= rateAt(t) / config_.peakRate)
+            break;
+    }
+    simulator_.at(sim::seconds(t), [this] {
+        double now = simulator_.nowSeconds();
+        ++generated_;
+        balancer_.submit(makeRequest(now));
+        scheduleNext();
+    });
+}
+
+} // namespace workload
+} // namespace mercury

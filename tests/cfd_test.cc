@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the 2-D steady-state CFD substitute (Section 3.2's
+ * Fluent replacement).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cfd/cfd2d.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace cfd {
+namespace {
+
+TEST(CfdSolver, ConvergesOnServerCase)
+{
+    CfdSolver solver(serverCase(31.0, 14.0, 40.0));
+    SolveStats stats = solver.solve();
+    EXPECT_TRUE(stats.converged)
+        << "residual " << stats.residual << " after " << stats.iterations;
+    EXPECT_GT(stats.iterations, 10);
+}
+
+TEST(CfdSolver, BlocksAreHotterThanAmbient)
+{
+    CfdSolver solver(serverCase(31.0, 14.0, 40.0));
+    solver.solve();
+    for (const char *name : {"cpu", "disk", "ps"}) {
+        EXPECT_GT(solver.blockMeanTemperature(name), 22.0) << name;
+        EXPECT_GT(solver.blockMaxTemperature(name),
+                  solver.blockMeanTemperature(name) - 1e-9)
+            << name;
+        EXPECT_GT(solver.blockMeanTemperature(name),
+                  solver.airTemperatureNear(name))
+            << name;
+    }
+}
+
+TEST(CfdSolver, EnergyConservation)
+{
+    CfdSolver solver(serverCase(31.0, 14.0, 40.0));
+    solver.solve();
+    double rise = solver.outletMeanTemperature() - 21.6;
+    double expected = 85.0 / (solver.massFlow() * units::kAirSpecificHeat);
+    // The Dirichlet inlet admits a small diffusive leak; 10% is ample.
+    EXPECT_NEAR(rise, expected, 0.1 * expected);
+}
+
+TEST(CfdSolver, ZeroPowerStaysAtInletTemperature)
+{
+    CfdSolver solver(serverCase(0.0, 0.0, 0.0));
+    solver.solve();
+    for (int j = 0; j < solver.ny(); j += 5) {
+        for (int i = 0; i < solver.nx(); i += 10)
+            EXPECT_NEAR(solver.temperature(i, j), 21.6, 1e-6);
+    }
+}
+
+TEST(CfdSolver, TemperatureRisesScaleLinearlyWithPower)
+{
+    CfdSolver one(serverCase(20.0, 10.0, 30.0));
+    CfdSolver two(serverCase(40.0, 20.0, 60.0));
+    one.solve();
+    two.solve();
+    for (const char *name : {"cpu", "disk", "ps"}) {
+        double rise1 = one.blockMeanTemperature(name) - 21.6;
+        double rise2 = two.blockMeanTemperature(name) - 21.6;
+        EXPECT_NEAR(rise2, 2.0 * rise1, 0.02 * rise2) << name;
+    }
+}
+
+TEST(CfdSolver, MorePowerMeansHotterBlock)
+{
+    CfdSolver low(serverCase(10.0, 14.0, 40.0));
+    CfdSolver high(serverCase(31.0, 14.0, 40.0));
+    low.solve();
+    high.solve();
+    EXPECT_GT(high.blockMeanTemperature("cpu"),
+              low.blockMeanTemperature("cpu") + 1.0);
+    // The disk sits upstream of the CPU, so its own temperature is
+    // almost unaffected by CPU power.
+    EXPECT_NEAR(high.blockMeanTemperature("disk"),
+                low.blockMeanTemperature("disk"), 0.3);
+}
+
+TEST(CfdSolver, EffectiveKIsStableAcrossPowers)
+{
+    // The boundary constant extracted for Mercury should be a
+    // property of the geometry/flow, not of the dissipated power.
+    CfdSolver low(serverCase(15.0, 7.0, 20.0));
+    CfdSolver high(serverCase(31.0, 14.0, 40.0));
+    low.solve();
+    high.solve();
+    for (const char *name : {"cpu", "disk", "ps"}) {
+        double k_low = low.effectiveK(name);
+        double k_high = high.effectiveK(name);
+        EXPECT_GT(k_low, 0.0) << name;
+        EXPECT_NEAR(k_low, k_high, 0.05 * k_high) << name;
+    }
+}
+
+TEST(CfdSolver, SolidCellsMatchBlockRegions)
+{
+    CfdSolver solver(serverCase(31.0, 14.0, 40.0));
+    // CPU block is at x [0.22, 0.26], y [0.055, 0.095]; cell 5 mm.
+    EXPECT_TRUE(solver.isSolid(45, 13));  // (0.2275, 0.0675)
+    EXPECT_FALSE(solver.isSolid(45, 25)); // above the CPU
+    EXPECT_FALSE(solver.isSolid(2, 15));  // inlet region
+}
+
+TEST(CfdSolver, DownstreamAirIsWarm)
+{
+    CfdSolver solver(serverCase(31.0, 14.0, 40.0));
+    solver.solve();
+    // Column behind the CPU should contain cells warmer than inlet.
+    double warmest = 0.0;
+    int i = static_cast<int>(0.30 / 0.005);
+    for (int j = 0; j < solver.ny(); ++j)
+        warmest = std::max(warmest, solver.temperature(i, j));
+    EXPECT_GT(warmest, 23.0);
+}
+
+TEST(CfdSolver, HeatCarryingFractionIsReasonable)
+{
+    CfdSolver solver(serverCase(31.0, 14.0, 40.0));
+    solver.solve();
+    for (const char *name : {"cpu", "disk", "ps"}) {
+        double fraction = solver.heatCarryingFraction(name);
+        EXPECT_GT(fraction, 0.005) << name;
+        EXPECT_LE(fraction, 1.0) << name;
+    }
+}
+
+} // namespace
+} // namespace cfd
+} // namespace mercury

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the server-machine model: queues, utilization accounting,
+ * drops, the power state machine, and the thermal bridge into Mercury.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/server_machine.hh"
+#include "cluster/thermal_bridge.hh"
+#include "core/solver.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace cluster {
+namespace {
+
+Request
+makeRequest(uint64_t id, double cpu_s, double disk_s = 0.0)
+{
+    Request request;
+    request.id = id;
+    request.cpuSeconds = cpu_s;
+    request.diskSeconds = disk_s;
+    return request;
+}
+
+TEST(ServerMachine, ServesARequestToCompletion)
+{
+    sim::Simulator simulator;
+    ServerMachine server(simulator, "s1");
+    std::vector<RequestOutcome> outcomes;
+    server.setCompletionFn([&](const ServerMachine &, const Request &,
+                               RequestOutcome outcome) {
+        outcomes.push_back(outcome);
+    });
+
+    EXPECT_TRUE(server.offer(makeRequest(1, 0.025)));
+    EXPECT_EQ(server.activeConnections(), 1);
+    simulator.runToCompletion();
+    EXPECT_EQ(server.activeConnections(), 0);
+    EXPECT_EQ(server.served(), 1u);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0], RequestOutcome::Completed);
+    // 25 ms of CPU finished the request 25 ms in.
+    EXPECT_EQ(simulator.now(), sim::seconds(0.025));
+}
+
+TEST(ServerMachine, CpuUtilizationIsExactBusyFraction)
+{
+    sim::Simulator simulator;
+    ServerMachine server(simulator, "s1");
+    // 10 requests x 25 ms = 250 ms of CPU in a 1 s window = 25%.
+    for (int i = 0; i < 10; ++i)
+        server.offer(makeRequest(i, 0.025));
+    simulator.runUntil(sim::seconds(1.0));
+    auto sample = server.sampleUtilization();
+    EXPECT_NEAR(sample.cpu, 0.25, 1e-9);
+    EXPECT_NEAR(sample.disk, 0.0, 1e-9);
+
+    // Nothing happens in the second window.
+    simulator.runUntil(sim::seconds(2.0));
+    sample = server.sampleUtilization();
+    EXPECT_NEAR(sample.cpu, 0.0, 1e-9);
+}
+
+TEST(ServerMachine, UtilizationSaturatesUnderOverload)
+{
+    sim::Simulator simulator;
+    ServerMachine server(simulator, "s1");
+    for (int i = 0; i < 100; ++i)
+        server.offer(makeRequest(i, 0.05)); // 5 s of work
+    simulator.runUntil(sim::seconds(1.0));
+    auto sample = server.sampleUtilization();
+    EXPECT_NEAR(sample.cpu, 1.0, 1e-9);
+}
+
+TEST(ServerMachine, DiskQueueIsSeparate)
+{
+    sim::Simulator simulator;
+    ServerMachine server(simulator, "s1");
+    for (int i = 0; i < 10; ++i)
+        server.offer(makeRequest(i, 0.002, 0.006));
+    simulator.runUntil(sim::seconds(1.0));
+    auto sample = server.sampleUtilization();
+    EXPECT_NEAR(sample.cpu, 0.02, 1e-9);
+    EXPECT_NEAR(sample.disk, 0.06, 1e-9);
+}
+
+TEST(ServerMachine, DropsWhenQueueTooLong)
+{
+    sim::Simulator simulator;
+    ServerConfig config;
+    config.maxQueueSeconds = 1.0;
+    ServerMachine server(simulator, "s1", config);
+    int drops = 0;
+    server.setCompletionFn([&](const ServerMachine &, const Request &,
+                               RequestOutcome outcome) {
+        if (outcome == RequestOutcome::DroppedOverload)
+            ++drops;
+    });
+    // 30 x 0.1 s = 3 s of CPU; patience is 1 s, so later offers drop.
+    int accepted = 0;
+    for (int i = 0; i < 30; ++i) {
+        if (server.offer(makeRequest(i, 0.1)))
+            ++accepted;
+    }
+    EXPECT_GT(drops, 0);
+    EXPECT_LE(accepted, 12);
+    EXPECT_EQ(server.dropped(), static_cast<uint64_t>(drops));
+}
+
+TEST(ServerMachine, ConnectionLimitEnforced)
+{
+    sim::Simulator simulator;
+    ServerConfig config;
+    config.maxConnections = 5;
+    config.maxQueueSeconds = 100.0;
+    ServerMachine server(simulator, "s1", config);
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (server.offer(makeRequest(i, 1.0)))
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, 5);
+    EXPECT_EQ(server.activeConnections(), 5);
+}
+
+TEST(ServerMachine, PowerStateMachine)
+{
+    sim::Simulator simulator;
+    ServerConfig config;
+    config.bootSeconds = 90.0;
+    ServerMachine server(simulator, "s1", config);
+    std::vector<PowerState> transitions;
+    server.setStateFn([&](const ServerMachine &, PowerState state) {
+        transitions.push_back(state);
+    });
+
+    EXPECT_TRUE(server.isOn());
+    server.beginShutdown(); // idle -> immediate off
+    EXPECT_TRUE(server.isOff());
+    EXPECT_FALSE(server.offer(makeRequest(1, 0.01)));
+
+    server.powerOn();
+    EXPECT_EQ(server.powerState(), PowerState::Booting);
+    EXPECT_FALSE(server.offer(makeRequest(2, 0.01)));
+    simulator.runUntil(sim::seconds(89.0));
+    EXPECT_EQ(server.powerState(), PowerState::Booting);
+    simulator.runUntil(sim::seconds(91.0));
+    EXPECT_TRUE(server.isOn());
+
+    ASSERT_EQ(transitions.size(), 3u);
+    EXPECT_EQ(transitions[0], PowerState::Off);
+    EXPECT_EQ(transitions[1], PowerState::Booting);
+    EXPECT_EQ(transitions[2], PowerState::On);
+}
+
+TEST(ServerMachine, ShutdownDrainsConnectionsFirst)
+{
+    sim::Simulator simulator;
+    ServerMachine server(simulator, "s1");
+    server.offer(makeRequest(1, 0.5));
+    server.beginShutdown();
+    EXPECT_EQ(server.powerState(), PowerState::Draining);
+    EXPECT_FALSE(server.offer(makeRequest(2, 0.01))); // refusing new work
+    simulator.runToCompletion();
+    EXPECT_TRUE(server.isOff());
+    EXPECT_EQ(server.served(), 1u); // the in-flight request finished
+}
+
+TEST(ThermalBridge, FeedsUtilizationsIntoSolverEachSecond)
+{
+    sim::Simulator simulator;
+    core::Solver solver;
+    solver.addMachine(core::table1Server("s1"));
+    ThermalBridge bridge(simulator, solver);
+    ServerMachine server(simulator, "s1");
+    bridge.attach(server, core::table1Server("s1"));
+    bridge.start();
+
+    // 0.5 s of CPU work in the first second -> cpu utilization 0.5.
+    server.offer(makeRequest(1, 0.5));
+    simulator.runUntil(sim::seconds(1));
+    EXPECT_NEAR(solver.machine("s1").utilization("cpu"), 0.5, 1e-9);
+    EXPECT_EQ(solver.iterations(), 1u);
+
+    simulator.runUntil(sim::seconds(600));
+    EXPECT_EQ(solver.iterations(), 600u);
+    // Mostly idle since: utilization decayed to zero, but the machine
+    // still burns idle power, so it sits above ambient.
+    EXPECT_NEAR(solver.machine("s1").utilization("cpu"), 0.0, 1e-9);
+    EXPECT_GT(solver.temperature("s1", "cpu"), 22.0);
+}
+
+TEST(ThermalBridge, PowerOffCoolsTheMachine)
+{
+    sim::Simulator simulator;
+    core::Solver solver;
+    solver.addMachine(core::table1Server("s1"));
+    ThermalBridge bridge(simulator, solver);
+    ServerMachine server(simulator, "s1");
+    bridge.attach(server, core::table1Server("s1"));
+    bridge.start();
+
+    simulator.runUntil(sim::minutes(30));
+    double hot = solver.temperature("s1", "cpu");
+    EXPECT_GT(hot, 25.0); // idle power keeps it warm
+
+    server.beginShutdown();
+    simulator.runUntil(sim::minutes(90));
+    double cold = solver.temperature("s1", "cpu");
+    EXPECT_LT(cold, hot - 3.0); // cools substantially while off
+
+    server.powerOn();
+    simulator.runUntil(sim::minutes(180));
+    EXPECT_NEAR(solver.temperature("s1", "cpu"), hot, 0.5); // back up
+}
+
+} // namespace
+} // namespace cluster
+} // namespace mercury

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Interactions between the extension mechanisms: custom power models
+ * inside the thermal graph, fans + DVFS + Freon-EC running together,
+ * and determinism of the fully loaded configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fan.hh"
+#include "core/power.hh"
+#include "core/thermal_graph.hh"
+#include "freon/experiment.hh"
+
+namespace mercury {
+namespace {
+
+TEST(CustomPowerModel, TableModelDrivesTheGraph)
+{
+    core::ThermalGraph graph(core::table1Server());
+    // A saturating curve: most of the power arrives by 50% load.
+    graph.setPowerModel("cpu", std::make_unique<core::TablePowerModel>(
+                                   std::vector<std::pair<double, double>>{
+                                       {0.0, 7.0},
+                                       {0.5, 27.0},
+                                       {1.0, 31.0}}));
+    graph.setUtilization("cpu", 0.5);
+    EXPECT_DOUBLE_EQ(graph.power("cpu"), 27.0);
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    double at_half = graph.temperature("cpu");
+
+    graph.setUtilization("cpu", 1.0);
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    double at_full = graph.temperature("cpu");
+    // Saturating power -> modest extra heat between 50% and 100%.
+    EXPECT_GT(at_full, at_half);
+    EXPECT_LT(at_full - at_half, 0.35 * (at_half - 21.6));
+}
+
+TEST(CustomPowerModel, PerfCounterModelPluggedViaSetPowerRange)
+{
+    // The perf-counter path reports a low-level utilization; the
+    // graph's linear model then spans exactly [Pbase, Pmax].
+    auto counters = core::pentium4CounterModel(7.0, 31.0);
+    core::ThermalGraph graph(core::table1Server());
+    double watts = 19.0; // estimated by the event model
+    graph.setUtilization("cpu", counters.lowLevelUtilization(watts));
+    EXPECT_NEAR(graph.power("cpu"), watts, 1e-9);
+}
+
+TEST(CombinedExtensions, EcWithDvfsAndFansStaysSafeAndDeterministic)
+{
+    freon::ExperimentConfig config;
+    config.policy = freon::PolicyKind::FreonEC;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+    config.enableDvfs = true;
+    config.enableVariableFans = true;
+    config.fanCurve.lowTemperature = 45.0;
+    config.fanCurve.highTemperature = 72.0;
+    config.fanCurve.minCfm = 38.6;
+    config.fanCurve.maxCfm = 80.0;
+
+    freon::ExperimentResult a = freon::runExperiment(config);
+    freon::ExperimentResult b = freon::runExperiment(config);
+
+    // Determinism with every mechanism interacting.
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.throttleEvents, b.throttleEvents);
+
+    // Safety: the triple-stack keeps the hottest CPU under the red
+    // line with essentially no drops.
+    for (const auto &[name, peak] : a.peakCpuTemperature)
+        EXPECT_LT(peak, 76.0) << name;
+    EXPECT_LT(a.dropRate, 0.01);
+}
+
+TEST(CombinedExtensions, FansReduceHowHardDvfsThrottles)
+{
+    freon::ExperimentConfig config;
+    config.policy = freon::PolicyKind::None;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+    config.enableDvfs = true;
+
+    freon::ExperimentResult no_fans = freon::runExperiment(config);
+
+    config.enableVariableFans = true;
+    config.fanCurve.lowTemperature = 40.0;
+    config.fanCurve.highTemperature = 70.0;
+    config.fanCurve.minCfm = 38.6;
+    config.fanCurve.maxCfm = 90.0;
+    freon::ExperimentResult with_fans = freon::runExperiment(config);
+
+    // Better airflow means the governor holds a higher frequency.
+    EXPECT_GE(with_fans.cpuFrequency.at("m1").minValue(),
+              no_fans.cpuFrequency.at("m1").minValue());
+    EXPECT_LE(with_fans.throttleEvents, no_fans.throttleEvents);
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the power models (equations 3-4 and the perf-counter
+ * variant of Section 2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/power.hh"
+
+namespace mercury {
+namespace core {
+namespace {
+
+TEST(LinearPowerModel, EndpointsAndMidpoint)
+{
+    LinearPowerModel model(7.0, 31.0);
+    EXPECT_DOUBLE_EQ(model.power(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(model.power(1.0), 31.0);
+    EXPECT_DOUBLE_EQ(model.power(0.5), 19.0);
+    EXPECT_DOUBLE_EQ(model.basePower(), 7.0);
+    EXPECT_DOUBLE_EQ(model.maxPower(), 31.0);
+}
+
+TEST(LinearPowerModel, ClampsUtilization)
+{
+    LinearPowerModel model(10.0, 20.0);
+    EXPECT_DOUBLE_EQ(model.power(-0.5), 10.0);
+    EXPECT_DOUBLE_EQ(model.power(2.0), 20.0);
+}
+
+TEST(LinearPowerModel, ConstantPowerComponent)
+{
+    // The Table 1 power supply draws 40 W regardless of load.
+    LinearPowerModel model(40.0, 40.0);
+    EXPECT_DOUBLE_EQ(model.power(0.0), 40.0);
+    EXPECT_DOUBLE_EQ(model.power(0.7), 40.0);
+}
+
+TEST(LinearPowerModel, SetRange)
+{
+    LinearPowerModel model(5.0, 10.0);
+    model.setRange(6.0, 12.0);
+    EXPECT_DOUBLE_EQ(model.power(1.0), 12.0);
+}
+
+TEST(TablePowerModel, InterpolatesBetweenPoints)
+{
+    TablePowerModel model({{0.0, 10.0}, {0.5, 30.0}, {1.0, 35.0}});
+    EXPECT_DOUBLE_EQ(model.power(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(model.power(0.25), 20.0);
+    EXPECT_DOUBLE_EQ(model.power(0.5), 30.0);
+    EXPECT_DOUBLE_EQ(model.power(0.75), 32.5);
+    EXPECT_DOUBLE_EQ(model.power(1.0), 35.0);
+}
+
+TEST(TablePowerModel, ClampsOutsideRange)
+{
+    TablePowerModel model({{0.0, 10.0}, {1.0, 20.0}});
+    EXPECT_DOUBLE_EQ(model.power(-1.0), 10.0);
+    EXPECT_DOUBLE_EQ(model.power(3.0), 20.0);
+}
+
+TEST(PerfCounterPowerModel, IdleIntervalBurnsBasePower)
+{
+    PerfCounterPowerModel model = pentium4CounterModel(10.0, 55.0);
+    std::vector<uint64_t> counts(model.eventCount(), 0);
+    EXPECT_DOUBLE_EQ(model.intervalPower(counts, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(model.lowLevelUtilization(10.0), 0.0);
+}
+
+TEST(PerfCounterPowerModel, EventsAddEnergy)
+{
+    std::vector<PerfCounterPowerModel::EventClass> events{
+        {"uops", 10.0}, // 10 nJ per event
+    };
+    PerfCounterPowerModel model(events, 5.0, 25.0);
+    // 1e9 events at 10 nJ each = 10 J over 1 s = 10 W on top of base.
+    std::vector<uint64_t> counts{1000000000ULL};
+    EXPECT_NEAR(model.intervalEnergy(counts, 1.0), 15.0, 1e-9);
+    EXPECT_NEAR(model.intervalPower(counts, 1.0), 15.0, 1e-9);
+    EXPECT_NEAR(model.lowLevelUtilization(15.0), 0.5, 1e-12);
+}
+
+TEST(PerfCounterPowerModel, UtilizationClampsAtPmax)
+{
+    PerfCounterPowerModel model = pentium4CounterModel(10.0, 55.0);
+    EXPECT_DOUBLE_EQ(model.lowLevelUtilization(1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.lowLevelUtilization(0.0), 0.0);
+}
+
+TEST(PerfCounterPowerModel, LongerIntervalLowersPower)
+{
+    PerfCounterPowerModel model = pentium4CounterModel(10.0, 55.0);
+    std::vector<uint64_t> counts(model.eventCount(), 0);
+    counts[0] = 500000000ULL;
+    double p1 = model.intervalPower(counts, 1.0);
+    double p2 = model.intervalPower(counts, 2.0);
+    EXPECT_GT(p1, p2);
+    EXPECT_GT(p2, model.basePower() - 1e-9);
+}
+
+TEST(PerfCounterPowerModel, FullLoadSyntheticP4NearsMaxPower)
+{
+    PerfCounterPowerModel model = pentium4CounterModel(10.0, 55.0);
+    // A saturated synthetic P4: ~2e9 uops/s, heavy memory traffic.
+    std::vector<uint64_t> counts{2000000000ULL, 40000000ULL, 60000000ULL,
+                                 50000000ULL};
+    double power = model.intervalPower(counts, 1.0);
+    EXPECT_GT(power, 40.0);
+    double util = model.lowLevelUtilization(power);
+    EXPECT_GT(util, 0.7);
+    EXPECT_LE(util, 1.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace mercury

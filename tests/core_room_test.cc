@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the inter-machine (room) model: AC supply driving machine
+ * inlets, exhaust mixing, overrides and recirculation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/room.hh"
+#include "core/solver.hh"
+#include "core/thermal_graph.hh"
+
+namespace mercury {
+namespace core {
+namespace {
+
+/** Build a solver with N Table-1 machines under one AC. */
+std::unique_ptr<Solver>
+makeCluster(size_t count, double ac_temp)
+{
+    auto solver = std::make_unique<Solver>();
+    std::vector<std::string> names;
+    for (size_t i = 0; i < count; ++i) {
+        std::string name = "m" + std::to_string(i + 1);
+        names.push_back(name);
+        solver->addMachine(table1Server(name));
+    }
+    solver->setRoom(table1Room(names, ac_temp));
+    return solver;
+}
+
+TEST(RoomModel, AcSupplyDrivesInlets)
+{
+    auto solver = makeCluster(4, 18.0);
+    solver->run(100.0);
+    for (const std::string &name : solver->machineNames())
+        EXPECT_NEAR(solver->machine(name).inletTemperature(), 18.0, 1e-9);
+}
+
+TEST(RoomModel, RaisingAcTemperatureHeatsEveryMachine)
+{
+    auto solver = makeCluster(2, 18.0);
+    for (const std::string &name : solver->machineNames())
+        solver->setUtilization(name, "cpu", 1.0);
+    solver->run(30000.0);
+    double before = solver->temperature("m1", "cpu");
+
+    solver->room().setSourceTemperature("ac", 28.0);
+    solver->run(30000.0);
+    EXPECT_NEAR(solver->temperature("m1", "cpu"), before + 10.0, 0.1);
+    EXPECT_NEAR(solver->machine("m2").inletTemperature(), 28.0, 1e-9);
+}
+
+TEST(RoomModel, InletOverrideWinsOverRoom)
+{
+    auto solver = makeCluster(2, 18.0);
+    solver->setInletTemperature("m1", 38.6); // fiddle-style emergency
+    solver->run(100.0);
+    EXPECT_NEAR(solver->machine("m1").inletTemperature(), 38.6, 1e-9);
+    EXPECT_NEAR(solver->machine("m2").inletTemperature(), 18.0, 1e-9);
+
+    solver->clearInletOverride("m1");
+    solver->run(100.0);
+    EXPECT_NEAR(solver->machine("m1").inletTemperature(), 18.0, 1e-9);
+}
+
+TEST(RoomModel, ClusterExhaustIsMixOfMachineExhausts)
+{
+    auto solver = makeCluster(2, 18.0);
+    solver->setUtilization("m1", "cpu", 1.0);
+    solver->run(30000.0);
+    double e1 = solver->machine("m1").exhaustTemperature();
+    double e2 = solver->machine("m2").exhaustTemperature();
+    EXPECT_GT(e1, e2); // m1 is busier
+    // Equal fans -> plain average at the cluster exhaust.
+    EXPECT_NEAR(solver->room().temperature("cluster_exhaust"),
+                0.5 * (e1 + e2), 0.05);
+}
+
+TEST(RoomModel, RecirculationWarmsDownstreamMachine)
+{
+    // m2 breathes 30% of m1's exhaust: a classic hot-aisle short
+    // circuit. Its inlet must settle above the AC supply temperature.
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    solver.addMachine(table1Server("m2"));
+
+    RoomSpec room;
+    room.name = "recirc";
+    RoomNodeSpec ac;
+    ac.name = "ac";
+    ac.kind = RoomNodeKind::Source;
+    ac.temperature = 18.0;
+    room.nodes.push_back(ac);
+    for (const char *name : {"m1", "m2"}) {
+        RoomNodeSpec node;
+        node.name = name;
+        node.kind = RoomNodeKind::Machine;
+        node.machine = name;
+        room.nodes.push_back(node);
+    }
+    RoomNodeSpec sink;
+    sink.name = "out";
+    sink.kind = RoomNodeKind::Sink;
+    room.nodes.push_back(sink);
+    room.edges.push_back({"ac", "m1", 0.5});
+    room.edges.push_back({"ac", "m2", 0.5});
+    room.edges.push_back({"m1", "m2", 0.3});
+    room.edges.push_back({"m1", "out", 0.7});
+    room.edges.push_back({"m2", "out", 1.0});
+    solver.setRoom(room);
+
+    solver.setUtilization("m1", "cpu", 1.0);
+    solver.run(30000.0);
+
+    double m1_inlet = solver.machine("m1").inletTemperature();
+    double m2_inlet = solver.machine("m2").inletTemperature();
+    EXPECT_NEAR(m1_inlet, 18.0, 1e-9);
+    EXPECT_GT(m2_inlet, 18.5); // sees recirculated hot air
+    EXPECT_GT(solver.temperature("m2", "cpu"),
+              solver.machine("m2").inletTemperature());
+}
+
+TEST(RoomModel, SetEdgeFractionShiftsMix)
+{
+    auto solver = makeCluster(2, 18.0);
+    solver->setUtilization("m1", "cpu", 1.0);
+    solver->run(20000.0);
+    // Make the cluster exhaust see only m1's (hotter) stream by
+    // shrinking m2's contribution.
+    double mixed = solver->room().temperature("cluster_exhaust");
+    solver->room().setEdgeFraction("m2", "cluster_exhaust", 0.01);
+    solver->run(1000.0);
+    EXPECT_GT(solver->room().temperature("cluster_exhaust"), mixed);
+}
+
+TEST(RoomModel, FanSpeedChangesReweightTheMixing)
+{
+    auto solver = makeCluster(2, 18.0);
+    solver->setUtilization("m1", "cpu", 1.0);
+    solver->run(30000.0);
+    double e1 = solver->machine("m1").exhaustTemperature();
+    double e2 = solver->machine("m2").exhaustTemperature();
+    ASSERT_GT(e1, e2 + 0.5);
+    double even = solver->room().temperature("cluster_exhaust");
+    EXPECT_NEAR(even, 0.5 * (e1 + e2), 0.05);
+
+    // Triple m2's fan: the (cooler) m2 stream dominates the mix, and
+    // the room must pick the new flow up on the next step.
+    solver->machine("m2").setFanCfm(3.0 * 38.6);
+    solver->run(5000.0);
+    double e1_after = solver->machine("m1").exhaustTemperature();
+    double e2_after = solver->machine("m2").exhaustTemperature();
+    double expected = (e1_after + 3.0 * e2_after) / 4.0;
+    EXPECT_NEAR(solver->room().temperature("cluster_exhaust"), expected,
+                0.05);
+}
+
+TEST(RoomModel, NodeNamesListed)
+{
+    auto solver = makeCluster(3, 18.0);
+    auto names = solver->room().nodeNames();
+    EXPECT_EQ(names.size(), 5u); // ac + sink + 3 machines
+}
+
+} // namespace
+} // namespace core
+} // namespace mercury

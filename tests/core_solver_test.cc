@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Solver facade: iteration accounting, aliases, named
+ * queries, utilization routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hh"
+
+namespace mercury {
+namespace core {
+namespace {
+
+TEST(Solver, IterationAccounting)
+{
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    EXPECT_EQ(solver.iterations(), 0u);
+    solver.iterate();
+    EXPECT_EQ(solver.iterations(), 1u);
+    solver.run(59.0);
+    EXPECT_EQ(solver.iterations(), 60u);
+    EXPECT_DOUBLE_EQ(solver.emulatedSeconds(), 60.0);
+}
+
+TEST(Solver, CustomIterationPeriod)
+{
+    SolverConfig config;
+    config.iterationSeconds = 0.5;
+    Solver solver(config);
+    solver.addMachine(table1Server("m1"));
+    solver.run(10.0);
+    EXPECT_EQ(solver.iterations(), 20u);
+    EXPECT_DOUBLE_EQ(solver.emulatedSeconds(), 10.0);
+}
+
+TEST(Solver, DiskAliasResolvesToPlatters)
+{
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    EXPECT_EQ(solver.resolveNode("m1", "disk"), "disk_platters");
+    EXPECT_EQ(solver.resolveNode("m1", "cpu"), "cpu");
+    EXPECT_DOUBLE_EQ(solver.temperature("m1", "disk"),
+                     solver.temperature("m1", "disk_platters"));
+}
+
+TEST(Solver, SetUtilizationThroughAlias)
+{
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    solver.setUtilization("m1", "disk", 0.8);
+    EXPECT_DOUBLE_EQ(solver.machine("m1").utilization("disk_platters"),
+                     0.8);
+}
+
+TEST(Solver, CustomAlias)
+{
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    solver.addAlias("processor", "cpu");
+    EXPECT_EQ(solver.resolveNode("m1", "processor"), "cpu");
+}
+
+TEST(Solver, MachineNamesAndLookup)
+{
+    Solver solver;
+    solver.addMachine(table1Server("alpha"));
+    solver.addMachine(table1Server("beta"));
+    EXPECT_TRUE(solver.hasMachine("alpha"));
+    EXPECT_FALSE(solver.hasMachine("gamma"));
+    auto names = solver.machineNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "beta");
+}
+
+TEST(Solver, StandaloneInletTemperature)
+{
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    solver.setInletTemperature("m1", 30.0);
+    EXPECT_DOUBLE_EQ(solver.machine("m1").inletTemperature(), 30.0);
+    EXPECT_FALSE(solver.hasRoom());
+}
+
+TEST(Solver, MachinesHeatUpUnderLoad)
+{
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    double idle = solver.temperature("m1", "cpu");
+    solver.setUtilization("m1", "cpu", 1.0);
+    solver.run(3600.0);
+    EXPECT_GT(solver.temperature("m1", "cpu"), idle + 10.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace mercury

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for spec validation and the built-in Table 1 configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/spec.hh"
+
+namespace mercury {
+namespace core {
+namespace {
+
+bool
+anyProblemContains(const std::vector<std::string> &problems,
+                   const std::string &needle)
+{
+    return std::any_of(problems.begin(), problems.end(),
+                       [&](const std::string &p) {
+                           return p.find(needle) != std::string::npos;
+                       });
+}
+
+TEST(Table1Server, IsValid)
+{
+    MachineSpec spec = table1Server("m1");
+    std::vector<std::string> problems = validate(spec);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+}
+
+TEST(Table1Server, MatchesPublishedConstants)
+{
+    MachineSpec spec = table1Server();
+    const NodeSpec *cpu = spec.findNode("cpu");
+    ASSERT_NE(cpu, nullptr);
+    EXPECT_DOUBLE_EQ(cpu->mass, 0.151);
+    EXPECT_DOUBLE_EQ(cpu->specificHeat, 896.0);
+    EXPECT_DOUBLE_EQ(cpu->minPower, 7.0);
+    EXPECT_DOUBLE_EQ(cpu->maxPower, 31.0);
+
+    const NodeSpec *platters = spec.findNode("disk_platters");
+    ASSERT_NE(platters, nullptr);
+    EXPECT_DOUBLE_EQ(platters->mass, 0.336);
+    EXPECT_DOUBLE_EQ(platters->minPower, 9.0);
+    EXPECT_DOUBLE_EQ(platters->maxPower, 14.0);
+
+    const NodeSpec *mobo = spec.findNode("motherboard");
+    ASSERT_NE(mobo, nullptr);
+    EXPECT_DOUBLE_EQ(mobo->specificHeat, 1245.0);
+
+    EXPECT_DOUBLE_EQ(spec.inletTemperature, 21.6);
+    EXPECT_DOUBLE_EQ(spec.fanCfm, 38.6);
+    EXPECT_EQ(spec.nodes.size(), 14u);
+    EXPECT_EQ(spec.heatEdges.size(), 6u);
+    EXPECT_EQ(spec.airEdges.size(), 12u);
+}
+
+TEST(Table1Server, FindNodeMissesUnknown)
+{
+    MachineSpec spec = table1Server();
+    EXPECT_EQ(spec.findNode("gpu"), nullptr);
+}
+
+TEST(Validate, DuplicateNodeRejected)
+{
+    MachineSpec spec = table1Server();
+    spec.nodes.push_back(spec.nodes.front());
+    EXPECT_TRUE(anyProblemContains(validate(spec), "duplicate node"));
+}
+
+TEST(Validate, UnknownHeatEdgeTargetRejected)
+{
+    MachineSpec spec = table1Server();
+    spec.heatEdges.push_back({"cpu", "nonexistent", 1.0});
+    EXPECT_TRUE(anyProblemContains(validate(spec), "unknown node"));
+}
+
+TEST(Validate, NonPositiveKRejected)
+{
+    MachineSpec spec = table1Server();
+    spec.heatEdges[0].k = 0.0;
+    EXPECT_TRUE(anyProblemContains(validate(spec), "needs k > 0"));
+}
+
+TEST(Validate, FractionSumMustBeOne)
+{
+    MachineSpec spec = table1Server();
+    // Break the inlet's outgoing fractions (0.4 + 0.5 + 0.1 = 1).
+    for (AirEdgeSpec &edge : spec.airEdges) {
+        if (edge.from == "inlet" && edge.to == "void_air")
+            edge.fraction = 0.3;
+    }
+    EXPECT_TRUE(anyProblemContains(validate(spec), "summing"));
+}
+
+TEST(Validate, AirCycleRejected)
+{
+    MachineSpec spec = table1Server();
+    // cpu_air_down currently feeds the exhaust; redirect it backwards.
+    for (AirEdgeSpec &edge : spec.airEdges) {
+        if (edge.from == "cpu_air_down")
+            edge.to = "cpu_air";
+    }
+    // Restore fraction sums: cpu_air -> cpu_air_down already 1.0.
+    EXPECT_TRUE(anyProblemContains(validate(spec), "cycle"));
+}
+
+TEST(Validate, MissingInletRejected)
+{
+    MachineSpec spec = table1Server();
+    spec.nodes.erase(std::remove_if(spec.nodes.begin(), spec.nodes.end(),
+                                    [](const NodeSpec &n) {
+                                        return n.kind == NodeKind::Inlet;
+                                    }),
+                     spec.nodes.end());
+    spec.airEdges.erase(std::remove_if(spec.airEdges.begin(),
+                                       spec.airEdges.end(),
+                                       [](const AirEdgeSpec &e) {
+                                           return e.from == "inlet";
+                                       }),
+                        spec.airEdges.end());
+    EXPECT_TRUE(anyProblemContains(validate(spec), "exactly 1 inlet"));
+}
+
+TEST(Validate, ComponentNeedsMass)
+{
+    MachineSpec spec = table1Server();
+    for (NodeSpec &node : spec.nodes) {
+        if (node.name == "cpu")
+            node.mass = 0.0;
+    }
+    EXPECT_TRUE(anyProblemContains(validate(spec), "needs mass > 0"));
+}
+
+TEST(Validate, AirEdgeBetweenSolidsRejected)
+{
+    MachineSpec spec = table1Server();
+    spec.airEdges.push_back({"cpu", "motherboard", 1.0});
+    EXPECT_TRUE(
+        anyProblemContains(validate(spec), "must connect air vertices"));
+}
+
+TEST(Validate, ExhaustCannotHaveOutgoingAir)
+{
+    MachineSpec spec = table1Server();
+    spec.airEdges.push_back({"exhaust", "void_air", 1.0});
+    EXPECT_TRUE(anyProblemContains(validate(spec), "outgoing air flow"));
+}
+
+TEST(Table1Room, IsValidForFourMachines)
+{
+    ConfigSpec config;
+    std::vector<std::string> names{"m1", "m2", "m3", "m4"};
+    for (const std::string &name : names)
+        config.machines.push_back(table1Server(name));
+    RoomSpec room = table1Room(names, 18.0);
+    std::vector<std::string> problems = validate(room, config);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+    // ac + sink + 4 machines, 2 edges per machine.
+    EXPECT_EQ(room.nodes.size(), 6u);
+    EXPECT_EQ(room.edges.size(), 8u);
+}
+
+TEST(Table1Room, UnknownMachineRejected)
+{
+    ConfigSpec config;
+    config.machines.push_back(table1Server("m1"));
+    RoomSpec room = table1Room({"m1", "ghost"});
+    EXPECT_TRUE(
+        anyProblemContains(validate(room, config), "unknown machine"));
+}
+
+TEST(Table1Room, FractionSumChecked)
+{
+    ConfigSpec config;
+    config.machines.push_back(table1Server("m1"));
+    RoomSpec room = table1Room({"m1"});
+    room.edges[0].fraction = 0.5; // ac -> m1 should be 1.0 for 1 machine
+    EXPECT_TRUE(anyProblemContains(validate(room, config), "summing"));
+}
+
+} // namespace
+} // namespace core
+} // namespace mercury

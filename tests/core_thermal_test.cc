@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Physics tests for the ThermalGraph: analytic equilibria, first-order
+ * transient behaviour, mass-flow propagation, pins and dynamic
+ * reconfiguration (the fiddle entry points).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/thermal_graph.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace core {
+namespace {
+
+/**
+ * Minimal machine: inlet -> air -> exhaust, one powered component
+ * coupled to the air. Power is fixed (pmin == pmax) so the analytic
+ * steady state is exact.
+ */
+MachineSpec
+tinyMachine(double power_w, double k, double fan_cfm, double mass = 0.1,
+            double specific_heat = 100.0)
+{
+    MachineSpec spec;
+    spec.name = "tiny";
+    spec.inletTemperature = 21.6;
+    spec.fanCfm = fan_cfm;
+    spec.initialTemperature = 21.6;
+
+    NodeSpec comp;
+    comp.name = "comp";
+    comp.kind = NodeKind::Component;
+    comp.mass = mass;
+    comp.specificHeat = specific_heat;
+    comp.minPower = power_w;
+    comp.maxPower = power_w;
+    comp.hasPower = true;
+    spec.nodes.push_back(comp);
+
+    NodeSpec inlet;
+    inlet.name = "inlet";
+    inlet.kind = NodeKind::Inlet;
+    spec.nodes.push_back(inlet);
+
+    NodeSpec air;
+    air.name = "air";
+    air.kind = NodeKind::Air;
+    spec.nodes.push_back(air);
+
+    NodeSpec exhaust;
+    exhaust.name = "exhaust";
+    exhaust.kind = NodeKind::Exhaust;
+    spec.nodes.push_back(exhaust);
+
+    spec.heatEdges.push_back({"comp", "air", k});
+    spec.airEdges.push_back({"inlet", "air", 1.0});
+    spec.airEdges.push_back({"air", "exhaust", 1.0});
+    return spec;
+}
+
+TEST(ThermalGraph, AnalyticSteadyState)
+{
+    const double power = 20.0;
+    const double k = 2.0;
+    const double fan = 17.0;
+    ThermalGraph graph(tinyMachine(power, k, fan));
+
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+
+    double mdot_c = units::cfmToKgPerS(fan) * units::kAirSpecificHeat;
+    double expected_air = 21.6 + power / mdot_c;
+    double expected_comp = expected_air + power / k;
+
+    EXPECT_NEAR(graph.temperature("air"), expected_air, 0.01);
+    EXPECT_NEAR(graph.temperature("comp"), expected_comp, 0.01);
+    EXPECT_NEAR(graph.exhaustTemperature(), expected_air, 0.01);
+}
+
+TEST(ThermalGraph, FirstOrderTransientMatchesClosedForm)
+{
+    const double power = 20.0;
+    const double k = 2.0;
+    const double fan = 17.0;
+    const double mass = 0.5;
+    const double c = 200.0;
+    ThermalGraph graph(tinyMachine(power, k, fan, mass, c));
+
+    // Effective conductance to the (instantaneous) air stream:
+    // k_eff = k F / (F + k), F = mdot c_air.
+    double F = units::cfmToKgPerS(fan) * units::kAirSpecificHeat;
+    double k_eff = k * F / (F + k);
+    double tau = mass * c / k_eff;
+    double t_final = 21.6 + power / k_eff;
+
+    double t = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        graph.step(1.0);
+        t += 1.0;
+        double expected =
+            t_final - (t_final - 21.6) * std::exp(-t / tau);
+        EXPECT_NEAR(graph.temperature("comp"), expected,
+                    0.02 * (t_final - 21.6))
+            << "at t=" << t;
+    }
+}
+
+TEST(ThermalGraph, EnergyBookkeeping)
+{
+    ThermalGraph graph(tinyMachine(20.0, 2.0, 17.0));
+    for (int i = 0; i < 100; ++i)
+        graph.step(1.0);
+    EXPECT_NEAR(graph.energyConsumed(), 2000.0, 1e-6);
+    EXPECT_DOUBLE_EQ(graph.totalPower(), 20.0);
+}
+
+TEST(ThermalGraph, UtilizationRaisesPowerAndTemperature)
+{
+    MachineSpec spec = tinyMachine(0.0, 2.0, 17.0);
+    // Make the component load-dependent: 5 W idle, 25 W busy.
+    for (NodeSpec &node : spec.nodes) {
+        if (node.name == "comp") {
+            node.minPower = 5.0;
+            node.maxPower = 25.0;
+        }
+    }
+    ThermalGraph graph(spec);
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    double idle_temp = graph.temperature("comp");
+    EXPECT_DOUBLE_EQ(graph.power("comp"), 5.0);
+
+    graph.setUtilization("comp", 1.0);
+    EXPECT_DOUBLE_EQ(graph.power("comp"), 25.0);
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    double busy_temp = graph.temperature("comp");
+    EXPECT_GT(busy_temp, idle_temp + 1.0);
+}
+
+TEST(ThermalGraph, UtilizationIsClamped)
+{
+    ThermalGraph graph(tinyMachine(10.0, 2.0, 17.0));
+    graph.setUtilization("comp", 5.0);
+    EXPECT_DOUBLE_EQ(graph.utilization("comp"), 1.0);
+    graph.setUtilization("comp", -3.0);
+    EXPECT_DOUBLE_EQ(graph.utilization("comp"), 0.0);
+}
+
+TEST(ThermalGraph, PinHoldsTemperature)
+{
+    ThermalGraph graph(tinyMachine(50.0, 2.0, 17.0));
+    graph.pinTemperature("comp", 42.0);
+    for (int i = 0; i < 100; ++i)
+        graph.step(1.0);
+    EXPECT_DOUBLE_EQ(graph.temperature("comp"), 42.0);
+    EXPECT_TRUE(graph.isPinned("comp"));
+
+    graph.unpinTemperature("comp");
+    for (int i = 0; i < 5000; ++i)
+        graph.step(1.0);
+    EXPECT_GT(graph.temperature("comp"), 43.0); // free to evolve again
+}
+
+TEST(ThermalGraph, SetTemperatureJumpsButEvolves)
+{
+    ThermalGraph graph(tinyMachine(20.0, 2.0, 17.0));
+    graph.setTemperature("comp", 80.0);
+    EXPECT_DOUBLE_EQ(graph.temperature("comp"), 80.0);
+    graph.step(1.0);
+    // Hotter than equilibrium, so it must cool.
+    EXPECT_LT(graph.temperature("comp"), 80.0);
+}
+
+TEST(ThermalGraph, InletTemperatureShiftsWholeSystem)
+{
+    ThermalGraph graph(tinyMachine(20.0, 2.0, 17.0));
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    double comp_before = graph.temperature("comp");
+
+    graph.setInletTemperature(31.6); // +10 C emergency
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    EXPECT_NEAR(graph.temperature("comp"), comp_before + 10.0, 0.05);
+}
+
+TEST(ThermalGraph, HigherFanFlowCoolsComponent)
+{
+    ThermalGraph slow(tinyMachine(20.0, 2.0, 10.0));
+    ThermalGraph fast(tinyMachine(20.0, 2.0, 40.0));
+    for (int i = 0; i < 20000; ++i) {
+        slow.step(1.0);
+        fast.step(1.0);
+    }
+    EXPECT_GT(slow.temperature("comp"), fast.temperature("comp") + 1.0);
+}
+
+TEST(ThermalGraph, SetFanCfmTakesEffect)
+{
+    ThermalGraph graph(tinyMachine(20.0, 2.0, 10.0));
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    double before = graph.temperature("comp");
+    graph.setFanCfm(40.0);
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    EXPECT_LT(graph.temperature("comp"), before - 1.0);
+}
+
+TEST(ThermalGraph, SetHeatKTightensCoupling)
+{
+    ThermalGraph graph(tinyMachine(20.0, 1.0, 17.0));
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    double loose = graph.temperature("comp");
+    EXPECT_DOUBLE_EQ(graph.heatK("comp", "air"), 1.0);
+
+    graph.setHeatK("comp", "air", 4.0);
+    for (int i = 0; i < 20000; ++i)
+        graph.step(1.0);
+    // Component-air delta is P/k: 20 -> 5 degrees.
+    EXPECT_NEAR(loose - graph.temperature("comp"), 15.0, 0.1);
+}
+
+TEST(ThermalGraph, Table1MassFlowConservation)
+{
+    ThermalGraph graph(table1Server());
+    double inlet_flow = units::cfmToKgPerS(38.6);
+    EXPECT_NEAR(graph.massFlow(graph.nodeId("inlet")), inlet_flow, 1e-12);
+    EXPECT_NEAR(graph.massFlow(graph.nodeId("exhaust")), inlet_flow, 1e-9);
+    // cpu_air receives 15% of the PS branch plus 5% of the void air:
+    // 0.15*0.5 + 0.05*0.925 = 0.12125 of the inlet flow.
+    EXPECT_NEAR(graph.massFlow(graph.nodeId("cpu_air")),
+                0.12125 * inlet_flow, 1e-9);
+}
+
+TEST(ThermalGraph, Table1SteadyStateIsOrderedSensibly)
+{
+    ThermalGraph graph(table1Server());
+    graph.setUtilization("cpu", 1.0);
+    graph.setUtilization("disk_platters", 0.5);
+    for (int i = 0; i < 50000; ++i)
+        graph.step(1.0);
+
+    double inlet = graph.temperature("inlet");
+    double cpu = graph.temperature("cpu");
+    double cpu_air = graph.temperature("cpu_air");
+    double exhaust = graph.exhaustTemperature();
+    double platters = graph.temperature("disk_platters");
+    double shell = graph.temperature("disk_shell");
+
+    EXPECT_DOUBLE_EQ(inlet, 21.6);
+    EXPECT_GT(cpu, cpu_air);          // source hotter than its air
+    EXPECT_GT(cpu_air, inlet);        // air picks up heat
+    EXPECT_GT(exhaust, inlet);        // case exhausts warm air
+    EXPECT_GT(platters, shell);       // platters generate the heat
+    EXPECT_GT(shell, inlet);
+    EXPECT_LT(cpu, 120.0);            // sane magnitude
+    // Total enthalpy rise of the air must match total power:
+    // dT = P / (mdot c).
+    double mdot_c =
+        units::cfmToKgPerS(38.6) * units::kAirSpecificHeat;
+    EXPECT_NEAR(exhaust - 21.6, graph.totalPower() / mdot_c, 0.05);
+}
+
+TEST(ThermalGraph, Table1UsesSingleSubstepAtOneSecond)
+{
+    ThermalGraph graph(table1Server());
+    EXPECT_EQ(graph.substepsFor(1.0), 1);
+    EXPECT_GT(graph.substepsFor(60.0), 1);
+}
+
+TEST(ThermalGraph, StiffGraphGetsSubstepped)
+{
+    // A very light component with strong coupling is stiff at 1 s.
+    MachineSpec spec = tinyMachine(5.0, 50.0, 17.0, 0.01, 100.0);
+    ThermalGraph graph(spec);
+    EXPECT_GT(graph.substepsFor(1.0), 10);
+    // And it must still integrate stably to the analytic equilibrium.
+    for (int i = 0; i < 5000; ++i)
+        graph.step(1.0);
+    double F = units::cfmToKgPerS(17.0) * units::kAirSpecificHeat;
+    double expected = 21.6 + 5.0 / F + 5.0 / 50.0;
+    EXPECT_NEAR(graph.temperature("comp"), expected, 0.05);
+}
+
+TEST(ThermalGraph, StagnantAirIntegratesWithoutBlowup)
+{
+    // Fan off: the case becomes a sealed box; temperatures rise
+    // monotonically but remain finite over a bounded horizon.
+    ThermalGraph graph(tinyMachine(5.0, 2.0, 0.0));
+    double last = graph.temperature("air");
+    for (int i = 0; i < 600; ++i) {
+        graph.step(1.0);
+        double now = graph.temperature("air");
+        EXPECT_GE(now, last - 1e-9);
+        EXPECT_TRUE(std::isfinite(now));
+        last = now;
+    }
+    EXPECT_GT(last, 21.6);
+}
+
+TEST(ThermalGraph, BranchMixingIsFlowWeighted)
+{
+    // Two parallel branches, heat dumped into branch A only; the
+    // exhaust is the flow-weighted mix.
+    MachineSpec spec;
+    spec.name = "branches";
+    spec.inletTemperature = 20.0;
+    spec.fanCfm = 20.0;
+    spec.initialTemperature = 20.0;
+
+    NodeSpec comp;
+    comp.name = "comp";
+    comp.kind = NodeKind::Component;
+    comp.mass = 0.2;
+    comp.specificHeat = 300.0;
+    comp.minPower = 10.0;
+    comp.maxPower = 10.0;
+    comp.hasPower = true;
+    spec.nodes.push_back(comp);
+    for (const char *name : {"air_a", "air_b"}) {
+        NodeSpec air;
+        air.name = name;
+        air.kind = NodeKind::Air;
+        spec.nodes.push_back(air);
+    }
+    NodeSpec inlet;
+    inlet.name = "inlet";
+    inlet.kind = NodeKind::Inlet;
+    spec.nodes.push_back(inlet);
+    NodeSpec exhaust;
+    exhaust.name = "exhaust";
+    exhaust.kind = NodeKind::Exhaust;
+    spec.nodes.push_back(exhaust);
+
+    spec.heatEdges.push_back({"comp", "air_a", 2.0});
+    spec.airEdges.push_back({"inlet", "air_a", 0.25});
+    spec.airEdges.push_back({"inlet", "air_b", 0.75});
+    spec.airEdges.push_back({"air_a", "exhaust", 1.0});
+    spec.airEdges.push_back({"air_b", "exhaust", 1.0});
+
+    ThermalGraph graph(spec);
+    for (int i = 0; i < 30000; ++i)
+        graph.step(1.0);
+
+    double ta = graph.temperature("air_a");
+    double tb = graph.temperature("air_b");
+    double mix = 0.25 * ta + 0.75 * tb;
+    EXPECT_NEAR(graph.exhaustTemperature(), mix, 1e-6);
+    EXPECT_GT(ta, tb); // branch A carries the heat
+    EXPECT_NEAR(tb, 20.0, 1e-6);
+
+    // All 10 W leave through 25% of the flow.
+    double branch_flow = 0.25 * units::cfmToKgPerS(20.0);
+    EXPECT_NEAR(ta - 20.0, 10.0 / (branch_flow * units::kAirSpecificHeat),
+                0.01);
+}
+
+TEST(ThermalGraph, NodeNamesAndKinds)
+{
+    ThermalGraph graph(table1Server());
+    EXPECT_EQ(graph.nodeCount(), 14u);
+    EXPECT_EQ(graph.nodeKind(graph.nodeId("cpu")), NodeKind::Component);
+    EXPECT_EQ(graph.nodeKind(graph.nodeId("inlet")), NodeKind::Inlet);
+    EXPECT_FALSE(graph.tryNodeId("nonexistent").has_value());
+    EXPECT_TRUE(graph.tryNodeId("cpu_air").has_value());
+    EXPECT_EQ(graph.nodeNames().size(), 14u);
+}
+
+} // namespace
+} // namespace core
+} // namespace mercury

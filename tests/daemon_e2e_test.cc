@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end tests of the deployed shape over real UDP: monitord
+ * ships utilization updates to a live SolverDaemon, the sensor
+ * library reads temperatures back, and fiddle injects an emergency —
+ * the full Figure 2 data flow in one process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/solver.hh"
+#include "graphdot/parser.hh"
+#include "monitor/monitord.hh"
+#include "proto/solver_daemon.hh"
+#include "sensor/client.hh"
+
+#ifndef MERCURY_CONFIG_DIR
+#define MERCURY_CONFIG_DIR "configs"
+#endif
+
+namespace mercury {
+namespace {
+
+TEST(DaemonE2E, MonitordSensorAndFiddleOverUdp)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.iterationSeconds = 0.0; // stepped manually below
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+
+    // monitord with a synthetic source, shipping over real UDP.
+    auto source = std::make_unique<monitor::SyntheticSource>();
+    source->addComponent("cpu", [](double) { return 0.8; });
+    source->addComponent("disk", [](double) { return 0.3; });
+    auto socket = std::make_shared<net::UdpSocket>();
+    net::Endpoint endpoint{*net::resolveHost("127.0.0.1"), daemon.port()};
+    monitor::Monitord monitord(
+        "m1", std::move(source),
+        monitor::Monitord::udpSink(socket, endpoint));
+    monitord.tick(1.0);
+
+    // UDP is asynchronous: wait for the updates to land.
+    for (int i = 0; i < 200; ++i) {
+        if (daemon.service().updatesApplied() >= 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(daemon.service().updatesApplied(), 2u);
+    EXPECT_DOUBLE_EQ(solver.machine("m1").utilization("cpu"), 0.8);
+    EXPECT_DOUBLE_EQ(
+        solver.machine("m1").utilization("disk_platters"), 0.3);
+
+    // Sensor read over the same socket family.
+    sensor::SensorClient client(
+        std::make_unique<sensor::UdpTransport>("127.0.0.1",
+                                               daemon.port()),
+        "m1");
+    auto before = client.read("cpu");
+    ASSERT_TRUE(before.has_value());
+
+    // Fiddle an emergency, step the solver, watch the CPU heat up.
+    auto [ok, message] = client.fiddle("m1 temperature inlet 35");
+    ASSERT_TRUE(ok) << message;
+    for (int i = 0; i < 2000; ++i)
+        solver.iterate();
+    auto after = client.read("cpu");
+    ASSERT_TRUE(after.has_value());
+    EXPECT_GT(*after, *before + 5.0);
+
+    daemon.stop();
+    server.join();
+}
+
+TEST(DaemonE2E, DaemonStepsInWallClockTime)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    solver.setUtilization("m1", "cpu", 1.0);
+
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.iterationSeconds = 0.02; // fast wall-clock stepping
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    daemon.stop();
+    server.join();
+    // ~15 iterations expected; accept a broad band (CI jitter).
+    EXPECT_GE(solver.iterations(), 5u);
+    EXPECT_LE(solver.iterations(), 60u);
+}
+
+TEST(ShippedConfigs, Table1ServerFileMatchesBuiltin)
+{
+    core::ConfigSpec config = graphdot::loadConfigFile(
+        std::string(MERCURY_CONFIG_DIR) + "/table1_server.dot");
+    ASSERT_EQ(config.machines.size(), 1u);
+    EXPECT_FALSE(config.room.has_value());
+
+    core::MachineSpec expected = core::table1Server("server");
+    const core::MachineSpec &loaded = config.machines[0];
+    EXPECT_EQ(loaded.name, expected.name);
+    EXPECT_DOUBLE_EQ(loaded.fanCfm, expected.fanCfm);
+    EXPECT_DOUBLE_EQ(loaded.inletTemperature, expected.inletTemperature);
+    ASSERT_EQ(loaded.nodes.size(), expected.nodes.size());
+    ASSERT_EQ(loaded.heatEdges.size(), expected.heatEdges.size());
+    ASSERT_EQ(loaded.airEdges.size(), expected.airEdges.size());
+    for (const core::NodeSpec &node : expected.nodes) {
+        const core::NodeSpec *copy = loaded.findNode(node.name);
+        ASSERT_NE(copy, nullptr) << node.name;
+        EXPECT_EQ(copy->kind, node.kind) << node.name;
+        EXPECT_DOUBLE_EQ(copy->mass, node.mass) << node.name;
+        EXPECT_DOUBLE_EQ(copy->specificHeat, node.specificHeat)
+            << node.name;
+        EXPECT_EQ(copy->hasPower, node.hasPower) << node.name;
+        EXPECT_DOUBLE_EQ(copy->minPower, node.minPower) << node.name;
+        EXPECT_DOUBLE_EQ(copy->maxPower, node.maxPower) << node.name;
+    }
+    for (const core::HeatEdgeSpec &edge : expected.heatEdges) {
+        bool found = false;
+        for (const core::HeatEdgeSpec &candidate : loaded.heatEdges) {
+            if (candidate.a == edge.a && candidate.b == edge.b) {
+                EXPECT_DOUBLE_EQ(candidate.k, edge.k)
+                    << edge.a << "--" << edge.b;
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << edge.a << "--" << edge.b;
+    }
+}
+
+TEST(ShippedConfigs, Table1ClusterFileBuildsAWorkingSolver)
+{
+    core::ConfigSpec config = graphdot::loadConfigFile(
+        std::string(MERCURY_CONFIG_DIR) + "/table1_cluster.dot");
+    ASSERT_EQ(config.machines.size(), 4u);
+    ASSERT_TRUE(config.room.has_value());
+
+    core::Solver solver;
+    for (const core::MachineSpec &machine : config.machines)
+        solver.addMachine(machine);
+    solver.setRoom(*config.room);
+    solver.setUtilization("m2", "cpu", 1.0);
+    solver.run(5000.0);
+    EXPECT_NEAR(solver.machine("m1").inletTemperature(), 18.0, 1e-9);
+    EXPECT_GT(solver.temperature("m2", "cpu"),
+              solver.temperature("m3", "cpu") + 5.0);
+    EXPECT_GT(solver.room().temperature("cluster_exhaust"), 18.0);
+}
+
+} // namespace
+} // namespace mercury

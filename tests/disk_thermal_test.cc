@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Disk-driven thermal management. Freon monitors "the temperature of
+ * the CPU(s) and disk(s) of the server" and its remote throttling
+ * explicitly "allows the throttling of other components besides the
+ * CPU, such as disks" (Section 4.3). These tests drive the *disk*
+ * over its thresholds and check the same machinery responds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freon/experiment.hh"
+
+namespace mercury {
+namespace freon {
+namespace {
+
+/**
+ * A disk-bound scenario: most requests hit the disk hard, and the
+ * disk thresholds are set for the Table 1 drive's reachable range
+ * (platters run ~1.1 degC/W above the inlet: idle +10, flat-out +16).
+ */
+ExperimentConfig
+diskBoundConfig(PolicyKind policy)
+{
+    ExperimentConfig config;
+    config.policy = policy;
+    config.workload.duration = 2000.0;
+    // Disk-heavy mix: every static request misses the cache and reads
+    // a large file; CGI stays cheap on the CPU side.
+    config.workload.staticDiskProbability = 1.0;
+    config.workload.staticDiskSeconds = 0.012;
+    config.workload.cgiDiskSeconds = 0.012;
+    // Size the peak by the disk: mean disk demand 12 ms/request, so
+    // 70% of 4 disks needs ~233 req/s.
+    config.workload.peakRate = 0.70 * 4 / 0.012;
+    // Thresholds the Table 1 drive can actually reach under an inlet
+    // emergency; the CPU thresholds stay out of the picture.
+    config.freon.components["disk"] = Thresholds{50.0, 47.0, 52.0};
+    config.freon.components["cpu"] = Thresholds{74.0, 71.0, 76.0};
+    // The same two Figure 11 emergencies.
+    config.emergencies.push_back({480.0, "m1", 38.6});
+    return config;
+}
+
+TEST(DiskThermal, UnmanagedDiskCrossesItsThreshold)
+{
+    ExperimentResult result =
+        runExperiment(diskBoundConfig(PolicyKind::None));
+    double m1_disk_peak = result.diskTemperature.at("m1").maxValue();
+    EXPECT_GT(m1_disk_peak, 50.0);   // over T_h^disk
+    // The CPU is bored in this workload: far below its threshold.
+    EXPECT_LT(result.peakCpuTemperature.at("m1"), 74.0);
+}
+
+TEST(DiskThermal, FreonThrottlesTheDiskRemotely)
+{
+    ExperimentResult none =
+        runExperiment(diskBoundConfig(PolicyKind::None));
+    ExperimentResult freon =
+        runExperiment(diskBoundConfig(PolicyKind::FreonBase));
+
+    // Freon acted (the Hot reports came from the disk component)...
+    EXPECT_GT(freon.weightAdjustments, 0u);
+    // ...kept the disk below the unmanaged peak and under the red
+    // line, without powering anything off or dropping requests.
+    double managed = freon.diskTemperature.at("m1").maxValue();
+    double unmanaged = none.diskTemperature.at("m1").maxValue();
+    EXPECT_LT(managed, unmanaged);
+    EXPECT_LT(managed, 52.0);
+    EXPECT_EQ(freon.serversTurnedOff, 0u);
+    EXPECT_EQ(freon.dropped, 0u);
+}
+
+TEST(DiskThermal, CoolDisksNeverTrigger)
+{
+    // Same disk-heavy workload but no emergency: everything stays
+    // under T_h and Freon never interferes.
+    ExperimentConfig config = diskBoundConfig(PolicyKind::FreonBase);
+    config.emergencies.clear();
+    ExperimentResult result = runExperiment(config);
+    EXPECT_EQ(result.weightAdjustments, 0u);
+    EXPECT_LT(result.diskTemperature.at("m1").maxValue(), 50.0);
+}
+
+} // namespace
+} // namespace freon
+} // namespace mercury

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Edge and failure-mode tests: every guarded precondition in the
+ * public API must fail loudly (panic for internal misuse, fatal for
+ * user errors) rather than corrupting an experiment silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/dvfs.hh"
+#include "core/fan.hh"
+#include "core/solver.hh"
+#include "core/thermal_graph.hh"
+#include "core/trace.hh"
+#include "fiddle/script.hh"
+#include "graphdot/parser.hh"
+#include "sensor/client.hh"
+#include "sim/simulator.hh"
+#include "util/csv.hh"
+#include "util/flags.hh"
+#include "util/stats.hh"
+
+namespace mercury {
+namespace {
+
+TEST(EdgeStats, NonMonotonicTimeSeriesPanics)
+{
+    TimeSeries ts("t");
+    ts.add(10.0, 1.0);
+    EXPECT_DEATH(ts.add(5.0, 2.0), "non-monotonic");
+}
+
+TEST(EdgeStats, SampleOnEmptySeriesPanics)
+{
+    TimeSeries ts("t");
+    EXPECT_DEATH(ts.sampleAt(1.0), "empty series");
+}
+
+TEST(EdgeStats, EmptyAccumulatorIsZero)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(EdgeStats, BadHistogramPanics)
+{
+    EXPECT_DEATH(Histogram(5.0, 5.0, 10), "bad range");
+    EXPECT_DEATH(Histogram(0.0, 10.0, 0), "bad range");
+}
+
+TEST(EdgeCsv, ArityMismatchPanics)
+{
+    std::ostringstream out;
+    CsvWriter writer(out, {"a", "b"});
+    EXPECT_DEATH(writer.row({1.0}), "expected 2");
+}
+
+TEST(EdgeCsv, NoSeriesPanics)
+{
+    std::ostringstream out;
+    EXPECT_DEATH(writeAlignedSeries(out, {}), "no series");
+}
+
+TEST(EdgeFlags, UnknownFlagIsFatal)
+{
+    FlagSet flags("prog", "test");
+    flags.defineInt("n", 1, "num");
+    const char *argv[] = {"prog", "--bogus", "3"};
+    EXPECT_EXIT(flags.parse(3, argv), testing::ExitedWithCode(1),
+                "unknown flag");
+}
+
+TEST(EdgeFlags, MalformedNumberIsFatal)
+{
+    FlagSet flags("prog", "test");
+    flags.defineDouble("x", 1.0, "val");
+    const char *argv[] = {"prog", "--x", "abc"};
+    EXPECT_EXIT(flags.parse(3, argv), testing::ExitedWithCode(1),
+                "bad number");
+}
+
+TEST(EdgeSim, PopOnEmptyQueuePanics)
+{
+    sim::EventQueue queue;
+    EXPECT_DEATH(queue.pop(), "empty queue");
+}
+
+TEST(EdgeSim, SchedulingInThePastPanics)
+{
+    sim::Simulator simulator;
+    simulator.at(sim::seconds(10), [] {});
+    simulator.runToCompletion();
+    EXPECT_DEATH(simulator.at(sim::seconds(5), [] {}), "before now");
+    EXPECT_DEATH(simulator.after(-1, [] {}), "negative delay");
+    EXPECT_DEATH(simulator.every(0, [] { return false; }),
+                 "non-positive period");
+}
+
+TEST(EdgeCore, InvalidSpecPanics)
+{
+    core::MachineSpec spec = core::table1Server();
+    spec.heatEdges.push_back({"cpu", "ghost", 1.0});
+    EXPECT_DEATH(core::ThermalGraph graph(spec), "invalid machine spec");
+}
+
+TEST(EdgeCore, MissingEdgeMutationsPanic)
+{
+    core::ThermalGraph graph(core::table1Server());
+    EXPECT_DEATH(graph.setHeatK("cpu", "disk_air", 1.0), "no heat edge");
+    EXPECT_DEATH(graph.setAirFraction("cpu_air", "disk_air", 0.5),
+                 "no air edge");
+    EXPECT_DEATH(graph.setAirFraction("inlet", "disk_air", 1.5),
+                 "outside");
+    EXPECT_DEATH(graph.step(0.0), "non-positive dt");
+    EXPECT_DEATH(graph.setFanCfm(-1.0), "negative");
+    EXPECT_DEATH(graph.setUtilization("cpu_air", 0.5), "no power model");
+}
+
+TEST(EdgeCore, SolverMisusePanics)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    EXPECT_DEATH(solver.addMachine(core::table1Server("m1")),
+                 "duplicate machine");
+    EXPECT_DEATH(solver.machine("ghost"), "unknown machine");
+    EXPECT_DEATH(solver.room(), "no room model");
+
+    solver.setRoom(core::table1Room({"m1"}, 18.0));
+    EXPECT_DEATH(solver.addMachine(core::table1Server("m2")),
+                 "before installing the room");
+
+    core::SolverConfig config;
+    config.iterationSeconds = 0.0;
+    EXPECT_DEATH(core::Solver bad(config), "non-positive iteration");
+}
+
+TEST(EdgeCore, TablePowerModelValidation)
+{
+    EXPECT_DEATH(core::TablePowerModel({{0.0, 1.0}}), "two points");
+    EXPECT_DEATH(core::TablePowerModel({{0.0, 1.0}, {0.0, 2.0}}),
+                 "non-increasing");
+    EXPECT_DEATH(core::TablePowerModel({{0.1, 1.0}, {1.0, 2.0}}),
+                 "cover");
+}
+
+TEST(EdgeCore, FanControllerValidation)
+{
+    core::ThermalGraph graph(core::table1Server());
+    EXPECT_DEATH(core::FanController(graph, "ghost"), "no node");
+    core::FanCurve bad;
+    bad.highTemperature = bad.lowTemperature - 1.0;
+    EXPECT_DEATH(core::FanController(graph, "cpu", bad),
+                 "malformed fan curve");
+}
+
+TEST(EdgeCluster, DvfsValidation)
+{
+    sim::Simulator simulator;
+    cluster::ServerMachine machine(simulator, "m1");
+    auto read = [] { return 50.0; };
+    cluster::DvfsConfig empty;
+    empty.frequencies.clear();
+    EXPECT_DEATH(
+        cluster::DvfsGovernor(simulator, machine, read, nullptr, empty),
+        "empty frequency ladder");
+    cluster::DvfsConfig unsorted;
+    unsorted.frequencies = {1.0, 0.5};
+    EXPECT_DEATH(cluster::DvfsGovernor(simulator, machine, read, nullptr,
+                                       unsorted),
+                 "ascend");
+    cluster::DvfsConfig inverted;
+    inverted.triggerTemperature = 60.0;
+    inverted.releaseTemperature = 65.0;
+    EXPECT_DEATH(cluster::DvfsGovernor(simulator, machine, read, nullptr,
+                                       inverted),
+                 "below trigger");
+    EXPECT_DEATH(machine.setCpuSpeed(0.0), "outside");
+    EXPECT_DEATH(machine.setCpuSpeed(1.5), "outside");
+}
+
+TEST(EdgeIo, MissingFilesAreFatal)
+{
+    EXPECT_EXIT(core::UtilizationTrace::loadFile("/no/such/trace.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+    EXPECT_EXIT(fiddle::FiddleScript::loadFile("/no/such/script"),
+                testing::ExitedWithCode(1), "cannot open");
+    EXPECT_EXIT(graphdot::loadConfigFile("/no/such/config.dot"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(EdgeSensor, NullTransportPanics)
+{
+    EXPECT_DEATH(sensor::SensorClient(nullptr, "m1"), "null transport");
+}
+
+TEST(EdgeTrace, RunnerMisusePanics)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    core::UtilizationTrace trace;
+    trace.add(0.0, "m1", "cpu", 1.0);
+    core::TraceRunner runner(solver, trace);
+    runner.record("m1", "cpu");
+    runner.run(5.0);
+    EXPECT_DEATH(runner.run(5.0), "called twice");
+    EXPECT_DEATH(runner.series("m1", "disk"), "was not recorded");
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Integration tests of the full Section 5 experiment: Mercury + LVS +
+ * workload + tempd/admd, end to end. These check the paper's
+ * qualitative results; the benches report the quantitative series.
+ *
+ * Threshold values come from FreonConfig::table1Defaults() (T_h = 74,
+ * T_r = 76 for the CPU), the match of the paper's 67/69 to the
+ * Table 1 emulated server's thermal sensitivity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freon/experiment.hh"
+
+namespace mercury {
+namespace freon {
+namespace {
+
+constexpr double kCpuHigh = 74.0;
+constexpr double kCpuRedline = 76.0;
+
+ExperimentConfig
+paperConfig(PolicyKind policy)
+{
+    ExperimentConfig config;
+    config.policy = policy;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+    return config;
+}
+
+TEST(Experiment, NoPolicyBaselineGetsHot)
+{
+    ExperimentConfig config = paperConfig(PolicyKind::None);
+    ExperimentResult result = runExperiment(config);
+
+    // The emergencies drive machine 1's CPU over T_h and nobody acts.
+    EXPECT_GT(result.peakCpuTemperature.at("m1"), kCpuHigh);
+    EXPECT_GT(result.firstTimeOverHigh.at("m1"), 480.0);
+    // Unaffected machine 2 stays below the threshold.
+    EXPECT_LT(result.peakCpuTemperature.at("m2"), kCpuHigh);
+    // With 30% headroom nothing drops even without management.
+    EXPECT_EQ(result.dropped, 0u);
+}
+
+TEST(Experiment, FreonBaseControlsTemperatureWithoutDrops)
+{
+    ExperimentResult result =
+        runExperiment(paperConfig(PolicyKind::FreonBase));
+
+    // "Freon was able to serve the entire workload without dropping
+    // requests", holding the hot CPUs just under the red line.
+    EXPECT_EQ(result.dropped, 0u);
+    EXPECT_GT(result.weightAdjustments, 0u);
+    EXPECT_EQ(result.serversTurnedOff, 0u);
+    // It reacts after crossing T_h, so the peak exceeds T_h by a
+    // little; the red line is never reached.
+    EXPECT_GE(result.peakCpuTemperature.at("m1"), kCpuHigh);
+    EXPECT_LT(result.peakCpuTemperature.at("m1"), kCpuRedline);
+    EXPECT_LT(result.peakCpuTemperature.at("m3"), kCpuRedline);
+    // The emergency machines cross T_h only after the 480 s injection.
+    EXPECT_GT(result.firstTimeOverHigh.at("m1"), 480.0);
+    // Machines 2 and 4 absorb the shifted load and stay safe.
+    EXPECT_LT(result.peakCpuTemperature.at("m2"), kCpuHigh);
+    EXPECT_LT(result.peakCpuTemperature.at("m4"), kCpuHigh);
+}
+
+TEST(Experiment, LoadShiftsAwayFromHotServers)
+{
+    ExperimentResult result =
+        runExperiment(paperConfig(PolicyKind::FreonBase));
+    // While m1 is restricted (mid-plateau), the cool machines carry a
+    // larger share (Figure 11 bottom).
+    double m1_mid = result.cpuUtilization.at("m1").sampleAt(1400.0);
+    double m2_mid = result.cpuUtilization.at("m2").sampleAt(1400.0);
+    EXPECT_GT(m2_mid, m1_mid);
+}
+
+TEST(Experiment, TraditionalDropsRequests)
+{
+    ExperimentResult result =
+        runExperiment(paperConfig(PolicyKind::Traditional));
+
+    // Both emergency machines red-line and are powered off (the paper
+    // loses m1 at ~1440 s and m3 just before 1500 s)...
+    EXPECT_EQ(result.serversTurnedOff, 2u);
+    // ...and the two survivors cannot carry the peak: requests drop
+    // (the paper reports 14% of the trace).
+    EXPECT_GT(result.dropRate, 0.02);
+    EXPECT_LT(result.dropRate, 0.40);
+    // The survivors saturate but stay below the red line.
+    EXPECT_LT(result.peakCpuTemperature.at("m2"), kCpuRedline);
+    EXPECT_LT(result.peakCpuTemperature.at("m4"), kCpuRedline);
+}
+
+TEST(Experiment, FreonBeatsTraditionalOnDrops)
+{
+    ExperimentResult freon =
+        runExperiment(paperConfig(PolicyKind::FreonBase));
+    ExperimentResult traditional =
+        runExperiment(paperConfig(PolicyKind::Traditional));
+    EXPECT_LT(freon.dropRate + 1e-12, traditional.dropRate);
+}
+
+TEST(Experiment, FreonEcConservesEnergyWithoutDrops)
+{
+    ExperimentConfig config = paperConfig(PolicyKind::FreonEC);
+    ExperimentResult ec = runExperiment(config);
+    ExperimentResult base =
+        runExperiment(paperConfig(PolicyKind::FreonBase));
+
+    // The active configuration shrinks during the valleys (the paper
+    // reaches a single server at 60 s) and grows back for the peak.
+    EXPECT_LE(ec.activeServers.minValue(), 2.0);
+    EXPECT_GE(ec.activeServers.maxValue(), 4.0);
+    EXPECT_GT(ec.serversTurnedOff, 0u);
+    EXPECT_GT(ec.serversTurnedOn, 0u);
+
+    // Energy goes down versus always-on Freon; drops stay negligible.
+    EXPECT_LT(ec.energyJoules, 0.95 * base.energyJoules);
+    EXPECT_LT(ec.dropRate, 0.01);
+    // Emergencies at the peak are still handled under the red line.
+    EXPECT_LT(ec.peakCpuTemperature.at("m1"), kCpuRedline);
+}
+
+TEST(Experiment, FreonEcMachinesCoolWhileOff)
+{
+    ExperimentResult ec = runExperiment(paperConfig(PolicyKind::FreonEC));
+    ExperimentResult base =
+        runExperiment(paperConfig(PolicyKind::FreonBase));
+    // During the morning valley (t = 420 s) the EC-idled machines sit
+    // near the inlet temperature while the always-on cluster idles
+    // warm ("they cooled down substantially ... about 10 C").
+    double best_gap = 0.0;
+    for (const auto &[name, series] : base.cpuTemperature) {
+        double gap = series.sampleAt(420.0) -
+                     ec.cpuTemperature.at(name).sampleAt(420.0);
+        best_gap = std::max(best_gap, gap);
+    }
+    EXPECT_GT(best_gap, 5.0);
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    ExperimentResult a = runExperiment(paperConfig(PolicyKind::FreonBase));
+    ExperimentResult b = runExperiment(paperConfig(PolicyKind::FreonBase));
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.peakCpuTemperature.at("m1"),
+                     b.peakCpuTemperature.at("m1"));
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+}
+
+} // namespace
+} // namespace freon
+} // namespace mercury

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the Section 7 / Section 4.3 extensions: variable-speed
+ * fans, CPU-local DVFS, content-aware dispatch and the two-stage
+ * Freon policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/dvfs.hh"
+#include "core/fan.hh"
+#include "core/thermal_graph.hh"
+#include "freon/controller.hh"
+#include "freon/experiment.hh"
+#include "lb/load_balancer.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace {
+
+TEST(FanCurve, LinearRampBetweenSetpoints)
+{
+    core::FanCurve curve;
+    curve.lowTemperature = 40.0;
+    curve.highTemperature = 60.0;
+    curve.minCfm = 10.0;
+    curve.maxCfm = 50.0;
+    EXPECT_DOUBLE_EQ(curve.cfmFor(20.0), 10.0);
+    EXPECT_DOUBLE_EQ(curve.cfmFor(40.0), 10.0);
+    EXPECT_DOUBLE_EQ(curve.cfmFor(50.0), 30.0);
+    EXPECT_DOUBLE_EQ(curve.cfmFor(60.0), 50.0);
+    EXPECT_DOUBLE_EQ(curve.cfmFor(99.0), 50.0);
+}
+
+TEST(FanController, SpeedsUpWithLoadAndCoolsTheMachine)
+{
+    core::ThermalGraph fixed(core::table1Server("fixed"));
+    core::ThermalGraph managed(core::table1Server("managed"));
+
+    core::FanCurve curve;
+    curve.lowTemperature = 35.0;
+    curve.highTemperature = 60.0;
+    curve.minCfm = 38.6; // idle speed = the fixed machine's speed
+    curve.maxCfm = 90.0;
+    core::FanController fan(managed, "cpu", curve);
+    double idle_cfm = fan.currentCfm();
+
+    fixed.setUtilization("cpu", 1.0);
+    managed.setUtilization("cpu", 1.0);
+    for (int i = 0; i < 20000; ++i) {
+        fixed.step(1.0);
+        managed.step(1.0);
+        fan.update();
+    }
+    EXPECT_GT(fan.currentCfm(), idle_cfm + 10.0); // fan ramped up
+    EXPECT_LT(managed.temperature("cpu"),
+              fixed.temperature("cpu") - 3.0); // and it helped
+}
+
+TEST(FanController, HysteresisSuppressesChatter)
+{
+    core::ThermalGraph graph(core::table1Server("srv"));
+    core::FanCurve curve;
+    curve.hysteresisCfm = 5.0;
+    core::FanController fan(graph, "cpu", curve);
+    double before = fan.currentCfm();
+    // A tiny temperature wiggle must not change the speed.
+    graph.setTemperature("cpu", graph.temperature("cpu") + 0.5);
+    fan.update();
+    EXPECT_DOUBLE_EQ(fan.currentCfm(), before);
+}
+
+struct DvfsRig
+{
+    sim::Simulator simulator;
+    cluster::ServerMachine machine{simulator, "m1"};
+    double temperature = 50.0;
+    std::vector<double> applied;
+    std::unique_ptr<cluster::DvfsGovernor> governor;
+
+    explicit DvfsRig(cluster::DvfsConfig config = {})
+    {
+        governor = std::make_unique<cluster::DvfsGovernor>(
+            simulator, machine, [this] { return temperature; },
+            [this](double f) { applied.push_back(f); }, config);
+    }
+};
+
+TEST(DvfsGovernor, StartsAtTopFrequency)
+{
+    DvfsRig rig;
+    EXPECT_DOUBLE_EQ(rig.governor->frequency(), 1.0);
+    EXPECT_DOUBLE_EQ(rig.machine.cpuSpeed(), 1.0);
+}
+
+TEST(DvfsGovernor, StepsDownWhenHotAndBackUpWhenCool)
+{
+    DvfsRig rig;
+    rig.temperature = 80.0; // above the 74 trigger
+    rig.governor->evaluate();
+    EXPECT_DOUBLE_EQ(rig.governor->frequency(), 0.9);
+    rig.governor->evaluate();
+    rig.governor->evaluate();
+    rig.governor->evaluate(); // bottom of the ladder
+    EXPECT_DOUBLE_EQ(rig.governor->frequency(), 0.6);
+    rig.governor->evaluate(); // clamped
+    EXPECT_DOUBLE_EQ(rig.governor->frequency(), 0.6);
+    EXPECT_EQ(rig.governor->throttleEvents(), 3u);
+
+    rig.temperature = 60.0; // below the 70 release
+    rig.governor->evaluate();
+    EXPECT_DOUBLE_EQ(rig.governor->frequency(), 0.75);
+}
+
+TEST(DvfsGovernor, DeadBandHolds)
+{
+    DvfsRig rig;
+    rig.temperature = 72.0; // between release (70) and trigger (74)
+    rig.governor->evaluate();
+    EXPECT_DOUBLE_EQ(rig.governor->frequency(), 1.0);
+}
+
+TEST(DvfsGovernor, ThrottlingInflatesServiceTime)
+{
+    DvfsRig rig;
+    rig.temperature = 99.0;
+    for (int i = 0; i < 4; ++i)
+        rig.governor->evaluate();
+    ASSERT_DOUBLE_EQ(rig.machine.cpuSpeed(), 0.6);
+
+    cluster::Request request;
+    request.id = 1;
+    request.cpuSeconds = 0.6;
+    rig.machine.offer(request);
+    rig.simulator.runToCompletion();
+    // 0.6 s of work at 0.6x speed takes a full second.
+    EXPECT_EQ(rig.simulator.now(), sim::seconds(1.0));
+}
+
+TEST(ContentAware, DynamicRequestsAvoidFlaggedServer)
+{
+    sim::Simulator simulator;
+    cluster::ServerConfig server_config;
+    server_config.maxQueueSeconds = 1e9;
+    server_config.maxConnections = 100000;
+    cluster::ServerMachine m1(simulator, "m1", server_config);
+    cluster::ServerMachine m2(simulator, "m2", server_config);
+    lb::LoadBalancer balancer;
+    balancer.addServer(&m1);
+    balancer.addServer(&m2);
+    balancer.setDynamicContentAllowed("m1", false);
+
+    int dynamic_on_m1 = 0;
+    m1.setCompletionFn([&](const cluster::ServerMachine &,
+                           const cluster::Request &request,
+                           cluster::RequestOutcome) {
+        if (request.dynamic)
+            ++dynamic_on_m1;
+    });
+    for (int i = 0; i < 40; ++i) {
+        cluster::Request request;
+        request.id = i;
+        request.dynamic = (i % 2 == 0);
+        request.cpuSeconds = 0.001;
+        balancer.submit(request);
+    }
+    simulator.runToCompletion();
+    // Every dynamic request stayed off m1; static ones still flowed
+    // there (WLC even prefers it, since it holds fewer connections).
+    EXPECT_EQ(dynamic_on_m1, 0);
+    EXPECT_GT(balancer.dispatchedTo("m1"), 0u);
+    EXPECT_EQ(balancer.dispatchedTo("m1") + balancer.dispatchedTo("m2"),
+              40u);
+}
+
+TEST(ContentAware, RestrictionWaivedWhenNoOtherServer)
+{
+    sim::Simulator simulator;
+    cluster::ServerMachine only(simulator, "m1");
+    lb::LoadBalancer balancer;
+    balancer.addServer(&only);
+    balancer.setDynamicContentAllowed("m1", false);
+
+    cluster::Request request;
+    request.id = 1;
+    request.dynamic = true;
+    request.cpuSeconds = 0.01;
+    balancer.submit(request);
+    EXPECT_EQ(balancer.activeConnections("m1"), 1); // served anyway
+    EXPECT_EQ(balancer.dropped(), 0u);
+}
+
+TEST(TwoStagePolicy, FirstDivertsDynamicThenAdjustsWeights)
+{
+    sim::Simulator simulator;
+    cluster::ServerConfig server_config;
+    server_config.maxQueueSeconds = 1e9;
+    std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
+    lb::LoadBalancer balancer;
+    for (int i = 0; i < 4; ++i) {
+        machines.push_back(std::make_unique<cluster::ServerMachine>(
+            simulator, "m" + std::to_string(i + 1), server_config));
+        balancer.addServer(machines.back().get());
+    }
+    freon::FreonController::Options options;
+    options.policy = freon::PolicyKind::FreonTwoStage;
+    freon::FreonController controller(simulator, balancer, options);
+    controller.start();
+    simulator.runUntil(sim::seconds(30));
+
+    freon::TempdReport hot;
+    hot.machine = "m1";
+    hot.kind = freon::TempdReport::Kind::Hot;
+    hot.output = 1.0;
+
+    // Stage 1: content diversion only, weights untouched.
+    controller.onReport(hot);
+    EXPECT_FALSE(balancer.dynamicContentAllowed("m1"));
+    EXPECT_EQ(balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+
+    // Stage 2: still hot a period later -> the base actuation.
+    controller.onReport(hot);
+    EXPECT_LT(balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+    EXPECT_GT(balancer.connectionCap("m1"), 0);
+
+    // Cool lifts everything, including the content restriction.
+    freon::TempdReport cool;
+    cool.machine = "m1";
+    cool.kind = freon::TempdReport::Kind::Cool;
+    controller.onReport(cool);
+    EXPECT_TRUE(balancer.dynamicContentAllowed("m1"));
+    EXPECT_EQ(balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+    EXPECT_EQ(balancer.connectionCap("m1"), 0);
+}
+
+TEST(ExperimentExtensions, DvfsAloneControlsTemperature)
+{
+    freon::ExperimentConfig config;
+    config.policy = freon::PolicyKind::None;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+    config.enableDvfs = true;
+
+    freon::ExperimentResult result = freon::runExperiment(config);
+    EXPECT_GT(result.throttleEvents, 0u);
+    // The governor keeps the hot CPU near its trigger...
+    EXPECT_LT(result.peakCpuTemperature.at("m1"), 76.5);
+    // ...by running it slower (frequency dipped below nominal).
+    EXPECT_LT(result.cpuFrequency.at("m1").minValue(), 1.0);
+}
+
+TEST(ExperimentExtensions, VariableFansLowerHotMachineTemperature)
+{
+    freon::ExperimentConfig config;
+    config.policy = freon::PolicyKind::None;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+
+    freon::ExperimentResult fixed = freon::runExperiment(config);
+
+    config.enableVariableFans = true;
+    config.fanCurve.lowTemperature = 40.0;
+    config.fanCurve.highTemperature = 70.0;
+    config.fanCurve.minCfm = 38.6;
+    config.fanCurve.maxCfm = 90.0;
+    freon::ExperimentResult fans = freon::runExperiment(config);
+
+    EXPECT_LT(fans.peakCpuTemperature.at("m1"),
+              fixed.peakCpuTemperature.at("m1") - 2.0);
+    EXPECT_GT(fans.fanCfm.at("m1").maxValue(), 50.0);
+    EXPECT_NEAR(fans.fanCfm.at("m4").minValue(), 38.6, 1.0);
+}
+
+TEST(ExperimentExtensions, TwoStageServesMoreCgiOnHotServerThanBase)
+{
+    freon::ExperimentConfig config;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+
+    config.policy = freon::PolicyKind::FreonTwoStage;
+    freon::ExperimentResult two_stage = freon::runExperiment(config);
+
+    // Same safety story as the base policy: nothing dropped, nothing
+    // red-lined.
+    EXPECT_EQ(two_stage.dropped, 0u);
+    EXPECT_EQ(two_stage.serversTurnedOff, 0u);
+    EXPECT_LT(two_stage.peakCpuTemperature.at("m1"), 76.0);
+}
+
+} // namespace
+} // namespace mercury

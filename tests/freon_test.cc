@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Unit tests for tempd (PD controller, report protocol) and admd
+ * (weight rescaling, connection caps, power cycling, Freon-EC
+ * region logic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "freon/controller.hh"
+#include "freon/tempd.hh"
+#include "lb/load_balancer.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace freon {
+namespace {
+
+TEST(FreonConfig, PaperDefaults)
+{
+    FreonConfig config = FreonConfig::paperDefaults();
+    EXPECT_DOUBLE_EQ(config.components.at("cpu").high, 67.0);
+    EXPECT_DOUBLE_EQ(config.components.at("cpu").low, 64.0);
+    EXPECT_DOUBLE_EQ(config.components.at("disk").high, 65.0);
+    EXPECT_DOUBLE_EQ(config.components.at("disk").low, 62.0);
+    EXPECT_DOUBLE_EQ(config.kp, 0.1);
+    EXPECT_DOUBLE_EQ(config.kd, 0.2);
+    EXPECT_GT(config.components.at("cpu").redline,
+              config.components.at("cpu").high);
+}
+
+/** Scripted sensor values driving one Tempd. */
+struct TempdRig
+{
+    sim::Simulator simulator;
+    std::map<std::string, double> temps{{"cpu", 40.0}, {"disk", 35.0}};
+    std::vector<TempdReport> reports;
+    std::unique_ptr<Tempd> tempd;
+
+    TempdRig()
+    {
+        tempd = std::make_unique<Tempd>(
+            simulator, "m1", FreonConfig::paperDefaults(),
+            [this](const std::string &component)
+                -> std::optional<double> { return temps.at(component); },
+            [this](const TempdReport &report) {
+                reports.push_back(report);
+            });
+    }
+};
+
+TEST(Tempd, SilentWhileCool)
+{
+    TempdRig rig;
+    rig.tempd->tick();
+    rig.tempd->tick();
+    EXPECT_TRUE(rig.reports.empty());
+    EXPECT_FALSE(rig.tempd->restricted());
+}
+
+TEST(Tempd, HotReportCarriesPdOutput)
+{
+    TempdRig rig;
+    rig.temps["cpu"] = 66.0;
+    rig.tempd->tick(); // below T_h: silent, but records last temps
+    ASSERT_TRUE(rig.reports.empty());
+
+    rig.temps["cpu"] = 68.5;
+    rig.tempd->tick();
+    ASSERT_EQ(rig.reports.size(), 1u);
+    const TempdReport &report = rig.reports.back();
+    EXPECT_EQ(report.kind, TempdReport::Kind::Hot);
+    EXPECT_FALSE(report.redline);
+    // kp (68.5 - 67) + kd (68.5 - 66) = 0.1*1.5 + 0.2*2.5 = 0.65.
+    EXPECT_NEAR(report.output, 0.65, 1e-9);
+    EXPECT_TRUE(rig.tempd->restricted());
+}
+
+TEST(Tempd, OutputIsNonNegative)
+{
+    TempdRig rig;
+    rig.temps["cpu"] = 75.0;
+    rig.tempd->tick();
+    // Falling fast: derivative term dominates negatively.
+    rig.temps["cpu"] = 67.5;
+    rig.tempd->tick();
+    ASSERT_EQ(rig.reports.size(), 2u);
+    EXPECT_GE(rig.reports.back().output, 0.0);
+    // kp*0.5 + kd*(-7.5) < 0 -> clamped to 0.
+    EXPECT_DOUBLE_EQ(rig.reports.back().output, 0.0);
+}
+
+TEST(Tempd, RepeatsWhileHotThenCoolOnce)
+{
+    TempdRig rig;
+    rig.temps["cpu"] = 70.0;
+    rig.tempd->tick();
+    rig.tempd->tick();
+    EXPECT_EQ(rig.reports.size(), 2u); // repeated while over T_h
+
+    rig.temps["cpu"] = 65.0; // between T_l and T_h: silence
+    rig.tempd->tick();
+    EXPECT_EQ(rig.reports.size(), 2u);
+    EXPECT_TRUE(rig.tempd->restricted());
+
+    rig.temps["cpu"] = 63.0; // below T_l: one Cool transition
+    rig.tempd->tick();
+    ASSERT_EQ(rig.reports.size(), 3u);
+    EXPECT_EQ(rig.reports.back().kind, TempdReport::Kind::Cool);
+    rig.tempd->tick();
+    EXPECT_EQ(rig.reports.size(), 3u); // no repeat once lifted
+}
+
+TEST(Tempd, CoolNeedsEveryComponentBelowLow)
+{
+    TempdRig rig;
+    rig.temps["cpu"] = 70.0;
+    rig.tempd->tick();
+    rig.temps["cpu"] = 63.0;
+    rig.temps["disk"] = 63.0; // disk T_l is 62: still too warm
+    rig.tempd->tick();
+    EXPECT_EQ(rig.reports.back().kind, TempdReport::Kind::Hot);
+    EXPECT_TRUE(rig.tempd->restricted());
+
+    rig.temps["disk"] = 61.0;
+    rig.tempd->tick();
+    EXPECT_EQ(rig.reports.back().kind, TempdReport::Kind::Cool);
+}
+
+TEST(Tempd, RedlineFlagged)
+{
+    TempdRig rig;
+    rig.temps["cpu"] = 69.5; // over the 69 red line
+    rig.tempd->tick();
+    ASSERT_EQ(rig.reports.size(), 1u);
+    EXPECT_TRUE(rig.reports.back().redline);
+}
+
+TEST(Tempd, DiskThresholdsApply)
+{
+    TempdRig rig;
+    rig.temps["disk"] = 66.0; // over disk T_h = 65
+    rig.tempd->tick();
+    ASSERT_EQ(rig.reports.size(), 1u);
+    EXPECT_EQ(rig.reports.back().kind, TempdReport::Kind::Hot);
+}
+
+/** Cluster rig for controller tests. */
+struct ControllerRig
+{
+    sim::Simulator simulator;
+    std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
+    lb::LoadBalancer balancer;
+    std::unique_ptr<FreonController> controller;
+
+    explicit ControllerRig(int servers, PolicyKind policy,
+                           int min_active = 1)
+    {
+        cluster::ServerConfig server_config;
+        server_config.maxConnections = 100000;
+        server_config.maxQueueSeconds = 1e9;
+        for (int i = 0; i < servers; ++i) {
+            machines.push_back(std::make_unique<cluster::ServerMachine>(
+                simulator, "m" + std::to_string(i + 1), server_config));
+            balancer.addServer(machines.back().get());
+        }
+        FreonController::Options options;
+        options.policy = policy;
+        options.minActiveServers = min_active;
+        if (policy == PolicyKind::FreonEC) {
+            for (int i = 0; i < servers; ++i) {
+                options.regionOf["m" + std::to_string(i + 1)] =
+                    (i % 2 == 0) ? 0 : 1;
+            }
+        }
+        controller = std::make_unique<FreonController>(simulator, balancer,
+                                                       options);
+        controller->start();
+    }
+
+    TempdReport
+    hotReport(const std::string &machine, double output,
+              bool redline = false)
+    {
+        TempdReport report;
+        report.machine = machine;
+        report.kind = TempdReport::Kind::Hot;
+        report.output = output;
+        report.redline = redline;
+        report.utilizations = {{"cpu", 0.4}, {"disk", 0.1}};
+        return report;
+    }
+
+    TempdReport
+    coolReport(const std::string &machine)
+    {
+        TempdReport report;
+        report.machine = machine;
+        report.kind = TempdReport::Kind::Cool;
+        report.utilizations = {{"cpu", 0.2}, {"disk", 0.1}};
+        return report;
+    }
+};
+
+TEST(FreonBase, HotReportHalvesShareForOutputOne)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.simulator.runUntil(sim::seconds(30)); // collect conn samples
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+
+    // Before: share 1/4. Target: 1/8. W_rest = 3000 ->
+    // w' = (1/8)*3000/(7/8) = 428.57 -> 429.
+    EXPECT_EQ(rig.balancer.weight("m1"), 429);
+    EXPECT_TRUE(rig.controller->isRestricted("m1"));
+    EXPECT_GT(rig.balancer.connectionCap("m1"), 0);
+    EXPECT_EQ(rig.controller->weightAdjustments(), 1u);
+}
+
+TEST(FreonBase, CoolRestoresDefaults)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.simulator.runUntil(sim::seconds(30));
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+    rig.controller->onReport(rig.coolReport("m1"));
+    EXPECT_EQ(rig.balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+    EXPECT_EQ(rig.balancer.connectionCap("m1"), 0);
+    EXPECT_FALSE(rig.controller->isRestricted("m1"));
+}
+
+TEST(FreonBase, RepeatedAdjustmentsCompound)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.simulator.runUntil(sim::seconds(30));
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+    int first = rig.balancer.weight("m1");
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+    EXPECT_LT(rig.balancer.weight("m1"), first);
+}
+
+TEST(FreonBase, ZeroOutputOnlyCaps)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.simulator.runUntil(sim::seconds(30));
+    rig.controller->onReport(rig.hotReport("m1", 0.0));
+    EXPECT_EQ(rig.balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+    EXPECT_GT(rig.balancer.connectionCap("m1"), 0);
+}
+
+TEST(FreonBase, RedlineTurnsServerOff)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.controller->onReport(rig.hotReport("m1", 2.0, true));
+    EXPECT_TRUE(rig.balancer.server("m1").isOff());
+    EXPECT_FALSE(rig.balancer.enabled("m1"));
+    EXPECT_EQ(rig.controller->serversTurnedOff(), 1u);
+    EXPECT_EQ(rig.controller->activeServers(), 3);
+}
+
+TEST(Traditional, IgnoresHotBelowRedline)
+{
+    ControllerRig rig(4, PolicyKind::Traditional);
+    rig.simulator.runUntil(sim::seconds(30));
+    rig.controller->onReport(rig.hotReport("m1", 3.0));
+    EXPECT_EQ(rig.balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+    EXPECT_EQ(rig.balancer.connectionCap("m1"), 0);
+    EXPECT_TRUE(rig.balancer.server("m1").isOn());
+
+    rig.controller->onReport(rig.hotReport("m1", 3.0, true));
+    EXPECT_TRUE(rig.balancer.server("m1").isOff());
+}
+
+TEST(AverageConnections, RollingWindow)
+{
+    ControllerRig rig(2, PolicyKind::FreonBase);
+    // Hold 10 connections on m1 by submitting long requests.
+    for (int i = 0; i < 20; ++i) {
+        cluster::Request request;
+        request.id = i;
+        request.cpuSeconds = 1000.0;
+        rig.balancer.submit(request);
+    }
+    rig.simulator.runUntil(sim::minutes(2));
+    EXPECT_NEAR(rig.controller->averageConnections("m1"), 10.0, 0.5);
+}
+
+TEST(FreonEC, ShutsIdleServersDown)
+{
+    ControllerRig rig(4, PolicyKind::FreonEC);
+    // Idle reports from everyone.
+    for (const char *name : {"m1", "m2", "m3", "m4"}) {
+        TempdReport report;
+        report.machine = name;
+        report.kind = TempdReport::Kind::Status;
+        report.utilizations = {{"cpu", 0.05}, {"disk", 0.01}};
+        rig.controller->onReport(report);
+    }
+    rig.simulator.runUntil(sim::minutes(3));
+    EXPECT_EQ(rig.controller->activeServers(), 1);
+    EXPECT_EQ(rig.controller->serversTurnedOff(), 3u);
+}
+
+TEST(FreonEC, RespectsMinimumActive)
+{
+    ControllerRig rig(4, PolicyKind::FreonEC, 2);
+    for (const char *name : {"m1", "m2", "m3", "m4"}) {
+        TempdReport report;
+        report.machine = name;
+        report.kind = TempdReport::Kind::Status;
+        report.utilizations = {{"cpu", 0.01}, {"disk", 0.0}};
+        rig.controller->onReport(report);
+    }
+    rig.simulator.runUntil(sim::minutes(3));
+    EXPECT_EQ(rig.controller->activeServers(), 2);
+}
+
+TEST(FreonEC, GrowsOnProjectedUtilization)
+{
+    ControllerRig rig(4, PolicyKind::FreonEC);
+    auto status = [&](const char *name, double cpu) {
+        TempdReport report;
+        report.machine = name;
+        report.kind = TempdReport::Kind::Status;
+        report.utilizations = {{"cpu", cpu}, {"disk", 0.05}};
+        rig.controller->onReport(report);
+    };
+    // Shrink to one server first.
+    for (const char *name : {"m1", "m2", "m3", "m4"})
+        status(name, 0.02);
+    rig.simulator.runUntil(sim::minutes(3));
+    ASSERT_EQ(rig.controller->activeServers(), 1);
+
+    // Rising load: 0.4 then 0.6 -> projected 0.6 + 2*0.2 = 1.0 > 0.7.
+    for (const char *name : {"m1", "m2", "m3", "m4"}) {
+        if (rig.balancer.server(name).isOn())
+            status(name, 0.4);
+    }
+    rig.simulator.runUntil(sim::minutes(4));
+    for (const char *name : {"m1", "m2", "m3", "m4"}) {
+        if (rig.balancer.server(name).isOn())
+            status(name, 0.6);
+    }
+    rig.simulator.runUntil(sim::minutes(5));
+    EXPECT_GE(rig.controller->activeServers(), 2);
+    EXPECT_GE(rig.controller->serversTurnedOn(), 1u);
+}
+
+TEST(FreonEC, HotServerReplacedFromOtherRegion)
+{
+    ControllerRig rig(4, PolicyKind::FreonEC);
+    // Make m3 (region 0) off so a replacement is available, and keep
+    // utilization moderate so removal is not free.
+    auto status = [&](const char *name, double cpu) {
+        TempdReport report;
+        report.machine = name;
+        report.kind = TempdReport::Kind::Status;
+        report.utilizations = {{"cpu", cpu}, {"disk", 0.05}};
+        rig.controller->onReport(report);
+    };
+    rig.balancer.server("m3").beginShutdown();
+    rig.balancer.setEnabled("m3", false);
+    for (const char *name : {"m1", "m2", "m4"})
+        status(name, 0.45); // removal of one would push avg over 0.6
+
+    TempdReport hot = rig.hotReport("m1", 1.5);
+    hot.utilizations = {{"cpu", 0.45}, {"disk", 0.05}};
+    rig.controller->onReport(hot);
+
+    // m1 must be going down, and a replacement must be booting.
+    EXPECT_FALSE(rig.balancer.server("m1").isOn());
+    int booting = 0;
+    for (const char *name : {"m2", "m3", "m4"}) {
+        if (rig.balancer.server(name).powerState() ==
+            cluster::PowerState::Booting) {
+            ++booting;
+        }
+    }
+    EXPECT_EQ(booting, 1);
+    EXPECT_EQ(rig.controller->regionEmergencies(0), 1);
+}
+
+TEST(FreonEC, FallsBackToBasePolicyWhenAllNeeded)
+{
+    ControllerRig rig(2, PolicyKind::FreonEC, 1);
+    rig.simulator.runUntil(sim::seconds(30));
+    auto status = [&](const char *name, double cpu) {
+        TempdReport report;
+        report.machine = name;
+        report.kind = TempdReport::Kind::Status;
+        report.utilizations = {{"cpu", cpu}, {"disk", 0.1}};
+        rig.controller->onReport(report);
+    };
+    status("m1", 0.65);
+    status("m2", 0.65);
+
+    TempdReport hot = rig.hotReport("m1", 1.0);
+    hot.utilizations = {{"cpu", 0.65}, {"disk", 0.1}};
+    rig.controller->onReport(hot);
+
+    // No spare capacity and nothing to boot: base policy applies.
+    EXPECT_TRUE(rig.balancer.server("m1").isOn());
+    EXPECT_LT(rig.balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+    EXPECT_TRUE(rig.controller->isRestricted("m1"));
+}
+
+} // namespace
+} // namespace freon
+} // namespace mercury

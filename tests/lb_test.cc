@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the LVS-style weighted least-connections load balancer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lb/load_balancer.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace lb {
+namespace {
+
+using cluster::Request;
+using cluster::ServerMachine;
+
+struct Rig
+{
+    sim::Simulator simulator;
+    std::vector<std::unique_ptr<ServerMachine>> machines;
+    LoadBalancer balancer;
+
+    explicit Rig(int servers)
+    {
+        // Scheduling tests hold many long-lived connections open;
+        // disable the overload safeguards so nothing drops.
+        cluster::ServerConfig config;
+        config.maxConnections = 100000;
+        config.maxQueueSeconds = 1e9;
+        for (int i = 0; i < servers; ++i) {
+            machines.push_back(std::make_unique<ServerMachine>(
+                simulator, "m" + std::to_string(i + 1), config));
+            balancer.addServer(machines.back().get());
+        }
+    }
+
+    Request
+    request(double cpu_s)
+    {
+        static uint64_t next = 1;
+        Request r;
+        r.id = next++;
+        r.cpuSeconds = cpu_s;
+        return r;
+    }
+};
+
+TEST(LoadBalancer, SpreadsEqualWeightsEvenly)
+{
+    Rig rig(4);
+    for (int i = 0; i < 400; ++i)
+        rig.balancer.submit(rig.request(10.0)); // long-lived
+    for (const std::string &name : rig.balancer.serverNames())
+        EXPECT_EQ(rig.balancer.activeConnections(name), 100) << name;
+}
+
+TEST(LoadBalancer, WeightsBiasDistribution)
+{
+    Rig rig(2);
+    rig.balancer.setWeight("m1", 3000);
+    rig.balancer.setWeight("m2", 1000);
+    for (int i = 0; i < 400; ++i)
+        rig.balancer.submit(rig.request(10.0));
+    // Least-connections with 3:1 weights converges to a 3:1 split.
+    EXPECT_NEAR(rig.balancer.activeConnections("m1"), 300, 2);
+    EXPECT_NEAR(rig.balancer.activeConnections("m2"), 100, 2);
+}
+
+TEST(LoadBalancer, ZeroWeightStopsNewConnections)
+{
+    Rig rig(2);
+    rig.balancer.setWeight("m1", 0);
+    for (int i = 0; i < 50; ++i)
+        rig.balancer.submit(rig.request(10.0));
+    EXPECT_EQ(rig.balancer.activeConnections("m1"), 0);
+    EXPECT_EQ(rig.balancer.activeConnections("m2"), 50);
+}
+
+TEST(LoadBalancer, ConnectionCapRedirectsExcess)
+{
+    Rig rig(2);
+    rig.balancer.setConnectionCap("m1", 10);
+    for (int i = 0; i < 100; ++i)
+        rig.balancer.submit(rig.request(10.0));
+    EXPECT_EQ(rig.balancer.activeConnections("m1"), 10);
+    EXPECT_EQ(rig.balancer.activeConnections("m2"), 90);
+}
+
+TEST(LoadBalancer, DisabledServerReceivesNothing)
+{
+    Rig rig(2);
+    rig.balancer.setEnabled("m1", false);
+    for (int i = 0; i < 20; ++i)
+        rig.balancer.submit(rig.request(10.0));
+    EXPECT_EQ(rig.balancer.activeConnections("m1"), 0);
+    EXPECT_EQ(rig.balancer.dispatchedTo("m2"), 20u);
+}
+
+TEST(LoadBalancer, OffServersAreSkipped)
+{
+    Rig rig(2);
+    rig.machines[0]->beginShutdown(); // idle -> off immediately
+    for (int i = 0; i < 20; ++i)
+        rig.balancer.submit(rig.request(10.0));
+    EXPECT_EQ(rig.balancer.activeConnections("m2"), 20);
+}
+
+TEST(LoadBalancer, DropsWhenNoServerEligible)
+{
+    Rig rig(2);
+    rig.machines[0]->beginShutdown();
+    rig.machines[1]->beginShutdown();
+    for (int i = 0; i < 10; ++i)
+        rig.balancer.submit(rig.request(0.01));
+    EXPECT_EQ(rig.balancer.dropped(), 10u);
+    EXPECT_DOUBLE_EQ(rig.balancer.dropRate(), 1.0);
+}
+
+TEST(LoadBalancer, CountsCompletions)
+{
+    Rig rig(2);
+    for (int i = 0; i < 10; ++i)
+        rig.balancer.submit(rig.request(0.01));
+    rig.simulator.runToCompletion();
+    EXPECT_EQ(rig.balancer.completed(), 10u);
+    EXPECT_EQ(rig.balancer.submitted(), 10u);
+    EXPECT_DOUBLE_EQ(rig.balancer.dropRate(), 0.0);
+}
+
+TEST(LoadBalancer, ServerLevelDropsAreCounted)
+{
+    sim::Simulator simulator;
+    cluster::ServerConfig config;
+    config.maxQueueSeconds = 0.05;
+    ServerMachine machine(simulator, "m1", config);
+    LoadBalancer balancer;
+    balancer.addServer(&machine);
+    for (int i = 0; i < 100; ++i) {
+        Request r;
+        r.id = i;
+        r.cpuSeconds = 0.1;
+        balancer.submit(r);
+    }
+    EXPECT_GT(balancer.dropped(), 0u);
+    simulator.runToCompletion();
+    EXPECT_EQ(balancer.completed() + balancer.dropped(), 100u);
+}
+
+TEST(LoadBalancer, LeastConnectionsFollowsCompletions)
+{
+    Rig rig(2);
+    // Load m1 with long work, then submit short requests: they should
+    // all land on m2 once it has fewer connections.
+    for (int i = 0; i < 10; ++i)
+        rig.balancer.submit(rig.request(100.0));
+    uint64_t before = rig.balancer.dispatchedTo("m2");
+    rig.balancer.setWeight("m1", 1); // nearly frozen
+    for (int i = 0; i < 10; ++i)
+        rig.balancer.submit(rig.request(0.001));
+    EXPECT_EQ(rig.balancer.dispatchedTo("m2") - before, 10u);
+}
+
+} // namespace
+} // namespace lb
+} // namespace mercury

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for monitord and its utilization sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hh"
+#include "monitor/monitord.hh"
+#include "monitor/source.hh"
+#include "proto/solver_service.hh"
+
+namespace mercury {
+namespace monitor {
+namespace {
+
+TEST(SyntheticSource, EvaluatesAndClampsWaveforms)
+{
+    SyntheticSource source;
+    source.addComponent("cpu", [](double t) { return t / 10.0; });
+    source.addComponent("disk", [](double) { return 5.0; }); // clamped
+
+    auto readings = source.sample(5.0);
+    ASSERT_EQ(readings.size(), 2u);
+    EXPECT_EQ(readings[0].component, "cpu");
+    EXPECT_DOUBLE_EQ(readings[0].utilization, 0.5);
+    EXPECT_DOUBLE_EQ(readings[1].utilization, 1.0);
+}
+
+TEST(TraceSource, HoldsLatestValuePerComponent)
+{
+    core::UtilizationTrace trace;
+    trace.add(0.0, "m1", "cpu", 0.2);
+    trace.add(10.0, "m1", "cpu", 0.8);
+    trace.add(10.0, "m1", "disk", 0.3);
+    trace.add(5.0, "m2", "cpu", 0.9); // different machine: ignored
+
+    TraceSource source(trace, "m1");
+    auto at0 = source.sample(0.0);
+    ASSERT_EQ(at0.size(), 1u);
+    EXPECT_DOUBLE_EQ(at0[0].utilization, 0.2);
+
+    auto at9 = source.sample(9.0);
+    ASSERT_EQ(at9.size(), 1u);
+    EXPECT_DOUBLE_EQ(at9[0].utilization, 0.2);
+
+    auto at10 = source.sample(10.0);
+    ASSERT_EQ(at10.size(), 2u); // cpu + disk, sorted by name
+    EXPECT_EQ(at10[0].component, "cpu");
+    EXPECT_DOUBLE_EQ(at10[0].utilization, 0.8);
+    EXPECT_EQ(at10[1].component, "disk");
+}
+
+TEST(CounterSource, UtilizationTracksLoad)
+{
+    auto model = core::pentium4CounterModel(10.0, 55.0);
+    std::vector<double> peaks{2e9, 4e7, 6e7, 5e7};
+
+    CounterSource idle(model, [](double) { return 0.0; }, peaks, 1);
+    CounterSource half(model, [](double) { return 0.5; }, peaks, 2);
+    CounterSource busy(model, [](double) { return 1.0; }, peaks, 3);
+
+    double u_idle = idle.sample(1.0)[0].utilization;
+    double u_half = half.sample(1.0)[0].utilization;
+    double u_busy = busy.sample(1.0)[0].utilization;
+
+    EXPECT_NEAR(u_idle, 0.0, 0.01);
+    EXPECT_GT(u_half, 0.2);
+    EXPECT_LT(u_half, 0.8);
+    EXPECT_GT(u_busy, u_half);
+    EXPECT_LE(u_busy, 1.0);
+    EXPECT_EQ(busy.lastCounts().size(), 4u);
+    EXPECT_GT(busy.lastCounts()[0], 1000000000ULL);
+}
+
+TEST(CounterSource, DeterministicForSameSeed)
+{
+    auto model = core::pentium4CounterModel(10.0, 55.0);
+    std::vector<double> peaks{2e9, 4e7, 6e7, 5e7};
+    CounterSource a(model, [](double) { return 0.7; }, peaks, 42);
+    CounterSource b(model, [](double) { return 0.7; }, peaks, 42);
+    for (double t = 1.0; t < 10.0; t += 1.0) {
+        EXPECT_DOUBLE_EQ(a.sample(t)[0].utilization,
+                         b.sample(t)[0].utilization);
+    }
+}
+
+TEST(Monitord, ShipsReadingsIntoSolver)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    proto::SolverService service(solver);
+
+    auto source = std::make_unique<SyntheticSource>();
+    source->addComponent("cpu", [](double t) { return t < 50 ? 0.25 : 1.0; });
+    source->addComponent("disk", [](double) { return 0.5; });
+
+    Monitord daemon("m1", std::move(source),
+                    Monitord::serviceSink(service));
+    daemon.tick(1.0);
+    EXPECT_EQ(daemon.updatesSent(), 2u);
+    EXPECT_EQ(service.updatesApplied(), 2u);
+    EXPECT_DOUBLE_EQ(solver.machine("m1").utilization("cpu"), 0.25);
+    EXPECT_DOUBLE_EQ(solver.machine("m1").utilization("disk_platters"),
+                     0.5);
+
+    daemon.tick(60.0);
+    EXPECT_DOUBLE_EQ(solver.machine("m1").utilization("cpu"), 1.0);
+}
+
+TEST(Monitord, SequenceNumbersIncrease)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    proto::SolverService service(solver);
+
+    std::vector<uint64_t> seen;
+    auto source = std::make_unique<SyntheticSource>();
+    source->addComponent("cpu", [](double) { return 0.5; });
+    Monitord daemon("m1", std::move(source),
+                    [&](const proto::UtilizationUpdate &update) {
+                        seen.push_back(update.sequence);
+                    });
+    daemon.tick(1.0);
+    daemon.tick(2.0);
+    daemon.tick(3.0);
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 0u);
+    EXPECT_EQ(seen[2], 2u);
+}
+
+TEST(ProcSource, SamplesThisLinuxHost)
+{
+    ProcSource source;
+    if (!source.available())
+        GTEST_SKIP() << "/proc not readable on this host";
+    // First sample primes the deltas.
+    auto first = source.sample(0.0);
+    ASSERT_EQ(first.size(), 3u);
+    for (const Reading &reading : first)
+        EXPECT_DOUBLE_EQ(reading.utilization, 0.0);
+
+    // Burn a little CPU so the second sample has signal.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 20000000; ++i)
+        sink = sink + std::sqrt(static_cast<double>(i));
+    auto second = source.sample(1.0);
+    ASSERT_EQ(second.size(), 3u);
+    for (const Reading &reading : second) {
+        EXPECT_GE(reading.utilization, 0.0);
+        EXPECT_LE(reading.utilization, 1.0);
+    }
+    EXPECT_EQ(second[0].component, "cpu");
+    EXPECT_GT(second[0].utilization, 0.0);
+}
+
+} // namespace
+} // namespace monitor
+} // namespace mercury

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ProcSource against procfs fixtures: exact utilization math for
+ * known /proc deltas, partition/loopback filtering, malformed-line
+ * tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "monitor/source.hh"
+
+namespace mercury {
+namespace monitor {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ProcFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::temp_directory_path() /
+                ("mercury_proc_" + std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+        fs::create_directories(root_ / "net");
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(root_);
+    }
+
+    void
+    writeProc(uint64_t cpu_busy, uint64_t cpu_idle, uint64_t disk_ms,
+              uint64_t net_bytes)
+    {
+        // /proc/stat: user nice system idle iowait irq softirq steal.
+        std::ofstream stat(root_ / "stat");
+        stat << "cpu  " << cpu_busy << " 0 0 " << cpu_idle
+             << " 0 0 0 0 0 0\n"
+             << "cpu0 " << cpu_busy << " 0 0 " << cpu_idle
+             << " 0 0 0 0 0 0\n";
+
+        // /proc/diskstats: field 13 (1-based) is ms doing I/O.
+        std::ofstream disk(root_ / "diskstats");
+        disk << "   8       0 sda 100 0 0 0 50 0 0 0 0 " << disk_ms
+             << " 0\n"
+             << "   8       1 sda1 100 0 0 0 50 0 0 0 0 999999 0\n"
+             << "   7       0 loop0 1 0 0 0 1 0 0 0 0 888888 0\n"
+             << "   1       0 ram0 1 0 0 0 1 0 0 0 0 777777 0\n";
+
+        // /proc/net/dev: rx bytes is field 1, tx bytes field 9.
+        std::ofstream net(root_ / "net" / "dev");
+        net << "Inter-|   Receive    |  Transmit\n"
+            << " face |bytes packets |bytes packets\n"
+            << "    lo: 123456 10 0 0 0 0 0 0 123456 10 0 0 0 0 0 0\n"
+            << "  eth0: " << net_bytes / 2
+            << " 10 0 0 0 0 0 0 " << net_bytes - net_bytes / 2
+            << " 10 0 0 0 0 0 0\n";
+    }
+
+    fs::path root_;
+};
+
+TEST_F(ProcFixture, ComputesExactDeltas)
+{
+    writeProc(/*busy=*/1000, /*idle=*/9000, /*disk_ms=*/5000,
+              /*net=*/1000000);
+    ProcSource source(/*nic=*/1e6, root_.string());
+    ASSERT_TRUE(source.available());
+    auto first = source.sample(0.0);
+    ASSERT_EQ(first.size(), 3u);
+
+    // One second later: +30 busy ticks of +100 total (30% CPU),
+    // +250 ms of disk I/O (25%), +500000 bytes on a 1 MB/s NIC (50%).
+    writeProc(1030, 9070, 5250, 1500000);
+    auto second = source.sample(1.0);
+    ASSERT_EQ(second.size(), 3u);
+    EXPECT_EQ(second[0].component, "cpu");
+    EXPECT_NEAR(second[0].utilization, 0.30, 1e-9);
+    EXPECT_EQ(second[1].component, "disk");
+    EXPECT_NEAR(second[1].utilization, 0.25, 1e-9);
+    EXPECT_EQ(second[2].component, "net");
+    EXPECT_NEAR(second[2].utilization, 0.50, 1e-9);
+}
+
+TEST_F(ProcFixture, IgnoresPartitionsLoopRamAndLoopback)
+{
+    // The fixture's sda1/loop0/ram0 rows carry huge io-ms values and
+    // lo carries bytes; none of them may leak into the utilizations.
+    writeProc(100, 900, 1000, 1000);
+    ProcSource source(1e6, root_.string());
+    source.sample(0.0);
+    writeProc(100, 1000, 1000, 1000); // nothing moved
+    auto sample = source.sample(1.0);
+    EXPECT_NEAR(sample[1].utilization, 0.0, 1e-9);
+    EXPECT_NEAR(sample[2].utilization, 0.0, 1e-9);
+}
+
+TEST_F(ProcFixture, SaturatesAtOne)
+{
+    writeProc(0, 1000, 0, 0);
+    ProcSource source(1e3, root_.string()); // tiny NIC
+    source.sample(0.0);
+    writeProc(200, 1000, 5000, 1000000); // all overloaded
+    auto sample = source.sample(1.0);
+    for (const Reading &reading : sample) {
+        EXPECT_GE(reading.utilization, 0.0);
+        EXPECT_LE(reading.utilization, 1.0);
+    }
+    EXPECT_NEAR(sample[0].utilization, 1.0, 1e-9);
+    EXPECT_NEAR(sample[1].utilization, 1.0, 1e-9);
+    EXPECT_NEAR(sample[2].utilization, 1.0, 1e-9);
+}
+
+TEST_F(ProcFixture, MissingRootReportsUnavailable)
+{
+    ProcSource source(1e6, (root_ / "nope").string());
+    EXPECT_FALSE(source.available());
+    EXPECT_TRUE(source.sample(0.0).empty());
+}
+
+TEST_F(ProcFixture, MalformedLinesAreTolerated)
+{
+    writeProc(100, 900, 100, 100);
+    {
+        std::ofstream stat(root_ / "stat", std::ios::app);
+        stat << "garbage line with words\n";
+        std::ofstream disk(root_ / "diskstats", std::ios::app);
+        disk << "short row\n";
+        std::ofstream net(root_ / "net" / "dev", std::ios::app);
+        net << "no colon here\n";
+    }
+    ProcSource source(1e6, root_.string());
+    ASSERT_TRUE(source.available());
+    auto sample = source.sample(0.0);
+    EXPECT_EQ(sample.size(), 3u); // survives the junk
+}
+
+} // namespace
+} // namespace monitor
+} // namespace mercury

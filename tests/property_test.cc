@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Property-style tests (parameterized sweeps) over the thermal model,
+ * the room model, the wire format, the parser and the load balancer:
+ * invariants that must hold across whole input families, not just
+ * hand-picked cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/room.hh"
+#include "core/solver.hh"
+#include "core/thermal_graph.hh"
+#include "graphdot/parser.hh"
+#include "lb/load_balancer.hh"
+#include "proto/messages.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: the tiny machine's steady state matches the closed form
+// for every (power, k, fan) combination.
+// ---------------------------------------------------------------------
+
+struct SteadyCase
+{
+    double power;
+    double k;
+    double fanCfm;
+};
+
+class SteadyStateProperty : public ::testing::TestWithParam<SteadyCase>
+{
+};
+
+TEST_P(SteadyStateProperty, MatchesClosedForm)
+{
+    const SteadyCase param = GetParam();
+    core::MachineSpec spec;
+    spec.name = "tiny";
+    spec.inletTemperature = 21.6;
+    spec.fanCfm = param.fanCfm;
+    spec.initialTemperature = 21.6;
+    core::NodeSpec comp;
+    comp.name = "comp";
+    comp.kind = core::NodeKind::Component;
+    comp.mass = 0.2;
+    comp.specificHeat = 500.0;
+    comp.minPower = param.power;
+    comp.maxPower = param.power;
+    comp.hasPower = true;
+    spec.nodes.push_back(comp);
+    for (auto [name, kind] :
+         {std::pair{"inlet", core::NodeKind::Inlet},
+          std::pair{"air", core::NodeKind::Air},
+          std::pair{"exhaust", core::NodeKind::Exhaust}}) {
+        core::NodeSpec node;
+        node.name = name;
+        node.kind = kind;
+        spec.nodes.push_back(node);
+    }
+    spec.heatEdges.push_back({"comp", "air", param.k});
+    spec.airEdges.push_back({"inlet", "air", 1.0});
+    spec.airEdges.push_back({"air", "exhaust", 1.0});
+
+    core::ThermalGraph graph(spec);
+    for (int i = 0; i < 40000; ++i)
+        graph.step(1.0);
+
+    double mdot_c =
+        units::cfmToKgPerS(param.fanCfm) * units::kAirSpecificHeat;
+    double expected_air = 21.6 + param.power / mdot_c;
+    double expected_comp = expected_air + param.power / param.k;
+    EXPECT_NEAR(graph.temperature("air"), expected_air,
+                0.002 * expected_air);
+    EXPECT_NEAR(graph.temperature("comp"), expected_comp,
+                0.002 * expected_comp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerKFanSweep, SteadyStateProperty,
+    ::testing::Values(SteadyCase{5.0, 0.5, 10.0},
+                      SteadyCase{5.0, 2.0, 40.0},
+                      SteadyCase{20.0, 0.5, 40.0},
+                      SteadyCase{20.0, 8.0, 10.0},
+                      SteadyCase{60.0, 2.0, 25.0},
+                      SteadyCase{60.0, 8.0, 60.0},
+                      SteadyCase{1.0, 0.1, 5.0},
+                      SteadyCase{100.0, 20.0, 80.0}));
+
+// ---------------------------------------------------------------------
+// Property: on the Table 1 machine, for any utilization mix the
+// exhaust enthalpy rise equals the total power, all air temperatures
+// sit within [inlet, hottest solid], and mass is conserved.
+// ---------------------------------------------------------------------
+
+class Table1Invariants : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(Table1Invariants, EnergyBoundsAndMass)
+{
+    Rng rng(GetParam());
+    core::ThermalGraph graph(core::table1Server());
+    graph.setUtilization("cpu", rng.uniform());
+    graph.setUtilization("disk_platters", rng.uniform());
+    for (int i = 0; i < 40000; ++i)
+        graph.step(1.0);
+
+    // Energy: everything generated leaves through the exhaust.
+    double mdot_c =
+        units::cfmToKgPerS(graph.fanCfm()) * units::kAirSpecificHeat;
+    EXPECT_NEAR(graph.exhaustTemperature() - 21.6,
+                graph.totalPower() / mdot_c, 0.05);
+
+    // Mass: the exhaust carries exactly the fan's flow.
+    EXPECT_NEAR(graph.massFlow(graph.nodeId("exhaust")),
+                units::cfmToKgPerS(graph.fanCfm()), 1e-9);
+
+    // Bounds: air temperatures between the inlet and the hottest
+    // solid; no NaNs anywhere.
+    double hottest_solid = 21.6;
+    for (const std::string &name : graph.nodeNames()) {
+        double value = graph.temperature(name);
+        ASSERT_TRUE(std::isfinite(value)) << name;
+        if (graph.nodeKind(graph.nodeId(name)) ==
+            core::NodeKind::Component) {
+            hottest_solid = std::max(hottest_solid, value);
+        }
+    }
+    for (const std::string &name : graph.nodeNames()) {
+        if (graph.nodeKind(graph.nodeId(name)) != core::NodeKind::Air)
+            continue;
+        double value = graph.temperature(name);
+        EXPECT_GE(value, 21.6 - 1e-6) << name;
+        EXPECT_LE(value, hottest_solid + 1e-6) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(UtilizationSeeds, Table1Invariants,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Property: temperatures are monotone in utilization.
+// ---------------------------------------------------------------------
+
+class Monotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(Monotonicity, MoreLoadNeverCools)
+{
+    double u = GetParam();
+    core::ThermalGraph lo(core::table1Server());
+    core::ThermalGraph hi(core::table1Server());
+    lo.setUtilization("cpu", u);
+    hi.setUtilization("cpu", std::min(1.0, u + 0.2));
+    for (int i = 0; i < 30000; ++i) {
+        lo.step(1.0);
+        hi.step(1.0);
+    }
+    for (const char *node : {"cpu", "cpu_air", "exhaust", "motherboard"})
+        EXPECT_GE(hi.temperature(node), lo.temperature(node) - 1e-9)
+            << node << " at u=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(UtilizationLevels, Monotonicity,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));
+
+// ---------------------------------------------------------------------
+// Property: randomly mutated packets never crash the decoder, and it
+// never mistakes garbage for a valid message unless magic+version+
+// type happen to survive.
+// ---------------------------------------------------------------------
+
+TEST(WireFuzz, RandomPacketsNeverCrash)
+{
+    Rng rng(0xfeed);
+    size_t decoded_ok = 0;
+    for (int i = 0; i < 20000; ++i) {
+        proto::Packet packet;
+        for (auto &byte : packet)
+            byte = static_cast<uint8_t>(rng.uniformInt(0, 255));
+        if (proto::decode(packet))
+            ++decoded_ok;
+    }
+    // Random 32-bit magic almost never matches.
+    EXPECT_LT(decoded_ok, 3u);
+}
+
+TEST(WireFuzz, MutatedValidPacketsNeverCrash)
+{
+    Rng rng(0xbeef);
+    proto::SensorRequest request{7, "machine1", "cpu"};
+    for (int i = 0; i < 20000; ++i) {
+        proto::Packet packet = proto::encode(request);
+        int flips = static_cast<int>(rng.uniformInt(1, 8));
+        for (int f = 0; f < flips; ++f) {
+            size_t at = static_cast<size_t>(
+                rng.uniformInt(0, proto::kMessageSize - 1));
+            packet[at] ^= static_cast<uint8_t>(rng.uniformInt(1, 255));
+        }
+        auto message = proto::decode(packet); // must not crash
+        (void)message;
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// Property: the parser survives a corpus of malformed configs with
+// errors, never crashes, and never reports success.
+// ---------------------------------------------------------------------
+
+class ParserRobustness : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ParserRobustness, ReportsErrorsWithoutCrashing)
+{
+    graphdot::ParseResult result = graphdot::parseConfig(GetParam());
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.errors.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedCorpus, ParserRobustness,
+    ::testing::Values(
+        "machine {",
+        "machine m { node }",
+        "machine m { node a [kind=]; }",
+        "machine m { a -> ; }",
+        "machine m { a -- b [k=x]; }",
+        "machine m { node inlet [kind=inlet] node b; }",
+        "room r { source; }",
+        "cluster c { machine m uses; }",
+        "machine m {}}",
+        "machine \"unterminated",
+        "machine m { inlet_temperature = ; }",
+        "machine m { node a [kind=component, mass=0.1, c=1]; }",
+        "== not a config at all ==",
+        "machine m1 {} machine m1 {}" /* second body empty too */));
+
+// ---------------------------------------------------------------------
+// Property: weighted least connections keeps equal-weight servers
+// balanced within one connection, for any server count.
+// ---------------------------------------------------------------------
+
+class WlcBalance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WlcBalance, EqualWeightsStayWithinOneConnection)
+{
+    int servers = GetParam();
+    sim::Simulator simulator;
+    cluster::ServerConfig config;
+    config.maxConnections = 100000;
+    config.maxQueueSeconds = 1e9;
+    std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
+    lb::LoadBalancer balancer;
+    for (int i = 0; i < servers; ++i) {
+        machines.push_back(std::make_unique<cluster::ServerMachine>(
+            simulator, "s" + std::to_string(i), config));
+        balancer.addServer(machines.back().get());
+    }
+    for (int i = 0; i < 997; ++i) {
+        cluster::Request request;
+        request.id = static_cast<uint64_t>(i);
+        request.cpuSeconds = 50.0; // long-lived
+        balancer.submit(request);
+    }
+    int lo = 1 << 30;
+    int hi = 0;
+    for (const std::string &name : balancer.serverNames()) {
+        lo = std::min(lo, balancer.activeConnections(name));
+        hi = std::max(hi, balancer.activeConnections(name));
+    }
+    EXPECT_LE(hi - lo, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, WlcBalance,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+// ---------------------------------------------------------------------
+// Property: room mixing never produces temperatures outside the range
+// of its inputs (AC supply .. hottest machine exhaust).
+// ---------------------------------------------------------------------
+
+class RoomBounds : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RoomBounds, MixedTemperaturesStayWithinInputs)
+{
+    Rng rng(GetParam());
+    core::Solver solver;
+    std::vector<std::string> names{"m1", "m2", "m3"};
+    for (const std::string &name : names)
+        solver.addMachine(core::table1Server(name));
+    double ac = rng.uniform(15.0, 25.0);
+    solver.setRoom(core::table1Room(names, ac));
+    for (const std::string &name : names)
+        solver.setUtilization(name, "cpu", rng.uniform());
+    solver.run(30000.0);
+
+    double hottest_exhaust = ac;
+    for (const std::string &name : names) {
+        hottest_exhaust = std::max(
+            hottest_exhaust, solver.machine(name).exhaustTemperature());
+        EXPECT_NEAR(solver.machine(name).inletTemperature(), ac, 1e-9);
+    }
+    double mixed = solver.room().temperature("cluster_exhaust");
+    EXPECT_GE(mixed, ac - 1e-9);
+    EXPECT_LE(mixed, hottest_exhaust + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RoomSeeds, RoomBounds,
+                         ::testing::Range<uint64_t>(100, 108));
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Wire-format tests: round trips, hostile-input rejection, the fixed
+ * 128-byte framing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto/messages.hh"
+
+namespace mercury {
+namespace proto {
+namespace {
+
+TEST(Messages, PacketSizeIsPaper128Bytes)
+{
+    EXPECT_EQ(kMessageSize, 128u);
+    EXPECT_EQ(sizeof(Packet), 128u);
+}
+
+TEST(Messages, UtilizationUpdateRoundTrip)
+{
+    UtilizationUpdate msg;
+    msg.machine = "machine1";
+    msg.component = "disk";
+    msg.utilization = 0.375;
+    msg.sequence = 987654321ULL;
+
+    auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    const auto *out = std::get_if<UtilizationUpdate>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->machine, "machine1");
+    EXPECT_EQ(out->component, "disk");
+    EXPECT_DOUBLE_EQ(out->utilization, 0.375);
+    EXPECT_EQ(out->sequence, 987654321ULL);
+}
+
+TEST(Messages, SensorRequestRoundTrip)
+{
+    SensorRequest msg;
+    msg.requestId = 42;
+    msg.machine = "m3";
+    msg.component = "cpu_air";
+
+    auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    const auto *out = std::get_if<SensorRequest>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->requestId, 42u);
+    EXPECT_EQ(out->machine, "m3");
+    EXPECT_EQ(out->component, "cpu_air");
+}
+
+TEST(Messages, SensorReplyRoundTrip)
+{
+    SensorReply msg;
+    msg.requestId = 7;
+    msg.status = Status::Ok;
+    msg.temperature = 67.25;
+
+    auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    const auto *out = std::get_if<SensorReply>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->requestId, 7u);
+    EXPECT_EQ(out->status, Status::Ok);
+    EXPECT_DOUBLE_EQ(out->temperature, 67.25);
+}
+
+TEST(Messages, SensorReplyErrorStatus)
+{
+    SensorReply msg;
+    msg.requestId = 9;
+    msg.status = Status::UnknownComponent;
+
+    auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<SensorReply>(*decoded).status,
+              Status::UnknownComponent);
+}
+
+TEST(Messages, FiddleRoundTrip)
+{
+    FiddleRequest request;
+    request.requestId = 11;
+    request.commandLine = "fiddle machine1 temperature inlet 30";
+    auto decoded = decode(encode(request));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<FiddleRequest>(*decoded).commandLine,
+              request.commandLine);
+
+    FiddleReply reply;
+    reply.requestId = 11;
+    reply.status = Status::BadCommand;
+    reply.message = "unknown machine 'machine9'";
+    auto decoded_reply = decode(encode(reply));
+    ASSERT_TRUE(decoded_reply.has_value());
+    const auto &out = std::get<FiddleReply>(*decoded_reply);
+    EXPECT_EQ(out.status, Status::BadCommand);
+    EXPECT_EQ(out.message, reply.message);
+}
+
+TEST(Messages, RejectsBadMagic)
+{
+    Packet packet = encode(SensorRequest{1, "m1", "cpu"});
+    packet[0] ^= 0xff;
+    EXPECT_FALSE(decode(packet).has_value());
+}
+
+TEST(Messages, RejectsBadVersion)
+{
+    Packet packet = encode(SensorRequest{1, "m1", "cpu"});
+    packet[4] = 99;
+    EXPECT_FALSE(decode(packet).has_value());
+}
+
+TEST(Messages, RejectsUnknownType)
+{
+    Packet packet = encode(SensorRequest{1, "m1", "cpu"});
+    packet[5] = 200;
+    EXPECT_FALSE(decode(packet).has_value());
+}
+
+TEST(Messages, RejectsWrongLength)
+{
+    Packet packet = encode(SensorRequest{1, "m1", "cpu"});
+    EXPECT_FALSE(decode(packet.data(), 64).has_value());
+    EXPECT_FALSE(decode(packet.data(), 127).has_value());
+    EXPECT_TRUE(decode(packet.data(), 128).has_value());
+}
+
+TEST(Messages, RejectsEmptyNames)
+{
+    UtilizationUpdate msg;
+    msg.machine = "";
+    msg.component = "cpu";
+    EXPECT_FALSE(decode(encode(msg)).has_value());
+}
+
+TEST(Messages, AllZeroPacketRejected)
+{
+    Packet packet{};
+    EXPECT_FALSE(decode(packet).has_value());
+}
+
+TEST(Messages, OversizedFieldIsFatal)
+{
+    UtilizationUpdate msg;
+    msg.machine = std::string(40, 'x'); // field width is 32
+    msg.component = "cpu";
+    EXPECT_EXIT(encode(msg), testing::ExitedWithCode(1), "too long");
+}
+
+TEST(Messages, StatusNames)
+{
+    EXPECT_STREQ(statusName(Status::Ok), "ok");
+    EXPECT_STREQ(statusName(Status::BadCommand), "bad command");
+}
+
+} // namespace
+} // namespace proto
+} // namespace mercury

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the high-fidelity reference server (the "real machine"
+ * substitute used in the Section 3 validations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "refmodel/reference_server.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace refmodel {
+namespace {
+
+ReferenceConfig
+noiselessConfig()
+{
+    ReferenceConfig config;
+    config.sensorNoiseStddev = 0.0;
+    config.sensorQuantization = 0.0;
+    config.sensorLagSeconds = 0.0;
+    return config;
+}
+
+TEST(ReferenceServer, StartsAtInletTemperature)
+{
+    ReferenceServer server(noiselessConfig());
+    for (const std::string &probe : server.probeNames())
+        EXPECT_DOUBLE_EQ(server.trueTemperature(probe), 21.6) << probe;
+}
+
+TEST(ReferenceServer, SteadyStateOrdering)
+{
+    ReferenceServer server(noiselessConfig());
+    server.setUtilization("cpu", 1.0);
+    server.setUtilization("disk", 0.5);
+    server.step(30000.0);
+
+    double die = server.trueTemperature("cpu_die");
+    double sink = server.trueTemperature("heat_sink");
+    double cpu_air = server.trueTemperature("cpu_air");
+    double platters = server.trueTemperature("disk_platters");
+    double shell = server.trueTemperature("disk_shell");
+    double exhaust = server.trueTemperature("exhaust");
+
+    EXPECT_GT(die, sink);       // heat flows die -> sink
+    EXPECT_GT(sink, cpu_air);   // sink -> air
+    EXPECT_GT(cpu_air, 21.6);
+    EXPECT_GT(platters, shell);
+    EXPECT_GT(shell, 21.6);
+    EXPECT_GT(exhaust, 21.6);
+    EXPECT_LT(die, 130.0);
+}
+
+TEST(ReferenceServer, EnergyBalanceAtSteadyState)
+{
+    ReferenceServer server(noiselessConfig());
+    server.setUtilization("cpu", 1.0);
+    server.setUtilization("disk", 1.0);
+    server.step(60000.0);
+    double mdot_c = units::cfmToKgPerS(38.6) * units::kAirSpecificHeat;
+    double expected_rise = server.totalPower() / mdot_c;
+    EXPECT_NEAR(server.trueTemperature("exhaust") - 21.6, expected_rise,
+                0.05 * expected_rise);
+}
+
+TEST(ReferenceServer, UtilizationMonotonicity)
+{
+    double previous = 0.0;
+    for (double u : {0.0, 0.3, 0.6, 1.0}) {
+        ReferenceServer server(noiselessConfig());
+        server.setUtilization("cpu", u);
+        server.step(30000.0);
+        double die = server.trueTemperature("cpu_die");
+        EXPECT_GT(die, previous);
+        previous = die;
+    }
+}
+
+TEST(ReferenceServer, NonlinearCpuPower)
+{
+    // The reference CPU is super-linear: the 50% point burns *less*
+    // than the halfway power (this is what Mercury's linear model must
+    // absorb during calibration).
+    ReferenceServer idle(noiselessConfig());
+    ReferenceServer half(noiselessConfig());
+    ReferenceServer busy(noiselessConfig());
+    half.setUtilization("cpu", 0.5);
+    busy.setUtilization("cpu", 1.0);
+    double p_idle = idle.totalPower();
+    double p_half = half.totalPower();
+    double p_busy = busy.totalPower();
+    EXPECT_LT(p_half - p_idle, 0.5 * (p_busy - p_idle));
+    EXPECT_GT(p_half, p_idle);
+}
+
+TEST(ReferenceServer, FanFlowCoolsAndCouplingStrengthens)
+{
+    ReferenceServer slow(noiselessConfig());
+    ReferenceServer fast(noiselessConfig());
+    slow.setFanCfm(20.0);
+    fast.setFanCfm(60.0);
+    slow.setUtilization("cpu", 1.0);
+    fast.setUtilization("cpu", 1.0);
+    slow.step(30000.0);
+    fast.step(30000.0);
+    EXPECT_GT(slow.trueTemperature("cpu_die"),
+              fast.trueTemperature("cpu_die") + 2.0);
+}
+
+TEST(ReferenceServer, InletStepPropagates)
+{
+    ReferenceServer server(noiselessConfig());
+    server.setUtilization("cpu", 0.5);
+    server.step(30000.0);
+    double before = server.trueTemperature("cpu_die");
+    server.setInletTemperature(31.6);
+    server.step(30000.0);
+    EXPECT_NEAR(server.trueTemperature("cpu_die"), before + 10.0, 0.6);
+}
+
+TEST(ReferenceServer, NoiselessSensorTracksTruth)
+{
+    ReferenceServer server(noiselessConfig());
+    server.setUtilization("cpu", 1.0);
+    server.step(500.0);
+    EXPECT_NEAR(server.readSensor("cpu_air"),
+                server.trueTemperature("cpu_air"), 1e-9);
+}
+
+TEST(ReferenceServer, SensorLagDelaysResponse)
+{
+    ReferenceConfig config = noiselessConfig();
+    config.sensorLagSeconds = 30.0;
+    ReferenceServer server(config);
+    server.setUtilization("cpu", 1.0);
+    server.step(60.0); // much shorter than the lag
+    double truth = server.trueTemperature("cpu_die");
+    double sensed = server.readSensor("cpu_die");
+    EXPECT_GT(truth - sensed, 0.5); // the sensor is behind
+}
+
+TEST(ReferenceServer, QuantizationSnapsReadings)
+{
+    ReferenceConfig config = noiselessConfig();
+    config.sensorQuantization = 0.5;
+    ReferenceServer server(config);
+    server.setUtilization("cpu", 0.7);
+    server.step(1000.0);
+    double reading = server.readSensor("cpu_air");
+    EXPECT_NEAR(std::fmod(std::abs(reading), 0.5), 0.0, 1e-9);
+}
+
+TEST(ReferenceServer, NoiseIsDeterministicPerSeed)
+{
+    ReferenceConfig config;
+    config.noiseSeed = 77;
+    ReferenceServer a(config);
+    ReferenceServer b(config);
+    a.setUtilization("cpu", 0.8);
+    b.setUtilization("cpu", 0.8);
+    a.step(100.0);
+    b.step(100.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a.readSensor("cpu_air"), b.readSensor("cpu_air"));
+}
+
+TEST(ReferenceServer, NoisyReadingsScatterAroundTruth)
+{
+    ReferenceConfig config = noiselessConfig();
+    config.sensorNoiseStddev = 0.3;
+    ReferenceServer server(config);
+    server.setUtilization("cpu", 1.0);
+    server.step(5000.0);
+    double truth = server.trueTemperature("cpu_air");
+    RunningStats stats;
+    for (int i = 0; i < 2000; ++i)
+        stats.add(server.readSensor("cpu_air"));
+    EXPECT_NEAR(stats.mean(), truth, 0.05);
+    EXPECT_NEAR(stats.stddev(), 0.3, 0.05);
+}
+
+TEST(ReferenceServer, RejectsUnknownProbesAndComponents)
+{
+    ReferenceServer server(noiselessConfig());
+    EXPECT_DEATH(server.trueTemperature("gpu"), "unknown probe");
+    EXPECT_DEATH(server.setUtilization("gpu", 0.5), "unknown component");
+}
+
+} // namespace
+} // namespace refmodel
+} // namespace mercury

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The region story that motivates Freon-EC (Section 4.2): "an
+ * intuitive scheme for a room with two air conditioners would create
+ * two regions ... The failure of an air conditioner would most
+ * strongly affect the servers in its associated region." Here a
+ * two-AC room loses one AC; the machines it cooled heat up, and
+ * Freon-EC's replacements must come from the healthy region.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/server_machine.hh"
+#include "cluster/thermal_bridge.hh"
+#include "core/solver.hh"
+#include "fiddle/command.hh"
+#include "freon/controller.hh"
+#include "freon/tempd.hh"
+#include "lb/load_balancer.hh"
+#include "sensor/client.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace mercury {
+namespace {
+
+/** Two-AC room: ac0 cools m1/m3 (region 0), ac1 cools m2/m4. */
+core::RoomSpec
+twoAcRoom()
+{
+    core::RoomSpec room;
+    room.name = "two_ac_room";
+    for (const char *ac : {"ac0", "ac1"}) {
+        core::RoomNodeSpec node;
+        node.name = ac;
+        node.kind = core::RoomNodeKind::Source;
+        node.temperature = 21.6;
+        room.nodes.push_back(node);
+    }
+    core::RoomNodeSpec sink;
+    sink.name = "return";
+    sink.kind = core::RoomNodeKind::Sink;
+    room.nodes.push_back(sink);
+    for (const char *name : {"m1", "m2", "m3", "m4"}) {
+        core::RoomNodeSpec node;
+        node.name = name;
+        node.kind = core::RoomNodeKind::Machine;
+        node.machine = name;
+        room.nodes.push_back(node);
+        room.edges.push_back({name, "return", 1.0});
+    }
+    room.edges.push_back({"ac0", "m1", 0.5});
+    room.edges.push_back({"ac0", "m3", 0.5});
+    room.edges.push_back({"ac1", "m2", 0.5});
+    room.edges.push_back({"ac1", "m4", 0.5});
+    return room;
+}
+
+TEST(RegionScenario, AcFailureHeatsOnlyItsRegion)
+{
+    core::Solver solver;
+    for (const char *name : {"m1", "m2", "m3", "m4"})
+        solver.addMachine(core::table1Server(name));
+    solver.setRoom(twoAcRoom());
+    for (const char *name : {"m1", "m2", "m3", "m4"})
+        solver.setUtilization(name, "cpu", 0.6);
+    solver.run(20000.0);
+    double m1_before = solver.temperature("m1", "cpu");
+    double m2_before = solver.temperature("m2", "cpu");
+
+    // ac0 fails: its supply air warms by 12 degC.
+    fiddle::FiddleResult result =
+        fiddle::applyLine(solver, "room ac ac0 33.6");
+    ASSERT_TRUE(result.ok) << result.message;
+    solver.run(20000.0);
+
+    EXPECT_NEAR(solver.temperature("m1", "cpu"), m1_before + 12.0, 0.3);
+    EXPECT_NEAR(solver.temperature("m3", "cpu"),
+                solver.temperature("m1", "cpu"), 0.3);
+    EXPECT_NEAR(solver.temperature("m2", "cpu"), m2_before, 0.3);
+}
+
+TEST(RegionScenario, FreonEcReplacesFromTheHealthyRegion)
+{
+    sim::Simulator simulator;
+    core::Solver solver;
+    std::vector<std::string> names{"m1", "m2", "m3", "m4"};
+    std::vector<core::MachineSpec> specs;
+    for (const std::string &name : names) {
+        specs.push_back(core::table1Server(name));
+        solver.addMachine(specs.back());
+    }
+    solver.setRoom(twoAcRoom());
+
+    cluster::ThermalBridge bridge(simulator, solver);
+    std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
+    lb::LoadBalancer balancer;
+    for (size_t i = 0; i < names.size(); ++i) {
+        machines.push_back(std::make_unique<cluster::ServerMachine>(
+            simulator, names[i]));
+        balancer.addServer(machines.back().get());
+        bridge.attach(*machines.back(), specs[i]);
+    }
+    bridge.start();
+
+    freon::FreonController::Options options;
+    options.policy = freon::PolicyKind::FreonEC;
+    options.regionOf = {{"m1", 0}, {"m3", 0}, {"m2", 1}, {"m4", 1}};
+    freon::FreonController controller(simulator, balancer, options);
+    controller.start();
+
+    std::vector<std::unique_ptr<sensor::SensorClient>> sensors;
+    std::vector<std::unique_ptr<freon::Tempd>> tempds;
+    for (const std::string &name : names) {
+        sensors.push_back(std::make_unique<sensor::SensorClient>(
+            std::make_unique<sensor::LocalTransport>(bridge.service()),
+            name));
+        sensor::SensorClient *client = sensors.back().get();
+        core::ThermalGraph &graph = solver.machine(name);
+        tempds.push_back(std::make_unique<freon::Tempd>(
+            simulator, name, freon::FreonConfig::table1Defaults(),
+            [client](const std::string &component) {
+                return client->read(component);
+            },
+            [&controller](const freon::TempdReport &report) {
+                controller.onReport(report);
+            },
+            [&graph, &solver, name](const std::string &component) {
+                return graph.utilization(
+                    solver.resolveNode(name, component));
+            }));
+        tempds.back()->start();
+    }
+
+    // Sustained moderate load: heavy enough that EC keeps ~3 servers
+    // on, light enough that one hot server can be swapped out.
+    workload::WorkloadConfig workload_config;
+    workload_config.duration = 4000.0;
+    workload_config.valleyRate = 170.0;
+    workload_config.peakRate = 171.0; // effectively flat
+    workload::WorkloadGenerator generator(simulator, balancer,
+                                          workload_config);
+    generator.start();
+
+    // The ac0 failure strikes at 900 s and persists.
+    simulator.at(sim::seconds(900), [&solver] {
+        fiddle::applyLine(solver, "room ac ac0 36.6");
+    });
+
+    simulator.runUntil(sim::seconds(4000));
+
+    // Region 0's machines saw the emergency; at least one was powered
+    // off, and any machine powered *on* as a replacement came from
+    // region 1 if one was available there.
+    EXPECT_GT(controller.serversTurnedOff(), 0u);
+    bool region0_off = !balancer.server("m1").isOn() ||
+                       !balancer.server("m3").isOn();
+    EXPECT_TRUE(region0_off);
+    // The healthy region carries the service: nothing was dropped
+    // outright at the end state and region-1 machines stayed safe.
+    EXPECT_LT(solver.temperature("m2", "cpu"), 76.0);
+    EXPECT_LT(solver.temperature("m4", "cpu"), 76.0);
+    EXPECT_LT(balancer.dropRate(), 0.02);
+}
+
+} // namespace
+} // namespace mercury

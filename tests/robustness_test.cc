@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Failure injection and robustness: broken sensors, red lines under
+ * Freon-EC, room graphs with mixing plenums round-tripping through
+ * the config language, and the workload generator's rate fidelity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/solver.hh"
+#include "freon/controller.hh"
+#include "freon/tempd.hh"
+#include "graphdot/parser.hh"
+#include "graphdot/writer.hh"
+#include "lb/load_balancer.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace mercury {
+namespace {
+
+TEST(SensorFailure, TempdNeverLiftsRestrictionsOnBrokenSensors)
+{
+    sim::Simulator simulator;
+    std::map<std::string, double> temps{{"cpu", 70.0}, {"disk", 40.0}};
+    bool cpu_sensor_broken = false;
+    std::vector<freon::TempdReport> reports;
+    freon::Tempd tempd(
+        simulator, "m1", freon::FreonConfig::paperDefaults(),
+        [&](const std::string &component) -> std::optional<double> {
+            if (component == "cpu" && cpu_sensor_broken)
+                return std::nullopt;
+            return temps.at(component);
+        },
+        [&](const freon::TempdReport &report) {
+            reports.push_back(report);
+        });
+
+    tempd.tick(); // hot -> restrictions installed
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(tempd.restricted());
+
+    // The sensor dies while the machine might still be hot; the disk
+    // is cool, but "all components below T_l" cannot be proven, so
+    // the Cool transition must NOT fire.
+    cpu_sensor_broken = true;
+    temps["disk"] = 30.0;
+    tempd.tick();
+    tempd.tick();
+    EXPECT_TRUE(tempd.restricted());
+    for (size_t i = 1; i < reports.size(); ++i)
+        EXPECT_NE(reports[i].kind, freon::TempdReport::Kind::Cool);
+
+    // Sensor returns, machine is genuinely cool: restrictions lift.
+    cpu_sensor_broken = false;
+    temps["cpu"] = 40.0;
+    tempd.tick();
+    EXPECT_FALSE(tempd.restricted());
+    EXPECT_EQ(reports.back().kind, freon::TempdReport::Kind::Cool);
+}
+
+TEST(SensorFailure, BrokenSensorNeverReportsHot)
+{
+    sim::Simulator simulator;
+    std::vector<freon::TempdReport> reports;
+    freon::Tempd tempd(
+        simulator, "m1", freon::FreonConfig::paperDefaults(),
+        [](const std::string &) { return std::nullopt; },
+        [&](const freon::TempdReport &report) {
+            reports.push_back(report);
+        });
+    tempd.tick();
+    tempd.tick();
+    EXPECT_TRUE(reports.empty());
+}
+
+TEST(FreonEc, RedlineForcesPowerOffWithReplacement)
+{
+    sim::Simulator simulator;
+    cluster::ServerConfig server_config;
+    server_config.maxQueueSeconds = 1e9;
+    std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
+    lb::LoadBalancer balancer;
+    for (int i = 0; i < 4; ++i) {
+        machines.push_back(std::make_unique<cluster::ServerMachine>(
+            simulator, "m" + std::to_string(i + 1), server_config));
+        balancer.addServer(machines.back().get());
+    }
+    // m3 is off so a replacement exists.
+    machines[2]->beginShutdown();
+    balancer.setEnabled("m3", false);
+
+    freon::FreonController::Options options;
+    options.policy = freon::PolicyKind::FreonEC;
+    options.regionOf = {{"m1", 0}, {"m3", 0}, {"m2", 1}, {"m4", 1}};
+    freon::FreonController controller(simulator, balancer, options);
+    controller.start();
+
+    // Moderate utilization so one server cannot simply disappear.
+    for (const char *name : {"m1", "m2", "m4"}) {
+        freon::TempdReport status;
+        status.machine = name;
+        status.kind = freon::TempdReport::Kind::Status;
+        status.utilizations = {{"cpu", 0.5}, {"disk", 0.1}};
+        controller.onReport(status);
+    }
+
+    freon::TempdReport redline;
+    redline.machine = "m1";
+    redline.kind = freon::TempdReport::Kind::Hot;
+    redline.output = 2.5;
+    redline.redline = true;
+    redline.utilizations = {{"cpu", 0.5}, {"disk", 0.1}};
+    controller.onReport(redline);
+
+    EXPECT_FALSE(balancer.server("m1").isOn());
+    // The replacement boots from the healthy region's pool (m3 is the
+    // only off machine).
+    EXPECT_EQ(balancer.server("m3").powerState(),
+              cluster::PowerState::Booting);
+    EXPECT_EQ(controller.serversTurnedOn(), 1u);
+}
+
+TEST(GraphdotRoundTrip, RoomWithMixingPlenum)
+{
+    // A room that routes both machines through a shared plenum before
+    // the return — exercises Mix nodes end to end.
+    const char *source = R"(
+machine box {
+    node comp [kind=component, mass=0.3, c=800, pmin=5, pmax=20];
+    node inlet [kind=inlet];
+    node air [kind=air];
+    node exhaust [kind=exhaust];
+    comp -- air [k=2];
+    inlet -> air [fraction=1];
+    air -> exhaust [fraction=1];
+}
+room lab {
+    source ac [temperature=19];
+    mix plenum;
+    sink return;
+    machine b1 uses box;
+    machine b2 uses box;
+    ac -> b1 [fraction=0.5];
+    ac -> b2 [fraction=0.5];
+    b1 -> plenum [fraction=1];
+    b2 -> plenum [fraction=1];
+    plenum -> return [fraction=1];
+}
+)";
+    graphdot::ParseResult first = graphdot::parseConfig(source);
+    ASSERT_TRUE(first.ok()) << first.errors.front();
+
+    std::string emitted = graphdot::toText(first.config);
+    graphdot::ParseResult second = graphdot::parseConfig(emitted);
+    ASSERT_TRUE(second.ok()) << second.errors.front();
+    ASSERT_TRUE(second.config.room.has_value());
+    EXPECT_EQ(second.config.room->nodes.size(), 5u);
+    EXPECT_EQ(second.config.room->edges.size(), 5u);
+
+    // And the round-tripped config actually runs. The room references
+    // the 'box' template through nodes b1/b2, so the live solver needs
+    // machines carrying those node names.
+    core::MachineSpec b1 = second.config.machines[0];
+    b1.name = "b1";
+    core::MachineSpec b2 = second.config.machines[0];
+    b2.name = "b2";
+    core::Solver live;
+    live.addMachine(b1);
+    live.addMachine(b2);
+    core::RoomSpec room = *second.config.room;
+    for (core::RoomNodeSpec &node : room.nodes) {
+        if (node.kind == core::RoomNodeKind::Machine)
+            node.machine = node.name;
+    }
+    live.setRoom(room);
+    live.setUtilization("b1", "comp", 1.0);
+    live.run(20000.0);
+    EXPECT_GT(live.room().temperature("plenum"), 19.0);
+    EXPECT_NEAR(live.room().temperature("plenum"),
+                live.room().temperature("return"), 1e-9);
+}
+
+TEST(WorkloadFidelity, WindowedRatesFollowTheDiurnalCurve)
+{
+    sim::Simulator simulator;
+    cluster::ServerConfig config;
+    config.maxQueueSeconds = 1e9;
+    config.maxConnections = 1000000;
+    cluster::ServerMachine machine(simulator, "sink", config);
+    lb::LoadBalancer balancer;
+    balancer.addServer(&machine);
+
+    workload::WorkloadConfig wl;
+    wl.duration = 2000.0;
+    wl.seed = 5;
+    workload::WorkloadGenerator generator(simulator, balancer, wl);
+
+    // Count arrivals per 100 s window.
+    std::vector<double> windows(20, 0.0);
+    uint64_t last = 0;
+    simulator.every(sim::seconds(100.0), [&] {
+        size_t index = static_cast<size_t>(
+            simulator.nowSeconds() / 100.0) - 1;
+        if (index < windows.size()) {
+            windows[index] =
+                static_cast<double>(balancer.submitted() - last) / 100.0;
+            last = balancer.submitted();
+        }
+        return true;
+    });
+    generator.start();
+    simulator.runUntil(sim::seconds(2000.0));
+
+    for (size_t i = 0; i < windows.size(); ++i) {
+        double mid = 100.0 * static_cast<double>(i) + 50.0;
+        double expected = generator.rateAt(mid);
+        // Poisson noise over ~100 s windows: allow 15% + slack.
+        EXPECT_NEAR(windows[i], expected, 0.15 * expected + 3.0)
+            << "window " << i;
+    }
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Large-cluster emulation by trace replication: "replicating these
+ * traces allows Mercury to emulate large cluster installations, even
+ * when the user's real system is much smaller" (Section 1/2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hh"
+#include "core/trace.hh"
+
+namespace mercury {
+namespace core {
+namespace {
+
+TEST(Scale, ThirtyTwoWayReplicationMatchesTheOriginal)
+{
+    // One "real" machine's trace...
+    UtilizationTrace recorded;
+    for (double t = 0.0; t < 600.0; t += 30.0) {
+        recorded.add(t, "m1", "cpu", 0.5 + 0.4 * ((int(t) / 30) % 2));
+        recorded.add(t, "m1", "disk", 0.3);
+    }
+
+    // ...replicated across a 32-machine emulated installation.
+    std::vector<std::string> names;
+    std::map<std::string, std::vector<std::string>> mapping;
+    for (int i = 1; i <= 32; ++i)
+        names.push_back("m" + std::to_string(i));
+    mapping["m1"] = names;
+    UtilizationTrace big = recorded.replicated(mapping);
+    EXPECT_EQ(big.size(), recorded.size() * 32);
+
+    Solver solver;
+    for (const std::string &name : names)
+        solver.addMachine(table1Server(name));
+    solver.setRoom(table1Room(names, 21.6));
+
+    TraceRunner runner(solver, big);
+    runner.record("m1", "cpu");
+    runner.record("m17", "cpu");
+    runner.record("m32", "cpu");
+    runner.run(600.0);
+
+    // Identical load + identical machines -> identical temperatures.
+    const TimeSeries &a = runner.series("m1", "cpu");
+    const TimeSeries &b = runner.series("m17", "cpu");
+    const TimeSeries &c = runner.series("m32", "cpu");
+    EXPECT_LT(a.maxAbsError(b), 1e-9);
+    EXPECT_LT(a.maxAbsError(c), 1e-9);
+    EXPECT_GT(a.lastValue(), 30.0); // and they actually heated up
+}
+
+TEST(Scale, SixtyFourMachineRoomIteratesCorrectly)
+{
+    Solver solver;
+    std::vector<std::string> names;
+    for (int i = 1; i <= 64; ++i)
+        names.push_back("n" + std::to_string(i));
+    for (const std::string &name : names)
+        solver.addMachine(table1Server(name));
+    solver.setRoom(table1Room(names, 18.0));
+    for (size_t i = 0; i < names.size(); ++i)
+        solver.setUtilization(names[i], "cpu", (i % 2) ? 1.0 : 0.0);
+    solver.run(2000.0);
+
+    // All inlets still at the AC supply; busy machines hotter than
+    // idle ones; the cluster exhaust sits between the two exhausts.
+    double busy = solver.temperature("n2", "cpu");
+    double idle = solver.temperature("n1", "cpu");
+    EXPECT_GT(busy, idle + 10.0);
+    double mixed = solver.room().temperature("cluster_exhaust");
+    EXPECT_GT(mixed, solver.machine("n1").exhaustTemperature() - 1e-9);
+    EXPECT_LT(mixed, solver.machine("n2").exhaustTemperature() + 1e-9);
+}
+
+} // namespace
+} // namespace core
+} // namespace mercury

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * End-to-end tests for the sensor path: SolverService dispatch, the
+ * typed SensorClient, the paper's C-style API (Figure 3), and a real
+ * UDP round trip against a background SolverDaemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/solver.hh"
+#include "proto/solver_daemon.hh"
+#include "proto/solver_service.hh"
+#include "sensor/client.hh"
+#include "sensor/sensor_api.hh"
+#include "sensor/transport.hh"
+
+namespace mercury {
+namespace {
+
+class SensorFixture : public ::testing::Test
+{
+  protected:
+    SensorFixture()
+        : service_(solver_)
+    {
+        solver_.addMachine(core::table1Server("machine1"));
+        solver_.setUtilization("machine1", "cpu", 1.0);
+        solver_.run(5000.0);
+    }
+
+    core::Solver solver_;
+    proto::SolverService service_;
+};
+
+TEST_F(SensorFixture, ServiceAppliesUtilizationUpdates)
+{
+    proto::UtilizationUpdate update;
+    update.machine = "machine1";
+    update.component = "disk"; // alias
+    update.utilization = 0.6;
+    auto packet = proto::encode(update);
+    auto reply = service_.handlePacket(packet.data(), packet.size());
+    EXPECT_FALSE(reply.has_value()); // one-way
+    EXPECT_EQ(service_.updatesApplied(), 1u);
+    EXPECT_DOUBLE_EQ(
+        solver_.machine("machine1").utilization("disk_platters"), 0.6);
+}
+
+TEST_F(SensorFixture, ServiceRejectsUnknownTargets)
+{
+    proto::UtilizationUpdate update;
+    update.machine = "nope";
+    update.component = "cpu";
+    update.utilization = 0.5;
+    auto packet = proto::encode(update);
+    service_.handlePacket(packet.data(), packet.size());
+    EXPECT_EQ(service_.updatesRejected(), 1u);
+
+    update.machine = "machine1";
+    update.component = "cpu_air"; // unpowered node
+    packet = proto::encode(update);
+    service_.handlePacket(packet.data(), packet.size());
+    EXPECT_EQ(service_.updatesRejected(), 2u);
+}
+
+TEST_F(SensorFixture, ServiceAnswersSensorRequests)
+{
+    proto::SensorRequest request{1, "machine1", "cpu"};
+    auto packet = proto::encode(request);
+    auto reply_packet = service_.handlePacket(packet.data(), packet.size());
+    ASSERT_TRUE(reply_packet.has_value());
+    auto reply = proto::decode(*reply_packet);
+    ASSERT_TRUE(reply.has_value());
+    const auto &sensor_reply = std::get<proto::SensorReply>(*reply);
+    EXPECT_EQ(sensor_reply.status, proto::Status::Ok);
+    EXPECT_NEAR(sensor_reply.temperature,
+                solver_.temperature("machine1", "cpu"), 1e-9);
+    EXPECT_EQ(service_.sensorReads(), 1u);
+}
+
+TEST_F(SensorFixture, ServiceReportsUnknowns)
+{
+    proto::SensorRequest request{2, "ghost", "cpu"};
+    auto packet = proto::encode(request);
+    auto reply = proto::decode(*service_.handlePacket(packet.data(),
+                                                      packet.size()));
+    EXPECT_EQ(std::get<proto::SensorReply>(*reply).status,
+              proto::Status::UnknownMachine);
+
+    request = {3, "machine1", "gpu"};
+    packet = proto::encode(request);
+    reply = proto::decode(*service_.handlePacket(packet.data(),
+                                                 packet.size()));
+    EXPECT_EQ(std::get<proto::SensorReply>(*reply).status,
+              proto::Status::UnknownComponent);
+}
+
+TEST_F(SensorFixture, ServiceCountsUndecodablePackets)
+{
+    uint8_t junk[proto::kMessageSize] = {1, 2, 3};
+    EXPECT_FALSE(service_.handlePacket(junk, sizeof(junk)).has_value());
+    EXPECT_EQ(service_.undecodable(), 1u);
+}
+
+TEST_F(SensorFixture, SensorClientReadsThroughLocalTransport)
+{
+    sensor::SensorClient client(
+        std::make_unique<sensor::LocalTransport>(service_), "machine1");
+    auto temperature = client.read("cpu");
+    ASSERT_TRUE(temperature.has_value());
+    EXPECT_NEAR(*temperature, solver_.temperature("machine1", "cpu"), 1e-9);
+    EXPECT_FALSE(client.read("gpu").has_value());
+}
+
+TEST_F(SensorFixture, SensorClientFiddleRoundTrip)
+{
+    sensor::SensorClient client(
+        std::make_unique<sensor::LocalTransport>(service_), "machine1");
+    auto [ok, message] =
+        client.fiddle("fiddle machine1 temperature inlet 35");
+    EXPECT_TRUE(ok) << message;
+    EXPECT_DOUBLE_EQ(solver_.machine("machine1").inletTemperature(), 35.0);
+
+    auto [bad_ok, bad_message] = client.fiddle("machine1 bogus 1");
+    EXPECT_FALSE(bad_ok);
+    EXPECT_FALSE(bad_message.empty());
+}
+
+TEST_F(SensorFixture, CApiAgainstLocalService)
+{
+    installLocalSolver(&service_);
+    int sd = opensensor_for("local", 8367, "machine1", "disk");
+    ASSERT_GE(sd, 0);
+    float temp = readsensor(sd);
+    EXPECT_FALSE(std::isnan(temp));
+    EXPECT_NEAR(temp, solver_.temperature("machine1", "disk_platters"),
+                1e-3);
+    closesensor(sd);
+    // Reads on a closed descriptor fail cleanly.
+    EXPECT_TRUE(std::isnan(readsensor(sd)));
+    installLocalSolver(nullptr);
+}
+
+TEST_F(SensorFixture, CApiRejectsBadArguments)
+{
+    EXPECT_EQ(opensensor_for(nullptr, 8367, "m", "cpu"), -1);
+    EXPECT_EQ(opensensor_for("local", 0, "m", "cpu"), -1);
+    EXPECT_EQ(opensensor_for("local", 99999, "m", "cpu"), -1);
+    EXPECT_TRUE(std::isnan(readsensor(123456)));
+    closesensor(123456); // must not crash
+}
+
+TEST(SensorUdp, EndToEndRoundTrip)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("machine1"));
+    solver.setUtilization("machine1", "cpu", 1.0);
+    solver.run(5000.0);
+    double expected = solver.temperature("machine1", "cpu_air");
+
+    proto::SolverDaemon::Config config;
+    config.port = 0;                 // ephemeral
+    config.iterationSeconds = 0.0;   // no stepping during the test
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+
+    {
+        sensor::SensorClient client(
+            std::make_unique<sensor::UdpTransport>("127.0.0.1",
+                                                   daemon.port()),
+            "machine1");
+        auto temperature = client.read("cpu_air");
+        ASSERT_TRUE(temperature.has_value());
+        EXPECT_NEAR(*temperature, expected, 1e-9);
+
+        // Fiddle over UDP too.
+        auto [ok, message] =
+            client.fiddle("machine1 temperature inlet 30");
+        EXPECT_TRUE(ok) << message;
+    }
+
+    daemon.stop();
+    server.join();
+    EXPECT_DOUBLE_EQ(solver.machine("machine1").inletTemperature(), 30.0);
+    EXPECT_GE(daemon.service().sensorReads(), 1u);
+}
+
+TEST(SensorUdp, PaperCApiShape)
+{
+    // The exact call sequence of the paper's Figure 3, against a real
+    // UDP daemon (machine name passed explicitly since the test host's
+    // hostname is not a configured machine).
+    core::Solver solver;
+    solver.addMachine(core::table1Server("machine1"));
+
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.iterationSeconds = 0.0;
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+
+    int sd = opensensor_for("127.0.0.1", daemon.port(), "machine1", "disk");
+    ASSERT_GE(sd, 0);
+    float temp = readsensor(sd);
+    closesensor(sd);
+
+    daemon.stop();
+    server.join();
+    EXPECT_FALSE(std::isnan(temp));
+    EXPECT_NEAR(temp, 21.6, 0.5); // idle machine sits at the inlet temp
+}
+
+TEST(SensorUdp, TimeoutWhenNobodyListens)
+{
+    sensor::UdpTransport transport("127.0.0.1", 1, 0.05, 0);
+    ASSERT_TRUE(transport.valid());
+    proto::SensorRequest request{1, "m", "cpu"};
+    EXPECT_FALSE(transport.roundTrip(proto::encode(request)).has_value());
+}
+
+TEST(SensorUdp, InvalidHostFailsGracefully)
+{
+    sensor::UdpTransport transport("no.such.host.invalid.", 8367);
+    EXPECT_FALSE(transport.valid());
+    EXPECT_EQ(opensensor("no.such.host.invalid.", 8367, "cpu"), -1);
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    queue.schedule(30, [&] { fired.push_back(3); });
+    queue.schedule(10, [&] { fired.push_back(1); });
+    queue.schedule(20, [&] { fired.push_back(2); });
+    while (!queue.empty())
+        queue.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(100, [&fired, i] { fired.push_back(i); });
+    while (!queue.empty())
+        queue.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    queue.schedule(1, [&] { fired.push_back(1); });
+    EventId doomed = queue.schedule(2, [&] { fired.push_back(2); });
+    queue.schedule(3, [&] { fired.push_back(3); });
+    queue.cancel(doomed);
+    EXPECT_EQ(queue.size(), 2u);
+    while (!queue.empty())
+        queue.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue queue;
+    EventId id = queue.schedule(1, [] {});
+    queue.pop().second();
+    queue.cancel(id); // must not underflow or corrupt
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.nextTime(), kTimeNever);
+    queue.schedule(42, [] {});
+    EXPECT_EQ(queue.nextTime(), 42);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator simulator;
+    SimTime seen = -1;
+    simulator.at(seconds(5), [&] { seen = simulator.now(); });
+    simulator.runToCompletion();
+    EXPECT_EQ(seen, seconds(5));
+    EXPECT_EQ(simulator.now(), seconds(5));
+}
+
+TEST(Simulator, AfterIsRelative)
+{
+    Simulator simulator;
+    std::vector<double> times;
+    simulator.at(seconds(10), [&] {
+        simulator.after(seconds(5), [&] {
+            times.push_back(simulator.nowSeconds());
+        });
+    });
+    simulator.runToCompletion();
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_DOUBLE_EQ(times[0], 15.0);
+}
+
+TEST(Simulator, PeriodicFiresUntilStopped)
+{
+    Simulator simulator;
+    int count = 0;
+    simulator.every(seconds(1), [&] {
+        ++count;
+        return count < 5;
+    });
+    simulator.runToCompletion();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(simulator.now(), seconds(5));
+}
+
+TEST(Simulator, PeriodicPhaseOffset)
+{
+    Simulator simulator;
+    std::vector<double> times;
+    auto id = simulator.every(
+        seconds(10),
+        [&] {
+            times.push_back(simulator.nowSeconds());
+            return true;
+        },
+        seconds(3));
+    simulator.runUntil(seconds(35));
+    simulator.cancel(id);
+    EXPECT_EQ(times, (std::vector<double>{3, 13, 23, 33}));
+}
+
+TEST(Simulator, CancelPeriodicChainBetweenFirings)
+{
+    Simulator simulator;
+    int count = 0;
+    EventId chain = simulator.every(seconds(1), [&] {
+        ++count;
+        return true;
+    });
+    simulator.runUntil(seconds(3));
+    simulator.cancel(chain);
+    simulator.runUntil(seconds(100));
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle)
+{
+    Simulator simulator;
+    simulator.runUntil(seconds(50));
+    EXPECT_EQ(simulator.now(), seconds(50));
+}
+
+TEST(Simulator, RunUntilDoesNotRunLaterEvents)
+{
+    Simulator simulator;
+    bool fired = false;
+    simulator.at(seconds(100), [&] { fired = true; });
+    simulator.runUntil(seconds(99));
+    EXPECT_FALSE(fired);
+    simulator.runUntil(seconds(100));
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsRunCounter)
+{
+    Simulator simulator;
+    for (int i = 0; i < 7; ++i)
+        simulator.at(seconds(i + 1), [] {});
+    simulator.runToCompletion();
+    EXPECT_EQ(simulator.eventsRun(), 7u);
+}
+
+TEST(Simulator, NestedSchedulingInsideEvent)
+{
+    Simulator simulator;
+    std::vector<int> order;
+    simulator.at(seconds(1), [&] {
+        order.push_back(1);
+        // Same-time follow-up must run after this event, same clock.
+        simulator.after(0, [&] { order.push_back(2); });
+    });
+    simulator.at(seconds(2), [&] { order.push_back(3); });
+    simulator.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimTimeHelpers, Conversions)
+{
+    EXPECT_EQ(seconds(1.5), 1500000);
+    EXPECT_EQ(milliseconds(2.0), 2000);
+    EXPECT_EQ(minutes(1.0), 60000000);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2.5)), 2.5);
+}
+
+} // namespace
+} // namespace sim
+} // namespace mercury

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the snapshot/restore facility and the request-latency
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "cluster/server_machine.hh"
+#include "core/solver.hh"
+#include "freon/experiment.hh"
+#include "lb/load_balancer.hh"
+#include "sim/simulator.hh"
+
+namespace mercury {
+namespace {
+
+TEST(StateSnapshot, SaveLoadRoundTripsExactly)
+{
+    core::Solver hot;
+    hot.addMachine(core::table1Server("m1"));
+    hot.addMachine(core::table1Server("m2"));
+    hot.setUtilization("m1", "cpu", 0.9);
+    hot.run(8000.0);
+
+    std::ostringstream out;
+    hot.saveState(out);
+
+    core::Solver restored;
+    restored.addMachine(core::table1Server("m1"));
+    restored.addMachine(core::table1Server("m2"));
+    std::istringstream in(out.str());
+    restored.loadState(in);
+
+    for (const std::string &machine : {std::string("m1"),
+                                       std::string("m2")}) {
+        for (const std::string &node :
+             restored.machine(machine).nodeNames()) {
+            EXPECT_NEAR(restored.temperature(machine, node),
+                        hot.temperature(machine, node), 1e-6)
+                << machine << "." << node;
+        }
+    }
+}
+
+TEST(StateSnapshot, WarmStartContinuesTheSameTrajectory)
+{
+    core::Solver original;
+    original.addMachine(core::table1Server("m1"));
+    original.setUtilization("m1", "cpu", 0.8);
+    original.run(5000.0);
+
+    std::ostringstream out;
+    original.saveState(out);
+
+    core::Solver warm;
+    warm.addMachine(core::table1Server("m1"));
+    warm.setUtilization("m1", "cpu", 0.8);
+    std::istringstream in(out.str());
+    warm.loadState(in);
+
+    original.run(500.0);
+    warm.run(500.0);
+    EXPECT_NEAR(warm.temperature("m1", "cpu"),
+                original.temperature("m1", "cpu"), 1e-6);
+}
+
+TEST(StateSnapshot, TopologyMismatchIsFatal)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    std::istringstream unknown_machine("machine,node,temperature_c\n"
+                                       "ghost,cpu,50\n");
+    EXPECT_EXIT(solver.loadState(unknown_machine),
+                testing::ExitedWithCode(1), "unknown machine");
+    std::istringstream unknown_node("machine,node,temperature_c\n"
+                                    "m1,gpu,50\n");
+    EXPECT_EXIT(solver.loadState(unknown_node),
+                testing::ExitedWithCode(1), "unknown node");
+    std::istringstream empty("machine,node,temperature_c\n");
+    EXPECT_EXIT(solver.loadState(empty), testing::ExitedWithCode(1),
+                "no temperatures");
+}
+
+TEST(Latency, SingleRequestLatencyIsItsServiceTime)
+{
+    sim::Simulator simulator;
+    cluster::ServerMachine server(simulator, "s1");
+    cluster::Request request;
+    request.id = 1;
+    request.arrivalTime = 0.0;
+    request.cpuSeconds = 0.025;
+    server.offer(request);
+    simulator.runToCompletion();
+    EXPECT_EQ(server.latencyStats().count(), 1u);
+    EXPECT_NEAR(server.latencyStats().mean(), 0.025, 1e-9);
+}
+
+TEST(Latency, QueueingShowsUpInTheTail)
+{
+    sim::Simulator simulator;
+    cluster::ServerConfig config;
+    config.maxQueueSeconds = 1e9;
+    cluster::ServerMachine server(simulator, "s1", config);
+    // Ten back-to-back 100 ms requests: the last waits 900 ms.
+    for (int i = 0; i < 10; ++i) {
+        cluster::Request request;
+        request.id = static_cast<uint64_t>(i);
+        request.arrivalTime = 0.0;
+        request.cpuSeconds = 0.1;
+        server.offer(request);
+    }
+    simulator.runToCompletion();
+    EXPECT_NEAR(server.latencyStats().mean(), 0.55, 1e-5);
+    EXPECT_NEAR(server.latencyStats().max(), 1.0, 1e-5);
+    EXPECT_NEAR(server.latencyHistogram().quantile(0.95), 1.0, 0.05);
+}
+
+TEST(Latency, BalancerAggregatesAcrossServers)
+{
+    sim::Simulator simulator;
+    cluster::ServerMachine a(simulator, "a");
+    cluster::ServerMachine b(simulator, "b");
+    lb::LoadBalancer balancer;
+    balancer.addServer(&a);
+    balancer.addServer(&b);
+    for (int i = 0; i < 20; ++i) {
+        cluster::Request request;
+        request.id = static_cast<uint64_t>(i);
+        request.arrivalTime = simulator.nowSeconds();
+        request.cpuSeconds = 0.01;
+        balancer.submit(request);
+    }
+    simulator.runToCompletion();
+    EXPECT_EQ(balancer.latencyStats().count(), 20u);
+    EXPECT_GT(balancer.latencyStats().mean(), 0.0);
+}
+
+TEST(Latency, TraditionalPolicyInflatesTailLatency)
+{
+    freon::ExperimentConfig config;
+    config.workload.duration = 2000.0;
+    config.addPaperEmergencies();
+
+    config.policy = freon::PolicyKind::FreonBase;
+    freon::ExperimentResult freon_result = freon::runExperiment(config);
+    config.policy = freon::PolicyKind::Traditional;
+    freon::ExperimentResult traditional = freon::runExperiment(config);
+
+    // With two servers gone, the survivors queue deeply: the p99
+    // latency balloons versus Freon's, on top of the outright drops.
+    EXPECT_GT(traditional.p99Latency, 4.0 * freon_result.p99Latency);
+    EXPECT_LT(freon_result.p99Latency, 0.5);
+}
+
+} // namespace
+} // namespace mercury

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the multi-tier extension: tier chaining, per-tier
+ * management, and emergency isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "freon/experiment.hh"
+#include "freon/two_tier.hh"
+
+namespace mercury {
+namespace freon {
+namespace {
+
+TwoTierConfig
+baseConfig(PolicyKind policy)
+{
+    TwoTierConfig config;
+    config.policy = policy;
+    config.workload.duration = 1200.0;
+    config.workload.cgiCpuSeconds = 0.005; // cheap front, heavy app
+    return config;
+}
+
+TEST(TwoTier, DynamicRequestsReachTheAppTier)
+{
+    TwoTierConfig config = baseConfig(PolicyKind::None);
+    TwoTierResult result = runTwoTierExperiment(config);
+
+    ASSERT_GT(result.web.submitted, 1000u);
+    // Roughly 30% of completed front requests spawn app sub-requests.
+    double ratio = static_cast<double>(result.app.submitted) /
+                   static_cast<double>(result.web.completed);
+    EXPECT_NEAR(ratio, 0.30, 0.03);
+    EXPECT_GT(result.app.completed, 0u);
+}
+
+TEST(TwoTier, AppTierWorksHarderPerMachineThanWebTier)
+{
+    // The app does 20 ms per dynamic request vs ~2.9 ms mean on the
+    // web side, so with 4 web / 3 app servers the app tier is the
+    // bottleneck the sizing targets at 70%.
+    TwoTierConfig config = baseConfig(PolicyKind::None);
+    TwoTierResult result = runTwoTierExperiment(config);
+    double web_peak_util = 0.0;
+    double app_peak_util = 0.0;
+    for (const auto &[name, series] : result.web.cpuUtilization)
+        web_peak_util = std::max(web_peak_util, series.maxValue());
+    for (const auto &[name, series] : result.app.cpuUtilization)
+        app_peak_util = std::max(app_peak_util, series.maxValue());
+    EXPECT_GT(app_peak_util, web_peak_util);
+    EXPECT_GT(app_peak_util, 0.5);
+}
+
+TEST(TwoTier, EmergencyInAppTierIsHandledLocally)
+{
+    TwoTierConfig config = baseConfig(PolicyKind::FreonBase);
+    config.workload.duration = 2000.0;
+    config.emergencies.push_back({480.0, "a1", 38.6});
+    TwoTierResult result = runTwoTierExperiment(config);
+
+    // The app tier's admd restricted its hot machine...
+    EXPECT_GT(result.app.weightAdjustments, 0u);
+    EXPECT_LT(result.app.peakCpuTemperature.at("a1"), 76.0);
+    // ...while the web tier never needed to act and nothing dropped.
+    EXPECT_EQ(result.web.weightAdjustments, 0u);
+    EXPECT_EQ(result.web.dropped, 0u);
+    EXPECT_EQ(result.app.dropped, 0u);
+    EXPECT_EQ(result.app.serversTurnedOff, 0u);
+}
+
+TEST(TwoTier, EmergencyInWebTierDoesNotDisturbAppTier)
+{
+    TwoTierConfig config = baseConfig(PolicyKind::FreonBase);
+    config.workload.duration = 2000.0;
+    // A web machine runs cool (<30% util), so a web emergency needs a
+    // hotter inlet to cross the threshold.
+    config.emergencies.push_back({480.0, "w1", 55.0});
+    TwoTierResult result = runTwoTierExperiment(config);
+
+    EXPECT_GT(result.web.weightAdjustments, 0u);
+    EXPECT_EQ(result.app.weightAdjustments, 0u);
+    EXPECT_EQ(result.web.dropped, 0u);
+}
+
+TEST(RecurringCycles, EcBreathesWithEveryDiurnalCycle)
+{
+    // Three compressed "days": Freon-EC must shrink in each valley
+    // and grow back for each peak.
+    freon::ExperimentConfig config;
+    config.policy = freon::PolicyKind::FreonEC;
+    config.workload.duration = 6000.0;
+    config.workload.cycleSeconds = 2000.0;
+
+    freon::ExperimentResult result = freon::runExperiment(config);
+    EXPECT_EQ(result.dropped, 0u);
+
+    // Count the distinct grow phases: times the active count rises
+    // from <= 2 to 4.
+    const TimeSeries &active = result.activeServers;
+    int grow_phases = 0;
+    bool low = false;
+    for (size_t i = 0; i < active.size(); ++i) {
+        if (active.valueAt(i) <= 2.0)
+            low = true;
+        if (low && active.valueAt(i) >= 4.0) {
+            ++grow_phases;
+            low = false;
+        }
+    }
+    EXPECT_GE(grow_phases, 2);
+    EXPECT_GE(result.serversTurnedOn, 4u);
+    EXPECT_GE(result.serversTurnedOff, 4u);
+}
+
+TEST(TwoTier, Deterministic)
+{
+    TwoTierConfig config = baseConfig(PolicyKind::FreonBase);
+    TwoTierResult a = runTwoTierExperiment(config);
+    TwoTierResult b = runTwoTierExperiment(config);
+    EXPECT_EQ(a.web.submitted, b.web.submitted);
+    EXPECT_EQ(a.app.submitted, b.app.submitted);
+    EXPECT_DOUBLE_EQ(a.energyJoules, b.energyJoules);
+}
+
+} // namespace
+} // namespace freon
+} // namespace mercury

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Unit tests for the util substrate: strings, stats, CSV, RNG, flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/flags.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/strings.hh"
+#include "util/units.hh"
+
+namespace mercury {
+namespace {
+
+TEST(Strings, TrimStripsBothEnds)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    auto parts = split("a,b,,d", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "d");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties)
+{
+    auto parts = splitWhitespace("  a \t b\nc  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-", "--"));
+    EXPECT_TRUE(endsWith("file.dot", ".dot"));
+    EXPECT_FALSE(endsWith("dot", "file.dot"));
+}
+
+TEST(Strings, ParseDoubleAcceptsFullMatchOnly)
+{
+    EXPECT_DOUBLE_EQ(*parseDouble("3.25"), 3.25);
+    EXPECT_DOUBLE_EQ(*parseDouble(" -1e3 "), -1000.0);
+    EXPECT_FALSE(parseDouble("3.25x").has_value());
+    EXPECT_FALSE(parseDouble("").has_value());
+    EXPECT_FALSE(parseDouble("abc").has_value());
+}
+
+TEST(Strings, ParseIntAndBool)
+{
+    EXPECT_EQ(*parseInt("42"), 42);
+    EXPECT_EQ(*parseInt("-7"), -7);
+    EXPECT_FALSE(parseInt("4.2").has_value());
+    EXPECT_TRUE(*parseBool("TRUE"));
+    EXPECT_FALSE(*parseBool("off"));
+    EXPECT_FALSE(parseBool("maybe").has_value());
+}
+
+TEST(Strings, FormatMatchesPrintf)
+{
+    EXPECT_EQ(format("%d-%s-%.1f", 3, "x", 2.5), "3-x-2.5");
+}
+
+TEST(Units, CfmRoundTrip)
+{
+    double cfm = 38.6;
+    EXPECT_NEAR(units::m3PerSToCfm(units::cfmToM3PerS(cfm)), cfm, 1e-9);
+}
+
+TEST(Units, Table1FanMassFlow)
+{
+    // 38.6 CFM of air is about 21.6 grams per second.
+    double kg_per_s = units::cfmToKgPerS(38.6);
+    EXPECT_NEAR(kg_per_s, 0.0216, 0.0005);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats stats;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream)
+{
+    RunningStats a;
+    RunningStats b;
+    RunningStats whole;
+    for (int i = 0; i < 50; ++i) {
+        double v = std::sin(i * 0.7) * 10.0;
+        (i % 2 ? a : b).add(v);
+        whole.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(TimeSeries, InterpolatesLinearly)
+{
+    TimeSeries ts("t");
+    ts.add(0.0, 10.0);
+    ts.add(10.0, 20.0);
+    EXPECT_DOUBLE_EQ(ts.sampleAt(5.0), 15.0);
+    EXPECT_DOUBLE_EQ(ts.sampleAt(-1.0), 10.0); // clamped
+    EXPECT_DOUBLE_EQ(ts.sampleAt(99.0), 20.0); // clamped
+}
+
+TEST(TimeSeries, MaxAbsErrorAgainstShiftedCopy)
+{
+    TimeSeries a("a");
+    TimeSeries b("b");
+    for (int i = 0; i <= 100; ++i) {
+        a.add(i, std::sin(i * 0.1));
+        b.add(i, std::sin(i * 0.1) + 0.5);
+    }
+    EXPECT_NEAR(a.maxAbsError(b), 0.5, 1e-12);
+    EXPECT_NEAR(a.meanAbsError(b), 0.5, 1e-12);
+}
+
+TEST(TimeSeries, FirstTimeAbove)
+{
+    TimeSeries ts("t");
+    ts.add(0.0, 1.0);
+    ts.add(5.0, 3.0);
+    ts.add(10.0, 7.0);
+    EXPECT_DOUBLE_EQ(ts.firstTimeAbove(3.0), 5.0);
+    EXPECT_DOUBLE_EQ(ts.firstTimeAbove(100.0), -1.0);
+}
+
+TEST(Histogram, QuantileOfUniformFill)
+{
+    Histogram hist(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        hist.add(i + 0.5);
+    EXPECT_NEAR(hist.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(hist.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(1.0);
+    a.add(2.0);
+    b.add(2.0);
+    b.add(9.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.binAt(2), 2u); // both 2.0 samples
+    EXPECT_EQ(a.binAt(9), 1u);
+}
+
+TEST(Histogram, MergeShapeMismatchPanics)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 20);
+    EXPECT_DEATH(a.merge(b), "shape mismatch");
+}
+
+TEST(Csv, RowStringsEscapes)
+{
+    std::ostringstream out;
+    CsvWriter writer(out, {"name", "value"});
+    writer.rowStrings({"a,b", "plain"});
+    EXPECT_EQ(out.str(), "name,value\n\"a,b\",plain\n");
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(-5.0);
+    hist.add(50.0);
+    EXPECT_EQ(hist.binAt(0), 1u);
+    EXPECT_EQ(hist.binAt(9), 1u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversBothEndpoints)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == 0;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(42);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(9);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.exponential(4.0));
+    EXPECT_NEAR(stats.mean(), 0.25, 0.02);
+}
+
+TEST(Csv, EscapesSpecialCells)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WriterEmitsHeaderAndRows)
+{
+    std::ostringstream out;
+    CsvWriter writer(out, {"time_s", "temp_c"});
+    writer.row({1.0, 21.5});
+    writer.row({2.0, 22.0});
+    EXPECT_EQ(out.str(), "time_s,temp_c\n1,21.5\n2,22\n");
+    EXPECT_EQ(writer.rowsWritten(), 2u);
+}
+
+TEST(Csv, AlignedSeriesInterpolatesSecondColumn)
+{
+    TimeSeries a("a");
+    a.add(0.0, 1.0);
+    a.add(2.0, 3.0);
+    TimeSeries b("b");
+    b.add(0.0, 10.0);
+    b.add(4.0, 30.0);
+    std::ostringstream out;
+    writeAlignedSeries(out, {&a, &b});
+    EXPECT_EQ(out.str(), "time_s,a,b\n0,1,10\n2,3,20\n");
+}
+
+TEST(Flags, ParsesAllForms)
+{
+    FlagSet flags("prog", "test");
+    flags.defineString("name", "default", "a name");
+    flags.defineDouble("ratio", 1.5, "a ratio");
+    flags.defineInt("count", 10, "a count");
+    flags.defineBool("verbose", false, "chatty");
+    const char *argv[] = {"prog", "--name", "mercury", "--ratio=2.5",
+                          "--verbose", "pos1"};
+    ASSERT_TRUE(flags.parse(6, argv));
+    EXPECT_EQ(flags.getString("name"), "mercury");
+    EXPECT_DOUBLE_EQ(flags.getDouble("ratio"), 2.5);
+    EXPECT_EQ(flags.getInt("count"), 10);
+    EXPECT_TRUE(flags.getBool("verbose"));
+    EXPECT_TRUE(flags.provided("name"));
+    EXPECT_FALSE(flags.provided("count"));
+    ASSERT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Flags, HelpReturnsFalse)
+{
+    FlagSet flags("prog", "test");
+    flags.defineInt("n", 1, "num");
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(flags.parse(2, argv));
+}
+
+} // namespace
+} // namespace mercury

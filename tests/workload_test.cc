@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the diurnal Web workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lb/load_balancer.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace mercury {
+namespace workload {
+namespace {
+
+TEST(PeakRate, MatchesPaperSizing)
+{
+    // 30% CGI at 25 ms + 70% static at 2 ms -> mean 8.9 ms of CPU.
+    // 70% utilization across 4 single-CPU servers needs ~315 req/s.
+    WorkloadConfig config;
+    double rate = peakRateForUtilization(0.70, 4, config);
+    EXPECT_NEAR(rate, 0.70 * 4 / 0.0089, 1e-6);
+    EXPECT_NEAR(rate, 314.6, 0.5);
+}
+
+TEST(RateShape, ValleyPeakValley)
+{
+    sim::Simulator simulator;
+    lb::LoadBalancer balancer;
+    WorkloadConfig config;
+    WorkloadGenerator generator(simulator, balancer, config);
+    EXPECT_LT(generator.rateAt(0.0), 0.2 * config.peakRate);
+    EXPECT_NEAR(generator.rateAt(config.peakTime), config.peakRate, 1e-9);
+    EXPECT_LT(generator.rateAt(config.duration),
+              generator.rateAt(config.peakTime));
+    EXPECT_GE(generator.rateAt(0.0), config.valleyRate);
+}
+
+struct Rig
+{
+    sim::Simulator simulator;
+    std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
+    lb::LoadBalancer balancer;
+
+    explicit Rig(int servers)
+    {
+        for (int i = 0; i < servers; ++i) {
+            machines.push_back(std::make_unique<cluster::ServerMachine>(
+                simulator, "m" + std::to_string(i + 1)));
+            balancer.addServer(machines.back().get());
+        }
+    }
+};
+
+TEST(Generator, ProducesRoughlyTheExpectedVolume)
+{
+    Rig rig(4);
+    WorkloadConfig config;
+    config.duration = 2000.0;
+    WorkloadGenerator generator(rig.simulator, rig.balancer, config);
+    generator.start();
+    rig.simulator.runToCompletion();
+
+    // Integral of the rate curve: valley*T + (peak-valley)*width*sqrt(2pi)
+    // truncated to the window; ~25*2000 + 290*450*2.5066*0.95 ~ 3.6e5/awk.
+    double expected = 0.0;
+    for (double t = 0.5; t < config.duration; t += 1.0)
+        expected += generator.rateAt(t);
+    double actual = static_cast<double>(generator.generated());
+    EXPECT_NEAR(actual, expected, 0.05 * expected);
+    EXPECT_EQ(rig.balancer.submitted(), generator.generated());
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    uint64_t counts[2];
+    uint64_t served[2];
+    for (int run = 0; run < 2; ++run) {
+        Rig rig(2);
+        WorkloadConfig config;
+        config.duration = 300.0;
+        config.seed = 7;
+        WorkloadGenerator generator(rig.simulator, rig.balancer, config);
+        generator.start();
+        rig.simulator.runToCompletion();
+        counts[run] = generator.generated();
+        served[run] = rig.balancer.completed();
+    }
+    EXPECT_EQ(counts[0], counts[1]);
+    EXPECT_EQ(served[0], served[1]);
+}
+
+TEST(Generator, PeakLoadsFourServersToSeventyPercent)
+{
+    Rig rig(4);
+    WorkloadConfig config;
+    config.duration = 1400.0; // run through the peak
+    config.peakRate = peakRateForUtilization(0.70, 4, config);
+    WorkloadGenerator generator(rig.simulator, rig.balancer, config);
+    generator.start();
+
+    // Sample utilization over the minute around the peak.
+    rig.simulator.runUntil(sim::seconds(config.peakTime - 30.0));
+    for (auto &machine : rig.machines)
+        machine->sampleUtilization();
+    rig.simulator.runUntil(sim::seconds(config.peakTime + 30.0));
+    double total = 0.0;
+    for (auto &machine : rig.machines)
+        total += machine->sampleUtilization().cpu;
+    EXPECT_NEAR(total / 4.0, 0.70, 0.06);
+}
+
+TEST(Generator, MixContainsBothKinds)
+{
+    Rig rig(4);
+    WorkloadConfig config;
+    config.duration = 200.0;
+    uint64_t dynamic = 0;
+    uint64_t total = 0;
+    // Wrap the balancer with a counting spy via server completion.
+    for (auto &machine : rig.machines) {
+        machine->setCompletionFn([&](const cluster::ServerMachine &,
+                                     const cluster::Request &request,
+                                     cluster::RequestOutcome) {
+            ++total;
+            if (request.dynamic)
+                ++dynamic;
+        });
+    }
+    WorkloadGenerator generator(rig.simulator, rig.balancer, config);
+    generator.start();
+    rig.simulator.runToCompletion();
+    ASSERT_GT(total, 1000u);
+    double fraction = static_cast<double>(dynamic) /
+                      static_cast<double>(total);
+    EXPECT_NEAR(fraction, 0.30, 0.04);
+}
+
+TEST(Generator, ValleyAbovePeakPanics)
+{
+    sim::Simulator simulator;
+    lb::LoadBalancer balancer;
+    WorkloadConfig config;
+    config.valleyRate = 1000.0;
+    config.peakRate = 100.0;
+    EXPECT_DEATH(WorkloadGenerator(simulator, balancer, config),
+                 "exceeds peak");
+}
+
+TEST(Generator, RecurringCyclesRepeatTheBump)
+{
+    sim::Simulator simulator;
+    lb::LoadBalancer balancer;
+    WorkloadConfig config;
+    config.duration = 6000.0;
+    config.cycleSeconds = 2000.0;
+    WorkloadGenerator generator(simulator, balancer, config);
+    // Identical phase in every cycle.
+    EXPECT_DOUBLE_EQ(generator.rateAt(300.0), generator.rateAt(2300.0));
+    EXPECT_DOUBLE_EQ(generator.rateAt(config.peakTime),
+                     generator.rateAt(config.peakTime + 4000.0));
+    // Valleys between the peaks.
+    EXPECT_LT(generator.rateAt(2000.0), 0.2 * config.peakRate);
+}
+
+TEST(Generator, NoArrivalsAfterDuration)
+{
+    Rig rig(1);
+    WorkloadConfig config;
+    config.duration = 100.0;
+    WorkloadGenerator generator(rig.simulator, rig.balancer, config);
+    generator.start();
+    rig.simulator.runToCompletion();
+    EXPECT_LE(rig.simulator.nowSeconds(), 100.0 + 10.0);
+}
+
+} // namespace
+} // namespace workload
+} // namespace mercury
