@@ -57,6 +57,32 @@ BM_SolverIterationCluster(benchmark::State &state)
 BENCHMARK(BM_SolverIterationCluster)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void
+BM_SolverIterationClusterThreads(benchmark::State &state)
+{
+    // The parallel stepping engine: range(0) machines stepped by
+    // range(1) executors (0 = one per hardware thread, 1 = serial).
+    int machines = static_cast<int>(state.range(0));
+    core::SolverConfig config;
+    config.threads = static_cast<unsigned>(state.range(1));
+    core::Solver solver(config);
+    std::vector<std::string> names;
+    for (int i = 0; i < machines; ++i)
+        names.push_back("m" + std::to_string(i + 1));
+    for (const std::string &name : names)
+        solver.addMachine(core::table1Server(name));
+    solver.setRoom(core::table1Room(names, 18.0));
+    for (const std::string &name : names)
+        solver.setUtilization(name, "cpu", 0.7);
+    for (auto _ : state)
+        solver.iterate();
+    state.SetItemsProcessed(state.iterations() * machines);
+}
+BENCHMARK(BM_SolverIterationClusterThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 0});
+
+void
 BM_MessageEncodeDecode(benchmark::State &state)
 {
     proto::UtilizationUpdate update;

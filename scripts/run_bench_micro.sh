@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Run the Mercury microbenchmarks and record the results as
+# machine-readable JSON at the repo root (BENCH_micro.json), so the
+# performance trajectory is tracked across PRs. See
+# docs/performance.md for how to read the file.
+#
+#   scripts/run_bench_micro.sh [build-dir] [extra benchmark args...]
+#
+# Examples:
+#   scripts/run_bench_micro.sh
+#   scripts/run_bench_micro.sh build --benchmark_filter=BM_SolverIteration
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bench="$build_dir/bench/bench_micro_mercury"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_micro.json"
+"$bench" --benchmark_format=json --benchmark_out="$out" \
+    --benchmark_out_format=json "$@" >&2
+echo "$out"

@@ -41,6 +41,9 @@ main(int argc, char **argv)
     flags.defineInt("port", 8367, "UDP port to listen on");
     flags.defineDouble("iteration-seconds", 1.0,
                        "emulated/wall seconds per solver iteration");
+    flags.defineInt("threads", 0,
+                    "machine-stepping executors (0 = all hardware "
+                    "threads, 1 = serial)");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -54,6 +57,10 @@ main(int argc, char **argv)
 
     core::SolverConfig solver_config;
     solver_config.iterationSeconds = flags.getDouble("iteration-seconds");
+    long long threads = flags.getInt("threads");
+    if (threads < 0)
+        fatal("--threads must be >= 0");
+    solver_config.threads = static_cast<unsigned>(threads);
     core::Solver solver(solver_config);
     for (const core::MachineSpec &machine : config.machines)
         solver.addMachine(machine);

@@ -38,6 +38,9 @@ main(int argc, char **argv)
                        "clone a traced machine: src=dst1+dst2+...");
     flags.defineDouble("iteration-seconds", 1.0,
                        "emulated seconds per solver iteration");
+    flags.defineInt("threads", 0,
+                    "machine-stepping executors (0 = all hardware "
+                    "threads, 1 = serial)");
     flags.defineBool("graphviz", false,
                      "dump the first machine as Graphviz dot and exit");
     if (!flags.parse(argc, argv))
@@ -70,6 +73,10 @@ main(int argc, char **argv)
 
     core::SolverConfig solver_config;
     solver_config.iterationSeconds = flags.getDouble("iteration-seconds");
+    long long threads = flags.getInt("threads");
+    if (threads < 0)
+        fatal("--threads must be >= 0");
+    solver_config.threads = static_cast<unsigned>(threads);
     core::Solver solver(solver_config);
     for (const core::MachineSpec &machine : config.machines)
         solver.addMachine(machine);

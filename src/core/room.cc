@@ -75,18 +75,36 @@ RoomModel::RoomModel(
     if (order_.size() != nodes_.size())
         MERCURY_PANIC("room graph has a cycle");
 
+    buildIncoming();
+
     // Mix vertices pass through the flow they receive; compute once.
     for (size_t id : order_) {
         Node &node = nodes_[id];
         if (node.kind != RoomNodeKind::Mix && node.kind != RoomNodeKind::Sink)
             continue;
         double flow = 0.0;
-        for (const Edge &edge : edges_) {
-            if (edge.to == id)
-                flow += edge.fraction * nodes_[edge.from].massFlow;
+        for (uint32_t slot = inOffsets_[id]; slot < inOffsets_[id + 1];
+             ++slot) {
+            const Edge &edge = edges_[inEdge_[slot]];
+            flow += edge.fraction * nodes_[edge.from].massFlow;
         }
         node.massFlow = flow;
     }
+}
+
+void
+RoomModel::buildIncoming()
+{
+    std::vector<uint32_t> degree(nodes_.size(), 0);
+    for (const Edge &edge : edges_)
+        ++degree[edge.to];
+    inOffsets_.assign(nodes_.size() + 1, 0);
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        inOffsets_[i + 1] = inOffsets_[i] + degree[i];
+    inEdge_.assign(edges_.size(), 0);
+    std::vector<uint32_t> cursor(inOffsets_.begin(), inOffsets_.end() - 1);
+    for (size_t i = 0; i < edges_.size(); ++i)
+        inEdge_[cursor[edges_[i].to]++] = static_cast<uint32_t>(i);
 }
 
 size_t
@@ -126,9 +144,10 @@ RoomModel::step()
         if (mix_node.kind == RoomNodeKind::Mix ||
             mix_node.kind == RoomNodeKind::Sink) {
             double flow = 0.0;
-            for (const Edge &edge : edges_) {
-                if (edge.to == id)
-                    flow += edge.fraction * nodes_[edge.from].massFlow;
+            for (uint32_t slot = inOffsets_[id]; slot < inOffsets_[id + 1];
+                 ++slot) {
+                const Edge &edge = edges_[inEdge_[slot]];
+                flow += edge.fraction * nodes_[edge.from].massFlow;
             }
             mix_node.massFlow = flow;
         }
@@ -143,9 +162,9 @@ RoomModel::step()
 
         double flow_in = 0.0;
         double mix = 0.0;
-        for (const Edge &edge : edges_) {
-            if (edge.to != id)
-                continue;
+        for (uint32_t slot = inOffsets_[id]; slot < inOffsets_[id + 1];
+             ++slot) {
+            const Edge &edge = edges_[inEdge_[slot]];
             double contribution = edge.fraction * nodes_[edge.from].massFlow;
             flow_in += contribution;
             mix += contribution * nodes_[edge.from].temperature;

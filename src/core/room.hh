@@ -12,6 +12,7 @@
 #ifndef MERCURY_CORE_ROOM_HH
 #define MERCURY_CORE_ROOM_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -99,10 +100,23 @@ class RoomModel
 
     size_t requireNode(const std::string &node_name) const;
 
+    /** Rebuild the per-vertex incoming-edge CSR rows. */
+    void buildIncoming();
+
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
     std::unordered_map<std::string, size_t> byName_;
     std::vector<size_t> order_; // topological
+
+    /**
+     * Incoming edges per vertex in CSR form (offsets into inEdge_,
+     * which indexes edges_). step() runs every solver iteration over
+     * every room vertex; without this it rescanned the whole edge
+     * list per vertex — O(V E) per iteration, the dominant cost for
+     * large clusters.
+     */
+    std::vector<uint32_t> inOffsets_;
+    std::vector<uint32_t> inEdge_;
 };
 
 } // namespace core

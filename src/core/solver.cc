@@ -3,9 +3,11 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <thread>
 
 #include "util/logging.hh"
 #include "util/strings.hh"
+#include "util/thread_pool.hh"
 
 namespace mercury {
 namespace core {
@@ -23,6 +25,31 @@ Solver::Solver(SolverConfig config)
     aliases_["disk"] = "disk_platters";
 }
 
+Solver::~Solver() = default;
+
+ThreadPool *
+Solver::pool()
+{
+    if (poolDecided_)
+        return pool_.get();
+    poolDecided_ = true;
+
+    unsigned executors = config_.threads;
+    if (executors == 0) {
+        executors = std::thread::hardware_concurrency();
+        if (executors == 0)
+            executors = 1;
+    }
+    // One executor is the calling thread itself; with a single machine
+    // or a single executor the serial path is strictly cheaper.
+    if (executors > 1 && machines_.size() > 1) {
+        size_t workers =
+            std::min<size_t>(executors - 1, machines_.size() - 1);
+        pool_ = std::make_unique<ThreadPool>(workers);
+    }
+    return pool_.get();
+}
+
 ThermalGraph &
 Solver::addMachine(const MachineSpec &spec)
 {
@@ -32,6 +59,7 @@ Solver::addMachine(const MachineSpec &spec)
         MERCURY_PANIC("Solver: add machines before installing the room");
     machines_.push_back(std::make_unique<ThermalGraph>(spec));
     machineIndex_[spec.name] = machines_.size() - 1;
+    poolDecided_ = false; // machine count changed; re-evaluate the pool
     return *machines_.back();
 }
 
@@ -99,17 +127,34 @@ Solver::machineNames() const
 void
 Solver::iterate()
 {
+    // Phase 1 (serial): the room model reads every machine's exhaust
+    // and writes every machine's inlet boundary.
     if (room_)
         room_->step();
-    for (auto &graph : machines_)
-        graph->step(config_.iterationSeconds);
+
+    // Phase 2 (parallel): machines are now independent until the next
+    // room phase, so their step() calls fan out across the pool. Each
+    // machine only touches its own state, making the result identical
+    // to the serial loop for any thread count.
+    ThreadPool *fanout = pool();
+    if (fanout) {
+        double dt = config_.iterationSeconds;
+        fanout->parallelFor(machines_.size(),
+                            [&](size_t i) { machines_[i]->step(dt); });
+    } else {
+        for (auto &graph : machines_)
+            graph->step(config_.iterationSeconds);
+    }
     ++iterations_;
 }
 
 void
 Solver::run(double seconds)
 {
-    long steps = std::lround(seconds / config_.iterationSeconds);
+    // Floor plus epsilon: whole iterations that fit into `seconds`,
+    // never rounding a trailing fraction up (see the header contract).
+    double ratio = seconds / config_.iterationSeconds;
+    long steps = static_cast<long>(std::floor(ratio + 1e-9));
     for (long i = 0; i < steps; ++i)
         iterate();
 }
@@ -167,6 +212,59 @@ Solver::setUtilization(const std::string &machine_name,
 {
     ThermalGraph &graph = machine(machine_name);
     graph.setUtilization(resolveNode(machine_name, component), value);
+}
+
+std::optional<Solver::NodeRef>
+Solver::tryResolveRef(const std::string &machine_name,
+                      const std::string &component) const
+{
+    auto it = machineIndex_.find(machine_name);
+    if (it == machineIndex_.end())
+        return std::nullopt;
+    const ThermalGraph &graph = *machines_[it->second];
+    std::optional<NodeId> node = graph.tryNodeId(component);
+    if (!node) {
+        auto alias = aliases_.find(component);
+        if (alias == aliases_.end())
+            return std::nullopt;
+        node = graph.tryNodeId(alias->second);
+        if (!node)
+            return std::nullopt;
+    }
+    NodeRef ref;
+    ref.machine = static_cast<uint32_t>(it->second);
+    ref.node = static_cast<uint32_t>(*node);
+    return ref;
+}
+
+Solver::NodeRef
+Solver::resolveRef(const std::string &machine_name,
+                   const std::string &component) const
+{
+    auto ref = tryResolveRef(machine_name, component);
+    if (!ref) {
+        MERCURY_PANIC("Solver: machine '", machine_name,
+                      "' has no component '", component, "'");
+    }
+    return *ref;
+}
+
+double
+Solver::temperature(NodeRef ref) const
+{
+    return machines_.at(ref.machine)->temperature(NodeId{ref.node});
+}
+
+void
+Solver::setUtilization(NodeRef ref, double value)
+{
+    machines_.at(ref.machine)->setUtilization(NodeId{ref.node}, value);
+}
+
+bool
+Solver::isPowered(NodeRef ref) const
+{
+    return machines_.at(ref.machine)->isPowered(NodeId{ref.node});
 }
 
 void

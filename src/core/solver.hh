@@ -13,6 +13,7 @@
 #ifndef MERCURY_CORE_SOLVER_HH
 #define MERCURY_CORE_SOLVER_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -25,6 +26,9 @@
 #include "core/thermal_graph.hh"
 
 namespace mercury {
+
+class ThreadPool;
+
 namespace core {
 
 /** Solver tuning knobs. */
@@ -32,6 +36,16 @@ struct SolverConfig
 {
     /** Emulated seconds advanced per iterate() call (paper: 1 s). */
     double iterationSeconds = 1.0;
+
+    /**
+     * Machine-stepping parallelism: 0 = one executor per hardware
+     * thread, 1 = serial (no pool), N = exactly N executors. Within an
+     * iteration machines only couple through the room model, which
+     * runs as a separate serial phase first, so fanning the machine
+     * step() calls across a pool is deterministic: any thread count
+     * produces bitwise-identical temperatures.
+     */
+    unsigned threads = 0;
 };
 
 /**
@@ -40,7 +54,21 @@ struct SolverConfig
 class Solver
 {
   public:
+    /**
+     * Resolved handle to one node of one machine: the fast path for
+     * per-second callers (monitord updates, trace replay, recorded
+     * sensors) that would otherwise walk the string -> alias -> NodeId
+     * map chain on every call. Handles stay valid for the life of the
+     * Solver (machines are never removed).
+     */
+    struct NodeRef
+    {
+        uint32_t machine = 0;
+        uint32_t node = 0;
+    };
+
     explicit Solver(SolverConfig config = {});
+    ~Solver();
 
     Solver(const Solver &) = delete;
     Solver &operator=(const Solver &) = delete;
@@ -70,7 +98,14 @@ class Solver
     /** Advance everything by one iteration period. */
     void iterate();
 
-    /** Advance by (approximately) @p seconds of emulated time. */
+    /**
+     * Advance by @p seconds of emulated time, running exactly
+     * floor(seconds / iterationSeconds) whole iterations (with a tiny
+     * epsilon so exact multiples are not lost to floating-point
+     * division: run(10.0) at 1 s is always 10 iterations, run(10.6)
+     * is 10, never 11). A trailing fraction of an iteration is not
+     * simulated — check emulatedSeconds() for the actual time reached.
+     */
     void run(double seconds);
 
     uint64_t iterations() const { return iterations_; }
@@ -108,6 +143,25 @@ class Solver
                         const std::string &component, double value);
 
     /// @}
+    /** @name Resolved-handle fast path */
+    /// @{
+
+    /** Resolve through the alias map; nullopt when unknown. */
+    std::optional<NodeRef>
+    tryResolveRef(const std::string &machine_name,
+                  const std::string &component) const;
+
+    /** Like tryResolveRef but panics on unknown targets. */
+    NodeRef resolveRef(const std::string &machine_name,
+                       const std::string &component) const;
+
+    double temperature(NodeRef ref) const;
+    void setUtilization(NodeRef ref, double value);
+
+    /** True when the referenced node carries a power model. */
+    bool isPowered(NodeRef ref) const;
+
+    /// @}
     /** @name Environment control (fiddle's entry points) */
     /// @{
 
@@ -142,12 +196,18 @@ class Solver
     /// @}
 
   private:
+    /** Lazily build the worker pool once machines exist. */
+    ThreadPool *pool();
+
     SolverConfig config_;
     std::vector<std::unique_ptr<ThermalGraph>> machines_;
     std::map<std::string, size_t> machineIndex_;
     std::unique_ptr<RoomModel> room_;
     std::map<std::string, std::string> aliases_;
     uint64_t iterations_ = 0;
+
+    std::unique_ptr<ThreadPool> pool_; //!< null until first parallel use
+    bool poolDecided_ = false;         //!< pool_ creation attempted
 };
 
 } // namespace core

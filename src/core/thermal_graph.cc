@@ -31,27 +31,61 @@ ThermalGraph::ThermalGraph(const MachineSpec &spec)
         MERCURY_PANIC("invalid machine spec:", joined);
     }
 
-    nodes_.reserve(spec.nodes.size());
+    size_t count = spec.nodes.size();
+    nodes_.reserve(count);
+    temperature_.assign(count, 0.0);
+    heatGain_.assign(count, 0.0);
+    massFlow_.assign(count, 0.0);
+    watts_.assign(count, 0.0);
+    invCapacity_.assign(count, 0.0);
+    invStagnant_.assign(count, 1.0 / kStagnantAirHeatCapacity);
+    pinned_.assign(count, 0);
+    pinValue_.assign(count, 0.0);
+
+    bool saw_inlet = false;
+    bool saw_exhaust = false;
     for (const NodeSpec &ns : spec.nodes) {
+        NodeId id = nodes_.size();
         Node node;
         node.name = ns.name;
         node.kind = ns.kind;
         node.mass = ns.mass;
         node.specificHeat = ns.specificHeat;
-        node.temperature =
+        temperature_[id] =
             ns.initialTemperature.value_or(spec.initialTemperature);
         if (ns.hasPower) {
             node.powerModel =
                 std::make_unique<LinearPowerModel>(ns.minPower, ns.maxPower);
+            poweredIds_.push_back(id);
         }
-        byName_[ns.name] = nodes_.size();
-        if (ns.kind == NodeKind::Inlet)
-            inlet_ = nodes_.size();
-        if (ns.kind == NodeKind::Exhaust)
-            exhaust_ = nodes_.size();
+        if (ns.kind == NodeKind::Component) {
+            solidIds_.push_back(id);
+            invCapacity_[id] = 1.0 / (ns.mass * ns.specificHeat);
+        }
+        if (ns.mass > 0.0 && ns.specificHeat > 0.0)
+            invStagnant_[id] = 1.0 / (ns.mass * ns.specificHeat);
+        byName_[ns.name] = id;
+        if (ns.kind == NodeKind::Inlet) {
+            inlet_ = id;
+            saw_inlet = true;
+        }
+        if (ns.kind == NodeKind::Exhaust) {
+            exhaust_ = id;
+            saw_exhaust = true;
+        }
         nodes_.push_back(std::move(node));
     }
-    nodes_[inlet_].temperature = spec.inletTemperature;
+    // validate() already demands exactly one inlet/exhaust; this is
+    // defense in depth, because inlet_ defaulting to node 0 would
+    // silently clobber that node's initial temperature below.
+    if (!saw_inlet)
+        MERCURY_PANIC("machine '", name_, "': spec has no Inlet node");
+    if (!saw_exhaust)
+        MERCURY_PANIC("machine '", name_, "': spec has no Exhaust node");
+    temperature_[inlet_] = spec.inletTemperature;
+
+    for (const NodeId id : poweredIds_)
+        refreshWatts(id);
 
     for (const HeatEdgeSpec &es : spec.heatEdges)
         heatEdges_.push_back({requireNode(es.a), requireNode(es.b), es.k});
@@ -60,11 +94,34 @@ ThermalGraph::ThermalGraph(const MachineSpec &spec)
             {requireNode(es.from), requireNode(es.to), es.fraction});
     }
 
-    incidentHeat_.assign(nodes_.size(), {});
-    for (size_t i = 0; i < heatEdges_.size(); ++i) {
-        incidentHeat_[heatEdges_[i].a].push_back(i);
-        incidentHeat_[heatEdges_[i].b].push_back(i);
+    // CSR of heat edges incident to each node. Row order matches the
+    // seed's adjacency-list build: for each edge in spec order, the a
+    // endpoint then the b endpoint.
+    std::vector<uint32_t> degree(count, 0);
+    for (const HeatEdge &edge : heatEdges_) {
+        ++degree[edge.a];
+        ++degree[edge.b];
     }
+    heatOffsets_.assign(count + 1, 0);
+    for (size_t i = 0; i < count; ++i)
+        heatOffsets_[i + 1] = heatOffsets_[i] + degree[i];
+    heatCsrEdge_.assign(heatOffsets_[count], 0);
+    heatCsrOther_.assign(heatOffsets_[count], 0);
+    heatCsrK_.assign(heatOffsets_[count], 0.0);
+    {
+        std::vector<uint32_t> cursor(heatOffsets_.begin(),
+                                     heatOffsets_.end() - 1);
+        for (size_t i = 0; i < heatEdges_.size(); ++i) {
+            const HeatEdge &edge = heatEdges_[i];
+            uint32_t slot_a = cursor[edge.a]++;
+            heatCsrEdge_[slot_a] = static_cast<uint32_t>(i);
+            heatCsrOther_[slot_a] = static_cast<uint32_t>(edge.b);
+            uint32_t slot_b = cursor[edge.b]++;
+            heatCsrEdge_[slot_b] = static_cast<uint32_t>(i);
+            heatCsrOther_[slot_b] = static_cast<uint32_t>(edge.a);
+        }
+    }
+    syncHeatCsrK();
 
     recomputeFlows();
 }
@@ -117,28 +174,54 @@ ThermalGraph::nodeNames() const
 }
 
 void
+ThermalGraph::syncHeatCsrK()
+{
+    for (size_t slot = 0; slot < heatCsrEdge_.size(); ++slot)
+        heatCsrK_[slot] = heatEdges_[heatCsrEdge_[slot]].k;
+}
+
+void
+ThermalGraph::refreshWatts(NodeId id)
+{
+    const Node &node = nodes_[id];
+    watts_[id] =
+        node.powerModel ? node.powerModel->power(node.utilization) : 0.0;
+}
+
+void
 ThermalGraph::recomputeFlows()
 {
-    incomingAir_.assign(nodes_.size(), {});
-    std::vector<size_t> out_degree(nodes_.size(), 0);
-    for (size_t i = 0; i < airEdges_.size(); ++i) {
-        incomingAir_[airEdges_[i].to].push_back(i);
-        ++out_degree[airEdges_[i].from];
+    size_t count = nodes_.size();
+
+    // CSR of incoming air edges per node, in airEdges_ order (matches
+    // the order the seed's adjacency lists were filled in).
+    std::vector<uint32_t> in_degree(count, 0);
+    for (const AirEdge &edge : airEdges_)
+        ++in_degree[edge.to];
+    airInOffsets_.assign(count + 1, 0);
+    for (size_t i = 0; i < count; ++i)
+        airInOffsets_[i + 1] = airInOffsets_[i] + in_degree[i];
+    airInFrom_.assign(airInOffsets_[count], 0);
+    std::vector<uint32_t> edge_of_slot(airInOffsets_[count], 0);
+    {
+        std::vector<uint32_t> cursor(airInOffsets_.begin(),
+                                     airInOffsets_.end() - 1);
+        for (size_t i = 0; i < airEdges_.size(); ++i) {
+            uint32_t slot = cursor[airEdges_[i].to]++;
+            airInFrom_[slot] = static_cast<uint32_t>(airEdges_[i].from);
+            edge_of_slot[slot] = static_cast<uint32_t>(i);
+        }
     }
 
     // Topological order over air vertices (Kahn), starting from the
     // inlet. The spec validator already guaranteed acyclicity.
-    std::vector<size_t> in_degree(nodes_.size(), 0);
-    for (const AirEdge &edge : airEdges_)
-        ++in_degree[edge.to];
-
     airOrder_.clear();
     std::vector<NodeId> ready;
-    for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId id = 0; id < count; ++id) {
         if (isAirKind(nodes_[id].kind) && in_degree[id] == 0)
             ready.push_back(id);
     }
-    std::vector<size_t> remaining = in_degree;
+    std::vector<uint32_t> remaining = in_degree;
     std::vector<NodeId> order;
     while (!ready.empty()) {
         // Pop the smallest id for determinism.
@@ -152,16 +235,24 @@ ThermalGraph::recomputeFlows()
         }
     }
 
-    // Propagate mass flow from the fan through the edge fractions.
-    for (Node &node : nodes_)
-        node.massFlow = 0.0;
-    nodes_[inlet_].massFlow = units::cfmToKgPerS(fanCfm_);
+    // Propagate mass flow from the fan through the edge fractions, and
+    // cache each incoming edge's contribution weight so the substep
+    // only multiplies weights by upstream temperatures.
+    std::fill(massFlow_.begin(), massFlow_.end(), 0.0);
+    massFlow_[inlet_] = units::cfmToKgPerS(fanCfm_);
+    flowIn_.assign(count, 0.0);
+    airInWeight_.assign(airInFrom_.size(), 0.0);
     for (NodeId id : order) {
-        for (size_t edge_idx : incomingAir_[id]) {
-            const AirEdge &edge = airEdges_[edge_idx];
-            nodes_[id].massFlow +=
-                edge.fraction * nodes_[edge.from].massFlow;
+        double flow_in = 0.0;
+        for (uint32_t slot = airInOffsets_[id]; slot < airInOffsets_[id + 1];
+             ++slot) {
+            const AirEdge &edge = airEdges_[edge_of_slot[slot]];
+            double weight = edge.fraction * massFlow_[edge.from];
+            airInWeight_[slot] = weight;
+            flow_in += weight;
         }
+        massFlow_[id] += flow_in;
+        flowIn_[id] = flow_in;
     }
 
     // The marching order used by substep() excludes the inlet (a
@@ -171,11 +262,16 @@ ThermalGraph::recomputeFlows()
         if (id != inlet_)
             airOrder_.push_back(id);
     }
+
+    planDirty_ = true;
 }
 
 int
 ThermalGraph::substepsFor(double dt_seconds) const
 {
+    if (!planDirty_ && dt_seconds == planDt_)
+        return planSubsteps_;
+
     // Explicit Euler on a solid node is stable when
     // dt * (sum of incident k) / (m c) < 1; we target <= 0.25 for
     // accuracy. Air vertices are updated algebraically and do not
@@ -186,7 +282,7 @@ ThermalGraph::substepsFor(double dt_seconds) const
         double capacity = 0.0;
         if (node.kind == NodeKind::Component) {
             capacity = node.mass * node.specificHeat;
-        } else if (node.kind == NodeKind::Air && node.massFlow <= 0.0) {
+        } else if (node.kind == NodeKind::Air && massFlow_[id] <= 0.0) {
             capacity = node.mass > 0.0 && node.specificHeat > 0.0
                            ? node.mass * node.specificHeat
                            : kStagnantAirHeatCapacity;
@@ -194,15 +290,22 @@ ThermalGraph::substepsFor(double dt_seconds) const
             continue;
         }
         double k_sum = 0.0;
-        for (size_t edge_idx : incidentHeat_[id])
-            k_sum += heatEdges_[edge_idx].k;
+        for (uint32_t slot = heatOffsets_[id]; slot < heatOffsets_[id + 1];
+             ++slot)
+            k_sum += heatCsrK_[slot];
         if (capacity > 0.0)
             worst_rate = std::max(worst_rate, k_sum / capacity);
     }
-    if (worst_rate <= 0.0)
-        return 1;
-    double max_dt = 0.25 / worst_rate;
-    return std::max(1, static_cast<int>(std::ceil(dt_seconds / max_dt)));
+    int substeps = 1;
+    if (worst_rate > 0.0) {
+        double max_dt = 0.25 / worst_rate;
+        substeps =
+            std::max(1, static_cast<int>(std::ceil(dt_seconds / max_dt)));
+    }
+    planDirty_ = false;
+    planDt_ = dt_seconds;
+    planSubsteps_ = substeps;
+    return substeps;
 }
 
 void
@@ -219,35 +322,35 @@ ThermalGraph::step(double dt_seconds)
 void
 ThermalGraph::substep(double dt)
 {
-    // 1. Heat generated by each powered component (eq. 3-4).
-    for (Node &node : nodes_) {
-        node.heatGain = 0.0;
-        if (node.powerModel) {
-            double watts = node.powerModel->power(node.utilization);
-            node.heatGain += watts * dt;
-            energyConsumed_ += watts * dt;
-        }
+    const double *temperature = temperature_.data();
+    double *heat_gain = heatGain_.data();
+
+    // 1. Heat generated by each powered component (eq. 3-4), using the
+    // power draw cached at the last utilization/model change.
+    std::fill(heatGain_.begin(), heatGain_.end(), 0.0);
+    double energy = 0.0;
+    for (NodeId id : poweredIds_) {
+        double joules = watts_[id] * dt;
+        heat_gain[id] = joules;
+        energy += joules;
     }
+    energyConsumed_ += energy;
 
     // 2. Heat transferred along every heat edge (eq. 2), using the
     // temperatures at the start of the substep.
     for (const HeatEdge &edge : heatEdges_) {
-        double q = edge.k *
-                   (nodes_[edge.a].temperature - nodes_[edge.b].temperature) *
-                   dt;
-        nodes_[edge.a].heatGain -= q;
-        nodes_[edge.b].heatGain += q;
+        double q = edge.k * (temperature[edge.a] - temperature[edge.b]) * dt;
+        heat_gain[edge.a] -= q;
+        heat_gain[edge.b] += q;
     }
 
     // 3. Solid temperature update (eq. 5).
-    for (Node &node : nodes_) {
-        if (node.kind != NodeKind::Component)
-            continue;
-        if (node.pin) {
-            node.temperature = *node.pin;
+    for (NodeId id : solidIds_) {
+        if (pinned_[id]) {
+            temperature_[id] = pinValue_[id];
             continue;
         }
-        node.temperature += node.heatGain / (node.mass * node.specificHeat);
+        temperature_[id] += heat_gain[id] * invCapacity_[id];
     }
 
     // 4. Air traversal: march downstream from the inlet. Each vertex
@@ -258,66 +361,54 @@ ThermalGraph::substep(double dt)
     // exceeds the stream's heat-capacity rate, and identical to the
     // explicit form at steady state.
     for (NodeId id : airOrder_) {
-        Node &node = nodes_[id];
-        if (node.pin) {
-            node.temperature = *node.pin;
+        if (pinned_[id]) {
+            temperature_[id] = pinValue_[id];
             continue;
         }
-        double flow_in = 0.0;
-        double mix = 0.0;
-        for (size_t edge_idx : incomingAir_[id]) {
-            const AirEdge &edge = airEdges_[edge_idx];
-            double contribution = edge.fraction * nodes_[edge.from].massFlow;
-            flow_in += contribution;
-            mix += contribution * nodes_[edge.from].temperature;
-        }
+        double flow_in = flowIn_[id];
         if (flow_in > 1e-12) {
+            double mix = 0.0;
+            for (uint32_t slot = airInOffsets_[id];
+                 slot < airInOffsets_[id + 1]; ++slot) {
+                mix += airInWeight_[slot] * temperature_[airInFrom_[slot]];
+            }
             double capacity_rate = flow_in * units::kAirSpecificHeat;
             double numer = mix * units::kAirSpecificHeat;
             double denom = capacity_rate;
-            for (size_t edge_idx : incidentHeat_[id]) {
-                const HeatEdge &edge = heatEdges_[edge_idx];
-                NodeId other = edge.a == id ? edge.b : edge.a;
-                numer += edge.k * nodes_[other].temperature;
-                denom += edge.k;
+            for (uint32_t slot = heatOffsets_[id];
+                 slot < heatOffsets_[id + 1]; ++slot) {
+                numer += heatCsrK_[slot] * temperature_[heatCsrOther_[slot]];
+                denom += heatCsrK_[slot];
             }
-            if (node.powerModel)
-                numer += node.powerModel->power(node.utilization);
-            node.temperature = numer / denom;
+            numer += watts_[id];
+            temperature_[id] = numer / denom;
         } else {
             // Stagnant air: integrate like a small thermal mass.
-            double capacity = node.mass > 0.0 && node.specificHeat > 0.0
-                                  ? node.mass * node.specificHeat
-                                  : kStagnantAirHeatCapacity;
-            node.temperature += node.heatGain / capacity;
+            temperature_[id] += heat_gain[id] * invStagnant_[id];
         }
     }
 
     // Pinned inlet handled by setInletTemperature / pinTemperature.
-    if (nodes_[inlet_].pin)
-        nodes_[inlet_].temperature = *nodes_[inlet_].pin;
+    if (pinned_[inlet_])
+        temperature_[inlet_] = pinValue_[inlet_];
 }
 
 double
 ThermalGraph::temperature(NodeId id) const
 {
-    return nodes_.at(id).temperature;
+    return temperature_.at(id);
 }
 
 double
 ThermalGraph::temperature(const std::string &node_name) const
 {
-    return nodes_[requireNode(node_name)].temperature;
+    return temperature_[requireNode(node_name)];
 }
 
 std::vector<double>
 ThermalGraph::temperatures() const
 {
-    std::vector<double> out;
-    out.reserve(nodes_.size());
-    for (const Node &node : nodes_)
-        out.push_back(node.temperature);
-    return out;
+    return temperature_;
 }
 
 void
@@ -327,20 +418,22 @@ ThermalGraph::setTemperatures(const std::vector<double> &values)
         MERCURY_PANIC("setTemperatures: got ", values.size(),
                       " values for ", nodes_.size(), " nodes");
     }
-    for (size_t i = 0; i < nodes_.size(); ++i)
-        nodes_[i].temperature = values[i];
+    temperature_ = values;
 }
 
 double
 ThermalGraph::exhaustTemperature() const
 {
-    return nodes_[exhaust_].temperature;
+    return temperature_[exhaust_];
 }
 
 double
 ThermalGraph::massFlow(NodeId id) const
 {
-    return nodes_.at(id).massFlow;
+    if (id >= nodes_.size())
+        MERCURY_PANIC("machine '", name_, "': node id ", id,
+                      " out of range");
+    return massFlow_[id];
 }
 
 double
@@ -350,22 +443,24 @@ ThermalGraph::utilization(const std::string &node_name) const
 }
 
 double
+ThermalGraph::utilization(NodeId id) const
+{
+    return nodes_.at(id).utilization;
+}
+
+double
 ThermalGraph::power(const std::string &node_name) const
 {
-    const Node &node = nodes_[requireNode(node_name)];
-    if (!node.powerModel)
-        return 0.0;
-    return node.powerModel->power(node.utilization);
+    NodeId id = requireNode(node_name);
+    return watts_[id];
 }
 
 double
 ThermalGraph::totalPower() const
 {
     double sum = 0.0;
-    for (const Node &node : nodes_) {
-        if (node.powerModel)
-            sum += node.powerModel->power(node.utilization);
-    }
+    for (NodeId id : poweredIds_)
+        sum += watts_[id];
     return sum;
 }
 
@@ -382,45 +477,67 @@ ThermalGraph::poweredNode(const std::string &node_name)
 void
 ThermalGraph::setUtilization(const std::string &node_name, double value)
 {
-    poweredNode(node_name).utilization = std::clamp(value, 0.0, 1.0);
+    NodeId id = requireNode(node_name);
+    if (!nodes_[id].powerModel)
+        MERCURY_PANIC("machine '", name_, "': node '", node_name,
+                      "' has no power model");
+    setUtilization(id, value);
+}
+
+void
+ThermalGraph::setUtilization(NodeId id, double value)
+{
+    Node &node = nodes_.at(id);
+    if (!node.powerModel)
+        MERCURY_PANIC("machine '", name_, "': node '", node.name,
+                      "' has no power model");
+    node.utilization = std::clamp(value, 0.0, 1.0);
+    refreshWatts(id);
+}
+
+bool
+ThermalGraph::isPowered(NodeId id) const
+{
+    return nodes_.at(id).powerModel != nullptr;
 }
 
 void
 ThermalGraph::setInletTemperature(double celsius)
 {
-    nodes_[inlet_].temperature = celsius;
+    temperature_[inlet_] = celsius;
 }
 
 double
 ThermalGraph::inletTemperature() const
 {
-    return nodes_[inlet_].temperature;
+    return temperature_[inlet_];
 }
 
 void
 ThermalGraph::setTemperature(const std::string &node_name, double celsius)
 {
-    nodes_[requireNode(node_name)].temperature = celsius;
+    temperature_[requireNode(node_name)] = celsius;
 }
 
 void
 ThermalGraph::pinTemperature(const std::string &node_name, double celsius)
 {
-    Node &node = nodes_[requireNode(node_name)];
-    node.pin = celsius;
-    node.temperature = celsius;
+    NodeId id = requireNode(node_name);
+    pinned_[id] = 1;
+    pinValue_[id] = celsius;
+    temperature_[id] = celsius;
 }
 
 void
 ThermalGraph::unpinTemperature(const std::string &node_name)
 {
-    nodes_[requireNode(node_name)].pin.reset();
+    pinned_[requireNode(node_name)] = 0;
 }
 
 bool
 ThermalGraph::isPinned(const std::string &node_name) const
 {
-    return nodes_[requireNode(node_name)].pin.has_value();
+    return pinned_[requireNode(node_name)] != 0;
 }
 
 void
@@ -434,6 +551,8 @@ ThermalGraph::setHeatK(const std::string &a, const std::string &b, double k)
         if ((edge.a == na && edge.b == nb) ||
             (edge.a == nb && edge.b == na)) {
             edge.k = k;
+            syncHeatCsrK();
+            planDirty_ = true;
             return;
         }
     }
@@ -523,6 +642,7 @@ void
 ThermalGraph::setPowerRange(const std::string &node_name, double p_min,
                             double p_max)
 {
+    NodeId id = requireNode(node_name);
     Node &node = poweredNode(node_name);
     auto *linear = dynamic_cast<LinearPowerModel *>(node.powerModel.get());
     if (linear) {
@@ -530,6 +650,7 @@ ThermalGraph::setPowerRange(const std::string &node_name, double p_min,
     } else {
         node.powerModel = std::make_unique<LinearPowerModel>(p_min, p_max);
     }
+    refreshWatts(id);
 }
 
 void
@@ -538,7 +659,14 @@ ThermalGraph::setPowerModel(const std::string &node_name,
 {
     if (!model)
         MERCURY_PANIC("setPowerModel: null model");
-    nodes_[requireNode(node_name)].powerModel = std::move(model);
+    NodeId id = requireNode(node_name);
+    bool was_powered = nodes_[id].powerModel != nullptr;
+    nodes_[id].powerModel = std::move(model);
+    if (!was_powered) {
+        poweredIds_.push_back(id);
+        std::sort(poweredIds_.begin(), poweredIds_.end());
+    }
+    refreshWatts(id);
 }
 
 } // namespace core

@@ -13,11 +13,21 @@
  *
  * A time step is automatically split into explicit-Euler substeps when
  * the stiffest solid node would otherwise be unstable.
+ *
+ * Hot state (temperatures, heat gains, mass flows, pins) lives in
+ * dense structure-of-arrays storage and the adjacency is flattened
+ * into CSR offset+index arrays, so a substep is a handful of linear
+ * scans with no per-call heap traffic. Derived quantities that only
+ * change on explicit mutation — per-node power draw, inverse heat
+ * capacities, the substep count — are cached and recomputed on the
+ * mutating calls (setUtilization, setHeatK, setFanCfm, ...), not once
+ * per step.
  */
 
 #ifndef MERCURY_CORE_THERMAL_GRAPH_HH
 #define MERCURY_CORE_THERMAL_GRAPH_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -84,6 +94,7 @@ class ThermalGraph
 
     /** Current utilization of a powered node in [0, 1]. */
     double utilization(const std::string &node_name) const;
+    double utilization(NodeId id) const;
 
     /** Instantaneous power draw of a node [W] (0 when unpowered). */
     double power(const std::string &node_name) const;
@@ -100,6 +111,16 @@ class ThermalGraph
 
     /** Set a powered node's utilization (clamped to [0, 1]). */
     void setUtilization(const std::string &node_name, double value);
+
+    /**
+     * Fast path for resolved handles (monitord updates arrive every
+     * second per component; this skips the name lookup). Panics when
+     * the node is unpowered, like the string overload.
+     */
+    void setUtilization(NodeId id, double value);
+
+    /** True when the node id carries a power model. */
+    bool isPowered(NodeId id) const;
 
     /** Inlet boundary temperature [degC]. */
     void setInletTemperature(double celsius);
@@ -143,18 +164,15 @@ class ThermalGraph
     /// @}
 
   private:
+    /** Cold per-node data; hot state lives in the dense arrays below. */
     struct Node
     {
         std::string name;
         NodeKind kind;
         double mass = 0.0;          // kg (solids; fallback air mass)
         double specificHeat = 0.0;  // J/(kg K)
-        double temperature = 0.0;   // degC
         double utilization = 0.0;   // [0, 1]
         std::unique_ptr<PowerModel> powerModel; // null if unpowered
-        std::optional<double> pin;  // pinned temperature
-        double massFlow = 0.0;      // kg/s through this air vertex
-        double heatGain = 0.0;      // scratch: J accumulated this substep
     };
 
     struct HeatEdge
@@ -177,6 +195,12 @@ class ThermalGraph
     /** Recompute per-vertex mass flows and the air topological order. */
     void recomputeFlows();
 
+    /** Refresh the flattened copy of the heat-edge constants. */
+    void syncHeatCsrK();
+
+    /** Refresh cached power draw after a utilization/model change. */
+    void refreshWatts(NodeId id);
+
     /** One explicit-Euler substep of @p dt seconds. */
     void substep(double dt);
 
@@ -190,14 +214,57 @@ class ThermalGraph
     NodeId exhaust_ = 0;
     double fanCfm_ = 0.0;
 
+    /** @name Dense per-node state (indexed by NodeId) */
+    /// @{
+    std::vector<double> temperature_;  //!< degC
+    std::vector<double> heatGain_;     //!< scratch: J this substep
+    std::vector<double> massFlow_;     //!< kg/s through air vertices
+    std::vector<double> watts_;        //!< cached P(utilization)
+    std::vector<double> invCapacity_;  //!< 1/(m c) for solids, else 0
+    std::vector<double> invStagnant_;  //!< 1/capacity for stagnant air
+    std::vector<uint8_t> pinned_;      //!< bool: temperature held
+    std::vector<double> pinValue_;     //!< pinned temperature [degC]
+    /// @}
+
+    /** Powered node ids, ascending (drives heat generation). */
+    std::vector<NodeId> poweredIds_;
+
+    /** Component node ids, ascending (drives the solid update). */
+    std::vector<NodeId> solidIds_;
+
     /** Air vertices in upstream-to-downstream order (excludes inlet). */
     std::vector<NodeId> airOrder_;
 
-    /** Incoming air edges per node, resolved once. */
-    std::vector<std::vector<size_t>> incomingAir_;
+    /** @name CSR adjacency
+     * heatCsr*: heat edges incident to each node. For row i the
+     * entries are [heatOffsets_[i], heatOffsets_[i+1]); heatCsrK_ and
+     * heatCsrOther_ mirror the edge constant and the opposite
+     * endpoint so the air traversal never touches heatEdges_.
+     * airIn*: incoming air edges per node; airInWeight_ caches
+     * fraction * massFlow(from), refreshed by recomputeFlows().
+     */
+    /// @{
+    std::vector<uint32_t> heatOffsets_;
+    std::vector<uint32_t> heatCsrEdge_;  //!< index into heatEdges_
+    std::vector<uint32_t> heatCsrOther_; //!< opposite endpoint
+    std::vector<double> heatCsrK_;       //!< mirrored edge constant
 
-    /** Heat edges incident to each node (indices into heatEdges_). */
-    std::vector<std::vector<size_t>> incidentHeat_;
+    std::vector<uint32_t> airInOffsets_;
+    std::vector<uint32_t> airInFrom_;  //!< upstream vertex
+    std::vector<double> airInWeight_;  //!< fraction * massFlow(from)
+    std::vector<double> flowIn_;       //!< total inflow per node [kg/s]
+    /// @}
+
+    /** @name Substep-plan cache
+     * substepsFor() depends only on the edge constants, the mass
+     * flows and dt; mutators flag it dirty instead of every step()
+     * re-deriving the stability bound.
+     */
+    /// @{
+    mutable bool planDirty_ = true;
+    mutable double planDt_ = 0.0;
+    mutable int planSubsteps_ = 1;
+    /// @}
 
     double energyConsumed_ = 0.0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "core/solver.hh"
 #include "util/csv.hh"
@@ -152,6 +153,36 @@ TraceRunner::run(double duration_seconds)
     if (duration_seconds < 0.0)
         duration_seconds = trace_.duration();
 
+    // Resolve recorded components and trace targets to solver handles
+    // once, instead of walking the string -> alias -> NodeId map chain
+    // for every sample and every recorded series each iteration.
+    // Unresolvable names fall back to the string path so its panics
+    // (unknown machine / component) are unchanged.
+    std::vector<std::optional<Solver::NodeRef>> recorded_refs;
+    recorded_refs.reserve(recorded_.size());
+    for (const auto &[machine, component] : recorded_)
+        recorded_refs.push_back(solver_.tryResolveRef(machine, component));
+
+    std::unordered_map<std::string, std::optional<Solver::NodeRef>>
+        sample_refs;
+    auto apply = [&](const UtilizationSample &sample) {
+        std::string key = sample.machine + "." + sample.component;
+        auto it = sample_refs.find(key);
+        if (it == sample_refs.end()) {
+            it = sample_refs
+                     .emplace(std::move(key),
+                              solver_.tryResolveRef(sample.machine,
+                                                    sample.component))
+                     .first;
+        }
+        if (it->second) {
+            solver_.setUtilization(*it->second, sample.utilization);
+        } else {
+            solver_.setUtilization(sample.machine, sample.component,
+                                   sample.utilization);
+        }
+    };
+
     const auto &samples = trace_.samples();
     size_t next = 0;
     double start = solver_.emulatedSeconds();
@@ -160,17 +191,18 @@ TraceRunner::run(double duration_seconds)
         // Apply every sample whose timestamp has passed.
         while (next < samples.size() &&
                samples[next].time <= elapsed + 1e-9) {
-            const UtilizationSample &sample = samples[next];
-            solver_.setUtilization(sample.machine, sample.component,
-                                   sample.utilization);
+            apply(samples[next]);
             ++next;
         }
         solver_.iterate();
         elapsed = solver_.emulatedSeconds() - start;
         for (size_t i = 0; i < recorded_.size(); ++i) {
-            series_[i].add(elapsed,
-                           solver_.temperature(recorded_[i].first,
-                                               recorded_[i].second));
+            double value =
+                recorded_refs[i]
+                    ? solver_.temperature(*recorded_refs[i])
+                    : solver_.temperature(recorded_[i].first,
+                                          recorded_[i].second);
+            series_[i].add(elapsed, value);
         }
     }
 }

@@ -39,13 +39,25 @@ SolverService::handle(const Message &message)
     return std::nullopt;
 }
 
+std::optional<core::Solver::NodeRef>
+SolverService::resolveCached(const std::string &machine,
+                             const std::string &component)
+{
+    std::string key = machine + "." + component;
+    auto hit = resolved_.find(key);
+    if (hit != resolved_.end())
+        return hit->second;
+    auto ref = solver_.tryResolveRef(machine, component);
+    if (ref)
+        resolved_.emplace(std::move(key), *ref);
+    return ref;
+}
+
 Packet
 SolverService::onUtilization(const UtilizationUpdate &msg)
 {
-    auto node = solver_.hasMachine(msg.machine)
-                    ? solver_.tryResolveNode(msg.machine, msg.component)
-                    : std::nullopt;
-    if (!node || !solver_.machine(msg.machine).isPowered(*node)) {
+    auto ref = resolveCached(msg.machine, msg.component);
+    if (!ref || !solver_.isPowered(*ref)) {
         ++updatesRejected_;
         std::string key = msg.machine + "." + msg.component;
         if (warnedTargets_.insert(key).second) {
@@ -54,7 +66,7 @@ SolverService::onUtilization(const UtilizationUpdate &msg)
         }
         return Packet{};
     }
-    solver_.machine(msg.machine).setUtilization(*node, msg.utilization);
+    solver_.setUtilization(*ref, msg.utilization);
     ++updatesApplied_;
     return Packet{};
 }
@@ -68,13 +80,13 @@ SolverService::onSensorRequest(const SensorRequest &msg)
         reply.status = Status::UnknownMachine;
         return encode(reply);
     }
-    auto node = solver_.tryResolveNode(msg.machine, msg.component);
-    if (!node) {
+    auto ref = resolveCached(msg.machine, msg.component);
+    if (!ref) {
         reply.status = Status::UnknownComponent;
         return encode(reply);
     }
     reply.status = Status::Ok;
-    reply.temperature = solver_.machine(msg.machine).temperature(*node);
+    reply.temperature = solver_.temperature(*ref);
     ++sensorReads_;
     return encode(reply);
 }

@@ -13,14 +13,12 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 
+#include "core/solver.hh"
 #include "proto/messages.hh"
 
 namespace mercury {
-
-namespace core {
-class Solver;
-} // namespace core
 
 namespace proto {
 
@@ -57,7 +55,20 @@ class SolverService
     Packet onSensorRequest(const SensorRequest &msg);
     Packet onFiddleRequest(const FiddleRequest &msg);
 
+    /**
+     * Resolve machine.component to a solver handle, consulting the
+     * positive cache first. monitord re-sends the same handful of
+     * targets every second; caching skips the string -> alias ->
+     * NodeId map chain on all but the first update. Failures are not
+     * cached (an alias registered later may make them resolvable).
+     */
+    std::optional<core::Solver::NodeRef>
+    resolveCached(const std::string &machine, const std::string &component);
+
     core::Solver &solver_;
+
+    /** Positive resolution cache, keyed machine + '.' + component. */
+    std::unordered_map<std::string, core::Solver::NodeRef> resolved_;
 
     /** Unmapped update targets already warned about. A machine whose
      *  graph has no NIC node, say, produces a "net" update every

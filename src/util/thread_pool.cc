@@ -1,0 +1,91 @@
+#include "util/thread_pool.hh"
+
+namespace mercury {
+
+ThreadPool::ThreadPool(size_t worker_count)
+{
+    workers_.reserve(worker_count);
+    for (size_t i = 0; i < worker_count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobFn_ = &fn;
+        jobCount_ = count;
+        jobNext_.store(0, std::memory_order_relaxed);
+        busyWorkers_ = workers_.size();
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller drains indices alongside the workers.
+    for (;;) {
+        size_t index = jobNext_.fetch_add(1, std::memory_order_relaxed);
+        if (index >= count)
+            break;
+        fn(index);
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return busyWorkers_ == 0; });
+    jobFn_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stopping_ || generation_ != seen_generation;
+            });
+            if (stopping_)
+                return;
+            seen_generation = generation_;
+            fn = jobFn_;
+            count = jobCount_;
+        }
+
+        for (;;) {
+            size_t index = jobNext_.fetch_add(1, std::memory_order_relaxed);
+            if (index >= count)
+                break;
+            (*fn)(index);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --busyWorkers_;
+        }
+        done_.notify_one();
+    }
+}
+
+} // namespace mercury

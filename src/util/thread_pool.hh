@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A persistent worker pool for data-parallel fan-out. The solver uses
+ * it to step independent machine models concurrently: one pool lives
+ * for the lifetime of the Solver, so iterating does not pay thread
+ * creation cost (the paper's ~100 us/iteration budget leaves no room
+ * for a per-iteration std::thread spawn).
+ *
+ * parallelFor() dispatches indices [0, count) to the workers through a
+ * shared atomic cursor, and the calling thread participates, so a pool
+ * of N threads applies N+1 executors. Work items must be independent;
+ * completion of parallelFor() is a full barrier (all writes made by
+ * the workers happen-before it returns).
+ */
+
+#ifndef MERCURY_UTIL_THREAD_POOL_HH
+#define MERCURY_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mercury {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p worker_count persistent workers. Zero is allowed and
+     * makes parallelFor() run inline on the caller (handy for forcing
+     * the serial path without sprinkling if-statements at call sites).
+     */
+    explicit ThreadPool(size_t worker_count);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Joins all workers; outstanding parallelFor calls must be done. */
+    ~ThreadPool();
+
+    /** Number of worker threads (excluding the calling thread). */
+    size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Run fn(i) for every i in [0, count), spread across the workers
+     * and the calling thread; blocks until every index completed.
+     * Not reentrant: do not call parallelFor from inside fn.
+     */
+    void parallelFor(size_t count, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    uint64_t generation_ = 0; //!< bumped once per parallelFor call
+    size_t busyWorkers_ = 0;  //!< workers still inside the current job
+    bool stopping_ = false;
+
+    // Current job; valid while busyWorkers_ > 0.
+    const std::function<void(size_t)> *jobFn_ = nullptr;
+    size_t jobCount_ = 0;
+    std::atomic<size_t> jobNext_{0};
+};
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_THREAD_POOL_HH

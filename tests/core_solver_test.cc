@@ -35,6 +35,62 @@ TEST(Solver, CustomIterationPeriod)
     EXPECT_DOUBLE_EQ(solver.emulatedSeconds(), 10.0);
 }
 
+TEST(Solver, RunFloorsPartialIterations)
+{
+    // run() executes floor(seconds / iterationSeconds) whole
+    // iterations. The old lround() rounded to nearest, so run(10.6)
+    // silently did one iteration more than run(10.4).
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    solver.run(10.4);
+    EXPECT_EQ(solver.iterations(), 10u);
+    solver.run(10.6);
+    EXPECT_EQ(solver.iterations(), 20u);
+    solver.run(0.9); // less than one iteration: nothing happens
+    EXPECT_EQ(solver.iterations(), 20u);
+}
+
+TEST(Solver, RunKeepsExactMultiplesDespiteFloatDivision)
+{
+    SolverConfig config;
+    config.iterationSeconds = 0.1; // 3.0 / 0.1 != 30 in pure floor
+    Solver solver(config);
+    solver.addMachine(table1Server("m1"));
+    solver.run(3.0);
+    EXPECT_EQ(solver.iterations(), 30u);
+}
+
+TEST(Solver, ResolvedHandleFastPath)
+{
+    Solver solver;
+    solver.addMachine(table1Server("alpha"));
+    solver.addMachine(table1Server("beta"));
+
+    Solver::NodeRef cpu = solver.resolveRef("beta", "cpu");
+    Solver::NodeRef disk = solver.resolveRef("beta", "disk"); // alias
+    EXPECT_TRUE(solver.isPowered(cpu));
+
+    solver.setUtilization(cpu, 0.8);
+    EXPECT_DOUBLE_EQ(solver.machine("beta").utilization("cpu"), 0.8);
+    EXPECT_DOUBLE_EQ(solver.temperature(disk),
+                     solver.temperature("beta", "disk_platters"));
+
+    EXPECT_FALSE(solver.tryResolveRef("gamma", "cpu").has_value());
+    EXPECT_FALSE(solver.tryResolveRef("alpha", "warp_core").has_value());
+    EXPECT_DEATH(solver.resolveRef("alpha", "warp_core"),
+                 "no component");
+}
+
+TEST(Solver, HandleAndStringPathsAgreeAfterStepping)
+{
+    Solver solver;
+    solver.addMachine(table1Server("m1"));
+    Solver::NodeRef cpu = solver.resolveRef("m1", "cpu");
+    solver.setUtilization(cpu, 1.0);
+    solver.run(500.0);
+    EXPECT_EQ(solver.temperature(cpu), solver.temperature("m1", "cpu"));
+}
+
 TEST(Solver, DiskAliasResolvesToPlatters)
 {
     Solver solver;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/thermal_graph.hh"
@@ -60,6 +61,52 @@ tinyMachine(double power_w, double k, double fan_cfm, double mass = 0.1,
     spec.airEdges.push_back({"inlet", "air", 1.0});
     spec.airEdges.push_back({"air", "exhaust", 1.0});
     return spec;
+}
+
+TEST(ThermalGraph, RejectsInletLessSpec)
+{
+    // Without this guard inlet_ would default to node 0 and the
+    // constructor would silently clobber that node's initial
+    // temperature with spec.inletTemperature.
+    MachineSpec spec = tinyMachine(10.0, 1.0, 38.6);
+    spec.nodes.erase(
+        std::remove_if(spec.nodes.begin(), spec.nodes.end(),
+                       [](const NodeSpec &ns) {
+                           return ns.kind == NodeKind::Inlet;
+                       }),
+        spec.nodes.end());
+    std::vector<std::string> problems = validate(spec);
+    bool mentions_inlet = false;
+    for (const std::string &problem : problems)
+        mentions_inlet |= problem.find("inlet") != std::string::npos;
+    EXPECT_TRUE(mentions_inlet);
+    EXPECT_DEATH(ThermalGraph{spec}, "inlet");
+}
+
+TEST(ThermalGraph, RejectsExhaustLessSpec)
+{
+    MachineSpec spec = tinyMachine(10.0, 1.0, 38.6);
+    spec.nodes.erase(
+        std::remove_if(spec.nodes.begin(), spec.nodes.end(),
+                       [](const NodeSpec &ns) {
+                           return ns.kind == NodeKind::Exhaust;
+                       }),
+        spec.nodes.end());
+    EXPECT_DEATH(ThermalGraph{spec}, "exhaust");
+}
+
+TEST(ThermalGraph, SubstepPlanTracksHeatEdgeChanges)
+{
+    // substepsFor() is cached between mutations; stiffening an edge
+    // must invalidate the plan, not keep serving the stale count.
+    MachineSpec spec = tinyMachine(10.0, 1.0, 38.6);
+    ThermalGraph graph(spec);
+    int relaxed = graph.substepsFor(1.0);
+    graph.setHeatK("comp", "air", 200.0);
+    int stiff = graph.substepsFor(1.0);
+    EXPECT_GT(stiff, relaxed);
+    graph.setHeatK("comp", "air", 1.0);
+    EXPECT_EQ(graph.substepsFor(1.0), relaxed);
 }
 
 TEST(ThermalGraph, AnalyticSteadyState)

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Determinism contract of the parallel stepping engine: within one
+ * iteration machines only couple through the room model (a separate
+ * serial phase), so fanning machine step() calls across the worker
+ * pool must produce bitwise-identical temperatures to the serial
+ * path, for any thread count. Also a ThreadSanitizer target: the CI
+ * TSan job runs this binary to prove the fan-out really is race-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/solver.hh"
+
+namespace mercury {
+namespace core {
+namespace {
+
+/** Step a table1 cluster for `iterations`, varying load, and return
+ *  every node temperature of every machine plus energy counters. */
+std::vector<double>
+runCluster(unsigned threads, int machines, int iterations)
+{
+    SolverConfig config;
+    config.threads = threads;
+    Solver solver(config);
+
+    std::vector<std::string> names;
+    for (int i = 0; i < machines; ++i)
+        names.push_back("m" + std::to_string(i + 1));
+    for (const std::string &name : names)
+        solver.addMachine(table1Server(name));
+    solver.setRoom(table1Room(names, 18.0));
+
+    std::vector<Solver::NodeRef> cpus;
+    for (const std::string &name : names)
+        cpus.push_back(solver.resolveRef(name, "cpu"));
+
+    for (int it = 0; it < iterations; ++it) {
+        // Deterministic, machine-dependent load pattern so the
+        // machines do not evolve in lock-step.
+        for (size_t m = 0; m < cpus.size(); ++m) {
+            double util = 0.5 + 0.5 * (((it + static_cast<int>(m)) % 10) /
+                                       10.0);
+            solver.setUtilization(cpus[m], util);
+        }
+        solver.iterate();
+    }
+
+    std::vector<double> out;
+    for (const std::string &name : names) {
+        const ThermalGraph &graph = solver.machine(name);
+        std::vector<double> temps = graph.temperatures();
+        out.insert(out.end(), temps.begin(), temps.end());
+        out.push_back(graph.energyConsumed());
+    }
+    return out;
+}
+
+TEST(ParallelSolver, SerialAndParallelAreBitwiseIdentical)
+{
+    const int kMachines = 8;
+    const int kIterations = 10000;
+    std::vector<double> serial = runCluster(1, kMachines, kIterations);
+    std::vector<double> parallel = runCluster(4, kMachines, kIterations);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    // Bitwise, not approximate: compare the raw representations.
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(double)),
+              0);
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "index " << i;
+}
+
+TEST(ParallelSolver, OversubscribedPoolMatchesToo)
+{
+    // More executors than machines: workers go idle, results hold.
+    std::vector<double> serial = runCluster(1, 3, 500);
+    std::vector<double> wide = runCluster(16, 3, 500);
+    ASSERT_EQ(serial.size(), wide.size());
+    EXPECT_EQ(std::memcmp(serial.data(), wide.data(),
+                          serial.size() * sizeof(double)),
+              0);
+}
+
+TEST(ParallelSolver, AutoThreadCountMatchesSerial)
+{
+    // threads = 0 resolves to hardware_concurrency; whatever that is
+    // on the host, the temperatures must not change.
+    std::vector<double> serial = runCluster(1, 4, 1000);
+    std::vector<double> automatic = runCluster(0, 4, 1000);
+    ASSERT_EQ(serial.size(), automatic.size());
+    EXPECT_EQ(std::memcmp(serial.data(), automatic.data(),
+                          serial.size() * sizeof(double)),
+              0);
+}
+
+} // namespace
+} // namespace core
+} // namespace mercury
