@@ -41,6 +41,9 @@ main(int argc, char **argv)
     flags.defineInt("port", 8367, "UDP port to listen on");
     flags.defineDouble("iteration-seconds", 1.0,
                        "emulated/wall seconds per solver iteration");
+    flags.defineDouble("stats-log-seconds", 60.0,
+                       "seconds between packet-health log lines "
+                       "(needs --verbose; 0 disables)");
     flags.defineInt("threads", 0,
                     "machine-stepping executors (0 = all hardware "
                     "threads, 1 = serial)");
@@ -70,6 +73,7 @@ main(int argc, char **argv)
     proto::SolverDaemon::Config daemon_config;
     daemon_config.port = static_cast<uint16_t>(flags.getInt("port"));
     daemon_config.iterationSeconds = flags.getDouble("iteration-seconds");
+    daemon_config.statsLogSeconds = flags.getDouble("stats-log-seconds");
     proto::SolverDaemon daemon(solver, daemon_config);
 
     runningDaemon = &daemon;
@@ -82,5 +86,7 @@ main(int argc, char **argv)
     inform("mercury_solverd: ", daemon.service().updatesApplied(),
            " updates, ", daemon.service().sensorReads(), " sensor reads, ",
            daemon.service().fiddlesApplied(), " fiddles");
+    inform("mercury_solverd: packet health: ",
+           daemon.service().statsLine());
     return 0;
 }

@@ -52,5 +52,44 @@ Monitord::serviceSink(proto::SolverService &service)
     };
 }
 
+Monitord::Sink
+Monitord::faultySink(Sink inner,
+                     std::shared_ptr<net::FaultInjector> injector)
+{
+    if (!inner)
+        MERCURY_PANIC("Monitord::faultySink: null inner sink");
+    if (!injector)
+        MERCURY_PANIC("Monitord::faultySink: null injector");
+    // A reordered update is held back (with its duplicate count) and
+    // released once a later update has overtaken it.
+    struct Held
+    {
+        proto::UtilizationUpdate update;
+        int copies = 1;
+    };
+    auto held = std::make_shared<std::optional<Held>>();
+    auto release = [inner, held] {
+        if (!*held)
+            return;
+        for (int copy = 0; copy < (*held)->copies; ++copy)
+            inner((*held)->update);
+        held->reset();
+    };
+    return [inner, injector, held,
+            release](const proto::UtilizationUpdate &u) {
+        net::FaultPlan plan = injector->plan();
+        if (plan.drop)
+            return;
+        if (plan.reordered) {
+            release(); // the previous hold has now been overtaken
+            *held = Held{u, plan.copies};
+            return;
+        }
+        for (int copy = 0; copy < plan.copies; ++copy)
+            inner(u);
+        release();
+    };
+}
+
 } // namespace monitor
 } // namespace mercury

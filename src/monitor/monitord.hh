@@ -17,6 +17,7 @@
 #include <string>
 
 #include "monitor/source.hh"
+#include "net/faults.hh"
 #include "net/udp.hh"
 #include "proto/messages.hh"
 
@@ -57,6 +58,15 @@ class Monitord
 
     /** Sink that feeds a SolverService directly (same packet bytes). */
     static Sink serviceSink(proto::SolverService &service);
+
+    /**
+     * Wrap any sink in seeded fault injection: updates are dropped,
+     * duplicated, or reordered (held back one delivery) per the
+     * injector's plans. The injector is shared so tests can compare
+     * its exact counters against the solver's detected loss.
+     */
+    static Sink faultySink(Sink inner,
+                           std::shared_ptr<net::FaultInjector> injector);
 
   private:
     std::string machine_;

@@ -1,0 +1,36 @@
+#include "net/channel.hh"
+
+#include <chrono>
+
+namespace mercury {
+namespace net {
+
+UdpClientChannel::UdpClientChannel(Endpoint server)
+    : server_(server)
+{
+    socket_.bind(0);
+}
+
+bool
+UdpClientChannel::send(const void *data, size_t length)
+{
+    return socket_.sendTo(server_, data, length);
+}
+
+std::optional<size_t>
+UdpClientChannel::recv(void *buffer, size_t capacity,
+                       double timeout_seconds)
+{
+    return socket_.recvFrom(buffer, capacity, nullptr, timeout_seconds);
+}
+
+double
+UdpClientChannel::now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace net
+} // namespace mercury

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Client-side datagram channel abstraction.
+ *
+ * The sensor transport's retry/deadline loop is transport-agnostic: it
+ * needs "send one datagram", "wait up to T seconds for one datagram"
+ * and a monotonic clock. ClientChannel captures exactly that, so the
+ * same hardened loop runs over real UDP (UdpClientChannel) and over
+ * the deterministic fault-injecting channel (net/faults.hh) that the
+ * robustness tests drive with a virtual clock.
+ */
+
+#ifndef MERCURY_NET_CHANNEL_HH
+#define MERCURY_NET_CHANNEL_HH
+
+#include <cstddef>
+#include <optional>
+
+#include "net/udp.hh"
+
+namespace mercury {
+namespace net {
+
+/**
+ * One client's view of a request/reply datagram channel.
+ */
+class ClientChannel
+{
+  public:
+    virtual ~ClientChannel() = default;
+
+    /** Send one datagram toward the server. False on local error. */
+    virtual bool send(const void *data, size_t length) = 0;
+
+    /**
+     * Wait up to @p timeout_seconds for one datagram. Returns the byte
+     * count, or nullopt on timeout.
+     */
+    virtual std::optional<size_t> recv(void *buffer, size_t capacity,
+                                       double timeout_seconds) = 0;
+
+    /**
+     * Monotonic seconds. Real channels report wall time; fault-model
+     * channels report virtual time, so deadline tests cost nothing.
+     */
+    virtual double now() = 0;
+};
+
+/**
+ * Real UDP channel: an ephemeral-port socket aimed at one server.
+ */
+class UdpClientChannel final : public ClientChannel
+{
+  public:
+    explicit UdpClientChannel(Endpoint server);
+
+    bool send(const void *data, size_t length) override;
+    std::optional<size_t> recv(void *buffer, size_t capacity,
+                               double timeout_seconds) override;
+    double now() override;
+
+  private:
+    UdpSocket socket_;
+    Endpoint server_;
+};
+
+} // namespace net
+} // namespace mercury
+
+#endif // MERCURY_NET_CHANNEL_HH

@@ -1,0 +1,157 @@
+#include "net/faults.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mercury {
+namespace net {
+
+FaultInjector::FaultInjector(const FaultSpec &spec)
+    : spec_(spec), rng_(spec.seed)
+{
+}
+
+FaultPlan
+FaultInjector::plan()
+{
+    ++counters_.datagrams;
+    FaultPlan plan;
+    if (rng_.chance(spec_.dropProbability)) {
+        plan.drop = true;
+        ++counters_.dropped;
+        return plan;
+    }
+    if (rng_.chance(spec_.duplicateProbability)) {
+        plan.copies = 2;
+        ++counters_.duplicated;
+    }
+    if (rng_.chance(spec_.reorderProbability)) {
+        plan.reordered = true;
+        plan.delaySeconds += spec_.reorderDelaySeconds;
+        ++counters_.reordered;
+    } else if (rng_.chance(spec_.delayProbability)) {
+        plan.delaySeconds +=
+            rng_.uniform(spec_.delayMinSeconds, spec_.delayMaxSeconds);
+        ++counters_.delayed;
+    }
+    return plan;
+}
+
+FaultySocket::FaultySocket(UdpSocket &inner, const FaultSpec &spec)
+    : inner_(inner), injector_(spec)
+{
+}
+
+bool
+FaultySocket::sendTo(const Endpoint &to, const void *data, size_t length)
+{
+    FaultPlan plan = injector_.plan();
+    if (plan.drop)
+        return true; // vanished in flight: a successful send, to the app
+    if (plan.reordered) {
+        // Hold this one; an earlier hold is released first (it has now
+        // been overtaken by at least one datagram).
+        flush();
+        const uint8_t *bytes = static_cast<const uint8_t *>(data);
+        held_ = Held{to, std::vector<uint8_t>(bytes, bytes + length),
+                     plan.copies};
+        return true;
+    }
+    bool ok = true;
+    for (int copy = 0; copy < plan.copies; ++copy)
+        ok = inner_.sendTo(to, data, length) && ok;
+    flush();
+    return ok;
+}
+
+std::optional<size_t>
+FaultySocket::recvFrom(void *buffer, size_t capacity, Endpoint *from,
+                       double timeout_seconds)
+{
+    return inner_.recvFrom(buffer, capacity, from, timeout_seconds);
+}
+
+void
+FaultySocket::flush()
+{
+    if (!held_)
+        return;
+    for (int copy = 0; copy < held_->copies; ++copy)
+        inner_.sendTo(held_->to, held_->data.data(), held_->data.size());
+    held_.reset();
+}
+
+FaultyChannel::FaultyChannel(Handler handler,
+                             const FaultSpec &request_faults,
+                             const FaultSpec &reply_faults,
+                             double latency_seconds)
+    : handler_(std::move(handler)), requestFaults_(request_faults),
+      replyFaults_(reply_faults), latency_(latency_seconds)
+{
+}
+
+void
+FaultyChannel::enqueue(double time, bool to_server, Datagram payload)
+{
+    Event event{time, to_server, nextEventId_++, std::move(payload)};
+    auto pos = std::upper_bound(
+        events_.begin(), events_.end(), event,
+        [](const Event &a, const Event &b) {
+            return a.time != b.time ? a.time < b.time : a.id < b.id;
+        });
+    events_.insert(pos, std::move(event));
+}
+
+std::optional<FaultyChannel::Event>
+FaultyChannel::popDueBy(double limit)
+{
+    if (events_.empty() || events_.front().time > limit)
+        return std::nullopt;
+    Event event = std::move(events_.front());
+    events_.pop_front();
+    return event;
+}
+
+bool
+FaultyChannel::send(const void *data, size_t length)
+{
+    FaultPlan plan = requestFaults_.plan();
+    if (plan.drop)
+        return true; // at-most-once UDP: the sender never learns
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    Datagram payload(bytes, bytes + length);
+    double arrival = clock_ + latency_ / 2.0 + plan.delaySeconds;
+    for (int copy = 0; copy < plan.copies; ++copy)
+        enqueue(arrival, true, payload);
+    return true;
+}
+
+std::optional<size_t>
+FaultyChannel::recv(void *buffer, size_t capacity, double timeout_seconds)
+{
+    double deadline = clock_ + std::max(timeout_seconds, 0.0);
+    while (auto event = popDueBy(deadline)) {
+        clock_ = std::max(clock_, event->time);
+        if (event->toServer) {
+            auto reply =
+                handler_(event->payload.data(), event->payload.size());
+            if (!reply)
+                continue;
+            FaultPlan plan = replyFaults_.plan();
+            if (plan.drop)
+                continue;
+            double arrival = clock_ + latency_ / 2.0 + plan.delaySeconds;
+            for (int copy = 0; copy < plan.copies; ++copy)
+                enqueue(arrival, false, *reply);
+            continue;
+        }
+        size_t got = std::min(event->payload.size(), capacity);
+        std::memcpy(buffer, event->payload.data(), got);
+        return got;
+    }
+    clock_ = deadline;
+    return std::nullopt;
+}
+
+} // namespace net
+} // namespace mercury

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Deterministic network-fault injection for the UDP control plane.
+ *
+ * Mercury's monitord updates, readsensor() round trips and fiddle
+ * commands are all 128-byte at-most-once UDP datagrams. This header
+ * provides the machinery to prove they survive a hostile network:
+ *
+ *  - FaultSpec / FaultInjector: seeded per-datagram decisions (drop,
+ *    duplicate, reorder, delay) with exact counters, so a test can
+ *    compare detected loss against injected loss.
+ *  - FaultySocket: wraps a real UdpSocket and applies faults on the
+ *    send side — for end-to-end daemon tests over loopback.
+ *  - FaultyChannel: a fully in-process ClientChannel with a *virtual*
+ *    clock. Requests and replies travel through fault-planned delivery
+ *    queues and a server callback; timeouts, retries and stale replies
+ *    all happen in simulated time, so a 10k-round-trip loss test runs
+ *    in milliseconds.
+ *
+ * Everything is seeded through util/random.hh: identical seeds yield
+ * identical fault schedules, keeping the robustness tests repeatable.
+ */
+
+#ifndef MERCURY_NET_FAULTS_HH
+#define MERCURY_NET_FAULTS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/udp.hh"
+#include "util/random.hh"
+
+namespace mercury {
+namespace net {
+
+/** Fault probabilities and shapes for one direction of a link. */
+struct FaultSpec
+{
+    double dropProbability = 0.0;      //!< datagram vanishes
+    double duplicateProbability = 0.0; //!< datagram delivered twice
+    double reorderProbability = 0.0;   //!< held back past later traffic
+    double reorderDelaySeconds = 0.02; //!< how late a reordered one is
+    double delayProbability = 0.0;     //!< extra in-flight latency
+    double delayMinSeconds = 0.0;
+    double delayMaxSeconds = 0.0;
+    uint64_t seed = 0x6d657263;        //!< PRNG seed ('merc')
+};
+
+/** What happens to one datagram. */
+struct FaultPlan
+{
+    bool drop = false;
+    int copies = 1;              //!< delivered copies when not dropped
+    double delaySeconds = 0.0;   //!< extra latency (reorder or delay)
+    bool reordered = false;
+};
+
+/**
+ * Seeded per-datagram fault decisions with exact counters.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSpec &spec);
+
+    /** Decide the fate of the next datagram (deterministic). */
+    FaultPlan plan();
+
+    struct Counters
+    {
+        uint64_t datagrams = 0;  //!< plans issued
+        uint64_t dropped = 0;
+        uint64_t duplicated = 0; //!< extra copies created
+        uint64_t reordered = 0;
+        uint64_t delayed = 0;
+    };
+
+    const Counters &counters() const { return counters_; }
+    const FaultSpec &spec() const { return spec_; }
+
+  private:
+    FaultSpec spec_;
+    Rng rng_;
+    Counters counters_;
+};
+
+/**
+ * Send-side fault wrapper over a real UdpSocket (borrowed). Drops and
+ * duplicates sends; reordering holds one datagram back and releases it
+ * after the next delivered send. Receives pass through untouched —
+ * faults on one side of a loopback link exercise both peers.
+ */
+class FaultySocket
+{
+  public:
+    FaultySocket(UdpSocket &inner, const FaultSpec &spec);
+
+    bool sendTo(const Endpoint &to, const void *data, size_t length);
+    std::optional<size_t> recvFrom(void *buffer, size_t capacity,
+                                   Endpoint *from, double timeout_seconds);
+
+    /** Release a held (reordered) datagram, if any. */
+    void flush();
+
+    const FaultInjector &injector() const { return injector_; }
+
+  private:
+    struct Held
+    {
+        Endpoint to;
+        std::vector<uint8_t> data;
+        int copies = 1;
+    };
+
+    UdpSocket &inner_;
+    FaultInjector injector_;
+    std::optional<Held> held_;
+};
+
+/**
+ * In-process request/reply channel with independent fault injection on
+ * each direction and a virtual clock.
+ *
+ * send() schedules the request for delivery to @p handler; recv()
+ * advances virtual time, runs due deliveries through the handler, and
+ * returns the first client-bound datagram inside the timeout. Replies
+ * delayed past a caller's deadline stay queued and surface on later
+ * recv() calls — exactly the stale-reply hazard the hardened transport
+ * has to drain.
+ */
+class FaultyChannel final : public ClientChannel
+{
+  public:
+    using Datagram = std::vector<uint8_t>;
+
+    /** Server logic: consumes a request, optionally returns a reply. */
+    using Handler =
+        std::function<std::optional<Datagram>(const uint8_t *, size_t)>;
+
+    FaultyChannel(Handler handler, const FaultSpec &request_faults,
+                  const FaultSpec &reply_faults,
+                  double latency_seconds = 0.0002);
+
+    bool send(const void *data, size_t length) override;
+    std::optional<size_t> recv(void *buffer, size_t capacity,
+                               double timeout_seconds) override;
+    double now() override { return clock_; }
+
+    const FaultInjector &requestInjector() const { return requestFaults_; }
+    const FaultInjector &replyInjector() const { return replyFaults_; }
+
+  private:
+    struct Event
+    {
+        double time = 0.0;
+        bool toServer = false;
+        uint64_t id = 0; //!< tie-break so equal times stay FIFO
+        Datagram payload;
+    };
+
+    void enqueue(double time, bool to_server, Datagram payload);
+    /** Pop the earliest event at or before @p limit. */
+    std::optional<Event> popDueBy(double limit);
+
+    Handler handler_;
+    FaultInjector requestFaults_;
+    FaultInjector replyFaults_;
+    double latency_;
+    double clock_ = 0.0;
+    uint64_t nextEventId_ = 0;
+    std::deque<Event> events_; //!< kept sorted by (time, id)
+};
+
+} // namespace net
+} // namespace mercury
+
+#endif // MERCURY_NET_FAULTS_HH

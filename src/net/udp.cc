@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -111,40 +112,76 @@ UdpSocket::sendTo(const Endpoint &to, const void *data, size_t length)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = to.address;
     addr.sin_port = htons(to.port);
-    ssize_t sent = ::sendto(fd_, data, length, 0,
-                            reinterpret_cast<sockaddr *>(&addr),
-                            sizeof(addr));
+    ssize_t sent;
+    do {
+        sent = ::sendto(fd_, data, length, 0,
+                        reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr));
+    } while (sent < 0 && errno == EINTR);
     if (sent < 0) {
         warn("sendto(", to.toString(), "): ", std::strerror(errno));
         return false;
     }
-    return static_cast<size_t>(sent) == length;
+    if (static_cast<size_t>(sent) != length) {
+        warn("sendto(", to.toString(), "): short send, ", sent, " of ",
+             length, " bytes");
+        return false;
+    }
+    return true;
 }
 
 std::optional<size_t>
 UdpSocket::recvFrom(void *buffer, size_t capacity, Endpoint *from,
                     double timeout_seconds)
 {
-    pollfd pfd{fd_, POLLIN, 0};
-    int timeout_ms = timeout_seconds < 0
-                         ? -1
-                         : static_cast<int>(std::ceil(timeout_seconds *
-                                                      1000.0));
-    int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready <= 0)
-        return std::nullopt;
+    using Clock = std::chrono::steady_clock;
+    const bool bounded = timeout_seconds >= 0;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               bounded ? timeout_seconds : 0.0));
 
-    sockaddr_in addr{};
-    socklen_t len = sizeof(addr);
-    ssize_t got = ::recvfrom(fd_, buffer, capacity, 0,
-                             reinterpret_cast<sockaddr *>(&addr), &len);
-    if (got < 0)
-        return std::nullopt;
-    if (from) {
-        from->address = addr.sin_addr.s_addr;
-        from->port = ntohs(addr.sin_port);
+    // A signal interrupting poll()/recvfrom() is not packet loss:
+    // retry with whatever remains of the timeout budget.
+    for (;;) {
+        int timeout_ms = -1;
+        if (bounded) {
+            double remaining =
+                std::chrono::duration<double>(deadline - Clock::now())
+                    .count();
+            timeout_ms = remaining <= 0.0
+                             ? 0
+                             : static_cast<int>(
+                                   std::ceil(remaining * 1000.0));
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (ready == 0)
+            return std::nullopt; // genuine timeout
+
+        sockaddr_in addr{};
+        socklen_t len = sizeof(addr);
+        ssize_t got = ::recvfrom(fd_, buffer, capacity, 0,
+                                 reinterpret_cast<sockaddr *>(&addr),
+                                 &len);
+        if (got < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK) {
+                continue;
+            }
+            return std::nullopt;
+        }
+        if (from) {
+            from->address = addr.sin_addr.s_addr;
+            from->port = ntohs(addr.sin_port);
+        }
+        return static_cast<size_t>(got);
     }
-    return static_cast<size_t>(got);
 }
 
 } // namespace net

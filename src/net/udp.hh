@@ -55,7 +55,8 @@ class UdpSocket
     /**
      * Wait up to @p timeout_seconds for a datagram. Returns the byte
      * count, or nullopt on timeout/error. @p from (optional) receives
-     * the sender's endpoint.
+     * the sender's endpoint. Signal interruptions (EINTR) are retried
+     * with the remaining timeout — a signal never looks like loss.
      */
     std::optional<size_t> recvFrom(void *buffer, size_t capacity,
                                    Endpoint *from, double timeout_seconds);

@@ -295,6 +295,41 @@ decode(const Packet &packet)
     }
 }
 
+std::optional<uint32_t>
+requestId(const Message &message)
+{
+    if (const auto *msg = std::get_if<SensorRequest>(&message))
+        return msg->requestId;
+    if (const auto *msg = std::get_if<SensorReply>(&message))
+        return msg->requestId;
+    if (const auto *msg = std::get_if<FiddleRequest>(&message))
+        return msg->requestId;
+    if (const auto *msg = std::get_if<FiddleReply>(&message))
+        return msg->requestId;
+    return std::nullopt;
+}
+
+std::optional<uint32_t>
+peekRequestId(const Packet &packet)
+{
+    Reader reader(packet);
+    if (reader.u32() != kMagic)
+        return std::nullopt;
+    if (reader.u8() != kVersion)
+        return std::nullopt;
+    uint8_t type = reader.u8();
+    reader.u16(); // reserved
+    switch (static_cast<MessageType>(type)) {
+      case MessageType::SensorRequest:
+      case MessageType::SensorReply:
+      case MessageType::FiddleRequest:
+      case MessageType::FiddleReply:
+        return reader.u32();
+      default:
+        return std::nullopt;
+    }
+}
+
 std::optional<Message>
 decode(const uint8_t *data, size_t length)
 {

@@ -117,6 +117,20 @@ std::optional<Message> decode(const Packet &packet);
 /** Decode from a raw buffer of @p length bytes. */
 std::optional<Message> decode(const uint8_t *data, size_t length);
 
+/**
+ * The requestId carried by a decoded message; nullopt for one-way
+ * messages (UtilizationUpdate), which have none.
+ */
+std::optional<uint32_t> requestId(const Message &message);
+
+/**
+ * Read the requestId straight off an encoded packet without a full
+ * decode: validates the header and returns the id for the four
+ * request/reply types. The hardened transport uses this to know which
+ * id a round trip is waiting for.
+ */
+std::optional<uint32_t> peekRequestId(const Packet &packet);
+
 } // namespace proto
 } // namespace mercury
 

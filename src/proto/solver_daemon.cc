@@ -31,7 +31,18 @@ SolverDaemon::run()
             stepping ? config_.iterationSeconds : 0.1));
     auto next_iteration = Clock::now() + period;
 
+    const bool stats_logging = config_.statsLogSeconds > 0.0;
+    auto stats_period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(
+            stats_logging ? config_.statsLogSeconds : 1.0));
+    auto next_stats = Clock::now() + stats_period;
+
     while (!stop_.load(std::memory_order_relaxed)) {
+        if (stats_logging && Clock::now() >= next_stats) {
+            inform("solverd: ", service_.statsLine());
+            next_stats = Clock::now() + stats_period;
+        }
+
         double timeout = 0.05;
         if (stepping) {
             auto now = Clock::now();

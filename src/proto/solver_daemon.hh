@@ -42,6 +42,10 @@ class SolverDaemon
          *  disables time-stepping (useful in tests that step the
          *  solver themselves). */
         double iterationSeconds = 1.0;
+
+        /** Wall-clock seconds between packet-health log lines
+         *  (service().statsLine(), at info level); <= 0 disables. */
+        double statsLogSeconds = 60.0;
     };
 
     SolverDaemon(core::Solver &solver, Config config);

@@ -3,6 +3,7 @@
 #include "core/solver.hh"
 #include "fiddle/command.hh"
 #include "util/logging.hh"
+#include "util/strings.hh"
 
 namespace mercury {
 namespace proto {
@@ -26,6 +27,11 @@ SolverService::handlePacket(const uint8_t *data, size_t length)
 std::optional<Packet>
 SolverService::handle(const Message &message)
 {
+    // variant index 0 is UtilizationUpdate == MessageType 1, etc.
+    size_t type = message.index() + 1;
+    if (type < receivedByType_.size())
+        ++receivedByType_[type];
+
     if (const auto *update = std::get_if<UtilizationUpdate>(&message)) {
         onUtilization(*update);
         return std::nullopt; // one-way, like the paper's monitord
@@ -53,9 +59,93 @@ SolverService::resolveCached(const std::string &machine,
     return ref;
 }
 
+void
+SolverService::SenderState::note(uint64_t sequence)
+{
+    ++received;
+    if (!started) {
+        started = true;
+        head = sequence;
+        window = 1;
+        return;
+    }
+    if (sequence > head) {
+        uint64_t advance = sequence - head;
+        lost += advance - 1; // provisional: late arrivals un-count
+        window = advance >= 64 ? 0 : window << advance;
+        window |= 1;
+        head = sequence;
+        return;
+    }
+    uint64_t back = head - sequence;
+    if (back >= 64) {
+        // Too old to say whether it was counted lost; call it a
+        // reorder and leave the loss count alone.
+        ++reordered;
+        return;
+    }
+    uint64_t bit = uint64_t{1} << back;
+    if (window & bit) {
+        ++duplicates;
+    } else {
+        window |= bit;
+        ++reordered;
+        if (lost > 0)
+            --lost;
+    }
+}
+
+void
+SolverService::noteSequence(const std::string &machine, uint64_t sequence)
+{
+    senders_[machine].note(sequence);
+}
+
+SolverService::LossStats
+SolverService::lossStats() const
+{
+    LossStats stats;
+    stats.senders = senders_.size();
+    for (const auto &[machine, state] : senders_) {
+        (void)machine;
+        stats.received += state.received;
+        stats.lost += state.lost;
+        stats.duplicates += state.duplicates;
+        stats.reordered += state.reordered;
+    }
+    return stats;
+}
+
+uint64_t
+SolverService::received(MessageType type) const
+{
+    size_t index = static_cast<size_t>(type);
+    return index < receivedByType_.size() ? receivedByType_[index] : 0;
+}
+
+std::string
+SolverService::statsLine() const
+{
+    LossStats loss = lossStats();
+    return format("up=%llu rej=%llu lost=%llu dup=%llu ro=%llu rd=%llu "
+                  "fid=%llu bad=%llu",
+                  static_cast<unsigned long long>(updatesApplied_),
+                  static_cast<unsigned long long>(updatesRejected_),
+                  static_cast<unsigned long long>(loss.lost),
+                  static_cast<unsigned long long>(loss.duplicates),
+                  static_cast<unsigned long long>(loss.reordered),
+                  static_cast<unsigned long long>(sensorReads_),
+                  static_cast<unsigned long long>(fiddlesApplied_),
+                  static_cast<unsigned long long>(undecodable_));
+}
+
 Packet
 SolverService::onUtilization(const UtilizationUpdate &msg)
 {
+    // Sequence accounting is transport health: track it even when the
+    // target cannot be resolved, so loss numbers stay truthful.
+    noteSequence(msg.machine, msg.sequence);
+
     auto ref = resolveCached(msg.machine, msg.component);
     if (!ref || !solver_.isPowered(*ref)) {
         ++updatesRejected_;
@@ -96,6 +186,16 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
 {
     FiddleReply reply;
     reply.requestId = msg.requestId;
+
+    // `fiddle stats` is answered here, not by the command language:
+    // the counters live in the service, not the solver.
+    std::string line = trim(msg.commandLine);
+    if (line == "stats" || line == "fiddle stats") {
+        reply.status = Status::Ok;
+        reply.message = statsLine().substr(0, 110);
+        return encode(reply);
+    }
+
     fiddle::FiddleResult result =
         fiddle::applyLine(solver_, msg.commandLine);
     reply.status = result.ok ? Status::Ok : Status::BadCommand;

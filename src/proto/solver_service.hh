@@ -9,6 +9,7 @@
 #ifndef MERCURY_PROTO_SOLVER_SERVICE_HH
 #define MERCURY_PROTO_SOLVER_SERVICE_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -48,12 +49,59 @@ class SolverService
     uint64_t sensorReads() const { return sensorReads_; }
     uint64_t fiddlesApplied() const { return fiddlesApplied_; }
     uint64_t undecodable() const { return undecodable_; }
+
+    /** Decoded messages received of one type. */
+    uint64_t received(MessageType type) const;
     /// @}
+
+    /**
+     * Aggregate packet-loss health, summed over all senders. Updates
+     * carry a per-sender sequence number; gaps are detected loss, late
+     * gap-fillers are reorders, window re-hits are duplicates.
+     */
+    struct LossStats
+    {
+        uint64_t received = 0;   //!< UtilizationUpdates seen
+        uint64_t lost = 0;       //!< sequence gaps still unfilled
+        uint64_t duplicates = 0; //!< same sequence seen twice
+        uint64_t reordered = 0;  //!< arrived late (or before tracking)
+        uint64_t senders = 0;    //!< distinct machines tracked
+    };
+
+    LossStats lossStats() const;
+
+    /**
+     * One-line counter summary, compact enough for a FiddleReply
+     * (the `fiddle stats` command) and the daemon's periodic log.
+     */
+    std::string statsLine() const;
 
   private:
     Packet onUtilization(const UtilizationUpdate &msg);
     Packet onSensorRequest(const SensorRequest &msg);
     Packet onFiddleRequest(const FiddleRequest &msg);
+
+    /**
+     * Per-sender sequence-gap tracker: highest sequence seen plus a
+     * 64-wide seen-bitmap below it (bit 0 = head). A forward jump
+     * counts the skipped slots as lost; a late arrival inside the
+     * window fills its slot, counts as a reorder and un-counts one
+     * loss; a re-hit inside the window is a duplicate.
+     */
+    struct SenderState
+    {
+        bool started = false;
+        uint64_t head = 0;
+        uint64_t window = 0;
+        uint64_t received = 0;
+        uint64_t lost = 0;
+        uint64_t duplicates = 0;
+        uint64_t reordered = 0;
+
+        void note(uint64_t sequence);
+    };
+
+    void noteSequence(const std::string &machine, uint64_t sequence);
 
     /**
      * Resolve machine.component to a solver handle, consulting the
@@ -74,6 +122,12 @@ class SolverService
      *  graph has no NIC node, say, produces a "net" update every
      *  second in /proc mode; warn once, not once per second. */
     std::set<std::string> warnedTargets_;
+
+    /** Sequence accounting per sending machine (one monitord each). */
+    std::unordered_map<std::string, SenderState> senders_;
+
+    /** Decoded receives indexed by raw MessageType (1..5; 0 unused). */
+    std::array<uint64_t, 6> receivedByType_{};
 
     uint64_t updatesApplied_ = 0;
     uint64_t updatesRejected_ = 0;

@@ -1,44 +1,162 @@
 #include "sensor/transport.hh"
 
+#include <algorithm>
+
 #include "proto/solver_service.hh"
 #include "util/logging.hh"
 
 namespace mercury {
 namespace sensor {
 
-UdpTransport::UdpTransport(const std::string &host, uint16_t port,
-                           double timeout_seconds, int retries)
-    : timeoutSeconds_(timeout_seconds), retries_(retries)
+ChannelTransport::ChannelTransport(std::unique_ptr<net::ClientChannel> channel)
+    : ChannelTransport(std::move(channel), Options())
 {
-    auto address = net::resolveHost(host);
-    if (!address) {
-        warn("sensor: cannot resolve solver host '", host, "'");
-        return;
-    }
-    server_.address = *address;
-    server_.port = port;
-    socket_.bind(0);
-    valid_ = true;
+}
+
+ChannelTransport::ChannelTransport(std::unique_ptr<net::ClientChannel> channel,
+                                   Options options)
+    : channel_(std::move(channel)), options_(options)
+{
+}
+
+ChannelTransport::ChannelTransport(Options options)
+    : options_(options)
+{
+}
+
+void
+ChannelTransport::setChannel(std::unique_ptr<net::ClientChannel> channel)
+{
+    channel_ = std::move(channel);
 }
 
 std::optional<proto::Message>
-UdpTransport::roundTrip(const proto::Packet &request)
+ChannelTransport::roundTrip(const proto::Packet &request)
 {
-    if (!valid_)
+    if (!ensureChannel())
         return std::nullopt;
-    for (int attempt = 0; attempt <= retries_; ++attempt) {
-        if (!socket_.sendTo(server_, request.data(), request.size()))
+    ++stats_.roundTrips;
+
+    // One-way messages carry no id; replies are then matched by
+    // decodability alone (nothing round-trips them today).
+    std::optional<uint32_t> expected = proto::peekRequestId(request);
+
+    const double deadline = channel_->now() + options_.deadlineSeconds;
+    for (int attempt = 0; attempt < options_.maxAttempts; ++attempt) {
+        if (channel_->now() >= deadline)
+            break;
+        if (attempt > 0)
+            ++stats_.retries;
+        if (!channel_->send(request.data(), request.size())) {
+            ++stats_.sendFailures;
             continue;
-        uint8_t buffer[proto::kMessageSize];
-        auto got = socket_.recvFrom(buffer, sizeof(buffer), nullptr,
-                                    timeoutSeconds_);
-        if (!got)
-            continue;
-        auto reply = proto::decode(buffer, *got);
-        if (reply)
+        }
+        ++stats_.attempts;
+
+        // Wait for a matching reply, draining stale and undecodable
+        // datagrams, until this attempt's slice of the budget is gone.
+        double attempt_deadline =
+            std::min(deadline,
+                     channel_->now() + options_.attemptTimeoutSeconds);
+        for (;;) {
+            double wait = attempt_deadline - channel_->now();
+            if (wait <= 0.0) {
+                ++stats_.timeouts;
+                break;
+            }
+            uint8_t buffer[proto::kMessageSize];
+            auto got = channel_->recv(buffer, sizeof(buffer), wait);
+            if (!got) {
+                ++stats_.timeouts;
+                break;
+            }
+            auto reply = proto::decode(buffer, *got);
+            if (!reply) {
+                ++stats_.decodeFailures;
+                continue;
+            }
+            if (expected) {
+                auto reply_id = proto::requestId(*reply);
+                if (!reply_id || *reply_id != *expected) {
+                    ++stats_.staleReplies;
+                    continue;
+                }
+            }
             return reply;
+        }
     }
+    ++stats_.failures;
     return std::nullopt;
+}
+
+UdpTransport::UdpTransport(const std::string &host, uint16_t port,
+                           double timeout_seconds, int retries)
+    : ChannelTransport(Options{timeout_seconds * (retries + 1),
+                               timeout_seconds, retries + 1}),
+      host_(host), port_(port)
+{
+    if (!ensureChannel()) {
+        resolveWarned_ = true;
+        warn("sensor: cannot resolve solver host '", host_,
+             "' (will retry on use)");
+    }
+}
+
+bool
+UdpTransport::ensureChannel()
+{
+    if (hasChannel())
+        return true;
+    auto address = net::resolveHost(host_);
+    if (!address)
+        return false;
+    net::Endpoint server;
+    server.address = *address;
+    server.port = port_;
+    setChannel(std::make_unique<net::UdpClientChannel>(server));
+    if (resolveWarned_)
+        inform("sensor: solver host '", host_, "' resolved on retry");
+    return true;
+}
+
+namespace {
+
+std::unique_ptr<net::FaultyChannel>
+makeServiceChannel(proto::SolverService &service,
+                   const net::FaultSpec &request_faults,
+                   const net::FaultSpec &reply_faults)
+{
+    return std::make_unique<net::FaultyChannel>(
+        [&service](const uint8_t *data, size_t length)
+            -> std::optional<net::FaultyChannel::Datagram> {
+            auto reply = service.handlePacket(data, length);
+            if (!reply)
+                return std::nullopt;
+            return net::FaultyChannel::Datagram(reply->begin(),
+                                                reply->end());
+        },
+        request_faults, reply_faults);
+}
+
+} // namespace
+
+FaultyTransport::FaultyTransport(proto::SolverService &service,
+                                 const net::FaultSpec &request_faults,
+                                 const net::FaultSpec &reply_faults)
+    : FaultyTransport(service, request_faults, reply_faults, Options())
+{
+}
+
+FaultyTransport::FaultyTransport(proto::SolverService &service,
+                                 const net::FaultSpec &request_faults,
+                                 const net::FaultSpec &reply_faults,
+                                 Options options)
+    : ChannelTransport(options)
+{
+    auto channel =
+        makeServiceChannel(service, request_faults, reply_faults);
+    channel_ = channel.get();
+    setChannel(std::move(channel));
 }
 
 LocalTransport::LocalTransport(proto::SolverService &service)

@@ -2,20 +2,32 @@
  * @file
  * Request/reply transports for the sensor library and fiddle client.
  *
- * Two implementations: real UDP against a mercury_solverd process
- * (what the paper measures at ~300 us per readsensor()), and an
+ * Three implementations: real UDP against a mercury_solverd process
+ * (what the paper measures at ~300 us per readsensor()), any
+ * net::ClientChannel via ChannelTransport (the fault-injection tests
+ * drive the identical retry loop over a virtual-time channel), and an
  * in-process shortcut straight into a SolverService (what the
- * discrete-event cluster experiments and the tests use — same message
- * bytes, no sockets).
+ * discrete-event cluster experiments use — same message bytes, no
+ * sockets).
+ *
+ * The round-trip loop is hardened against a lossy network: one
+ * deadline budget covers all attempts of a call (a retry only gets
+ * what remains, never a fresh full timeout), and replies are matched
+ * by requestId inside the loop, so stale replies left over from
+ * previous timed-out calls are drained and discarded instead of being
+ * returned as the answer.
  */
 
 #ifndef MERCURY_SENSOR_TRANSPORT_HH
 #define MERCURY_SENSOR_TRANSPORT_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "net/channel.hh"
+#include "net/faults.hh"
 #include "net/udp.hh"
 #include "proto/messages.hh"
 
@@ -26,6 +38,19 @@ class SolverService;
 } // namespace proto
 
 namespace sensor {
+
+/** Observable health of a transport's round trips. */
+struct TransportStats
+{
+    uint64_t roundTrips = 0;     //!< roundTrip() calls
+    uint64_t attempts = 0;       //!< request datagrams sent
+    uint64_t retries = 0;        //!< attempts beyond each call's first
+    uint64_t timeouts = 0;       //!< attempts that saw no usable reply
+    uint64_t staleReplies = 0;   //!< drained requestId mismatches
+    uint64_t decodeFailures = 0; //!< undecodable datagrams received
+    uint64_t sendFailures = 0;   //!< sends the OS refused
+    uint64_t failures = 0;       //!< round trips that exhausted budget
+};
 
 /**
  * Sends one encoded request packet and waits for the reply packet.
@@ -44,9 +69,54 @@ class Transport
 };
 
 /**
- * UDP transport with per-request timeout and bounded retries.
+ * The hardened retry/deadline round-trip loop over any ClientChannel.
  */
-class UdpTransport : public Transport
+class ChannelTransport : public Transport
+{
+  public:
+    struct Options
+    {
+        /** Total budget for one roundTrip() call, all attempts
+         *  included. */
+        double deadlineSeconds = 0.75;
+
+        /** How long one attempt waits before retransmitting (clamped
+         *  to the remaining deadline). */
+        double attemptTimeoutSeconds = 0.25;
+
+        /** Attempts per call (first send + retransmits). */
+        int maxAttempts = 3;
+    };
+
+    explicit ChannelTransport(std::unique_ptr<net::ClientChannel> channel);
+    ChannelTransport(std::unique_ptr<net::ClientChannel> channel,
+                     Options options);
+
+    std::optional<proto::Message>
+    roundTrip(const proto::Packet &request) override;
+
+    const TransportStats &stats() const { return stats_; }
+
+  protected:
+    /** For subclasses that install the channel lazily. */
+    explicit ChannelTransport(Options options);
+
+    void setChannel(std::unique_ptr<net::ClientChannel> channel);
+    bool hasChannel() const { return channel_ != nullptr; }
+
+  private:
+    /** Hook for lazy channel construction; default: already set? */
+    virtual bool ensureChannel() { return hasChannel(); }
+
+    std::unique_ptr<net::ClientChannel> channel_;
+    Options options_;
+    TransportStats stats_;
+};
+
+/**
+ * UDP transport with a per-call deadline budget and bounded retries.
+ */
+class UdpTransport final : public ChannelTransport
 {
   public:
     /**
@@ -54,22 +124,51 @@ class UdpTransport : public Transport
      * @param port solver UDP port
      * @param timeout_seconds per-attempt reply timeout
      * @param retries additional attempts after the first
+     *
+     * The per-call deadline budget is timeout_seconds * (retries + 1),
+     * the worst case of the old fresh-timeout-per-retry scheme.
      */
     UdpTransport(const std::string &host, uint16_t port,
                  double timeout_seconds = 0.25, int retries = 2);
 
-    /** True when the host resolved and the socket is usable. */
-    bool valid() const { return valid_; }
-
-    std::optional<proto::Message>
-    roundTrip(const proto::Packet &request) override;
+    /**
+     * True when the host has resolved and the socket is usable. A
+     * transport that failed to resolve at construction is not dead:
+     * roundTrip() re-attempts resolution on each use until it
+     * succeeds.
+     */
+    bool valid() const { return hasChannel(); }
 
   private:
-    net::UdpSocket socket_;
-    net::Endpoint server_;
-    double timeoutSeconds_;
-    int retries_;
-    bool valid_ = false;
+    bool ensureChannel() override;
+
+    std::string host_;
+    uint16_t port_;
+    bool resolveWarned_ = false;
+};
+
+/**
+ * In-process transport through a fault-injecting channel: the same
+ * hardened retry loop as UdpTransport, but every datagram crosses a
+ * seeded lossy "network" (net::FaultyChannel) into a SolverService,
+ * on a virtual clock. This is how emulation runs and tests exercise
+ * drop/duplicate/reorder/delay without sockets or wall-clock time.
+ */
+class FaultyTransport final : public ChannelTransport
+{
+  public:
+    FaultyTransport(proto::SolverService &service,
+                    const net::FaultSpec &request_faults,
+                    const net::FaultSpec &reply_faults);
+    FaultyTransport(proto::SolverService &service,
+                    const net::FaultSpec &request_faults,
+                    const net::FaultSpec &reply_faults, Options options);
+
+    /** The underlying channel (fault counters, virtual clock). */
+    net::FaultyChannel &channel() { return *channel_; }
+
+  private:
+    net::FaultyChannel *channel_; //!< owned by the base class
 };
 
 /**

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "proto/messages.hh"
+#include "util/random.hh"
 
 namespace mercury {
 namespace proto {
@@ -156,6 +159,123 @@ TEST(Messages, StatusNames)
 {
     EXPECT_STREQ(statusName(Status::Ok), "ok");
     EXPECT_STREQ(statusName(Status::BadCommand), "bad command");
+}
+
+TEST(Messages, RequestIdHelpers)
+{
+    EXPECT_EQ(peekRequestId(encode(SensorRequest{77, "m", "c"})), 77u);
+    SensorReply reply;
+    reply.requestId = 78;
+    EXPECT_EQ(peekRequestId(encode(reply)), 78u);
+    FiddleRequest fiddle_request;
+    fiddle_request.requestId = 79;
+    fiddle_request.commandLine = "m1 fan 20";
+    EXPECT_EQ(peekRequestId(encode(fiddle_request)), 79u);
+    FiddleReply fiddle_reply;
+    fiddle_reply.requestId = 80;
+    EXPECT_EQ(peekRequestId(encode(fiddle_reply)), 80u);
+
+    // One-way updates carry no id; corrupt headers yield none.
+    UtilizationUpdate update;
+    update.machine = "m";
+    update.component = "c";
+    update.sequence = 9;
+    EXPECT_FALSE(peekRequestId(encode(update)).has_value());
+    Packet bad = encode(SensorRequest{1, "m", "c"});
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(peekRequestId(bad).has_value());
+
+    auto decoded = decode(encode(SensorRequest{81, "m", "c"}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(requestId(*decoded), 81u);
+    auto one_way = decode(encode(update));
+    ASSERT_TRUE(one_way.has_value());
+    EXPECT_FALSE(requestId(*one_way).has_value());
+}
+
+TEST(HostileInput, TruncatedAndOversizedLengthsRejected)
+{
+    Packet packet = encode(SensorRequest{1, "m1", "cpu"});
+    for (size_t length : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                          size_t{63}, size_t{127}}) {
+        EXPECT_FALSE(decode(packet.data(), length).has_value())
+            << length;
+    }
+    // Oversized buffers are not trusted either: exactly 128 or bust.
+    uint8_t oversized[proto::kMessageSize + 16] = {};
+    std::memcpy(oversized, packet.data(), packet.size());
+    EXPECT_FALSE(decode(oversized, sizeof(oversized)).has_value());
+}
+
+TEST(HostileInput, FullWidthUnterminatedNamesDecodeSafely)
+{
+    // A hostile packet can fill a fixed-width name field end to end
+    // with no NUL; the decoder must clamp at the field width.
+    Packet packet = encode(SensorRequest{1, "m", "c"});
+    for (size_t i = 12; i < 12 + 64; ++i) // both 32-byte name fields
+        packet[i] = 0xc3;                 // non-UTF8 garbage
+    auto decoded = decode(packet);
+    ASSERT_TRUE(decoded.has_value());
+    const auto &request = std::get<SensorRequest>(*decoded);
+    EXPECT_EQ(request.machine.size(), 32u);
+    EXPECT_EQ(request.component.size(), 32u);
+}
+
+TEST(HostileInput, FullWidthFiddleCommandDecodesSafely)
+{
+    FiddleRequest request;
+    request.requestId = 3;
+    request.commandLine = "x";
+    Packet packet = encode(request);
+    for (size_t i = 12; i < kMessageSize; ++i)
+        packet[i] = 0xfe;
+    auto decoded = decode(packet);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<FiddleRequest>(*decoded).commandLine.size(), 116u);
+}
+
+TEST(HostileInput, ReservedHeaderBytesAreIgnored)
+{
+    Packet packet = encode(SensorRequest{5, "m1", "cpu"});
+    packet[6] = 0xab;
+    packet[7] = 0xcd;
+    auto decoded = decode(packet);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<SensorRequest>(*decoded).requestId, 5u);
+}
+
+TEST(HostileInput, SeededFuzzNeverCrashes)
+{
+    Rng rng(0xfeedface);
+
+    // Fully random packets: essentially all rejected, none may crash.
+    for (int i = 0; i < 20000; ++i) {
+        Packet packet;
+        for (auto &byte : packet)
+            byte = static_cast<uint8_t>(rng.next());
+        (void)decode(packet);
+        (void)peekRequestId(packet);
+    }
+
+    // Valid header, random type and payload: exercises every decoder
+    // branch against garbage field bytes.
+    for (int i = 0; i < 20000; ++i) {
+        Packet packet;
+        for (auto &byte : packet)
+            byte = static_cast<uint8_t>(rng.next());
+        packet[0] = 0x4d; // 'M'
+        packet[1] = 0x52; // 'R'
+        packet[2] = 0x43; // 'C'
+        packet[3] = 0x31; // '1'
+        packet[4] = kVersion;
+        packet[5] = static_cast<uint8_t>(rng.uniformInt(0, 8));
+        auto decoded = decode(packet);
+        if (decoded.has_value()) {
+            // Whatever decoded must also answer the id helpers.
+            (void)requestId(*decoded);
+            (void)peekRequestId(packet);
+        }
+    }
 }
 
 } // namespace
