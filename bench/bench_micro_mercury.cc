@@ -9,6 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "core/solver.hh"
@@ -17,7 +23,10 @@
 #include "proto/solver_service.hh"
 #include "refmodel/reference_server.hh"
 #include "sensor/client.hh"
+#include "sensor/sensor_api.hh"
 #include "sensor/transport.hh"
+#include "telemetry/reader.hh"
+#include "telemetry/writer.hh"
 
 namespace {
 
@@ -61,6 +70,8 @@ BM_SolverIterationClusterThreads(benchmark::State &state)
 {
     // The parallel stepping engine: range(0) machines stepped by
     // range(1) executors (0 = one per hardware thread, 1 = serial).
+    // Real time is the honest speedup metric for a fan-out; process
+    // CPU time rides along to show the parallelization overhead.
     int machines = static_cast<int>(state.range(0));
     core::SolverConfig config;
     config.threads = static_cast<unsigned>(state.range(1));
@@ -76,11 +87,31 @@ BM_SolverIterationClusterThreads(benchmark::State &state)
     for (auto _ : state)
         solver.iterate();
     state.SetItemsProcessed(state.iterations() * machines);
+
+    // Label what actually ran, not just the flag value: the solver
+    // fans machine stepping out over min(executors - 1, machines - 1)
+    // pool workers plus the calling thread.
+    unsigned executors = config.threads;
+    if (executors == 0) {
+        executors = std::thread::hardware_concurrency();
+        if (executors == 0)
+            executors = 1;
+    }
+    size_t workers = 0;
+    if (executors > 1 && machines > 1)
+        workers = std::min<size_t>(executors - 1,
+                                   static_cast<size_t>(machines) - 1);
+    state.SetLabel("executors=" + std::to_string(executors) +
+                   " (caller + " + std::to_string(workers) +
+                   " pool workers)");
 }
 BENCHMARK(BM_SolverIterationClusterThreads)
     ->Args({256, 1})
     ->Args({256, 2})
-    ->Args({256, 0});
+    ->Args({256, 4})
+    ->Args({256, 0})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void
 BM_MessageEncodeDecode(benchmark::State &state)
@@ -113,6 +144,73 @@ BM_ReadSensorInProcess(benchmark::State &state)
 BENCHMARK(BM_ReadSensorInProcess);
 
 void
+BM_ReadSensorShm(benchmark::State &state)
+{
+    // The zero-copy fast path: readsensor() through the shared-memory
+    // telemetry segment (registry lookup + two seqlock-guarded loads).
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    std::string shm_name =
+        "/mercury.bench." + std::to_string(::getpid());
+    telemetry::Writer writer(shm_name, solver, 1.0);
+
+    // A daemon would keep the heartbeat fresh; emulate that here so
+    // the staleness guard stays honest while the loop runs.
+    std::atomic<bool> done{false};
+    std::thread heartbeat([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            writer.publish();
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    });
+
+    ::setenv("MERCURY_SHM_NAME", shm_name.c_str(), 1);
+    proto::SolverService service(solver);
+    installLocalSolver(&service);
+    int sd = opensensor_for("local", 8367, "m1", "cpu");
+
+    readsensor(sd); // prime: attach + resolve the slot
+    if (sensorpath(sd) != MERCURY_SENSOR_PATH_SHM) {
+        state.SkipWithError("shm fast path did not engage");
+    } else {
+        for (auto _ : state) {
+            float value = readsensor(sd);
+            benchmark::DoNotOptimize(value);
+        }
+    }
+
+    closesensor(sd);
+    installLocalSolver(nullptr);
+    ::unsetenv("MERCURY_SHM_NAME");
+    done.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+    state.SetLabel("target: < 300 ns, >= 20x the UDP loopback");
+}
+BENCHMARK(BM_ReadSensorShm);
+
+void
+BM_TelemetryPublish(benchmark::State &state)
+{
+    // Writer cost per solver iteration: a seqlocked copy of every
+    // node's temperature and utilization for range(0) machines.
+    int machines = static_cast<int>(state.range(0));
+    core::Solver solver;
+    std::vector<std::string> names;
+    for (int i = 0; i < machines; ++i)
+        names.push_back("m" + std::to_string(i + 1));
+    for (const std::string &name : names)
+        solver.addMachine(core::table1Server(name));
+    std::string shm_name =
+        "/mercury.bench." + std::to_string(::getpid());
+    telemetry::Writer writer(shm_name, solver, 1.0);
+    for (auto _ : state)
+        writer.publish();
+    state.SetItemsProcessed(state.iterations() * writer.slotCount());
+    state.SetLabel("items = published slots");
+}
+BENCHMARK(BM_TelemetryPublish)->Arg(4)->Arg(64)->Arg(256);
+
+void
 BM_ReadSensorUdpLoopback(benchmark::State &state)
 {
     core::Solver solver;
@@ -138,6 +236,37 @@ BM_ReadSensorUdpLoopback(benchmark::State &state)
     state.SetLabel("paper: ~300 us (real SCSI in-disk sensor: 500 us)");
 }
 BENCHMARK(BM_ReadSensorUdpLoopback);
+
+void
+BM_ReadSensorBatchedUdp(benchmark::State &state)
+{
+    // One MultiReadRequest datagram answering both of tempd's sensors
+    // (compare per-component cost against BM_ReadSensorUdpLoopback).
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.iterationSeconds = 0.0;
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+
+    {
+        sensor::SensorClient client(
+            std::make_unique<sensor::UdpTransport>("127.0.0.1",
+                                                   daemon.port()),
+            "m1");
+        const std::vector<std::string> components{"cpu", "disk"};
+        for (auto _ : state) {
+            auto values = client.readMany(components);
+            benchmark::DoNotOptimize(values);
+        }
+        state.SetItemsProcessed(state.iterations() * components.size());
+    }
+    daemon.stop();
+    server.join();
+    state.SetLabel("items = component reads, one datagram per batch");
+}
+BENCHMARK(BM_ReadSensorBatchedUdp);
 
 void
 BM_ReferenceServerStep(benchmark::State &state)

@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Run the sensor-path microbenchmarks (shared-memory fast path,
+# in-process dispatch, UDP loopback round trip, batched UDP reads,
+# telemetry publish) and record the results as machine-readable JSON
+# at the repo root (BENCH_sensor.json). Then enforce the telemetry
+# plane's budget: a shared-memory readsensor() slower than
+# MERCURY_SHM_BUDGET_NS (default 500 ns) fails the run.
+#
+#   scripts/run_bench_sensor.sh [build-dir] [extra benchmark args...]
+#
+# Examples:
+#   scripts/run_bench_sensor.sh
+#   scripts/run_bench_sensor.sh build --benchmark_min_time=0.1
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bench="$build_dir/bench/bench_micro_mercury"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_sensor.json"
+"$bench" --benchmark_format=json --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_filter='BM_ReadSensor|BM_TelemetryPublish' "$@" >&2
+echo "$out"
+
+budget_ns=${MERCURY_SHM_BUDGET_NS:-500}
+python3 - "$out" "$budget_ns" <<'EOF'
+import json
+import sys
+
+path, budget_ns = sys.argv[1], float(sys.argv[2])
+with open(path) as handle:
+    report = json.load(handle)
+
+shm = udp = None
+for bench in report.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    name = bench["name"].split("/")[0]
+    nanos = bench["real_time"]
+    if bench.get("time_unit") == "us":
+        nanos *= 1e3
+    elif bench.get("time_unit") == "ms":
+        nanos *= 1e6
+    if name == "BM_ReadSensorShm":
+        shm = nanos
+    elif name == "BM_ReadSensorUdpLoopback":
+        udp = nanos
+
+if shm is None:
+    sys.exit("error: BM_ReadSensorShm missing from %s "
+             "(skipped or filtered out)" % path)
+
+print("shm readsensor: %.1f ns (budget %.0f ns)" % (shm, budget_ns))
+if udp is not None:
+    print("udp readsensor: %.1f ns (%.1fx slower than shm)"
+          % (udp, udp / shm))
+if shm > budget_ns:
+    sys.exit("FAIL: shared-memory readsensor took %.1f ns, "
+             "budget is %.0f ns" % (shm, budget_ns))
+print("PASS: shared-memory readsensor within budget")
+EOF

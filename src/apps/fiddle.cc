@@ -18,6 +18,7 @@
 
 #include "fiddle/script.hh"
 #include "sensor/client.hh"
+#include "sensor/sensor_api.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -52,6 +53,9 @@ main(int argc, char **argv)
     flags.defineString("script", "",
                        "replay a fiddle script (sleep lines pace in "
                        "real time)");
+    flags.defineString("read", "",
+                       "read one sensor (machine:component) through the "
+                       "sensor library and print which path answered");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -61,6 +65,32 @@ main(int argc, char **argv)
         address = env ? env : "127.0.0.1:8367";
     }
     auto [host, port] = parseSolverAddress(address);
+
+    if (!flags.getString("read").empty()) {
+        std::string spec = flags.getString("read");
+        size_t colon = spec.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= spec.size())
+            fatal("--read wants machine:component");
+        std::string machine = spec.substr(0, colon);
+        std::string component = spec.substr(colon + 1);
+        int sd = opensensor_for(host.c_str(), port, machine.c_str(),
+                                component.c_str());
+        if (sd < 0)
+            fatal("opensensor_for failed for ", spec);
+        float value = readsensor(sd);
+        int path = sensorpath(sd);
+        closesensor(sd);
+        if (value != value) {
+            std::cout << "error: read failed\n";
+            return 1;
+        }
+        std::cout << machine << ':' << component << " = " << value
+                  << " C (via "
+                  << (path == MERCURY_SENSOR_PATH_SHM ? "shm" : "udp")
+                  << ")\n";
+        return 0;
+    }
 
     sensor::SensorClient client(
         std::make_unique<sensor::UdpTransport>(host, port), "fiddle");

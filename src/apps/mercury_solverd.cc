@@ -13,6 +13,7 @@
 #include "core/solver.hh"
 #include "graphdot/parser.hh"
 #include "proto/solver_daemon.hh"
+#include "telemetry/layout.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 
@@ -47,6 +48,11 @@ main(int argc, char **argv)
     flags.defineInt("threads", 0,
                     "machine-stepping executors (0 = all hardware "
                     "threads, 1 = serial)");
+    flags.defineString("shm-name", "",
+                       "shared-memory telemetry segment name "
+                       "(default: /mercury.<port>)");
+    flags.defineBool("no-shm", false,
+                     "disable the shared-memory telemetry plane");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -74,6 +80,13 @@ main(int argc, char **argv)
     daemon_config.port = static_cast<uint16_t>(flags.getInt("port"));
     daemon_config.iterationSeconds = flags.getDouble("iteration-seconds");
     daemon_config.statsLogSeconds = flags.getDouble("stats-log-seconds");
+    if (!flags.getBool("no-shm")) {
+        std::string shm_name = flags.getString("shm-name");
+        daemon_config.shmName =
+            shm_name.empty()
+                ? telemetry::defaultShmName(daemon_config.port)
+                : telemetry::normalizeShmName(shm_name);
+    }
     proto::SolverDaemon daemon(solver, daemon_config);
 
     runningDaemon = &daemon;

@@ -146,6 +146,14 @@ Solver::iterate()
             graph->step(config_.iterationSeconds);
     }
     ++iterations_;
+    if (iterationHook_)
+        iterationHook_();
+}
+
+void
+Solver::setIterationHook(std::function<void()> hook)
+{
+    iterationHook_ = std::move(hook);
 }
 
 void
@@ -253,6 +261,12 @@ double
 Solver::temperature(NodeRef ref) const
 {
     return machines_.at(ref.machine)->temperature(NodeId{ref.node});
+}
+
+double
+Solver::utilization(NodeRef ref) const
+{
+    return machines_.at(ref.machine)->utilization(NodeId{ref.node});
 }
 
 void

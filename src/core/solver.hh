@@ -14,6 +14,7 @@
 #define MERCURY_CORE_SOLVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -112,6 +113,14 @@ class Solver
     double iterationSeconds() const { return config_.iterationSeconds; }
     double emulatedSeconds() const;
 
+    /**
+     * Install a hook that runs at the end of every iterate(), after
+     * all machines have stepped — the telemetry plane publishes its
+     * shared-memory snapshot here. One hook at a time; pass nullptr
+     * to remove. The hook runs on whichever thread called iterate().
+     */
+    void setIterationHook(std::function<void()> hook);
+
     /// @}
     /** @name Named queries (sensor interface) */
     /// @{
@@ -156,10 +165,17 @@ class Solver
                        const std::string &component) const;
 
     double temperature(NodeRef ref) const;
+    double utilization(NodeRef ref) const;
     void setUtilization(NodeRef ref, double value);
 
     /** True when the referenced node carries a power model. */
     bool isPowered(NodeRef ref) const;
+
+    /** The component alias map (telemetry publishes it to readers). */
+    const std::map<std::string, std::string> &aliases() const
+    {
+        return aliases_;
+    }
 
     /// @}
     /** @name Environment control (fiddle's entry points) */
@@ -205,6 +221,7 @@ class Solver
     std::unique_ptr<RoomModel> room_;
     std::map<std::string, std::string> aliases_;
     uint64_t iterations_ = 0;
+    std::function<void()> iterationHook_;
 
     std::unique_ptr<ThreadPool> pool_; //!< null until first parallel use
     bool poolDecided_ = false;         //!< pool_ creation attempted

@@ -108,6 +108,12 @@ runExperiment(const ExperimentConfig &config)
                 controller.onReport(report);
             },
             util));
+        if (config.batchedReads) {
+            tempds.back()->setBatchedRead(
+                [client](const std::vector<std::string> &components) {
+                    return client->readMany(components);
+                });
+        }
         tempds.back()->start();
     }
 

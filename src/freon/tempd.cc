@@ -21,6 +21,12 @@ Tempd::Tempd(sim::Simulator &simulator, std::string machine,
 }
 
 void
+Tempd::setBatchedRead(ReadManyFn read_many)
+{
+    readMany_ = std::move(read_many);
+}
+
+void
 Tempd::start()
 {
     if (started_)
@@ -38,12 +44,44 @@ Tempd::tick()
     TempdReport report;
     report.machine = machine_;
 
+    // Poll every sensor up front: one batched request when wired,
+    // otherwise a round trip per component.
+    std::vector<std::string> names;
+    names.reserve(config_.components.size());
+    for (const auto &[component, thresholds] : config_.components)
+        names.push_back(component);
+
+    std::vector<std::optional<double>> readings;
+    bool batched = false;
+    if (readMany_) {
+        readings = readMany_(names);
+        batched = readings.size() == names.size();
+        if (!batched) {
+            warn("tempd(", machine_, "): batched poll returned ",
+                 readings.size(), " of ", names.size(),
+                 " readings; using per-sensor reads");
+        }
+    }
+    if (!batched) {
+        readings.clear();
+        readings.reserve(names.size());
+        for (const std::string &component : names)
+            readings.push_back(read_(component));
+    }
+    if (!pollPathLogged_) {
+        pollPathLogged_ = true;
+        inform("tempd(", machine_, "): polling ", names.size(),
+               " sensor(s) via ",
+               batched ? "batched reads" : "per-sensor reads");
+    }
+
     bool any_hot = false;
     bool all_cool = true;
     double output = 0.0;
 
+    size_t slot = 0;
     for (const auto &[component, thresholds] : config_.components) {
-        std::optional<double> reading = read_(component);
+        std::optional<double> reading = readings[slot++];
         if (!reading) {
             warn("tempd(", machine_, "): sensor read failed for ",
                  component);

@@ -24,6 +24,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "freon/config.hh"
 #include "sim/simulator.hh"
@@ -66,6 +67,14 @@ class Tempd
     using ReadFn =
         std::function<std::optional<double>(const std::string &)>;
 
+    /**
+     * Reads several components at once (positional results). Wired to
+     * SensorClient::readMany() in the experiments so one wake-up costs
+     * one datagram instead of one per component.
+     */
+    using ReadManyFn = std::function<std::vector<std::optional<double>>(
+        const std::vector<std::string> &)>;
+
     /** Reads one component's utilization (Freon-EC); may be null. */
     using UtilFn = std::function<double(const std::string &)>;
 
@@ -75,6 +84,13 @@ class Tempd
     Tempd(sim::Simulator &simulator, std::string machine,
           FreonConfig config, ReadFn read, SendFn send,
           UtilFn utilization = nullptr);
+
+    /**
+     * Install a batched poll path, used in preference to the
+     * per-component ReadFn (which stays as the fallback when the
+     * batched read returns the wrong shape). Call before start().
+     */
+    void setBatchedRead(ReadManyFn read_many);
 
     /** Begin the periodic wake-ups. */
     void start();
@@ -92,12 +108,14 @@ class Tempd
     std::string machine_;
     FreonConfig config_;
     ReadFn read_;
+    ReadManyFn readMany_;
     SendFn send_;
     UtilFn utilization_;
 
     std::map<std::string, double> lastTemperature_;
     bool restricted_ = false;
     bool started_ = false;
+    bool pollPathLogged_ = false;
 };
 
 } // namespace freon

@@ -64,6 +64,10 @@ startTierManagement(Tier &tier, const TwoTierConfig &config,
                 return graph.utilization(
                     solver.resolveNode(name, component));
             }));
+        tier.tempds.back()->setBatchedRead(
+            [client](const std::vector<std::string> &components) {
+                return client->readMany(components);
+            });
         tier.tempds.back()->start();
     }
 }

@@ -10,6 +10,10 @@ namespace proto {
 
 namespace {
 
+constexpr size_t kNameWidth = 32;
+constexpr size_t kFiddleRequestWidth = kMessageSize - 8 - 4;  // 116
+constexpr size_t kFiddleReplyWidth = kMessageSize - 8 - 4 - 1; // 115
+
 /** Little-endian primitive writers/readers over a Packet. */
 class Writer
 {
@@ -66,6 +70,21 @@ class Writer
         check(width);
         std::memcpy(packet_.data() + pos_, value.data(), value.size());
         pos_ += width;
+    }
+
+    /** Length-prefixed string (u8 length + bytes); fatal when too
+     *  long for a wire name or the remaining packet. */
+    void
+    packedString(const std::string &value, const char *field)
+    {
+        if (value.empty() || value.size() >= kNameWidth) {
+            fatal("proto: packed field '", field, "' bad length ",
+                  value.size(), ": ", value);
+        }
+        u8(static_cast<uint8_t>(value.size()));
+        check(value.size());
+        std::memcpy(packet_.data() + pos_, value.data(), value.size());
+        pos_ += value.size();
     }
 
   private:
@@ -134,6 +153,22 @@ class Reader
         return out;
     }
 
+    /** Length-prefixed string; nullopt on a hostile length byte. */
+    std::optional<std::string>
+    packedString()
+    {
+        if (pos_ + 1 > kMessageSize)
+            return std::nullopt;
+        size_t len = u8();
+        if (len == 0 || len >= kNameWidth || pos_ + len > kMessageSize)
+            return std::nullopt;
+        std::string out(reinterpret_cast<const char *>(packet_.data() +
+                                                       pos_),
+                        len);
+        pos_ += len;
+        return out;
+    }
+
   private:
     const Packet &packet_;
     size_t pos_ = 0;
@@ -147,10 +182,6 @@ writeHeader(Writer &writer, MessageType type)
     writer.u8(static_cast<uint8_t>(type));
     writer.u16(0); // reserved
 }
-
-constexpr size_t kNameWidth = 32;
-constexpr size_t kFiddleRequestWidth = kMessageSize - 8 - 4;  // 116
-constexpr size_t kFiddleReplyWidth = kMessageSize - 8 - 4 - 1; // 115
 
 } // namespace
 
@@ -229,6 +260,59 @@ encode(const FiddleReply &msg)
     return packet;
 }
 
+bool
+multiReadFits(const std::vector<std::string> &components)
+{
+    if (components.empty() ||
+        components.size() > kMaxMultiReadComponents)
+        return false;
+    size_t packed = 0;
+    for (const std::string &component : components) {
+        if (component.empty() || component.size() >= kNameWidth)
+            return false;
+        packed += 1 + component.size();
+    }
+    return packed <= kMultiReadNameBudget;
+}
+
+Packet
+encode(const MultiReadRequest &msg)
+{
+    if (!multiReadFits(msg.components)) {
+        fatal("proto: MultiReadRequest with ", msg.components.size(),
+              " components does not fit one datagram");
+    }
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::MultiReadRequest);
+    writer.u32(msg.requestId);
+    writer.fixedString(msg.machine, kNameWidth, "machine");
+    writer.u8(static_cast<uint8_t>(msg.components.size()));
+    for (const std::string &component : msg.components)
+        writer.packedString(component, "component");
+    return packet;
+}
+
+Packet
+encode(const MultiReadReply &msg)
+{
+    if (msg.entries.size() > kMaxMultiReadComponents) {
+        fatal("proto: MultiReadReply with ", msg.entries.size(),
+              " entries does not fit one datagram");
+    }
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::MultiReadReply);
+    writer.u32(msg.requestId);
+    writer.u8(static_cast<uint8_t>(msg.status));
+    writer.u8(static_cast<uint8_t>(msg.entries.size()));
+    for (const MultiReadEntry &entry : msg.entries) {
+        writer.u8(static_cast<uint8_t>(entry.status));
+        writer.f64(entry.temperature);
+    }
+    return packet;
+}
+
 std::optional<Message>
 decode(const Packet &packet)
 {
@@ -290,6 +374,46 @@ decode(const Packet &packet)
         msg.message = reader.fixedString(kFiddleReplyWidth);
         return msg;
       }
+      case MessageType::MultiReadRequest: {
+        MultiReadRequest msg;
+        msg.requestId = reader.u32();
+        msg.machine = reader.fixedString(kNameWidth);
+        if (msg.machine.empty())
+            return std::nullopt;
+        uint8_t count = reader.u8();
+        if (count == 0 || count > kMaxMultiReadComponents)
+            return std::nullopt;
+        msg.components.reserve(count);
+        for (uint8_t i = 0; i < count; ++i) {
+            auto component = reader.packedString();
+            if (!component)
+                return std::nullopt;
+            msg.components.push_back(std::move(*component));
+        }
+        return msg;
+      }
+      case MessageType::MultiReadReply: {
+        MultiReadReply msg;
+        msg.requestId = reader.u32();
+        uint8_t status = reader.u8();
+        if (status > static_cast<uint8_t>(Status::InternalError))
+            return std::nullopt;
+        msg.status = static_cast<Status>(status);
+        uint8_t count = reader.u8();
+        if (count > kMaxMultiReadComponents)
+            return std::nullopt;
+        msg.entries.reserve(count);
+        for (uint8_t i = 0; i < count; ++i) {
+            uint8_t entry_status = reader.u8();
+            if (entry_status > static_cast<uint8_t>(Status::InternalError))
+                return std::nullopt;
+            MultiReadEntry entry;
+            entry.status = static_cast<Status>(entry_status);
+            entry.temperature = reader.f64();
+            msg.entries.push_back(entry);
+        }
+        return msg;
+      }
       default:
         return std::nullopt;
     }
@@ -305,6 +429,10 @@ requestId(const Message &message)
     if (const auto *msg = std::get_if<FiddleRequest>(&message))
         return msg->requestId;
     if (const auto *msg = std::get_if<FiddleReply>(&message))
+        return msg->requestId;
+    if (const auto *msg = std::get_if<MultiReadRequest>(&message))
+        return msg->requestId;
+    if (const auto *msg = std::get_if<MultiReadReply>(&message))
         return msg->requestId;
     return std::nullopt;
 }
@@ -324,6 +452,8 @@ peekRequestId(const Packet &packet)
       case MessageType::SensorReply:
       case MessageType::FiddleRequest:
       case MessageType::FiddleReply:
+      case MessageType::MultiReadRequest:
+      case MessageType::MultiReadReply:
         return reader.u32();
       default:
         return std::nullopt;

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <variant>
+#include <vector>
 
 namespace mercury {
 namespace proto {
@@ -41,6 +42,8 @@ enum class MessageType : uint8_t {
     SensorReply = 3,
     FiddleRequest = 4,
     FiddleReply = 5,
+    MultiReadRequest = 6,
+    MultiReadReply = 7,
 };
 
 /** Status codes carried in replies. */
@@ -95,9 +98,51 @@ struct FiddleReply
     std::string message; //!< short diagnostic, max 114 bytes
 };
 
+/**
+ * Most components a MultiReadRequest/-Reply can carry. The reply is
+ * the binding constraint: 128 - 8 (header) - 4 (id) - 1 (status) - 1
+ * (count) leaves 114 bytes, and each entry costs 1 + 8.
+ */
+inline constexpr size_t kMaxMultiReadComponents = 12;
+
+/**
+ * Byte budget for the request's packed component names (one length
+ * byte plus the bytes of each name): 128 - 8 - 4 - 32 (machine) - 1
+ * (count).
+ */
+inline constexpr size_t kMultiReadNameBudget = 83;
+
+/**
+ * sensor library -> solver: read several of one machine's sensors in
+ * a single datagram (tempd polls a whole server per wake-up; this
+ * collapses its N round trips into one).
+ */
+struct MultiReadRequest
+{
+    uint32_t requestId = 0;
+    std::string machine;
+    std::vector<std::string> components; //!< 1..kMaxMultiReadComponents
+};
+
+/** One component's answer inside a MultiReadReply. */
+struct MultiReadEntry
+{
+    Status status = Status::Ok;
+    double temperature = 0.0; //!< degC, valid when status == Ok
+};
+
+/** solver -> sensor library: per-component answers, request order. */
+struct MultiReadReply
+{
+    uint32_t requestId = 0;
+    Status status = Status::Ok; //!< machine-level status
+    std::vector<MultiReadEntry> entries; //!< empty unless status == Ok
+};
+
 /** Any decoded message. */
 using Message = std::variant<UtilizationUpdate, SensorRequest, SensorReply,
-                             FiddleRequest, FiddleReply>;
+                             FiddleRequest, FiddleReply, MultiReadRequest,
+                             MultiReadReply>;
 
 /** @name Encoding (fatal on oversized string fields) */
 /// @{
@@ -106,7 +151,17 @@ Packet encode(const SensorRequest &msg);
 Packet encode(const SensorReply &msg);
 Packet encode(const FiddleRequest &msg);
 Packet encode(const FiddleReply &msg);
+Packet encode(const MultiReadRequest &msg);
+Packet encode(const MultiReadReply &msg);
 /// @}
+
+/**
+ * True when @p components (which must each be shorter than the wire
+ * name width) fits one MultiReadRequest: at most
+ * kMaxMultiReadComponents names whose packed encoding fits
+ * kMultiReadNameBudget. Callers with more components chunk.
+ */
+bool multiReadFits(const std::vector<std::string> &components);
 
 /**
  * Decode a packet. Returns nullopt on bad magic/version/type or

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/solver.hh"
+#include "telemetry/writer.hh"
 #include "util/logging.hh"
 
 namespace mercury {
@@ -13,7 +14,21 @@ SolverDaemon::SolverDaemon(core::Solver &solver, Config config)
     : solver_(solver), config_(config), service_(solver)
 {
     socket_.bind(config_.port);
+    if (!config_.shmName.empty()) {
+        writer_ = std::make_unique<telemetry::Writer>(
+            config_.shmName, solver_, config_.iterationSeconds);
+        if (writer_->valid()) {
+            // Publish from the iteration itself (whoever steps the
+            // solver — this loop or a test thread).
+            writer_->installHook();
+            inform("solverd: telemetry segment ", config_.shmName);
+        } else {
+            writer_.reset();
+        }
+    }
 }
+
+SolverDaemon::~SolverDaemon() = default;
 
 uint16_t
 SolverDaemon::port() const
@@ -37,7 +52,18 @@ SolverDaemon::run()
             stats_logging ? config_.statsLogSeconds : 1.0));
     auto next_stats = Clock::now() + stats_period;
 
+    // The iteration hook publishes (and timestamps) on every step;
+    // refreshing just the heartbeat from the serve loop covers
+    // manual-step mode and long iteration periods, so an alive daemon
+    // never looks like a dead writer to shm readers.
+    auto heartbeat_period = std::chrono::milliseconds(500);
+    auto next_heartbeat = Clock::now() + heartbeat_period;
+
     while (!stop_.load(std::memory_order_relaxed)) {
+        if (writer_ && Clock::now() >= next_heartbeat) {
+            writer_->refreshHeartbeat();
+            next_heartbeat = Clock::now() + heartbeat_period;
+        }
         if (stats_logging && Clock::now() >= next_stats) {
             inform("solverd: ", service_.statsLine());
             next_stats = Clock::now() + stats_period;

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "net/udp.hh"
 #include "proto/solver_service.hh"
@@ -23,6 +25,10 @@ namespace mercury {
 namespace core {
 class Solver;
 } // namespace core
+
+namespace telemetry {
+class Writer;
+} // namespace telemetry
 
 namespace proto {
 
@@ -46,9 +52,16 @@ class SolverDaemon
         /** Wall-clock seconds between packet-health log lines
          *  (service().statsLine(), at info level); <= 0 disables. */
         double statsLogSeconds = 60.0;
+
+        /** Shared-memory telemetry segment name ("/name"); empty
+         *  disables the telemetry plane. Local sensor libraries read
+         *  temperatures straight from the segment instead of asking
+         *  over UDP. */
+        std::string shmName;
     };
 
     SolverDaemon(core::Solver &solver, Config config);
+    ~SolverDaemon();
 
     /** Bound UDP port (after construction). */
     uint16_t port() const;
@@ -65,11 +78,18 @@ class SolverDaemon
 
     const SolverService &service() const { return service_; }
 
+    /** The telemetry writer; null when disabled or shm_open failed. */
+    const telemetry::Writer *telemetryWriter() const
+    {
+        return writer_.get();
+    }
+
   private:
     core::Solver &solver_;
     Config config_;
     SolverService service_;
     net::UdpSocket socket_;
+    std::unique_ptr<telemetry::Writer> writer_;
     std::atomic<bool> stop_{false};
 };
 

@@ -38,6 +38,8 @@ SolverService::handle(const Message &message)
     }
     if (const auto *request = std::get_if<SensorRequest>(&message))
         return onSensorRequest(*request);
+    if (const auto *request = std::get_if<MultiReadRequest>(&message))
+        return onMultiReadRequest(*request);
     if (const auto *request = std::get_if<FiddleRequest>(&message))
         return onFiddleRequest(*request);
     // Reply types arriving at the server are peer bugs; drop them.
@@ -128,13 +130,14 @@ SolverService::statsLine() const
 {
     LossStats loss = lossStats();
     return format("up=%llu rej=%llu lost=%llu dup=%llu ro=%llu rd=%llu "
-                  "fid=%llu bad=%llu",
+                  "mrd=%llu fid=%llu bad=%llu",
                   static_cast<unsigned long long>(updatesApplied_),
                   static_cast<unsigned long long>(updatesRejected_),
                   static_cast<unsigned long long>(loss.lost),
                   static_cast<unsigned long long>(loss.duplicates),
                   static_cast<unsigned long long>(loss.reordered),
                   static_cast<unsigned long long>(sensorReads_),
+                  static_cast<unsigned long long>(multiReads_),
                   static_cast<unsigned long long>(fiddlesApplied_),
                   static_cast<unsigned long long>(undecodable_));
 }
@@ -178,6 +181,33 @@ SolverService::onSensorRequest(const SensorRequest &msg)
     reply.status = Status::Ok;
     reply.temperature = solver_.temperature(*ref);
     ++sensorReads_;
+    return encode(reply);
+}
+
+Packet
+SolverService::onMultiReadRequest(const MultiReadRequest &msg)
+{
+    MultiReadReply reply;
+    reply.requestId = msg.requestId;
+    if (!solver_.hasMachine(msg.machine)) {
+        reply.status = Status::UnknownMachine;
+        return encode(reply);
+    }
+    reply.status = Status::Ok;
+    reply.entries.reserve(msg.components.size());
+    for (const std::string &component : msg.components) {
+        MultiReadEntry entry;
+        auto ref = resolveCached(msg.machine, component);
+        if (!ref) {
+            entry.status = Status::UnknownComponent;
+        } else {
+            entry.status = Status::Ok;
+            entry.temperature = solver_.temperature(*ref);
+            ++sensorReads_;
+        }
+        reply.entries.push_back(entry);
+    }
+    ++multiReads_;
     return encode(reply);
 }
 

@@ -47,6 +47,7 @@ class SolverService
     uint64_t updatesApplied() const { return updatesApplied_; }
     uint64_t updatesRejected() const { return updatesRejected_; }
     uint64_t sensorReads() const { return sensorReads_; }
+    uint64_t multiReads() const { return multiReads_; }
     uint64_t fiddlesApplied() const { return fiddlesApplied_; }
     uint64_t undecodable() const { return undecodable_; }
 
@@ -79,6 +80,7 @@ class SolverService
   private:
     Packet onUtilization(const UtilizationUpdate &msg);
     Packet onSensorRequest(const SensorRequest &msg);
+    Packet onMultiReadRequest(const MultiReadRequest &msg);
     Packet onFiddleRequest(const FiddleRequest &msg);
 
     /**
@@ -126,12 +128,13 @@ class SolverService
     /** Sequence accounting per sending machine (one monitord each). */
     std::unordered_map<std::string, SenderState> senders_;
 
-    /** Decoded receives indexed by raw MessageType (1..5; 0 unused). */
-    std::array<uint64_t, 6> receivedByType_{};
+    /** Decoded receives indexed by raw MessageType (1..7; 0 unused). */
+    std::array<uint64_t, 8> receivedByType_{};
 
     uint64_t updatesApplied_ = 0;
     uint64_t updatesRejected_ = 0;
     uint64_t sensorReads_ = 0;
+    uint64_t multiReads_ = 0;
     uint64_t fiddlesApplied_ = 0;
     uint64_t undecodable_ = 0;
 };

@@ -32,6 +32,74 @@ SensorClient::read(const std::string &component)
     return sensor_reply->temperature;
 }
 
+std::vector<std::optional<double>>
+SensorClient::readMany(const std::vector<std::string> &components)
+{
+    std::vector<std::optional<double>> out(components.size());
+    size_t begin = 0;
+    while (begin < components.size()) {
+        // Grow the chunk greedily while the packed request still fits.
+        std::vector<std::string> chunk;
+        size_t end = begin;
+        while (end < components.size()) {
+            chunk.push_back(components[end]);
+            if (!proto::multiReadFits(chunk)) {
+                chunk.pop_back();
+                break;
+            }
+            ++end;
+        }
+        if (chunk.empty()) {
+            // This one name alone does not fit a request (too long for
+            // the wire); the per-sensor path shares the same limit and
+            // will report the failure.
+            out[begin] = read(components[begin]);
+            ++begin;
+            continue;
+        }
+        if (multiReadUnsupported_) {
+            for (size_t i = begin; i < end; ++i)
+                out[i] = read(components[i]);
+            begin = end;
+            continue;
+        }
+
+        proto::MultiReadRequest request;
+        request.requestId = nextRequestId_++;
+        request.machine = machine_;
+        request.components = chunk;
+        auto reply = transport_->roundTrip(proto::encode(request));
+        const proto::MultiReadReply *multi =
+            reply ? std::get_if<proto::MultiReadReply>(&*reply) : nullptr;
+        if (!multi || multi->requestId != request.requestId) {
+            // An old daemon drops the unknown message type on the
+            // floor, so the round trip times out. Latch the fallback:
+            // paying the deadline budget once per poll forever would
+            // be worse than the lost batching.
+            if (!multiReadUnsupported_) {
+                multiReadUnsupported_ = true;
+                warn("sensor: no batched-read reply from the solver for "
+                     "'", machine_, "'; using per-sensor reads from now "
+                     "on (old daemon?)");
+            }
+            for (size_t i = begin; i < end; ++i)
+                out[i] = read(components[i]);
+            begin = end;
+            continue;
+        }
+        if (multi->status == proto::Status::Ok &&
+            multi->entries.size() == chunk.size()) {
+            for (size_t i = 0; i < chunk.size(); ++i) {
+                if (multi->entries[i].status == proto::Status::Ok)
+                    out[begin + i] = multi->entries[i].temperature;
+            }
+        }
+        // Machine-level failure leaves the whole chunk nullopt.
+        begin = end;
+    }
+    return out;
+}
+
 std::pair<bool, std::string>
 SensorClient::fiddle(const std::string &command_line)
 {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sensor/transport.hh"
 
@@ -33,6 +34,24 @@ class SensorClient
     /** Read one component's temperature [degC]; nullopt on failure. */
     std::optional<double> read(const std::string &component);
 
+    /**
+     * Read several components, preferably in one MultiReadRequest
+     * datagram per chunk of kMaxMultiReadComponents. An old daemon
+     * that predates the batched RPC drops the unknown message type,
+     * which surfaces here as a timed-out first batch: the client then
+     * latches onto per-sensor reads for its lifetime (logged once).
+     * Results are positional; nullopt marks the components that
+     * failed.
+     */
+    std::vector<std::optional<double>>
+    readMany(const std::vector<std::string> &components);
+
+    /**
+     * False once this client has fallen back to per-sensor reads
+     * (old daemon). Starts true; readMany() may flip it.
+     */
+    bool usingBatchedReads() const { return !multiReadUnsupported_; }
+
     /** Send a fiddle command line; returns (ok, diagnostic). */
     std::pair<bool, std::string> fiddle(const std::string &command_line);
 
@@ -42,6 +61,7 @@ class SensorClient
     std::unique_ptr<Transport> transport_;
     std::string machine_;
     uint32_t nextRequestId_ = 1;
+    bool multiReadUnsupported_ = false;
 };
 
 } // namespace sensor

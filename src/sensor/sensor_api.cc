@@ -3,13 +3,17 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "sensor/client.hh"
+#include "telemetry/layout.hh"
+#include "telemetry/reader.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -19,17 +23,34 @@ using mercury::sensor::LocalTransport;
 using mercury::sensor::SensorClient;
 using mercury::sensor::Transport;
 using mercury::sensor::UdpTransport;
+using mercury::telemetry::Reader;
 
 struct OpenSensor
 {
-    std::unique_ptr<SensorClient> client;
+    /** Shared per (host, port, machine): descriptors for the same
+     *  solver machine batch onto one client in readsensors(). */
+    std::shared_ptr<SensorClient> client;
     std::string component;
+
+    /** Telemetry fast path; null when the solver is remote or shm is
+     *  disabled. The resolved slot is cached; Reader::read() rejects
+     *  it automatically when the mapping generation moves on. */
+    std::shared_ptr<Reader> shm;
+    std::optional<Reader::Slot> slot;
+
+    int lastPath = MERCURY_SENSOR_PATH_NONE;
 };
 
 std::mutex registryMutex;
 std::map<int, OpenSensor> registry;
 int nextDescriptor = 1;
 SolverService *localService = nullptr;
+
+/** (host '\n' port '\n' machine) -> live client, for batching. */
+std::map<std::string, std::weak_ptr<SensorClient>> clientCache;
+
+/** shm name -> live reader, so one process maps a segment once. */
+std::map<std::string, std::weak_ptr<Reader>> readerCache;
 
 std::string
 localHostname()
@@ -38,6 +59,69 @@ localHostname()
     if (::gethostname(buf, sizeof(buf) - 1) != 0)
         return "localhost";
     return buf;
+}
+
+/** Is the solver host this host, making its shm segment reachable? */
+bool
+hostIsLocal(const std::string &host)
+{
+    return host == "local" || host == "localhost" ||
+           host == "127.0.0.1" || host == "::1" ||
+           host == localHostname();
+}
+
+bool
+shmDisabled()
+{
+    const char *value = std::getenv("MERCURY_NO_SHM");
+    return value && *value && std::string(value) != "0";
+}
+
+std::string
+shmNameFor(int port)
+{
+    const char *override_name = std::getenv("MERCURY_SHM_NAME");
+    if (override_name && *override_name)
+        return mercury::telemetry::normalizeShmName(override_name);
+    return mercury::telemetry::defaultShmName(
+        static_cast<uint16_t>(port));
+}
+
+std::shared_ptr<Reader>
+readerFor(const std::string &shm_name)
+{
+    auto &weak = readerCache[shm_name];
+    std::shared_ptr<Reader> reader = weak.lock();
+    if (!reader) {
+        reader = std::make_shared<Reader>(shm_name);
+        weak = reader;
+    }
+    return reader;
+}
+
+/**
+ * Try the telemetry segment. Caches the resolved slot; a read refused
+ * because the writer restarted with a new topology drops the cache and
+ * resolves once more before giving up (registryMutex held).
+ */
+std::optional<double>
+readShmLocked(OpenSensor &sensor)
+{
+    if (!sensor.shm)
+        return std::nullopt;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (!sensor.slot) {
+            sensor.slot = sensor.shm->resolve(sensor.client->machine(),
+                                              sensor.component);
+            if (!sensor.slot)
+                return std::nullopt;
+        }
+        auto sample = sensor.shm->read(*sensor.slot);
+        if (sample)
+            return sample->temperature;
+        sensor.slot.reset();
+    }
+    return std::nullopt;
 }
 
 } // namespace
@@ -49,26 +133,40 @@ opensensor_for(const char *host, int port, const char *machine,
     if (!host || !machine || !component || port <= 0 || port > 65535)
         return -1;
 
+    std::string host_name = host;
+    std::string cache_key =
+        host_name + "\n" + std::to_string(port) + "\n" + machine;
+
     std::unique_ptr<Transport> transport;
     {
         std::lock_guard<std::mutex> guard(registryMutex);
-        if (std::string(host) == "local" && localService) {
+        if (host_name == "local" && localService) {
             transport = std::make_unique<LocalTransport>(*localService);
         }
     }
     if (!transport) {
         auto udp = std::make_unique<UdpTransport>(
-            host, static_cast<uint16_t>(port));
+            host_name, static_cast<uint16_t>(port));
         if (!udp->valid())
             return -1;
         transport = std::move(udp);
     }
 
     std::lock_guard<std::mutex> guard(registryMutex);
+    OpenSensor sensor;
+    auto &weak = clientCache[cache_key];
+    sensor.client = weak.lock();
+    if (!sensor.client) {
+        sensor.client = std::make_shared<SensorClient>(
+            std::move(transport), machine);
+        weak = sensor.client;
+    }
+    sensor.component = component;
+    if (hostIsLocal(host_name) && !shmDisabled())
+        sensor.shm = readerFor(shmNameFor(port));
+
     int sd = nextDescriptor++;
-    registry[sd] = OpenSensor{
-        std::make_unique<SensorClient>(std::move(transport), machine),
-        component};
+    registry[sd] = std::move(sensor);
     return sd;
 }
 
@@ -89,10 +187,68 @@ readsensor(int sd)
     auto it = registry.find(sd);
     if (it == registry.end())
         return std::numeric_limits<float>::quiet_NaN();
-    auto value = it->second.client->read(it->second.component);
+    OpenSensor &sensor = it->second;
+
+    auto fast = readShmLocked(sensor);
+    if (fast) {
+        sensor.lastPath = MERCURY_SENSOR_PATH_SHM;
+        return static_cast<float>(*fast);
+    }
+
+    auto value = sensor.client->read(sensor.component);
     if (!value)
         return std::numeric_limits<float>::quiet_NaN();
+    sensor.lastPath = MERCURY_SENSOR_PATH_UDP;
     return static_cast<float>(*value);
+}
+
+int
+readsensors(const int *descriptors, float *temperatures, int count)
+{
+    if (!descriptors || !temperatures || count < 0)
+        return -1;
+
+    std::lock_guard<std::mutex> guard(registryMutex);
+    int successes = 0;
+
+    // Descriptors still needing the network after the shm pass,
+    // grouped by client so every machine costs one batched request
+    // per 12 components.
+    std::map<SensorClient *, std::vector<int>> pending;
+
+    for (int i = 0; i < count; ++i) {
+        temperatures[i] = std::numeric_limits<float>::quiet_NaN();
+        auto it = registry.find(descriptors[i]);
+        if (it == registry.end())
+            continue;
+        OpenSensor &sensor = it->second;
+        auto fast = readShmLocked(sensor);
+        if (fast) {
+            sensor.lastPath = MERCURY_SENSOR_PATH_SHM;
+            temperatures[i] = static_cast<float>(*fast);
+            ++successes;
+            continue;
+        }
+        pending[sensor.client.get()].push_back(i);
+    }
+
+    for (auto &[client, indices] : pending) {
+        std::vector<std::string> components;
+        components.reserve(indices.size());
+        for (int i : indices)
+            components.push_back(registry[descriptors[i]].component);
+        std::vector<std::optional<double>> values =
+            client->readMany(components);
+        for (size_t k = 0; k < indices.size(); ++k) {
+            if (!values[k])
+                continue;
+            int i = indices[k];
+            registry[descriptors[i]].lastPath = MERCURY_SENSOR_PATH_UDP;
+            temperatures[i] = static_cast<float>(*values[k]);
+            ++successes;
+        }
+    }
+    return successes;
 }
 
 void
@@ -100,6 +256,16 @@ closesensor(int sd)
 {
     std::lock_guard<std::mutex> guard(registryMutex);
     registry.erase(sd);
+}
+
+int
+sensorpath(int sd)
+{
+    std::lock_guard<std::mutex> guard(registryMutex);
+    auto it = registry.find(sd);
+    if (it == registry.end())
+        return MERCURY_SENSOR_PATH_NONE;
+    return it->second.lastPath;
 }
 
 void

@@ -16,6 +16,14 @@
  * For in-process experiments, installLocalSolver() short-circuits the
  * UDP path: subsequent opensensor() calls with the host "local" talk
  * directly to the given service.
+ *
+ * When the solver host is this host, readsensor() first tries the
+ * solver's shared-memory telemetry segment (seqlock-protected loads,
+ * tens of nanoseconds) and only falls back to the UDP round trip when
+ * the segment is absent, mismatched, or stale. The segment name
+ * defaults to the per-port name the daemon publishes; the environment
+ * overrides it (MERCURY_SHM_NAME) or disables the fast path entirely
+ * (MERCURY_NO_SHM=1).
  */
 
 #ifndef MERCURY_SENSOR_SENSOR_API_HH
@@ -45,8 +53,28 @@ int opensensor_for(const char *host, int port, const char *machine,
  */
 float readsensor(int sd);
 
+/**
+ * Read @p count sensors at once: temperatures[i] answers
+ * descriptors[i] (quiet NaN on failure, like readsensor()). Shm-backed
+ * descriptors are answered from the telemetry segment; the rest are
+ * grouped so each solver machine is asked with at most one batched
+ * request datagram per 12 components. Returns the number of
+ * successful reads, or -1 when the arguments are invalid.
+ */
+int readsensors(const int *descriptors, float *temperatures, int count);
+
 /** Close the sensor; invalid descriptors are ignored. */
 void closesensor(int sd);
+
+/** @name Which path answered (introspection for tests and tools) */
+/// @{
+#define MERCURY_SENSOR_PATH_NONE 0 //!< never read, or bad descriptor
+#define MERCURY_SENSOR_PATH_SHM 1  //!< shared-memory telemetry segment
+#define MERCURY_SENSOR_PATH_UDP 2  //!< request/reply round trip
+
+/** The path the most recent read of @p sd used. */
+int sensorpath(int sd);
+/// @}
 
 /**
  * Route subsequent opensensor("local", ...) calls straight into an

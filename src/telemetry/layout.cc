@@ -1,0 +1,58 @@
+#include "telemetry/layout.hh"
+
+#include <time.h>
+
+namespace mercury {
+namespace telemetry {
+
+namespace {
+
+inline void
+hashBytes(uint64_t &hash, const void *data, size_t length)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < length; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL; // FNV-1a prime
+    }
+}
+
+} // namespace
+
+uint64_t
+layoutHash(const SlotKey *slots, uint32_t slot_count,
+           const AliasEntry *aliases, uint32_t alias_count)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    hashBytes(hash, &slot_count, sizeof(slot_count));
+    hashBytes(hash, &alias_count, sizeof(alias_count));
+    hashBytes(hash, slots, sizeof(SlotKey) * slot_count);
+    hashBytes(hash, aliases, sizeof(AliasEntry) * alias_count);
+    return hash;
+}
+
+std::string
+normalizeShmName(const std::string &name)
+{
+    if (!name.empty() && name[0] == '/')
+        return name;
+    return "/" + name;
+}
+
+std::string
+defaultShmName(uint16_t port)
+{
+    return "/mercury." + std::to_string(port);
+}
+
+uint64_t
+monotonicNanos()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+} // namespace telemetry
+} // namespace mercury

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The telemetry plane's seqlock: a single writer versions the payload
+ * with an even/odd sequence word; readers retry when they raced a
+ * publish. Both sides go through std::atomic_ref so the protocol is
+ * race-free in the C++ memory model (and under TSan) even though the
+ * word lives in a plain mmap'ed struct.
+ *
+ * Writer:  begin() -> odd; plain payload stores; end() -> even.
+ * Reader:  s = begin(); payload loads; validate(s) -> accept/retry.
+ *
+ * The payload itself is read and written with relaxed atomic_ref
+ * accesses (see loadPayload/storePayload): on every target we care
+ * about these compile to plain 8-byte moves, and they keep torn or
+ * racing accesses formally defined while the fences in begin/end/
+ * validate order them against the sequence word.
+ */
+
+#ifndef MERCURY_TELEMETRY_SEQLOCK_HH
+#define MERCURY_TELEMETRY_SEQLOCK_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace mercury {
+namespace telemetry {
+
+/** Relaxed atomic load of one payload word (formally race-free). */
+template <typename T>
+inline T
+loadPayload(const T &field)
+{
+    return std::atomic_ref<const T>(field).load(std::memory_order_relaxed);
+}
+
+/** Relaxed atomic store of one payload word. */
+template <typename T>
+inline void
+storePayload(T &field, T value)
+{
+    std::atomic_ref<T>(field).store(value, std::memory_order_relaxed);
+}
+
+/** Writer side: mark the payload unstable. Returns the odd value.
+ *  A sequence that is already odd (a segment still initializing, or a
+ *  writer that died mid-publish and was replaced) stays odd, so the
+ *  eventual end() publishes cleanly either way. */
+inline uint64_t
+seqlockWriteBegin(uint64_t &sequence)
+{
+    std::atomic_ref<uint64_t> seq(sequence);
+    uint64_t odd = seq.load(std::memory_order_relaxed) | 1;
+    seq.store(odd, std::memory_order_relaxed);
+    // Payload stores must not be reordered before the odd store.
+    std::atomic_thread_fence(std::memory_order_release);
+    return odd;
+}
+
+/** Writer side: publish (sequence becomes even). */
+inline void
+seqlockWriteEnd(uint64_t &sequence, uint64_t odd)
+{
+    std::atomic_ref<uint64_t> seq(sequence);
+    // Release: payload stores happen-before the even store.
+    seq.store(odd + 1, std::memory_order_release);
+}
+
+/** Reader side: snapshot the sequence before touching the payload. */
+inline uint64_t
+seqlockReadBegin(const uint64_t &sequence)
+{
+    return std::atomic_ref<const uint64_t>(sequence).load(
+        std::memory_order_acquire);
+}
+
+/**
+ * Reader side: true when the payload read between begin and here was
+ * consistent (no concurrent publish). An odd @p before can never
+ * validate, so callers may read the payload unconditionally and only
+ * check at the end.
+ */
+inline bool
+seqlockReadValidate(const uint64_t &sequence, uint64_t before)
+{
+    // Payload loads must complete before the re-read of the sequence.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint64_t after = std::atomic_ref<const uint64_t>(sequence).load(
+        std::memory_order_relaxed);
+    return before == after && (before & 1) == 0;
+}
+
+} // namespace telemetry
+} // namespace mercury
+
+#endif // MERCURY_TELEMETRY_SEQLOCK_HH

@@ -8,7 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "core/solver.hh"
@@ -16,6 +22,7 @@
 #include "monitor/monitord.hh"
 #include "proto/solver_daemon.hh"
 #include "sensor/client.hh"
+#include "sensor/sensor_api.hh"
 
 #ifndef MERCURY_CONFIG_DIR
 #define MERCURY_CONFIG_DIR "configs"
@@ -76,6 +83,72 @@ TEST(DaemonE2E, MonitordSensorAndFiddleOverUdp)
 
     daemon.stop();
     server.join();
+}
+
+TEST(DaemonE2E, ShmFastPathAgreesWithUdpAndSurvivesWriterDeath)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    solver.setUtilization("m1", "cpu", 1.0);
+    solver.run(5000.0);
+
+    std::string shm_name =
+        "/mercury.e2e." + std::to_string(::getpid());
+
+    // Two daemons serve the same solver: one publishes the telemetry
+    // segment, the other stays shm-less so UDP keeps answering after
+    // the writer dies.
+    proto::SolverDaemon::Config with_shm;
+    with_shm.port = 0;
+    with_shm.iterationSeconds = 0.0;
+    with_shm.shmName = shm_name;
+    auto publisher =
+        std::make_unique<proto::SolverDaemon>(solver, with_shm);
+    ASSERT_NE(publisher->telemetryWriter(), nullptr);
+    std::thread publisher_thread([&] { publisher->run(); });
+
+    proto::SolverDaemon::Config plain;
+    plain.port = 0;
+    plain.iterationSeconds = 0.0;
+    proto::SolverDaemon fallback(solver, plain);
+    EXPECT_EQ(fallback.telemetryWriter(), nullptr);
+    std::thread fallback_thread([&] { fallback.run(); });
+
+    ::setenv("MERCURY_SHM_NAME", shm_name.c_str(), 1);
+
+    // Shm enabled: the segment answers, no datagram leaves the box.
+    int sd = opensensor_for("127.0.0.1", fallback.port(), "m1", "cpu");
+    ASSERT_GE(sd, 0);
+    float via_shm = readsensor(sd);
+    ASSERT_FALSE(std::isnan(via_shm));
+    EXPECT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_SHM);
+
+    // Shm disabled by the environment: same call over real UDP.
+    ::setenv("MERCURY_NO_SHM", "1", 1);
+    int sd_udp = opensensor_for("127.0.0.1", fallback.port(), "m1",
+                                "cpu");
+    ::unsetenv("MERCURY_NO_SHM");
+    ASSERT_GE(sd_udp, 0);
+    float via_udp = readsensor(sd_udp);
+    ASSERT_FALSE(std::isnan(via_udp));
+    EXPECT_EQ(sensorpath(sd_udp), MERCURY_SENSOR_PATH_UDP);
+    EXPECT_FLOAT_EQ(via_shm, via_udp);
+
+    // Kill the writer: the open descriptor silently degrades to UDP
+    // and keeps reporting the same temperature.
+    publisher->stop();
+    publisher_thread.join();
+    publisher.reset();
+    float after_death = readsensor(sd);
+    ASSERT_FALSE(std::isnan(after_death));
+    EXPECT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_UDP);
+    EXPECT_FLOAT_EQ(after_death, via_shm);
+
+    ::unsetenv("MERCURY_SHM_NAME");
+    closesensor(sd);
+    closesensor(sd_udp);
+    fallback.stop();
+    fallback_thread.join();
 }
 
 TEST(DaemonE2E, DaemonStepsInWallClockTime)

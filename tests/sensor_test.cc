@@ -7,9 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/solver.hh"
 #include "proto/solver_daemon.hh"
@@ -17,6 +23,8 @@
 #include "sensor/client.hh"
 #include "sensor/sensor_api.hh"
 #include "sensor/transport.hh"
+#include "telemetry/reader.hh"
+#include "telemetry/writer.hh"
 
 namespace mercury {
 namespace {
@@ -152,6 +160,304 @@ TEST_F(SensorFixture, CApiRejectsBadArguments)
     EXPECT_EQ(opensensor_for("local", 99999, "m", "cpu"), -1);
     EXPECT_TRUE(std::isnan(readsensor(123456)));
     closesensor(123456); // must not crash
+}
+
+TEST_F(SensorFixture, ClientReadManyBatchesIntoOneDatagram)
+{
+    auto transport = std::make_unique<sensor::FaultyTransport>(
+        service_, net::FaultSpec{}, net::FaultSpec{});
+    const sensor::TransportStats &stats = transport->stats();
+    sensor::SensorClient client(std::move(transport), "machine1");
+
+    std::vector<std::string> components{"cpu", "disk", "cpu_air"};
+    auto values = client.readMany(components);
+    ASSERT_EQ(values.size(), 3u);
+    for (size_t i = 0; i < components.size(); ++i) {
+        ASSERT_TRUE(values[i].has_value()) << components[i];
+        EXPECT_NEAR(*values[i],
+                    solver_.temperature("machine1", components[i]), 1e-9)
+            << components[i];
+    }
+    // The whole poll fit one MultiReadRequest: one datagram, total.
+    EXPECT_EQ(stats.attempts, 1u);
+    EXPECT_EQ(service_.multiReads(), 1u);
+    EXPECT_TRUE(client.usingBatchedReads());
+
+    // Unknown components are per-entry failures, not poll failures.
+    auto mixed = client.readMany({"cpu", "gpu"});
+    ASSERT_EQ(mixed.size(), 2u);
+    EXPECT_TRUE(mixed[0].has_value());
+    EXPECT_FALSE(mixed[1].has_value());
+}
+
+TEST_F(SensorFixture, ClientReadManyChunksLargePolls)
+{
+    auto transport = std::make_unique<sensor::FaultyTransport>(
+        service_, net::FaultSpec{}, net::FaultSpec{});
+    const sensor::TransportStats &stats = transport->stats();
+    sensor::SensorClient client(std::move(transport), "machine1");
+
+    // More components than one packet carries: expect ceil(N/12)
+    // datagrams, order preserved.
+    std::vector<std::string> components;
+    for (int i = 0; i < 15; ++i)
+        components.push_back(i % 2 == 0 ? "cpu" : "disk");
+    auto values = client.readMany(components);
+    ASSERT_EQ(values.size(), components.size());
+    for (size_t i = 0; i < components.size(); ++i) {
+        ASSERT_TRUE(values[i].has_value()) << i;
+        EXPECT_NEAR(*values[i],
+                    solver_.temperature("machine1", components[i]), 1e-9);
+    }
+    EXPECT_EQ(stats.attempts, 2u);
+}
+
+// An "old daemon": answers everything except the batched-read RPC,
+// which it silently drops (unknown message type to it).
+class OldDaemonTransport final : public sensor::Transport
+{
+  public:
+    explicit OldDaemonTransport(proto::SolverService &service)
+        : inner_(service)
+    {
+    }
+
+    std::optional<proto::Message>
+    roundTrip(const proto::Packet &request) override
+    {
+        auto decoded = proto::decode(request);
+        if (decoded &&
+            std::holds_alternative<proto::MultiReadRequest>(*decoded))
+            return std::nullopt;
+        return inner_.roundTrip(request);
+    }
+
+  private:
+    sensor::LocalTransport inner_;
+};
+
+TEST_F(SensorFixture, ClientFallsBackWhenDaemonIgnoresBatches)
+{
+    sensor::SensorClient client(
+        std::make_unique<OldDaemonTransport>(service_), "machine1");
+
+    auto values = client.readMany({"cpu", "disk"});
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_TRUE(values[0].has_value());
+    EXPECT_TRUE(values[1].has_value());
+    EXPECT_FALSE(client.usingBatchedReads());
+    EXPECT_EQ(service_.multiReads(), 0u);
+
+    // The latch sticks: later polls go straight to per-sensor reads.
+    auto again = client.readMany({"cpu"});
+    ASSERT_TRUE(again[0].has_value());
+}
+
+class ShmSensorFixture : public SensorFixture
+{
+  protected:
+    ShmSensorFixture()
+        : shmName_("/mercury.sensortest." + std::to_string(::getpid()) +
+                   "." + std::to_string(counter_++))
+    {
+        ::setenv("MERCURY_SHM_NAME", shmName_.c_str(), 1);
+        installLocalSolver(&service_);
+    }
+
+    ~ShmSensorFixture() override
+    {
+        installLocalSolver(nullptr);
+        ::unsetenv("MERCURY_SHM_NAME");
+        telemetry::Reader::setClockForTest(nullptr);
+    }
+
+    std::string shmName_;
+    static int counter_;
+};
+
+int ShmSensorFixture::counter_ = 0;
+
+TEST_F(ShmSensorFixture, ReadsensorUsesShmWhenPresent)
+{
+    telemetry::Writer writer(shmName_, solver_, 1.0);
+    ASSERT_TRUE(writer.valid());
+
+    int sd = opensensor_for("local", 8367, "machine1", "cpu");
+    ASSERT_GE(sd, 0);
+    float temp = readsensor(sd);
+    EXPECT_FALSE(std::isnan(temp));
+    EXPECT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_SHM);
+    EXPECT_NEAR(temp, solver_.temperature("machine1", "cpu"), 1e-3);
+
+    // Aliases resolve through the segment's alias table too.
+    int disk = opensensor_for("local", 8367, "machine1", "disk");
+    ASSERT_GE(disk, 0);
+    float disk_temp = readsensor(disk);
+    EXPECT_EQ(sensorpath(disk), MERCURY_SENSOR_PATH_SHM);
+    EXPECT_NEAR(disk_temp,
+                solver_.temperature("machine1", "disk_platters"), 1e-3);
+
+    closesensor(sd);
+    closesensor(disk);
+}
+
+TEST_F(ShmSensorFixture, MissingSegmentFallsBackToTransport)
+{
+    // No writer: the identical call sequence degrades silently.
+    int sd = opensensor_for("local", 8367, "machine1", "cpu");
+    ASSERT_GE(sd, 0);
+    float temp = readsensor(sd);
+    EXPECT_FALSE(std::isnan(temp));
+    EXPECT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_UDP);
+    EXPECT_NEAR(temp, solver_.temperature("machine1", "cpu"), 1e-3);
+    closesensor(sd);
+}
+
+TEST_F(ShmSensorFixture, NoShmEnvDisablesTheFastPath)
+{
+    telemetry::Writer writer(shmName_, solver_, 1.0);
+    ::setenv("MERCURY_NO_SHM", "1", 1);
+    int sd = opensensor_for("local", 8367, "machine1", "cpu");
+    ::unsetenv("MERCURY_NO_SHM");
+    ASSERT_GE(sd, 0);
+    EXPECT_FALSE(std::isnan(readsensor(sd)));
+    EXPECT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_UDP);
+    closesensor(sd);
+}
+
+TEST_F(ShmSensorFixture, EveryPathAgreesOnTheTemperature)
+{
+    // The acceptance bar: shm, UDP-fallback and killed-writer reads
+    // all report the same temperature for the same solver state.
+    double expected = solver_.temperature("machine1", "cpu");
+
+    auto writer =
+        std::make_unique<telemetry::Writer>(shmName_, solver_, 1.0);
+    int sd = opensensor_for("local", 8367, "machine1", "cpu");
+    ASSERT_GE(sd, 0);
+
+    float via_shm = readsensor(sd);
+    ASSERT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_SHM);
+
+    writer.reset(); // kill the writer: magic stomped, segment gone
+    float via_fallback = readsensor(sd);
+    ASSERT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_UDP);
+
+    EXPECT_NEAR(via_shm, expected, 1e-6);
+    EXPECT_NEAR(via_fallback, expected, 1e-6);
+    EXPECT_FLOAT_EQ(via_shm, via_fallback);
+    closesensor(sd);
+}
+
+TEST_F(ShmSensorFixture, StaleSegmentFallsBackThenRecovers)
+{
+    telemetry::Writer writer(shmName_, solver_, 1.0);
+    uint64_t published = telemetry::monotonicNanos();
+
+    // Freeze the staleness clock just after the publish.
+    std::atomic<uint64_t> now{published + 1'000'000ULL};
+    telemetry::Reader::setClockForTest([&now] { return now.load(); });
+
+    int sd = opensensor_for("local", 8367, "machine1", "cpu");
+    ASSERT_GE(sd, 0);
+    readsensor(sd);
+    ASSERT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_SHM);
+
+    // Writer goes quiet past the threshold (4 x 1 s period): the same
+    // descriptor silently degrades to the transport.
+    now.store(published + 5'000'000'000ULL);
+    float stale_read = readsensor(sd);
+    EXPECT_FALSE(std::isnan(stale_read));
+    EXPECT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_UDP);
+
+    // A fresh publish heals it, no reopen required.
+    writer.publish();
+    now.store(telemetry::monotonicNanos() + 1'000'000ULL);
+    readsensor(sd);
+    EXPECT_EQ(sensorpath(sd), MERCURY_SENSOR_PATH_SHM);
+    closesensor(sd);
+}
+
+TEST_F(ShmSensorFixture, ReadsensorsAnswersAllDescriptors)
+{
+    telemetry::Writer writer(shmName_, solver_, 1.0);
+    int cpu = opensensor_for("local", 8367, "machine1", "cpu");
+    int disk = opensensor_for("local", 8367, "machine1", "disk");
+    int bogus = 999999;
+    ASSERT_GE(cpu, 0);
+    ASSERT_GE(disk, 0);
+
+    int descriptors[3] = {cpu, disk, bogus};
+    float temperatures[3] = {};
+    EXPECT_EQ(readsensors(descriptors, temperatures, 3), 2);
+    EXPECT_NEAR(temperatures[0],
+                solver_.temperature("machine1", "cpu"), 1e-3);
+    EXPECT_NEAR(temperatures[1],
+                solver_.temperature("machine1", "disk_platters"), 1e-3);
+    EXPECT_TRUE(std::isnan(temperatures[2]));
+    EXPECT_EQ(sensorpath(cpu), MERCURY_SENSOR_PATH_SHM);
+
+    EXPECT_EQ(readsensors(nullptr, temperatures, 1), -1);
+    closesensor(cpu);
+    closesensor(disk);
+}
+
+TEST_F(ShmSensorFixture, ReadsensorsBatchesTheFallback)
+{
+    // No shm segment: the group read collapses onto one batched
+    // request per machine through the shared client.
+    int cpu = opensensor_for("local", 8367, "machine1", "cpu");
+    int disk = opensensor_for("local", 8367, "machine1", "disk");
+    int descriptors[2] = {cpu, disk};
+    float temperatures[2] = {};
+    EXPECT_EQ(readsensors(descriptors, temperatures, 2), 2);
+    EXPECT_EQ(sensorpath(cpu), MERCURY_SENSOR_PATH_UDP);
+    EXPECT_EQ(service_.multiReads(), 1u);
+    EXPECT_EQ(service_.sensorReads(), 2u); // both inside the one batch
+    closesensor(cpu);
+    closesensor(disk);
+}
+
+TEST_F(ShmSensorFixture, ConcurrentOpenReadCloseIsSafe)
+{
+    telemetry::Writer writer(shmName_, solver_, 1.0);
+
+    // Several threads churning the C API against one registry while a
+    // writer republishes: TSan's bread and butter.
+    std::atomic<bool> stop{false};
+    std::thread publisher([&] {
+        while (!stop.load(std::memory_order_relaxed))
+            writer.publish();
+    });
+
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&, t] {
+            const char *component = t % 2 == 0 ? "cpu" : "disk";
+            for (int i = 0; i < 200; ++i) {
+                int sd = opensensor_for("local", 8367, "machine1",
+                                        component);
+                if (sd < 0) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                float temp = readsensor(sd);
+                if (std::isnan(temp))
+                    failures.fetch_add(1);
+                int pair[1] = {sd};
+                float out[1];
+                if (readsensors(pair, out, 1) != 1)
+                    failures.fetch_add(1);
+                closesensor(sd);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    stop.store(true, std::memory_order_relaxed);
+    publisher.join();
+    EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(SensorUdp, EndToEndRoundTrip)
