@@ -9,6 +9,7 @@
  *                  --paper-emergencies
  */
 
+#include <csignal>
 #include <iostream>
 
 #include "freon/experiment.hh"
@@ -20,6 +21,14 @@
 namespace {
 
 using namespace mercury;
+
+volatile std::sig_atomic_t stopRequested = 0;
+
+void
+handleSignal(int)
+{
+    stopRequested = 1;
+}
 
 freon::PolicyKind
 parsePolicy(const std::string &name)
@@ -88,7 +97,17 @@ main(int argc, char **argv)
         config.emergencies.push_back({*time, parts[1], *temp});
     }
 
+    // A SIGINT/SIGTERM ends the run early but still flushes the series
+    // and summary recorded so far (exit 0): an interrupted sweep keeps
+    // its partial data.
+    config.shouldStop = [] { return stopRequested != 0; };
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+
     freon::ExperimentResult result = freon::runExperiment(config);
+    if (result.stoppedEarly)
+        std::cerr << "freon_clusterd: interrupted, emitting partial "
+                     "series\n";
 
     if (!flags.getBool("summary-only")) {
         std::vector<const TimeSeries *> series;

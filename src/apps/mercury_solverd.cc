@@ -10,6 +10,8 @@
 
 #include <csignal>
 
+#include <fstream>
+
 #include "core/solver.hh"
 #include "graphdot/parser.hh"
 #include "proto/solver_daemon.hh"
@@ -53,6 +55,15 @@ main(int argc, char **argv)
                        "(default: /mercury.<port>)");
     flags.defineBool("no-shm", false,
                      "disable the shared-memory telemetry plane");
+    flags.defineString("checkpoint-path", "",
+                       "crash-consistent checkpoint file (restored at "
+                       "boot; empty disables checkpointing)");
+    flags.defineDouble("checkpoint-seconds", 30.0,
+                       "seconds between periodic checkpoint saves "
+                       "(0 disables the timer)");
+    flags.defineString("port-file", "",
+                       "write the bound UDP port to this file "
+                       "(supervisors and tests using --port 0)");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -87,7 +98,18 @@ main(int argc, char **argv)
                 ? telemetry::defaultShmName(daemon_config.port)
                 : telemetry::normalizeShmName(shm_name);
     }
+    daemon_config.checkpointPath = flags.getString("checkpoint-path");
+    daemon_config.checkpointSeconds =
+        flags.getDouble("checkpoint-seconds");
     proto::SolverDaemon daemon(solver, daemon_config);
+
+    std::string port_file = flags.getString("port-file");
+    if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        if (!out)
+            fatal("cannot write --port-file ", port_file);
+        out << daemon.port() << "\n";
+    }
 
     runningDaemon = &daemon;
     std::signal(SIGINT, handleSignal);

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * mercury_supervisord: keeps one mercury_solverd alive. Spawns the
+ * command after `--`, reaps it when it dies and restarts it with
+ * exponential backoff, gives up on a crash loop, and probes `fiddle
+ * stats` over UDP so a daemon that is alive-but-stuck (iteration
+ * counter frozen) is killed and restarted like a dead one. Point the
+ * child at a --checkpoint-path and every restart resumes from the
+ * last consistent snapshot.
+ *
+ *   mercury_supervisord --solver-port 8367 -- \
+ *       ./mercury_solverd --config configs/table1_cluster.dot \
+ *       --port 8367 --checkpoint-path /var/lib/mercury/solver.ck
+ */
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sensor/client.hh"
+#include "state/supervisor.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace {
+
+using namespace mercury;
+
+volatile std::sig_atomic_t stopRequested = 0;
+
+void
+handleSignal(int)
+{
+    stopRequested = 1;
+}
+
+double
+nowSeconds()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** Sleep in slices so SIGINT/SIGTERM turns around quickly. */
+void
+interruptibleSleep(double seconds)
+{
+    double deadline = nowSeconds() + seconds;
+    while (!stopRequested && nowSeconds() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+}
+
+pid_t
+spawnChild(const std::vector<std::string> &command)
+{
+    pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("fork(): ", std::strerror(errno));
+    if (pid == 0) {
+        std::vector<char *> argv;
+        argv.reserve(command.size() + 1);
+        for (const std::string &arg : command)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        ::execvp(argv[0], argv.data());
+        // Only reached when exec fails; the shell's "command not
+        // found" status tells the supervisor this is hopeless.
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Pull the iteration counter out of a stats line ("it=<n> ..."). */
+std::optional<uint64_t>
+parseIterations(const std::string &stats)
+{
+    for (const std::string &field : splitWhitespace(stats)) {
+        if (!startsWith(field, "it="))
+            continue;
+        auto value = parseInt(field.substr(3));
+        if (value && *value >= 0)
+            return static_cast<uint64_t>(*value);
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::string
+describeExit(int status)
+{
+    if (WIFEXITED(status))
+        return "exit status " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "signal " + std::to_string(WTERMSIG(status));
+    return "unknown status";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // FlagSet treats unknown flags as fatal, so split the child's
+    // command line off at `--` before parsing our own.
+    std::vector<std::string> child_command;
+    int own_argc = argc;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--") {
+            own_argc = i;
+            for (int j = i + 1; j < argc; ++j)
+                child_command.push_back(argv[j]);
+            break;
+        }
+    }
+
+    FlagSet flags("mercury_supervisord",
+                  "supervise a mercury_solverd: restart on crash or "
+                  "stall (usage: mercury_supervisord [flags] -- "
+                  "<solverd command>)");
+    flags.defineString("solver-host", "127.0.0.1",
+                       "host the supervised solver answers on");
+    flags.defineInt("solver-port", 8367,
+                    "UDP port the supervised solver answers on");
+    flags.defineDouble("probe-seconds", 2.0,
+                       "seconds between fiddle-stats liveness probes "
+                       "(0 disables stall detection)");
+    flags.defineDouble("stall-seconds", 20.0,
+                       "kill the child when its iteration counter has "
+                       "not advanced for this long");
+    flags.defineDouble("initial-backoff", 0.5,
+                       "seconds before the first restart");
+    flags.defineDouble("max-backoff", 30.0, "restart backoff ceiling");
+    flags.defineDouble("healthy-uptime", 30.0,
+                       "uptime that resets the backoff ladder");
+    flags.defineInt("crash-loop-threshold", 5,
+                    "give up after this many exits inside the window");
+    flags.defineDouble("crash-loop-window", 60.0,
+                       "crash-loop detection window [s]");
+    flags.defineInt("max-restarts", 0,
+                    "stop after this many restarts (0 = unlimited)");
+    flags.defineBool("verbose", false, "enable info logging");
+    if (!flags.parse(own_argc, argv))
+        return 0;
+    if (flags.getBool("verbose"))
+        setLogLevel(LogLevel::Info);
+
+    if (child_command.empty())
+        fatal("nothing to supervise: put the solverd command after --");
+
+    state::SupervisorPolicy policy;
+    policy.initialBackoffSeconds = flags.getDouble("initial-backoff");
+    policy.maxBackoffSeconds = flags.getDouble("max-backoff");
+    policy.healthyUptimeSeconds = flags.getDouble("healthy-uptime");
+    policy.crashLoopThreshold =
+        static_cast<int>(flags.getInt("crash-loop-threshold"));
+    policy.crashLoopWindowSeconds = flags.getDouble("crash-loop-window");
+    state::RestartTracker tracker(policy);
+
+    double probe_seconds = flags.getDouble("probe-seconds");
+    double stall_seconds = flags.getDouble("stall-seconds");
+    state::StallDetector stall(stall_seconds);
+    std::unique_ptr<sensor::SensorClient> probe;
+    if (probe_seconds > 0.0) {
+        probe = std::make_unique<sensor::SensorClient>(
+            std::make_unique<sensor::UdpTransport>(
+                flags.getString("solver-host"),
+                static_cast<uint16_t>(flags.getInt("solver-port"))),
+            "supervisor");
+    }
+    long long max_restarts = flags.getInt("max-restarts");
+
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+
+    while (!stopRequested) {
+        double spawned_at = nowSeconds();
+        pid_t pid = spawnChild(child_command);
+        inform("mercury_supervisord: spawned '", child_command[0],
+               "' as pid ", pid);
+        stall.reset();
+        double last_responsive = spawned_at;
+        double next_probe = spawned_at + probe_seconds;
+        int status = 0;
+        bool reaped = false;
+        bool killed_for_stall = false;
+
+        while (!stopRequested) {
+            pid_t got = ::waitpid(pid, &status, WNOHANG);
+            if (got < 0)
+                fatal("waitpid(", pid, "): ", std::strerror(errno));
+            if (got == pid) {
+                reaped = true;
+                break;
+            }
+            double now = nowSeconds();
+            if (probe && now >= next_probe) {
+                auto [ok, reply] = probe->fiddle("stats");
+                if (ok) {
+                    last_responsive = now;
+                    if (auto iterations = parseIterations(reply))
+                        stall.noteProgress(*iterations, now);
+                }
+                next_probe = now + probe_seconds;
+            }
+            if (probe && stall_seconds > 0.0 &&
+                (stall.stalled(now) ||
+                 now - last_responsive > stall_seconds)) {
+                warn("mercury_supervisord: pid ", pid,
+                     " is stuck (no progress for ", stall_seconds,
+                     " s), killing it");
+                ::kill(pid, SIGKILL);
+                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+                }
+                reaped = true;
+                killed_for_stall = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+
+        if (stopRequested) {
+            if (!reaped) {
+                // Forward the shutdown so the child writes its final
+                // checkpoint, then wait for it.
+                ::kill(pid, SIGTERM);
+                while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+                }
+            }
+            inform("mercury_supervisord: shutting down after ",
+                   tracker.restarts(), " restart(s)");
+            return 0;
+        }
+
+        double now = nowSeconds();
+        double uptime = now - spawned_at;
+        if (!killed_for_stall && WIFEXITED(status) &&
+            WEXITSTATUS(status) == 0) {
+            inform("mercury_supervisord: child exited cleanly, done");
+            return 0;
+        }
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 127)
+            fatal("mercury_supervisord: cannot exec '", child_command[0],
+                  "'");
+
+        double delay = tracker.onExit(now, uptime);
+        if (tracker.crashLooping(now)) {
+            fatal("mercury_supervisord: crash loop (",
+                  policy.crashLoopThreshold, " exits within ",
+                  policy.crashLoopWindowSeconds, " s), giving up");
+        }
+        if (max_restarts > 0 &&
+            tracker.restarts() >= static_cast<uint64_t>(max_restarts)) {
+            fatal("mercury_supervisord: --max-restarts ", max_restarts,
+                  " reached, giving up");
+        }
+        warn("mercury_supervisord: pid ", pid, " died (",
+             describeExit(status), ") after ", uptime,
+             " s; restarting in ", delay, " s");
+        interruptibleSleep(delay);
+    }
+    return 0;
+}

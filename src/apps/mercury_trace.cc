@@ -17,6 +17,7 @@
 #include "core/trace.hh"
 #include "graphdot/parser.hh"
 #include "graphdot/writer.hh"
+#include "state/checkpoint.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -43,6 +44,11 @@ main(int argc, char **argv)
                     "threads, 1 = serial)");
     flags.defineBool("graphviz", false,
                      "dump the first machine as Graphviz dot and exit");
+    flags.defineString("checkpoint-path", "",
+                       "save the solver state here when the run ends");
+    flags.defineBool("resume", false,
+                     "restore --checkpoint-path first and continue the "
+                     "trace from where that run stopped");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -83,6 +89,21 @@ main(int argc, char **argv)
     if (config.room)
         solver.setRoom(*config.room);
 
+    std::string checkpoint_path = flags.getString("checkpoint-path");
+    if (flags.getBool("resume")) {
+        if (checkpoint_path.empty())
+            fatal("--resume needs --checkpoint-path");
+        state::Checkpoint checkpoint;
+        std::string error;
+        if (!state::loadCheckpointFile(checkpoint_path, &checkpoint,
+                                       &error) ||
+            !state::restoreSolver(solver, checkpoint, &error)) {
+            fatal("cannot resume from '", checkpoint_path, "': ", error);
+        }
+        inform("mercury_trace: resumed at ", solver.emulatedSeconds(),
+               " emulated seconds");
+    }
+
     core::TraceRunner runner(solver, trace);
     std::string record = flags.getString("record");
     if (record == "all") {
@@ -99,5 +120,15 @@ main(int argc, char **argv)
 
     runner.run(flags.getDouble("duration"));
     runner.writeCsv(std::cout);
+
+    if (!checkpoint_path.empty()) {
+        std::string error;
+        if (!state::saveCheckpointFile(checkpoint_path,
+                                       state::captureSolver(solver),
+                                       &error)) {
+            fatal("cannot save checkpoint '", checkpoint_path, "': ",
+                  error);
+        }
+    }
     return 0;
 }

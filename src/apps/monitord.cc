@@ -11,15 +11,25 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <thread>
 
 #include "core/trace.hh"
 #include "monitor/monitord.hh"
+#include "sensor/client.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 
 namespace {
+
+volatile std::sig_atomic_t stopRequested = 0;
+
+void
+handleSignal(int)
+{
+    stopRequested = 1;
+}
 
 std::string
 localHostname()
@@ -28,6 +38,22 @@ localHostname()
     if (::gethostname(buf, sizeof(buf) - 1) != 0)
         return "localhost";
     return buf;
+}
+
+/**
+ * Sleep for @p seconds in short slices so a SIGINT/SIGTERM turns
+ * around in ~100 ms instead of waiting out a full period.
+ */
+void
+interruptibleSleep(double seconds)
+{
+    using Clock = std::chrono::steady_clock;
+    auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    while (!stopRequested && Clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
 }
 
 } // namespace
@@ -50,6 +76,15 @@ main(int argc, char **argv)
     flags.defineString("record", "",
                        "also append every sample to this utilization "
                        "trace CSV (for later offline replay)");
+    flags.defineInt("backlog", 600,
+                    "samples queued while the solver is unreachable "
+                    "(0 disables the outage backlog)");
+    flags.defineString("gap-fill", "replay",
+                       "what to ship from the backlog on reconnect: "
+                       "replay | hold-last");
+    flags.defineDouble("probe-seconds", 5.0,
+                       "seconds between solver reachability probes "
+                       "(only with --backlog > 0)");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -110,23 +145,78 @@ main(int argc, char **argv)
 
     monitor::Monitord daemon(machine, std::move(source), std::move(sink));
 
+    // Outage backlog: queue samples while the solver is unreachable
+    // and replay them on reconnect. Reachability is decided by a
+    // cheap fiddle("stats") round trip on its own cadence.
+    long long backlog_capacity = flags.getInt("backlog");
+    if (backlog_capacity < 0)
+        fatal("--backlog must be >= 0");
+    std::unique_ptr<sensor::SensorClient> probe;
+    double probe_seconds = flags.getDouble("probe-seconds");
+    if (backlog_capacity > 0) {
+        monitor::Monitord::BacklogConfig backlog_config;
+        backlog_config.capacity = static_cast<size_t>(backlog_capacity);
+        std::string gap_fill = flags.getString("gap-fill");
+        if (gap_fill == "replay") {
+            backlog_config.policy =
+                monitor::Monitord::GapFillPolicy::Replay;
+        } else if (gap_fill == "hold-last") {
+            backlog_config.policy =
+                monitor::Monitord::GapFillPolicy::HoldLast;
+        } else {
+            fatal("unknown --gap-fill '", gap_fill,
+                  "' (replay | hold-last)");
+        }
+        daemon.enableBacklog(backlog_config);
+        if (probe_seconds <= 0.0)
+            fatal("--probe-seconds must be > 0");
+        probe = std::make_unique<sensor::SensorClient>(
+            std::make_unique<sensor::UdpTransport>(
+                flags.getString("solver-host"),
+                static_cast<uint16_t>(flags.getInt("solver-port"))),
+            machine);
+    }
+
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+
     inform("monitord: machine '", machine, "' -> ", solver.toString());
     double period = flags.getDouble("period");
     double duration = flags.getDouble("duration");
     auto start = std::chrono::steady_clock::now();
-    while (true) {
+    double next_probe = 0.0;
+    while (!stopRequested) {
         auto now = std::chrono::steady_clock::now();
         double elapsed = std::chrono::duration<double>(now - start).count();
         if (duration > 0.0 && elapsed >= duration)
             break;
+        if (probe && elapsed >= next_probe) {
+            bool reachable = probe->fiddle("stats").first;
+            if (reachable != daemon.online()) {
+                if (reachable)
+                    inform("monitord: solver reachable again, "
+                           "replaying ", daemon.backlogDepth(),
+                           " queued sample(s)");
+                else
+                    inform("monitord: solver unreachable, queueing "
+                           "up to ", backlog_capacity, " sample(s)");
+            }
+            daemon.setOnline(reachable);
+            next_probe = elapsed + probe_seconds;
+        }
         *record_clock = elapsed;
         daemon.tick(elapsed);
-        std::this_thread::sleep_for(std::chrono::duration<double>(period));
+        interruptibleSleep(period);
     }
+    if (stopRequested)
+        inform("monitord: signal received, flushing and exiting");
     if (recording) {
         recorded.save(record_file);
         inform("monitord: trace written to ", flags.getString("record"));
     }
-    inform("monitord: sent ", daemon.updatesSent(), " updates");
+    inform("monitord: sent ", daemon.updatesSent(), " updates (",
+           daemon.backlogReplayed(), " replayed from backlog, ",
+           daemon.backlogDropped(), " dropped, ", daemon.backlogDepth(),
+           " still queued)");
     return 0;
 }

@@ -224,6 +224,21 @@ RoomModel::setEdgeFraction(const std::string &from, const std::string &to,
     MERCURY_PANIC("room: no edge ", from, " -> ", to);
 }
 
+RoomModel::EdgeView
+RoomModel::edge(size_t index) const
+{
+    const Edge &e = edges_.at(index);
+    return {nodes_[e.from].name, nodes_[e.to].name, e.fraction};
+}
+
+void
+RoomModel::setEdgeFraction(size_t index, double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        MERCURY_PANIC("room edge fraction ", fraction, " outside [0, 1]");
+    edges_.at(index).fraction = fraction;
+}
+
 void
 RoomModel::setInletOverride(const std::string &machine_name,
                             std::optional<double> celsius)

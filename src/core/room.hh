@@ -80,6 +80,22 @@ class RoomModel
     /** True when a directed edge from -> to exists. */
     bool hasEdge(const std::string &from, const std::string &to) const;
 
+    /** @name Checkpoint enumeration (src/state capture/restore) */
+    /// @{
+
+    struct EdgeView
+    {
+        std::string from;
+        std::string to;
+        double fraction;
+    };
+
+    size_t edgeCount() const { return edges_.size(); }
+    EdgeView edge(size_t index) const;
+    void setEdgeFraction(size_t index, double fraction);
+
+    /// @}
+
   private:
     struct Node
     {

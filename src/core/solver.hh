@@ -114,6 +114,16 @@ class Solver
     double emulatedSeconds() const;
 
     /**
+     * Overwrite the iteration counter so emulatedSeconds() resumes
+     * where a checkpoint left off. Only src/state restore should call
+     * this; it does not touch any thermal state.
+     */
+    void restoreIterationCount(uint64_t iterations)
+    {
+        iterations_ = iterations;
+    }
+
+    /**
      * Install a hook that runs at the end of every iterate(), after
      * all machines have stepped — the telemetry plane publishes its
      * shared-memory snapshot here. One hook at a time; pass nullptr

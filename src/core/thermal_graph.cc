@@ -653,6 +653,68 @@ ThermalGraph::setPowerRange(const std::string &node_name, double p_min,
     refreshWatts(id);
 }
 
+ThermalGraph::HeatEdgeView
+ThermalGraph::heatEdge(size_t index) const
+{
+    const HeatEdge &edge = heatEdges_.at(index);
+    return {nodes_[edge.a].name, nodes_[edge.b].name, edge.k};
+}
+
+void
+ThermalGraph::setHeatK(size_t index, double k)
+{
+    if (k <= 0.0)
+        MERCURY_PANIC("setHeatK: non-positive k ", k);
+    heatEdges_.at(index).k = k;
+    syncHeatCsrK();
+    planDirty_ = true;
+}
+
+ThermalGraph::AirEdgeView
+ThermalGraph::airEdge(size_t index) const
+{
+    const AirEdge &edge = airEdges_.at(index);
+    return {nodes_[edge.from].name, nodes_[edge.to].name, edge.fraction};
+}
+
+void
+ThermalGraph::setAirFraction(size_t index, double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        MERCURY_PANIC("setAirFraction: fraction ", fraction,
+                      " outside [0, 1]");
+    airEdges_.at(index).fraction = fraction;
+    recomputeFlows();
+}
+
+void
+ThermalGraph::pinTemperature(NodeId id, double celsius)
+{
+    pinned_.at(id) = 1;
+    pinValue_[id] = celsius;
+    temperature_[id] = celsius;
+}
+
+double
+ThermalGraph::basePower(NodeId id) const
+{
+    const Node &node = nodes_.at(id);
+    if (!node.powerModel)
+        MERCURY_PANIC("machine '", name_, "': node '", node.name,
+                      "' has no power model");
+    return node.powerModel->basePower();
+}
+
+double
+ThermalGraph::maxPower(NodeId id) const
+{
+    const Node &node = nodes_.at(id);
+    if (!node.powerModel)
+        MERCURY_PANIC("machine '", name_, "': node '", node.name,
+                      "' has no power model");
+    return node.powerModel->maxPower();
+}
+
 void
 ThermalGraph::setPowerModel(const std::string &node_name,
                             std::unique_ptr<PowerModel> model)

@@ -162,6 +162,55 @@ class ThermalGraph
                        std::unique_ptr<PowerModel> model);
 
     /// @}
+    /** @name Checkpoint enumeration (src/state capture/restore)
+     * Index-based views over the mutable constants so a checkpoint can
+     * enumerate them without knowing edge names, and index-based
+     * setters that maintain the CSR/substep caches exactly like their
+     * named counterparts.
+     */
+    /// @{
+
+    struct HeatEdgeView
+    {
+        std::string a;
+        std::string b;
+        double k;
+    };
+
+    struct AirEdgeView
+    {
+        std::string from;
+        std::string to;
+        double fraction;
+    };
+
+    size_t heatEdgeCount() const { return heatEdges_.size(); }
+    HeatEdgeView heatEdge(size_t index) const;
+    void setHeatK(size_t index, double k);
+
+    size_t airEdgeCount() const { return airEdges_.size(); }
+    AirEdgeView airEdge(size_t index) const;
+    void setAirFraction(size_t index, double fraction);
+
+    /** Powered node ids, ascending. */
+    const std::vector<NodeId> &poweredNodeIds() const
+    {
+        return poweredIds_;
+    }
+
+    bool isPinned(NodeId id) const { return pinned_.at(id) != 0; }
+    double pinnedTemperature(NodeId id) const { return pinValue_.at(id); }
+    void pinTemperature(NodeId id, double celsius);
+    void unpinTemperature(NodeId id) { pinned_.at(id) = 0; }
+
+    /** Base/max power of a powered node's model [W]. */
+    double basePower(NodeId id) const;
+    double maxPower(NodeId id) const;
+
+    /** Overwrite the integrated energy counter (checkpoint restore). */
+    void restoreEnergyConsumed(double joules) { energyConsumed_ = joules; }
+
+    /// @}
 
   private:
     /** Cold per-node data; hot state lives in the dense arrays below. */

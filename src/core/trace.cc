@@ -150,8 +150,10 @@ TraceRunner::run(double duration_seconds)
     if (ran_)
         MERCURY_PANIC("TraceRunner: run() called twice");
     ran_ = true;
+    double start = solver_.emulatedSeconds();
     if (duration_seconds < 0.0)
-        duration_seconds = trace_.duration();
+        duration_seconds = std::max(0.0, trace_.duration() - start);
+    double end = start + duration_seconds;
 
     // Resolve recorded components and trace targets to solver handles
     // once, instead of walking the string -> alias -> NodeId map chain
@@ -183,26 +185,30 @@ TraceRunner::run(double duration_seconds)
         }
     };
 
+    // All times below are absolute emulated seconds. On a resumed
+    // (checkpoint-restored) solver the first pass over the sample list
+    // re-applies the pre-checkpoint prefix; the latest value per
+    // component wins before the first iteration, which is exactly the
+    // state the uninterrupted run has at this point.
     const auto &samples = trace_.samples();
     size_t next = 0;
-    double start = solver_.emulatedSeconds();
-    double elapsed = 0.0;
-    while (elapsed < duration_seconds - 1e-9) {
+    double now = solver_.emulatedSeconds();
+    while (now < end - 1e-9) {
         // Apply every sample whose timestamp has passed.
         while (next < samples.size() &&
-               samples[next].time <= elapsed + 1e-9) {
+               samples[next].time <= now + 1e-9) {
             apply(samples[next]);
             ++next;
         }
         solver_.iterate();
-        elapsed = solver_.emulatedSeconds() - start;
+        now = solver_.emulatedSeconds();
         for (size_t i = 0; i < recorded_.size(); ++i) {
             double value =
                 recorded_refs[i]
                     ? solver_.temperature(*recorded_refs[i])
                     : solver_.temperature(recorded_[i].first,
                                           recorded_[i].second);
-            series_[i].add(elapsed, value);
+            series_[i].add(now, value);
         }
     }
 }

@@ -93,9 +93,15 @@ class TraceRunner
     void recordAll();
 
     /**
-     * Run for @p duration_seconds (default: trace duration), applying
-     * samples as their timestamps pass and recording after every
-     * solver iteration.
+     * Run for @p duration_seconds (default: the rest of the trace),
+     * applying samples as their timestamps pass and recording after
+     * every solver iteration.
+     *
+     * Trace timestamps and recorded series times are *absolute*
+     * emulated seconds: a solver restored from a checkpoint resumes
+     * exactly where it stopped, and the resumed series continues the
+     * interrupted one bitwise. A fresh solver starts at zero, so
+     * plain runs are unaffected.
      */
     void run(double duration_seconds = -1.0);
 

@@ -212,8 +212,16 @@ runExperiment(const ExperimentConfig &config)
     });
 
     // --- Run. ---
+    if (config.shouldStop) {
+        simulator.every(sim::seconds(1.0), [&] {
+            if (config.shouldStop())
+                simulator.requestStop();
+            return true;
+        });
+    }
     double horizon = workload_config.duration + config.tailSeconds;
     simulator.runUntil(sim::seconds(horizon));
+    result.stoppedEarly = simulator.stopRequested();
 
     // --- Collect. ---
     result.submitted = balancer.submitted();

@@ -11,6 +11,7 @@
 #ifndef MERCURY_FREON_EXPERIMENT_HH
 #define MERCURY_FREON_EXPERIMENT_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -83,6 +84,13 @@ struct ExperimentConfig
     bool enableVariableFans = false;
     core::FanCurve fanCurve;
 
+    /**
+     * Polled once per simulated second; return true to end the run
+     * early with whatever has been recorded so far (freon_clusterd's
+     * SIGINT/SIGTERM path). Empty = run the full horizon.
+     */
+    std::function<bool()> shouldStop;
+
     /** Install the paper's two Figure 11 emergencies at 480 s. */
     void addPaperEmergencies();
 };
@@ -90,6 +98,9 @@ struct ExperimentConfig
 /** Everything the paper's figures need. */
 struct ExperimentResult
 {
+    /** True when shouldStop ended the run before the horizon. */
+    bool stoppedEarly = false;
+
     uint64_t submitted = 0;
     uint64_t completed = 0;
     uint64_t dropped = 0;

@@ -26,8 +26,72 @@ Monitord::tick(double now_seconds)
         update.component = reading.component;
         update.utilization = reading.utilization;
         update.sequence = sequence_++;
+        if (backlogEnabled_ && !online_) {
+            if (backlog_.size() >= backlogConfig_.capacity) {
+                backlog_.pop_front();
+                ++backlogDropped_;
+            }
+            backlog_.push_back({std::move(update), now_seconds});
+            continue;
+        }
         sink_(update);
         ++updatesSent_;
+    }
+}
+
+void
+Monitord::enableBacklog(BacklogConfig config)
+{
+    if (config.capacity == 0)
+        MERCURY_PANIC("Monitord::enableBacklog: zero capacity");
+    backlogEnabled_ = true;
+    backlogConfig_ = config;
+}
+
+void
+Monitord::setOnline(bool online)
+{
+    if (online == online_)
+        return;
+    online_ = online;
+    if (online_)
+        flushBacklog();
+}
+
+void
+Monitord::flushBacklog()
+{
+    if (backlog_.empty())
+        return;
+    if (backlogConfig_.policy == GapFillPolicy::HoldLast) {
+        // Keep only the newest sample per component; earlier ones were
+        // superseded during the outage. Their sequences go unsent on
+        // purpose — the solver counts them as losses, which they are.
+        for (size_t i = 0; i < backlog_.size(); ++i) {
+            bool superseded = false;
+            for (size_t j = i + 1; j < backlog_.size(); ++j) {
+                if (backlog_[j].update.component ==
+                    backlog_[i].update.component) {
+                    superseded = true;
+                    break;
+                }
+            }
+            if (superseded) {
+                backlog_[i].update.machine.clear(); // mark skipped
+                ++backlogDropped_;
+            }
+        }
+    }
+    while (!backlog_.empty()) {
+        QueuedSample sample = std::move(backlog_.front());
+        backlog_.pop_front();
+        if (sample.update.machine.empty())
+            continue; // hold-last skip
+        sample.update.backlog =
+            static_cast<uint32_t>(backlog_.size());
+        sink_(sample.update);
+        ++updatesSent_;
+        ++backlogReplayed_;
     }
 }
 

@@ -12,6 +12,8 @@
 #ifndef MERCURY_MONITOR_MONITORD_HH
 #define MERCURY_MONITOR_MONITORD_HH
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -52,6 +54,56 @@ class Monitord
     uint64_t updatesSent() const { return updatesSent_; }
     const std::string &machine() const { return machine_; }
 
+    /** @name Outage backlog
+     * While the solver is unreachable, thermal integration would
+     * silently lose its heat input: the solver keeps stepping with the
+     * last utilization it saw. With a backlog enabled, samples taken
+     * while offline are queued (bounded, oldest dropped) and shipped
+     * on reconnect. Sequences are assigned at sampling time either
+     * way, so the solver's loss accounting stays truthful: an
+     * overflowed or hold-last-skipped sample reads as a lost packet,
+     * never as a phantom delivery.
+     */
+    /// @{
+
+    /** What to ship from the backlog when the solver comes back. */
+    enum class GapFillPolicy {
+        /** Ship every queued sample in order — the solver applies the
+         *  whole utilization history (best thermal fidelity). */
+        Replay,
+        /** Ship only the newest sample per component; skipped
+         *  sequences surface as losses (cheapest catch-up). */
+        HoldLast,
+    };
+
+    struct BacklogConfig
+    {
+        size_t capacity = 600; //!< queued samples kept (per daemon)
+        GapFillPolicy policy = GapFillPolicy::Replay;
+    };
+
+    /** Enable queue-while-offline with the given bound and policy. */
+    void enableBacklog(BacklogConfig config);
+
+    /**
+     * Tell the daemon whether the solver is reachable (the app's
+     * probe loop decides). Going online flushes the backlog through
+     * the sink, per policy. Daemons start online.
+     */
+    void setOnline(bool online);
+    bool online() const { return online_; }
+
+    /** Samples currently queued. */
+    uint64_t backlogDepth() const { return backlog_.size(); }
+
+    /** Samples never shipped: capacity overflow + hold-last skips. */
+    uint64_t backlogDropped() const { return backlogDropped_; }
+
+    /** Samples shipped from the backlog on reconnects. */
+    uint64_t backlogReplayed() const { return backlogReplayed_; }
+
+    /// @}
+
     /** Sink that sends 128-byte datagrams to a solver endpoint. */
     static Sink udpSink(std::shared_ptr<net::UdpSocket> socket,
                         net::Endpoint solver);
@@ -69,11 +121,27 @@ class Monitord
                            std::shared_ptr<net::FaultInjector> injector);
 
   private:
+    /** One sample queued during an outage. */
+    struct QueuedSample
+    {
+        proto::UtilizationUpdate update;
+        double sampledAtSeconds = 0.0;
+    };
+
+    void flushBacklog();
+
     std::string machine_;
     std::unique_ptr<UtilizationSource> source_;
     Sink sink_;
     uint64_t updatesSent_ = 0;
     uint64_t sequence_ = 0;
+
+    bool backlogEnabled_ = false;
+    BacklogConfig backlogConfig_;
+    bool online_ = true;
+    std::deque<QueuedSample> backlog_;
+    uint64_t backlogDropped_ = 0;
+    uint64_t backlogReplayed_ = 0;
 };
 
 } // namespace monitor

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -87,12 +88,38 @@ UdpSocket::operator=(UdpSocket &&other) noexcept
 void
 UdpSocket::bind(uint16_t port)
 {
+    // A supervised restart must reclaim the crashed daemon's port.
+    // SO_REUSEADDR alone is not enough on Linux UDP (both the holder
+    // and the binder must set it, and the dying process's socket may
+    // linger briefly), so also retry EADDRINUSE for a couple of
+    // seconds before giving up.
+    if (port != 0) {
+        int one = 1;
+        if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one)) < 0) {
+            warn("setsockopt(SO_REUSEADDR): ", std::strerror(errno));
+        }
+    }
+
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_ANY);
     addr.sin_port = htons(port);
-    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0)
-        fatal("bind(", port, "): ", std::strerror(errno));
+
+    constexpr int kBindAttempts = 20;
+    constexpr auto kBindRetryDelay = std::chrono::milliseconds(100);
+    for (int attempt = 1;; ++attempt) {
+        if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) == 0)
+            return;
+        if (errno != EADDRINUSE || port == 0 ||
+            attempt >= kBindAttempts)
+            fatal("bind(", port, "): ", std::strerror(errno));
+        if (attempt == 1)
+            inform("bind(", port, "): address in use, retrying for up "
+                   "to ", kBindAttempts, " attempts");
+        std::this_thread::sleep_for(kBindRetryDelay);
+    }
 }
 
 uint16_t

@@ -208,6 +208,7 @@ encode(const UtilizationUpdate &msg)
     writer.fixedString(msg.component, kNameWidth, "component");
     writer.f64(msg.utilization);
     writer.u64(msg.sequence);
+    writer.u32(msg.backlog);
     return packet;
 }
 
@@ -331,6 +332,7 @@ decode(const Packet &packet)
         msg.component = reader.fixedString(kNameWidth);
         msg.utilization = reader.f64();
         msg.sequence = reader.u64();
+        msg.backlog = reader.u32();
         if (msg.machine.empty() || msg.component.empty())
             return std::nullopt;
         return msg;

@@ -65,6 +65,10 @@ struct UtilizationUpdate
     std::string component; //!< max 31 bytes on the wire
     double utilization = 0.0;
     uint64_t sequence = 0; //!< sender sequence number (loss diagnosis)
+    /** Samples still queued in the sender's outage backlog; 0 in live
+     *  operation. Occupies previously zero-padded packet bytes, so old
+     *  senders decode as backlog 0. */
+    uint32_t backlog = 0;
 };
 
 /** sensor library -> solver: read one emulated sensor. */

@@ -14,6 +14,25 @@ SolverDaemon::SolverDaemon(core::Solver &solver, Config config)
     : solver_(solver), config_(config), service_(solver)
 {
     socket_.bind(config_.port);
+    if (!config_.checkpointPath.empty()) {
+        state::CheckpointManager::Config manager_config;
+        manager_config.path = config_.checkpointPath;
+        manager_config.periodSeconds = config_.checkpointSeconds;
+        checkpointManager_ = std::make_unique<state::CheckpointManager>(
+            solver_, manager_config);
+        checkpointManager_->setSenderExporter(
+            [this] { return service_.exportSenders(); });
+        checkpointManager_->setSenderImporter(
+            [this](const std::vector<state::SenderRecord> &records) {
+                service_.importSenders(records);
+            });
+        // Restore before the telemetry segment is (re)built below:
+        // the segment's first snapshot then already carries the
+        // resumed temperatures, and its bumped boot generation evicts
+        // any reader still holding pre-crash slot handles.
+        checkpointManager_->restoreAtBoot();
+        service_.setCheckpointManager(checkpointManager_.get());
+    }
     if (!config_.shmName.empty()) {
         writer_ = std::make_unique<telemetry::Writer>(
             config_.shmName, solver_, config_.iterationSeconds);
@@ -68,6 +87,8 @@ SolverDaemon::run()
             inform("solverd: ", service_.statsLine());
             next_stats = Clock::now() + stats_period;
         }
+        if (checkpointManager_)
+            checkpointManager_->maybeSave();
 
         double timeout = 0.05;
         if (stepping) {
@@ -94,6 +115,14 @@ SolverDaemon::run()
         auto reply = service_.handlePacket(buffer, *got);
         if (reply)
             socket_.sendTo(from, reply->data(), reply->size());
+    }
+
+    // stop() is the graceful path (SIGINT/SIGTERM in solverd): flush
+    // one final checkpoint so a clean shutdown never loses state.
+    if (checkpointManager_) {
+        if (checkpointManager_->saveNow())
+            inform("solverd: final checkpoint saved to ",
+                   checkpointManager_->path());
     }
 }
 

@@ -19,6 +19,7 @@
 
 #include "net/udp.hh"
 #include "proto/solver_service.hh"
+#include "state/checkpoint.hh"
 
 namespace mercury {
 
@@ -58,6 +59,17 @@ class SolverDaemon
          *  temperatures straight from the segment instead of asking
          *  over UDP. */
         std::string shmName;
+
+        /** Checkpoint file; empty disables checkpointing. Restored at
+         *  construction (before the telemetry segment is built, so the
+         *  first published snapshot already carries the resumed
+         *  state); saved on the timer below, on `fiddle checkpoint`,
+         *  and once more when run() returns (clean shutdown). */
+        std::string checkpointPath;
+
+        /** Wall-clock seconds between periodic checkpoint saves;
+         *  <= 0 disables the timer (explicit saves still work). */
+        double checkpointSeconds = 30.0;
     };
 
     SolverDaemon(core::Solver &solver, Config config);
@@ -84,11 +96,18 @@ class SolverDaemon
         return writer_.get();
     }
 
+    /** The checkpoint manager; null when checkpointing is disabled. */
+    const state::CheckpointManager *checkpointManager() const
+    {
+        return checkpointManager_.get();
+    }
+
   private:
     core::Solver &solver_;
     Config config_;
     SolverService service_;
     net::UdpSocket socket_;
+    std::unique_ptr<state::CheckpointManager> checkpointManager_;
     std::unique_ptr<telemetry::Writer> writer_;
     std::atomic<bool> stop_{false};
 };

@@ -98,9 +98,62 @@ SolverService::SenderState::note(uint64_t sequence)
 }
 
 void
-SolverService::noteSequence(const std::string &machine, uint64_t sequence)
+SolverService::noteSequence(const std::string &machine, uint64_t sequence,
+                            uint32_t backlog)
 {
-    senders_[machine].note(sequence);
+    SenderState &sender = senders_[machine];
+    sender.note(sequence);
+    sender.lastBacklog = backlog;
+}
+
+uint64_t
+SolverService::backlogDepth() const
+{
+    uint64_t depth = 0;
+    for (const auto &[machine, state] : senders_) {
+        (void)machine;
+        depth += state.lastBacklog;
+    }
+    return depth;
+}
+
+std::vector<state::SenderRecord>
+SolverService::exportSenders() const
+{
+    std::vector<state::SenderRecord> records;
+    records.reserve(senders_.size());
+    for (const auto &[machine, sender] : senders_) {
+        state::SenderRecord record;
+        record.machine = machine;
+        record.started = sender.started;
+        record.head = sender.head;
+        record.window = sender.window;
+        record.received = sender.received;
+        record.lost = sender.lost;
+        record.duplicates = sender.duplicates;
+        record.reordered = sender.reordered;
+        record.lastBacklog = sender.lastBacklog;
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+void
+SolverService::importSenders(const std::vector<state::SenderRecord> &records)
+{
+    for (const state::SenderRecord &record : records) {
+        if (record.machine.empty())
+            continue;
+        SenderState &sender = senders_[record.machine];
+        sender.started = record.started;
+        sender.head = record.head;
+        sender.window = record.window;
+        sender.received = record.received;
+        sender.lost = record.lost;
+        sender.duplicates = record.duplicates;
+        sender.reordered = record.reordered;
+        sender.lastBacklog = record.lastBacklog;
+    }
 }
 
 SolverService::LossStats
@@ -129,8 +182,21 @@ std::string
 SolverService::statsLine() const
 {
     LossStats loss = lossStats();
-    return format("up=%llu rej=%llu lost=%llu dup=%llu ro=%llu rd=%llu "
-                  "mrd=%llu fid=%llu bad=%llu",
+    // ck = seconds since the last successful checkpoint save (-1 =
+    // never), rit = iteration the boot-time restore resumed from.
+    long long ck_age = -1;
+    unsigned long long restore_iteration = 0;
+    if (checkpointManager_) {
+        double age = checkpointManager_->lastSaveAgeSeconds();
+        if (age >= 0.0)
+            ck_age = static_cast<long long>(age);
+        restore_iteration = static_cast<unsigned long long>(
+            checkpointManager_->lastRestoreIteration());
+    }
+    return format("it=%llu up=%llu rej=%llu lost=%llu dup=%llu ro=%llu "
+                  "rd=%llu mrd=%llu fid=%llu bad=%llu blog=%llu "
+                  "ck=%lld rit=%llu",
+                  static_cast<unsigned long long>(solver_.iterations()),
                   static_cast<unsigned long long>(updatesApplied_),
                   static_cast<unsigned long long>(updatesRejected_),
                   static_cast<unsigned long long>(loss.lost),
@@ -139,7 +205,9 @@ SolverService::statsLine() const
                   static_cast<unsigned long long>(sensorReads_),
                   static_cast<unsigned long long>(multiReads_),
                   static_cast<unsigned long long>(fiddlesApplied_),
-                  static_cast<unsigned long long>(undecodable_));
+                  static_cast<unsigned long long>(undecodable_),
+                  static_cast<unsigned long long>(backlogDepth()),
+                  ck_age, restore_iteration);
 }
 
 Packet
@@ -147,7 +215,7 @@ SolverService::onUtilization(const UtilizationUpdate &msg)
 {
     // Sequence accounting is transport health: track it even when the
     // target cannot be resolved, so loss numbers stay truthful.
-    noteSequence(msg.machine, msg.sequence);
+    noteSequence(msg.machine, msg.sequence, msg.backlog);
 
     auto ref = resolveCached(msg.machine, msg.component);
     if (!ref || !solver_.isPowered(*ref)) {
@@ -223,6 +291,28 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
     if (line == "stats" || line == "fiddle stats") {
         reply.status = Status::Ok;
         reply.message = statsLine().substr(0, 110);
+        return encode(reply);
+    }
+
+    // `fiddle checkpoint`: save on demand, synchronously, so an
+    // operator can snapshot right before a risky intervention.
+    if (line == "checkpoint" || line == "fiddle checkpoint") {
+        if (!checkpointManager_) {
+            reply.status = Status::BadCommand;
+            reply.message = "no checkpoint path configured";
+            return encode(reply);
+        }
+        std::string why;
+        if (checkpointManager_->saveNow(&why)) {
+            reply.status = Status::Ok;
+            reply.message =
+                "checkpoint saved (#" +
+                std::to_string(checkpointManager_->saveCount()) + ")";
+            ++fiddlesApplied_;
+        } else {
+            reply.status = Status::InternalError;
+            reply.message = why.substr(0, 110);
+        }
         return encode(reply);
     }
 

@@ -18,6 +18,7 @@
 
 #include "core/solver.hh"
 #include "proto/messages.hh"
+#include "state/checkpoint.hh"
 
 namespace mercury {
 
@@ -74,8 +75,34 @@ class SolverService
     /**
      * One-line counter summary, compact enough for a FiddleReply
      * (the `fiddle stats` command) and the daemon's periodic log.
+     * Leads with it=<iteration> — the supervisor's liveness probe
+     * parses that field, so it must survive the reply-width clamp.
      */
     std::string statsLine() const;
+
+    /**
+     * Wire the checkpoint subsystem in (borrowed, may be null): the
+     * `fiddle checkpoint` command saves through it and statsLine()
+     * reports checkpoint age / last-restore iteration from it.
+     */
+    void setCheckpointManager(state::CheckpointManager *manager)
+    {
+        checkpointManager_ = manager;
+    }
+
+    /** Sum of the backlog depths last reported by each sender. */
+    uint64_t backlogDepth() const;
+
+    /** @name Sender-table checkpointing
+     * The sequence trackers are part of a checkpoint: without them a
+     * restored daemon would misread the monitord's next sequence
+     * number as a giant loss gap (or a restart), corrupting the loss
+     * statistics the operators alarm on.
+     */
+    /// @{
+    std::vector<state::SenderRecord> exportSenders() const;
+    void importSenders(const std::vector<state::SenderRecord> &records);
+    /// @}
 
   private:
     Packet onUtilization(const UtilizationUpdate &msg);
@@ -99,11 +126,13 @@ class SolverService
         uint64_t lost = 0;
         uint64_t duplicates = 0;
         uint64_t reordered = 0;
+        uint32_t lastBacklog = 0; //!< sender's queued-sample depth
 
         void note(uint64_t sequence);
     };
 
-    void noteSequence(const std::string &machine, uint64_t sequence);
+    void noteSequence(const std::string &machine, uint64_t sequence,
+                      uint32_t backlog);
 
     /**
      * Resolve machine.component to a solver handle, consulting the
@@ -137,6 +166,9 @@ class SolverService
     uint64_t multiReads_ = 0;
     uint64_t fiddlesApplied_ = 0;
     uint64_t undecodable_ = 0;
+
+    /** Checkpoint plumbing (borrowed from the daemon; may be null). */
+    state::CheckpointManager *checkpointManager_ = nullptr;
 };
 
 } // namespace proto

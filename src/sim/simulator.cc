@@ -83,16 +83,20 @@ Simulator::step()
 void
 Simulator::runUntil(SimTime deadline)
 {
-    while (!queue_.empty() && queue_.nextTime() <= deadline)
+    stopRequested_ = false;
+    while (!stopRequested_ && !queue_.empty() &&
+           queue_.nextTime() <= deadline) {
         step();
-    if (now_ < deadline)
+    }
+    if (!stopRequested_ && now_ < deadline)
         now_ = deadline;
 }
 
 void
 Simulator::runToCompletion()
 {
-    while (step()) {
+    stopRequested_ = false;
+    while (!stopRequested_ && step()) {
     }
 }
 

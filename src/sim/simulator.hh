@@ -62,6 +62,15 @@ class Simulator
     /** Run until the queue drains completely. */
     void runToCompletion();
 
+    /**
+     * Ask the current runUntil()/runToCompletion() to return after the
+     * event in flight. Safe from a signal handler's deferred path (an
+     * event or periodic that polls a sig_atomic_t); the flag clears
+     * when the next run starts.
+     */
+    void requestStop() { stopRequested_ = true; }
+    bool stopRequested() const { return stopRequested_; }
+
     /** Process exactly one event if any is pending; returns false if idle. */
     bool step();
 
@@ -77,6 +86,7 @@ class Simulator
     EventQueue queue_;
     SimTime now_ = 0;
     uint64_t eventsRun_ = 0;
+    bool stopRequested_ = false;
 
     // Periodic chains: map the stable chain id to the currently armed
     // underlying event so cancel() works between firings.

@@ -1,0 +1,66 @@
+#include "state/supervisor.hh"
+
+#include <algorithm>
+
+namespace mercury {
+namespace state {
+
+double
+RestartTracker::onExit(double now_seconds, double uptime_seconds)
+{
+    ++restarts_;
+    recentExits_.push_back(now_seconds);
+    while (!recentExits_.empty() &&
+           now_seconds - recentExits_.front() >
+               policy_.crashLoopWindowSeconds) {
+        recentExits_.pop_front();
+    }
+    if (backoff_ == 0.0 ||
+        uptime_seconds >= policy_.healthyUptimeSeconds) {
+        backoff_ = policy_.initialBackoffSeconds;
+    } else {
+        backoff_ = std::min(backoff_ * policy_.backoffMultiplier,
+                            policy_.maxBackoffSeconds);
+    }
+    return backoff_;
+}
+
+bool
+RestartTracker::crashLooping(double now_seconds) const
+{
+    int inside = 0;
+    for (double t : recentExits_) {
+        if (now_seconds - t <= policy_.crashLoopWindowSeconds)
+            ++inside;
+    }
+    return inside >= policy_.crashLoopThreshold;
+}
+
+void
+StallDetector::noteProgress(uint64_t iteration, double now_seconds)
+{
+    if (!seen_ || iteration != lastIteration_) {
+        seen_ = true;
+        lastIteration_ = iteration;
+        lastAdvanceSeconds_ = now_seconds;
+    }
+}
+
+void
+StallDetector::reset()
+{
+    seen_ = false;
+    lastIteration_ = 0;
+    lastAdvanceSeconds_ = 0.0;
+}
+
+bool
+StallDetector::stalled(double now_seconds) const
+{
+    if (!seen_)
+        return false;
+    return now_seconds - lastAdvanceSeconds_ > stallSeconds_;
+}
+
+} // namespace state
+} // namespace mercury

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Restart policy for supervised daemons: exponential backoff,
+ * crash-loop detection, and iteration-progress stall detection.
+ *
+ * These classes are pure decision logic over caller-supplied clocks —
+ * no fork/exec, no sockets — so the policy is unit-testable in
+ * microseconds. apps/mercury_supervisord.cc owns the process plumbing
+ * (spawn solverd, waitpid, probe `fiddle stats` for the iteration
+ * counter) and consults these for *when* to restart and when to give
+ * up.
+ */
+
+#ifndef MERCURY_STATE_SUPERVISOR_HH
+#define MERCURY_STATE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace mercury {
+namespace state {
+
+/** Knobs for RestartTracker (seconds are caller-clock seconds). */
+struct SupervisorPolicy
+{
+    double initialBackoffSeconds = 0.5; //!< delay before first restart
+    double maxBackoffSeconds = 30.0;    //!< backoff ceiling
+    double backoffMultiplier = 2.0;     //!< growth per consecutive crash
+    /** A child that survived this long is considered healthy: the next
+     *  crash starts the backoff ladder from the bottom again. */
+    double healthyUptimeSeconds = 30.0;
+    /** Give up (crash loop) after this many crashes inside the
+     *  window — a corrupt config restarts forever otherwise. */
+    int crashLoopThreshold = 5;
+    double crashLoopWindowSeconds = 60.0;
+};
+
+/**
+ * Exponential-backoff restart ladder with crash-loop cutoff.
+ */
+class RestartTracker
+{
+  public:
+    explicit RestartTracker(SupervisorPolicy policy) : policy_(policy) {}
+
+    /**
+     * Record a child exit at @p now_seconds after @p uptime_seconds of
+     * life; returns the delay to wait before restarting.
+     */
+    double onExit(double now_seconds, double uptime_seconds);
+
+    /** True once the crash-loop threshold is hit inside the window. */
+    bool crashLooping(double now_seconds) const;
+
+    /** Exits recorded so far. */
+    uint64_t restarts() const { return restarts_; }
+
+    /** The delay the next onExit() would return (observability). */
+    double currentBackoffSeconds() const { return backoff_; }
+
+  private:
+    SupervisorPolicy policy_;
+    double backoff_ = 0.0; //!< 0 until the first exit
+    uint64_t restarts_ = 0;
+    std::deque<double> recentExits_; //!< timestamps inside the window
+};
+
+/**
+ * Liveness from forward progress: a daemon that answers probes but
+ * whose iteration counter stops advancing is stuck (deadlocked solver,
+ * wedged clock) and needs a restart just like a dead one.
+ */
+class StallDetector
+{
+  public:
+    /** @param stall_seconds no-progress time that counts as stuck. */
+    explicit StallDetector(double stall_seconds)
+        : stallSeconds_(stall_seconds)
+    {
+    }
+
+    /** Feed one successful probe: the observed iteration counter. */
+    void noteProgress(uint64_t iteration, double now_seconds);
+
+    /** Forget history (call after a restart). */
+    void reset();
+
+    /** True when the counter has not advanced for stall_seconds. */
+    bool stalled(double now_seconds) const;
+
+    double stallSeconds() const { return stallSeconds_; }
+
+  private:
+    double stallSeconds_;
+    bool seen_ = false;
+    uint64_t lastIteration_ = 0;
+    double lastAdvanceSeconds_ = 0.0;
+};
+
+} // namespace state
+} // namespace mercury
+
+#endif // MERCURY_STATE_SUPERVISOR_HH

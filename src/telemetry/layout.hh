@@ -79,7 +79,13 @@ struct Header
     uint32_t slotCount = 0;
     uint32_t aliasCount = 0;
     uint32_t machineCount = 0;
-    uint32_t reserved0 = 0;
+
+    /** Incremented every time a writer (re)creates this segment; folded
+     *  into layoutHash so readers that survived a writer crash cannot
+     *  keep serving pre-crash snapshots through cached slot handles —
+     *  their stored hash mismatches, forcing a reconnect and a handle
+     *  generation bump. */
+    uint32_t bootGeneration = 0;
     uint64_t periodNanos = 0;  //!< iteration period (staleness unit)
 
     /** Seqlock word: odd while the writer is mid-publish. Accessed via

@@ -106,6 +106,12 @@ Writer::Writer(std::string shm_name, core::Solver &solver,
     utilizations_ =
         reinterpret_cast<double *>(bytes + layout_.utilizationsOffset());
 
+    // A kill -9 leaves the previous segment behind and shm_open above
+    // reuses it, so the old header is still here: read its boot
+    // counter before stomping anything. Garbage (non-Mercury segment)
+    // only costs us a meaningless starting count.
+    bootGeneration_ = header_->bootGeneration + 1;
+
     // A previous segment generation may still be mapped by readers:
     // stomp the magic and hold the seqlock odd while rebuilding, so no
     // reader trusts a half-initialized table.
@@ -120,12 +126,17 @@ Writer::Writer(std::string shm_name, core::Solver &solver,
     if (!aliases.empty())
         std::memcpy(alias_table, aliases.data(),
                     sizeof(AliasEntry) * aliases.size());
+    // Mix the boot generation into the published hash: an identical
+    // topology after a crash-restart still reads as "different table",
+    // invalidating every pre-crash cached slot handle.
     header_->layoutHash = layoutHash(slot_table, layout_.slotCount,
-                                     alias_table, layout_.aliasCount);
+                                     alias_table, layout_.aliasCount) ^
+                          (static_cast<uint64_t>(bootGeneration_) *
+                           0x9e3779b97f4a7c15ull);
     header_->slotCount = layout_.slotCount;
     header_->aliasCount = layout_.aliasCount;
     header_->machineCount = machine_count;
-    header_->reserved0 = 0;
+    header_->bootGeneration = bootGeneration_;
     header_->reserved1 = 0;
     double period = period_seconds > 0.0 ? period_seconds : 1.0;
     header_->periodNanos = static_cast<uint64_t>(period * 1e9);

@@ -60,6 +60,10 @@ class Writer
     const std::string &name() const { return name_; }
     uint32_t slotCount() const { return layout_.slotCount; }
 
+    /** This segment incarnation's boot counter (1 on a fresh object,
+     *  previous + 1 when the name survived a crashed writer). */
+    uint32_t bootGeneration() const { return bootGeneration_; }
+
     /**
      * Snapshot the solver into the segment and refresh the heartbeat.
      * Thread-safe (an internal mutex serializes concurrent publishers,
@@ -103,6 +107,7 @@ class Writer
 
     std::mutex publishMutex_;
     bool hookInstalled_ = false;
+    uint32_t bootGeneration_ = 0;
 };
 
 } // namespace telemetry

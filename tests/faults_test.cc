@@ -12,6 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <chrono>
@@ -450,6 +455,42 @@ TEST_F(FaultFixture, PeriodicStatsCoverSequenceGaps)
     EXPECT_NE(line.find("lost=2"), std::string::npos) << line;
     EXPECT_NE(line.find("dup=1"), std::string::npos) << line;
     EXPECT_NE(line.find("ro=1"), std::string::npos) << line;
+}
+
+TEST(UdpSocketRebind, RetriesUntilALingeringHolderReleasesThePort)
+{
+    const uint16_t port =
+        static_cast<uint16_t>(45000 + (::getpid() % 10000));
+
+    // A holder *without* SO_REUSEADDR, the worst case a supervised
+    // restart can meet: the new daemon's bind gets EADDRINUSE until
+    // the old socket goes away.
+    int holder = ::socket(AF_INET, SOCK_DGRAM, 0);
+    ASSERT_GE(holder, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::bind(holder, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0)
+        << std::strerror(errno);
+
+    std::thread releaser([holder] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        ::close(holder);
+    });
+
+    // bind() must ride out the EADDRINUSE window instead of dying.
+    auto start = std::chrono::steady_clock::now();
+    net::UdpSocket taker;
+    taker.bind(port);
+    double waited = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    releaser.join();
+    EXPECT_EQ(taker.localPort(), port);
+    EXPECT_GE(waited, 0.3); // it actually had to retry
 }
 
 } // namespace

@@ -131,6 +131,121 @@ TEST(Monitord, SequenceNumbersIncrease)
     EXPECT_EQ(seen[2], 2u);
 }
 
+TEST(MonitordBacklog, QueuesOfflineAndReplaysInOrder)
+{
+    std::vector<proto::UtilizationUpdate> delivered;
+    auto source = std::make_unique<SyntheticSource>();
+    source->addComponent("cpu", [](double t) { return t / 100.0; });
+    Monitord daemon("m1", std::move(source),
+                    [&](const proto::UtilizationUpdate &update) {
+                        delivered.push_back(update);
+                    });
+    daemon.enableBacklog({8, Monitord::GapFillPolicy::Replay});
+
+    daemon.tick(1.0);
+    ASSERT_EQ(delivered.size(), 1u);
+
+    // Solver gone: samples queue instead of shipping.
+    daemon.setOnline(false);
+    for (double t = 2.0; t <= 5.0; t += 1.0)
+        daemon.tick(t);
+    EXPECT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(daemon.backlogDepth(), 4u);
+
+    // Reconnect: the whole history ships, oldest first, sequences
+    // intact, with the backlog field counting down the queue.
+    daemon.setOnline(true);
+    ASSERT_EQ(delivered.size(), 5u);
+    EXPECT_EQ(daemon.backlogDepth(), 0u);
+    EXPECT_EQ(daemon.backlogReplayed(), 4u);
+    EXPECT_EQ(daemon.backlogDropped(), 0u);
+    for (size_t i = 0; i < delivered.size(); ++i)
+        EXPECT_EQ(delivered[i].sequence, i) << i;
+    EXPECT_DOUBLE_EQ(delivered[1].utilization, 0.02);
+    EXPECT_DOUBLE_EQ(delivered[4].utilization, 0.05);
+    EXPECT_EQ(delivered[1].backlog, 3u);
+    EXPECT_EQ(delivered[4].backlog, 0u);
+}
+
+TEST(MonitordBacklog, BoundedQueueDropsOldestAndCountsIt)
+{
+    std::vector<proto::UtilizationUpdate> delivered;
+    auto source = std::make_unique<SyntheticSource>();
+    source->addComponent("cpu", [](double t) { return t / 100.0; });
+    Monitord daemon("m1", std::move(source),
+                    [&](const proto::UtilizationUpdate &update) {
+                        delivered.push_back(update);
+                    });
+    daemon.enableBacklog({3, Monitord::GapFillPolicy::Replay});
+    daemon.setOnline(false);
+    for (double t = 1.0; t <= 5.0; t += 1.0)
+        daemon.tick(t);
+    EXPECT_EQ(daemon.backlogDepth(), 3u);
+    EXPECT_EQ(daemon.backlogDropped(), 2u);
+
+    daemon.setOnline(true);
+    ASSERT_EQ(delivered.size(), 3u);
+    // The two oldest (sequences 0, 1) fell off: a truthful gap the
+    // solver's loss accounting will report.
+    EXPECT_EQ(delivered[0].sequence, 2u);
+    EXPECT_EQ(delivered[2].sequence, 4u);
+}
+
+TEST(MonitordBacklog, HoldLastShipsOnlyTheNewestPerComponent)
+{
+    std::vector<proto::UtilizationUpdate> delivered;
+    auto source = std::make_unique<SyntheticSource>();
+    source->addComponent("cpu", [](double t) { return t / 100.0; });
+    source->addComponent("disk", [](double t) { return t / 200.0; });
+    Monitord daemon("m1", std::move(source),
+                    [&](const proto::UtilizationUpdate &update) {
+                        delivered.push_back(update);
+                    });
+    daemon.enableBacklog({16, Monitord::GapFillPolicy::HoldLast});
+    daemon.setOnline(false);
+    for (double t = 1.0; t <= 4.0; t += 1.0)
+        daemon.tick(t);
+    EXPECT_EQ(daemon.backlogDepth(), 8u);
+
+    daemon.setOnline(true);
+    // Two components, one (newest) sample each.
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0].component, "cpu");
+    EXPECT_DOUBLE_EQ(delivered[0].utilization, 0.04);
+    EXPECT_EQ(delivered[1].component, "disk");
+    EXPECT_DOUBLE_EQ(delivered[1].utilization, 0.02);
+    EXPECT_EQ(daemon.backlogDropped(), 6u);
+    EXPECT_EQ(daemon.backlogReplayed(), 2u);
+}
+
+TEST(MonitordBacklog, SolverLossAccountingSeesReplayedSequences)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    proto::SolverService service(solver);
+
+    auto source = std::make_unique<SyntheticSource>();
+    source->addComponent("cpu", [](double t) { return t / 10.0; });
+    Monitord daemon("m1", std::move(source),
+                    Monitord::serviceSink(service));
+    daemon.enableBacklog({64, Monitord::GapFillPolicy::Replay});
+
+    daemon.tick(1.0);
+    daemon.setOnline(false);
+    for (double t = 2.0; t <= 6.0; t += 1.0)
+        daemon.tick(t);
+    daemon.setOnline(true);
+    daemon.tick(7.0);
+
+    // Every sequence arrived exactly once: no loss, no reorder, and
+    // the last replayed value is live in the solver.
+    EXPECT_EQ(service.updatesApplied(), 7u);
+    EXPECT_DOUBLE_EQ(solver.machine("m1").utilization("cpu"), 0.7);
+    std::string stats = service.statsLine();
+    EXPECT_NE(stats.find("lost=0"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("blog=0"), std::string::npos) << stats;
+}
+
 TEST(ProcSource, SamplesThisLinuxHost)
 {
     ProcSource source;

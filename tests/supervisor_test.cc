@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Restart policy unit tests: backoff ladder, healthy-uptime reset,
+ * crash-loop cutoff, and iteration-progress stall detection — all on
+ * caller-supplied clocks, no processes involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "state/supervisor.hh"
+
+namespace mercury {
+namespace {
+
+state::SupervisorPolicy
+testPolicy()
+{
+    state::SupervisorPolicy policy;
+    policy.initialBackoffSeconds = 1.0;
+    policy.maxBackoffSeconds = 8.0;
+    policy.backoffMultiplier = 2.0;
+    policy.healthyUptimeSeconds = 30.0;
+    policy.crashLoopThreshold = 4;
+    policy.crashLoopWindowSeconds = 60.0;
+    return policy;
+}
+
+TEST(RestartTracker, BackoffDoublesUpToTheCeiling)
+{
+    state::RestartTracker tracker(testPolicy());
+    EXPECT_DOUBLE_EQ(tracker.onExit(100.0, 5.0), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.onExit(200.0, 5.0), 2.0);
+    EXPECT_DOUBLE_EQ(tracker.onExit(300.0, 5.0), 4.0);
+    EXPECT_DOUBLE_EQ(tracker.onExit(400.0, 5.0), 8.0);
+    EXPECT_DOUBLE_EQ(tracker.onExit(500.0, 5.0), 8.0); // capped
+    EXPECT_EQ(tracker.restarts(), 5u);
+}
+
+TEST(RestartTracker, HealthyUptimeResetsTheLadder)
+{
+    state::RestartTracker tracker(testPolicy());
+    EXPECT_DOUBLE_EQ(tracker.onExit(100.0, 5.0), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.onExit(200.0, 5.0), 2.0);
+    // The child then ran for 45 s — healthy. Next crash starts over.
+    EXPECT_DOUBLE_EQ(tracker.onExit(300.0, 45.0), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.onExit(400.0, 5.0), 2.0);
+}
+
+TEST(RestartTracker, CrashLoopTripsOnlyInsideTheWindow)
+{
+    state::RestartTracker tracker(testPolicy());
+    // Three quick exits: under the threshold of 4.
+    tracker.onExit(10.0, 1.0);
+    tracker.onExit(12.0, 1.0);
+    tracker.onExit(14.0, 1.0);
+    EXPECT_FALSE(tracker.crashLooping(14.0));
+    // Fourth inside the 60 s window: loop.
+    tracker.onExit(16.0, 1.0);
+    EXPECT_TRUE(tracker.crashLooping(16.0));
+
+    // Spread the same four exits over > 60 s each: never a loop.
+    state::RestartTracker spread(testPolicy());
+    for (int i = 0; i < 8; ++i) {
+        spread.onExit(100.0 * (i + 1), 1.0);
+        EXPECT_FALSE(spread.crashLooping(100.0 * (i + 1))) << i;
+    }
+}
+
+TEST(StallDetector, TripsOnlyWhenTheCounterStopsAdvancing)
+{
+    state::StallDetector stall(10.0);
+    EXPECT_FALSE(stall.stalled(0.0)); // nothing observed yet
+
+    stall.noteProgress(100, 0.0);
+    EXPECT_FALSE(stall.stalled(5.0));
+    stall.noteProgress(150, 5.0); // advancing
+    EXPECT_FALSE(stall.stalled(14.0));
+    stall.noteProgress(150, 9.0); // frozen counter
+    stall.noteProgress(150, 14.0);
+    EXPECT_FALSE(stall.stalled(14.0)); // 9 s since last advance
+    EXPECT_TRUE(stall.stalled(15.1));  // 10.1 s since last advance
+
+    // Progress clears it.
+    stall.noteProgress(151, 16.0);
+    EXPECT_FALSE(stall.stalled(20.0));
+
+    // reset() forgets history (fresh child).
+    stall.noteProgress(151, 100.0);
+    stall.reset();
+    EXPECT_FALSE(stall.stalled(1000.0));
+}
+
+} // namespace
+} // namespace mercury
