@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Run the fleet-scale solver benchmarks (steady fleet with and without
+# the quiescence-aware active-set engine, churning fleet) and record
+# the results as machine-readable JSON at the repo root
+# (BENCH_scale.json). Then enforce the active-set speedup gate: at
+# 1024 machines of steady load, quiescence on must iterate at least
+# MERCURY_QUIESCENCE_SPEEDUP (default 10) times faster than off.
+#
+#   scripts/run_bench_scale.sh [build-dir] [extra benchmark args...]
+#
+# Examples:
+#   scripts/run_bench_scale.sh
+#   scripts/run_bench_scale.sh build --benchmark_min_time=0.1
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bench="$build_dir/bench/bench_scale_fleet"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_scale.json"
+"$bench" --benchmark_format=json --benchmark_out="$out" \
+    --benchmark_out_format=json "$@" >&2
+echo "$out"
+
+speedup_floor=${MERCURY_QUIESCENCE_SPEEDUP:-10}
+python3 - "$out" "$speedup_floor" <<'EOF'
+import json
+import sys
+
+path, floor = sys.argv[1], float(sys.argv[2])
+with open(path) as handle:
+    report = json.load(handle)
+
+times = {}
+for bench in report.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    name = bench["name"]
+    nanos = bench["real_time"]
+    if bench.get("time_unit") == "us":
+        nanos *= 1e3
+    elif bench.get("time_unit") == "ms":
+        nanos *= 1e6
+    times[name] = nanos
+
+off = times.get("BM_SolverIterationSteadyFleet/1024/0")
+on = times.get("BM_SolverIterationSteadyFleet/1024/1")
+if off is None or on is None:
+    sys.exit("error: BM_SolverIterationSteadyFleet/1024 missing from %s "
+             "(skipped or filtered out)" % path)
+
+speedup = off / on
+print("steady 1024-machine fleet: %.1f us off, %.1f us on (%.1fx)"
+      % (off / 1e3, on / 1e3, speedup))
+if speedup < floor:
+    sys.exit("FAIL: quiescence speedup %.1fx below the %.0fx floor"
+             % (speedup, floor))
+print("PASS: quiescence speedup above the %.0fx floor" % floor)
+EOF

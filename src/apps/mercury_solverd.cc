@@ -50,6 +50,15 @@ main(int argc, char **argv)
     flags.defineInt("threads", 0,
                     "machine-stepping executors (0 = all hardware "
                     "threads, 1 = serial)");
+    flags.defineDouble("quiescence-epsilon", 0.0,
+                       "freeze machines whose max per-node |dT| and "
+                       "projected drift stay under this many degC "
+                       "(0 = classic all-machines stepping)");
+    flags.defineInt("quiescence-hold", 3,
+                    "consecutive calm iterations before freezing");
+    flags.defineInt("quiescence-refresh", 64,
+                    "forced re-step period for frozen machines "
+                    "(iterations; 0 disables the refresh)");
     flags.defineString("shm-name", "",
                        "shared-memory telemetry segment name "
                        "(default: /mercury.<port>)");
@@ -81,6 +90,19 @@ main(int argc, char **argv)
     if (threads < 0)
         fatal("--threads must be >= 0");
     solver_config.threads = static_cast<unsigned>(threads);
+    double q_eps = flags.getDouble("quiescence-epsilon");
+    long long q_hold = flags.getInt("quiescence-hold");
+    long long q_refresh = flags.getInt("quiescence-refresh");
+    if (q_eps < 0.0)
+        fatal("--quiescence-epsilon must be >= 0");
+    if (q_hold < 1)
+        fatal("--quiescence-hold must be >= 1");
+    if (q_refresh < 0)
+        fatal("--quiescence-refresh must be >= 0");
+    solver_config.quiescenceEpsilon = q_eps;
+    solver_config.quiescenceHoldIterations = static_cast<unsigned>(q_hold);
+    solver_config.quiescenceRefreshIterations =
+        static_cast<unsigned>(q_refresh);
     core::Solver solver(solver_config);
     for (const core::MachineSpec &machine : config.machines)
         solver.addMachine(machine);

@@ -173,10 +173,14 @@ RoomModel::step()
 
         switch (node.kind) {
           case RoomNodeKind::Machine:
+            // Per-iteration boundary delivery, not an input mutation:
+            // deliver keeps the quiescence engine from treating every
+            // steady-state inlet write as a wake (override set-time
+            // already woke the machine through setInletOverride).
             if (node.inletOverride) {
-                node.machine->setInletTemperature(*node.inletOverride);
+                node.machine->deliverInletTemperature(*node.inletOverride);
             } else if (flow_in > 1e-12) {
-                node.machine->setInletTemperature(mixed);
+                node.machine->deliverInletTemperature(mixed);
             }
             // The vertex itself carries the machine's exhaust stream.
             node.temperature = node.machine->exhaustTemperature();

@@ -60,6 +60,9 @@ Solver::addMachine(const MachineSpec &spec)
     machines_.push_back(std::make_unique<ThermalGraph>(spec));
     machineIndex_[spec.name] = machines_.size() - 1;
     poolDecided_ = false; // machine count changed; re-evaluate the pool
+    Quiescence fresh;
+    fresh.inputSeen = machines_.back()->inputVersion();
+    quiescence_.push_back(fresh);
     return *machines_.back();
 }
 
@@ -127,6 +130,11 @@ Solver::machineNames() const
 void
 Solver::iterate()
 {
+    if (config_.quiescenceEpsilon > 0.0) {
+        iterateActiveSet();
+        return;
+    }
+
     // Phase 1 (serial): the room model reads every machine's exhaust
     // and writes every machine's inlet boundary.
     if (room_)
@@ -148,6 +156,150 @@ Solver::iterate()
     ++iterations_;
     if (iterationHook_)
         iterationHook_();
+}
+
+void
+Solver::iterateActiveSet()
+{
+    const double eps = config_.quiescenceEpsilon;
+    const double dt = config_.iterationSeconds;
+    const uint64_t refresh = config_.quiescenceRefreshIterations;
+
+    // Phase 1 (serial): the room still runs every iteration — it is
+    // the coupling between machines and the source of inlet-driven
+    // wakes. It delivers inlets via deliverInletTemperature(), which
+    // does not count as an input mutation.
+    if (room_)
+        room_->step();
+
+    // Phase A (serial): decide who steps. Frozen machines wake when
+    // an input changed or the delivered inlet drifted past epsilon;
+    // otherwise they either take a forced refresh re-step or skip the
+    // iteration entirely, accruing energy analytically.
+    activeScratch_.clear();
+    stepDelta_.resize(machines_.size());
+    for (size_t i = 0; i < machines_.size(); ++i) {
+        ThermalGraph &graph = *machines_[i];
+        Quiescence &q = quiescence_[i];
+        if (!q.frozen) {
+            activeScratch_.push_back(i);
+            continue;
+        }
+        bool wake = graph.inputVersion() != q.inputSeen ||
+                    std::fabs(graph.inletTemperature() - q.frozenInlet) >
+                        eps;
+        if (wake) {
+            q.frozen = false;
+            q.refreshing = false;
+            q.calm = 0;
+            q.lastDelta = -1.0;
+            --frozenCount_;
+            activeScratch_.push_back(i);
+        } else if (refresh > 0 && iterations_ >= q.nextRefresh) {
+            q.refreshing = true;
+            activeScratch_.push_back(i);
+        } else {
+            // Watts are constant while frozen (any change to them is
+            // an input mutation, which wakes): the energy integral is
+            // the cached draw times dt, one add per machine.
+            graph.accrueFrozenEnergy(q.frozenWatts * dt);
+        }
+    }
+
+    // Phase 2 (parallel): fan the active machines out across the
+    // pool. Same independence argument as the classic path; the
+    // per-machine |dT| lands in stepDelta_ without sharing.
+    ThreadPool *fanout = pool();
+    if (fanout && activeScratch_.size() > 1) {
+        fanout->parallelFor(activeScratch_.size(), [&](size_t k) {
+            size_t i = activeScratch_[k];
+            stepDelta_[i] = machines_[i]->step(dt);
+        });
+    } else {
+        for (size_t i : activeScratch_)
+            stepDelta_[i] = machines_[i]->step(dt);
+    }
+
+    // Phase B (serial): freeze bookkeeping. A machine is "calm" when
+    // its inputs did not change, its max |dT| is under epsilon, and
+    // the geometric-tail projection says the remaining approach also
+    // fits in epsilon (see the Quiescence doc in solver.hh).
+    for (size_t k = 0; k < activeScratch_.size(); ++k) {
+        size_t i = activeScratch_[k];
+        ThermalGraph &graph = *machines_[i];
+        Quiescence &q = quiescence_[i];
+        double delta = stepDelta_[i];
+        uint64_t input = graph.inputVersion();
+        bool input_changed = input != q.inputSeen;
+        q.inputSeen = input;
+
+        if (q.frozen) {
+            // Forced refresh re-step: stay frozen only when the step
+            // confirms nothing moved.
+            q.refreshing = false;
+            if (!input_changed && delta <= eps) {
+                q.frozenInlet = graph.inletTemperature();
+                q.nextRefresh = iterations_ + refresh;
+            } else {
+                q.frozen = false;
+                q.calm = 0;
+                q.lastDelta = -1.0;
+                --frozenCount_;
+            }
+            continue;
+        }
+
+        bool calm = !input_changed && delta <= eps;
+        if (calm && delta > 0.0) {
+            if (q.lastDelta > 0.0 && delta < q.lastDelta) {
+                double rho = delta / q.lastDelta;
+                double remaining = delta * rho / (1.0 - rho);
+                calm = remaining <= eps;
+            } else {
+                // No decreasing history yet — can't project the tail.
+                calm = false;
+            }
+        }
+        q.lastDelta = input_changed ? -1.0 : delta;
+        if (calm) {
+            if (++q.calm >= config_.quiescenceHoldIterations) {
+                q.frozen = true;
+                ++frozenCount_;
+                q.frozenInlet = graph.inletTemperature();
+                q.frozenWatts = graph.poweredWatts();
+                q.nextRefresh = iterations_ + refresh;
+            }
+        } else {
+            q.calm = 0;
+        }
+    }
+
+    ++iterations_;
+    if (iterationHook_)
+        iterationHook_();
+}
+
+bool
+Solver::isFrozen(const std::string &machine_name) const
+{
+    auto it = machineIndex_.find(machine_name);
+    if (it == machineIndex_.end())
+        MERCURY_PANIC("Solver: unknown machine '", machine_name, "'");
+    return quiescence_[it->second].frozen;
+}
+
+void
+Solver::wakeAllMachines()
+{
+    for (size_t i = 0; i < quiescence_.size(); ++i) {
+        Quiescence &q = quiescence_[i];
+        q.frozen = false;
+        q.refreshing = false;
+        q.calm = 0;
+        q.lastDelta = -1.0;
+        q.inputSeen = machines_[i]->inputVersion();
+    }
+    frozenCount_ = 0;
 }
 
 void

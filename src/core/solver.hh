@@ -47,6 +47,31 @@ struct SolverConfig
      * produces bitwise-identical temperatures.
      */
     unsigned threads = 0;
+
+    /**
+     * Quiescence-aware active-set stepping. 0 (the default) disables
+     * it entirely — iterate() is bitwise-identical to the classic
+     * all-machines path. A positive epsilon [degC] lets the solver
+     * freeze a machine whose temperatures have converged (its max
+     * per-node |dT| and its projected remaining drift both under
+     * epsilon for quiescenceHoldIterations consecutive iterations,
+     * with no input change) and skip its step() until something wakes
+     * it: any input mutation, a delivered inlet temperature more than
+     * epsilon away from the frozen value, or checkpoint restore.
+     * Epsilon bounds the trajectory error a freeze may introduce.
+     */
+    double quiescenceEpsilon = 0.0;
+
+    /** Consecutive calm iterations required before freezing. */
+    unsigned quiescenceHoldIterations = 3;
+
+    /**
+     * Forced re-step period for frozen machines: every N iterations a
+     * frozen machine steps once anyway, bounding drift and
+     * re-validating the freeze (a re-step whose |dT| exceeds epsilon
+     * wakes the machine). 0 disables the refresh.
+     */
+    unsigned quiescenceRefreshIterations = 64;
 };
 
 /**
@@ -112,6 +137,40 @@ class Solver
     uint64_t iterations() const { return iterations_; }
     double iterationSeconds() const { return config_.iterationSeconds; }
     double emulatedSeconds() const;
+
+    /// @}
+    /** @name Quiescence (active-set stepping observability) */
+    /// @{
+
+    /** True when a positive quiescenceEpsilon enabled the engine. */
+    bool quiescenceEnabled() const
+    {
+        return config_.quiescenceEpsilon > 0.0;
+    }
+
+    /** Machines stepped (or steppable) this iteration. */
+    size_t activeMachineCount() const
+    {
+        return machines_.size() - frozenCount_;
+    }
+
+    /** Machines currently frozen by the quiescence engine. */
+    size_t frozenMachineCount() const { return frozenCount_; }
+
+    /** True when the named machine is currently frozen. */
+    bool isFrozen(const std::string &machine_name) const;
+
+    /**
+     * Unfreeze every machine and forget calm history. Checkpoint
+     * restore calls this: restored state has no relation to the
+     * pre-restore freeze decisions, so waking the whole fleet is the
+     * conservative (and always-correct) answer.
+     */
+    void wakeAllMachines();
+
+    /// @}
+    /** @name Checkpoint / hooks */
+    /// @{
 
     /**
      * Overwrite the iteration counter so emulatedSeconds() resumes
@@ -225,6 +284,33 @@ class Solver
     /** Lazily build the worker pool once machines exist. */
     ThreadPool *pool();
 
+    /** iterate() body when quiescenceEpsilon > 0. */
+    void iterateActiveSet();
+
+    /**
+     * Per-machine quiescence bookkeeping. A machine freezes after
+     * quiescenceHoldIterations consecutive "calm" iterations: inputs
+     * unchanged, max |dT| <= epsilon, and the projected remaining
+     * drift — the geometric tail delta * rho / (1 - rho) estimated
+     * from consecutive deltas — also <= epsilon. The projection is
+     * what makes epsilon a bound on trajectory error: near a thermal
+     * time constant of T iterations, a per-step delta just under
+     * epsilon still has ~T * epsilon of approach left, so freezing on
+     * the raw delta alone could park a machine degrees away from
+     * where the exact solver ends up.
+     */
+    struct Quiescence
+    {
+        uint64_t inputSeen = 0;   //!< graph inputVersion() last seen
+        double lastDelta = -1.0;  //!< previous step's max |dT| (<0 none)
+        uint32_t calm = 0;        //!< consecutive calm iterations
+        bool frozen = false;
+        bool refreshing = false;  //!< this iteration is a forced re-step
+        double frozenInlet = 0.0; //!< inlet at freeze / last refresh
+        double frozenWatts = 0.0; //!< poweredWatts() cached at freeze
+        uint64_t nextRefresh = 0; //!< iteration of the next forced step
+    };
+
     SolverConfig config_;
     std::vector<std::unique_ptr<ThermalGraph>> machines_;
     std::map<std::string, size_t> machineIndex_;
@@ -235,6 +321,11 @@ class Solver
 
     std::unique_ptr<ThreadPool> pool_; //!< null until first parallel use
     bool poolDecided_ = false;         //!< pool_ creation attempted
+
+    std::vector<Quiescence> quiescence_; //!< parallel to machines_
+    std::vector<double> stepDelta_;      //!< scratch: per-machine |dT|
+    std::vector<size_t> activeScratch_;  //!< machines stepping this turn
+    size_t frozenCount_ = 0;
 };
 
 } // namespace core

@@ -308,18 +308,30 @@ ThermalGraph::substepsFor(double dt_seconds) const
     return substeps;
 }
 
-void
+double
 ThermalGraph::step(double dt_seconds)
 {
     if (dt_seconds <= 0.0)
         MERCURY_PANIC("ThermalGraph::step: non-positive dt ", dt_seconds);
     int substeps = substepsFor(dt_seconds);
     double dt = dt_seconds / substeps;
+    double max_delta = 0.0;
     for (int i = 0; i < substeps; ++i)
-        substep(dt);
+        max_delta = std::max(max_delta, substep(dt));
+    ++stateVersion_;
+    return max_delta;
 }
 
-void
+double
+ThermalGraph::poweredWatts() const
+{
+    double watts = 0.0;
+    for (NodeId id : poweredIds_)
+        watts += watts_[id];
+    return watts;
+}
+
+double
 ThermalGraph::substep(double dt)
 {
     const double *temperature = temperature_.data();
@@ -344,13 +356,20 @@ ThermalGraph::substep(double dt)
         heat_gain[edge.b] += q;
     }
 
-    // 3. Solid temperature update (eq. 5).
+    // 3. Solid temperature update (eq. 5). The per-node change also
+    // feeds the quiescence signal: max_delta is computed from exactly
+    // the increments applied, so it is free of extra rounding.
+    double max_delta = 0.0;
     for (NodeId id : solidIds_) {
         if (pinned_[id]) {
+            double delta = pinValue_[id] - temperature_[id];
             temperature_[id] = pinValue_[id];
+            max_delta = std::max(max_delta, std::fabs(delta));
             continue;
         }
-        temperature_[id] += heat_gain[id] * invCapacity_[id];
+        double delta = heat_gain[id] * invCapacity_[id];
+        temperature_[id] += delta;
+        max_delta = std::max(max_delta, std::fabs(delta));
     }
 
     // 4. Air traversal: march downstream from the inlet. Each vertex
@@ -362,7 +381,9 @@ ThermalGraph::substep(double dt)
     // explicit form at steady state.
     for (NodeId id : airOrder_) {
         if (pinned_[id]) {
+            double delta = pinValue_[id] - temperature_[id];
             temperature_[id] = pinValue_[id];
+            max_delta = std::max(max_delta, std::fabs(delta));
             continue;
         }
         double flow_in = flowIn_[id];
@@ -381,16 +402,25 @@ ThermalGraph::substep(double dt)
                 denom += heatCsrK_[slot];
             }
             numer += watts_[id];
-            temperature_[id] = numer / denom;
+            double updated = numer / denom;
+            max_delta =
+                std::max(max_delta, std::fabs(updated - temperature_[id]));
+            temperature_[id] = updated;
         } else {
             // Stagnant air: integrate like a small thermal mass.
-            temperature_[id] += heat_gain[id] * invStagnant_[id];
+            double delta = heat_gain[id] * invStagnant_[id];
+            temperature_[id] += delta;
+            max_delta = std::max(max_delta, std::fabs(delta));
         }
     }
 
     // Pinned inlet handled by setInletTemperature / pinTemperature.
-    if (pinned_[inlet_])
+    if (pinned_[inlet_]) {
+        max_delta = std::max(
+            max_delta, std::fabs(pinValue_[inlet_] - temperature_[inlet_]));
         temperature_[inlet_] = pinValue_[inlet_];
+    }
+    return max_delta;
 }
 
 double
@@ -419,6 +449,7 @@ ThermalGraph::setTemperatures(const std::vector<double> &values)
                       " values for ", nodes_.size(), " nodes");
     }
     temperature_ = values;
+    noteInputChanged();
 }
 
 double
@@ -491,7 +522,14 @@ ThermalGraph::setUtilization(NodeId id, double value)
     if (!node.powerModel)
         MERCURY_PANIC("machine '", name_, "': node '", node.name,
                       "' has no power model");
-    node.utilization = std::clamp(value, 0.0, 1.0);
+    // monitord re-sends the same utilization every second; an
+    // unchanged value must not recompute the power draw nor wake a
+    // quiescent machine.
+    double clamped = std::clamp(value, 0.0, 1.0);
+    if (clamped == node.utilization)
+        return;
+    node.utilization = clamped;
+    noteInputChanged();
     refreshWatts(id);
 }
 
@@ -505,6 +543,18 @@ void
 ThermalGraph::setInletTemperature(double celsius)
 {
     temperature_[inlet_] = celsius;
+    noteInputChanged();
+}
+
+void
+ThermalGraph::deliverInletTemperature(double celsius)
+{
+    // Not an input mutation (the room delivers every iteration); only
+    // dirty the telemetry stamp, and only when the value moved.
+    if (temperature_[inlet_] == celsius)
+        return;
+    temperature_[inlet_] = celsius;
+    ++stateVersion_;
 }
 
 double
@@ -517,6 +567,7 @@ void
 ThermalGraph::setTemperature(const std::string &node_name, double celsius)
 {
     temperature_[requireNode(node_name)] = celsius;
+    noteInputChanged();
 }
 
 void
@@ -526,12 +577,14 @@ ThermalGraph::pinTemperature(const std::string &node_name, double celsius)
     pinned_[id] = 1;
     pinValue_[id] = celsius;
     temperature_[id] = celsius;
+    noteInputChanged();
 }
 
 void
 ThermalGraph::unpinTemperature(const std::string &node_name)
 {
     pinned_[requireNode(node_name)] = 0;
+    noteInputChanged();
 }
 
 bool
@@ -553,6 +606,7 @@ ThermalGraph::setHeatK(const std::string &a, const std::string &b, double k)
             edge.k = k;
             syncHeatCsrK();
             planDirty_ = true;
+            noteInputChanged();
             return;
         }
     }
@@ -623,6 +677,7 @@ ThermalGraph::setAirFraction(const std::string &from, const std::string &to,
         if (edge.from == nf && edge.to == nt) {
             edge.fraction = fraction;
             recomputeFlows();
+            noteInputChanged();
             return;
         }
     }
@@ -636,6 +691,7 @@ ThermalGraph::setFanCfm(double cfm)
         MERCURY_PANIC("setFanCfm: negative flow ", cfm);
     fanCfm_ = cfm;
     recomputeFlows();
+    noteInputChanged();
 }
 
 void
@@ -650,6 +706,7 @@ ThermalGraph::setPowerRange(const std::string &node_name, double p_min,
     } else {
         node.powerModel = std::make_unique<LinearPowerModel>(p_min, p_max);
     }
+    noteInputChanged();
     refreshWatts(id);
 }
 
@@ -668,6 +725,7 @@ ThermalGraph::setHeatK(size_t index, double k)
     heatEdges_.at(index).k = k;
     syncHeatCsrK();
     planDirty_ = true;
+    noteInputChanged();
 }
 
 ThermalGraph::AirEdgeView
@@ -685,6 +743,7 @@ ThermalGraph::setAirFraction(size_t index, double fraction)
                       " outside [0, 1]");
     airEdges_.at(index).fraction = fraction;
     recomputeFlows();
+    noteInputChanged();
 }
 
 void
@@ -693,6 +752,7 @@ ThermalGraph::pinTemperature(NodeId id, double celsius)
     pinned_.at(id) = 1;
     pinValue_[id] = celsius;
     temperature_[id] = celsius;
+    noteInputChanged();
 }
 
 double
@@ -728,6 +788,7 @@ ThermalGraph::setPowerModel(const std::string &node_name,
         poweredIds_.push_back(id);
         std::sort(poweredIds_.begin(), poweredIds_.end());
     }
+    noteInputChanged();
     refreshWatts(id);
 }
 

@@ -60,11 +60,48 @@ class ThermalGraph
     /** @name Simulation */
     /// @{
 
-    /** Advance the model by @p dt_seconds (substeps are automatic). */
-    void step(double dt_seconds);
+    /**
+     * Advance the model by @p dt_seconds (substeps are automatic).
+     * Returns the largest per-node |dT| any single substep produced —
+     * the quiescence signal the active-set solver freezes on. The
+     * value is derived from the same arithmetic that updates the
+     * temperatures, so tracking it does not perturb the trajectory.
+     */
+    double step(double dt_seconds);
 
     /** Substep count step() would use for @p dt_seconds. */
     int substepsFor(double dt_seconds) const;
+
+    /**
+     * Advance only the energy accumulator by @p joules, exactly what
+     * a frozen (quiescent) machine consumes: its utilizations — and
+     * therefore its power draw — cannot change while frozen, so the
+     * integral is poweredWatts() x dt and the thermal state stays
+     * untouched. The solver caches poweredWatts() at freeze time so
+     * the per-iteration frozen cost is one add, not a node scan.
+     */
+    void accrueFrozenEnergy(double joules) { energyConsumed_ += joules; }
+
+    /** Total instantaneous draw over the powered nodes [W]. */
+    double poweredWatts() const;
+
+    /**
+     * Monotonic counter bumped by every input mutation (utilization
+     * changes, pins, edge constants, fan flow, power models, direct
+     * temperature writes). The active-set solver compares it to decide
+     * whether a machine's inputs changed since it froze; anything that
+     * bumps it wakes a frozen machine on the next iteration.
+     */
+    uint64_t inputVersion() const { return inputVersion_; }
+
+    /**
+     * Monotonic counter bumped whenever any published state (node
+     * temperatures or utilizations) may have changed: every step(),
+     * every input mutation, and inlet deliveries that changed the
+     * value. The telemetry writer skips recopying a machine whose
+     * stateVersion is unchanged since its last publish.
+     */
+    uint64_t stateVersion() const { return stateVersion_; }
 
     /// @}
     /** @name State access */
@@ -125,6 +162,15 @@ class ThermalGraph
     /** Inlet boundary temperature [degC]. */
     void setInletTemperature(double celsius);
     double inletTemperature() const;
+
+    /**
+     * The room model's per-iteration inlet delivery. Writes the same
+     * boundary as setInletTemperature but does not count as an input
+     * mutation: the solver compares the delivered value against the
+     * frozen inlet with its own epsilon, so a steady room does not
+     * wake a quiescent machine every second.
+     */
+    void deliverInletTemperature(double celsius);
 
     /** Instantly set a node temperature; it evolves freely afterwards. */
     void setTemperature(const std::string &node_name, double celsius);
@@ -201,7 +247,11 @@ class ThermalGraph
     bool isPinned(NodeId id) const { return pinned_.at(id) != 0; }
     double pinnedTemperature(NodeId id) const { return pinValue_.at(id); }
     void pinTemperature(NodeId id, double celsius);
-    void unpinTemperature(NodeId id) { pinned_.at(id) = 0; }
+    void unpinTemperature(NodeId id)
+    {
+        pinned_.at(id) = 0;
+        noteInputChanged();
+    }
 
     /** Base/max power of a powered node's model [W]. */
     double basePower(NodeId id) const;
@@ -250,8 +300,15 @@ class ThermalGraph
     /** Refresh cached power draw after a utilization/model change. */
     void refreshWatts(NodeId id);
 
-    /** One explicit-Euler substep of @p dt seconds. */
-    void substep(double dt);
+    /** An input mutation: wakes frozen machines, dirties telemetry. */
+    void noteInputChanged()
+    {
+        ++inputVersion_;
+        ++stateVersion_;
+    }
+
+    /** One explicit-Euler substep; returns its max per-node |dT|. */
+    double substep(double dt);
 
     std::string name_;
     std::vector<Node> nodes_;
@@ -316,6 +373,12 @@ class ThermalGraph
     /// @}
 
     double energyConsumed_ = 0.0;
+
+    /** @name Change tracking (quiescence + telemetry; see accessors) */
+    /// @{
+    uint64_t inputVersion_ = 0;
+    uint64_t stateVersion_ = 0;
+    /// @}
 
     /** Thermal mass [J/K] used for stagnant (zero-flow) air vertices. */
     static constexpr double kStagnantAirHeatCapacity = 60.0;

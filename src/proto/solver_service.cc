@@ -193,9 +193,11 @@ SolverService::statsLine() const
         restore_iteration = static_cast<unsigned long long>(
             checkpointManager_->lastRestoreIteration());
     }
+    // act/frz: the quiescence engine's active-set breathing — how many
+    // machines stepped last iteration vs sat frozen at steady state.
     return format("it=%llu up=%llu rej=%llu lost=%llu dup=%llu ro=%llu "
                   "rd=%llu mrd=%llu fid=%llu bad=%llu blog=%llu "
-                  "ck=%lld rit=%llu",
+                  "ck=%lld rit=%llu act=%llu frz=%llu",
                   static_cast<unsigned long long>(solver_.iterations()),
                   static_cast<unsigned long long>(updatesApplied_),
                   static_cast<unsigned long long>(updatesRejected_),
@@ -207,7 +209,11 @@ SolverService::statsLine() const
                   static_cast<unsigned long long>(fiddlesApplied_),
                   static_cast<unsigned long long>(undecodable_),
                   static_cast<unsigned long long>(backlogDepth()),
-                  ck_age, restore_iteration);
+                  ck_age, restore_iteration,
+                  static_cast<unsigned long long>(
+                      solver_.activeMachineCount()),
+                  static_cast<unsigned long long>(
+                      solver_.frozenMachineCount()));
 }
 
 Packet

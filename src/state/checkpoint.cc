@@ -483,6 +483,9 @@ restoreSolver(core::Solver &solver, const Checkpoint &checkpoint,
             room.setInletOverride(name, temp);
     }
     solver.restoreIterationCount(checkpoint.iterations);
+    // Restored temperatures have no relation to any pre-restore freeze
+    // decisions: wake the whole fleet and let quiescence re-converge.
+    solver.wakeAllMachines();
     return true;
 }
 

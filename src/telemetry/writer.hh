@@ -98,6 +98,22 @@ class Writer
     };
     std::vector<Source> sources_;
 
+    /**
+     * One machine's contiguous slot range plus the graph stateVersion
+     * last copied out. When a frozen (or otherwise untouched) machine
+     * republishes, its version is unchanged and publish() skips the
+     * per-node recopy — the segment already holds those values.
+     */
+    struct Group
+    {
+        const core::ThermalGraph *graph;
+        uint32_t firstSlot;
+        uint32_t count;
+        uint64_t lastStamp = 0;
+        bool primed = false;
+    };
+    std::vector<Group> groups_;
+
     Layout layout_;
     void *base_ = nullptr;
     size_t mappedBytes_ = 0;

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hh"
 
+#include <algorithm>
+
 namespace mercury {
 
 ThreadPool::ThreadPool(size_t worker_count)
@@ -31,22 +33,32 @@ ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn)
         return;
     }
 
+    // Chunked claiming: one cursor fetch hands an executor `grain`
+    // consecutive indices, keeping contention O(executors * 8) instead
+    // of O(count) when the per-index work is tiny (4k machine steps).
+    size_t grain = count / ((workers_.size() + 1) * 8);
+    if (grain == 0)
+        grain = 1;
+
     {
         std::lock_guard<std::mutex> lock(mutex_);
         jobFn_ = &fn;
         jobCount_ = count;
+        jobGrain_ = grain;
         jobNext_.store(0, std::memory_order_relaxed);
         busyWorkers_ = workers_.size();
         ++generation_;
     }
     wake_.notify_all();
 
-    // The caller drains indices alongside the workers.
+    // The caller drains chunks alongside the workers.
     for (;;) {
-        size_t index = jobNext_.fetch_add(1, std::memory_order_relaxed);
-        if (index >= count)
+        size_t begin = jobNext_.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= count)
             break;
-        fn(index);
+        size_t end = std::min(begin + grain, count);
+        for (size_t index = begin; index < end; ++index)
+            fn(index);
     }
 
     std::unique_lock<std::mutex> lock(mutex_);
@@ -61,6 +73,7 @@ ThreadPool::workerLoop()
     for (;;) {
         const std::function<void(size_t)> *fn = nullptr;
         size_t count = 0;
+        size_t grain = 1;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
@@ -71,13 +84,17 @@ ThreadPool::workerLoop()
             seen_generation = generation_;
             fn = jobFn_;
             count = jobCount_;
+            grain = jobGrain_;
         }
 
         for (;;) {
-            size_t index = jobNext_.fetch_add(1, std::memory_order_relaxed);
-            if (index >= count)
+            size_t begin =
+                jobNext_.fetch_add(grain, std::memory_order_relaxed);
+            if (begin >= count)
                 break;
-            (*fn)(index);
+            size_t end = std::min(begin + grain, count);
+            for (size_t index = begin; index < end; ++index)
+                (*fn)(index);
         }
 
         {

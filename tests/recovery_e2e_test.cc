@@ -173,6 +173,10 @@ TEST(RecoveryE2E, Kill9MidRunRestartsFromCheckpointAndReplaysBacklog)
         "--iteration-seconds", "0.02",
         "--checkpoint-path", checkpoint_path,
         "--checkpoint-seconds", "0.25",
+        // Quiescence enabled across the kill/restore cycle: restore
+        // must wake the fleet and still converge within 0.1 degC.
+        "--quiescence-epsilon", "0.05",
+        "--quiescence-refresh", "32",
         "--no-shm",
     });
     ASSERT_GT(supervisor.pid, 0);

@@ -75,6 +75,44 @@ TEST(Scale, SixtyFourMachineRoomIteratesCorrectly)
     EXPECT_LT(mixed, solver.machine("n2").exhaustTemperature() + 1e-9);
 }
 
+TEST(Scale, ThousandMachineRoomQuiescesUnderSteadyLoad)
+{
+    // The active-set engine's reason to exist: a 1024-machine room at
+    // steady load converges, freezes almost the whole fleet, and the
+    // frozen machines stay physically sensible (busy hotter than
+    // idle, inlets at the AC supply).
+    SolverConfig config;
+    config.quiescenceEpsilon = 0.25;
+    Solver solver(config);
+    std::vector<std::string> names;
+    for (int i = 1; i <= 1024; ++i)
+        names.push_back("n" + std::to_string(i));
+    for (const std::string &name : names)
+        solver.addMachine(table1Server(name));
+    solver.setRoom(table1Room(names, 18.0));
+    for (size_t i = 0; i < names.size(); ++i)
+        solver.setUtilization(names[i], "cpu", (i % 2) ? 1.0 : 0.0);
+
+    solver.run(2000.0);
+    EXPECT_EQ(solver.activeMachineCount() + solver.frozenMachineCount(),
+              names.size());
+    // Steady load for 2000 emulated seconds: the fleet has converged
+    // and the active set collapsed to (at most) the refresh churn.
+    EXPECT_GT(solver.frozenMachineCount(), names.size() * 3 / 4);
+
+    double busy = solver.temperature("n2", "cpu");
+    double idle = solver.temperature("n1", "cpu");
+    EXPECT_GT(busy, idle + 10.0);
+
+    // A load change on one machine re-activates exactly that machine.
+    size_t frozen_before = solver.frozenMachineCount();
+    ASSERT_TRUE(solver.isFrozen("n3"));
+    solver.setUtilization("n3", "cpu", 1.0);
+    solver.iterate();
+    EXPECT_FALSE(solver.isFrozen("n3"));
+    EXPECT_GE(solver.frozenMachineCount() + 1, frozen_before);
+}
+
 } // namespace
 } // namespace core
 } // namespace mercury
