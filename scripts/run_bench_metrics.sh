@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Run the metrics hot-path benchmarks and record the results as
+# machine-readable JSON at the repo root (BENCH_metrics.json). Then
+# enforce the instrumentation budget: one uncontended counter
+# increment must cost less than MERCURY_COUNTER_INC_NS (default 50)
+# nanoseconds, so sprinkling counters through daemon hot loops stays
+# free.
+#
+#   scripts/run_bench_metrics.sh [build-dir] [extra benchmark args...]
+#
+# Examples:
+#   scripts/run_bench_metrics.sh
+#   scripts/run_bench_metrics.sh build --benchmark_min_time=0.1s
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bench="$build_dir/bench/bench_metrics"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_metrics.json"
+"$bench" --benchmark_format=json --benchmark_out="$out" \
+    --benchmark_out_format=json "$@" >&2
+echo "$out"
+
+inc_ceiling=${MERCURY_COUNTER_INC_NS:-50}
+python3 - "$out" "$inc_ceiling" <<'EOF'
+import json
+import sys
+
+path, ceiling = sys.argv[1], float(sys.argv[2])
+with open(path) as handle:
+    report = json.load(handle)
+
+times = {}
+for bench in report.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    name = bench["name"]
+    nanos = bench["real_time"]
+    if bench.get("time_unit") == "us":
+        nanos *= 1e3
+    elif bench.get("time_unit") == "ms":
+        nanos *= 1e6
+    times[name] = nanos
+
+inc = times.get("BM_CounterInc")
+if inc is None:
+    sys.exit("error: BM_CounterInc missing from %s "
+             "(skipped or filtered out)" % path)
+
+print("counter increment: %.1f ns (ceiling %.0f ns)" % (inc, ceiling))
+if inc >= ceiling:
+    sys.exit("FAIL: counter increment %.1f ns at or above the %.0f ns "
+             "ceiling" % (inc, ceiling))
+print("PASS: counter increment under the %.0f ns ceiling" % ceiling)
+EOF

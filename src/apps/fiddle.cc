@@ -112,6 +112,24 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // `fiddle metrics`: pull the daemon's full metrics snapshot over
+    // the paginated RPC (a plain FiddleReply truncates at one packet).
+    if (flags.positional().size() == 1 &&
+        flags.positional()[0] == "metrics") {
+        auto text = client.metricsText();
+        if (!text) {
+            // Old daemons drop the unknown message type; the fiddle
+            // command path at least returns their stats line.
+            auto [ok, message] = client.fiddle("metrics");
+            if (!ok)
+                fatal("no metrics reply from the solver: ", message);
+            std::cout << message << '\n';
+            return 0;
+        }
+        std::cout << *text;
+        return 0;
+    }
+
     // One-shot: the positional arguments are the command itself.
     if (flags.positional().empty())
         fatal("usage: fiddle [--solver host:port] <machine> <property> "

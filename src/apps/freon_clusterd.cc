@@ -73,6 +73,9 @@ main(int argc, char **argv)
                      "one batched request per wake-up");
     flags.defineDouble("record-period", 10.0, "series sample period [s]");
     flags.defineBool("summary-only", false, "suppress the CSV series");
+    flags.defineString("metrics-path", "",
+                       "write the final metrics snapshot (Prometheus "
+                       "text format) here when the run ends");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -103,6 +106,8 @@ main(int argc, char **argv)
     config.shouldStop = [] { return stopRequested != 0; };
     std::signal(SIGINT, handleSignal);
     std::signal(SIGTERM, handleSignal);
+
+    config.metricsPath = flags.getString("metrics-path");
 
     freon::ExperimentResult result = freon::runExperiment(config);
     if (result.stoppedEarly)

@@ -73,6 +73,11 @@ main(int argc, char **argv)
     flags.defineString("port-file", "",
                        "write the bound UDP port to this file "
                        "(supervisors and tests using --port 0)");
+    flags.defineString("metrics-path", "",
+                       "write a Prometheus-style metrics text file here "
+                       "periodically (atomic rename; empty disables)");
+    flags.defineDouble("metrics-seconds", 10.0,
+                       "seconds between metrics file writes");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -123,6 +128,8 @@ main(int argc, char **argv)
     daemon_config.checkpointPath = flags.getString("checkpoint-path");
     daemon_config.checkpointSeconds =
         flags.getDouble("checkpoint-seconds");
+    daemon_config.metricsPath = flags.getString("metrics-path");
+    daemon_config.metricsSeconds = flags.getDouble("metrics-seconds");
     proto::SolverDaemon daemon(solver, daemon_config);
 
     std::string port_file = flags.getString("port-file");

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "metrics/metrics.hh"
 #include "sensor/client.hh"
 #include "state/supervisor.hh"
 #include "util/flags.hh"
@@ -150,6 +151,9 @@ main(int argc, char **argv)
                        "crash-loop detection window [s]");
     flags.defineInt("max-restarts", 0,
                     "stop after this many restarts (0 = unlimited)");
+    flags.defineString("metrics-path", "",
+                       "write a Prometheus-style metrics text file here "
+                       "on every child event (empty disables)");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(own_argc, argv))
         return 0;
@@ -167,6 +171,25 @@ main(int argc, char **argv)
         static_cast<int>(flags.getInt("crash-loop-threshold"));
     policy.crashLoopWindowSeconds = flags.getDouble("crash-loop-window");
     state::RestartTracker tracker(policy);
+
+    metrics::Registry &registry = metrics::Registry::global();
+    tracker.setRestartCounter(registry.counter(
+        "supervisor_restarts_total", "child exits seen (each leads to "
+                                     "a restart unless we give up)"));
+    metrics::Counter *stall_kills = registry.counter(
+        "supervisor_stall_kills_total",
+        "children killed because their iteration counter froze");
+    metrics::CallbackGuard backoff_guard;
+    backoff_guard.add(registry, "supervisor_backoff_seconds",
+                      "the delay the next restart would wait",
+                      [&tracker] {
+                          return tracker.currentBackoffSeconds();
+                      });
+    std::string metrics_path = flags.getString("metrics-path");
+    auto write_metrics = [&] {
+        if (!metrics_path.empty())
+            metrics::writeTextFile(registry, metrics_path);
+    };
 
     double probe_seconds = flags.getDouble("probe-seconds");
     double stall_seconds = flags.getDouble("stall-seconds");
@@ -189,6 +212,7 @@ main(int argc, char **argv)
         pid_t pid = spawnChild(child_command);
         inform("mercury_supervisord: spawned '", child_command[0],
                "' as pid ", pid);
+        write_metrics();
         stall.reset();
         double last_responsive = spawned_at;
         double next_probe = spawned_at + probe_seconds;
@@ -225,6 +249,7 @@ main(int argc, char **argv)
                 }
                 reaped = true;
                 killed_for_stall = true;
+                stall_kills->inc();
                 break;
             }
             std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -240,6 +265,7 @@ main(int argc, char **argv)
             }
             inform("mercury_supervisord: shutting down after ",
                    tracker.restarts(), " restart(s)");
+            write_metrics();
             return 0;
         }
 
@@ -268,6 +294,7 @@ main(int argc, char **argv)
         warn("mercury_supervisord: pid ", pid, " died (",
              describeExit(status), ") after ", uptime,
              " s; restarting in ", delay, " s");
+        write_metrics();
         interruptibleSleep(delay);
     }
     return 0;

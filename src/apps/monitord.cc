@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "core/trace.hh"
+#include "metrics/metrics.hh"
 #include "monitor/monitord.hh"
 #include "sensor/client.hh"
 #include "util/flags.hh"
@@ -85,6 +86,11 @@ main(int argc, char **argv)
     flags.defineDouble("probe-seconds", 5.0,
                        "seconds between solver reachability probes "
                        "(only with --backlog > 0)");
+    flags.defineString("metrics-path", "",
+                       "write a Prometheus-style metrics text file here "
+                       "periodically (atomic rename; empty disables)");
+    flags.defineDouble("metrics-seconds", 10.0,
+                       "seconds between metrics file writes");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -180,6 +186,40 @@ main(int argc, char **argv)
     std::signal(SIGINT, handleSignal);
     std::signal(SIGTERM, handleSignal);
 
+    // Export daemon health; written periodically when --metrics-path
+    // is set (the solver daemon exposes its registry over RPC, but
+    // monitord has no server socket, so the file is its only surface).
+    metrics::Registry &registry = metrics::Registry::global();
+    metrics::CallbackGuard sent_guard, depth_guard, replayed_guard,
+        dropped_guard, online_guard;
+    sent_guard.add(registry, "monitor_updates_sent_total",
+                   "utilization updates shipped to the solver",
+                   [&daemon] {
+                       return static_cast<double>(daemon.updatesSent());
+                   });
+    depth_guard.add(registry, "monitor_backlog_depth",
+                    "samples currently queued for an unreachable solver",
+                    [&daemon] {
+                        return static_cast<double>(daemon.backlogDepth());
+                    });
+    replayed_guard.add(
+        registry, "monitor_backlog_replayed_total",
+        "queued samples replayed after a reconnect", [&daemon] {
+            return static_cast<double>(daemon.backlogReplayed());
+        });
+    dropped_guard.add(
+        registry, "monitor_backlog_dropped_total",
+        "queued samples dropped at backlog capacity", [&daemon] {
+            return static_cast<double>(daemon.backlogDropped());
+        });
+    online_guard.add(registry, "monitor_solver_reachable",
+                     "1 while the solver answers probes", [&daemon] {
+                         return daemon.online() ? 1.0 : 0.0;
+                     });
+    std::string metrics_path = flags.getString("metrics-path");
+    double metrics_seconds = flags.getDouble("metrics-seconds");
+    double next_metrics = 0.0;
+
     inform("monitord: machine '", machine, "' -> ", solver.toString());
     double period = flags.getDouble("period");
     double duration = flags.getDouble("duration");
@@ -190,6 +230,11 @@ main(int argc, char **argv)
         double elapsed = std::chrono::duration<double>(now - start).count();
         if (duration > 0.0 && elapsed >= duration)
             break;
+        if (!metrics_path.empty() && metrics_seconds > 0.0 &&
+            elapsed >= next_metrics) {
+            metrics::writeTextFile(registry, metrics_path);
+            next_metrics = elapsed + metrics_seconds;
+        }
         if (probe && elapsed >= next_probe) {
             bool reachable = probe->fiddle("stats").first;
             if (reachable != daemon.online()) {
@@ -214,6 +259,8 @@ main(int argc, char **argv)
         recorded.save(record_file);
         inform("monitord: trace written to ", flags.getString("record"));
     }
+    if (!metrics_path.empty())
+        metrics::writeTextFile(registry, metrics_path);
     inform("monitord: sent ", daemon.updatesSent(), " updates (",
            daemon.backlogReplayed(), " replayed from backlog, ",
            daemon.backlogDropped(), " dropped, ", daemon.backlogDepth(),

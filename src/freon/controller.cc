@@ -31,6 +31,32 @@ FreonController::FreonController(sim::Simulator &simulator,
     }
     for (const std::string &name : balancer_.serverNames())
         states_[name] = ServerState{};
+
+    metrics::Registry &registry = metrics::Registry::global();
+    weightChangesGuard_.add(
+        registry, "freon_weight_changes_total",
+        "LVS weight rescalings applied to hot servers",
+        [this] { return static_cast<double>(weightAdjustments_); });
+    capChangesGuard_.add(
+        registry, "freon_cap_changes_total",
+        "connection-cap actuations on hot servers",
+        [this] { return static_cast<double>(capAdjustments_); });
+    capFallbackGuard_.add(
+        registry, "freon_cap_fallback_total",
+        "cap actuations that fell back to the instantaneous "
+        "connection count (server went hot before the first sample)",
+        [this] { return static_cast<double>(capFallbacks_); });
+    turnedOffGuard_.add(
+        registry, "freon_servers_turned_off_total",
+        "servers powered off (red line or EC shrink)",
+        [this] { return static_cast<double>(turnedOff_); });
+    turnedOnGuard_.add(
+        registry, "freon_servers_turned_on_total",
+        "servers powered on (EC replacement or growth)",
+        [this] { return static_cast<double>(turnedOn_); });
+    pdOutputGauge_ = registry.gauge(
+        "freon_pd_output",
+        "most recent tempd PD-controller output seen by admd");
 }
 
 void
@@ -107,6 +133,8 @@ FreonController::onReport(const TempdReport &report)
     ServerState &server = state(report.machine);
     if (!report.utilizations.empty())
         server.utilization = report.utilizations;
+    if (pdOutputGauge_)
+        pdOutputGauge_->set(report.output);
 
     switch (report.kind) {
       case TempdReport::Kind::Status:
@@ -225,9 +253,23 @@ FreonController::applyBaseAdjustment(const std::string &machine,
     // "Freon also orders LVS to limit the maximum allowed number of
     // concurrent requests to the hot server at the average number of
     // concurrent requests over the last time interval."
-    int cap = std::max(
-        1, static_cast<int>(std::lround(averageConnections(machine))));
+    //
+    // A server that goes Hot before admd's first 5 s sample has no
+    // average yet; clamping the missing average to 1 would starve it
+    // down to a single concurrent request. Fall back to the
+    // instantaneous connection count, and leave the server uncapped
+    // (cap 0) when even that is zero — the weight rescaling above
+    // still sheds load.
+    int cap;
+    if (server.connSamples.empty()) {
+        ++capFallbacks_;
+        cap = static_cast<int>(balancer_.activeConnections(machine));
+    } else {
+        cap = std::max(1, static_cast<int>(
+                              std::lround(averageConnections(machine))));
+    }
     balancer_.setConnectionCap(machine, cap);
+    ++capAdjustments_;
     server.restricted = true;
 }
 

@@ -28,6 +28,7 @@
 #include "freon/config.hh"
 #include "freon/tempd.hh"
 #include "lb/load_balancer.hh"
+#include "metrics/metrics.hh"
 #include "sim/simulator.hh"
 
 namespace mercury {
@@ -87,6 +88,12 @@ class FreonController
     double averageConnections(const std::string &machine) const;
 
     uint64_t weightAdjustments() const { return weightAdjustments_; }
+    uint64_t capAdjustments() const { return capAdjustments_; }
+
+    /** Hot-before-first-sample cap fallbacks (no average yet, so the
+     *  instantaneous connection count was used instead). */
+    uint64_t capFallbacks() const { return capFallbacks_; }
+
     uint64_t serversTurnedOff() const { return turnedOff_; }
     uint64_t serversTurnedOn() const { return turnedOn_; }
 
@@ -149,9 +156,21 @@ class FreonController
     std::map<int, int> regionEmergencies_;
 
     uint64_t weightAdjustments_ = 0;
+    uint64_t capAdjustments_ = 0;
+    uint64_t capFallbacks_ = 0;
     uint64_t turnedOff_ = 0;
     uint64_t turnedOn_ = 0;
     bool started_ = false;
+
+    /** admd health in the process-global registry. The guards are
+     *  token-matched so destroying one controller (tests build many in
+     *  a process) never unhooks a newer live one. */
+    metrics::CallbackGuard weightChangesGuard_;
+    metrics::CallbackGuard capChangesGuard_;
+    metrics::CallbackGuard capFallbackGuard_;
+    metrics::CallbackGuard turnedOffGuard_;
+    metrics::CallbackGuard turnedOnGuard_;
+    metrics::Gauge *pdOutputGauge_ = nullptr;
 };
 
 } // namespace freon

@@ -7,6 +7,7 @@
 #include "core/solver.hh"
 #include "fiddle/command.hh"
 #include "lb/load_balancer.hh"
+#include "metrics/metrics.hh"
 #include "proto/solver_service.hh"
 #include "sensor/client.hh"
 #include "sim/simulator.hh"
@@ -54,6 +55,7 @@ runExperiment(const ExperimentConfig &config)
     cluster::ThermalBridge bridge(simulator, solver);
     std::vector<std::unique_ptr<cluster::ServerMachine>> machines;
     lb::LoadBalancer balancer;
+    balancer.registerMetrics(metrics::Registry::global());
     for (int i = 0; i < config.servers; ++i) {
         machines.push_back(std::make_unique<cluster::ServerMachine>(
             simulator, names[i]));
@@ -244,6 +246,10 @@ runExperiment(const ExperimentConfig &config)
                                : 67.0;
         result.firstTimeOverHigh[name] =
             result.cpuTemperature.at(name).firstTimeAbove(threshold);
+    }
+    if (!config.metricsPath.empty()) {
+        metrics::writeTextFile(metrics::Registry::global(),
+                               config.metricsPath);
     }
     return result;
 }

@@ -91,6 +91,14 @@ struct ExperimentConfig
      */
     std::function<bool()> shouldStop;
 
+    /**
+     * Write the final metrics snapshot (Prometheus text format) here
+     * before the experiment objects are torn down — the balancer's and
+     * admd's registry hooks die with them, so a caller writing after
+     * runExperiment() returns would miss every lb_ and freon_ series.
+     */
+    std::string metricsPath;
+
     /** Install the paper's two Figure 11 emergencies at 480 s. */
     void addPaperEmergencies();
 };

@@ -149,7 +149,12 @@ LoadBalancer::submit(const cluster::Request &request)
     if (!best)
         best = pick(false);
     if (!best) {
+        // No eligible server at all (every server disabled, weight 0,
+        // powered off, or at its connection cap). Counted separately
+        // from server-side drops so operators can tell admission
+        // starvation from overload.
         ++dropped_;
+        ++droppedNoEligible_;
         return;
     }
     ++best->dispatched;
@@ -203,6 +208,25 @@ void
 LoadBalancer::setCompletionObserver(Observer observer)
 {
     observer_ = std::move(observer);
+}
+
+void
+LoadBalancer::registerMetrics(metrics::Registry &registry)
+{
+    submittedGuard_.add(
+        registry, "lb_submitted_total", "requests offered to the LB",
+        [this] { return static_cast<double>(submitted_); });
+    completedGuard_.add(
+        registry, "lb_completed_total", "requests completed by servers",
+        [this] { return static_cast<double>(completed_); });
+    droppedGuard_.add(
+        registry, "lb_dropped_total",
+        "requests dropped (admission + server side)",
+        [this] { return static_cast<double>(dropped_); });
+    noEligibleGuard_.add(
+        registry, "lb_dropped_no_eligible_total",
+        "requests dropped because no server was eligible",
+        [this] { return static_cast<double>(droppedNoEligible_); });
 }
 
 RunningStats

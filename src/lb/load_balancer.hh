@@ -19,6 +19,7 @@
 
 #include "cluster/request.hh"
 #include "cluster/server_machine.hh"
+#include "metrics/metrics.hh"
 
 namespace mercury {
 namespace lb {
@@ -88,6 +89,11 @@ class LoadBalancer
     uint64_t completed() const { return completed_; }
     uint64_t dropped() const { return dropped_; }
 
+    /** Drops because no server was eligible at submit time (all
+     *  disabled, weight 0, off, or at their caps) — distinct from
+     *  server-side drops, which a server reports after admission. */
+    uint64_t droppedNoEligible() const { return droppedNoEligible_; }
+
     /** Fraction of submitted requests dropped so far. */
     double dropRate() const;
 
@@ -112,6 +118,13 @@ class LoadBalancer
                                         cluster::RequestOutcome)>;
     void setCompletionObserver(Observer observer);
 
+    /**
+     * Export the dispatch counters into @p registry (lb_submitted_total
+     * and friends). Guarded: destroying this balancer unregisters them,
+     * and a newer balancer registering the same names wins.
+     */
+    void registerMetrics(metrics::Registry &registry);
+
   private:
     struct Entry
     {
@@ -132,6 +145,12 @@ class LoadBalancer
     uint64_t submitted_ = 0;
     uint64_t completed_ = 0;
     uint64_t dropped_ = 0;
+    uint64_t droppedNoEligible_ = 0;
+
+    metrics::CallbackGuard submittedGuard_;
+    metrics::CallbackGuard completedGuard_;
+    metrics::CallbackGuard droppedGuard_;
+    metrics::CallbackGuard noEligibleGuard_;
 };
 
 } // namespace lb

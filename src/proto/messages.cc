@@ -13,6 +13,9 @@ namespace {
 constexpr size_t kNameWidth = 32;
 constexpr size_t kFiddleRequestWidth = kMessageSize - 8 - 4;  // 116
 constexpr size_t kFiddleReplyWidth = kMessageSize - 8 - 4 - 1; // 115
+constexpr size_t kMetricsFragmentWidth =
+    kMessageSize - 8 - 4 - 1 - 4; // 111 (110 content bytes + NUL pad)
+static_assert(kMetricsFragmentMax == kMetricsFragmentWidth - 1);
 
 /** Little-endian primitive writers/readers over a Packet. */
 class Writer
@@ -314,6 +317,30 @@ encode(const MultiReadReply &msg)
     return packet;
 }
 
+Packet
+encode(const MetricsRequest &msg)
+{
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::MetricsRequest);
+    writer.u32(msg.requestId);
+    writer.u32(msg.offset);
+    return packet;
+}
+
+Packet
+encode(const MetricsReply &msg)
+{
+    Packet packet;
+    Writer writer(packet);
+    writeHeader(writer, MessageType::MetricsReply);
+    writer.u32(msg.requestId);
+    writer.u8(static_cast<uint8_t>(msg.status));
+    writer.u32(msg.nextOffset);
+    writer.fixedString(msg.fragment, kMetricsFragmentWidth, "fragment");
+    return packet;
+}
+
 std::optional<Message>
 decode(const Packet &packet)
 {
@@ -416,6 +443,23 @@ decode(const Packet &packet)
         }
         return msg;
       }
+      case MessageType::MetricsRequest: {
+        MetricsRequest msg;
+        msg.requestId = reader.u32();
+        msg.offset = reader.u32();
+        return msg;
+      }
+      case MessageType::MetricsReply: {
+        MetricsReply msg;
+        msg.requestId = reader.u32();
+        uint8_t status = reader.u8();
+        if (status > static_cast<uint8_t>(Status::InternalError))
+            return std::nullopt;
+        msg.status = static_cast<Status>(status);
+        msg.nextOffset = reader.u32();
+        msg.fragment = reader.fixedString(kMetricsFragmentWidth);
+        return msg;
+      }
       default:
         return std::nullopt;
     }
@@ -435,6 +479,10 @@ requestId(const Message &message)
     if (const auto *msg = std::get_if<MultiReadRequest>(&message))
         return msg->requestId;
     if (const auto *msg = std::get_if<MultiReadReply>(&message))
+        return msg->requestId;
+    if (const auto *msg = std::get_if<MetricsRequest>(&message))
+        return msg->requestId;
+    if (const auto *msg = std::get_if<MetricsReply>(&message))
         return msg->requestId;
     return std::nullopt;
 }
@@ -456,6 +504,8 @@ peekRequestId(const Packet &packet)
       case MessageType::FiddleReply:
       case MessageType::MultiReadRequest:
       case MessageType::MultiReadReply:
+      case MessageType::MetricsRequest:
+      case MessageType::MetricsReply:
         return reader.u32();
       default:
         return std::nullopt;

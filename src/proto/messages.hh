@@ -44,6 +44,8 @@ enum class MessageType : uint8_t {
     FiddleReply = 5,
     MultiReadRequest = 6,
     MultiReadReply = 7,
+    MetricsRequest = 8,
+    MetricsReply = 9,
 };
 
 /** Status codes carried in replies. */
@@ -143,10 +145,38 @@ struct MultiReadReply
     std::vector<MultiReadEntry> entries; //!< empty unless status == Ok
 };
 
+/**
+ * Most fragment bytes one MetricsReply can carry: 128 - 8 (header) -
+ * 4 (id) - 1 (status) - 4 (next offset) leaves a 111-byte NUL-padded
+ * field, i.e. 110 content bytes.
+ */
+inline constexpr size_t kMetricsFragmentMax = 110;
+
+/**
+ * fiddle/sensor library -> solver: fetch a byte range of the daemon's
+ * rendered metrics snapshot. The snapshot is larger than one
+ * datagram, so the client pages through it: offset 0 first, then the
+ * nextOffset from each reply until it comes back 0.
+ */
+struct MetricsRequest
+{
+    uint32_t requestId = 0;
+    uint32_t offset = 0; //!< byte offset into the rendered snapshot
+};
+
+/** solver -> client: one fragment of the rendered snapshot. */
+struct MetricsReply
+{
+    uint32_t requestId = 0;
+    Status status = Status::Ok;
+    uint32_t nextOffset = 0; //!< 0 when this is the final fragment
+    std::string fragment;    //!< max kMetricsFragmentMax bytes, no NULs
+};
+
 /** Any decoded message. */
 using Message = std::variant<UtilizationUpdate, SensorRequest, SensorReply,
                              FiddleRequest, FiddleReply, MultiReadRequest,
-                             MultiReadReply>;
+                             MultiReadReply, MetricsRequest, MetricsReply>;
 
 /** @name Encoding (fatal on oversized string fields) */
 /// @{
@@ -157,6 +187,8 @@ Packet encode(const FiddleRequest &msg);
 Packet encode(const FiddleReply &msg);
 Packet encode(const MultiReadRequest &msg);
 Packet encode(const MultiReadReply &msg);
+Packet encode(const MetricsRequest &msg);
+Packet encode(const MetricsReply &msg);
 /// @}
 
 /**

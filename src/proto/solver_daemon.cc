@@ -14,6 +14,35 @@ SolverDaemon::SolverDaemon(core::Solver &solver, Config config)
     : solver_(solver), config_(config), service_(solver)
 {
     socket_.bind(config_.port);
+
+    // Metrics first: the telemetry Writer below freezes its shm
+    // metric-name table at construction, so every instrument must
+    // exist before the segment is built.
+    registry_ = config_.registry ? config_.registry
+                                 : &metrics::Registry::global();
+    iterationHist_ = registry_->histogram(
+        "solver_iteration_seconds", metrics::Histogram::latencyBounds(),
+        "wall-clock cost of one solver iteration");
+    handleHist_ = registry_->histogram(
+        "net_request_handle_seconds", metrics::Histogram::latencyBounds(),
+        "decode+dispatch+reply cost of one received packet");
+    metricsGuard_.add(*registry_, "solver_iterations_total",
+                      "solver iterations completed",
+                      [this] { return double(solver_.iterations()); });
+    metricsGuard_.add(*registry_, "solver_active_machines",
+                      "machines stepped last iteration",
+                      [this] {
+                          return double(solver_.activeMachineCount());
+                      });
+    metricsGuard_.add(*registry_, "solver_frozen_machines",
+                      "machines held quiescent last iteration",
+                      [this] {
+                          return double(solver_.frozenMachineCount());
+                      });
+    metricsGuard_.add(*registry_, "solver_emulated_seconds",
+                      "emulated time reached by the solver",
+                      [this] { return solver_.emulatedSeconds(); });
+    service_.setMetricsRegistry(registry_);
     if (!config_.checkpointPath.empty()) {
         state::CheckpointManager::Config manager_config;
         manager_config.path = config_.checkpointPath;
@@ -35,7 +64,7 @@ SolverDaemon::SolverDaemon(core::Solver &solver, Config config)
     }
     if (!config_.shmName.empty()) {
         writer_ = std::make_unique<telemetry::Writer>(
-            config_.shmName, solver_, config_.iterationSeconds);
+            config_.shmName, solver_, config_.iterationSeconds, registry_);
         if (writer_->valid()) {
             // Publish from the iteration itself (whoever steps the
             // solver — this loop or a test thread).
@@ -78,6 +107,14 @@ SolverDaemon::run()
     auto heartbeat_period = std::chrono::milliseconds(500);
     auto next_heartbeat = Clock::now() + heartbeat_period;
 
+    const bool metrics_file = !config_.metricsPath.empty() &&
+                              config_.metricsSeconds > 0.0;
+    auto metrics_period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(
+            metrics_file ? config_.metricsSeconds : 1.0));
+    // First write soon after startup so scrapers see the file early.
+    auto next_metrics = Clock::now();
+
     while (!stop_.load(std::memory_order_relaxed)) {
         if (writer_ && Clock::now() >= next_heartbeat) {
             writer_->refreshHeartbeat();
@@ -89,12 +126,20 @@ SolverDaemon::run()
         }
         if (checkpointManager_)
             checkpointManager_->maybeSave();
+        if (metrics_file && Clock::now() >= next_metrics) {
+            metrics::writeTextFile(*registry_, config_.metricsPath);
+            next_metrics = Clock::now() + metrics_period;
+        }
 
         double timeout = 0.05;
         if (stepping) {
             auto now = Clock::now();
             if (now >= next_iteration) {
+                auto iter_start = Clock::now();
                 solver_.iterate();
+                iterationHist_->observe(
+                    std::chrono::duration<double>(Clock::now() - iter_start)
+                        .count());
                 next_iteration += period;
                 // If we fell behind (heavy queries), skip forward
                 // rather than bursting iterations.
@@ -112,9 +157,13 @@ SolverDaemon::run()
         auto got = socket_.recvFrom(buffer, sizeof(buffer), &from, timeout);
         if (!got)
             continue;
+        auto handle_start = Clock::now();
         auto reply = service_.handlePacket(buffer, *got);
         if (reply)
             socket_.sendTo(from, reply->data(), reply->size());
+        handleHist_->observe(
+            std::chrono::duration<double>(Clock::now() - handle_start)
+                .count());
     }
 
     // stop() is the graceful path (SIGINT/SIGTERM in solverd): flush
@@ -124,6 +173,8 @@ SolverDaemon::run()
             inform("solverd: final checkpoint saved to ",
                    checkpointManager_->path());
     }
+    if (metrics_file)
+        metrics::writeTextFile(*registry_, config_.metricsPath);
 }
 
 } // namespace proto

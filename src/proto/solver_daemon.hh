@@ -70,6 +70,20 @@ class SolverDaemon
         /** Wall-clock seconds between periodic checkpoint saves;
          *  <= 0 disables the timer (explicit saves still work). */
         double checkpointSeconds = 30.0;
+
+        /** Prometheus text file written atomically every
+         *  metricsSeconds; empty disables the file writer (the
+         *  MetricsSnapshot RPC and the shm metrics region still
+         *  work). */
+        std::string metricsPath;
+
+        /** Wall-clock seconds between metrics file writes. */
+        double metricsSeconds = 10.0;
+
+        /** Metrics registry to instrument into; null uses the
+         *  process-global registry. Tests pass their own so
+         *  concurrent daemons in one process stay isolated. */
+        metrics::Registry *registry = nullptr;
     };
 
     SolverDaemon(core::Solver &solver, Config config);
@@ -89,6 +103,9 @@ class SolverDaemon
     void stop() { stop_.store(true, std::memory_order_relaxed); }
 
     const SolverService &service() const { return service_; }
+
+    /** The registry this daemon instruments into. */
+    metrics::Registry &metricsRegistry() { return *registry_; }
 
     /** The telemetry writer; null when disabled or shm_open failed. */
     const telemetry::Writer *telemetryWriter() const
@@ -110,6 +127,11 @@ class SolverDaemon
     std::unique_ptr<state::CheckpointManager> checkpointManager_;
     std::unique_ptr<telemetry::Writer> writer_;
     std::atomic<bool> stop_{false};
+
+    metrics::Registry *registry_ = nullptr;
+    metrics::Histogram *iterationHist_ = nullptr;
+    metrics::Histogram *handleHist_ = nullptr;
+    metrics::CallbackGuard metricsGuard_;
 };
 
 } // namespace proto

@@ -1,5 +1,7 @@
 #include "proto/solver_service.hh"
 
+#include <algorithm>
+
 #include "core/solver.hh"
 #include "fiddle/command.hh"
 #include "util/logging.hh"
@@ -42,9 +44,54 @@ SolverService::handle(const Message &message)
         return onMultiReadRequest(*request);
     if (const auto *request = std::get_if<FiddleRequest>(&message))
         return onFiddleRequest(*request);
+    if (const auto *request = std::get_if<MetricsRequest>(&message))
+        return onMetricsRequest(*request);
     // Reply types arriving at the server are peer bugs; drop them.
     ++undecodable_;
     return std::nullopt;
+}
+
+void
+SolverService::setMetricsRegistry(metrics::Registry *registry)
+{
+    metricsGuard_.release();
+    metricsRegistry_ = registry;
+    if (!registry)
+        return;
+    metrics::Registry &reg = *registry;
+    metricsGuard_.add(reg, "net_updates_applied_total",
+                      "utilization updates applied to the solver",
+                      [this] { return double(updatesApplied_); });
+    metricsGuard_.add(reg, "net_updates_rejected_total",
+                      "utilization updates with no powered target node",
+                      [this] { return double(updatesRejected_); });
+    metricsGuard_.add(reg, "net_sensor_reads_total",
+                      "sensor temperatures served (single + batched)",
+                      [this] { return double(sensorReads_); });
+    metricsGuard_.add(reg, "net_multi_reads_total",
+                      "MultiRead datagrams served",
+                      [this] { return double(multiReads_); });
+    metricsGuard_.add(reg, "net_fiddles_applied_total",
+                      "fiddle commands applied",
+                      [this] { return double(fiddlesApplied_); });
+    metricsGuard_.add(reg, "net_undecodable_total",
+                      "packets dropped as undecodable or misdirected",
+                      [this] { return double(undecodable_); });
+    metricsGuard_.add(reg, "net_updates_lost_total",
+                      "sequence gaps still unfilled, all senders",
+                      [this] { return double(lossStats().lost); });
+    metricsGuard_.add(reg, "net_updates_duplicate_total",
+                      "duplicate sequence numbers, all senders",
+                      [this] { return double(lossStats().duplicates); });
+    metricsGuard_.add(reg, "net_updates_reordered_total",
+                      "late-arriving updates, all senders",
+                      [this] { return double(lossStats().reordered); });
+    metricsGuard_.add(reg, "net_update_senders",
+                      "distinct machines with sequence tracking",
+                      [this] { return double(senders_.size()); });
+    metricsGuard_.add(reg, "net_backlog_depth",
+                      "samples queued in sender outage backlogs",
+                      [this] { return double(backlogDepth()); });
 }
 
 std::optional<core::Solver::NodeRef>
@@ -322,6 +369,17 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
         return encode(reply);
     }
 
+    // `fiddle metrics` over the plain fiddle protocol: old clients
+    // get the first reply-sized chunk of the summary. New clients use
+    // the paginated MetricsRequest instead and never hit this.
+    if (line == "metrics" || line == "fiddle metrics") {
+        reply.status = Status::Ok;
+        reply.message = metricsRegistry_
+                            ? metricsRegistry_->renderSummary().substr(0, 110)
+                            : statsLine().substr(0, 110);
+        return encode(reply);
+    }
+
     fiddle::FiddleResult result =
         fiddle::applyLine(solver_, msg.commandLine);
     reply.status = result.ok ? Status::Ok : Status::BadCommand;
@@ -329,6 +387,37 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
     reply.message = result.message.substr(0, 110);
     if (result.ok)
         ++fiddlesApplied_;
+    return encode(reply);
+}
+
+Packet
+SolverService::onMetricsRequest(const MetricsRequest &msg)
+{
+    MetricsReply reply;
+    reply.requestId = msg.requestId;
+
+    // Offset 0 starts a fresh snapshot; later pages read the cached
+    // render so one client pages through one consistent snapshot even
+    // while the counters keep moving.
+    if (msg.offset == 0 || metricsPageCache_.empty()) {
+        metricsPageCache_ = metricsRegistry_
+                                ? metricsRegistry_->renderSummary()
+                                : statsLine() + "\n";
+    }
+
+    if (msg.offset >= metricsPageCache_.size()) {
+        reply.status = msg.offset == 0 ? Status::Ok : Status::BadCommand;
+        reply.nextOffset = 0;
+        return encode(reply);
+    }
+
+    size_t take = std::min(kMetricsFragmentMax,
+                           metricsPageCache_.size() - msg.offset);
+    reply.status = Status::Ok;
+    reply.fragment = metricsPageCache_.substr(msg.offset, take);
+    size_t end = msg.offset + take;
+    reply.nextOffset =
+        end < metricsPageCache_.size() ? static_cast<uint32_t>(end) : 0;
     return encode(reply);
 }
 

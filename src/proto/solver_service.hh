@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "core/solver.hh"
+#include "metrics/metrics.hh"
 #include "proto/messages.hh"
 #include "state/checkpoint.hh"
 
@@ -93,6 +94,17 @@ class SolverService
     /** Sum of the backlog depths last reported by each sender. */
     uint64_t backlogDepth() const;
 
+    /**
+     * Wire the metrics subsystem in (borrowed, may be null). The
+     * service exports its receive/loss counters into @p registry as
+     * callbacks (unregistered automatically on destruction) and
+     * answers MetricsRequest pages from the registry's rendered
+     * summary.
+     */
+    void setMetricsRegistry(metrics::Registry *registry);
+
+    metrics::Registry *metricsRegistry() const { return metricsRegistry_; }
+
     /** @name Sender-table checkpointing
      * The sequence trackers are part of a checkpoint: without them a
      * restored daemon would misread the monitord's next sequence
@@ -109,6 +121,7 @@ class SolverService
     Packet onSensorRequest(const SensorRequest &msg);
     Packet onMultiReadRequest(const MultiReadRequest &msg);
     Packet onFiddleRequest(const FiddleRequest &msg);
+    Packet onMetricsRequest(const MetricsRequest &msg);
 
     /**
      * Per-sender sequence-gap tracker: highest sequence seen plus a
@@ -157,8 +170,8 @@ class SolverService
     /** Sequence accounting per sending machine (one monitord each). */
     std::unordered_map<std::string, SenderState> senders_;
 
-    /** Decoded receives indexed by raw MessageType (1..7; 0 unused). */
-    std::array<uint64_t, 8> receivedByType_{};
+    /** Decoded receives indexed by raw MessageType (1..9; 0 unused). */
+    std::array<uint64_t, 10> receivedByType_{};
 
     uint64_t updatesApplied_ = 0;
     uint64_t updatesRejected_ = 0;
@@ -169,6 +182,15 @@ class SolverService
 
     /** Checkpoint plumbing (borrowed from the daemon; may be null). */
     state::CheckpointManager *checkpointManager_ = nullptr;
+
+    /** Metrics plumbing (borrowed; may be null). */
+    metrics::Registry *metricsRegistry_ = nullptr;
+    metrics::CallbackGuard metricsGuard_;
+
+    /** Snapshot text being paged out: rendered fresh on an offset-0
+     *  MetricsRequest, served verbatim for the follow-up pages so one
+     *  client sees one consistent snapshot. */
+    std::string metricsPageCache_;
 };
 
 } // namespace proto

@@ -100,6 +100,35 @@ SensorClient::readMany(const std::vector<std::string> &components)
     return out;
 }
 
+std::optional<std::string>
+SensorClient::metricsText()
+{
+    std::string text;
+    uint32_t offset = 0;
+    // 512 fragments bound the loop (and the snapshot) at ~56 KB even
+    // against a hostile/buggy server that never sends nextOffset 0.
+    for (int page = 0; page < 512; ++page) {
+        proto::MetricsRequest request;
+        request.requestId = nextRequestId_++;
+        request.offset = offset;
+        auto reply = transport_->roundTrip(proto::encode(request));
+        if (!reply)
+            return std::nullopt;
+        const auto *metrics = std::get_if<proto::MetricsReply>(&*reply);
+        if (!metrics || metrics->requestId != request.requestId ||
+            metrics->status != proto::Status::Ok) {
+            return std::nullopt;
+        }
+        text += metrics->fragment;
+        if (metrics->nextOffset == 0)
+            return text;
+        if (metrics->nextOffset <= offset)
+            return std::nullopt; // non-advancing server: bail out
+        offset = metrics->nextOffset;
+    }
+    return std::nullopt;
+}
+
 std::pair<bool, std::string>
 SensorClient::fiddle(const std::string &command_line)
 {

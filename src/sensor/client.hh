@@ -55,6 +55,14 @@ class SensorClient
     /** Send a fiddle command line; returns (ok, diagnostic). */
     std::pair<bool, std::string> fiddle(const std::string &command_line);
 
+    /**
+     * Fetch the daemon's full metrics snapshot via the paginated
+     * MetricsRequest RPC (`fiddle metrics` uses this). nullopt when
+     * the daemon does not answer (timeout, or a pre-metrics daemon
+     * that drops the unknown message type).
+     */
+    std::optional<std::string> metricsText();
+
     const std::string &machine() const { return machine_; }
 
   private:

@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
+#include "metrics/metrics.hh"
 #include "sensor/client.hh"
 #include "telemetry/layout.hh"
 #include "telemetry/reader.hh"
@@ -45,6 +48,45 @@ std::mutex registryMutex;
 std::map<int, OpenSensor> registry;
 int nextDescriptor = 1;
 SolverService *localService = nullptr;
+
+/** Read-latency split by path, plus the fallback counter (global
+ *  registry; the C API has no other configuration surface). */
+struct PathMetrics
+{
+    mercury::metrics::Histogram *shmLatency;
+    mercury::metrics::Histogram *udpLatency;
+    mercury::metrics::Counter *shmFallbacks;
+};
+
+PathMetrics &
+pathMetrics()
+{
+    static PathMetrics instance = [] {
+        auto &reg = mercury::metrics::Registry::global();
+        PathMetrics m;
+        m.shmLatency = reg.histogram(
+            "sensor_shm_read_seconds",
+            mercury::metrics::Histogram::latencyBounds(),
+            "readsensor() latency over the shm fast path");
+        m.udpLatency = reg.histogram(
+            "sensor_udp_read_seconds",
+            mercury::metrics::Histogram::latencyBounds(),
+            "readsensor() latency over the network path");
+        m.shmFallbacks = reg.counter(
+            "sensor_shm_fallback_total",
+            "reads that had a shm segment but fell back to the network");
+        return m;
+    }();
+    return instance;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 /** (host '\n' port '\n' machine) -> live client, for batching. */
 std::map<std::string, std::weak_ptr<SensorClient>> clientCache;
@@ -189,13 +231,18 @@ readsensor(int sd)
         return std::numeric_limits<float>::quiet_NaN();
     OpenSensor &sensor = it->second;
 
+    auto start = std::chrono::steady_clock::now();
     auto fast = readShmLocked(sensor);
     if (fast) {
         sensor.lastPath = MERCURY_SENSOR_PATH_SHM;
+        pathMetrics().shmLatency->observe(secondsSince(start));
         return static_cast<float>(*fast);
     }
+    if (sensor.shm)
+        pathMetrics().shmFallbacks->inc();
 
     auto value = sensor.client->read(sensor.component);
+    pathMetrics().udpLatency->observe(secondsSince(start));
     if (!value)
         return std::numeric_limits<float>::quiet_NaN();
     sensor.lastPath = MERCURY_SENSOR_PATH_UDP;
@@ -222,13 +269,17 @@ readsensors(const int *descriptors, float *temperatures, int count)
         if (it == registry.end())
             continue;
         OpenSensor &sensor = it->second;
+        auto start = std::chrono::steady_clock::now();
         auto fast = readShmLocked(sensor);
         if (fast) {
             sensor.lastPath = MERCURY_SENSOR_PATH_SHM;
+            pathMetrics().shmLatency->observe(secondsSince(start));
             temperatures[i] = static_cast<float>(*fast);
             ++successes;
             continue;
         }
+        if (sensor.shm)
+            pathMetrics().shmFallbacks->inc();
         pending[sensor.client.get()].push_back(i);
     }
 
@@ -237,8 +288,10 @@ readsensors(const int *descriptors, float *temperatures, int count)
         components.reserve(indices.size());
         for (int i : indices)
             components.push_back(registry[descriptors[i]].component);
+        auto start = std::chrono::steady_clock::now();
         std::vector<std::optional<double>> values =
             client->readMany(components);
+        pathMetrics().udpLatency->observe(secondsSince(start));
         for (size_t k = 0; k < indices.size(); ++k) {
             if (!values[k])
                 continue;

@@ -17,11 +17,30 @@ ChannelTransport::ChannelTransport(std::unique_ptr<net::ClientChannel> channel,
                                    Options options)
     : channel_(std::move(channel)), options_(options)
 {
+    initMetrics();
 }
 
 ChannelTransport::ChannelTransport(Options options)
     : options_(options)
 {
+    initMetrics();
+}
+
+void
+ChannelTransport::initMetrics()
+{
+    metrics::Registry &registry = metrics::Registry::global();
+    latencyHist_ = registry.histogram(
+        "net_client_roundtrip_seconds",
+        metrics::Histogram::latencyBounds(),
+        "request/reply latency on the channel clock, all transports");
+    retriesCounter_ = registry.counter(
+        "net_client_retries_total", "request retransmissions");
+    timeoutsCounter_ = registry.counter(
+        "net_client_timeouts_total", "attempts with no usable reply");
+    failuresCounter_ = registry.counter(
+        "net_client_failures_total",
+        "round trips that exhausted their deadline budget");
 }
 
 void
@@ -41,12 +60,15 @@ ChannelTransport::roundTrip(const proto::Packet &request)
     // decodability alone (nothing round-trips them today).
     std::optional<uint32_t> expected = proto::peekRequestId(request);
 
-    const double deadline = channel_->now() + options_.deadlineSeconds;
+    const double started = channel_->now();
+    const double deadline = started + options_.deadlineSeconds;
     for (int attempt = 0; attempt < options_.maxAttempts; ++attempt) {
         if (channel_->now() >= deadline)
             break;
-        if (attempt > 0)
+        if (attempt > 0) {
             ++stats_.retries;
+            retriesCounter_->inc();
+        }
         if (!channel_->send(request.data(), request.size())) {
             ++stats_.sendFailures;
             continue;
@@ -62,12 +84,14 @@ ChannelTransport::roundTrip(const proto::Packet &request)
             double wait = attempt_deadline - channel_->now();
             if (wait <= 0.0) {
                 ++stats_.timeouts;
+                timeoutsCounter_->inc();
                 break;
             }
             uint8_t buffer[proto::kMessageSize];
             auto got = channel_->recv(buffer, sizeof(buffer), wait);
             if (!got) {
                 ++stats_.timeouts;
+                timeoutsCounter_->inc();
                 break;
             }
             auto reply = proto::decode(buffer, *got);
@@ -82,10 +106,12 @@ ChannelTransport::roundTrip(const proto::Packet &request)
                     continue;
                 }
             }
+            latencyHist_->observe(channel_->now() - started);
             return reply;
         }
     }
     ++stats_.failures;
+    failuresCounter_->inc();
     return std::nullopt;
 }
 

@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "metrics/metrics.hh"
 #include "net/channel.hh"
 #include "net/faults.hh"
 #include "net/udp.hh"
@@ -108,9 +109,19 @@ class ChannelTransport : public Transport
     /** Hook for lazy channel construction; default: already set? */
     virtual bool ensureChannel() { return hasChannel(); }
 
+    void initMetrics();
+
     std::unique_ptr<net::ClientChannel> channel_;
     Options options_;
     TransportStats stats_;
+
+    /** Process-global request/reply health (all transports pooled);
+     *  latency is measured on the channel's clock, so virtual-time
+     *  channels report virtual latency. */
+    metrics::Histogram *latencyHist_ = nullptr;
+    metrics::Counter *retriesCounter_ = nullptr;
+    metrics::Counter *timeoutsCounter_ = nullptr;
+    metrics::Counter *failuresCounter_ = nullptr;
 };
 
 /**

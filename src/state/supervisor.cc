@@ -9,6 +9,8 @@ double
 RestartTracker::onExit(double now_seconds, double uptime_seconds)
 {
     ++restarts_;
+    if (restartCounter_)
+        restartCounter_->inc();
     recentExits_.push_back(now_seconds);
     while (!recentExits_.empty() &&
            now_seconds - recentExits_.front() >

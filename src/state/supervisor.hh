@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "metrics/metrics.hh"
+
 namespace mercury {
 namespace state {
 
@@ -58,11 +60,19 @@ class RestartTracker
     /** The delay the next onExit() would return (observability). */
     double currentBackoffSeconds() const { return backoff_; }
 
+    /** Optional metrics counter bumped on every recorded exit
+     *  (borrowed; pass nullptr to detach). */
+    void setRestartCounter(metrics::Counter *counter)
+    {
+        restartCounter_ = counter;
+    }
+
   private:
     SupervisorPolicy policy_;
     double backoff_ = 0.0; //!< 0 until the first exit
     uint64_t restarts_ = 0;
     std::deque<double> recentExits_; //!< timestamps inside the window
+    metrics::Counter *restartCounter_ = nullptr;
 };
 
 /**

@@ -12,6 +12,13 @@
  *   AliasEntry[aliasCount]          (component alias -> node name)
  *   double temperatures[slotCount]  (payload, seqlock-protected)
  *   double utilizations[slotCount]  (payload, seqlock-protected)
+ *   MetricName[metricCount]         (metric name directory)
+ *   double metricValues[metricCount] (payload, seqlock-protected)
+ *
+ * The metrics region mirrors the daemon's registry (flattened
+ * name/value samples, frozen name set at segment creation) so local
+ * health monitors read iteration rate and loss counters with two
+ * loads instead of an RPC.
  *
  * The directory and alias table are written once at creation and never
  * change; `layoutHash` fingerprints them (plus the counts) so a reader
@@ -40,11 +47,20 @@ namespace telemetry {
 /** Segment magic ('M''T''L''1'). */
 inline constexpr uint32_t kShmMagic = 0x314c544dU;
 
-/** Layout version; bump on any incompatible change to this file. */
-inline constexpr uint32_t kShmVersion = 1;
+/** Layout version; bump on any incompatible change to this file.
+ *  v2: appended the metrics region (MetricName table + values). */
+inline constexpr uint32_t kShmVersion = 2;
 
 /** Fixed name width, matching the 128-byte wire protocol's fields. */
 inline constexpr size_t kNameWidth = 32;
+
+/** Metric names are longer than wire names (histogram expansions like
+ *  "..._seconds_count"); they get their own width. */
+inline constexpr size_t kMetricNameWidth = 48;
+
+/** Cap on published metrics; keeps segments bounded if a registry
+ *  grows without limit. */
+inline constexpr size_t kMaxShmMetrics = 256;
 
 /** Heartbeats older than this many iteration periods are stale. */
 inline constexpr double kStalePeriods = 4.0;
@@ -64,6 +80,12 @@ struct AliasEntry
 {
     char alias[kNameWidth];
     char node[kNameWidth];
+};
+
+/** One metric-directory entry (flattened registry sample name). */
+struct MetricName
+{
+    char name[kMetricNameWidth];
 };
 
 /**
@@ -102,13 +124,18 @@ struct Header
     double emulatedSeconds = 0.0;
     /// @}
 
-    uint64_t reserved1 = 0;
+    /** Entries in the metric name/value region (v2+); occupies half
+     *  of the v1 header's trailing reserved word, so sizeof(Header)
+     *  is unchanged. */
+    uint32_t metricCount = 0;
+    uint32_t reserved1 = 0;
 };
 
 static_assert(sizeof(Header) % alignof(double) == 0,
               "payload arrays must stay 8-byte aligned");
 static_assert(sizeof(SlotKey) % alignof(double) == 0 &&
-                  sizeof(AliasEntry) % alignof(double) == 0,
+                  sizeof(AliasEntry) % alignof(double) == 0 &&
+                  sizeof(MetricName) % alignof(double) == 0,
               "directory entries must preserve payload alignment");
 
 /** Byte offsets of each region for given table sizes. */
@@ -116,6 +143,7 @@ struct Layout
 {
     uint32_t slotCount = 0;
     uint32_t aliasCount = 0;
+    uint32_t metricCount = 0;
 
     size_t slotsOffset() const { return sizeof(Header); }
 
@@ -138,9 +166,21 @@ struct Layout
     }
 
     size_t
-    totalBytes() const
+    metricNamesOffset() const
     {
         return utilizationsOffset() + sizeof(double) * slotCount;
+    }
+
+    size_t
+    metricValuesOffset() const
+    {
+        return metricNamesOffset() + sizeof(MetricName) * metricCount;
+    }
+
+    size_t
+    totalBytes() const
+    {
+        return metricValuesOffset() + sizeof(double) * metricCount;
     }
 };
 

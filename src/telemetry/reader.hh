@@ -29,6 +29,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "telemetry/layout.hh"
 
@@ -97,6 +99,13 @@ class Reader
     /** True when a mapping exists and looks alive right now. */
     bool usable();
 
+    /**
+     * One consistent snapshot of the segment's metrics region
+     * (name/value pairs, segment order). Empty when the segment is
+     * unusable, carries no metrics, or the seqlock never settled.
+     */
+    std::vector<std::pair<std::string, double>> readMetrics();
+
     /** Bumps every time a (re)connect builds a new slot index. */
     uint64_t generation();
 
@@ -125,6 +134,10 @@ class Reader
     const Header *header_ = nullptr;
     const double *temperatures_ = nullptr;
     const double *utilizations_ = nullptr;
+    const double *metricValues_ = nullptr;
+
+    /** Metric name directory, copied out at connect time. */
+    std::vector<std::string> metricNames_;
     Layout layout_;
     uint64_t layoutHash_ = 0;
     uint64_t staleThresholdNanos_ = 0;

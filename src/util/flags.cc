@@ -1,11 +1,67 @@
 #include "util/flags.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.hh"
 #include "util/strings.hh"
 
 namespace mercury {
+
+namespace {
+
+/**
+ * Why a numeric flag value failed, for the fatal() message. "10x",
+ * "1e999", and "" all fail parseDouble() identically; the operator
+ * staring at a service script deserves to know which mistake it was.
+ */
+std::string
+describeBadDouble(const std::string &value)
+{
+    std::string buf = trim(value);
+    if (buf.empty())
+        return "empty value";
+    errno = 0;
+    char *end = nullptr;
+    double parsed = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str())
+        return "not a number";
+    if (end != buf.c_str() + buf.size()) {
+        return "trailing garbage after '" +
+               buf.substr(0, static_cast<size_t>(end - buf.c_str())) +
+               "'";
+    }
+    if (errno == ERANGE) {
+        return parsed == 0.0 ? "underflows a double"
+                             : "out of range for a double";
+    }
+    return "not a number";
+}
+
+std::string
+describeBadInt(const std::string &value)
+{
+    std::string buf = trim(value);
+    if (buf.empty())
+        return "empty value";
+    errno = 0;
+    char *end = nullptr;
+    (void)std::strtoll(buf.c_str(), &end, 10);
+    if (end == buf.c_str())
+        return "not an integer";
+    if (end != buf.c_str() + buf.size()) {
+        return "trailing garbage after '" +
+               buf.substr(0, static_cast<size_t>(end - buf.c_str())) +
+               "'";
+    }
+    if (errno == ERANGE)
+        return "out of range for a 64-bit integer";
+    return "not an integer";
+}
+
+} // namespace
 
 FlagSet::FlagSet(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary))
@@ -86,14 +142,28 @@ FlagSet::parse(int argc, const char *const *argv)
             }
         }
         switch (flag.kind) {
-          case Kind::Double:
-            if (!parseDouble(value))
-                fatal("flag --", name, ": bad number '", value, "'");
+          case Kind::Double: {
+            auto parsed = parseDouble(value);
+            if (!parsed) {
+                fatal("flag --", name, ": bad number '", value, "' (",
+                      describeBadDouble(value), ")");
+            }
+            // strtod happily parses "nan" and "inf"; no flag here
+            // means either (a NaN threshold disables every
+            // comparison against it, silently).
+            if (!std::isfinite(*parsed)) {
+                fatal("flag --", name, ": bad number '", value,
+                      "' (must be finite)");
+            }
             break;
-          case Kind::Int:
-            if (!parseInt(value))
-                fatal("flag --", name, ": bad integer '", value, "'");
+          }
+          case Kind::Int: {
+            if (!parseInt(value)) {
+                fatal("flag --", name, ": bad integer '", value, "' (",
+                      describeBadInt(value), ")");
+            }
             break;
+          }
           case Kind::Bool:
             if (!parseBool(value))
                 fatal("flag --", name, ": bad boolean '", value, "'");

@@ -248,6 +248,53 @@ TEST(FreonBase, ZeroOutputOnlyCaps)
     EXPECT_GT(rig.balancer.connectionCap("m1"), 0);
 }
 
+TEST(FreonBase, HotBeforeFirstSampleCapsAtCurrentConnections)
+{
+    // Regression: a server that goes Hot before admd's first 5 s
+    // connection sample has no average yet; the old code clamped the
+    // missing average to a cap of 1 and starved it. The fix falls
+    // back to the instantaneous connection count.
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    cluster::Request request;
+    for (int i = 0; i < 40; ++i) {
+        request.id = i;
+        request.cpuSeconds = 100.0; // long-lived: connections stay up
+        rig.balancer.submit(request);
+    }
+    int live = rig.balancer.activeConnections("m1");
+    ASSERT_GT(live, 1);
+
+    // No simulator time has passed: connSamples is still empty.
+    EXPECT_DOUBLE_EQ(rig.controller->averageConnections("m1"), 0.0);
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+    EXPECT_EQ(rig.balancer.connectionCap("m1"), live);
+    EXPECT_EQ(rig.controller->capFallbacks(), 1u);
+    EXPECT_TRUE(rig.controller->isRestricted("m1"));
+}
+
+TEST(FreonBase, HotBeforeFirstSampleWithNoConnectionsLeavesUncapped)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+    // Nothing to base a cap on at all: stay uncapped (the weight
+    // rescaling still sheds load); a cap of 1 would starve the server
+    // for a full sampling period.
+    EXPECT_EQ(rig.balancer.connectionCap("m1"), 0);
+    EXPECT_EQ(rig.controller->capFallbacks(), 1u);
+}
+
+TEST(FreonBase, CapUsesAverageOnceSamplesExist)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.simulator.runUntil(sim::seconds(30));
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+    // Samples exist (all zero connections): the average path clamps
+    // to 1 and no fallback is recorded.
+    EXPECT_EQ(rig.balancer.connectionCap("m1"), 1);
+    EXPECT_EQ(rig.controller->capFallbacks(), 0u);
+    EXPECT_EQ(rig.controller->capAdjustments(), 1u);
+}
+
 TEST(FreonBase, RedlineTurnsServerOff)
 {
     ControllerRig rig(4, PolicyKind::FreonBase);

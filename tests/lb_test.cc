@@ -116,7 +116,88 @@ TEST(LoadBalancer, DropsWhenNoServerEligible)
     for (int i = 0; i < 10; ++i)
         rig.balancer.submit(rig.request(0.01));
     EXPECT_EQ(rig.balancer.dropped(), 10u);
+    EXPECT_EQ(rig.balancer.droppedNoEligible(), 10u);
     EXPECT_DOUBLE_EQ(rig.balancer.dropRate(), 1.0);
+}
+
+TEST(LoadBalancer, AllWeightsZeroDropsAreCountedNotCrashed)
+{
+    // Every weight zero used to be the scary case for a
+    // division-based scheduler; the cross-multiplying pick must treat
+    // it as "no eligible server" and count the outcome.
+    Rig rig(3);
+    for (const std::string &name : rig.balancer.serverNames())
+        rig.balancer.setWeight(name, 0);
+    for (int i = 0; i < 25; ++i)
+        rig.balancer.submit(rig.request(0.01));
+    EXPECT_EQ(rig.balancer.dropped(), 25u);
+    EXPECT_EQ(rig.balancer.droppedNoEligible(), 25u);
+    for (const std::string &name : rig.balancer.serverNames())
+        EXPECT_EQ(rig.balancer.activeConnections(name), 0) << name;
+}
+
+TEST(LoadBalancer, AllDisabledDropsAreCounted)
+{
+    Rig rig(2);
+    rig.balancer.setEnabled("m1", false);
+    rig.balancer.setEnabled("m2", false);
+    for (int i = 0; i < 7; ++i)
+        rig.balancer.submit(rig.request(0.01));
+    EXPECT_EQ(rig.balancer.droppedNoEligible(), 7u);
+    // Re-enabling one server resumes dispatch.
+    rig.balancer.setEnabled("m2", true);
+    rig.balancer.submit(rig.request(0.01));
+    EXPECT_EQ(rig.balancer.dispatchedTo("m2"), 1u);
+    EXPECT_EQ(rig.balancer.droppedNoEligible(), 7u);
+}
+
+TEST(LoadBalancer, AllCappedDropsAreCounted)
+{
+    Rig rig(2);
+    rig.balancer.setConnectionCap("m1", 1);
+    rig.balancer.setConnectionCap("m2", 1);
+    for (int i = 0; i < 5; ++i)
+        rig.balancer.submit(rig.request(10.0));
+    EXPECT_EQ(rig.balancer.activeConnections("m1"), 1);
+    EXPECT_EQ(rig.balancer.activeConnections("m2"), 1);
+    EXPECT_EQ(rig.balancer.droppedNoEligible(), 3u);
+}
+
+TEST(LoadBalancer, ServerSideDropsAreNotNoEligible)
+{
+    // Overload drops happen after admission, inside the server; the
+    // no-eligible counter must stay untouched so the two failure
+    // modes are distinguishable.
+    sim::Simulator simulator;
+    cluster::ServerConfig config;
+    config.maxQueueSeconds = 0.05;
+    ServerMachine machine(simulator, "m1", config);
+    LoadBalancer balancer;
+    balancer.addServer(&machine);
+    for (int i = 0; i < 100; ++i) {
+        Request r;
+        r.id = i;
+        r.cpuSeconds = 0.1;
+        balancer.submit(r);
+    }
+    simulator.runToCompletion();
+    EXPECT_GT(balancer.dropped(), 0u);
+    EXPECT_EQ(balancer.droppedNoEligible(), 0u);
+}
+
+TEST(LoadBalancer, RegisterMetricsExportsCounters)
+{
+    metrics::Registry registry;
+    Rig rig(1);
+    rig.balancer.registerMetrics(registry);
+    rig.machines[0]->beginShutdown();
+    for (int i = 0; i < 4; ++i)
+        rig.balancer.submit(rig.request(0.01));
+    auto values = registry.valuesFor(
+        {"lb_submitted_total", "lb_dropped_no_eligible_total"});
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_DOUBLE_EQ(values[0], 4.0);
+    EXPECT_DOUBLE_EQ(values[1], 4.0);
 }
 
 TEST(LoadBalancer, CountsCompletions)

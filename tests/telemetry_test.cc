@@ -15,10 +15,12 @@
 
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 
 #include "core/solver.hh"
+#include "metrics/metrics.hh"
 #include "telemetry/layout.hh"
 #include "telemetry/reader.hh"
 #include "telemetry/writer.hh"
@@ -344,6 +346,77 @@ TEST(Telemetry, SeqlockNeverShowsTornReads)
     stop.store(true, std::memory_order_relaxed);
     publisher.join();
     EXPECT_GT(hits, 0u);
+}
+
+TEST(Telemetry, FrozenMachineDataStaysFreshWhileWriterHeartbeats)
+{
+    // Staleness is a property of the writer, not of a quiescent
+    // machine's data: a frozen machine republishes with an unchanged
+    // stateVersion (the writer skips the recopy), yet its slots stay
+    // readable as long as the segment heartbeat advances.
+    core::Solver solver;
+    solver.addMachine(core::table1Server("hot"));
+    solver.addMachine(core::table1Server("frozen"));
+
+    std::string name = uniqueShmName();
+    Writer writer(name, solver, 1.0);
+    ASSERT_TRUE(writer.valid());
+
+    Reader reader(name);
+    auto frozen_slot = reader.resolve("frozen", "cpu");
+    ASSERT_TRUE(frozen_slot.has_value());
+    auto before = reader.read(*frozen_slot);
+    ASSERT_TRUE(before.has_value());
+
+    // Only "hot" changes across five publishes.
+    for (int i = 1; i <= 5; ++i) {
+        solver.setUtilization("hot", "cpu", 0.1 * i);
+        writer.publish();
+    }
+
+    auto after = reader.read(*frozen_slot);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_DOUBLE_EQ(after->temperature, before->temperature);
+    EXPECT_DOUBLE_EQ(after->utilization, before->utilization);
+    EXPECT_EQ(reader.stats().staleFalls, 0u);
+
+    // The hot machine's latest value did land in the same publishes.
+    auto hot = reader.read("hot", "cpu");
+    ASSERT_TRUE(hot.has_value());
+    EXPECT_DOUBLE_EQ(hot->utilization, 0.5);
+}
+
+TEST(Telemetry, MetricsRegionRoundTrips)
+{
+    core::Solver solver;
+    solver.addMachine(core::table1Server("m1"));
+    metrics::Registry registry;
+    registry.counter("reads_total")->inc(3);
+    registry.gauge("depth")->set(2.5);
+
+    std::string name = uniqueShmName();
+    Writer writer(name, solver, 1.0, &registry);
+    ASSERT_TRUE(writer.valid());
+    ASSERT_EQ(writer.metricCount(), 2u);
+
+    Reader reader(name);
+    auto published = reader.readMetrics();
+    ASSERT_EQ(published.size(), 2u);
+    std::map<std::string, double> byName(published.begin(),
+                                         published.end());
+    EXPECT_DOUBLE_EQ(byName.at("reads_total"), 3.0);
+    EXPECT_DOUBLE_EQ(byName.at("depth"), 2.5);
+
+    // publish() refreshes values, but the name table is frozen at
+    // construction: instruments registered later never appear.
+    registry.counter("reads_total")->inc(4);
+    registry.counter("late_total")->inc(9);
+    writer.publish();
+    published = reader.readMetrics();
+    byName = std::map<std::string, double>(published.begin(),
+                                           published.end());
+    EXPECT_DOUBLE_EQ(byName.at("reads_total"), 7.0);
+    EXPECT_EQ(byName.count("late_total"), 0u);
 }
 
 TEST(Telemetry, NameNormalizationAndDefaults)

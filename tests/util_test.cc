@@ -321,6 +321,70 @@ TEST(Flags, ParsesAllForms)
     EXPECT_EQ(flags.positional()[0], "pos1");
 }
 
+TEST(FlagsDeathTest, RejectsMalformedDoubles)
+{
+    FlagSet flags("prog", "test");
+    flags.defineDouble("ratio", 1.5, "a ratio");
+    {
+        const char *argv[] = {"prog", "--ratio=10x"};
+        EXPECT_DEATH(flags.parse(2, argv),
+                     "trailing garbage after '10'");
+    }
+    {
+        const char *argv[] = {"prog", "--ratio=abc"};
+        EXPECT_DEATH(flags.parse(2, argv), "not a number");
+    }
+    {
+        const char *argv[] = {"prog", "--ratio="};
+        EXPECT_DEATH(flags.parse(2, argv), "empty value");
+    }
+    {
+        const char *argv[] = {"prog", "--ratio=1e999"};
+        EXPECT_DEATH(flags.parse(2, argv),
+                     "out of range for a double");
+    }
+}
+
+TEST(FlagsDeathTest, RejectsNonFiniteDoubles)
+{
+    // strtod happily parses "nan" and "inf"; a NaN threshold would
+    // silently disable every comparison against it downstream.
+    FlagSet flags("prog", "test");
+    flags.defineDouble("ratio", 1.5, "a ratio");
+    {
+        const char *argv[] = {"prog", "--ratio=nan"};
+        EXPECT_DEATH(flags.parse(2, argv), "must be finite");
+    }
+    {
+        const char *argv[] = {"prog", "--ratio=inf"};
+        EXPECT_DEATH(flags.parse(2, argv), "must be finite");
+    }
+    {
+        const char *argv[] = {"prog", "--ratio=-inf"};
+        EXPECT_DEATH(flags.parse(2, argv), "must be finite");
+    }
+}
+
+TEST(FlagsDeathTest, RejectsMalformedInts)
+{
+    FlagSet flags("prog", "test");
+    flags.defineInt("count", 10, "a count");
+    {
+        const char *argv[] = {"prog", "--count=7.5"};
+        EXPECT_DEATH(flags.parse(2, argv),
+                     "trailing garbage after '7'");
+    }
+    {
+        const char *argv[] = {"prog", "--count=99999999999999999999"};
+        EXPECT_DEATH(flags.parse(2, argv),
+                     "out of range for a 64-bit integer");
+    }
+    {
+        const char *argv[] = {"prog", "--count=x"};
+        EXPECT_DEATH(flags.parse(2, argv), "not an integer");
+    }
+}
+
 TEST(Flags, HelpReturnsFalse)
 {
     FlagSet flags("prog", "test");
