@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Request-plane throughput bench: closed-loop sensor-read RPCs against
+ * a solver daemon at 1/2/4 serve workers, with the multi-message
+ * syscalls (recvmmsg/sendmmsg) on and off. Each client keeps a window
+ * of pipelined requests in flight so both the batched receive path and
+ * the batched reply path actually see batches.
+ *
+ * Emits machine-readable JSON on stdout (progress goes to stderr):
+ *
+ *   build/bench/bench_rpc > BENCH_rpc.json
+ *
+ * scripts/run_bench_rpc.sh wraps this and enforces the 4-worker
+ * speedup gate on hosts with enough cores.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/solver.hh"
+#include "core/spec.hh"
+#include "metrics/metrics.hh"
+#include "net/udp.hh"
+#include "proto/messages.hh"
+#include "proto/solver_daemon.hh"
+#include "util/flags.hh"
+
+using namespace mercury;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * One closed-loop client: keep @p window SensorRequests in flight,
+ * count completed replies until the deadline. Replies lost by the
+ * kernel under overload simply age out of the window (0.25 s), so the
+ * loop never wedges on a dropped datagram.
+ */
+uint64_t
+clientLoop(uint16_t port, const std::string &machine, size_t window,
+           double seconds)
+{
+    net::UdpSocket socket;
+    net::Endpoint solver{*net::resolveHost("127.0.0.1"), port};
+
+    std::vector<proto::Packet> packets(window);
+    std::vector<net::UdpSocket::SendDatagram> items(window);
+    std::vector<uint8_t> buffers(window * proto::kMessageSize);
+    std::vector<net::UdpSocket::RecvDatagram> metas(window);
+
+    uint64_t completed = 0;
+    uint32_t request_id = 1;
+    auto start = Clock::now();
+    while (secondsSince(start) < seconds) {
+        for (size_t i = 0; i < window; ++i) {
+            proto::SensorRequest request;
+            request.requestId = request_id++;
+            request.machine = machine;
+            request.component = "cpu";
+            packets[i] = proto::encode(request);
+            items[i].to = solver;
+            items[i].data = packets[i].data();
+            items[i].length = packets[i].size();
+        }
+        if (socket.sendMany(items.data(), window) == 0)
+            break; // route gone; don't spin
+        size_t got = 0;
+        auto wait_start = Clock::now();
+        while (got < window) {
+            double remaining = 0.25 - secondsSince(wait_start);
+            if (remaining <= 0.0)
+                break;
+            size_t n = socket.recvMany(buffers.data(),
+                                       proto::kMessageSize, metas.data(),
+                                       window - got, remaining);
+            if (n == 0)
+                break;
+            got += n;
+        }
+        completed += got;
+    }
+    return completed;
+}
+
+struct RunResult
+{
+    unsigned serveThreads = 0;
+    bool batched = false;
+    uint64_t replies = 0;
+    double seconds = 0.0;
+    double requestsPerSecond = 0.0;
+};
+
+RunResult
+runOnce(unsigned serve_threads, bool batched, unsigned clients,
+        size_t window, double seconds, int run_index)
+{
+    net::setBatchSyscallsEnabled(batched);
+
+    core::Solver solver;
+    std::vector<std::string> machines;
+    for (unsigned i = 0; i < clients; ++i) {
+        machines.push_back("m" + std::to_string(i));
+        solver.addMachine(core::table1Server(machines.back()));
+    }
+
+    metrics::Registry registry;
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.serveThreads = serve_threads;
+    config.iterationSeconds = 0.0;
+    config.statsLogSeconds = 0.0;
+    config.shmName = "/mercury.bench_rpc." + std::to_string(::getpid()) +
+                     "." + std::to_string(run_index);
+    config.registry = &registry;
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+
+    // Let the first telemetry heartbeat publish so reads are served
+    // from the shared-memory snapshot (the steady-state fast path).
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+    std::vector<uint64_t> completed(clients, 0);
+    std::vector<std::thread> threads;
+    auto start = Clock::now();
+    for (unsigned i = 0; i < clients; ++i) {
+        threads.emplace_back([&, i] {
+            completed[i] =
+                clientLoop(daemon.port(), machines[i], window, seconds);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    double elapsed = secondsSince(start);
+
+    daemon.stop();
+    server.join();
+    net::setBatchSyscallsEnabled(true);
+
+    RunResult result;
+    result.serveThreads = serve_threads;
+    result.batched = batched;
+    result.seconds = elapsed;
+    for (uint64_t n : completed)
+        result.replies += n;
+    result.requestsPerSecond = double(result.replies) / elapsed;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_rpc",
+                  "request-plane throughput at 1/2/4 serve workers");
+    flags.defineDouble("seconds", 0.5, "measured seconds per run");
+    flags.defineInt("clients", 8, "concurrent closed-loop clients");
+    flags.defineInt("window", 16, "pipelined requests per client");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    double seconds = flags.getDouble("seconds");
+    unsigned clients = static_cast<unsigned>(flags.getInt("clients"));
+    size_t window = static_cast<size_t>(flags.getInt("window"));
+    if (seconds <= 0.0 || clients < 1 || window < 1 ||
+        window > net::UdpSocket::kMaxBatch) {
+        std::fprintf(stderr, "bench_rpc: bad flag values\n");
+        return 1;
+    }
+
+    const unsigned worker_counts[] = {1, 2, 4};
+    std::vector<RunResult> results;
+    int run_index = 0;
+    for (bool batched : {true, false}) {
+        for (unsigned workers : worker_counts) {
+            std::fprintf(stderr,
+                         "bench_rpc: %u worker(s), %s syscalls...\n",
+                         workers, batched ? "batched" : "single");
+            results.push_back(runOnce(workers, batched, clients, window,
+                                      seconds, run_index++));
+            std::fprintf(stderr, "bench_rpc:   %.0f requests/s\n",
+                         results.back().requestsPerSecond);
+        }
+    }
+
+    std::printf("{\n");
+    std::printf("  \"context\": {\"cores\": %ld, \"clients\": %u, "
+                "\"window\": %zu, \"seconds\": %g},\n",
+                ::sysconf(_SC_NPROCESSORS_ONLN), clients, window,
+                seconds);
+    std::printf("  \"benchmarks\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        std::printf("    {\"name\": \"rpc_w%u_%s\", "
+                    "\"serve_threads\": %u, \"batch_syscalls\": %s, "
+                    "\"replies\": %llu, \"seconds\": %.6f, "
+                    "\"requests_per_second\": %.1f}%s\n",
+                    r.serveThreads, r.batched ? "batch" : "single",
+                    r.serveThreads, r.batched ? "true" : "false",
+                    static_cast<unsigned long long>(r.replies),
+                    r.seconds, r.requestsPerSecond,
+                    i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Run the request-plane throughput bench and record the results as
+# machine-readable JSON at the repo root (BENCH_rpc.json). Then
+# enforce the sharding payoff: 4 serve workers must deliver at least
+# MERCURY_RPC_SPEEDUP_MIN (default 2.0) times the single-worker
+# request rate. The gate is skipped (with a message) on hosts with
+# fewer than 4 cores, where extra workers have nowhere to run; the
+# batched-vs-single-syscall ratio is always reported.
+#
+#   scripts/run_bench_rpc.sh [build-dir] [extra bench_rpc args...]
+#
+# Examples:
+#   scripts/run_bench_rpc.sh
+#   scripts/run_bench_rpc.sh build --seconds 1.0
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bench="$build_dir/bench/bench_rpc"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_rpc.json"
+"$bench" "$@" > "$out"
+echo "$out"
+
+speedup_min=${MERCURY_RPC_SPEEDUP_MIN:-2.0}
+python3 - "$out" "$speedup_min" <<'EOF'
+import json
+import sys
+
+path, floor = sys.argv[1], float(sys.argv[2])
+with open(path) as handle:
+    report = json.load(handle)
+
+rates = {}
+for bench in report.get("benchmarks", []):
+    key = (bench["serve_threads"], bench["batch_syscalls"])
+    rates[key] = bench["requests_per_second"]
+
+for key in [(1, True), (4, True), (1, False), (4, False)]:
+    if key not in rates:
+        sys.exit("error: run w=%d batch=%s missing from %s" %
+                 (key[0], key[1], path))
+
+batch_ratio = rates[(4, True)] / rates[(4, False)]
+print("requests/s: w1=%.0f w2=%.0f w4=%.0f (batched syscalls)" %
+      (rates[(1, True)], rates.get((2, True), 0.0), rates[(4, True)]))
+print("batched vs single syscalls at 4 workers: %.2fx" % batch_ratio)
+
+cores = report.get("context", {}).get("cores", 0)
+if cores < 4:
+    print("SKIP: speedup gate needs >= 4 cores, host has %d" % cores)
+    sys.exit(0)
+
+speedup = rates[(4, True)] / rates[(1, True)]
+print("4-worker speedup: %.2fx (floor %.2fx)" % (speedup, floor))
+if speedup < floor:
+    sys.exit("FAIL: 4 workers only %.2fx over 1 worker "
+             "(floor %.2fx)" % (speedup, floor))
+print("PASS: sharded request plane clears the %.2fx floor" % floor)
+EOF

@@ -42,6 +42,9 @@ main(int argc, char **argv)
     flags.defineString("config", "configs/table1_server.dot",
                        "modified-dot config file (machines + room)");
     flags.defineInt("port", 8367, "UDP port to listen on");
+    flags.defineInt("serve-threads", 1,
+                    "request-plane serve workers, each on its own "
+                    "SO_REUSEPORT socket (1 = classic single receiver)");
     flags.defineDouble("iteration-seconds", 1.0,
                        "emulated/wall seconds per solver iteration");
     flags.defineDouble("stats-log-seconds", 60.0,
@@ -116,6 +119,10 @@ main(int argc, char **argv)
 
     proto::SolverDaemon::Config daemon_config;
     daemon_config.port = static_cast<uint16_t>(flags.getInt("port"));
+    long long serve_threads = flags.getInt("serve-threads");
+    if (serve_threads < 1)
+        fatal("--serve-threads must be >= 1");
+    daemon_config.serveThreads = static_cast<unsigned>(serve_threads);
     daemon_config.iterationSeconds = flags.getDouble("iteration-seconds");
     daemon_config.statsLogSeconds = flags.getDouble("stats-log-seconds");
     if (!flags.getBool("no-shm")) {

@@ -69,6 +69,9 @@ main(int argc, char **argv)
     flags.defineString("solver-host", "127.0.0.1", "solver host");
     flags.defineInt("solver-port", 8367, "solver UDP port");
     flags.defineDouble("period", 1.0, "seconds between updates");
+    flags.defineBool("no-batched-updates", false,
+                     "send one datagram per sendto() instead of "
+                     "batching each tick through sendmmsg");
     flags.defineString("source", "proc",
                        "utilization source: proc | trace");
     flags.defineString("trace", "", "trace file for --source trace");
@@ -126,8 +129,14 @@ main(int argc, char **argv)
     }
 
     auto socket = std::make_shared<net::UdpSocket>();
+    // Batch each tick's updates (and outage replays) into sendmmsg
+    // calls; --no-batched-updates falls back to one sendto() each.
+    auto batcher =
+        std::make_shared<monitor::UpdateBatcher>(socket, solver);
+    bool batching = !flags.getBool("no-batched-updates");
     monitor::Monitord::Sink sink =
-        monitor::Monitord::udpSink(socket, solver);
+        batching ? batcher->sink()
+                 : monitor::Monitord::udpSink(socket, solver);
 
     // --record: tee every sample into a trace file so a live machine's
     // behaviour can be replayed offline later (mercury_trace).
@@ -191,7 +200,13 @@ main(int argc, char **argv)
     // monitord has no server socket, so the file is its only surface).
     metrics::Registry &registry = metrics::Registry::global();
     metrics::CallbackGuard sent_guard, depth_guard, replayed_guard,
-        dropped_guard, online_guard;
+        dropped_guard, online_guard, send_err_guard;
+    send_err_guard.add(registry, "monitor_update_send_errors_total",
+                       "update datagrams that failed to send",
+                       [batcher] {
+                           return static_cast<double>(
+                               batcher->sendErrors());
+                       });
     sent_guard.add(registry, "monitor_updates_sent_total",
                    "utilization updates shipped to the solver",
                    [&daemon] {
@@ -246,11 +261,13 @@ main(int argc, char **argv)
                     inform("monitord: solver unreachable, queueing "
                            "up to ", backlog_capacity, " sample(s)");
             }
-            daemon.setOnline(reachable);
+            daemon.setOnline(reachable); // may replay the backlog
+            batcher->flush();
             next_probe = elapsed + probe_seconds;
         }
         *record_clock = elapsed;
         daemon.tick(elapsed);
+        batcher->flush();
         interruptibleSleep(period);
     }
     if (stopRequested)

@@ -13,6 +13,7 @@
 #ifndef MERCURY_CORE_SOLVER_HH
 #define MERCURY_CORE_SOLVER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -134,7 +135,15 @@ class Solver
      */
     void run(double seconds);
 
-    uint64_t iterations() const { return iterations_; }
+    /** Iterations completed. Safe to read from any thread (relaxed
+     *  atomic): the request plane's stats/metrics paths poll it while
+     *  the solver thread steps. */
+    uint64_t
+    iterations() const
+    {
+        return iterations_.load(std::memory_order_relaxed);
+    }
+
     double iterationSeconds() const { return config_.iterationSeconds; }
     double emulatedSeconds() const;
 
@@ -148,14 +157,21 @@ class Solver
         return config_.quiescenceEpsilon > 0.0;
     }
 
-    /** Machines stepped (or steppable) this iteration. */
-    size_t activeMachineCount() const
+    /** Machines stepped (or steppable) this iteration. Readable from
+     *  any thread, like iterations(). */
+    size_t
+    activeMachineCount() const
     {
-        return machines_.size() - frozenCount_;
+        return machines_.size() -
+               frozenCount_.load(std::memory_order_relaxed);
     }
 
     /** Machines currently frozen by the quiescence engine. */
-    size_t frozenMachineCount() const { return frozenCount_; }
+    size_t
+    frozenMachineCount() const
+    {
+        return frozenCount_.load(std::memory_order_relaxed);
+    }
 
     /** True when the named machine is currently frozen. */
     bool isFrozen(const std::string &machine_name) const;
@@ -179,7 +195,7 @@ class Solver
      */
     void restoreIterationCount(uint64_t iterations)
     {
-        iterations_ = iterations;
+        iterations_.store(iterations, std::memory_order_relaxed);
     }
 
     /**
@@ -316,7 +332,11 @@ class Solver
     std::map<std::string, size_t> machineIndex_;
     std::unique_ptr<RoomModel> room_;
     std::map<std::string, std::string> aliases_;
-    uint64_t iterations_ = 0;
+
+    /** Atomic (relaxed) so the sharded request plane's stats and
+     *  metrics callbacks can read progress while iterate() runs. All
+     *  mutation still happens on the one stepping thread. */
+    std::atomic<uint64_t> iterations_{0};
     std::function<void()> iterationHook_;
 
     std::unique_ptr<ThreadPool> pool_; //!< null until first parallel use
@@ -325,7 +345,7 @@ class Solver
     std::vector<Quiescence> quiescence_; //!< parallel to machines_
     std::vector<double> stepDelta_;      //!< scratch: per-machine |dT|
     std::vector<size_t> activeScratch_;  //!< machines stepping this turn
-    size_t frozenCount_ = 0;
+    std::atomic<size_t> frozenCount_{0}; //!< relaxed; see iterations_
 };
 
 } // namespace core

@@ -155,5 +155,60 @@ Monitord::faultySink(Sink inner,
     };
 }
 
+UpdateBatcher::UpdateBatcher(std::shared_ptr<net::UdpSocket> socket,
+                             net::Endpoint solver)
+    : socket_(std::move(socket)), solver_(solver)
+{
+    if (!socket_)
+        MERCURY_PANIC("UpdateBatcher: null socket");
+    queued_.reserve(net::UdpSocket::kMaxBatch);
+}
+
+Monitord::Sink
+UpdateBatcher::sink()
+{
+    return [this](const proto::UtilizationUpdate &update) {
+        push(update);
+    };
+}
+
+void
+UpdateBatcher::push(const proto::UtilizationUpdate &update)
+{
+    queued_.push_back(proto::encode(update));
+    if (queued_.size() >= net::UdpSocket::kMaxBatch)
+        flush();
+}
+
+void
+UpdateBatcher::flush()
+{
+    if (queued_.empty())
+        return;
+    std::vector<net::UdpSocket::SendDatagram> items;
+    items.reserve(queued_.size());
+    for (const proto::Packet &packet : queued_) {
+        net::UdpSocket::SendDatagram item;
+        item.to = solver_;
+        item.data = packet.data();
+        item.length = packet.size();
+        items.push_back(item);
+    }
+    size_t sent = socket_->sendMany(items.data(), items.size());
+    datagramsSent_ += sent;
+    if (sent < items.size()) {
+        sendErrors_ += items.size() - sent;
+        // Updates are fire-and-forget; the solver's sequence tracking
+        // surfaces the loss. Warn once so a dead route is visible.
+        if (!warnedSendFailure_) {
+            warnedSendFailure_ = true;
+            warn("monitord: failed to send ", items.size() - sent,
+                 " update(s) to ", solver_.toString(),
+                 " (counted, not re-logged)");
+        }
+    }
+    queued_.clear();
+}
+
 } // namespace monitor
 } // namespace mercury

@@ -144,6 +144,46 @@ class Monitord
     uint64_t backlogReplayed_ = 0;
 };
 
+/**
+ * Coalesces udpSink-style per-update datagrams into sendMany batches.
+ *
+ * A /proc machine reports a handful of components per tick and an
+ * outage replay ships hundreds of queued samples back-to-back; sending
+ * each as its own sendto() pays one syscall per update. Feeding a
+ * Monitord through sink() instead queues the encoded packets here, and
+ * flush() ships the whole tick in kMaxBatch-sized sendmmsg calls.
+ *
+ * The batcher must outlive any sink() it handed out. flush() must be
+ * called after every tick()/setOnline() (a full queue also flushes
+ * itself, so nothing is ever dropped between flushes).
+ */
+class UpdateBatcher
+{
+  public:
+    UpdateBatcher(std::shared_ptr<net::UdpSocket> socket,
+                  net::Endpoint solver);
+
+    /** A Monitord sink that queues updates on this batcher. */
+    Monitord::Sink sink();
+
+    /** Ship everything queued (no-op when empty). */
+    void flush();
+
+    uint64_t queued() const { return queued_.size(); }
+    uint64_t datagramsSent() const { return datagramsSent_; }
+    uint64_t sendErrors() const { return sendErrors_; }
+
+  private:
+    void push(const proto::UtilizationUpdate &update);
+
+    std::shared_ptr<net::UdpSocket> socket_;
+    net::Endpoint solver_;
+    std::vector<proto::Packet> queued_;
+    uint64_t datagramsSent_ = 0;
+    uint64_t sendErrors_ = 0;
+    bool warnedSendFailure_ = false;
+};
+
 } // namespace monitor
 } // namespace mercury
 

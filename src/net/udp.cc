@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -18,6 +20,29 @@
 
 namespace mercury {
 namespace net {
+
+namespace {
+
+/** recvmmsg/sendmmsg vs portable fallback (see the header). */
+std::atomic<bool> batchSyscalls{true};
+
+} // namespace
+
+void
+setBatchSyscallsEnabled(bool enabled)
+{
+    batchSyscalls.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+batchSyscallsEnabled()
+{
+#ifdef __linux__
+    return batchSyscalls.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
 
 std::string
 Endpoint::toString() const
@@ -86,7 +111,7 @@ UdpSocket::operator=(UdpSocket &&other) noexcept
 }
 
 void
-UdpSocket::bind(uint16_t port)
+UdpSocket::bind(uint16_t port, bool reuse_port)
 {
     // A supervised restart must reclaim the crashed daemon's port.
     // SO_REUSEADDR alone is not enough on Linux UDP (both the holder
@@ -99,6 +124,20 @@ UdpSocket::bind(uint16_t port)
                          sizeof(one)) < 0) {
             warn("setsockopt(SO_REUSEADDR): ", std::strerror(errno));
         }
+    }
+    if (reuse_port) {
+#ifdef SO_REUSEPORT
+        int one = 1;
+        if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one,
+                         sizeof(one)) < 0) {
+            // Sharding degrades to one effective receiver; the daemon
+            // still works, so warn rather than die.
+            warn("setsockopt(SO_REUSEPORT): ", std::strerror(errno));
+        }
+#else
+        warn("SO_REUSEPORT unsupported on this platform; "
+             "sharded sockets will contend on one queue");
+#endif
     }
 
     sockaddr_in addr{};
@@ -209,6 +248,166 @@ UdpSocket::recvFrom(void *buffer, size_t capacity, Endpoint *from,
         }
         return static_cast<size_t>(got);
     }
+}
+
+size_t
+UdpSocket::recvMany(void *buffers, size_t capacity, RecvDatagram *out,
+                    size_t count, double timeout_seconds)
+{
+    if (count == 0 || capacity == 0)
+        return 0;
+    if (count > kMaxBatch)
+        count = kMaxBatch;
+
+    // Block (bounded) for the first datagram only; the rest of the
+    // batch is whatever is already queued. This keeps worst-case
+    // latency at one datagram while amortizing syscalls under load.
+    uint8_t *base = static_cast<uint8_t *>(buffers);
+    auto first = recvFrom(base, capacity, &out[0].from, timeout_seconds);
+    if (!first)
+        return 0;
+    out[0].length = *first;
+    size_t received = 1;
+
+#ifdef __linux__
+    if (batchSyscallsEnabled()) {
+        while (received < count) {
+            mmsghdr msgs[kMaxBatch];
+            iovec iovs[kMaxBatch];
+            sockaddr_in addrs[kMaxBatch];
+            size_t want = count - received;
+            for (size_t i = 0; i < want; ++i) {
+                std::memset(&msgs[i], 0, sizeof(msgs[i]));
+                iovs[i].iov_base = base + (received + i) * capacity;
+                iovs[i].iov_len = capacity;
+                msgs[i].msg_hdr.msg_iov = &iovs[i];
+                msgs[i].msg_hdr.msg_iovlen = 1;
+                msgs[i].msg_hdr.msg_name = &addrs[i];
+                msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+            }
+            int got = ::recvmmsg(fd_, msgs, static_cast<unsigned>(want),
+                                 MSG_DONTWAIT, nullptr);
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // EAGAIN: the queue is drained
+            }
+            for (int i = 0; i < got; ++i) {
+                out[received].length = msgs[i].msg_len;
+                out[received].from.address = addrs[i].sin_addr.s_addr;
+                out[received].from.port = ntohs(addrs[i].sin_port);
+                ++received;
+            }
+            if (static_cast<size_t>(got) < want)
+                break;
+        }
+        return received;
+    }
+#endif
+
+    // Portable fallback: non-blocking single-datagram drain.
+    while (received < count) {
+        auto more = recvFrom(base + received * capacity, capacity,
+                             &out[received].from, 0.0);
+        if (!more)
+            break;
+        out[received].length = *more;
+        ++received;
+    }
+    return received;
+}
+
+size_t
+UdpSocket::sendMany(const SendDatagram *items, size_t count,
+                    size_t *first_error)
+{
+    size_t sent = 0;
+    bool failed = false;
+    size_t failed_at = count;
+
+#ifdef __linux__
+    if (batchSyscallsEnabled()) {
+        size_t offset = 0;
+        while (offset < count) {
+            mmsghdr msgs[kMaxBatch];
+            iovec iovs[kMaxBatch];
+            sockaddr_in addrs[kMaxBatch];
+            size_t want = std::min(count - offset, kMaxBatch);
+            for (size_t i = 0; i < want; ++i) {
+                const SendDatagram &item = items[offset + i];
+                std::memset(&msgs[i], 0, sizeof(msgs[i]));
+                std::memset(&addrs[i], 0, sizeof(addrs[i]));
+                addrs[i].sin_family = AF_INET;
+                addrs[i].sin_addr.s_addr = item.to.address;
+                addrs[i].sin_port = htons(item.to.port);
+                iovs[i].iov_base = const_cast<void *>(item.data);
+                iovs[i].iov_len = item.length;
+                msgs[i].msg_hdr.msg_iov = &iovs[i];
+                msgs[i].msg_hdr.msg_iovlen = 1;
+                msgs[i].msg_hdr.msg_name = &addrs[i];
+                msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+            }
+            int done = ::sendmmsg(fd_, msgs, static_cast<unsigned>(want), 0);
+            if (done < 0) {
+                if (errno == EINTR)
+                    continue;
+                // The datagram at `offset` is unsendable: record it,
+                // skip it, and keep shipping the rest of the batch.
+                if (!failed) {
+                    failed = true;
+                    failed_at = offset;
+                }
+                ++offset;
+                continue;
+            }
+            for (int i = 0; i < done; ++i) {
+                if (msgs[i].msg_len ==
+                    static_cast<unsigned>(items[offset + i].length)) {
+                    ++sent;
+                } else if (!failed) {
+                    failed = true;
+                    failed_at = offset + i;
+                }
+            }
+            offset += static_cast<size_t>(done);
+            if (static_cast<size_t>(done) < want && offset < count) {
+                // Partial batch without an errno: treat the next
+                // datagram as the failure and move past it.
+                if (!failed) {
+                    failed = true;
+                    failed_at = offset;
+                }
+                ++offset;
+            }
+        }
+        if (first_error)
+            *first_error = failed ? failed_at : count;
+        return sent;
+    }
+#endif
+
+    for (size_t i = 0; i < count; ++i) {
+        const SendDatagram &item = items[i];
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = item.to.address;
+        addr.sin_port = htons(item.to.port);
+        ssize_t done;
+        do {
+            done = ::sendto(fd_, item.data, item.length, 0,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr));
+        } while (done < 0 && errno == EINTR);
+        if (done == static_cast<ssize_t>(item.length)) {
+            ++sent;
+        } else if (!failed) {
+            failed = true;
+            failed_at = i;
+        }
+    }
+    if (first_error)
+        *first_error = failed ? failed_at : count;
+    return sent;
 }
 
 } // namespace net

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Sharded, syscall-batched UDP request plane for the solver daemon.
+ *
+ * The serial daemon interleaved one socket, the solver and every timer
+ * on a single thread; at high monitord fan-in it spent most of its
+ * budget in per-datagram syscalls. The request plane splits that into
+ * N serve workers, each with its own SO_REUSEPORT socket on the shared
+ * port, draining up to UdpSocket::kMaxBatch datagrams per recvmmsg and
+ * batch-sending replies with sendmmsg:
+ *
+ *  - Read RPCs (SensorRequest, MultiRead, MetricsRequest, `fiddle
+ *    stats`/`fiddle metrics`) are answered inline on the worker from
+ *    the seqlock telemetry snapshot and the relaxed service counters —
+ *    the solver is never touched, so reads scale with workers and
+ *    never stall an iteration.
+ *  - Mutating RPCs (utilization updates, fiddle command lines,
+ *    `fiddle checkpoint`) are enqueued on an MPSC queue the solver
+ *    thread drains at iteration boundaries, preserving the serial
+ *    daemon's arrival-order semantics. Sequence numbers are noted at
+ *    receive time, so loss accounting stays exact however long an
+ *    update waits in the queue.
+ *
+ * SO_REUSEPORT hashes on the 4-tuple: one sender's datagrams always
+ * land on one shard, so per-sender FIFO survives sharding (replies to
+ * different requests may interleave across shards; the protocol is
+ * request-id matched, see docs/protocol.md).
+ */
+
+#ifndef MERCURY_PROTO_REQUEST_PLANE_HH
+#define MERCURY_PROTO_REQUEST_PLANE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/metrics.hh"
+#include "net/udp.hh"
+#include "proto/messages.hh"
+
+namespace mercury {
+
+namespace telemetry {
+class Reader;
+} // namespace telemetry
+
+namespace proto {
+
+class SolverService;
+
+/**
+ * N serve workers in front of one SolverService.
+ *
+ * Sockets are bound at construction (so port() is valid immediately);
+ * worker threads run between start() and stopAndJoin(). The thread
+ * that steps the solver — and only that thread — calls waitForWork()
+ * and drainPending().
+ */
+class RequestPlane
+{
+  public:
+    struct Config
+    {
+        /** UDP port to share across shards; 0 picks an ephemeral port
+         *  (the remaining shards then join the chosen one). */
+        uint16_t port = 0;
+
+        /** Serve workers / SO_REUSEPORT shards; clamped to >= 1. */
+        unsigned serveThreads = 1;
+
+        /** Telemetry segment each worker opens a read-only snapshot
+         *  Reader on; empty = no snapshot, reads fall through to the
+         *  solver thread via the queue. */
+        std::string shmName;
+
+        /** Registry for the plane's instruments (required). */
+        metrics::Registry *registry = nullptr;
+    };
+
+    RequestPlane(SolverService &service, Config config);
+    ~RequestPlane();
+
+    RequestPlane(const RequestPlane &) = delete;
+    RequestPlane &operator=(const RequestPlane &) = delete;
+
+    /** The shared bound port (valid after construction). */
+    uint16_t port() const;
+
+    /** Number of shards actually running. */
+    unsigned workers() const { return unsigned(shards_.size()); }
+
+    /** Spawn the serve workers (idempotent). */
+    void start();
+
+    /** Stop and join the workers (idempotent; ~RequestPlane calls it).
+     *  Messages already queued stay queued — the caller drains them. */
+    void stopAndJoin();
+
+    /** Wake a blocked waitForWork() without enqueueing anything
+     *  (daemon stop path). */
+    void wake();
+
+    /** @name Solver-thread API */
+    /// @{
+
+    /**
+     * Block until the mutation queue is non-empty, wake() is called,
+     * or @p deadline passes. Returns true when work is pending.
+     */
+    bool waitForWork(std::chrono::steady_clock::time_point deadline);
+
+    /**
+     * Apply every queued message through SolverService::handleQueued
+     * (in per-shard arrival order) and send the replies back through
+     * the shard socket each request arrived on. Returns the number of
+     * messages applied. Solver-thread only.
+     */
+    size_t drainPending();
+
+    /// @}
+
+    /** Mutations currently waiting in the queue (metrics, tests). */
+    uint64_t queueDepth() const
+    {
+        return queueDepth_.load(std::memory_order_relaxed);
+    }
+
+    /** Reply datagrams that failed to send (tests). */
+    uint64_t replySendErrors() const;
+
+  private:
+    /** One shard: a reuseport socket plus its worker thread and the
+     *  worker-local state that keeps the hot path allocation-free. */
+    struct Shard
+    {
+        net::UdpSocket socket;
+        std::thread thread;
+        /** Lazily-connected snapshot reader; null when shmName empty. */
+        std::unique_ptr<telemetry::Reader> reader;
+        /** Per-worker MetricsRequest page cache (one client's pages
+         *  all land on one shard under reuseport). */
+        std::string metricsPageCache;
+    };
+
+    /** One queued mutation, tagged with where to send the reply. */
+    struct Pending
+    {
+        Message message;
+        net::Endpoint from;
+        net::UdpSocket *via = nullptr;
+    };
+
+    void workerLoop(Shard &shard);
+
+    /** Classify + handle one datagram on a worker; appends an inline
+     *  reply to @p replies / @p reply_bufs when one is due. */
+    void handleDatagram(Shard &shard, const uint8_t *data, size_t length,
+                        const net::Endpoint &from,
+                        std::vector<net::UdpSocket::SendDatagram> &replies,
+                        std::vector<Packet> &reply_bufs);
+
+    /** Inline read handlers; return false to fall back to the queue. */
+    bool answerSensor(Shard &shard, const SensorRequest &msg,
+                      Packet *reply);
+    bool answerMultiRead(Shard &shard, const MultiReadRequest &msg,
+                         Packet *reply);
+
+    void enqueue(Message message, const net::Endpoint &from,
+                 net::UdpSocket *via);
+
+    /** Batch-send with once-per-peer failure logging and the
+     *  net_reply_send_errors_total counter. */
+    void sendReplies(net::UdpSocket &via,
+                     const net::UdpSocket::SendDatagram *items,
+                     size_t count);
+
+    void noteSendFailure(const net::Endpoint &to);
+
+    SolverService &service_;
+    Config config_;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> stop_{false};
+    bool started_ = false;
+
+    /** MPSC mutation queue: workers push, the solver thread swaps the
+     *  whole vector out under the lock and applies it lock-free. */
+    mutable std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::vector<Pending> queue_;
+    bool wakeRequested_ = false;
+    std::atomic<uint64_t> queueDepth_{0};
+
+    /** Peers already warned about failed replies (log once, count
+     *  always). Shared across workers; send failures are cold. */
+    std::mutex sendWarnMutex_;
+    std::unordered_set<std::string> warnedPeers_;
+
+    metrics::Histogram *batchHist_ = nullptr;  //!< net_batch_size
+    metrics::Histogram *handleHist_ = nullptr; //!< net_request_handle_seconds
+    metrics::Gauge *busyGauge_ = nullptr;      //!< net_worker_busy_seconds
+    metrics::Counter *sendErrors_ = nullptr;   //!< net_reply_send_errors_total
+    metrics::CallbackGuard metricsGuard_;
+};
+
+} // namespace proto
+} // namespace mercury
+
+#endif // MERCURY_PROTO_REQUEST_PLANE_HH

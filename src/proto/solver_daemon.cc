@@ -13,19 +13,15 @@ namespace proto {
 SolverDaemon::SolverDaemon(core::Solver &solver, Config config)
     : solver_(solver), config_(config), service_(solver)
 {
-    socket_.bind(config_.port);
-
     // Metrics first: the telemetry Writer below freezes its shm
-    // metric-name table at construction, so every instrument must
-    // exist before the segment is built.
+    // metric-name table at construction, so every instrument — the
+    // daemon's, the service's and the request plane's — must exist
+    // before the segment is built.
     registry_ = config_.registry ? config_.registry
                                  : &metrics::Registry::global();
     iterationHist_ = registry_->histogram(
         "solver_iteration_seconds", metrics::Histogram::latencyBounds(),
         "wall-clock cost of one solver iteration");
-    handleHist_ = registry_->histogram(
-        "net_request_handle_seconds", metrics::Histogram::latencyBounds(),
-        "decode+dispatch+reply cost of one received packet");
     metricsGuard_.add(*registry_, "solver_iterations_total",
                       "solver iterations completed",
                       [this] { return double(solver_.iterations()); });
@@ -43,6 +39,14 @@ SolverDaemon::SolverDaemon(core::Solver &solver, Config config)
                       "emulated time reached by the solver",
                       [this] { return solver_.emulatedSeconds(); });
     service_.setMetricsRegistry(registry_);
+
+    RequestPlane::Config plane_config;
+    plane_config.port = config_.port;
+    plane_config.serveThreads = config_.serveThreads;
+    plane_config.shmName = config_.shmName;
+    plane_config.registry = registry_;
+    plane_ = std::make_unique<RequestPlane>(service_, plane_config);
+
     if (!config_.checkpointPath.empty()) {
         state::CheckpointManager::Config manager_config;
         manager_config.path = config_.checkpointPath;
@@ -81,7 +85,7 @@ SolverDaemon::~SolverDaemon() = default;
 uint16_t
 SolverDaemon::port() const
 {
-    return socket_.localPort();
+    return plane_->port();
 }
 
 void
@@ -101,9 +105,9 @@ SolverDaemon::run()
     auto next_stats = Clock::now() + stats_period;
 
     // The iteration hook publishes (and timestamps) on every step;
-    // refreshing just the heartbeat from the serve loop covers
-    // manual-step mode and long iteration periods, so an alive daemon
-    // never looks like a dead writer to shm readers.
+    // refreshing just the heartbeat from this loop covers manual-step
+    // mode and long iteration periods, so an alive daemon never looks
+    // like a dead writer to shm readers.
     auto heartbeat_period = std::chrono::milliseconds(500);
     auto next_heartbeat = Clock::now() + heartbeat_period;
 
@@ -114,6 +118,12 @@ SolverDaemon::run()
             metrics_file ? config_.metricsSeconds : 1.0));
     // First write soon after startup so scrapers see the file early.
     auto next_metrics = Clock::now();
+
+    // Checkpoint deadlines live inside the manager; polling maybeSave
+    // at least this often keeps its timer honest without exposing it.
+    auto checkpoint_poll = std::chrono::milliseconds(500);
+
+    plane_->start();
 
     while (!stop_.load(std::memory_order_relaxed)) {
         if (writer_ && Clock::now() >= next_heartbeat) {
@@ -131,7 +141,6 @@ SolverDaemon::run()
             next_metrics = Clock::now() + metrics_period;
         }
 
-        double timeout = 0.05;
         if (stepping) {
             auto now = Clock::now();
             if (now >= next_iteration) {
@@ -146,25 +155,30 @@ SolverDaemon::run()
                 if (next_iteration < now)
                     next_iteration = now + period;
             }
-            auto until = std::chrono::duration<double>(next_iteration -
-                                                       Clock::now())
-                             .count();
-            timeout = std::clamp(until, 0.0, 0.05);
         }
 
-        uint8_t buffer[kMessageSize];
-        net::Endpoint from;
-        auto got = socket_.recvFrom(buffer, sizeof(buffer), &from, timeout);
-        if (!got)
-            continue;
-        auto handle_start = Clock::now();
-        auto reply = service_.handlePacket(buffer, *got);
-        if (reply)
-            socket_.sendTo(from, reply->data(), reply->size());
-        handleHist_->observe(
-            std::chrono::duration<double>(Clock::now() - handle_start)
-                .count());
+        // Sleep until the nearest pending deadline (not a fixed 50 ms
+        // tick): the serve workers own the sockets, so the only things
+        // that can need this thread are timers and queued mutations —
+        // and the queue wakes us through the condition variable.
+        auto deadline = Clock::now() + checkpoint_poll;
+        if (stepping)
+            deadline = std::min(deadline, next_iteration);
+        if (writer_)
+            deadline = std::min(deadline, next_heartbeat);
+        if (stats_logging)
+            deadline = std::min(deadline, next_stats);
+        if (metrics_file)
+            deadline = std::min(deadline, next_metrics);
+
+        plane_->waitForWork(deadline);
+        plane_->drainPending();
     }
+
+    // Stop the workers before the final drain so no mutation slips in
+    // after it; anything already queued is still applied and answered.
+    plane_->stopAndJoin();
+    plane_->drainPending();
 
     // stop() is the graceful path (SIGINT/SIGTERM in solverd): flush
     // one final checkpoint so a clean shutdown never loses state.

@@ -1,9 +1,10 @@
 /**
  * @file
- * The blocking UDP solver daemon: binds a port, answers sensor and
- * fiddle requests, applies utilization updates, and advances the
- * solver once per (wall-clock) iteration period — this is the paper's
- * `solver` process running "on a separate machine".
+ * The UDP solver daemon: a sharded request plane (proto/request_plane)
+ * answers sensor/fiddle/metrics traffic while this class's run() loop
+ * steps the solver and applies queued mutations at iteration
+ * boundaries — this is the paper's `solver` process running "on a
+ * separate machine".
  *
  * apps/mercury_solverd.cc wraps this in a main(); the network tests
  * run it on a background thread against an ephemeral port.
@@ -17,7 +18,7 @@
 #include <memory>
 #include <string>
 
-#include "net/udp.hh"
+#include "proto/request_plane.hh"
 #include "proto/solver_service.hh"
 #include "state/checkpoint.hh"
 
@@ -45,6 +46,11 @@ class SolverDaemon
          *  example uses 8367. */
         uint16_t port = 8367;
 
+        /** Serve workers on the request plane, each with its own
+         *  SO_REUSEPORT socket. 1 (the default) keeps the serial
+         *  daemon's single-receiver behavior. */
+        unsigned serveThreads = 1;
+
         /** Wall-clock seconds between solver iterations; <= 0
          *  disables time-stepping (useful in tests that step the
          *  solver themselves). */
@@ -57,7 +63,8 @@ class SolverDaemon
         /** Shared-memory telemetry segment name ("/name"); empty
          *  disables the telemetry plane. Local sensor libraries read
          *  temperatures straight from the segment instead of asking
-         *  over UDP. */
+         *  over UDP, and the serve workers answer read RPCs from it
+         *  without touching the solver. */
         std::string shmName;
 
         /** Checkpoint file; empty disables checkpointing. Restored at
@@ -93,16 +100,27 @@ class SolverDaemon
     uint16_t port() const;
 
     /**
-     * Serve until stop() is called from another thread. Packets and
-     * iteration deadlines are interleaved on one thread, so the solver
-     * needs no locking.
+     * Serve until stop() is called from another thread. The serve
+     * workers run on their own threads; this thread owns the solver:
+     * it steps iterations, applies queued mutations at iteration
+     * boundaries, and sleeps until the nearest pending deadline
+     * (iteration, heartbeat, stats log, metrics file) or queued work
+     * instead of polling on a fixed tick.
      */
     void run();
 
     /** Ask a running run() loop to return (thread-safe). */
-    void stop() { stop_.store(true, std::memory_order_relaxed); }
+    void
+    stop()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        plane_->wake();
+    }
 
     const SolverService &service() const { return service_; }
+
+    /** The request plane (serve workers + mutation queue). */
+    const RequestPlane &requestPlane() const { return *plane_; }
 
     /** The registry this daemon instruments into. */
     metrics::Registry &metricsRegistry() { return *registry_; }
@@ -123,14 +141,13 @@ class SolverDaemon
     core::Solver &solver_;
     Config config_;
     SolverService service_;
-    net::UdpSocket socket_;
+    std::unique_ptr<RequestPlane> plane_;
     std::unique_ptr<state::CheckpointManager> checkpointManager_;
     std::unique_ptr<telemetry::Writer> writer_;
     std::atomic<bool> stop_{false};
 
     metrics::Registry *registry_ = nullptr;
     metrics::Histogram *iterationHist_ = nullptr;
-    metrics::Histogram *handleHist_ = nullptr;
     metrics::CallbackGuard metricsGuard_;
 };
 

@@ -20,7 +20,7 @@ SolverService::handlePacket(const uint8_t *data, size_t length)
 {
     std::optional<Message> message = decode(data, length);
     if (!message) {
-        ++undecodable_;
+        bump(undecodable_);
         return std::nullopt;
     }
     return handle(*message);
@@ -29,13 +29,27 @@ SolverService::handlePacket(const uint8_t *data, size_t length)
 std::optional<Packet>
 SolverService::handle(const Message &message)
 {
-    // variant index 0 is UtilizationUpdate == MessageType 1, etc.
-    size_t type = message.index() + 1;
-    if (type < receivedByType_.size())
-        ++receivedByType_[type];
+    return dispatch(message, /*preaccounted=*/false);
+}
+
+std::optional<Packet>
+SolverService::handleQueued(const Message &message)
+{
+    return dispatch(message, /*preaccounted=*/true);
+}
+
+std::optional<Packet>
+SolverService::dispatch(const Message &message, bool preaccounted)
+{
+    if (!preaccounted) {
+        // variant index 0 is UtilizationUpdate == MessageType 1, etc.
+        size_t type = message.index() + 1;
+        if (type < receivedByType_.size())
+            bump(receivedByType_[type]);
+    }
 
     if (const auto *update = std::get_if<UtilizationUpdate>(&message)) {
-        onUtilization(*update);
+        onUtilization(*update, /*note_sequence=*/!preaccounted);
         return std::nullopt; // one-way, like the paper's monitord
     }
     if (const auto *request = std::get_if<SensorRequest>(&message))
@@ -45,9 +59,9 @@ SolverService::handle(const Message &message)
     if (const auto *request = std::get_if<FiddleRequest>(&message))
         return onFiddleRequest(*request);
     if (const auto *request = std::get_if<MetricsRequest>(&message))
-        return onMetricsRequest(*request);
+        return metricsReply(*request, metricsPageCache_);
     // Reply types arriving at the server are peer bugs; drop them.
-    ++undecodable_;
+    bump(undecodable_);
     return std::nullopt;
 }
 
@@ -61,22 +75,22 @@ SolverService::setMetricsRegistry(metrics::Registry *registry)
     metrics::Registry &reg = *registry;
     metricsGuard_.add(reg, "net_updates_applied_total",
                       "utilization updates applied to the solver",
-                      [this] { return double(updatesApplied_); });
+                      [this] { return double(updatesApplied()); });
     metricsGuard_.add(reg, "net_updates_rejected_total",
                       "utilization updates with no powered target node",
-                      [this] { return double(updatesRejected_); });
+                      [this] { return double(updatesRejected()); });
     metricsGuard_.add(reg, "net_sensor_reads_total",
                       "sensor temperatures served (single + batched)",
-                      [this] { return double(sensorReads_); });
+                      [this] { return double(sensorReads()); });
     metricsGuard_.add(reg, "net_multi_reads_total",
                       "MultiRead datagrams served",
-                      [this] { return double(multiReads_); });
+                      [this] { return double(multiReads()); });
     metricsGuard_.add(reg, "net_fiddles_applied_total",
                       "fiddle commands applied",
-                      [this] { return double(fiddlesApplied_); });
+                      [this] { return double(fiddlesApplied()); });
     metricsGuard_.add(reg, "net_undecodable_total",
                       "packets dropped as undecodable or misdirected",
-                      [this] { return double(undecodable_); });
+                      [this] { return double(undecodable()); });
     metricsGuard_.add(reg, "net_updates_lost_total",
                       "sequence gaps still unfilled, all senders",
                       [this] { return double(lossStats().lost); });
@@ -88,7 +102,7 @@ SolverService::setMetricsRegistry(metrics::Registry *registry)
                       [this] { return double(lossStats().reordered); });
     metricsGuard_.add(reg, "net_update_senders",
                       "distinct machines with sequence tracking",
-                      [this] { return double(senders_.size()); });
+                      [this] { return double(lossStats().senders); });
     metricsGuard_.add(reg, "net_backlog_depth",
                       "samples queued in sender outage backlogs",
                       [this] { return double(backlogDepth()); });
@@ -144,11 +158,25 @@ SolverService::SenderState::note(uint64_t sequence)
     }
 }
 
+SolverService::SenderStripe &
+SolverService::stripeFor(const std::string &machine)
+{
+    return senders_[std::hash<std::string>{}(machine) % kSenderStripes];
+}
+
+const SolverService::SenderStripe &
+SolverService::stripeFor(const std::string &machine) const
+{
+    return senders_[std::hash<std::string>{}(machine) % kSenderStripes];
+}
+
 void
 SolverService::noteSequence(const std::string &machine, uint64_t sequence,
                             uint32_t backlog)
 {
-    SenderState &sender = senders_[machine];
+    SenderStripe &stripe = stripeFor(machine);
+    std::lock_guard<std::mutex> guard(stripe.mutex);
+    SenderState &sender = stripe.senders[machine];
     sender.note(sequence);
     sender.lastBacklog = backlog;
 }
@@ -157,9 +185,12 @@ uint64_t
 SolverService::backlogDepth() const
 {
     uint64_t depth = 0;
-    for (const auto &[machine, state] : senders_) {
-        (void)machine;
-        depth += state.lastBacklog;
+    for (const SenderStripe &stripe : senders_) {
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        for (const auto &[machine, state] : stripe.senders) {
+            (void)machine;
+            depth += state.lastBacklog;
+        }
     }
     return depth;
 }
@@ -168,20 +199,29 @@ std::vector<state::SenderRecord>
 SolverService::exportSenders() const
 {
     std::vector<state::SenderRecord> records;
-    records.reserve(senders_.size());
-    for (const auto &[machine, sender] : senders_) {
-        state::SenderRecord record;
-        record.machine = machine;
-        record.started = sender.started;
-        record.head = sender.head;
-        record.window = sender.window;
-        record.received = sender.received;
-        record.lost = sender.lost;
-        record.duplicates = sender.duplicates;
-        record.reordered = sender.reordered;
-        record.lastBacklog = sender.lastBacklog;
-        records.push_back(std::move(record));
+    for (const SenderStripe &stripe : senders_) {
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        records.reserve(records.size() + stripe.senders.size());
+        for (const auto &[machine, sender] : stripe.senders) {
+            state::SenderRecord record;
+            record.machine = machine;
+            record.started = sender.started;
+            record.head = sender.head;
+            record.window = sender.window;
+            record.received = sender.received;
+            record.lost = sender.lost;
+            record.duplicates = sender.duplicates;
+            record.reordered = sender.reordered;
+            record.lastBacklog = sender.lastBacklog;
+            records.push_back(std::move(record));
+        }
     }
+    // Stripe order is hash order; sort so checkpoints are byte-stable
+    // across runs (and across stripe-count changes).
+    std::sort(records.begin(), records.end(),
+              [](const state::SenderRecord &a, const state::SenderRecord &b) {
+                  return a.machine < b.machine;
+              });
     return records;
 }
 
@@ -191,7 +231,9 @@ SolverService::importSenders(const std::vector<state::SenderRecord> &records)
     for (const state::SenderRecord &record : records) {
         if (record.machine.empty())
             continue;
-        SenderState &sender = senders_[record.machine];
+        SenderStripe &stripe = stripeFor(record.machine);
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        SenderState &sender = stripe.senders[record.machine];
         sender.started = record.started;
         sender.head = record.head;
         sender.window = record.window;
@@ -207,13 +249,16 @@ SolverService::LossStats
 SolverService::lossStats() const
 {
     LossStats stats;
-    stats.senders = senders_.size();
-    for (const auto &[machine, state] : senders_) {
-        (void)machine;
-        stats.received += state.received;
-        stats.lost += state.lost;
-        stats.duplicates += state.duplicates;
-        stats.reordered += state.reordered;
+    for (const SenderStripe &stripe : senders_) {
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        stats.senders += stripe.senders.size();
+        for (const auto &[machine, state] : stripe.senders) {
+            (void)machine;
+            stats.received += state.received;
+            stats.lost += state.lost;
+            stats.duplicates += state.duplicates;
+            stats.reordered += state.reordered;
+        }
     }
     return stats;
 }
@@ -222,7 +267,16 @@ uint64_t
 SolverService::received(MessageType type) const
 {
     size_t index = static_cast<size_t>(type);
-    return index < receivedByType_.size() ? receivedByType_[index] : 0;
+    return index < receivedByType_.size() ? load(receivedByType_[index])
+                                          : 0;
+}
+
+void
+SolverService::countReceived(MessageType type)
+{
+    size_t index = static_cast<size_t>(type);
+    if (index < receivedByType_.size())
+        bump(receivedByType_[index]);
 }
 
 std::string
@@ -246,15 +300,15 @@ SolverService::statsLine() const
                   "rd=%llu mrd=%llu fid=%llu bad=%llu blog=%llu "
                   "ck=%lld rit=%llu act=%llu frz=%llu",
                   static_cast<unsigned long long>(solver_.iterations()),
-                  static_cast<unsigned long long>(updatesApplied_),
-                  static_cast<unsigned long long>(updatesRejected_),
+                  static_cast<unsigned long long>(updatesApplied()),
+                  static_cast<unsigned long long>(updatesRejected()),
                   static_cast<unsigned long long>(loss.lost),
                   static_cast<unsigned long long>(loss.duplicates),
                   static_cast<unsigned long long>(loss.reordered),
-                  static_cast<unsigned long long>(sensorReads_),
-                  static_cast<unsigned long long>(multiReads_),
-                  static_cast<unsigned long long>(fiddlesApplied_),
-                  static_cast<unsigned long long>(undecodable_),
+                  static_cast<unsigned long long>(sensorReads()),
+                  static_cast<unsigned long long>(multiReads()),
+                  static_cast<unsigned long long>(fiddlesApplied()),
+                  static_cast<unsigned long long>(undecodable()),
                   static_cast<unsigned long long>(backlogDepth()),
                   ck_age, restore_iteration,
                   static_cast<unsigned long long>(
@@ -264,15 +318,20 @@ SolverService::statsLine() const
 }
 
 Packet
-SolverService::onUtilization(const UtilizationUpdate &msg)
+SolverService::onUtilization(const UtilizationUpdate &msg,
+                             bool note_sequence)
 {
     // Sequence accounting is transport health: track it even when the
-    // target cannot be resolved, so loss numbers stay truthful.
-    noteSequence(msg.machine, msg.sequence, msg.backlog);
+    // target cannot be resolved, so loss numbers stay truthful. The
+    // sharded request plane notes the sequence at receive time instead
+    // (before the update waits in the mutation queue) and dispatches
+    // through handleQueued, which skips this to avoid double counting.
+    if (note_sequence)
+        noteSequence(msg.machine, msg.sequence, msg.backlog);
 
     auto ref = resolveCached(msg.machine, msg.component);
     if (!ref || !solver_.isPowered(*ref)) {
-        ++updatesRejected_;
+        bump(updatesRejected_);
         std::string key = msg.machine + "." + msg.component;
         if (warnedTargets_.insert(key).second) {
             warn("solver: dropping utilization updates for ", key,
@@ -281,7 +340,7 @@ SolverService::onUtilization(const UtilizationUpdate &msg)
         return Packet{};
     }
     solver_.setUtilization(*ref, msg.utilization);
-    ++updatesApplied_;
+    bump(updatesApplied_);
     return Packet{};
 }
 
@@ -301,7 +360,7 @@ SolverService::onSensorRequest(const SensorRequest &msg)
     }
     reply.status = Status::Ok;
     reply.temperature = solver_.temperature(*ref);
-    ++sensorReads_;
+    bump(sensorReads_);
     return encode(reply);
 }
 
@@ -324,11 +383,11 @@ SolverService::onMultiReadRequest(const MultiReadRequest &msg)
         } else {
             entry.status = Status::Ok;
             entry.temperature = solver_.temperature(*ref);
-            ++sensorReads_;
+            bump(sensorReads_);
         }
         reply.entries.push_back(entry);
     }
-    ++multiReads_;
+    bump(multiReads_);
     return encode(reply);
 }
 
@@ -361,7 +420,7 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
             reply.message =
                 "checkpoint saved (#" +
                 std::to_string(checkpointManager_->saveCount()) + ")";
-            ++fiddlesApplied_;
+            bump(fiddlesApplied_);
         } else {
             reply.status = Status::InternalError;
             reply.message = why.substr(0, 110);
@@ -386,12 +445,13 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
     // Clamp the diagnostic to the wire field.
     reply.message = result.message.substr(0, 110);
     if (result.ok)
-        ++fiddlesApplied_;
+        bump(fiddlesApplied_);
     return encode(reply);
 }
 
 Packet
-SolverService::onMetricsRequest(const MetricsRequest &msg)
+SolverService::metricsReply(const MetricsRequest &msg,
+                            std::string &page_cache) const
 {
     MetricsReply reply;
     reply.requestId = msg.requestId;
@@ -399,25 +459,24 @@ SolverService::onMetricsRequest(const MetricsRequest &msg)
     // Offset 0 starts a fresh snapshot; later pages read the cached
     // render so one client pages through one consistent snapshot even
     // while the counters keep moving.
-    if (msg.offset == 0 || metricsPageCache_.empty()) {
-        metricsPageCache_ = metricsRegistry_
-                                ? metricsRegistry_->renderSummary()
-                                : statsLine() + "\n";
+    if (msg.offset == 0 || page_cache.empty()) {
+        page_cache = metricsRegistry_ ? metricsRegistry_->renderSummary()
+                                      : statsLine() + "\n";
     }
 
-    if (msg.offset >= metricsPageCache_.size()) {
+    if (msg.offset >= page_cache.size()) {
         reply.status = msg.offset == 0 ? Status::Ok : Status::BadCommand;
         reply.nextOffset = 0;
         return encode(reply);
     }
 
-    size_t take = std::min(kMetricsFragmentMax,
-                           metricsPageCache_.size() - msg.offset);
+    size_t take =
+        std::min(kMetricsFragmentMax, page_cache.size() - msg.offset);
     reply.status = Status::Ok;
-    reply.fragment = metricsPageCache_.substr(msg.offset, take);
+    reply.fragment = page_cache.substr(msg.offset, take);
     size_t end = msg.offset + take;
     reply.nextOffset =
-        end < metricsPageCache_.size() ? static_cast<uint32_t>(end) : 0;
+        end < page_cache.size() ? static_cast<uint32_t>(end) : 0;
     return encode(reply);
 }
 

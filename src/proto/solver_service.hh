@@ -4,13 +4,28 @@
  * independent of the transport. mercury_solverd pumps UDP packets
  * through it; the in-process transport (used by the cluster simulation
  * and the tests) calls it directly.
+ *
+ * Concurrency contract (the sharded request plane relies on it):
+ *
+ *  - handle()/handlePacket() remain the single-threaded synchronous
+ *    path. One thread at a time may use them; that thread owns the
+ *    solver. The daemon's solver-stepping thread is that thread, and
+ *    it is also the only caller of handleQueued().
+ *  - Serve workers running on other threads may concurrently call
+ *    noteSequence(), countReceived(), statsLine(), lossStats(),
+ *    backlogDepth(), metricsReply() and the counter accessors: the
+ *    counters are relaxed atomics and the per-sender sequence windows
+ *    live behind striped locks, so loss accounting stays exact under
+ *    sharding.
  */
 
 #ifndef MERCURY_PROTO_SOLVER_SERVICE_HH
 #define MERCURY_PROTO_SOLVER_SERVICE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -44,17 +59,37 @@ class SolverService
     /** Handle a decoded message. */
     std::optional<Packet> handle(const Message &message);
 
+    /**
+     * Handle a message a serve worker already accounted for (type
+     * counted via countReceived(), sequence noted via noteSequence())
+     * and then queued for the solver thread. Identical dispatch to
+     * handle() minus that double counting. Solver-thread only.
+     */
+    std::optional<Packet> handleQueued(const Message &message);
+
     /** @name Counters (observability for the daemon and the tests) */
     /// @{
-    uint64_t updatesApplied() const { return updatesApplied_; }
-    uint64_t updatesRejected() const { return updatesRejected_; }
-    uint64_t sensorReads() const { return sensorReads_; }
-    uint64_t multiReads() const { return multiReads_; }
-    uint64_t fiddlesApplied() const { return fiddlesApplied_; }
-    uint64_t undecodable() const { return undecodable_; }
+    uint64_t updatesApplied() const { return load(updatesApplied_); }
+    uint64_t updatesRejected() const { return load(updatesRejected_); }
+    uint64_t sensorReads() const { return load(sensorReads_); }
+    uint64_t multiReads() const { return load(multiReads_); }
+    uint64_t fiddlesApplied() const { return load(fiddlesApplied_); }
+    uint64_t undecodable() const { return load(undecodable_); }
 
     /** Decoded messages received of one type. */
     uint64_t received(MessageType type) const;
+
+    /** Count one decoded message of @p type (serve workers call this
+     *  at decode time; the queued dispatch then skips it). */
+    void countReceived(MessageType type);
+
+    /** Count one undecodable/misdirected packet (thread-safe). */
+    void countUndecodable() { bump(undecodable_); }
+
+    /** Count one snapshot-served sensor read / MultiRead datagram
+     *  (the serve workers answer these without entering handle()). */
+    void countSensorRead(uint64_t n = 1) { bump(sensorReads_, n); }
+    void countMultiRead() { bump(multiReads_); }
     /// @}
 
     /**
@@ -74,10 +109,22 @@ class SolverService
     LossStats lossStats() const;
 
     /**
+     * Note one sender's sequence number (and reported backlog depth)
+     * for loss accounting. Thread-safe: the sender table is striped by
+     * machine-name hash, so workers on different shards never contend
+     * unless they track the same sender. The serve workers call this
+     * at receive time — before the update waits in the mutation queue
+     * — so detection latency does not distort the statistics.
+     */
+    void noteSequence(const std::string &machine, uint64_t sequence,
+                      uint32_t backlog);
+
+    /**
      * One-line counter summary, compact enough for a FiddleReply
      * (the `fiddle stats` command) and the daemon's periodic log.
      * Leads with it=<iteration> — the supervisor's liveness probe
      * parses that field, so it must survive the reply-width clamp.
+     * Thread-safe (serve workers answer `fiddle stats` inline).
      */
     std::string statsLine() const;
 
@@ -105,6 +152,16 @@ class SolverService
 
     metrics::Registry *metricsRegistry() const { return metricsRegistry_; }
 
+    /**
+     * Build a MetricsReply page using @p page_cache as the client's
+     * consistent-snapshot buffer. The synchronous path passes the
+     * service's own cache; each serve worker passes its own (with
+     * SO_REUSEPORT one client's pages all land on one worker, so a
+     * per-worker cache still gives each client one snapshot).
+     */
+    Packet metricsReply(const MetricsRequest &msg,
+                        std::string &page_cache) const;
+
     /** @name Sender-table checkpointing
      * The sequence trackers are part of a checkpoint: without them a
      * restored daemon would misread the monitord's next sequence
@@ -117,11 +174,26 @@ class SolverService
     /// @}
 
   private:
-    Packet onUtilization(const UtilizationUpdate &msg);
+    std::optional<Packet> dispatch(const Message &message,
+                                   bool preaccounted);
+
+    Packet onUtilization(const UtilizationUpdate &msg,
+                         bool note_sequence);
     Packet onSensorRequest(const SensorRequest &msg);
     Packet onMultiReadRequest(const MultiReadRequest &msg);
     Packet onFiddleRequest(const FiddleRequest &msg);
-    Packet onMetricsRequest(const MetricsRequest &msg);
+
+    static uint64_t
+    load(const std::atomic<uint64_t> &counter)
+    {
+        return counter.load(std::memory_order_relaxed);
+    }
+
+    static void
+    bump(std::atomic<uint64_t> &counter, uint64_t n = 1)
+    {
+        counter.fetch_add(n, std::memory_order_relaxed);
+    }
 
     /**
      * Per-sender sequence-gap tracker: highest sequence seen plus a
@@ -144,8 +216,21 @@ class SolverService
         void note(uint64_t sequence);
     };
 
-    void noteSequence(const std::string &machine, uint64_t sequence,
-                      uint32_t backlog);
+    /** Sender-table stripe count (power of two, hash-distributed). */
+    static constexpr size_t kSenderStripes = 16;
+
+    /** One lock-striped shard of the sender table. Striping keeps the
+     *  receive-time noteSequence() calls of different senders from
+     *  serializing against each other while still letting statsLine()
+     *  and checkpoint export walk a consistent per-stripe view. */
+    struct SenderStripe
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, SenderState> senders;
+    };
+
+    SenderStripe &stripeFor(const std::string &machine);
+    const SenderStripe &stripeFor(const std::string &machine) const;
 
     /**
      * Resolve machine.component to a solver handle, consulting the
@@ -153,6 +238,7 @@ class SolverService
      * targets every second; caching skips the string -> alias ->
      * NodeId map chain on all but the first update. Failures are not
      * cached (an alias registered later may make them resolvable).
+     * Solver-thread only (like everything touching solver_).
      */
     std::optional<core::Solver::NodeRef>
     resolveCached(const std::string &machine, const std::string &component);
@@ -167,18 +253,20 @@ class SolverService
      *  second in /proc mode; warn once, not once per second. */
     std::set<std::string> warnedTargets_;
 
-    /** Sequence accounting per sending machine (one monitord each). */
-    std::unordered_map<std::string, SenderState> senders_;
+    /** Sequence accounting per sending machine (one monitord each),
+     *  striped by machine-name hash. */
+    std::array<SenderStripe, kSenderStripes> senders_;
 
-    /** Decoded receives indexed by raw MessageType (1..9; 0 unused). */
-    std::array<uint64_t, 10> receivedByType_{};
+    /** Decoded receives indexed by raw MessageType (1..9; 0 unused).
+     *  Relaxed atomics: workers count at decode time. */
+    std::array<std::atomic<uint64_t>, 10> receivedByType_{};
 
-    uint64_t updatesApplied_ = 0;
-    uint64_t updatesRejected_ = 0;
-    uint64_t sensorReads_ = 0;
-    uint64_t multiReads_ = 0;
-    uint64_t fiddlesApplied_ = 0;
-    uint64_t undecodable_ = 0;
+    std::atomic<uint64_t> updatesApplied_{0};
+    std::atomic<uint64_t> updatesRejected_{0};
+    std::atomic<uint64_t> sensorReads_{0};
+    std::atomic<uint64_t> multiReads_{0};
+    std::atomic<uint64_t> fiddlesApplied_{0};
+    std::atomic<uint64_t> undecodable_{0};
 
     /** Checkpoint plumbing (borrowed from the daemon; may be null). */
     state::CheckpointManager *checkpointManager_ = nullptr;
@@ -187,9 +275,9 @@ class SolverService
     metrics::Registry *metricsRegistry_ = nullptr;
     metrics::CallbackGuard metricsGuard_;
 
-    /** Snapshot text being paged out: rendered fresh on an offset-0
-     *  MetricsRequest, served verbatim for the follow-up pages so one
-     *  client sees one consistent snapshot. */
+    /** Snapshot text being paged out on the synchronous path: rendered
+     *  fresh on an offset-0 MetricsRequest, served verbatim for the
+     *  follow-up pages so one client sees one consistent snapshot. */
     std::string metricsPageCache_;
 };
 

@@ -22,6 +22,7 @@
 #ifndef MERCURY_STATE_CHECKPOINT_HH
 #define MERCURY_STATE_CHECKPOINT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -237,11 +238,16 @@ class CheckpointManager
     std::function<void(const std::vector<SenderRecord> &)> senderImporter_;
     bool restored_ = false;
     uint64_t lastRestoreIteration_ = 0;
-    uint64_t saveCount_ = 0;       //!< carried over from a restore
+
+    /** Save bookkeeping is written by the solver/checkpoint thread but
+     *  read by the request plane's serve workers (`fiddle stats`
+     *  reports checkpoint age), so the read-side fields are relaxed
+     *  atomics. */
+    std::atomic<uint64_t> saveCount_{0}; //!< carried over from a restore
     uint64_t failedSaves_ = 0;
-    bool everSaved_ = false;
-    uint64_t lastSaveNanos_ = 0;   //!< monotonic
-    uint64_t nextSaveNanos_ = 0;   //!< monotonic deadline for maybeSave
+    std::atomic<bool> everSaved_{false};
+    std::atomic<uint64_t> lastSaveNanos_{0}; //!< monotonic
+    uint64_t nextSaveNanos_ = 0; //!< monotonic deadline for maybeSave
 };
 
 } // namespace state

@@ -71,6 +71,7 @@ Reader::unmapLocked()
     metricValues_ = nullptr;
     metricNames_.clear();
     slotIndex_.clear();
+    machineSet_.clear();
     aliasMap_.clear();
 }
 
@@ -191,6 +192,7 @@ Reader::tryConnectLocked()
         bytes + layout_.slotsOffset());
     slotIndex_.reserve(layout_.slotCount);
     for (uint32_t i = 0; i < layout_.slotCount; ++i) {
+        machineSet_.insert(fixedToString(slots[i].machine));
         std::string key = fixedToString(slots[i].machine) + "\n" +
                           fixedToString(slots[i].node);
         slotIndex_.emplace(std::move(key), i);
@@ -225,6 +227,33 @@ Reader::resolve(const std::string &machine, const std::string &component)
             return std::nullopt;
     }
     return Slot{it->second, generation_};
+}
+
+Reader::Resolution
+Reader::resolveDetailed(const std::string &machine,
+                        const std::string &component)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Resolution result;
+    if (!ensureUsableLocked())
+        return result; // Unavailable
+    if (machineSet_.find(machine) == machineSet_.end()) {
+        result.status = ResolveStatus::UnknownMachine;
+        return result;
+    }
+    auto it = slotIndex_.find(machine + "\n" + component);
+    if (it == slotIndex_.end()) {
+        auto alias = aliasMap_.find(component);
+        if (alias != aliasMap_.end())
+            it = slotIndex_.find(machine + "\n" + alias->second);
+        if (it == slotIndex_.end()) {
+            result.status = ResolveStatus::UnknownComponent;
+            return result;
+        }
+    }
+    result.status = ResolveStatus::Ok;
+    result.slot = Slot{it->second, generation_};
+    return result;
 }
 
 std::optional<Reader::Sample>

@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -89,6 +90,30 @@ class Reader
     std::optional<Slot> resolve(const std::string &machine,
                                 const std::string &component);
 
+    /** Why a resolveDetailed() call produced no slot. */
+    enum class ResolveStatus : uint8_t {
+        Ok = 0,
+        Unavailable = 1,      //!< no usable segment right now
+        UnknownMachine = 2,   //!< machine not in the directory
+        UnknownComponent = 3, //!< machine known, component/alias not
+    };
+
+    /** resolve() plus the reason on failure. */
+    struct Resolution
+    {
+        ResolveStatus status = ResolveStatus::Unavailable;
+        Slot slot;
+    };
+
+    /**
+     * Like resolve(), but distinguishes "no segment" from "segment up,
+     * no such machine/component" — the sharded request plane answers
+     * sensor RPCs from the snapshot and must return the same
+     * UnknownMachine/UnknownComponent statuses the solver would.
+     */
+    Resolution resolveDetailed(const std::string &machine,
+                               const std::string &component);
+
     /** Read one slot; nullopt on any fast-path miss (see file docs). */
     std::optional<Sample> read(const Slot &slot);
 
@@ -146,6 +171,9 @@ class Reader
 
     /** machine '\n' node -> slot index, rebuilt per generation. */
     std::unordered_map<std::string, uint32_t> slotIndex_;
+
+    /** Machines present in the directory (resolveDetailed statuses). */
+    std::unordered_set<std::string> machineSet_;
 
     /** alias -> node name, from the segment's alias table. */
     std::unordered_map<std::string, std::string> aliasMap_;

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests of the sharded, syscall-batched UDP request plane: the
+ * recvMany/sendMany socket primitives (batched and fallback paths),
+ * monitord's update batcher, and a multi-client hammer that drives a
+ * sharded daemon with concurrent mutating + read RPCs and checks that
+ * loss accounting stays exact and the solver trajectory is bitwise
+ * identical to the single-threaded daemon's.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solver.hh"
+#include "core/spec.hh"
+#include "metrics/metrics.hh"
+#include "monitor/monitord.hh"
+#include "net/udp.hh"
+#include "proto/messages.hh"
+#include "proto/solver_daemon.hh"
+
+namespace mercury {
+namespace {
+
+/** Restore the process-global batching switch on scope exit. */
+struct BatchSwitchGuard
+{
+    explicit BatchSwitchGuard(bool enabled)
+    {
+        net::setBatchSyscallsEnabled(enabled);
+    }
+    ~BatchSwitchGuard() { net::setBatchSyscallsEnabled(true); }
+};
+
+void
+exerciseRoundTrip(size_t count)
+{
+    net::UdpSocket receiver;
+    receiver.bind(0);
+    net::UdpSocket sender;
+    net::Endpoint to{*net::resolveHost("127.0.0.1"),
+                     receiver.localPort()};
+
+    std::vector<std::string> payloads;
+    std::vector<net::UdpSocket::SendDatagram> items;
+    for (size_t i = 0; i < count; ++i)
+        payloads.push_back("datagram-" + std::to_string(i));
+    for (size_t i = 0; i < count; ++i) {
+        net::UdpSocket::SendDatagram item;
+        item.to = to;
+        item.data = payloads[i].data();
+        item.length = payloads[i].size();
+        items.push_back(item);
+    }
+    size_t first_error = 99;
+    ASSERT_EQ(sender.sendMany(items.data(), items.size(), &first_error),
+              count);
+    EXPECT_EQ(first_error, count);
+
+    // recvMany drains in bounded batches; loop until everything came
+    // through (loopback keeps ordering, but don't depend on it).
+    std::vector<std::string> got;
+    uint8_t buffers[net::UdpSocket::kMaxBatch][256];
+    net::UdpSocket::RecvDatagram metas[net::UdpSocket::kMaxBatch];
+    while (got.size() < count) {
+        size_t n = receiver.recvMany(&buffers[0][0], sizeof(buffers[0]),
+                                     metas, net::UdpSocket::kMaxBatch,
+                                     2.0);
+        ASSERT_GT(n, 0u) << "timed out with " << got.size() << "/"
+                         << count;
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(metas[i].from.port, sender.localPort());
+            got.emplace_back(reinterpret_cast<char *>(buffers[i]),
+                             metas[i].length);
+        }
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(payloads.begin(), payloads.end());
+    EXPECT_EQ(got, payloads);
+}
+
+TEST(BatchedSockets, RoundTripBatched)
+{
+    BatchSwitchGuard batching(true);
+    exerciseRoundTrip(net::UdpSocket::kMaxBatch);
+    exerciseRoundTrip(3);
+}
+
+TEST(BatchedSockets, RoundTripFallback)
+{
+    BatchSwitchGuard fallback(false);
+    exerciseRoundTrip(net::UdpSocket::kMaxBatch);
+    exerciseRoundTrip(1);
+}
+
+TEST(BatchedSockets, SendManyOverlongBatchLoops)
+{
+    // More than kMaxBatch datagrams in one call: sendMany slices.
+    BatchSwitchGuard batching(true);
+    exerciseRoundTrip(net::UdpSocket::kMaxBatch + 7);
+}
+
+TEST(BatchedSockets, SendManyReportsFirstFailure)
+{
+    net::UdpSocket receiver;
+    receiver.bind(0);
+    net::UdpSocket sender;
+    net::Endpoint good{*net::resolveHost("127.0.0.1"),
+                       receiver.localPort()};
+    net::Endpoint bad{*net::resolveHost("127.0.0.1"), 0}; // EINVAL
+
+    const char payload[] = "x";
+    net::UdpSocket::SendDatagram items[3];
+    for (auto &item : items) {
+        item.to = good;
+        item.data = payload;
+        item.length = 1;
+    }
+    items[1].to = bad;
+
+    size_t first_error = 99;
+    size_t sent = sender.sendMany(items, 3, &first_error);
+    EXPECT_EQ(sent, 2u);
+    EXPECT_EQ(first_error, 1u);
+}
+
+TEST(UpdateBatcher, BatchesATickIntoOneFlush)
+{
+    net::UdpSocket receiver;
+    receiver.bind(0);
+    auto socket = std::make_shared<net::UdpSocket>();
+    net::Endpoint to{*net::resolveHost("127.0.0.1"),
+                     receiver.localPort()};
+
+    monitor::UpdateBatcher batcher(socket, to);
+    monitor::Monitord::Sink sink = batcher.sink();
+    for (int i = 0; i < 5; ++i) {
+        proto::UtilizationUpdate update;
+        update.machine = "m1";
+        update.component = "cpu";
+        update.utilization = 0.1 * i;
+        update.sequence = uint64_t(i);
+        sink(update);
+    }
+    EXPECT_EQ(batcher.queued(), 5u);
+    EXPECT_EQ(batcher.datagramsSent(), 0u);
+    batcher.flush();
+    EXPECT_EQ(batcher.queued(), 0u);
+    EXPECT_EQ(batcher.datagramsSent(), 5u);
+    EXPECT_EQ(batcher.sendErrors(), 0u);
+
+    uint8_t buffers[net::UdpSocket::kMaxBatch][proto::kMessageSize];
+    net::UdpSocket::RecvDatagram metas[net::UdpSocket::kMaxBatch];
+    size_t got = 0;
+    while (got < 5) {
+        size_t n = receiver.recvMany(&buffers[0][0], proto::kMessageSize,
+                                     metas, net::UdpSocket::kMaxBatch,
+                                     2.0);
+        ASSERT_GT(n, 0u);
+        for (size_t i = 0; i < n; ++i) {
+            auto message = proto::decode(buffers[i], metas[i].length);
+            ASSERT_TRUE(message.has_value());
+            auto *update =
+                std::get_if<proto::UtilizationUpdate>(&*message);
+            ASSERT_NE(update, nullptr);
+            EXPECT_EQ(update->machine, "m1");
+            ++got;
+        }
+    }
+}
+
+/**
+ * One hammer client: ships a deterministic sequenced update stream for
+ * its own machine (deliberately skipping some sequence numbers so the
+ * expected loss count is exact), interleaved with sensor-read RPCs.
+ */
+struct HammerClient
+{
+    std::string machine;
+    uint64_t sent = 0;
+    uint64_t skipped = 0;
+    uint64_t readsAnswered = 0;
+    double finalUtilization = 0.0;
+
+    void
+    run(uint16_t port, uint64_t updates, bool with_reads)
+    {
+        net::UdpSocket socket;
+        net::Endpoint solver{*net::resolveHost("127.0.0.1"), port};
+        uint32_t request_id = 1;
+        for (uint64_t seq = 0; seq < updates; ++seq) {
+            if (seq % 7 == 3 && seq + 1 != updates) {
+                // A deliberate gap the solver must account as lost.
+                ++skipped;
+                continue;
+            }
+            proto::UtilizationUpdate update;
+            update.machine = machine;
+            update.component = "cpu";
+            update.utilization =
+                0.25 + 0.5 * double(seq) / double(updates);
+            update.sequence = seq;
+            proto::Packet packet = proto::encode(update);
+            ASSERT_TRUE(
+                socket.sendTo(solver, packet.data(), packet.size()));
+            ++sent;
+            finalUtilization = update.utilization;
+
+            if (with_reads && seq % 16 == 5) {
+                proto::SensorRequest request;
+                request.requestId = request_id++;
+                request.machine = machine;
+                request.component = "cpu";
+                proto::Packet ask = proto::encode(request);
+                ASSERT_TRUE(
+                    socket.sendTo(solver, ask.data(), ask.size()));
+                uint8_t buffer[proto::kMessageSize];
+                auto got =
+                    socket.recvFrom(buffer, sizeof(buffer), nullptr, 1.0);
+                if (got) {
+                    auto message = proto::decode(buffer, *got);
+                    ASSERT_TRUE(message.has_value());
+                    ASSERT_NE(
+                        std::get_if<proto::SensorReply>(&*message),
+                        nullptr);
+                    ++readsAnswered;
+                }
+            }
+            // Pace the stream so loopback socket buffers never shed
+            // packets — the loss ledger must come out exact.
+            if (seq % 8 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+        }
+    }
+};
+
+/** Drive one daemon with 4 concurrent clients; return its solver's
+ *  trajectory fingerprint after stepping it deterministically. */
+void
+hammerDaemon(unsigned serve_threads, const std::string &shm_name,
+             std::vector<double> *fingerprint,
+             std::vector<double> *final_utilizations)
+{
+    constexpr unsigned kClients = 4;
+    constexpr uint64_t kUpdates = 160;
+
+    core::Solver solver;
+    for (unsigned i = 0; i < kClients; ++i)
+        solver.addMachine(
+            core::table1Server("m" + std::to_string(i)));
+
+    metrics::Registry registry;
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.serveThreads = serve_threads;
+    config.iterationSeconds = 0.0; // stepped manually below
+    config.statsLogSeconds = 0.0;
+    config.shmName = shm_name;
+    config.registry = &registry;
+    proto::SolverDaemon daemon(solver, config);
+    EXPECT_EQ(daemon.requestPlane().workers(), serve_threads);
+    std::thread server([&] { daemon.run(); });
+
+    std::vector<HammerClient> clients(kClients);
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < kClients; ++i) {
+        clients[i].machine = "m" + std::to_string(i);
+        threads.emplace_back([&, i] {
+            clients[i].run(daemon.port(), kUpdates, /*with_reads=*/true);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    uint64_t total_sent = 0, total_skipped = 0, reads_answered = 0;
+    for (const HammerClient &client : clients) {
+        total_sent += client.sent;
+        total_skipped += client.skipped;
+        reads_answered += client.readsAnswered;
+    }
+    // Loopback with paced senders: every datagram arrives, so the
+    // ledger must balance exactly — received == sent and the
+    // deliberate sequence gaps are the entire loss count.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (daemon.service().lossStats().received == total_sent &&
+            daemon.service().updatesApplied() == total_sent &&
+            daemon.requestPlane().queueDepth() == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    auto loss = daemon.service().lossStats();
+    EXPECT_EQ(loss.received, total_sent);
+    EXPECT_EQ(loss.lost, total_skipped);
+    EXPECT_EQ(loss.duplicates, 0u);
+    EXPECT_EQ(loss.reordered, 0u);
+    EXPECT_EQ(loss.senders, kClients);
+    EXPECT_EQ(daemon.service().updatesApplied(), total_sent);
+    EXPECT_GT(reads_answered, 0u);
+    EXPECT_EQ(daemon.requestPlane().replySendErrors(), 0u);
+
+    // Per-sender exactness, not just in aggregate.
+    for (const auto &record : daemon.service().exportSenders()) {
+        unsigned index = unsigned(record.machine.back() - '0');
+        ASSERT_LT(index, kClients);
+        EXPECT_EQ(record.received, clients[index].sent)
+            << record.machine;
+        EXPECT_EQ(record.lost, clients[index].skipped)
+            << record.machine;
+    }
+
+    daemon.stop();
+    server.join();
+
+    final_utilizations->clear();
+    for (unsigned i = 0; i < kClients; ++i)
+        final_utilizations->push_back(
+            solver.machine("m" + std::to_string(i)).utilization("cpu"));
+
+    // Deterministic stepping after the hammer: any divergence in what
+    // the daemons applied shows up as a bitwise temperature mismatch.
+    for (int i = 0; i < 500; ++i)
+        solver.iterate();
+    fingerprint->clear();
+    for (unsigned i = 0; i < kClients; ++i) {
+        std::string machine = "m" + std::to_string(i);
+        fingerprint->push_back(solver.temperature(machine, "cpu"));
+        fingerprint->push_back(
+            solver.temperature(machine, "disk_platters"));
+        fingerprint->push_back(solver.temperature(machine, "inlet"));
+    }
+}
+
+TEST(RequestPlaneHammer, ShardedMatchesSerialBitwise)
+{
+    std::vector<double> serial_fp, sharded_fp;
+    std::vector<double> serial_util, sharded_util;
+    hammerDaemon(1, "", &serial_fp, &serial_util);
+    hammerDaemon(4,
+                 "/mercury.rpc_plane." + std::to_string(::getpid()),
+                 &sharded_fp, &sharded_util);
+
+    ASSERT_EQ(serial_util.size(), sharded_util.size());
+    for (size_t i = 0; i < serial_util.size(); ++i)
+        EXPECT_EQ(serial_util[i], sharded_util[i]) << "machine " << i;
+    ASSERT_EQ(serial_fp.size(), sharded_fp.size());
+    for (size_t i = 0; i < serial_fp.size(); ++i)
+        EXPECT_EQ(serial_fp[i], sharded_fp[i]) << "entry " << i;
+}
+
+TEST(RequestPlaneHammer, ShardedDaemonSurvivesHammerWhileStepping)
+{
+    // TSan food: the solver thread iterates at full tilt while 4
+    // clients mutate and read concurrently.
+    constexpr unsigned kClients = 4;
+    core::Solver solver;
+    for (unsigned i = 0; i < kClients; ++i)
+        solver.addMachine(core::table1Server("s" + std::to_string(i)));
+
+    metrics::Registry registry;
+    proto::SolverDaemon::Config config;
+    config.port = 0;
+    config.serveThreads = kClients;
+    config.iterationSeconds = 0.001;
+    config.statsLogSeconds = 0.0;
+    config.registry = &registry;
+    proto::SolverDaemon daemon(solver, config);
+    std::thread server([&] { daemon.run(); });
+
+    std::vector<HammerClient> clients(kClients);
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < kClients; ++i) {
+        clients[i].machine = "s" + std::to_string(i);
+        threads.emplace_back([&, i] {
+            clients[i].run(daemon.port(), 96, /*with_reads=*/true);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    uint64_t total_sent = 0;
+    for (const HammerClient &client : clients)
+        total_sent += client.sent;
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline &&
+           daemon.service().updatesApplied() < total_sent)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(daemon.service().updatesApplied(), total_sent);
+    EXPECT_GT(solver.iterations(), 0u);
+
+    daemon.stop();
+    server.join();
+}
+
+} // namespace
+} // namespace mercury
