@@ -130,6 +130,39 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // `fiddle guard`: page out the sensor trust layer's full
+    // per-stream health report (one FiddleReply carries ~96 bytes, so
+    // the daemon serves it in "<nextOffset>|<chunk>" fragments).
+    // `fiddle guard <stream>` falls through to the one-shot path and
+    // prints that stream's single health line.
+    if (flags.positional().size() == 1 &&
+        flags.positional()[0] == "guard") {
+        std::string text;
+        size_t offset = 0;
+        // 512 fragments bound the report at ~48 KB against a server
+        // that never sends nextOffset 0.
+        for (int page = 0; page < 512; ++page) {
+            auto [ok, message] =
+                client.fiddle(format("guard page %zu", offset));
+            if (!ok)
+                fatal("guard report failed: ", message);
+            size_t bar = message.find('|');
+            std::optional<long long> next;
+            if (bar != std::string::npos)
+                next = parseInt(message.substr(0, bar));
+            if (!next || *next < 0)
+                fatal("malformed guard page reply: ", message);
+            text += message.substr(bar + 1);
+            if (*next == 0)
+                break;
+            if (static_cast<size_t>(*next) <= offset)
+                fatal("non-advancing guard page reply");
+            offset = static_cast<size_t>(*next);
+        }
+        std::cout << text;
+        return 0;
+    }
+
     // One-shot: the positional arguments are the command itself.
     if (flags.positional().empty())
         fatal("usage: fiddle [--solver host:port] <machine> <property> "

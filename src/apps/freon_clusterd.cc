@@ -48,6 +48,51 @@ parsePolicy(const std::string &name)
           "' (none | freon | traditional | freon-ec | two-stage)");
 }
 
+net::SensorFaultSpec::Mode
+parseFaultMode(const std::string &name)
+{
+    std::string low = toLower(name);
+    if (low == "stuck" || low == "stuck-at")
+        return net::SensorFaultSpec::Mode::StuckAt;
+    if (low == "spike")
+        return net::SensorFaultSpec::Mode::Spike;
+    if (low == "drift")
+        return net::SensorFaultSpec::Mode::Drift;
+    if (low == "dropout")
+        return net::SensorFaultSpec::Mode::Dropout;
+    fatal("unknown sensor fault mode '", name,
+          "' (stuck-at | spike | drift | dropout)");
+}
+
+/** "m1.cpu:stuck-at:480" (stream:mode[:start[:end]]), comma-joined. */
+void
+parseSensorFaults(const std::string &text,
+                  std::map<std::string, net::SensorFaultSpec> *out)
+{
+    for (const std::string &entry : split(text, ',')) {
+        if (trim(entry).empty())
+            continue;
+        auto parts = split(trim(entry), ':');
+        if (parts.size() < 2 || parts.size() > 4)
+            fatal("--sensor-fault wants stream:mode[:start[:end]]");
+        net::SensorFaultSpec spec;
+        spec.mode = parseFaultMode(parts[1]);
+        if (parts.size() > 2) {
+            auto start = parseDouble(parts[2]);
+            if (!start)
+                fatal("--sensor-fault: bad start time '", parts[2], "'");
+            spec.startSeconds = *start;
+        }
+        if (parts.size() > 3) {
+            auto end = parseDouble(parts[3]);
+            if (!end)
+                fatal("--sensor-fault: bad end time '", parts[3], "'");
+            spec.endSeconds = *end;
+        }
+        (*out)[parts[0]] = spec;
+    }
+}
+
 } // namespace
 
 int
@@ -76,6 +121,14 @@ main(int argc, char **argv)
     flags.defineString("metrics-path", "",
                        "write the final metrics snapshot (Prometheus "
                        "text format) here when the run ends");
+    flags.defineBool("sensor-guard", false,
+                     "route tempd readings through the sensor trust "
+                     "layer (fault detection, substitution, degraded "
+                     "modes)");
+    flags.defineString("sensor-fault", "",
+                       "inject sensor faults: stream:mode[:start[:end]]"
+                       " entries joined by commas, e.g. "
+                       "m1.cpu:stuck-at:480,m2.cpu:spike:600");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -103,6 +156,11 @@ main(int argc, char **argv)
     // A SIGINT/SIGTERM ends the run early but still flushes the series
     // and summary recorded so far (exit 0): an interrupted sweep keeps
     // its partial data.
+    config.sensorGuard = flags.getBool("sensor-guard");
+    if (!flags.getString("sensor-fault").empty())
+        parseSensorFaults(flags.getString("sensor-fault"),
+                          &config.sensorFaults);
+
     config.shouldStop = [] { return stopRequested != 0; };
     std::signal(SIGINT, handleSignal);
     std::signal(SIGTERM, handleSignal);
@@ -143,6 +201,22 @@ main(int argc, char **argv)
         std::cerr << format("%s peak=%.2f C firstOverTh=%.0f s\n",
                             name.c_str(), peak,
                             result.firstTimeOverHigh.at(name));
+    }
+    if (config.sensorGuard) {
+        std::cerr << format(
+            "guard anomalies=%llu subst=%llu quarantines=%llu "
+            "recoveries=%llu degraded=%llu failsafe=%llu\n",
+            static_cast<unsigned long long>(result.guardAnomalies),
+            static_cast<unsigned long long>(result.guardSubstitutions),
+            static_cast<unsigned long long>(result.guardQuarantines),
+            static_cast<unsigned long long>(result.guardRecoveries),
+            static_cast<unsigned long long>(result.degradedReports),
+            static_cast<unsigned long long>(
+                result.failSafeApplications));
+        for (const auto &[stream, at] : result.quarantinedAtSeconds) {
+            std::cerr << format("guard %s quarantined at %.0f s\n",
+                                stream.c_str(), at);
+        }
     }
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "core/trace.hh"
+#include "guard/sensor_guard.hh"
 #include "metrics/metrics.hh"
 #include "monitor/monitord.hh"
 #include "sensor/client.hh"
@@ -94,6 +95,10 @@ main(int argc, char **argv)
                        "periodically (atomic rename; empty disables)");
     flags.defineDouble("metrics-seconds", 10.0,
                        "seconds between metrics file writes");
+    flags.defineBool("sensor-guard", false,
+                     "validate sampled utilizations through the sensor "
+                     "trust layer; implausible samples ship their "
+                     "substitute with the update's trust tag set");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -159,6 +164,16 @@ main(int argc, char **argv)
     }
 
     monitor::Monitord daemon(machine, std::move(source), std::move(sink));
+
+    // Utilization counters step freely and have no thermal model to
+    // cross-check against, so the guard runs the loosened utilization
+    // profile: range + stuck-at only.
+    std::unique_ptr<guard::SensorGuard> sensor_guard;
+    if (flags.getBool("sensor-guard")) {
+        sensor_guard = std::make_unique<guard::SensorGuard>(
+            guard::GuardConfig::utilizationProfile());
+        daemon.setGuard(sensor_guard.get());
+    }
 
     // Outage backlog: queue samples while the solver is unreachable
     // and replay them on reconnect. Reachability is decided by a
@@ -231,6 +246,14 @@ main(int argc, char **argv)
                      "1 while the solver answers probes", [&daemon] {
                          return daemon.online() ? 1.0 : 0.0;
                      });
+    metrics::CallbackGuard subst_guard;
+    if (sensor_guard) {
+        subst_guard.add(
+            registry, "monitor_updates_substituted_total",
+            "updates shipped with a guard-substituted value", [&daemon] {
+                return static_cast<double>(daemon.updatesSubstituted());
+            });
+    }
     std::string metrics_path = flags.getString("metrics-path");
     double metrics_seconds = flags.getDouble("metrics-seconds");
     double next_metrics = 0.0;
@@ -282,5 +305,9 @@ main(int argc, char **argv)
            daemon.backlogReplayed(), " replayed from backlog, ",
            daemon.backlogDropped(), " dropped, ", daemon.backlogDepth(),
            " still queued)");
+    if (sensor_guard)
+        inform("monitord: guard substituted ",
+               daemon.updatesSubstituted(), " sample(s), ",
+               sensor_guard->anomaliesTotal(), " anomalies");
     return 0;
 }

@@ -58,6 +58,16 @@ struct FreonConfig
     int projectionIntervals = 2;
 
     /**
+     * Degraded-mode fail-safe: the PD-equivalent output admd applies
+     * once when a machine's sensor streams go untrusted (quarantined
+     * or missing). With the base policy's 1/(output+1) share rule,
+     * 1.0 halves the machine's load share — conservative enough to
+     * arrest a plausible undetected emergency, cheap enough to hold
+     * until the sensors recover or an operator intervenes.
+     */
+    double failSafeOutput = 1.0;
+
+    /**
      * The Section 5 experimental settings: T_h^CPU = 67, T_l^CPU = 64,
      * T_h^disk = 65, T_l^disk = 62 (degC), red lines 2 degC above T_h.
      */

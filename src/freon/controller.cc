@@ -54,6 +54,18 @@ FreonController::FreonController(sim::Simulator &simulator,
         registry, "freon_servers_turned_on_total",
         "servers powered on (EC replacement or growth)",
         [this] { return static_cast<double>(turnedOn_); });
+    degradedGuard_.add(
+        registry, "freon_degraded_reports_total",
+        "tempd reports flagging lost sensor trust",
+        [this] { return static_cast<double>(degradedReports_); });
+    failSafeGuard_.add(
+        registry, "freon_failsafe_applied_total",
+        "conservative fail-safe actuations on untrusted sensors",
+        [this] { return static_cast<double>(failSafeApplied_); });
+    transitionsGuard_.add(
+        registry, "freon_restriction_transitions_total",
+        "restriction install/lift edges across all servers",
+        [this] { return static_cast<double>(restrictionTransitions_); });
     pdOutputGauge_ = registry.gauge(
         "freon_pd_output",
         "most recent tempd PD-controller output seen by admd");
@@ -136,6 +148,11 @@ FreonController::onReport(const TempdReport &report)
     if (pdOutputGauge_)
         pdOutputGauge_->set(report.output);
 
+    if (report.degraded) {
+        ++degradedReports_;
+        server.degraded = true;
+    }
+
     switch (report.kind) {
       case TempdReport::Kind::Status:
         return;
@@ -145,7 +162,34 @@ FreonController::onReport(const TempdReport &report)
       case TempdReport::Kind::Cool:
         handleCool(report);
         return;
+      case TempdReport::Kind::Degraded:
+        handleDegraded(report);
+        return;
     }
+}
+
+void
+FreonController::handleDegraded(const TempdReport &report)
+{
+    ServerState &server = state(report.machine);
+    // No trusted thermal evidence from this machine: assume the worst
+    // it could plausibly be hiding and shed load toward the safe cap.
+    // Applied once per episode — the report repeats every period, and
+    // compounding the weight rescaling each time would starve a
+    // machine whose only crime is a broken thermistor. Nothing is
+    // ever *lifted* here; that takes a trusted Cool.
+    if (options_.policy == PolicyKind::None ||
+        options_.policy == PolicyKind::Traditional) {
+        return;
+    }
+    if (server.degraded && server.restricted)
+        return;
+    server.degraded = true;
+    applyBaseAdjustment(report.machine,
+                        options_.config.failSafeOutput);
+    ++failSafeApplied_;
+    inform("freon: fail-safe on ", report.machine,
+           " (sensor trust lost) at t=", simulator_.nowSeconds());
 }
 
 void
@@ -186,7 +230,7 @@ FreonController::handleHot(const TempdReport &report)
         if (!server.avoidingDynamic) {
             balancer_.setDynamicContentAllowed(report.machine, false);
             server.avoidingDynamic = true;
-            server.restricted = true;
+            setRestricted(server, true);
             return;
         }
         applyBaseAdjustment(report.machine, report.output);
@@ -203,6 +247,9 @@ FreonController::handleCool(const TempdReport &report)
     ServerState &server = state(report.machine);
     bool was_hot = server.hot;
     server.hot = false;
+    // tempd withholds Cool while any stream is untrusted, so a Cool
+    // report doubles as "sensor trust restored".
+    server.degraded = false;
     if (options_.policy == PolicyKind::FreonEC && was_hot) {
         auto region = options_.regionOf.find(report.machine);
         if (region != options_.regionOf.end()) {
@@ -268,9 +315,23 @@ FreonController::applyBaseAdjustment(const std::string &machine,
         cap = std::max(1, static_cast<int>(
                               std::lround(averageConnections(machine))));
     }
+    // Never *raise* an installed cap while the machine's sensors are
+    // untrusted — relaxing on data we cannot verify is how a wedged
+    // sensor melts a server.
+    int existing = balancer_.connectionCap(machine);
+    if (server.degraded && existing > 0)
+        cap = cap > 0 ? std::min(cap, existing) : existing;
     balancer_.setConnectionCap(machine, cap);
     ++capAdjustments_;
-    server.restricted = true;
+    setRestricted(server, true);
+}
+
+void
+FreonController::setRestricted(ServerState &server, bool restricted)
+{
+    if (server.restricted != restricted)
+        ++restrictionTransitions_;
+    server.restricted = restricted;
 }
 
 void
@@ -285,7 +346,7 @@ FreonController::liftRestrictions(const std::string &machine)
         balancer_.setDynamicContentAllowed(machine, true);
         server.avoidingDynamic = false;
     }
-    server.restricted = false;
+    setRestricted(server, false);
 }
 
 void
@@ -338,6 +399,17 @@ FreonController::isRestricted(const std::string &machine) const
 {
     const ServerState *server = findState(machine);
     return server && server->restricted;
+}
+
+int
+FreonController::degradedServers() const
+{
+    int count = 0;
+    for (const auto &[name, server] : states_) {
+        if (server.degraded)
+            ++count;
+    }
+    return count;
 }
 
 int

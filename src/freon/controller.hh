@@ -90,6 +90,22 @@ class FreonController
     uint64_t weightAdjustments() const { return weightAdjustments_; }
     uint64_t capAdjustments() const { return capAdjustments_; }
 
+    /** Degraded reports received (sensor trust lost upstream). */
+    uint64_t degradedReports() const { return degradedReports_; }
+
+    /** Fail-safe actuations (once per degraded episode). */
+    uint64_t failSafeApplications() const { return failSafeApplied_; }
+
+    /** Machines currently in a degraded episode. */
+    int degradedServers() const;
+
+    /** Restriction install/lift edges across all servers; a bounded
+     *  count under an oscillating load is the no-flapping invariant. */
+    uint64_t restrictionTransitions() const
+    {
+        return restrictionTransitions_;
+    }
+
     /** Hot-before-first-sample cap fallbacks (no average yet, so the
      *  instantaneous connection count was used instead). */
     uint64_t capFallbacks() const { return capFallbacks_; }
@@ -107,6 +123,7 @@ class FreonController
     {
         bool restricted = false;
         bool hot = false; //!< counted as an emergency (EC regions)
+        bool degraded = false; //!< in a fail-safe episode
         bool avoidingDynamic = false; //!< two-stage policy, stage 1
         std::deque<std::pair<double, double>> connSamples;
         std::map<std::string, double> utilization;
@@ -118,6 +135,12 @@ class FreonController
     void sampleConnections();
     void handleHot(const TempdReport &report);
     void handleCool(const TempdReport &report);
+
+    /** Fail-safe for a machine whose sensors went untrusted. */
+    void handleDegraded(const TempdReport &report);
+
+    /** Flip a server's restricted flag, counting the edge. */
+    void setRestricted(ServerState &server, bool restricted);
 
     /** The base policy's weight/cap actuation for one Hot report. */
     void applyBaseAdjustment(const std::string &machine, double output);
@@ -160,6 +183,9 @@ class FreonController
     uint64_t capFallbacks_ = 0;
     uint64_t turnedOff_ = 0;
     uint64_t turnedOn_ = 0;
+    uint64_t degradedReports_ = 0;
+    uint64_t failSafeApplied_ = 0;
+    uint64_t restrictionTransitions_ = 0;
     bool started_ = false;
 
     /** admd health in the process-global registry. The guards are
@@ -170,6 +196,9 @@ class FreonController
     metrics::CallbackGuard capFallbackGuard_;
     metrics::CallbackGuard turnedOffGuard_;
     metrics::CallbackGuard turnedOnGuard_;
+    metrics::CallbackGuard degradedGuard_;
+    metrics::CallbackGuard failSafeGuard_;
+    metrics::CallbackGuard transitionsGuard_;
     metrics::Gauge *pdOutputGauge_ = nullptr;
 };
 

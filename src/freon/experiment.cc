@@ -88,6 +88,22 @@ runExperiment(const ExperimentConfig &config)
     FreonController controller(simulator, balancer, options);
     controller.start();
 
+    // Sensor-level fault injectors, keyed by stream; they corrupt the
+    // reading after the sensor plane answers, so the solver's ground
+    // truth stays honest while tempd sees the lie.
+    std::map<std::string, std::unique_ptr<net::SensorFaultInjector>>
+        injectors;
+    for (const auto &[stream, spec] : config.sensorFaults)
+        injectors[stream] = std::make_unique<net::SensorFaultInjector>(spec);
+
+    // The cluster-wide trust layer (one guard, streams keyed
+    // "machine.component"); null when disabled, and every wrapper
+    // below collapses to the pre-guard behavior.
+    std::unique_ptr<guard::SensorGuard> guard;
+    if (config.sensorGuard)
+        guard = std::make_unique<guard::SensorGuard>(config.guardConfig);
+    bridge.service().setSensorGuard(guard.get());
+
     // tempd reads temperatures through the same message-level sensor
     // interface a real deployment would use.
     std::vector<std::unique_ptr<sensor::SensorClient>> sensors;
@@ -98,8 +114,17 @@ runExperiment(const ExperimentConfig &config)
             name));
         sensor::SensorClient *client = sensors.back().get();
         core::ThermalGraph &graph = solver.machine(name);
-        auto read = [client](const std::string &component) {
-            return client->read(component);
+        auto fault = [&injectors, &simulator,
+                      name](const std::string &component,
+                            std::optional<double> value) {
+            auto it = injectors.find(name + "." + component);
+            if (it == injectors.end())
+                return value;
+            return it->second->apply(simulator.nowSeconds(), value);
+        };
+        auto read = [client,
+                     fault](const std::string &component) {
+            return fault(component, client->read(component));
         };
         auto util = [&graph, &solver, name](const std::string &component) {
             return graph.utilization(solver.resolveNode(name, component));
@@ -112,10 +137,18 @@ runExperiment(const ExperimentConfig &config)
             util));
         if (config.batchedReads) {
             tempds.back()->setBatchedRead(
-                [client](const std::vector<std::string> &components) {
-                    return client->readMany(components);
+                [client,
+                 fault](const std::vector<std::string> &components) {
+                    std::vector<std::optional<double>> values =
+                        client->readMany(components);
+                    for (size_t i = 0;
+                         i < components.size() && i < values.size(); ++i)
+                        values[i] = fault(components[i], values[i]);
+                    return values;
                 });
         }
+        if (guard)
+            tempds.back()->setGuard(guard.get());
         tempds.back()->start();
     }
 
@@ -237,6 +270,22 @@ runExperiment(const ExperimentConfig &config)
     result.serversTurnedOff = controller.serversTurnedOff();
     result.serversTurnedOn = controller.serversTurnedOn();
     result.weightAdjustments = controller.weightAdjustments();
+    result.degradedReports = controller.degradedReports();
+    result.failSafeApplications = controller.failSafeApplications();
+    result.restrictionTransitions = controller.restrictionTransitions();
+    if (guard) {
+        result.guardAnomalies = guard->anomaliesTotal();
+        result.guardSubstitutions = guard->substitutionsTotal();
+        result.guardQuarantines = guard->quarantinesTotal();
+        result.guardRecoveries = guard->recoveriesTotal();
+        result.guardStreams = guard->streamStatuses();
+        for (const auto &status : result.guardStreams) {
+            if (status.quarantinedAt >= 0.0) {
+                result.quarantinedAtSeconds[status.stream] =
+                    status.quarantinedAt;
+            }
+        }
+    }
     for (const auto &governor : governors)
         result.throttleEvents += governor->throttleEvents();
     for (const std::string &name : names) {
@@ -251,6 +300,7 @@ runExperiment(const ExperimentConfig &config)
         metrics::writeTextFile(metrics::Registry::global(),
                                config.metricsPath);
     }
+    bridge.service().setSensorGuard(nullptr); // guard dies before bridge
     return result;
 }
 

@@ -19,6 +19,8 @@
 #include "cluster/dvfs.hh"
 #include "core/fan.hh"
 #include "freon/controller.hh"
+#include "guard/sensor_guard.hh"
+#include "net/faults.hh"
 #include "util/stats.hh"
 #include "workload/generator.hh"
 
@@ -83,6 +85,24 @@ struct ExperimentConfig
      *  extension). */
     bool enableVariableFans = false;
     core::FanCurve fanCurve;
+
+    /**
+     * Sensor trust layer: route every tempd reading through one
+     * cluster-wide SensorGuard (streams keyed "machine.component")
+     * and let admd run its degraded-mode fail-safe. Default off —
+     * the guard-off path is bit-for-bit the pre-guard experiment.
+     */
+    bool sensorGuard = false;
+    guard::GuardConfig guardConfig;
+
+    /**
+     * Sensor-level fault injection, keyed by stream name ("m1.cpu").
+     * Applied to readings *between* the sensor client and tempd —
+     * the solver's ground truth stays clean, which is exactly what
+     * lets a test compare emulated reality against what a lying
+     * sensor told Freon. Active with or without the guard.
+     */
+    std::map<std::string, net::SensorFaultSpec> sensorFaults;
 
     /**
      * Polled once per simulated second; return true to end the run
@@ -155,6 +175,25 @@ struct ExperimentResult
 
     /** Highest CPU temperature seen per machine. */
     std::map<std::string, double> peakCpuTemperature;
+
+    /** @name Sensor trust layer (populated when sensorGuard is on) */
+    /// @{
+    uint64_t guardAnomalies = 0;
+    uint64_t guardSubstitutions = 0;
+    uint64_t guardQuarantines = 0;
+    uint64_t guardRecoveries = 0;
+    uint64_t degradedReports = 0;
+    uint64_t failSafeApplications = 0;
+
+    /** Per-stream guard snapshot at end of run. */
+    std::vector<guard::SensorGuard::StreamStatus> guardStreams;
+
+    /** Stream -> first time it entered QUARANTINED (absent if never). */
+    std::map<std::string, double> quarantinedAtSeconds;
+    /// @}
+
+    /** Restriction install/lift edges admd performed (flap metric). */
+    uint64_t restrictionTransitions = 0;
 };
 
 /** Run one experiment to completion (deterministic). */

@@ -27,6 +27,12 @@ Tempd::setBatchedRead(ReadManyFn read_many)
 }
 
 void
+Tempd::setGuard(guard::SensorGuard *guard)
+{
+    guard_ = guard;
+}
+
+void
 Tempd::start()
 {
     if (started_)
@@ -77,12 +83,35 @@ Tempd::tick()
 
     bool any_hot = false;
     bool all_cool = true;
+    bool degraded = false;
     double output = 0.0;
 
     size_t slot = 0;
     for (const auto &[component, thresholds] : config_.components) {
         std::optional<double> reading = readings[slot++];
-        if (!reading) {
+        bool trusted = true;
+        if (guard_) {
+            // The trust layer sees every sample, including misses;
+            // quarantined or missing streams come back substituted
+            // (or valueless) and untrusted.
+            std::optional<double> driver;
+            if (utilization_)
+                driver = utilization_(component);
+            guard::TrustedSample sample =
+                guard_->filter(machine_ + "." + component,
+                               simulator_.nowSeconds(), reading, driver);
+            trusted = sample.trusted;
+            if (!sample.trusted)
+                degraded = true;
+            report.trusted[component] = sample.trusted;
+            if (!sample.hasValue) {
+                warn("tempd(", machine_, "): no reading and no ",
+                     "substitute for ", component);
+                all_cool = false; // unknown is not provably cool
+                continue;
+            }
+            reading = sample.value;
+        } else if (!reading) {
             warn("tempd(", machine_, "): sensor read failed for ",
                  component);
             all_cool = false; // unknown is not provably cool
@@ -91,7 +120,10 @@ Tempd::tick()
         double current = *reading;
         report.temperatures[component] = current;
 
-        if (current >= thresholds.redline)
+        // Only a trusted reading may cross the red line: powering a
+        // server off on a spiking sensor is exactly the overreaction
+        // the guard exists to prevent.
+        if (current >= thresholds.redline && trusted)
             report.redline = true;
         if (current > thresholds.high) {
             any_hot = true;
@@ -117,6 +149,7 @@ Tempd::tick()
             report.utilizations[component] = utilization_(component);
     }
 
+    report.degraded = degraded;
     if (report.redline) {
         report.kind = TempdReport::Kind::Hot;
         report.output = output;
@@ -127,6 +160,16 @@ Tempd::tick()
     if (any_hot) {
         report.kind = TempdReport::Kind::Hot;
         report.output = output;
+        restricted_ = true;
+        send_(report);
+        return;
+    }
+    if (degraded) {
+        // Trust lost and no (trusted or substituted) evidence of Hot:
+        // tell admd to fall back to the fail-safe. Repeats each period
+        // like Hot, so a lost report self-heals; Cool is withheld
+        // until every stream is trusted again.
+        report.kind = TempdReport::Kind::Degraded;
         restricted_ = true;
         send_(report);
         return;

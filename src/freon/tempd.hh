@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "freon/config.hh"
+#include "guard/sensor_guard.hh"
 #include "sim/simulator.hh"
 
 namespace mercury {
@@ -39,6 +40,11 @@ struct TempdReport
         Hot,    //!< some component above T_h; `output` is valid
         Cool,   //!< every component below T_l; lift restrictions
         Status, //!< periodic utilization report (Freon-EC)
+
+        /** Sensor trust lost (quarantined/missing streams) with no
+         *  trusted evidence of Hot or Cool: admd should fall back to
+         *  the conservative fail-safe. Only emitted with a guard. */
+        Degraded,
     };
 
     std::string machine;
@@ -47,11 +53,23 @@ struct TempdReport
     /** PD controller output (Kind::Hot). */
     double output = 0.0;
 
-    /** True when some component exceeded its red line T_r. */
+    /** True when some component exceeded its red line T_r. With a
+     *  guard installed, only a *trusted* reading can set this — a
+     *  lone spiking sensor must not power a server off. */
     bool redline = false;
 
-    /** Component temperatures at this wake-up [degC]. */
+    /** True when any of this machine's streams is untrusted; the
+     *  temperatures below may then be substitutes, and admd must not
+     *  relax anything on their account. */
+    bool degraded = false;
+
+    /** Component temperatures at this wake-up [degC] (substituted
+     *  values when the guard quarantined the stream). */
     std::map<std::string, double> temperatures;
+
+    /** Per-component trust tags (true = raw reading from a healthy
+     *  stream). Populated only when a guard is installed. */
+    std::map<std::string, bool> trusted;
 
     /** Component utilizations in [0, 1] (for Freon-EC). */
     std::map<std::string, double> utilizations;
@@ -92,6 +110,18 @@ class Tempd
      */
     void setBatchedRead(ReadManyFn read_many);
 
+    /**
+     * Route every reading through a sensor trust layer (borrowed, may
+     * be shared across tempds; all filtering happens on the simulator
+     * thread). Streams are named "machine.component" and the
+     * component's utilization (when a UtilFn is wired) feeds the
+     * guard's model as the driver. With a guard installed the daemon
+     * gains a degraded mode: untrusted redline readings never power a
+     * server off, Cool is withheld while any stream is untrusted, and
+     * trust loss without trusted Hot evidence emits Kind::Degraded.
+     */
+    void setGuard(guard::SensorGuard *guard);
+
     /** Begin the periodic wake-ups. */
     void start();
 
@@ -111,6 +141,7 @@ class Tempd
     ReadManyFn readMany_;
     SendFn send_;
     UtilFn utilization_;
+    guard::SensorGuard *guard_ = nullptr;
 
     std::map<std::string, double> lastTemperature_;
     bool restricted_ = false;

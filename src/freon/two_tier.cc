@@ -32,7 +32,8 @@ struct Tier
 void
 startTierManagement(Tier &tier, const TwoTierConfig &config,
                     sim::Simulator &simulator, core::Solver &solver,
-                    cluster::ThermalBridge &bridge)
+                    cluster::ThermalBridge &bridge,
+                    guard::SensorGuard *sensor_guard)
 {
     FreonController::Options options;
     options.config = config.freon;
@@ -68,6 +69,8 @@ startTierManagement(Tier &tier, const TwoTierConfig &config,
             [client](const std::vector<std::string> &components) {
                 return client->readMany(components);
             });
+        if (sensor_guard)
+            tier.tempds.back()->setGuard(sensor_guard);
         tier.tempds.back()->start();
     }
 }
@@ -80,6 +83,8 @@ collectTier(const Tier &tier, TierResult *out)
     out->dropped = tier.balancer.dropped();
     out->weightAdjustments = tier.controller->weightAdjustments();
     out->serversTurnedOff = tier.controller->serversTurnedOff();
+    out->degradedReports = tier.controller->degradedReports();
+    out->failSafeApplications = tier.controller->failSafeApplications();
 }
 
 } // namespace
@@ -161,8 +166,16 @@ runTwoTierExperiment(const TwoTierConfig &config)
                                           workload_config);
     generator.start();
 
-    startTierManagement(web, config, simulator, solver, bridge);
-    startTierManagement(app, config, simulator, solver, bridge);
+    std::unique_ptr<guard::SensorGuard> sensor_guard;
+    if (config.sensorGuard)
+        sensor_guard =
+            std::make_unique<guard::SensorGuard>(config.guardConfig);
+    bridge.service().setSensorGuard(sensor_guard.get());
+
+    startTierManagement(web, config, simulator, solver, bridge,
+                        sensor_guard.get());
+    startTierManagement(app, config, simulator, solver, bridge,
+                        sensor_guard.get());
 
     // Emergencies.
     for (const TwoTierConfig::Emergency &emergency : config.emergencies) {
@@ -213,6 +226,11 @@ runTwoTierExperiment(const TwoTierConfig &config)
     collectTier(app, &result.app);
     for (const std::string &name : all_names)
         result.energyJoules += solver.machine(name).energyConsumed();
+    if (sensor_guard) {
+        result.guardAnomalies = sensor_guard->anomaliesTotal();
+        result.guardQuarantines = sensor_guard->quarantinesTotal();
+    }
+    bridge.service().setSensorGuard(nullptr); // guard dies first
     return result;
 }
 

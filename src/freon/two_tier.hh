@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "freon/controller.hh"
+#include "guard/sensor_guard.hh"
 #include "util/stats.hh"
 #include "workload/generator.hh"
 
@@ -60,6 +61,11 @@ struct TwoTierConfig
     std::vector<Emergency> emergencies;
 
     double recordPeriod = 10.0;
+
+    /** Sensor trust layer for both tiers' tempds (one shared guard,
+     *  streams keyed "machine.component"); default off. */
+    bool sensorGuard = false;
+    guard::GuardConfig guardConfig;
 };
 
 /** Per-tier results. */
@@ -70,6 +76,8 @@ struct TierResult
     uint64_t dropped = 0;
     uint64_t weightAdjustments = 0;
     uint64_t serversTurnedOff = 0;
+    uint64_t degradedReports = 0;
+    uint64_t failSafeApplications = 0;
     std::map<std::string, double> peakCpuTemperature;
     std::map<std::string, TimeSeries> cpuTemperature;
     std::map<std::string, TimeSeries> cpuUtilization;
@@ -81,6 +89,10 @@ struct TwoTierResult
     TierResult web;
     TierResult app;
     double energyJoules = 0.0;
+
+    /** Sensor trust layer totals (when sensorGuard is on). */
+    uint64_t guardAnomalies = 0;
+    uint64_t guardQuarantines = 0;
 };
 
 /** Run the two-tier experiment to completion (deterministic). */

@@ -1,0 +1,413 @@
+#include "guard/sensor_guard.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hh"
+
+namespace mercury {
+namespace guard {
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+      case HealthState::Healthy: return "HEALTHY";
+      case HealthState::Suspect: return "SUSPECT";
+      case HealthState::Quarantined: return "QUARANTINED";
+      case HealthState::Recovering: return "RECOVERING";
+    }
+    return "?";
+}
+
+const char *
+classificationName(Classification c)
+{
+    switch (c) {
+      case Classification::Ok: return "ok";
+      case Classification::OutOfRange: return "out-of-range";
+      case Classification::RateSpike: return "rate-spike";
+      case Classification::StuckAt: return "stuck-at";
+      case Classification::ModelDivergence: return "model-divergence";
+      case Classification::Dropout: return "dropout";
+    }
+    return "?";
+}
+
+GuardConfig
+GuardConfig::utilizationProfile()
+{
+    GuardConfig config;
+    config.minValue = 0.0;
+    config.maxValue = 1.0;
+    config.maxRatePerSecond = 0.0;   // utilization may step freely
+    config.modelToleranceValue = 0.0; // no physical model for load
+    config.stuckDriverDelta = 0.05;
+    config.stuckEpsilon = 1e-9;
+    return config;
+}
+
+SensorGuard::SensorGuard(GuardConfig config, std::string metricsPrefix)
+    : config_(config)
+{
+    metrics::Registry &registry = metrics::Registry::global();
+    const std::string &p = metricsPrefix;
+    metricsGuard_.add(registry, p + "_samples_total",
+                      "sensor samples classified by the guard",
+                      [this] { return double(samples_); });
+    metricsGuard_.add(registry, p + "_anomalies_total",
+                      "samples classified as implausible",
+                      [this] { return double(anomalies_); });
+    metricsGuard_.add(registry, p + "_dropouts_total",
+                      "samples that never arrived",
+                      [this] { return double(dropouts_); });
+    metricsGuard_.add(registry, p + "_substitutions_total",
+                      "samples replaced by hold-last/model estimates",
+                      [this] { return double(substitutions_); });
+    metricsGuard_.add(registry, p + "_quarantines_total",
+                      "stream transitions into QUARANTINED",
+                      [this] { return double(quarantines_); });
+    metricsGuard_.add(registry, p + "_recoveries_total",
+                      "streams whose trust was restored",
+                      [this] { return double(recoveries_); });
+    metricsGuard_.add(registry, p + "_streams",
+                      "sensor streams tracked by the guard",
+                      [this] { return double(streams_.size()); });
+    metricsGuard_.add(registry, p + "_streams_quarantined",
+                      "streams currently QUARANTINED",
+                      [this] { return double(quarantinedCount()); });
+}
+
+std::optional<double>
+SensorGuard::predict(const Stream &s, std::optional<double> driver) const
+{
+    if (s.modelSamples == 0)
+        return std::nullopt;
+    if (driver && s.varD > 1e-4) {
+        // Regress on the driver only once it has genuinely moved: a
+        // near-constant driver carries no signal, and dividing by its
+        // vanishing variance amplifies numerical noise into absurd
+        // slopes (a 600 C "prediction" from an idle machine). The
+        // plausibility clamp bounds the extrapolation even then.
+        double beta = s.covVD / s.varD;
+        return std::clamp(s.meanV + beta * (*driver - s.meanD),
+                          config_.minValue, config_.maxValue);
+    }
+    return s.ewma;
+}
+
+void
+SensorGuard::learn(Stream &s, double value, std::optional<double> driver)
+{
+    double a = 1.0 - config_.modelForgetting;
+    if (s.modelSamples == 0) {
+        s.meanV = value;
+        s.ewma = value;
+        s.meanD = driver.value_or(0.0);
+        s.covVD = 0.0;
+        s.varD = 0.0;
+    } else {
+        double dv = value - s.meanV;
+        s.meanV += a * dv;
+        s.ewma += a * (value - s.ewma);
+        if (driver) {
+            double dd = *driver - s.meanD;
+            s.meanD += a * dd;
+            s.covVD = (1.0 - a) * (s.covVD + a * dv * dd);
+            s.varD = (1.0 - a) * (s.varD + a * dd * dd);
+        }
+    }
+    ++s.modelSamples;
+}
+
+Classification
+SensorGuard::classify(const Stream &s, double now, double raw,
+                      std::optional<double> predicted) const
+{
+    if (raw < config_.minValue || raw > config_.maxValue)
+        return Classification::OutOfRange;
+    if (config_.maxRatePerSecond > 0.0 && s.haveLast) {
+        double dt = std::max(now - s.lastRawTime, 1e-9);
+        if (std::abs(raw - s.lastRaw) / dt > config_.maxRatePerSecond)
+            return Classification::RateSpike;
+    }
+    // Stuck-at: the reading froze while the model expected movement.
+    if (config_.stuckWindow > 1 &&
+        s.rawWindow.size() >= size_t(config_.stuckWindow) &&
+        s.predWindow.size() >= size_t(config_.stuckWindow)) {
+        auto spread = [](const std::deque<double> &w) {
+            auto [lo, hi] = std::minmax_element(w.begin(), w.end());
+            return *hi - *lo;
+        };
+        double raw_spread =
+            std::max(spread(s.rawWindow), std::abs(raw - s.rawWindow.back()));
+        if (raw_spread <= config_.stuckEpsilon &&
+            spread(s.predWindow) >= config_.stuckDriverDelta) {
+            return Classification::StuckAt;
+        }
+    }
+    if (config_.modelToleranceValue > 0.0 && predicted &&
+        s.modelSamples >= config_.modelWarmupSamples &&
+        std::abs(raw - *predicted) > config_.modelToleranceValue) {
+        return Classification::ModelDivergence;
+    }
+    return Classification::Ok;
+}
+
+void
+SensorGuard::enterState(Stream &s, HealthState next, double now)
+{
+    if (s.state == next)
+        return;
+    s.state = next;
+    s.stateSince = now;
+    s.anomalyStreak = 0;
+    s.cleanStreak = 0;
+    if (next == HealthState::Quarantined) {
+        ++quarantines_;
+        if (s.quarantinedAt < 0.0)
+            s.quarantinedAt = now;
+    }
+    if (next == HealthState::Healthy && s.quarantinedAt >= 0.0)
+        ++recoveries_;
+}
+
+double
+SensorGuard::substitute(const Stream &s, double now,
+                        std::optional<double> predicted) const
+{
+    if (config_.substitution == SubstitutionPolicy::ModelEstimate &&
+        predicted) {
+        return *predicted;
+    }
+    if (!s.haveEffective && predicted)
+        return *predicted;
+    double held = s.haveEffective ? s.lastGood : 0.0;
+    if (predicted && config_.holdDecaySeconds > 0.0) {
+        // Hold-last with decay: relax toward the model estimate so a
+        // long quarantine does not pin a stale reading forever.
+        double age = std::max(now - s.lastGoodTime, 0.0);
+        double w = std::exp(-age / config_.holdDecaySeconds);
+        return *predicted + (held - *predicted) * w;
+    }
+    return held;
+}
+
+TrustedSample
+SensorGuard::filter(const std::string &stream, double now,
+                    std::optional<double> raw,
+                    std::optional<double> driver,
+                    std::optional<double> predicted)
+{
+    ++samples_;
+    lastNow_ = std::max(lastNow_, now);
+    Stream &s = streams_[stream];
+    if (!predicted)
+        predicted = predict(s, driver);
+
+    Classification c = raw ? classify(s, now, *raw, predicted)
+                           : Classification::Dropout;
+    bool anomaly = c != Classification::Ok;
+    s.lastReason = c;
+    if (!raw)
+        ++dropouts_;
+    if (anomaly) {
+        ++anomalies_;
+        ++s.anomalies;
+    }
+
+    // Window upkeep (raw samples only; substituted values would make
+    // the stream look alive).
+    if (raw) {
+        s.rawWindow.push_back(*raw);
+        if (predicted)
+            s.predWindow.push_back(*predicted);
+        while (s.rawWindow.size() > size_t(std::max(config_.stuckWindow, 1)))
+            s.rawWindow.pop_front();
+        while (s.predWindow.size() >
+               size_t(std::max(config_.stuckWindow, 1)))
+            s.predWindow.pop_front();
+        s.haveLast = true;
+        s.lastRaw = *raw;
+        s.lastRawTime = now;
+    }
+
+    // --- State machine. ---
+    switch (s.state) {
+      case HealthState::Healthy:
+        if (anomaly) {
+            enterState(s, HealthState::Suspect, now);
+            s.anomalyStreak = 1;
+        }
+        break;
+      case HealthState::Suspect:
+        if (anomaly) {
+            if (++s.anomalyStreak >= config_.quarantineAnomalies)
+                enterState(s, HealthState::Quarantined, now);
+            s.cleanStreak = 0;
+        } else if (++s.cleanStreak >= config_.suspectClearSamples) {
+            enterState(s, HealthState::Healthy, now);
+        }
+        break;
+      case HealthState::Quarantined:
+        if (!anomaly &&
+            now - s.stateSince >= config_.quarantineMinSeconds) {
+            if (++s.cleanStreak >= config_.recoveryProbationSamples)
+                enterState(s, HealthState::Recovering, now);
+        } else if (anomaly) {
+            s.cleanStreak = 0;
+        }
+        break;
+      case HealthState::Recovering:
+        if (anomaly) {
+            enterState(s, HealthState::Quarantined, now);
+        } else if (++s.cleanStreak >= config_.recoveryCleanSamples) {
+            enterState(s, HealthState::Healthy, now);
+        }
+        break;
+    }
+
+    // --- Verdict and value. ---
+    TrustedSample out;
+    out.state = s.state;
+    out.reason = c;
+    bool pass_raw = raw && !anomaly &&
+                    (s.state == HealthState::Healthy ||
+                     s.state == HealthState::Suspect ||
+                     s.state == HealthState::Recovering);
+    if (pass_raw) {
+        out.value = *raw;
+        out.hasValue = true;
+        out.trusted = s.state == HealthState::Healthy;
+        learn(s, *raw, driver);
+        s.lastGood = *raw;
+        s.lastGoodTime = now;
+        s.haveEffective = true;
+        s.lastEffective = *raw;
+    } else {
+        // Implausible or missing: substitute per policy.
+        if (s.haveEffective || predicted ||
+            (raw && c == Classification::OutOfRange)) {
+            double value;
+            if (!s.haveEffective && !predicted) {
+                value = std::clamp(*raw, config_.minValue,
+                                   config_.maxValue);
+            } else {
+                value = substitute(s, now, predicted);
+            }
+            out.value = value;
+            out.hasValue = true;
+            out.substituted = true;
+            ++substitutions_;
+            ++s.substitutions;
+            s.lastEffective = value;
+        }
+    }
+    return out;
+}
+
+HealthState
+SensorGuard::state(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? HealthState::Healthy : it->second.state;
+}
+
+Classification
+SensorGuard::lastReason(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? Classification::Ok
+                                : it->second.lastReason;
+}
+
+double
+SensorGuard::timeInState(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    if (it == streams_.end())
+        return 0.0;
+    return std::max(lastNow_ - it->second.stateSince, 0.0);
+}
+
+double
+SensorGuard::quarantinedAt(const std::string &stream) const
+{
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? -1.0 : it->second.quarantinedAt;
+}
+
+size_t
+SensorGuard::quarantinedCount() const
+{
+    size_t n = 0;
+    for (const auto &[name, s] : streams_) {
+        if (s.state == HealthState::Quarantined)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<SensorGuard::StreamStatus>
+SensorGuard::streamStatuses() const
+{
+    std::vector<StreamStatus> out;
+    out.reserve(streams_.size());
+    for (const auto &[name, s] : streams_) {
+        StreamStatus status;
+        status.stream = name;
+        status.state = s.state;
+        status.lastReason = s.lastReason;
+        status.timeInState = std::max(lastNow_ - s.stateSince, 0.0);
+        status.quarantinedAt = s.quarantinedAt;
+        status.anomalies = s.anomalies;
+        status.substitutions = s.substitutions;
+        status.lastValue = s.lastEffective;
+        out.push_back(status);
+    }
+    return out;
+}
+
+std::string
+SensorGuard::summaryLine() const
+{
+    size_t healthy = 0, suspect = 0, quarantined = 0, recovering = 0;
+    for (const auto &[name, s] : streams_) {
+        switch (s.state) {
+          case HealthState::Healthy: ++healthy; break;
+          case HealthState::Suspect: ++suspect; break;
+          case HealthState::Quarantined: ++quarantined; break;
+          case HealthState::Recovering: ++recovering; break;
+        }
+    }
+    return format("guard streams=%zu healthy=%zu suspect=%zu quar=%zu "
+                  "rec=%zu anom=%llu subst=%llu",
+                  streams_.size(), healthy, suspect, quarantined,
+                  recovering,
+                  static_cast<unsigned long long>(anomalies_),
+                  static_cast<unsigned long long>(substitutions_));
+}
+
+std::string
+SensorGuard::report() const
+{
+    std::string text = summaryLine() + "\n";
+    const char *policy =
+        config_.substitution == SubstitutionPolicy::HoldLastDecay
+            ? "hold-decay"
+            : "model";
+    for (const auto &[name, s] : streams_) {
+        text += format(
+            "%s state=%s reason=%s sub=%s t_in_state=%.0fs last=%.2f "
+            "anom=%llu subst=%llu\n",
+            name.c_str(), healthStateName(s.state),
+            classificationName(s.lastReason), policy,
+            std::max(lastNow_ - s.stateSince, 0.0), s.lastEffective,
+            static_cast<unsigned long long>(s.anomalies),
+            static_cast<unsigned long long>(s.substitutions));
+    }
+    return text;
+}
+
+} // namespace guard
+} // namespace mercury

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * SensorGuard: the sensor trust layer.
+ *
+ * Mercury and Freon act on whatever the sensor plane reports — a
+ * stuck-at, spiking, drifting, or silent sensor can wedge a machine at
+ * low capacity or let it sail past the emergency threshold. This
+ * subsystem puts a trust boundary between raw readings and every
+ * consumer:
+ *
+ *  - each incoming sample is *classified* against range limits, a
+ *    rate-of-change bound, stuck-at detection (windowed spread while
+ *    the model says the value should be moving), and a cross-check
+ *    against a model-predicted value (Reitz et al.'s model-based
+ *    sensor validation);
+ *  - a per-stream health state machine (HEALTHY -> SUSPECT ->
+ *    QUARANTINED -> RECOVERING) turns isolated anomalies into a
+ *    debounced trust verdict with configurable hysteresis;
+ *  - implausible or missing samples are *substituted* — hold the last
+ *    good value with decay toward the model estimate, or use the model
+ *    estimate outright — and every consumer sees both the substituted
+ *    value and its trust tag.
+ *
+ * The model prediction is learned online per stream: when the caller
+ * supplies a reference driver (the component utilization for a
+ * temperature stream), the guard fits value = alpha + beta * driver
+ * with exponential forgetting on trusted samples only; without a
+ * driver it falls back to an exponentially-weighted moving average.
+ * Stuck-at detection only fires when the *prediction* moved while the
+ * reading did not, so a genuinely steady sensor is never quarantined.
+ *
+ * Thread contract: filter(), report(), and the accessors must be
+ * externally serialized (in every deployment the caller is the solver
+ * or DES thread; `fiddle guard` queries are queued onto that thread).
+ * The exported metrics callbacks read plain counters that are only
+ * written by that same thread.
+ */
+
+#ifndef MERCURY_GUARD_SENSOR_GUARD_HH
+#define MERCURY_GUARD_SENSOR_GUARD_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hh"
+
+namespace mercury {
+namespace guard {
+
+/** Per-stream trust verdict. */
+enum class HealthState : uint8_t {
+    Healthy,     //!< samples pass; raw values flow through
+    Suspect,     //!< recent anomalies; substituting, not yet condemned
+    Quarantined, //!< stream condemned; consumers get substitutes only
+    Recovering,  //!< raw looks sane again; probation before trust
+};
+
+/** Why the last sample was (or was not) accepted. */
+enum class Classification : uint8_t {
+    Ok,              //!< plausible reading
+    OutOfRange,      //!< outside [minValue, maxValue]
+    RateSpike,       //!< moved faster than maxRatePerSecond
+    StuckAt,         //!< frozen while the model moved
+    ModelDivergence, //!< too far from the model prediction
+    Dropout,         //!< no reading arrived at all
+};
+
+const char *healthStateName(HealthState state);
+const char *classificationName(Classification c);
+
+/** How a quarantined stream's value is synthesized. */
+enum class SubstitutionPolicy : uint8_t {
+    /** Hold the last trusted value, decaying toward the model estimate
+     *  with time constant holdDecaySeconds. */
+    HoldLastDecay,
+    /** Use the model estimate directly. */
+    ModelEstimate,
+};
+
+/** All guard tunables (one profile per guard instance). */
+struct GuardConfig
+{
+    /** @name Classification thresholds */
+    /// @{
+    double minValue = -20.0;  //!< plausible floor (degC profile)
+    double maxValue = 150.0;  //!< plausible ceiling
+    double maxRatePerSecond = 2.0; //!< |dv/dt| bound; <= 0 disables
+    /** Model cross-check: |raw - predicted| beyond this is an anomaly
+     *  (<= 0 disables). Only enforced once the stream's model has seen
+     *  modelWarmupSamples trusted samples. */
+    double modelToleranceValue = 10.0;
+    int modelWarmupSamples = 5;
+    /** Stuck-at: over the last stuckWindow samples the raw spread is
+     *  <= stuckEpsilon while the predicted spread is >=
+     *  stuckDriverDelta. */
+    int stuckWindow = 5;
+    double stuckEpsilon = 1e-6;
+    double stuckDriverDelta = 0.5;
+    /// @}
+
+    /** @name State-machine hysteresis */
+    /// @{
+    /** Anomalies while Suspect before the stream is condemned (the
+     *  first anomaly makes it Suspect; this many total condemn it). */
+    int quarantineAnomalies = 3;
+    /** Consecutive Ok samples that clear a Suspect back to Healthy. */
+    int suspectClearSamples = 5;
+    /** Minimum time served in Quarantined before probation starts. */
+    double quarantineMinSeconds = 120.0;
+    /** Consecutive sane raw samples (after the minimum) that move a
+     *  Quarantined stream to Recovering. */
+    int recoveryProbationSamples = 3;
+    /** Consecutive sane raw samples in Recovering before trust is
+     *  restored. */
+    int recoveryCleanSamples = 3;
+    /// @}
+
+    /** @name Substitution */
+    /// @{
+    SubstitutionPolicy substitution = SubstitutionPolicy::HoldLastDecay;
+    /** HoldLastDecay time constant toward the model estimate [s]. */
+    double holdDecaySeconds = 300.0;
+    /// @}
+
+    /** @name Online model */
+    /// @{
+    /** Forgetting factor per trusted sample for the alpha/beta fit and
+     *  the EWMA fallback (closer to 1 = longer memory). */
+    double modelForgetting = 0.98;
+    /// @}
+
+    /** A permissive profile for utilization streams in [0, 1]. */
+    static GuardConfig utilizationProfile();
+};
+
+/** What the guard hands back for one sample. */
+struct TrustedSample
+{
+    /** The value consumers should act on (raw or substituted). */
+    double value = 0.0;
+    /** True only when the stream is Healthy and this sample passed. */
+    bool trusted = false;
+    /** True when `value` is synthesized rather than the raw reading. */
+    bool substituted = false;
+    /** False only on a dropout with no history to substitute from. */
+    bool hasValue = false;
+    HealthState state = HealthState::Healthy;
+    Classification reason = Classification::Ok;
+};
+
+/**
+ * The trust layer itself: a keyed collection of per-stream validators.
+ */
+class SensorGuard
+{
+  public:
+    explicit SensorGuard(GuardConfig config = {},
+                         std::string metricsPrefix = "guard");
+
+    /**
+     * Validate one sample of @p stream taken at @p now.
+     *
+     * @param raw the reading; nullopt = dropout
+     * @param driver optional exogenous model input (e.g. utilization
+     *        for a temperature stream); enables the linear fit and
+     *        stuck-at detection
+     * @param predicted optional external model prediction; overrides
+     *        the internal estimate when present
+     */
+    TrustedSample filter(const std::string &stream, double now,
+                         std::optional<double> raw,
+                         std::optional<double> driver = std::nullopt,
+                         std::optional<double> predicted = std::nullopt);
+
+    const GuardConfig &config() const { return config_; }
+
+    /** @name Introspection (fiddle guard, tests) */
+    /// @{
+    /** Health of one stream; Healthy for streams never seen. */
+    HealthState state(const std::string &stream) const;
+
+    /** Last classification of one stream. */
+    Classification lastReason(const std::string &stream) const;
+
+    /** Seconds the stream has spent in its current state (relative to
+     *  the newest timestamp the guard has seen). */
+    double timeInState(const std::string &stream) const;
+
+    /** Time a stream first entered Quarantined; negative if never. */
+    double quarantinedAt(const std::string &stream) const;
+
+    /** One line per stream: state, reason, substitution, ages. */
+    std::string report() const;
+
+    /** Compact one-line fleet summary. */
+    std::string summaryLine() const;
+
+    /** Per-stream snapshot for results/tests. */
+    struct StreamStatus
+    {
+        std::string stream;
+        HealthState state = HealthState::Healthy;
+        Classification lastReason = Classification::Ok;
+        double timeInState = 0.0;
+        double quarantinedAt = -1.0;
+        uint64_t anomalies = 0;
+        uint64_t substitutions = 0;
+        double lastValue = 0.0;
+    };
+    std::vector<StreamStatus> streamStatuses() const;
+
+    uint64_t samplesTotal() const { return samples_; }
+    uint64_t anomaliesTotal() const { return anomalies_; }
+    uint64_t substitutionsTotal() const { return substitutions_; }
+    uint64_t quarantinesTotal() const { return quarantines_; }
+    uint64_t recoveriesTotal() const { return recoveries_; }
+    size_t streamCount() const { return streams_.size(); }
+    size_t quarantinedCount() const;
+    /// @}
+
+  private:
+    struct Stream
+    {
+        HealthState state = HealthState::Healthy;
+        Classification lastReason = Classification::Ok;
+        double stateSince = 0.0;
+        double quarantinedAt = -1.0;
+
+        bool haveLast = false;
+        double lastRaw = 0.0;
+        double lastRawTime = 0.0;
+        double lastGood = 0.0;     //!< last trusted value
+        double lastGoodTime = 0.0;
+        double lastEffective = 0.0; //!< last value handed out
+        bool haveEffective = false;
+
+        /** Rolling raw/predicted windows for stuck-at detection. */
+        std::deque<double> rawWindow;
+        std::deque<double> predWindow;
+
+        /** Online model: value ~ alpha + beta * driver (recursive
+         *  least squares with forgetting), or EWMA without a driver. */
+        int modelSamples = 0;
+        double meanV = 0.0, meanD = 0.0, covVD = 0.0, varD = 0.0;
+        double ewma = 0.0;
+
+        int anomalyStreak = 0; //!< anomalies in the current episode
+        int cleanStreak = 0;   //!< consecutive Ok classifications
+
+        uint64_t anomalies = 0;
+        uint64_t substitutions = 0;
+    };
+
+    /** Internal model estimate; nullopt before warm-up. */
+    std::optional<double> predict(const Stream &s,
+                                  std::optional<double> driver) const;
+
+    /** Fold a trusted sample into the stream's model. */
+    void learn(Stream &s, double value, std::optional<double> driver);
+
+    Classification classify(const Stream &s, double now, double raw,
+                            std::optional<double> predicted) const;
+
+    void enterState(Stream &s, HealthState next, double now);
+
+    /** Substituted value per the configured policy. */
+    double substitute(const Stream &s, double now,
+                      std::optional<double> predicted) const;
+
+    GuardConfig config_;
+    std::map<std::string, Stream> streams_;
+    double lastNow_ = 0.0;
+
+    uint64_t samples_ = 0;
+    uint64_t anomalies_ = 0;
+    uint64_t substitutions_ = 0;
+    uint64_t quarantines_ = 0;
+    uint64_t recoveries_ = 0;
+    uint64_t dropouts_ = 0;
+
+    metrics::CallbackGuard metricsGuard_;
+};
+
+} // namespace guard
+} // namespace mercury
+
+#endif // MERCURY_GUARD_SENSOR_GUARD_HH

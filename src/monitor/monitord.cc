@@ -25,6 +25,17 @@ Monitord::tick(double now_seconds)
         update.machine = machine_;
         update.component = reading.component;
         update.utilization = reading.utilization;
+        if (guard_) {
+            guard::TrustedSample sample =
+                guard_->filter(machine_ + "." + reading.component,
+                               now_seconds, reading.utilization);
+            if (sample.hasValue) {
+                update.utilization = sample.value;
+                update.substituted = sample.substituted ? 1 : 0;
+                if (sample.substituted)
+                    ++updatesSubstituted_;
+            }
+        }
         update.sequence = sequence_++;
         if (backlogEnabled_ && !online_) {
             if (backlog_.size() >= backlogConfig_.capacity) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "guard/sensor_guard.hh"
 #include "monitor/source.hh"
 #include "net/faults.hh"
 #include "net/udp.hh"
@@ -51,7 +52,21 @@ class Monitord
     /** Sample once and ship every reading. Call once per interval. */
     void tick(double now_seconds);
 
+    /**
+     * Route every sampled reading through a sensor trust layer
+     * (borrowed; use GuardConfig::utilizationProfile() for the
+     * bounds). Implausible samples ship their substitute with the
+     * update's `substituted` trust tag set, so the solver never
+     * integrates a wedged utilization counter as real heat — and can
+     * still see that it happened.
+     */
+    void setGuard(guard::SensorGuard *guard) { guard_ = guard; }
+
     uint64_t updatesSent() const { return updatesSent_; }
+
+    /** Updates shipped with a guard-substituted value. */
+    uint64_t updatesSubstituted() const { return updatesSubstituted_; }
+
     const std::string &machine() const { return machine_; }
 
     /** @name Outage backlog
@@ -133,7 +148,9 @@ class Monitord
     std::string machine_;
     std::unique_ptr<UtilizationSource> source_;
     Sink sink_;
+    guard::SensorGuard *guard_ = nullptr;
     uint64_t updatesSent_ = 0;
+    uint64_t updatesSubstituted_ = 0;
     uint64_t sequence_ = 0;
 
     bool backlogEnabled_ = false;

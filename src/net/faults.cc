@@ -1,6 +1,7 @@
 #include "net/faults.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 namespace mercury {
@@ -151,6 +152,75 @@ FaultyChannel::recv(void *buffer, size_t capacity, double timeout_seconds)
     }
     clock_ = deadline;
     return std::nullopt;
+}
+
+const char *
+sensorFaultModeName(SensorFaultSpec::Mode mode)
+{
+    switch (mode) {
+      case SensorFaultSpec::Mode::None: return "none";
+      case SensorFaultSpec::Mode::StuckAt: return "stuck-at";
+      case SensorFaultSpec::Mode::Spike: return "spike";
+      case SensorFaultSpec::Mode::Drift: return "drift";
+      case SensorFaultSpec::Mode::Dropout: return "dropout";
+    }
+    return "?";
+}
+
+SensorFaultInjector::SensorFaultInjector(const SensorFaultSpec &spec)
+    : spec_(spec), rng_(spec.seed)
+{
+}
+
+bool
+SensorFaultInjector::activeAt(double now) const
+{
+    return spec_.mode != SensorFaultSpec::Mode::None &&
+           now >= spec_.startSeconds && now < spec_.endSeconds;
+}
+
+std::optional<double>
+SensorFaultInjector::apply(double now, std::optional<double> raw)
+{
+    ++counters_.readings;
+    if (!activeAt(now))
+        return raw;
+    switch (spec_.mode) {
+      case SensorFaultSpec::Mode::None:
+        return raw;
+      case SensorFaultSpec::Mode::StuckAt:
+        if (!haveStuck_) {
+            stuckValue_ = std::isnan(spec_.stuckValue)
+                              ? raw.value_or(0.0)
+                              : spec_.stuckValue;
+            haveStuck_ = true;
+        }
+        ++counters_.faulted;
+        return stuckValue_;
+      case SensorFaultSpec::Mode::Spike:
+        if (raw && rng_.chance(spec_.spikeProbability)) {
+            ++counters_.faulted;
+            return *raw + spec_.spikeMagnitude;
+        }
+        return raw;
+      case SensorFaultSpec::Mode::Drift:
+        if (!raw)
+            return raw;
+        if (!driftStarted_) {
+            driftStarted_ = true;
+            driftStart_ = now;
+        }
+        ++counters_.faulted;
+        return *raw + spec_.driftPerSecond * (now - driftStart_);
+      case SensorFaultSpec::Mode::Dropout:
+        if (rng_.chance(spec_.dropProbability)) {
+            ++counters_.faulted;
+            ++counters_.dropped;
+            return std::nullopt;
+        }
+        return raw;
+    }
+    return raw;
 }
 
 } // namespace net

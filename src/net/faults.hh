@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -174,6 +175,72 @@ class FaultyChannel final : public ClientChannel
     double clock_ = 0.0;
     uint64_t nextEventId_ = 0;
     std::deque<Event> events_; //!< kept sorted by (time, id)
+};
+
+/**
+ * Reading-level fault shape for one sensor stream (paper-side sensor
+ * failures rather than network failures: the datagram arrives fine,
+ * the *value* is wrong). Active inside [startSeconds, endSeconds).
+ */
+struct SensorFaultSpec
+{
+    enum class Mode : uint8_t {
+        None,    //!< pass-through
+        StuckAt, //!< reading freezes (at stuckValue, or first faulted)
+        Spike,   //!< occasional +spikeMagnitude excursions
+        Drift,   //!< reading creeps away at driftPerSecond
+        Dropout, //!< reading goes missing with dropProbability
+    };
+
+    Mode mode = Mode::None;
+    double startSeconds = 0.0;
+    double endSeconds = 1e18;
+    /** StuckAt: frozen value; NaN freezes at the first faulted
+     *  reading. */
+    double stuckValue = std::numeric_limits<double>::quiet_NaN();
+    double spikeProbability = 0.2;
+    double spikeMagnitude = 40.0;
+    double driftPerSecond = 0.01;
+    double dropProbability = 1.0;
+    uint64_t seed = 0x73656e73; //!< PRNG seed ('sens')
+};
+
+const char *sensorFaultModeName(SensorFaultSpec::Mode mode);
+
+/**
+ * Applies one SensorFaultSpec to a stream of readings. Seeded and
+ * deterministic like FaultInjector; counters let tests compare what
+ * was corrupted against what the guard caught.
+ */
+class SensorFaultInjector
+{
+  public:
+    explicit SensorFaultInjector(const SensorFaultSpec &spec);
+
+    /** Transform one reading taken at @p now (nullopt = no reading). */
+    std::optional<double> apply(double now, std::optional<double> raw);
+
+    /** True when the fault window covers @p now. */
+    bool activeAt(double now) const;
+
+    struct Counters
+    {
+        uint64_t readings = 0; //!< readings seen
+        uint64_t faulted = 0;  //!< readings altered
+        uint64_t dropped = 0;  //!< readings suppressed (Dropout)
+    };
+
+    const Counters &counters() const { return counters_; }
+    const SensorFaultSpec &spec() const { return spec_; }
+
+  private:
+    SensorFaultSpec spec_;
+    Rng rng_;
+    Counters counters_;
+    bool haveStuck_ = false;
+    double stuckValue_ = 0.0;
+    bool driftStarted_ = false;
+    double driftStart_ = 0.0;
 };
 
 } // namespace net

@@ -212,6 +212,7 @@ encode(const UtilizationUpdate &msg)
     writer.f64(msg.utilization);
     writer.u64(msg.sequence);
     writer.u32(msg.backlog);
+    writer.u8(msg.substituted);
     return packet;
 }
 
@@ -360,6 +361,7 @@ decode(const Packet &packet)
         msg.utilization = reader.f64();
         msg.sequence = reader.u64();
         msg.backlog = reader.u32();
+        msg.substituted = reader.u8();
         if (msg.machine.empty() || msg.component.empty())
             return std::nullopt;
         return msg;

@@ -71,6 +71,12 @@ struct UtilizationUpdate
      *  operation. Occupies previously zero-padded packet bytes, so old
      *  senders decode as backlog 0. */
     uint32_t backlog = 0;
+
+    /** Trust tag: nonzero when the sending monitord's guard replaced
+     *  an implausible or missing reading with a substitute. Same
+     *  padding-byte trick as backlog — old senders decode as 0, i.e.
+     *  trusted, which is what their unguarded readings always were. */
+    uint8_t substituted = 0;
 };
 
 /** sensor library -> solver: read one emulated sensor. */

@@ -4,6 +4,7 @@
 
 #include "core/solver.hh"
 #include "fiddle/command.hh"
+#include "guard/sensor_guard.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -79,6 +80,10 @@ SolverService::setMetricsRegistry(metrics::Registry *registry)
     metricsGuard_.add(reg, "net_updates_rejected_total",
                       "utilization updates with no powered target node",
                       [this] { return double(updatesRejected()); });
+    metricsGuard_.add(reg, "net_updates_substituted_total",
+                      "updates whose sender flagged a guard-substituted "
+                      "value",
+                      [this] { return double(updatesSubstituted()); });
     metricsGuard_.add(reg, "net_sensor_reads_total",
                       "sensor temperatures served (single + batched)",
                       [this] { return double(sensorReads()); });
@@ -328,6 +333,8 @@ SolverService::onUtilization(const UtilizationUpdate &msg,
     // through handleQueued, which skips this to avoid double counting.
     if (note_sequence)
         noteSequence(msg.machine, msg.sequence, msg.backlog);
+    if (msg.substituted)
+        bump(updatesSubstituted_);
 
     auto ref = resolveCached(msg.machine, msg.component);
     if (!ref || !solver_.isPowered(*ref)) {
@@ -439,6 +446,16 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
         return encode(reply);
     }
 
+    // `fiddle guard ...`: the sensor trust layer's health. Routed here
+    // because the guard belongs to the solver thread, and the request
+    // plane already queues every non-stats fiddle line onto it.
+    if (line == "guard" || startsWith(line, "guard ")) {
+        return onGuardCommand(trim(line.substr(5)), std::move(reply));
+    }
+    if (line == "fiddle guard" || startsWith(line, "fiddle guard ")) {
+        return onGuardCommand(trim(line.substr(12)), std::move(reply));
+    }
+
     fiddle::FiddleResult result =
         fiddle::applyLine(solver_, msg.commandLine);
     reply.status = result.ok ? Status::Ok : Status::BadCommand;
@@ -446,6 +463,72 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
     reply.message = result.message.substr(0, 110);
     if (result.ok)
         bump(fiddlesApplied_);
+    return encode(reply);
+}
+
+Packet
+SolverService::onGuardCommand(const std::string &args, FiddleReply reply)
+{
+    if (!sensorGuard_) {
+        reply.status = Status::BadCommand;
+        reply.message = "no sensor guard installed";
+        return encode(reply);
+    }
+    guard::SensorGuard &guard = *sensorGuard_;
+    if (args.empty()) {
+        reply.status = Status::Ok;
+        reply.message = guard.summaryLine().substr(0, 110);
+        return encode(reply);
+    }
+    std::vector<std::string> words = splitWhitespace(args);
+    if (words[0] == "page") {
+        size_t offset = 0;
+        if (words.size() > 1) {
+            auto parsed = parseInt(words[1]);
+            if (!parsed || *parsed < 0) {
+                reply.status = Status::BadCommand;
+                reply.message = "usage: guard page <offset>";
+                return encode(reply);
+            }
+            offset = static_cast<size_t>(*parsed);
+        }
+        // Offset 0 renders a fresh report; later pages read the cache
+        // so one client walks one consistent snapshot.
+        if (offset == 0 || guardPageCache_.empty())
+            guardPageCache_ = guard.report();
+        if (offset >= guardPageCache_.size()) {
+            reply.status = offset == 0 ? Status::Ok : Status::BadCommand;
+            reply.message = "0|";
+            return encode(reply);
+        }
+        // "<nextOffset>|<chunk>" inside the 110-byte reply field; 96
+        // bytes of chunk leaves room for any plausible offset.
+        size_t take =
+            std::min<size_t>(96, guardPageCache_.size() - offset);
+        size_t end = offset + take;
+        size_t next = end < guardPageCache_.size() ? end : 0;
+        reply.status = Status::Ok;
+        reply.message = format("%zu|", next) +
+                        guardPageCache_.substr(offset, take);
+        return encode(reply);
+    }
+    // `guard <stream>`: one stream's health line.
+    for (const auto &status : guard.streamStatuses()) {
+        if (status.stream != words[0])
+            continue;
+        reply.status = Status::Ok;
+        reply.message =
+            format("%s %s reason=%s t_in_state=%.0fs last=%.2f",
+                   status.stream.c_str(),
+                   guard::healthStateName(status.state),
+                   guard::classificationName(status.lastReason),
+                   status.timeInState, status.lastValue)
+                .substr(0, 110);
+        return encode(reply);
+    }
+    reply.status = Status::BadCommand;
+    reply.message = "unknown stream '" + words[0] + "'";
+    reply.message = reply.message.substr(0, 110);
     return encode(reply);
 }
 

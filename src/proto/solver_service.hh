@@ -38,6 +38,10 @@
 
 namespace mercury {
 
+namespace guard {
+class SensorGuard;
+} // namespace guard
+
 namespace proto {
 
 /**
@@ -71,6 +75,12 @@ class SolverService
     /// @{
     uint64_t updatesApplied() const { return load(updatesApplied_); }
     uint64_t updatesRejected() const { return load(updatesRejected_); }
+
+    /** Updates whose sender flagged the value as guard-substituted. */
+    uint64_t updatesSubstituted() const
+    {
+        return load(updatesSubstituted_);
+    }
     uint64_t sensorReads() const { return load(sensorReads_); }
     uint64_t multiReads() const { return load(multiReads_); }
     uint64_t fiddlesApplied() const { return load(fiddlesApplied_); }
@@ -142,6 +152,22 @@ class SolverService
     uint64_t backlogDepth() const;
 
     /**
+     * Wire the sensor trust layer in (borrowed, may be null). Enables
+     * the `fiddle guard` command family: `guard` (fleet summary),
+     * `guard page <offset>` (paged per-stream report, replies are
+     * "<nextOffset>|<chunk>", nextOffset 0 = done), and `guard
+     * <stream>` (one stream's health line). Solver-thread only, like
+     * the guard itself — the request plane already queues non-stats
+     * fiddle lines onto that thread.
+     */
+    void setSensorGuard(guard::SensorGuard *guard)
+    {
+        sensorGuard_ = guard;
+    }
+
+    guard::SensorGuard *sensorGuard() const { return sensorGuard_; }
+
+    /**
      * Wire the metrics subsystem in (borrowed, may be null). The
      * service exports its receive/loss counters into @p registry as
      * callbacks (unregistered automatically on destruction) and
@@ -182,6 +208,7 @@ class SolverService
     Packet onSensorRequest(const SensorRequest &msg);
     Packet onMultiReadRequest(const MultiReadRequest &msg);
     Packet onFiddleRequest(const FiddleRequest &msg);
+    Packet onGuardCommand(const std::string &args, FiddleReply reply);
 
     static uint64_t
     load(const std::atomic<uint64_t> &counter)
@@ -263,6 +290,7 @@ class SolverService
 
     std::atomic<uint64_t> updatesApplied_{0};
     std::atomic<uint64_t> updatesRejected_{0};
+    std::atomic<uint64_t> updatesSubstituted_{0};
     std::atomic<uint64_t> sensorReads_{0};
     std::atomic<uint64_t> multiReads_{0};
     std::atomic<uint64_t> fiddlesApplied_{0};
@@ -279,6 +307,13 @@ class SolverService
      *  fresh on an offset-0 MetricsRequest, served verbatim for the
      *  follow-up pages so one client sees one consistent snapshot. */
     std::string metricsPageCache_;
+
+    /** Sensor trust layer (borrowed; may be null). */
+    guard::SensorGuard *sensorGuard_ = nullptr;
+
+    /** Guard report being paged out by `guard page <offset>`,
+     *  re-rendered on offset 0 (solver-thread only, like the guard). */
+    std::string guardPageCache_;
 };
 
 } // namespace proto

@@ -16,26 +16,45 @@ SensorClient::SensorClient(std::unique_ptr<Transport> transport,
 std::optional<double>
 SensorClient::read(const std::string &component)
 {
+    return readDetailed(component).value;
+}
+
+SensorClient::ReadOutcome
+SensorClient::readDetailed(const std::string &component)
+{
     proto::SensorRequest request;
     request.requestId = nextRequestId_++;
     request.machine = machine_;
     request.component = component;
 
+    ReadOutcome out;
     auto reply = transport_->roundTrip(proto::encode(request));
-    if (!reply)
-        return std::nullopt;
-    const auto *sensor_reply = std::get_if<proto::SensorReply>(&*reply);
-    if (!sensor_reply || sensor_reply->requestId != request.requestId ||
-        sensor_reply->status != proto::Status::Ok) {
-        return std::nullopt;
+    const proto::SensorReply *sensor_reply =
+        reply ? std::get_if<proto::SensorReply>(&*reply) : nullptr;
+    if (!sensor_reply || sensor_reply->requestId != request.requestId) {
+        out.noReply = true;
+        return out;
     }
-    return sensor_reply->temperature;
+    out.status = sensor_reply->status;
+    if (out.status == proto::Status::Ok)
+        out.value = sensor_reply->temperature;
+    return out;
 }
 
 std::vector<std::optional<double>>
 SensorClient::readMany(const std::vector<std::string> &components)
 {
-    std::vector<std::optional<double>> out(components.size());
+    std::vector<ReadOutcome> detailed = readManyDetailed(components);
+    std::vector<std::optional<double>> out(detailed.size());
+    for (size_t i = 0; i < detailed.size(); ++i)
+        out[i] = detailed[i].value;
+    return out;
+}
+
+std::vector<SensorClient::ReadOutcome>
+SensorClient::readManyDetailed(const std::vector<std::string> &components)
+{
+    std::vector<ReadOutcome> out(components.size());
     size_t begin = 0;
     while (begin < components.size()) {
         // Grow the chunk greedily while the packed request still fits.
@@ -53,13 +72,13 @@ SensorClient::readMany(const std::vector<std::string> &components)
             // This one name alone does not fit a request (too long for
             // the wire); the per-sensor path shares the same limit and
             // will report the failure.
-            out[begin] = read(components[begin]);
+            out[begin] = readDetailed(components[begin]);
             ++begin;
             continue;
         }
         if (multiReadUnsupported_) {
             for (size_t i = begin; i < end; ++i)
-                out[i] = read(components[i]);
+                out[i] = readDetailed(components[i]);
             begin = end;
             continue;
         }
@@ -83,18 +102,27 @@ SensorClient::readMany(const std::vector<std::string> &components)
                      "on (old daemon?)");
             }
             for (size_t i = begin; i < end; ++i)
-                out[i] = read(components[i]);
+                out[i] = readDetailed(components[i]);
             begin = end;
             continue;
         }
-        if (multi->status == proto::Status::Ok &&
-            multi->entries.size() == chunk.size()) {
+        if (multi->status != proto::Status::Ok) {
+            // Machine-level rejection: every component carries the
+            // daemon's verdict, not an anonymous failure.
+            for (size_t i = begin; i < end; ++i)
+                out[i].status = multi->status;
+        } else if (multi->entries.size() != chunk.size()) {
+            // Malformed reply (entry count disagrees): InternalError,
+            // distinct from both a timeout and a daemon verdict.
+            for (size_t i = begin; i < end; ++i)
+                out[i].status = proto::Status::InternalError;
+        } else {
             for (size_t i = 0; i < chunk.size(); ++i) {
+                out[begin + i].status = multi->entries[i].status;
                 if (multi->entries[i].status == proto::Status::Ok)
-                    out[begin + i] = multi->entries[i].temperature;
+                    out[begin + i].value = multi->entries[i].temperature;
             }
         }
-        // Machine-level failure leaves the whole chunk nullopt.
         begin = end;
     }
     return out;

@@ -35,6 +35,24 @@ class SensorClient
     std::optional<double> read(const std::string &component);
 
     /**
+     * One component's answer, with the failure cause preserved.
+     * Exactly one of three shapes: a value (status Ok), a daemon
+     * verdict (status != Ok, noReply false), or silence (noReply
+     * true — timeout or mismatched reply; status is meaningless).
+     * The distinction matters to fault handling: UnknownComponent is
+     * a configuration bug, a timeout is a dropout.
+     */
+    struct ReadOutcome
+    {
+        std::optional<double> value; //!< set iff status == Ok
+        proto::Status status = proto::Status::InternalError;
+        bool noReply = false; //!< no usable reply from the daemon
+    };
+
+    /** Read one component with the failure cause preserved. */
+    ReadOutcome readDetailed(const std::string &component);
+
+    /**
      * Read several components, preferably in one MultiReadRequest
      * datagram per chunk of kMaxMultiReadComponents. An old daemon
      * that predates the batched RPC drops the unknown message type,
@@ -45,6 +63,16 @@ class SensorClient
      */
     std::vector<std::optional<double>>
     readMany(const std::vector<std::string> &components);
+
+    /**
+     * readMany with per-component failure causes. A batched reply
+     * propagates each entry's own status distinctly — one unknown
+     * component never taints its chunk-mates, and a machine-level
+     * rejection stamps every component with that verdict rather than
+     * an anonymous failure.
+     */
+    std::vector<ReadOutcome>
+    readManyDetailed(const std::vector<std::string> &components);
 
     /**
      * False once this client has fallen back to per-sensor reads

@@ -202,6 +202,17 @@ struct ControllerRig
         report.utilizations = {{"cpu", 0.2}, {"disk", 0.1}};
         return report;
     }
+
+    TempdReport
+    degradedReport(const std::string &machine)
+    {
+        TempdReport report;
+        report.machine = machine;
+        report.kind = TempdReport::Kind::Degraded;
+        report.degraded = true;
+        report.utilizations = {{"cpu", 0.4}, {"disk", 0.1}};
+        return report;
+    }
 };
 
 TEST(FreonBase, HotReportHalvesShareForOutputOne)
@@ -449,6 +460,145 @@ TEST(FreonEC, FallsBackToBasePolicyWhenAllNeeded)
     EXPECT_TRUE(rig.balancer.server("m1").isOn());
     EXPECT_LT(rig.balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
     EXPECT_TRUE(rig.controller->isRestricted("m1"));
+}
+
+TEST(Tempd, ExactlyAtTriggerThresholdStaysSilent)
+{
+    TempdRig rig;
+    rig.temps["cpu"] = 67.0; // T_h exactly: the trigger is strict
+    rig.tempd->tick();
+    EXPECT_TRUE(rig.reports.empty());
+    EXPECT_FALSE(rig.tempd->restricted());
+}
+
+TEST(Tempd, BoundaryOscillationHoldsRestrictionWithoutFlapping)
+{
+    // A temperature dithering across T_h = 67 must not release the
+    // restriction on the cool half-cycles: the T_l..T_h deadband is
+    // the hysteresis that prevents flapping.
+    TempdRig rig;
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        rig.temps["cpu"] = 67.1;
+        rig.tempd->tick(); // Hot repeat
+        rig.temps["cpu"] = 66.9;
+        rig.tempd->tick(); // in the deadband: silent, still restricted
+    }
+    ASSERT_EQ(rig.reports.size(), 5u);
+    for (const TempdReport &report : rig.reports)
+        EXPECT_EQ(report.kind, TempdReport::Kind::Hot);
+    EXPECT_TRUE(rig.tempd->restricted());
+
+    // The release threshold is strict too: exactly T_l holds on.
+    rig.temps["cpu"] = 64.0;
+    rig.tempd->tick();
+    EXPECT_EQ(rig.reports.size(), 5u);
+    EXPECT_TRUE(rig.tempd->restricted());
+
+    rig.temps["cpu"] = 63.9; // below T_l at last: one Cool, then quiet
+    rig.tempd->tick();
+    ASSERT_EQ(rig.reports.size(), 6u);
+    EXPECT_EQ(rig.reports.back().kind, TempdReport::Kind::Cool);
+    EXPECT_FALSE(rig.tempd->restricted());
+}
+
+TEST(FreonBase, OscillationAtCapBoundaryBoundsTransitions)
+{
+    // However many Hot repeats an episode produces, the controller
+    // books exactly one restriction transition per edge — the
+    // freon_restriction_transitions metric counts episodes, not
+    // reports, so boundary dithering cannot flap the cap on and off.
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.simulator.runUntil(sim::seconds(30));
+    for (int i = 0; i < 6; ++i)
+        rig.controller->onReport(rig.hotReport("m1", 0.05));
+    EXPECT_EQ(rig.controller->restrictionTransitions(), 1u);
+    EXPECT_TRUE(rig.controller->isRestricted("m1"));
+
+    rig.controller->onReport(rig.coolReport("m1"));
+    EXPECT_EQ(rig.controller->restrictionTransitions(), 2u);
+
+    // A second full episode costs exactly two more transitions.
+    for (int i = 0; i < 6; ++i)
+        rig.controller->onReport(rig.hotReport("m1", 0.05));
+    rig.controller->onReport(rig.coolReport("m1"));
+    EXPECT_EQ(rig.controller->restrictionTransitions(), 4u);
+    EXPECT_FALSE(rig.controller->isRestricted("m1"));
+}
+
+TEST(FreonBase, FailSafeAppliesOncePerDegradedEpisode)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    rig.simulator.runUntil(sim::seconds(30));
+
+    rig.controller->onReport(rig.degradedReport("m1"));
+    EXPECT_EQ(rig.controller->failSafeApplications(), 1u);
+    EXPECT_TRUE(rig.controller->isRestricted("m1"));
+    EXPECT_EQ(rig.controller->degradedServers(), 1);
+    int weight = rig.balancer.weight("m1");
+    EXPECT_LT(weight, lb::LoadBalancer::kDefaultWeight);
+
+    // The report repeats every tempd period; compounding the weight
+    // rescaling each time would starve a machine whose only crime is
+    // a broken thermistor.
+    rig.controller->onReport(rig.degradedReport("m1"));
+    rig.controller->onReport(rig.degradedReport("m1"));
+    EXPECT_EQ(rig.controller->failSafeApplications(), 1u);
+    EXPECT_EQ(rig.balancer.weight("m1"), weight);
+    EXPECT_EQ(rig.controller->degradedReports(), 3u);
+
+    // A trusted Cool ends the episode and restores full service...
+    rig.controller->onReport(rig.coolReport("m1"));
+    EXPECT_FALSE(rig.controller->isRestricted("m1"));
+    EXPECT_EQ(rig.controller->degradedServers(), 0);
+    EXPECT_EQ(rig.balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
+
+    // ...and a later trust loss is a fresh episode, actuated anew.
+    rig.controller->onReport(rig.degradedReport("m1"));
+    EXPECT_EQ(rig.controller->failSafeApplications(), 2u);
+    EXPECT_TRUE(rig.controller->isRestricted("m1"));
+}
+
+TEST(FreonBase, DegradedNeverRaisesAnInstalledCap)
+{
+    ControllerRig rig(4, PolicyKind::FreonBase);
+    // Long-lived load so the connection average is well above the
+    // tight cap installed below.
+    cluster::Request request;
+    for (int i = 0; i < 40; ++i) {
+        request.id = i;
+        request.cpuSeconds = 1000.0;
+        rig.balancer.submit(request);
+    }
+    rig.simulator.runUntil(sim::seconds(30));
+    ASSERT_GE(rig.controller->averageConnections("m1"), 3.0);
+
+    // A tighter cap is already installed (say by an earlier episode
+    // whose load has since returned). The fail-safe recomputes a cap
+    // from the connection average — but relaxing on data we cannot
+    // verify is forbidden, so the installed cap stands.
+    rig.balancer.setConnectionCap("m1", 2);
+    rig.controller->onReport(rig.degradedReport("m1"));
+    EXPECT_EQ(rig.balancer.connectionCap("m1"), 2);
+    EXPECT_EQ(rig.controller->failSafeApplications(), 1u);
+
+    // Once trust returns, the next episode may use the average again.
+    rig.controller->onReport(rig.coolReport("m1"));
+    EXPECT_EQ(rig.balancer.connectionCap("m1"), 0);
+    rig.controller->onReport(rig.hotReport("m1", 1.0));
+    EXPECT_GT(rig.balancer.connectionCap("m1"), 2);
+}
+
+TEST(Freon, TraditionalPolicyIgnoresDegraded)
+{
+    // Traditional thermal management has no load-shedding actuators;
+    // the degraded report is counted but must not restrict anything.
+    ControllerRig rig(4, PolicyKind::Traditional);
+    rig.simulator.runUntil(sim::seconds(30));
+    rig.controller->onReport(rig.degradedReport("m1"));
+    EXPECT_EQ(rig.controller->degradedReports(), 1u);
+    EXPECT_EQ(rig.controller->failSafeApplications(), 0u);
+    EXPECT_FALSE(rig.controller->isRestricted("m1"));
+    EXPECT_EQ(rig.balancer.weight("m1"), lb::LoadBalancer::kDefaultWeight);
 }
 
 } // namespace

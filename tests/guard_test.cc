@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Unit tests for the sensor trust layer: classification, the health
+ * state machine and its hysteresis, substitution policies, the online
+ * model, sensor-level fault injection, and the `fiddle guard`
+ * introspection served by SolverService.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/solver.hh"
+#include "guard/sensor_guard.hh"
+#include "net/faults.hh"
+#include "proto/solver_service.hh"
+#include "sensor/client.hh"
+#include "sensor/transport.hh"
+#include "util/strings.hh"
+
+namespace mercury {
+namespace {
+
+using guard::Classification;
+using guard::GuardConfig;
+using guard::HealthState;
+using guard::SensorGuard;
+using guard::TrustedSample;
+
+TEST(Guard, HealthySamplesPassRawAndTrusted)
+{
+    SensorGuard guard;
+    for (int i = 0; i < 20; ++i) {
+        TrustedSample sample =
+            guard.filter("m1.cpu", i * 1.0, 40.0 + 0.1 * i);
+        ASSERT_TRUE(sample.hasValue);
+        EXPECT_TRUE(sample.trusted);
+        EXPECT_FALSE(sample.substituted);
+        EXPECT_DOUBLE_EQ(sample.value, 40.0 + 0.1 * i);
+        EXPECT_EQ(sample.state, HealthState::Healthy);
+        EXPECT_EQ(sample.reason, Classification::Ok);
+    }
+    EXPECT_EQ(guard.anomaliesTotal(), 0u);
+    EXPECT_EQ(guard.substitutionsTotal(), 0u);
+    EXPECT_EQ(guard.samplesTotal(), 20u);
+    EXPECT_EQ(guard.streamCount(), 1u);
+}
+
+TEST(Guard, OutOfRangeIsSubstitutedFromHistory)
+{
+    SensorGuard guard;
+    for (int i = 0; i < 10; ++i)
+        guard.filter("s", i * 1.0, 42.0);
+    TrustedSample bad = guard.filter("s", 10.0, 500.0);
+    EXPECT_EQ(bad.reason, Classification::OutOfRange);
+    EXPECT_FALSE(bad.trusted);
+    EXPECT_TRUE(bad.substituted);
+    ASSERT_TRUE(bad.hasValue);
+    EXPECT_NEAR(bad.value, 42.0, 1.0); // hold-last, not the lie
+    EXPECT_EQ(bad.state, HealthState::Suspect);
+    EXPECT_EQ(guard.anomaliesTotal(), 1u);
+}
+
+TEST(Guard, OutOfRangeWithNoHistoryClampsIntoRange)
+{
+    SensorGuard guard;
+    TrustedSample first = guard.filter("s", 0.0, 500.0);
+    EXPECT_EQ(first.reason, Classification::OutOfRange);
+    ASSERT_TRUE(first.hasValue);
+    EXPECT_TRUE(first.substituted);
+    EXPECT_DOUBLE_EQ(first.value, guard.config().maxValue);
+
+    TrustedSample low = guard.filter("s2", 0.0, -300.0);
+    ASSERT_TRUE(low.hasValue);
+    EXPECT_DOUBLE_EQ(low.value, guard.config().minValue);
+}
+
+TEST(Guard, RateSpikeDetected)
+{
+    SensorGuard guard; // maxRatePerSecond = 2.0
+    guard.filter("s", 0.0, 40.0);
+    TrustedSample spike = guard.filter("s", 1.0, 50.0);
+    EXPECT_EQ(spike.reason, Classification::RateSpike);
+    EXPECT_TRUE(spike.substituted);
+
+    // The same step over a long enough interval is plausible.
+    SensorGuard slow;
+    slow.filter("s", 0.0, 40.0);
+    TrustedSample gentle = slow.filter("s", 10.0, 50.0);
+    EXPECT_EQ(gentle.reason, Classification::Ok);
+}
+
+TEST(Guard, DropoutSubstitutesFromLastGood)
+{
+    SensorGuard guard;
+    for (int i = 0; i < 5; ++i)
+        guard.filter("s", i * 1.0, 45.0);
+    TrustedSample gone = guard.filter("s", 5.0, std::nullopt);
+    EXPECT_EQ(gone.reason, Classification::Dropout);
+    ASSERT_TRUE(gone.hasValue);
+    EXPECT_TRUE(gone.substituted);
+    EXPECT_NEAR(gone.value, 45.0, 1.0);
+
+    // A dropout on a stream with no history has nothing to offer.
+    TrustedSample empty = guard.filter("fresh", 0.0, std::nullopt);
+    EXPECT_FALSE(empty.hasValue);
+}
+
+TEST(Guard, StateMachineQuarantineAndRecovery)
+{
+    SensorGuard guard; // 3 anomalies condemn; 120 s minimum; 3 + 3 out
+    double t = 0.0;
+    for (int i = 0; i < 10; ++i, t += 1.0)
+        guard.filter("s", t, 40.0);
+
+    // Three straight lies condemn the stream.
+    EXPECT_EQ(guard.filter("s", t, 500.0).state, HealthState::Suspect);
+    t += 1.0;
+    EXPECT_EQ(guard.filter("s", t, 500.0).state, HealthState::Suspect);
+    t += 1.0;
+    EXPECT_EQ(guard.filter("s", t, 500.0).state,
+              HealthState::Quarantined);
+    double quarantined_at = t;
+    EXPECT_EQ(guard.quarantinesTotal(), 1u);
+    EXPECT_DOUBLE_EQ(guard.quarantinedAt("s"), quarantined_at);
+    t += 1.0;
+
+    // Sane readings before quarantineMinSeconds do not restore trust.
+    for (int i = 0; i < 20; ++i, t += 1.0) {
+        TrustedSample sample = guard.filter("s", t, 40.0);
+        EXPECT_EQ(sample.state, HealthState::Quarantined);
+        EXPECT_TRUE(sample.substituted);
+        EXPECT_FALSE(sample.trusted);
+    }
+
+    // After the minimum, three sane samples start probation...
+    t = quarantined_at + guard.config().quarantineMinSeconds + 1.0;
+    guard.filter("s", t, 40.0);
+    guard.filter("s", t + 1.0, 40.0);
+    TrustedSample probation = guard.filter("s", t + 2.0, 40.0);
+    EXPECT_EQ(probation.state, HealthState::Recovering);
+    EXPECT_FALSE(probation.trusted); // on probation, not yet trusted
+
+    // ...and three more restore full trust.
+    guard.filter("s", t + 3.0, 40.0);
+    guard.filter("s", t + 4.0, 40.0);
+    TrustedSample healed = guard.filter("s", t + 5.0, 40.0);
+    EXPECT_EQ(healed.state, HealthState::Healthy);
+    EXPECT_TRUE(healed.trusted);
+    EXPECT_EQ(guard.recoveriesTotal(), 1u);
+}
+
+TEST(Guard, SuspectClearsWithoutQuarantine)
+{
+    // A dropout is the anomaly here on purpose: it does not pollute
+    // the rate-of-change history the way an absurd value would, so
+    // the follow-up samples are genuinely clean.
+    SensorGuard guard;
+    double t = 0.0;
+    for (int i = 0; i < 5; ++i, t += 1.0)
+        guard.filter("s", t, 40.0);
+    guard.filter("s", t, std::nullopt); // one isolated dropout
+    t += 1.0;
+    EXPECT_EQ(guard.state("s"), HealthState::Suspect);
+    for (int i = 0; i < guard.config().suspectClearSamples; ++i, t += 1.0)
+        guard.filter("s", t, 40.0);
+    EXPECT_EQ(guard.state("s"), HealthState::Healthy);
+    EXPECT_EQ(guard.quarantinesTotal(), 0u);
+}
+
+TEST(Guard, RelapseInRecoveryReQuarantines)
+{
+    GuardConfig config;
+    config.quarantineMinSeconds = 10.0;
+    SensorGuard guard(config);
+    double t = 0.0;
+    for (int i = 0; i < 5; ++i, t += 1.0)
+        guard.filter("s", t, 40.0);
+    for (int i = 0; i < 3; ++i, t += 1.0)
+        guard.filter("s", t, std::nullopt); // sustained dropout
+    ASSERT_EQ(guard.state("s"), HealthState::Quarantined);
+    t += config.quarantineMinSeconds;
+    for (int i = 0; i < 3; ++i, t += 1.0)
+        guard.filter("s", t, 40.0);
+    ASSERT_EQ(guard.state("s"), HealthState::Recovering);
+    guard.filter("s", t, 500.0); // relapse: back to quarantine at once
+    EXPECT_EQ(guard.state("s"), HealthState::Quarantined);
+    EXPECT_EQ(guard.quarantinesTotal(), 2u);
+}
+
+TEST(Guard, StuckAtFiresOnlyWhenPredictionMoves)
+{
+    // External predictions isolate the detector from the online model:
+    // the reading froze at 35 while the model says 30 <-> 40.
+    SensorGuard guard;
+    double t = 0.0;
+    int stuck_window = guard.config().stuckWindow;
+    bool fired = false;
+    for (int i = 0; i < 3 * stuck_window; ++i, t += 10.0) {
+        double predicted = i % 2 == 0 ? 30.0 : 40.0;
+        TrustedSample sample =
+            guard.filter("s", t, 35.0, std::nullopt, predicted);
+        if (sample.reason == Classification::StuckAt) {
+            fired = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(fired);
+
+    // A genuinely steady sensor (steady prediction) is never flagged.
+    SensorGuard steady;
+    for (int i = 0; i < 4 * stuck_window; ++i) {
+        TrustedSample sample =
+            steady.filter("s", i * 10.0, 35.0, std::nullopt, 35.0);
+        EXPECT_EQ(sample.reason, Classification::Ok) << i;
+    }
+    EXPECT_EQ(steady.anomaliesTotal(), 0u);
+}
+
+TEST(Guard, ModelDivergenceAfterWarmup)
+{
+    SensorGuard guard; // tolerance 10, warmup 5
+    double t = 0.0;
+    for (int i = 0; i < 8; ++i, t += 10.0)
+        guard.filter("s", t, 30.0);
+    // 45 is in range and slow enough, but 15 degC from the model.
+    TrustedSample diverged = guard.filter("s", t, 45.0);
+    EXPECT_EQ(diverged.reason, Classification::ModelDivergence);
+    EXPECT_TRUE(diverged.substituted);
+    EXPECT_NEAR(diverged.value, 30.0, 2.0);
+}
+
+TEST(Guard, HoldLastDecayRelaxesTowardModel)
+{
+    GuardConfig config;
+    config.holdDecaySeconds = 100.0;
+    config.quarantineMinSeconds = 1e9; // stay quarantined
+    SensorGuard guard(config);
+    double t = 0.0;
+    for (int i = 0; i < 10; ++i, t += 1.0)
+        guard.filter("s", t, 50.0);
+    for (int i = 0; i < 3; ++i, t += 1.0)
+        guard.filter("s", t, 500.0);
+    ASSERT_EQ(guard.state("s"), HealthState::Quarantined);
+
+    // Substitutes decay from the last good reading (50) toward the
+    // model estimate (~50 too here), so they stay near 50; with an
+    // external prediction of 20 the substitute must move toward it.
+    TrustedSample early =
+        guard.filter("s", t, std::nullopt, std::nullopt, 20.0);
+    TrustedSample late = guard.filter("s", t + 400.0, std::nullopt,
+                                      std::nullopt, 20.0);
+    ASSERT_TRUE(early.hasValue);
+    ASSERT_TRUE(late.hasValue);
+    EXPECT_GT(early.value, late.value); // decaying toward 20
+    EXPECT_GT(early.value, 20.0);
+    EXPECT_NEAR(late.value, 20.0, 2.0);
+}
+
+TEST(Guard, ModelEstimatePolicySubstitutesPrediction)
+{
+    GuardConfig config;
+    config.substitution = guard::SubstitutionPolicy::ModelEstimate;
+    SensorGuard guard(config);
+    double t = 0.0;
+    for (int i = 0; i < 10; ++i, t += 1.0)
+        guard.filter("s", t, 50.0);
+    TrustedSample sub =
+        guard.filter("s", t, 500.0, std::nullopt, 33.0);
+    ASSERT_TRUE(sub.hasValue);
+    EXPECT_DOUBLE_EQ(sub.value, 33.0);
+}
+
+TEST(Guard, UtilizationProfileAcceptsSteps)
+{
+    SensorGuard guard(GuardConfig::utilizationProfile());
+    // Load may step 0 -> 1 instantly and has no model; only range and
+    // stuck-at (vs. an explicit prediction) apply.
+    double t = 0.0;
+    for (int i = 0; i < 20; ++i, t += 1.0) {
+        TrustedSample sample =
+            guard.filter("m1.cpu", t, i % 2 == 0 ? 0.05 : 0.95);
+        EXPECT_EQ(sample.reason, Classification::Ok) << i;
+    }
+    TrustedSample over = guard.filter("m1.cpu", t, 1.4);
+    EXPECT_EQ(over.reason, Classification::OutOfRange);
+}
+
+TEST(Guard, IntrospectionSurfacesState)
+{
+    SensorGuard guard;
+    guard.filter("m1.cpu", 0.0, 40.0);
+    guard.filter("m2.cpu", 0.0, 500.0);
+    EXPECT_EQ(guard.state("m1.cpu"), HealthState::Healthy);
+    EXPECT_EQ(guard.state("m2.cpu"), HealthState::Suspect);
+    EXPECT_EQ(guard.state("never-seen"), HealthState::Healthy);
+    EXPECT_EQ(guard.lastReason("m2.cpu"), Classification::OutOfRange);
+
+    auto statuses = guard.streamStatuses();
+    ASSERT_EQ(statuses.size(), 2u);
+    EXPECT_EQ(statuses[0].stream, "m1.cpu");
+    EXPECT_EQ(statuses[1].stream, "m2.cpu");
+    EXPECT_EQ(statuses[1].anomalies, 1u);
+
+    std::string report = guard.report();
+    EXPECT_NE(report.find("m1.cpu"), std::string::npos);
+    EXPECT_NE(report.find("HEALTHY"), std::string::npos);
+    EXPECT_NE(report.find("out-of-range"), std::string::npos);
+    EXPECT_NE(guard.summaryLine().find("streams=2"), std::string::npos);
+}
+
+TEST(Guard, ExportsMetricsToGlobalRegistry)
+{
+    SensorGuard guard;
+    guard.filter("s", 0.0, 40.0);
+    guard.filter("s", 1.0, 500.0);
+    std::string text = metrics::Registry::global().renderProm();
+    EXPECT_NE(text.find("guard_samples_total 2"), std::string::npos);
+    EXPECT_NE(text.find("guard_anomalies_total 1"), std::string::npos);
+    EXPECT_NE(text.find("guard_streams 1"), std::string::npos);
+}
+
+TEST(SensorFaults, StuckAtFreezesFirstReading)
+{
+    net::SensorFaultSpec spec;
+    spec.mode = net::SensorFaultSpec::Mode::StuckAt;
+    spec.startSeconds = 100.0;
+    net::SensorFaultInjector injector(spec);
+    EXPECT_EQ(injector.apply(0.0, 30.0), 30.0); // before the window
+    EXPECT_FALSE(injector.activeAt(0.0));
+    EXPECT_EQ(injector.apply(100.0, 31.0), 31.0); // freezes here
+    EXPECT_EQ(injector.apply(200.0, 55.0), 31.0);
+    EXPECT_EQ(injector.counters().readings, 3u);
+    EXPECT_EQ(injector.counters().faulted, 2u);
+}
+
+TEST(SensorFaults, StuckAtExplicitValue)
+{
+    net::SensorFaultSpec spec;
+    spec.mode = net::SensorFaultSpec::Mode::StuckAt;
+    spec.stuckValue = 25.0;
+    net::SensorFaultInjector injector(spec);
+    EXPECT_EQ(injector.apply(0.0, 48.0), 25.0);
+    EXPECT_EQ(injector.apply(1.0, 49.0), 25.0);
+}
+
+TEST(SensorFaults, SpikeIsOccasionalAndDeterministic)
+{
+    net::SensorFaultSpec spec;
+    spec.mode = net::SensorFaultSpec::Mode::Spike;
+    spec.spikeProbability = 0.25;
+    net::SensorFaultInjector a(spec);
+    net::SensorFaultInjector b(spec);
+    int spikes = 0;
+    for (int i = 0; i < 400; ++i) {
+        auto va = a.apply(i * 1.0, 40.0);
+        auto vb = b.apply(i * 1.0, 40.0);
+        ASSERT_TRUE(va.has_value());
+        EXPECT_EQ(*va, *vb); // same seed, same plan
+        if (*va > 40.0) {
+            EXPECT_DOUBLE_EQ(*va, 40.0 + spec.spikeMagnitude);
+            ++spikes;
+        }
+    }
+    EXPECT_GT(spikes, 50);
+    EXPECT_LT(spikes, 160);
+}
+
+TEST(SensorFaults, DriftGrowsWithTime)
+{
+    net::SensorFaultSpec spec;
+    spec.mode = net::SensorFaultSpec::Mode::Drift;
+    spec.driftPerSecond = 0.1;
+    spec.startSeconds = 50.0;
+    net::SensorFaultInjector injector(spec);
+    EXPECT_EQ(injector.apply(0.0, 40.0), 40.0);
+    EXPECT_NEAR(*injector.apply(50.0, 40.0), 40.0, 1e-12);
+    EXPECT_NEAR(*injector.apply(150.0, 40.0), 50.0, 1e-9);
+}
+
+TEST(SensorFaults, DropoutSuppressesReadings)
+{
+    net::SensorFaultSpec spec;
+    spec.mode = net::SensorFaultSpec::Mode::Dropout;
+    spec.dropProbability = 1.0;
+    spec.endSeconds = 10.0;
+    net::SensorFaultInjector injector(spec);
+    EXPECT_FALSE(injector.apply(0.0, 40.0).has_value());
+    EXPECT_EQ(injector.counters().dropped, 1u);
+    EXPECT_TRUE(injector.apply(10.0, 40.0).has_value()); // window over
+}
+
+TEST(SensorFaults, ModeNames)
+{
+    EXPECT_STREQ(net::sensorFaultModeName(
+                     net::SensorFaultSpec::Mode::StuckAt),
+                 "stuck-at");
+    EXPECT_STREQ(net::sensorFaultModeName(
+                     net::SensorFaultSpec::Mode::Dropout),
+                 "dropout");
+}
+
+class GuardFiddleFixture : public ::testing::Test
+{
+  protected:
+    GuardFiddleFixture()
+        : service_(solver_),
+          client_(std::make_unique<sensor::LocalTransport>(service_),
+                  "m1")
+    {
+        solver_.addMachine(core::table1Server("m1"));
+        service_.setSensorGuard(&guard_);
+    }
+
+    ~GuardFiddleFixture() override { service_.setSensorGuard(nullptr); }
+
+    core::Solver solver_;
+    proto::SolverService service_;
+    guard::SensorGuard guard_;
+    sensor::SensorClient client_;
+};
+
+TEST_F(GuardFiddleFixture, SummaryAndStreamQueries)
+{
+    guard_.filter("m1.cpu", 0.0, 40.0);
+    guard_.filter("m1.disk", 0.0, 500.0);
+
+    auto [ok, summary] = client_.fiddle("guard");
+    EXPECT_TRUE(ok) << summary;
+    EXPECT_NE(summary.find("streams=2"), std::string::npos);
+
+    auto [sok, line] = client_.fiddle("guard m1.disk");
+    EXPECT_TRUE(sok) << line;
+    EXPECT_NE(line.find("SUSPECT"), std::string::npos);
+
+    // The `fiddle guard` spelling reaches the same handler.
+    auto [fok, fsummary] = client_.fiddle("fiddle guard");
+    EXPECT_TRUE(fok) << fsummary;
+    EXPECT_EQ(fsummary, summary);
+
+    auto [missing_ok, missing] = client_.fiddle("guard nope.cpu");
+    EXPECT_FALSE(missing_ok);
+}
+
+TEST_F(GuardFiddleFixture, PagedReportReassembles)
+{
+    // Enough streams that the report cannot fit one 110-byte reply.
+    for (int i = 0; i < 8; ++i)
+        guard_.filter(format("m1.s%d", i), 0.0, 40.0);
+    std::string expected = guard_.report();
+    ASSERT_GT(expected.size(), 110u);
+
+    std::string text;
+    size_t offset = 0;
+    for (int page = 0; page < 64; ++page) {
+        auto [ok, message] =
+            client_.fiddle(format("guard page %zu", offset));
+        ASSERT_TRUE(ok) << message;
+        size_t bar = message.find('|');
+        ASSERT_NE(bar, std::string::npos) << message;
+        auto next = parseInt(message.substr(0, bar));
+        ASSERT_TRUE(next.has_value()) << message;
+        text += message.substr(bar + 1);
+        if (*next == 0)
+            break;
+        ASSERT_GT(static_cast<size_t>(*next), offset);
+        offset = static_cast<size_t>(*next);
+    }
+    EXPECT_EQ(text, expected);
+}
+
+TEST_F(GuardFiddleFixture, NoGuardInstalledIsAnError)
+{
+    service_.setSensorGuard(nullptr);
+    auto [ok, message] = client_.fiddle("guard");
+    EXPECT_FALSE(ok);
+    EXPECT_NE(message.find("no sensor guard"), std::string::npos);
+}
+
+} // namespace
+} // namespace mercury

@@ -212,6 +212,66 @@ TEST_F(SensorFixture, ClientReadManyChunksLargePolls)
     EXPECT_EQ(stats.attempts, 2u);
 }
 
+TEST_F(SensorFixture, ClientReadManyDetailedKeepsFailureCauses)
+{
+    sensor::SensorClient client(
+        std::make_unique<sensor::LocalTransport>(service_), "machine1");
+
+    // One unknown component must not taint its chunk-mates, and must
+    // carry the daemon's verdict rather than an anonymous failure.
+    auto outcomes = client.readManyDetailed({"cpu", "gpu", "disk"});
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].status, proto::Status::Ok);
+    ASSERT_TRUE(outcomes[0].value.has_value());
+    EXPECT_NEAR(*outcomes[0].value,
+                solver_.temperature("machine1", "cpu"), 1e-9);
+    EXPECT_EQ(outcomes[1].status, proto::Status::UnknownComponent);
+    EXPECT_FALSE(outcomes[1].value.has_value());
+    EXPECT_FALSE(outcomes[1].noReply);
+    EXPECT_EQ(outcomes[2].status, proto::Status::Ok);
+    ASSERT_TRUE(outcomes[2].value.has_value());
+
+    // A machine-level rejection stamps every component distinctly.
+    sensor::SensorClient ghost(
+        std::make_unique<sensor::LocalTransport>(service_), "ghost");
+    auto rejected = ghost.readManyDetailed({"cpu", "disk"});
+    ASSERT_EQ(rejected.size(), 2u);
+    for (const auto &outcome : rejected) {
+        EXPECT_FALSE(outcome.value.has_value());
+        EXPECT_FALSE(outcome.noReply);
+        EXPECT_EQ(outcome.status, proto::Status::UnknownMachine);
+    }
+
+    // readMany() is the same poll minus the causes.
+    auto values = client.readMany({"cpu", "gpu"});
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_TRUE(values[0].has_value());
+    EXPECT_FALSE(values[1].has_value());
+}
+
+TEST_F(SensorFixture, ClientReadDetailedSeparatesVerdictFromSilence)
+{
+    sensor::SensorClient client(
+        std::make_unique<sensor::LocalTransport>(service_), "machine1");
+    auto ok = client.readDetailed("cpu");
+    EXPECT_EQ(ok.status, proto::Status::Ok);
+    EXPECT_TRUE(ok.value.has_value());
+    auto unknown = client.readDetailed("gpu");
+    EXPECT_EQ(unknown.status, proto::Status::UnknownComponent);
+    EXPECT_FALSE(unknown.noReply);
+}
+
+TEST(SensorUdp, ReadManyDetailedMarksTimeoutsAsNoReply)
+{
+    sensor::SensorClient client(
+        std::make_unique<sensor::UdpTransport>("127.0.0.1", 1, 0.05, 0),
+        "machine1");
+    auto outcomes = client.readManyDetailed({"cpu"});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].value.has_value());
+    EXPECT_TRUE(outcomes[0].noReply); // a dropout, not a verdict
+}
+
 // An "old daemon": answers everything except the batched-read RPC,
 // which it silently drops (unknown message type to it).
 class OldDaemonTransport final : public sensor::Transport
