@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Steady-state replication overhead bench: the acceptance gate for the
+ * WAL + hot-standby subsystem is that logging and streaming mutations
+ * costs at most 5% of iteration time at 1024 machines.
+ *
+ * Three runs over the identical workload (N iterations, M utilization
+ * mutations applied per iteration, 1024-machine fleet):
+ *
+ *   base        solver only — apply mutations, iterate
+ *   wal         + encode each mutation and append/flush it to a WAL
+ *   replicated  + offer records to a Replicator polled every
+ *                 iteration, with a live acking standby on loopback
+ *
+ * The standby pumps and acks from its own thread, so the primary-side
+ * numbers include real socket traffic (sends, ack drains, heartbeats)
+ * but not the standby's work — exactly the cost the daemon's solver
+ * thread pays in production.
+ *
+ * Emits machine-readable JSON on stdout (progress goes to stderr):
+ *
+ *   build/bench/bench_replica > BENCH_replica.json
+ *
+ * scripts/run_bench_replica.sh wraps this and enforces the overhead
+ * ceiling (MERCURY_WAL_OVERHEAD_MAX, default 0.05).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/solver.hh"
+#include "core/spec.hh"
+#include "proto/messages.hh"
+#include "proto/wal_codec.hh"
+#include "replica/replicator.hh"
+#include "replica/standby.hh"
+#include "replica/wal.hh"
+#include "state/checkpoint.hh"
+#include "util/flags.hh"
+
+using namespace mercury;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+enum class Mode { Base, Wal, Replicated };
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+    case Mode::Base:
+        return "replica_base";
+    case Mode::Wal:
+        return "replica_wal";
+    case Mode::Replicated:
+        return "replica_replicated";
+    }
+    return "?";
+}
+
+struct RunResult
+{
+    Mode mode = Mode::Base;
+    uint64_t iterations = 0;
+    uint64_t records = 0;
+    double seconds = 0.0;
+    double microsPerIteration = 0.0;
+};
+
+void
+addFleet(core::Solver &solver, unsigned machines)
+{
+    for (unsigned i = 0; i < machines; ++i)
+        solver.addMachine(core::table1Server("m" + std::to_string(i)));
+}
+
+/**
+ * One measured run. Every mode applies the same mutations so the
+ * solver walks the same trajectory; only the logging/streaming work
+ * differs between modes.
+ */
+RunResult
+runOnce(Mode mode, unsigned machines, unsigned iterations,
+        unsigned mutations, unsigned warmup)
+{
+    core::Solver solver;
+    addFleet(solver, machines);
+    const uint64_t topology = state::topologyHash(solver);
+
+    std::string wal_path = "/tmp/mercury.bench_replica." +
+                           std::to_string(::getpid()) + ".wal";
+    std::unique_ptr<replica::WalWriter> wal;
+    if (mode != Mode::Base) {
+        replica::WalHeader header;
+        header.topologyHash = topology;
+        std::string error;
+        wal = replica::WalWriter::create(wal_path, header, &error);
+        if (!wal) {
+            std::fprintf(stderr, "bench_replica: %s\n", error.c_str());
+            std::exit(1);
+        }
+    }
+
+    std::unique_ptr<replica::Replicator> replicator;
+    std::thread standby_thread;
+    std::atomic<bool> stop{false};
+    if (mode == Mode::Replicated) {
+        replica::Replicator::Config config;
+        config.port = 0;
+        config.heartbeatSeconds = 0.25;
+        config.leaseSeconds = 3.0;
+        replicator =
+            std::make_unique<replica::Replicator>(config, topology, 0, 1);
+        uint16_t port = replicator->port();
+        standby_thread = std::thread([port, topology, &stop] {
+            replica::StandbyClient::Config config;
+            config.host = "127.0.0.1";
+            config.port = port;
+            config.topologyHash = topology;
+            config.helloSeconds = 0.05;
+            config.ackSeconds = 0.01;
+            config.localIteration = [] { return uint64_t(0); };
+            replica::StandbyClient standby(config);
+            while (!stop.load(std::memory_order_relaxed)) {
+                standby.pump(0.001);
+                while (standby.nextApplicable())
+                    standby.markApplied();
+                standby.maybeAck();
+            }
+        });
+        // Let the standby attach before the clock starts, so the run
+        // measures steady-state streaming rather than session setup.
+        auto wait_start = Clock::now();
+        while (replicator->standbyCount() == 0 &&
+               secondsSince(wait_start) < 2.0) {
+            replicator->poll(0);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+
+    uint64_t sequence = 1;
+    uint64_t records = 0;
+    auto boundary = [&](uint64_t iteration_index) {
+        // The drain boundary: apply this pass's mutations, logging and
+        // streaming them first when the mode says so.
+        for (unsigned m = 0; m < mutations; ++m) {
+            proto::UtilizationUpdate update;
+            update.machine =
+                "m" + std::to_string((iteration_index * mutations + m) %
+                                     machines);
+            update.component = "cpu";
+            update.utilization =
+                0.25 + 0.5 * double((iteration_index + m) % 3 == 0);
+            update.sequence = sequence;
+            if (mode != Mode::Base) {
+                replica::WalRecord record;
+                record.sequence = sequence;
+                record.iteration = solver.iterations();
+                record.kind = replica::WalRecordKind::Mutation;
+                record.payload = proto::encodeWalMutation(update);
+                wal->append(record);
+                if (replicator)
+                    replicator->offer(record);
+                ++records;
+            }
+            ++sequence;
+            solver.setUtilization(update.machine, update.component,
+                                  update.utilization);
+        }
+        if (wal)
+            wal->flush();
+        if (replicator) {
+            if (solver.iterations() % 32 == 0)
+                replicator->noteHash(solver.iterations(),
+                                     replica::stateHash(solver));
+            replicator->poll(solver.iterations());
+        }
+    };
+
+    for (unsigned i = 0; i < warmup; ++i) {
+        boundary(i);
+        solver.iterate();
+    }
+
+    auto start = Clock::now();
+    for (unsigned i = 0; i < iterations; ++i) {
+        boundary(warmup + i);
+        solver.iterate();
+    }
+    double elapsed = secondsSince(start);
+
+    stop.store(true, std::memory_order_relaxed);
+    if (standby_thread.joinable())
+        standby_thread.join();
+    if (wal) {
+        wal->sync();
+        wal.reset();
+        std::remove(wal_path.c_str());
+        std::remove((wal_path + ".old").c_str());
+    }
+
+    RunResult result;
+    result.mode = mode;
+    result.iterations = iterations;
+    result.records = records;
+    result.seconds = elapsed;
+    result.microsPerIteration = elapsed * 1e6 / double(iterations);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_replica",
+                  "steady-state WAL + replication overhead per iteration");
+    flags.defineInt("machines", 1024, "fleet size");
+    flags.defineInt("iterations", 150, "measured iterations per mode");
+    flags.defineInt("mutations", 64, "mutations applied per iteration");
+    flags.defineInt("warmup", 20, "unmeasured warmup iterations");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    unsigned machines = static_cast<unsigned>(flags.getInt("machines"));
+    unsigned iterations =
+        static_cast<unsigned>(flags.getInt("iterations"));
+    unsigned mutations = static_cast<unsigned>(flags.getInt("mutations"));
+    unsigned warmup = static_cast<unsigned>(flags.getInt("warmup"));
+    if (machines < 1 || iterations < 1) {
+        std::fprintf(stderr, "bench_replica: bad flag values\n");
+        return 1;
+    }
+
+    std::vector<RunResult> results;
+    for (Mode mode : {Mode::Base, Mode::Wal, Mode::Replicated}) {
+        std::fprintf(stderr, "bench_replica: %s...\n", modeName(mode));
+        results.push_back(
+            runOnce(mode, machines, iterations, mutations, warmup));
+        std::fprintf(stderr, "bench_replica:   %.1f us/iteration\n",
+                     results.back().microsPerIteration);
+    }
+
+    std::printf("{\n");
+    std::printf("  \"context\": {\"machines\": %u, \"iterations\": %u, "
+                "\"mutations_per_iteration\": %u, \"cores\": %ld},\n",
+                machines, iterations, mutations,
+                ::sysconf(_SC_NPROCESSORS_ONLN));
+    std::printf("  \"benchmarks\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        std::printf("    {\"name\": \"%s\", \"iterations\": %llu, "
+                    "\"records\": %llu, \"seconds\": %.6f, "
+                    "\"us_per_iteration\": %.3f}%s\n",
+                    modeName(r.mode),
+                    static_cast<unsigned long long>(r.iterations),
+                    static_cast<unsigned long long>(r.records),
+                    r.seconds, r.microsPerIteration,
+                    i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

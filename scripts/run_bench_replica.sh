@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Run the replication overhead bench and record the results as
+# machine-readable JSON at the repo root (BENCH_replica.json). Then
+# enforce the subsystem's acceptance gate: logging and streaming
+# mutations must cost at most MERCURY_WAL_OVERHEAD_MAX (default 0.05,
+# i.e. 5%) of base iteration time at 1024 machines. The WAL-only
+# overhead is always gated; the full replicated overhead additionally
+# needs a second core (the in-process standby otherwise competes with
+# the primary for the only CPU and the number measures the scheduler,
+# not the subsystem), so it is skipped with a message on 1-core hosts.
+#
+#   scripts/run_bench_replica.sh [build-dir] [extra bench_replica args...]
+#
+# Examples:
+#   scripts/run_bench_replica.sh
+#   scripts/run_bench_replica.sh build --iterations 300
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bench="$build_dir/bench/bench_replica"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_replica.json"
+"$bench" "$@" > "$out"
+echo "$out"
+
+overhead_max=${MERCURY_WAL_OVERHEAD_MAX:-0.05}
+python3 - "$out" "$overhead_max" <<'EOF'
+import json
+import sys
+
+path, ceiling = sys.argv[1], float(sys.argv[2])
+with open(path) as handle:
+    report = json.load(handle)
+
+costs = {}
+for bench in report.get("benchmarks", []):
+    costs[bench["name"]] = bench["us_per_iteration"]
+
+for name in ["replica_base", "replica_wal", "replica_replicated"]:
+    if name not in costs:
+        sys.exit("error: run %s missing from %s" % (name, path))
+
+base = costs["replica_base"]
+wal = (costs["replica_wal"] - base) / base
+replicated = (costs["replica_replicated"] - base) / base
+print("per-iteration: base=%.1fus wal=%.1fus replicated=%.1fus" %
+      (base, costs["replica_wal"], costs["replica_replicated"]))
+print("overhead: wal=%+.1f%% replicated=%+.1f%% (ceiling %.1f%%)" %
+      (wal * 100, replicated * 100, ceiling * 100))
+
+if wal > ceiling:
+    sys.exit("FAIL: WAL overhead %.1f%% exceeds the %.1f%% ceiling" %
+             (wal * 100, ceiling * 100))
+
+cores = report.get("context", {}).get("cores", 0)
+if cores < 2:
+    print("SKIP: replicated gate needs >= 2 cores (standby thread), "
+          "host has %d" % cores)
+    sys.exit(0)
+
+if replicated > ceiling:
+    sys.exit("FAIL: replication overhead %.1f%% exceeds the %.1f%% "
+             "ceiling" % (replicated * 100, ceiling * 100))
+print("PASS: steady-state replication clears the %.1f%% ceiling" %
+      (ceiling * 100))
+EOF

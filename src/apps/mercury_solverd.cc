@@ -10,12 +10,11 @@
 
 #include <csignal>
 
-#include <fstream>
-
 #include "core/solver.hh"
 #include "graphdot/parser.hh"
 #include "proto/solver_daemon.hh"
 #include "telemetry/layout.hh"
+#include "util/fileio.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 
@@ -81,6 +80,28 @@ main(int argc, char **argv)
                        "periodically (atomic rename; empty disables)");
     flags.defineDouble("metrics-seconds", 10.0,
                        "seconds between metrics file writes");
+    flags.defineString("wal-path", "",
+                       "deterministic mutation WAL file (replayable "
+                       "with mercury_trace --replay-wal; empty "
+                       "disables)");
+    flags.defineInt("replication-port", -1,
+                    "replication listener port for hot standbys "
+                    "(0 = ephemeral; negative disables)");
+    flags.defineString("replica-of", "",
+                       "host:port of a primary's replication listener; "
+                       "run as its read-only hot standby");
+    flags.defineDouble("lease-seconds", 3.0,
+                       "standby promotes itself after the primary has "
+                       "been silent this long");
+    flags.defineDouble("replica-heartbeat-seconds", 0.5,
+                       "heartbeat period toward standbys (keep well "
+                       "under the lease)");
+    flags.defineInt("hash-iterations", 32,
+                    "iterations between primary/standby state-hash "
+                    "checks (0 disables)");
+    flags.defineDouble("standby-grace-seconds", 0.0,
+                       "standby that NEVER reached the primary promotes "
+                       "after this long (0 = wait for contact forever)");
     flags.defineBool("verbose", false, "enable info logging");
     if (!flags.parse(argc, argv))
         return 0;
@@ -137,14 +158,41 @@ main(int argc, char **argv)
         flags.getDouble("checkpoint-seconds");
     daemon_config.metricsPath = flags.getString("metrics-path");
     daemon_config.metricsSeconds = flags.getDouble("metrics-seconds");
+    daemon_config.walPath = flags.getString("wal-path");
+    long long replication_port = flags.getInt("replication-port");
+    if (replication_port > 65535)
+        fatal("--replication-port must be <= 65535");
+    daemon_config.replicationPort =
+        replication_port < 0 ? -1 : static_cast<int>(replication_port);
+    daemon_config.replicaOf = flags.getString("replica-of");
+    daemon_config.leaseSeconds = flags.getDouble("lease-seconds");
+    if (daemon_config.leaseSeconds <= 0.0)
+        fatal("--lease-seconds must be > 0");
+    daemon_config.replicaHeartbeatSeconds =
+        flags.getDouble("replica-heartbeat-seconds");
+    if (daemon_config.replicaHeartbeatSeconds <= 0.0)
+        fatal("--replica-heartbeat-seconds must be > 0");
+    long long hash_iterations = flags.getInt("hash-iterations");
+    if (hash_iterations < 0)
+        fatal("--hash-iterations must be >= 0");
+    daemon_config.hashIterations =
+        static_cast<unsigned>(hash_iterations);
+    daemon_config.standbyGraceSeconds =
+        flags.getDouble("standby-grace-seconds");
+    daemon_config.portFile = flags.getString("port-file");
     proto::SolverDaemon daemon(solver, daemon_config);
 
+    // A primary advertises itself right away; a standby leaves the
+    // file naming the primary and only rewrites it at promotion (the
+    // daemon does that atomically) — flipping it at boot would point
+    // clients at a read-only shadow.
     std::string port_file = flags.getString("port-file");
-    if (!port_file.empty()) {
-        std::ofstream out(port_file);
-        if (!out)
-            fatal("cannot write --port-file ", port_file);
-        out << daemon.port() << "\n";
+    if (!port_file.empty() && daemon_config.replicaOf.empty()) {
+        std::string error;
+        if (!atomicWriteFile(port_file,
+                             std::to_string(daemon.port()) + "\n",
+                             &error))
+            fatal("cannot write --port-file ", port_file, ": ", error);
     }
 
     runningDaemon = &daemon;

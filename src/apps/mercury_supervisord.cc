@@ -11,6 +11,16 @@
  *   mercury_supervisord --solver-port 8367 -- \
  *       ./mercury_solverd --config configs/table1_cluster.dot \
  *       --port 8367 --checkpoint-path /var/lib/mercury/solver.ck
+ *
+ * HA pair mode: give it a primary command after `--` and a standby
+ * command after `---` (plus --standby-solver-port and usually
+ * --port-file). The supervisor watches the primary; when it dies or
+ * stalls, it flips the port file to the standby — which promotes
+ * itself via the replication lease — and NEVER restarts the old
+ * primary (restarting it as a primary again would split the brain;
+ * see docs/operations.md). If the promoted child later dies it is
+ * restarted with the standby command, whose --standby-grace-seconds
+ * lets it promote again with no primary around.
  */
 
 #include <sys/types.h>
@@ -29,6 +39,7 @@
 #include "metrics/metrics.hh"
 #include "sensor/client.hh"
 #include "state/supervisor.hh"
+#include "util/fileio.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -108,20 +119,204 @@ describeExit(int status)
     return "unknown status";
 }
 
+std::unique_ptr<sensor::SensorClient>
+makeProbe(const std::string &host, uint16_t port)
+{
+    return std::make_unique<sensor::SensorClient>(
+        std::make_unique<sensor::UdpTransport>(host, port), "supervisor");
+}
+
+/**
+ * Supervise a primary/standby solverd pair. Returns like main().
+ */
+int
+runHaPair(FlagSet &flags, const std::vector<std::string> &primary_command,
+          const std::vector<std::string> &standby_command)
+{
+    double probe_seconds = flags.getDouble("probe-seconds");
+    double stall_seconds = flags.getDouble("stall-seconds");
+    std::string host = flags.getString("solver-host");
+    uint16_t primary_port =
+        static_cast<uint16_t>(flags.getInt("solver-port"));
+    long long standby_port_value = flags.getInt("standby-solver-port");
+    if (standby_port_value <= 0 || standby_port_value > 65535)
+        fatal("HA pair mode needs --standby-solver-port (the standby's "
+              "UDP service port)");
+    uint16_t standby_port = static_cast<uint16_t>(standby_port_value);
+    std::string port_file = flags.getString("port-file");
+
+    auto write_port_file = [&](uint16_t port) {
+        if (port_file.empty())
+            return;
+        std::string error;
+        if (!atomicWriteFile(port_file, std::to_string(port) + "\n",
+                             &error))
+            warn("mercury_supervisord: port file ", port_file,
+                 " not updated: ", error);
+        else
+            inform("mercury_supervisord: port file ", port_file,
+                   " -> port ", port);
+    };
+
+    state::SupervisorPolicy policy;
+    policy.initialBackoffSeconds = flags.getDouble("initial-backoff");
+    policy.maxBackoffSeconds = flags.getDouble("max-backoff");
+    policy.healthyUptimeSeconds = flags.getDouble("healthy-uptime");
+    policy.crashLoopThreshold =
+        static_cast<int>(flags.getInt("crash-loop-threshold"));
+    policy.crashLoopWindowSeconds = flags.getDouble("crash-loop-window");
+    state::RestartTracker tracker(policy);
+
+    metrics::Registry &registry = metrics::Registry::global();
+    tracker.setRestartCounter(registry.counter(
+        "supervisor_restarts_total", "child exits seen (each leads to "
+                                     "a restart unless we give up)"));
+    metrics::Counter *failovers = registry.counter(
+        "supervisor_failovers_total",
+        "primary deaths that flipped traffic to the standby");
+
+    pid_t primary_pid = spawnChild(primary_command);
+    inform("mercury_supervisord: spawned primary '", primary_command[0],
+           "' as pid ", primary_pid);
+    pid_t standby_pid = spawnChild(standby_command);
+    inform("mercury_supervisord: spawned standby '", standby_command[0],
+           "' as pid ", standby_pid);
+    write_port_file(primary_port);
+
+    std::unique_ptr<sensor::SensorClient> probe;
+    if (probe_seconds > 0.0)
+        probe = makeProbe(host, primary_port);
+    state::StallDetector stall(stall_seconds);
+    double spawned_at = nowSeconds();
+    double last_responsive = spawned_at;
+    double next_probe = spawned_at + probe_seconds;
+    bool failed_over = false;
+
+    while (!stopRequested) {
+        int status = 0;
+
+        // Pre-failover, the standby is restarted freely: losing it
+        // costs redundancy, not service.
+        if (!failed_over && standby_pid > 0 &&
+            ::waitpid(standby_pid, &status, WNOHANG) == standby_pid) {
+            double delay = tracker.onExit(nowSeconds(), 0.0);
+            warn("mercury_supervisord: standby pid ", standby_pid,
+                 " died (", describeExit(status), "); restarting in ",
+                 delay, " s");
+            standby_pid = -1;
+            interruptibleSleep(delay);
+            if (stopRequested)
+                break;
+            standby_pid = spawnChild(standby_command);
+            inform("mercury_supervisord: respawned standby as pid ",
+                   standby_pid);
+        }
+
+        pid_t watched = failed_over ? standby_pid : primary_pid;
+        bool watched_dead =
+            ::waitpid(watched, &status, WNOHANG) == watched;
+        double now = nowSeconds();
+        if (!watched_dead && probe && now >= next_probe) {
+            auto [ok, reply] = probe->fiddle("stats");
+            if (ok) {
+                last_responsive = now;
+                if (auto iterations = parseIterations(reply))
+                    stall.noteProgress(*iterations, now);
+            }
+            next_probe = now + probe_seconds;
+        }
+        if (!watched_dead && probe && stall_seconds > 0.0 &&
+            (stall.stalled(now) ||
+             now - last_responsive > stall_seconds)) {
+            warn("mercury_supervisord: pid ", watched,
+                 " is stuck (no progress for ", stall_seconds,
+                 " s), killing it");
+            ::kill(watched, SIGKILL);
+            while (::waitpid(watched, &status, 0) < 0 && errno == EINTR) {
+            }
+            watched_dead = true;
+        }
+
+        if (watched_dead) {
+            if (!failed_over) {
+                warn("mercury_supervisord: primary pid ", primary_pid,
+                     " is gone (", describeExit(status),
+                     "); failing over to the standby on port ",
+                     standby_port);
+                failovers->inc();
+                failed_over = true;
+                primary_pid = -1;
+                // The old primary is never restarted: its lineage is
+                // dead the moment the standby's lease expires, and
+                // bringing it back as a primary would split the brain.
+                write_port_file(standby_port);
+                if (probe_seconds > 0.0)
+                    probe = makeProbe(host, standby_port);
+            } else {
+                double uptime = now - spawned_at;
+                double delay = tracker.onExit(now, uptime);
+                if (tracker.crashLooping(now))
+                    fatal("mercury_supervisord: crash loop (",
+                          policy.crashLoopThreshold, " exits within ",
+                          policy.crashLoopWindowSeconds,
+                          " s), giving up");
+                warn("mercury_supervisord: promoted pid ", watched,
+                     " died (", describeExit(status), ") after ", uptime,
+                     " s; restarting in ", delay, " s");
+                interruptibleSleep(delay);
+                if (stopRequested)
+                    break;
+                // Restart with the *standby* command: with no primary
+                // answering, --standby-grace-seconds promotes it from
+                // its own checkpoint.
+                spawned_at = nowSeconds();
+                standby_pid = spawnChild(standby_command);
+                inform("mercury_supervisord: respawned as pid ",
+                       standby_pid);
+            }
+            stall.reset();
+            last_responsive = nowSeconds();
+            next_probe = last_responsive + probe_seconds;
+            continue;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    for (pid_t pid : {primary_pid, standby_pid}) {
+        if (pid <= 0)
+            continue;
+        ::kill(pid, SIGTERM);
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+    }
+    inform("mercury_supervisord: shutting down (",
+           failovers->value(), " failover(s))");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     // FlagSet treats unknown flags as fatal, so split the child's
-    // command line off at `--` before parsing our own.
+    // command line off at `--` before parsing our own. A second
+    // separator `---` splits off a standby command (HA pair mode).
     std::vector<std::string> child_command;
+    std::vector<std::string> standby_command;
     int own_argc = argc;
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--") {
             own_argc = i;
-            for (int j = i + 1; j < argc; ++j)
-                child_command.push_back(argv[j]);
+            std::vector<std::string> *sink = &child_command;
+            for (int j = i + 1; j < argc; ++j) {
+                if (std::string(argv[j]) == "---") {
+                    sink = &standby_command;
+                    continue;
+                }
+                sink->push_back(argv[j]);
+            }
             break;
         }
     }
@@ -134,6 +329,12 @@ main(int argc, char **argv)
                        "host the supervised solver answers on");
     flags.defineInt("solver-port", 8367,
                     "UDP port the supervised solver answers on");
+    flags.defineInt("standby-solver-port", 0,
+                    "UDP service port of the standby in HA pair mode "
+                    "(command after ---)");
+    flags.defineString("port-file", "",
+                       "HA pair mode: file naming the live daemon's "
+                       "port; rewritten atomically on failover");
     flags.defineDouble("probe-seconds", 2.0,
                        "seconds between fiddle-stats liveness probes "
                        "(0 disables stall detection)");
@@ -162,6 +363,12 @@ main(int argc, char **argv)
 
     if (child_command.empty())
         fatal("nothing to supervise: put the solverd command after --");
+
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+
+    if (!standby_command.empty())
+        return runHaPair(flags, child_command, standby_command);
 
     state::SupervisorPolicy policy;
     policy.initialBackoffSeconds = flags.getDouble("initial-backoff");
@@ -203,9 +410,6 @@ main(int argc, char **argv)
             "supervisor");
     }
     long long max_restarts = flags.getInt("max-restarts");
-
-    std::signal(SIGINT, handleSignal);
-    std::signal(SIGTERM, handleSignal);
 
     while (!stopRequested) {
         double spawned_at = nowSeconds();

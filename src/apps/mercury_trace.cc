@@ -9,6 +9,16 @@
  *
  *   mercury_trace --config configs/table1_server.dot \
  *                 --trace load.csv --duration 5000 > temps.csv
+ *
+ * --replay-wal reproduces a live daemon run instead: it replays a
+ * mutation WAL (optionally on top of the checkpoint the WAL generation
+ * started from) through the same solver and dumps the resulting state
+ * — bitwise identical to what the daemon held, because the solver is
+ * deterministic and the WAL captures every input in drain order.
+ *
+ *   mercury_trace --config configs/table1_server.dot \
+ *                 --replay-wal solver.wal \
+ *                 --replay-checkpoint solver.ck > state.txt
  */
 
 #include <iostream>
@@ -17,10 +27,74 @@
 #include "core/trace.hh"
 #include "graphdot/parser.hh"
 #include "graphdot/writer.hh"
+#include "proto/solver_service.hh"
+#include "proto/wal_codec.hh"
+#include "replica/wal.hh"
 #include "state/checkpoint.hh"
 #include "util/flags.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
+
+namespace {
+
+/** Replay a WAL into @p solver and dump the final state to stdout. */
+int
+replayWalFile(mercury::core::Solver &solver, const std::string &wal_path,
+              const std::string &checkpoint_path,
+              long long replay_to_iteration)
+{
+    using namespace mercury;
+
+    if (!checkpoint_path.empty()) {
+        state::Checkpoint checkpoint;
+        std::string error;
+        if (!state::loadCheckpointFile(checkpoint_path, &checkpoint,
+                                       &error) ||
+            !state::restoreSolver(solver, checkpoint, &error)) {
+            fatal("cannot restore '", checkpoint_path, "': ", error);
+        }
+        inform("mercury_trace: checkpoint restored at iteration ",
+               solver.iterations());
+    }
+
+    replica::WalReadResult wal;
+    std::string error;
+    if (!replica::readWalFile(wal_path, &wal, &error))
+        fatal("cannot read WAL '", wal_path, "': ", error);
+    if (!wal.tailOk)
+        warn("mercury_trace: WAL tail damaged (", wal.tailError,
+             "); replaying the ", wal.records.size(),
+             " record(s) before the tear");
+
+    // handleReplicated applies a decoded mutation exactly the way the
+    // live daemon's queue drain did, with no reply machinery.
+    proto::SolverService service(solver);
+    replica::ReplayStats stats;
+    bool ok = replica::replayWal(
+        solver, wal,
+        [&](const replica::WalRecord &record) {
+            auto message = proto::decodeWalMutation(
+                record.payload.data(), record.payload.size());
+            if (message)
+                service.handleReplicated(*message);
+            else
+                warn("mercury_trace: undecodable mutation at sequence ",
+                     record.sequence, ", skipping");
+        },
+        replay_to_iteration < 0 ? 0
+                                : uint64_t(replay_to_iteration),
+        &stats, &error);
+    if (!ok)
+        fatal("replay failed: ", error);
+    inform("mercury_trace: replayed ", stats.applied, " mutation(s), ",
+           stats.skipped, " skipped, ", stats.markers,
+           " marker(s); final iteration ", stats.finalIteration);
+
+    solver.saveState(std::cout);
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -49,6 +123,15 @@ main(int argc, char **argv)
     flags.defineBool("resume", false,
                      "restore --checkpoint-path first and continue the "
                      "trace from where that run stopped");
+    flags.defineString("replay-wal", "",
+                       "replay this mutation WAL and dump the final "
+                       "solver state (no trace run)");
+    flags.defineString("replay-checkpoint", "",
+                       "restore this checkpoint before replaying the "
+                       "WAL (the generation's base state)");
+    flags.defineInt("replay-to", -1,
+                    "keep stepping to this iteration after the WAL's "
+                    "last record (negative: stop at the last record)");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -60,6 +143,25 @@ main(int argc, char **argv)
     if (flags.getBool("graphviz")) {
         graphdot::writeGraphviz(std::cout, config.machines.front());
         return 0;
+    }
+
+    if (!flags.getString("replay-wal").empty()) {
+        core::SolverConfig replay_config;
+        replay_config.iterationSeconds =
+            flags.getDouble("iteration-seconds");
+        long long replay_threads = flags.getInt("threads");
+        if (replay_threads < 0)
+            fatal("--threads must be >= 0");
+        replay_config.threads = static_cast<unsigned>(replay_threads);
+        core::Solver replay_solver(replay_config);
+        for (const core::MachineSpec &machine : config.machines)
+            replay_solver.addMachine(machine);
+        if (config.room)
+            replay_solver.setRoom(*config.room);
+        return replayWalFile(replay_solver,
+                             flags.getString("replay-wal"),
+                             flags.getString("replay-checkpoint"),
+                             flags.getInt("replay-to"));
     }
 
     if (flags.getString("trace").empty())

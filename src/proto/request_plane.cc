@@ -144,6 +144,8 @@ RequestPlane::drainPending()
 
     for (Pending &pending : batch) {
         auto start = Clock::now();
+        if (mutationObserver_)
+            mutationObserver_(pending.message);
         auto reply = service_.handleQueued(pending.message);
         if (reply && pending.via) {
             net::UdpSocket::SendDatagram item;

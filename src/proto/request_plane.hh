@@ -34,6 +34,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -124,6 +125,20 @@ class RequestPlane
      */
     size_t drainPending();
 
+    /**
+     * Observe every message drainPending() is about to apply, before
+     * it reaches the service. This is the WAL's append point: the
+     * drain is the solver's single mutation-serialization boundary, so
+     * logging here (in drain order, tagged with the current iteration)
+     * is what makes replay and replication bitwise-faithful. Set from
+     * the solver thread before start(); invoked on the solver thread.
+     */
+    void
+    setMutationObserver(std::function<void(const Message &)> observer)
+    {
+        mutationObserver_ = std::move(observer);
+    }
+
     /// @}
 
     /** Mutations currently waiting in the queue (metrics, tests). */
@@ -197,6 +212,10 @@ class RequestPlane
     std::vector<Pending> queue_;
     bool wakeRequested_ = false;
     std::atomic<uint64_t> queueDepth_{0};
+
+    /** WAL append hook; called on the solver thread per drained
+     *  message, before the service applies it. */
+    std::function<void(const Message &)> mutationObserver_;
 
     /** Peers already warned about failed replies (log once, count
      *  always). Shared across workers; send failures are cold. */

@@ -6,6 +6,14 @@
  * boundaries — this is the paper's `solver` process running "on a
  * separate machine".
  *
+ * Replication rides the same loop. As primary, the daemon appends
+ * every drained mutation to a deterministic WAL (replica/wal) and
+ * streams the records to hot standbys (replica/replicator). As
+ * standby (`--replica-of`), it applies the primary's records at the
+ * same iteration boundaries to maintain a bitwise-identical shadow,
+ * serves read-only traffic from its own shm segment, and promotes
+ * itself when the primary's lease expires.
+ *
  * apps/mercury_solverd.cc wraps this in a main(); the network tests
  * run it on a background thread against an ephemeral port.
  */
@@ -20,6 +28,9 @@
 
 #include "proto/request_plane.hh"
 #include "proto/solver_service.hh"
+#include "replica/replicator.hh"
+#include "replica/standby.hh"
+#include "replica/wal.hh"
 #include "state/checkpoint.hh"
 
 namespace mercury {
@@ -53,7 +64,8 @@ class SolverDaemon
 
         /** Wall-clock seconds between solver iterations; <= 0
          *  disables time-stepping (useful in tests that step the
-         *  solver themselves). */
+         *  solver themselves). A standby ignores the timer and steps
+         *  in lockstep with the primary instead. */
         double iterationSeconds = 1.0;
 
         /** Wall-clock seconds between packet-health log lines
@@ -91,6 +103,49 @@ class SolverDaemon
          *  process-global registry. Tests pass their own so
          *  concurrent daemons in one process stay isolated. */
         metrics::Registry *registry = nullptr;
+
+        /** @name Replication (see docs/operations.md)
+         *  The WAL and the replication plane are both optional and
+         *  independent: a WAL alone buys post-mortem replay, a
+         *  replication port alone buys a hot standby (which keeps its
+         *  own WAL when walPath is also set). */
+        /// @{
+
+        /** Mutation WAL file; empty disables WAL logging. */
+        std::string walPath;
+
+        /** Replication listener port (>= 0 enables; 0 = ephemeral).
+         *  Primaries stream records from it; a standby binds it too,
+         *  inactive, so its address survives a promotion. */
+        int replicationPort = -1;
+
+        /** "host:port" of a primary's replication listener; non-empty
+         *  makes this daemon a hot standby of that primary. */
+        std::string replicaOf;
+
+        /** Promotion lease: a standby promotes itself after the
+         *  primary has been silent this long. */
+        double leaseSeconds = 3.0;
+
+        /** Heartbeat period toward standbys; keep well under the
+         *  lease. */
+        double replicaHeartbeatSeconds = 0.5;
+
+        /** State-hash cadence (iterations between primary/standby
+         *  bitwise-identity checks); 0 disables hashing. */
+        unsigned hashIterations = 32;
+
+        /** Never-contacted fallback: a standby that could not reach
+         *  the primary at all promotes after this long (<= 0: wait
+         *  for contact forever). */
+        double standbyGraceSeconds = 0.0;
+
+        /** Port file rewritten (atomically) on promotion so clients
+         *  following it fail over; empty disables. The app writes the
+         *  initial primary-side file. */
+        std::string portFile;
+
+        /// @}
     };
 
     SolverDaemon(core::Solver &solver, Config config);
@@ -99,13 +154,18 @@ class SolverDaemon
     /** Bound UDP port (after construction). */
     uint16_t port() const;
 
+    /** Replication listener port; 0 when replication is disabled. */
+    uint16_t replicationPort() const;
+
     /**
      * Serve until stop() is called from another thread. The serve
      * workers run on their own threads; this thread owns the solver:
      * it steps iterations, applies queued mutations at iteration
      * boundaries, and sleeps until the nearest pending deadline
      * (iteration, heartbeat, stats log, metrics file) or queued work
-     * instead of polling on a fixed tick.
+     * instead of polling on a fixed tick. A standby instead follows
+     * the primary's record stream until the lease expires, then
+     * promotes itself and continues as primary.
      */
     void run();
 
@@ -137,7 +197,60 @@ class SolverDaemon
         return checkpointManager_.get();
     }
 
+    /** True while this daemon is a (not yet promoted) standby. */
+    bool isStandby() const
+    {
+        return role_.load(std::memory_order_relaxed) == 1;
+    }
+
+    /** Times this daemon promoted itself (0 or 1 in practice). */
+    uint64_t promotions() const
+    {
+        return promotions_.load(std::memory_order_relaxed);
+    }
+
   private:
+    using Clock = std::chrono::steady_clock;
+
+    /** Shared timer state between the primary and standby loops. */
+    struct LoopTimers;
+
+    void setupReplication();
+    void installMutationObserver();
+
+    /** Append one drained mutation to the WAL + replication stream. */
+    void logMutation(const Message &message);
+
+    /** Append a record to the WAL (creating the standby's WAL lazily)
+     *  and offer it to the replicator. */
+    void walAppend(const replica::WalRecord &record);
+
+    /** Hash the solver state at the configured cadence. */
+    void maybeHashState();
+
+    /** One iterate() wrapped with the histogram + state hashing. */
+    void stepOnce();
+
+    /** Checkpoint timer + WAL rotation (loop top, both roles). */
+    void pollCheckpoint();
+
+    /** Refresh the replica_* gauges (solver thread). */
+    void updateReplicaMetrics();
+
+    /** Shared loop-top timer work; returns the nearest deadline. */
+    Clock::time_point pollTimers(LoopTimers &timers);
+
+    void runPrimary(LoopTimers &timers);
+
+    /** Follow the primary until promotion (true) or stop (false). */
+    bool runStandby(LoopTimers &timers);
+
+    /** Lease expired: become primary. */
+    void promote();
+
+    /** The `fiddle replica` report line. */
+    std::string replicaInfoLine() const;
+
     core::Solver &solver_;
     Config config_;
     SolverService service_;
@@ -149,6 +262,35 @@ class SolverDaemon
     metrics::Registry *registry_ = nullptr;
     metrics::Histogram *iterationHist_ = nullptr;
     metrics::CallbackGuard metricsGuard_;
+
+    /** @name Replication state (solver thread unless noted) */
+    /// @{
+    std::unique_ptr<replica::WalWriter> wal_;
+    std::unique_ptr<replica::Replicator> replicator_;
+    std::unique_ptr<replica::StandbyClient> standby_;
+
+    uint64_t topologyHash_ = 0;
+    uint64_t nextSeq_ = 1;          //!< next WAL sequence (primary)
+    uint64_t lastSaveCountSeen_ = 0;
+    uint64_t lastHash_ = 0;
+    uint64_t lastHashIteration_ = 0;
+
+    std::atomic<int> role_{0}; //!< 0 primary, 1 standby (metrics read)
+    std::atomic<uint64_t> promotions_{0};
+
+    metrics::Counter *walAppendedTotal_ = nullptr;
+    metrics::Counter *walBytesTotal_ = nullptr;
+    metrics::Counter *promotionsTotal_ = nullptr;
+    metrics::Gauge *replicaLagRecords_ = nullptr;
+    metrics::Gauge *replicaLagSeconds_ = nullptr;
+    metrics::Gauge *replicaAckedSeq_ = nullptr;
+    metrics::Gauge *replicaAppliedSeq_ = nullptr;
+    metrics::Gauge *replicaStandbys_ = nullptr;
+    metrics::Gauge *replicaAttached_ = nullptr;
+    metrics::Gauge *replicaHashVerdict_ = nullptr;
+    metrics::Gauge *replicaHashChecks_ = nullptr;
+    metrics::Gauge *replicaHashMismatches_ = nullptr;
+    /// @}
 };
 
 } // namespace proto

@@ -39,8 +39,24 @@ SolverService::handleQueued(const Message &message)
     return dispatch(message, /*preaccounted=*/true);
 }
 
+void
+SolverService::handleReplicated(const Message &message)
+{
+    // Not preaccounted: a standby's receive counters should mirror
+    // the primary's, and nothing upstream counted this message.
+    dispatch(message, /*preaccounted=*/false, /*replicated=*/true);
+}
+
+void
+SolverService::setReadOnly(bool read_only, std::string reason)
+{
+    readOnly_ = read_only;
+    readOnlyReason_ = std::move(reason);
+}
+
 std::optional<Packet>
-SolverService::dispatch(const Message &message, bool preaccounted)
+SolverService::dispatch(const Message &message, bool preaccounted,
+                        bool replicated)
 {
     if (!preaccounted) {
         // variant index 0 is UtilizationUpdate == MessageType 1, etc.
@@ -50,6 +66,13 @@ SolverService::dispatch(const Message &message, bool preaccounted)
     }
 
     if (const auto *update = std::get_if<UtilizationUpdate>(&message)) {
+        // A read-only standby takes state only from the replication
+        // stream; a monitord aimed at it directly is a configuration
+        // error, not an input source.
+        if (readOnly_ && !replicated) {
+            bump(updatesRefusedReadOnly_);
+            return std::nullopt;
+        }
         onUtilization(*update, /*note_sequence=*/!preaccounted);
         return std::nullopt; // one-way, like the paper's monitord
     }
@@ -58,7 +81,7 @@ SolverService::dispatch(const Message &message, bool preaccounted)
     if (const auto *request = std::get_if<MultiReadRequest>(&message))
         return onMultiReadRequest(*request);
     if (const auto *request = std::get_if<FiddleRequest>(&message))
-        return onFiddleRequest(*request);
+        return onFiddleRequest(*request, replicated);
     if (const auto *request = std::get_if<MetricsRequest>(&message))
         return metricsReply(*request, metricsPageCache_);
     // Reply types arriving at the server are peer bugs; drop them.
@@ -80,6 +103,10 @@ SolverService::setMetricsRegistry(metrics::Registry *registry)
     metricsGuard_.add(reg, "net_updates_rejected_total",
                       "utilization updates with no powered target node",
                       [this] { return double(updatesRejected()); });
+    metricsGuard_.add(reg, "net_updates_refused_readonly_total",
+                      "updates refused because this daemon is a "
+                      "read-only standby",
+                      [this] { return double(updatesRefusedReadOnly()); });
     metricsGuard_.add(reg, "net_updates_substituted_total",
                       "updates whose sender flagged a guard-substituted "
                       "value",
@@ -399,7 +426,7 @@ SolverService::onMultiReadRequest(const MultiReadRequest &msg)
 }
 
 Packet
-SolverService::onFiddleRequest(const FiddleRequest &msg)
+SolverService::onFiddleRequest(const FiddleRequest &msg, bool replicated)
 {
     FiddleReply reply;
     reply.requestId = msg.requestId;
@@ -454,6 +481,32 @@ SolverService::onFiddleRequest(const FiddleRequest &msg)
     }
     if (line == "fiddle guard" || startsWith(line, "fiddle guard ")) {
         return onGuardCommand(trim(line.substr(12)), std::move(reply));
+    }
+
+    // `fiddle replica`: replication health (role, stream positions,
+    // lag, last state-hash verdict) from the daemon's provider.
+    if (line == "replica" || line == "fiddle replica") {
+        if (!replicaInfoProvider_) {
+            reply.status = Status::Ok;
+            reply.message = "replication disabled";
+            return encode(reply);
+        }
+        reply.status = Status::Ok;
+        reply.message = replicaInfoProvider_().substr(0, 110);
+        return encode(reply);
+    }
+
+    // Everything past this point mutates the solver. A standby takes
+    // mutations only from the replication stream; tell the operator
+    // where to send the command instead of silently shadow-forking.
+    if (readOnly_ && !replicated) {
+        reply.status = Status::BadCommand;
+        reply.message =
+            ("read-only standby" +
+             (readOnlyReason_.empty() ? std::string()
+                                      : " (" + readOnlyReason_ + ")"))
+                .substr(0, 110);
+        return encode(reply);
     }
 
     fiddle::FiddleResult result =

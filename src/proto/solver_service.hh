@@ -25,6 +25,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -70,6 +71,41 @@ class SolverService
      * handle() minus that double counting. Solver-thread only.
      */
     std::optional<Packet> handleQueued(const Message &message);
+
+    /**
+     * Apply a mutation that arrived through the replication stream (a
+     * decoded WAL record). Bypasses read-only mode — the primary's
+     * stream is the one mutation source a standby accepts — and notes
+     * the sender sequence, so the standby's loss statistics mirror the
+     * primary's and survive a promotion. Solver-thread only.
+     */
+    void handleReplicated(const Message &message);
+
+    /**
+     * Read-only mode (standby role): fiddle mutations are refused
+     * with @p reason and stray utilization updates are dropped (and
+     * counted) instead of applied — the replication stream is the only
+     * way state changes. Solver-thread only, like the dispatch paths
+     * it gates.
+     */
+    void setReadOnly(bool read_only, std::string reason = "");
+    bool readOnly() const { return readOnly_; }
+
+    /** Updates refused because the daemon is a read-only standby. */
+    uint64_t updatesRefusedReadOnly() const
+    {
+        return load(updatesRefusedReadOnly_);
+    }
+
+    /**
+     * Provider for the `fiddle replica` command line (role, sequence
+     * positions, lag, hash verdict). Installed by the daemon; called
+     * on the solver thread. Null = "replication disabled".
+     */
+    void setReplicaInfoProvider(std::function<std::string()> provider)
+    {
+        replicaInfoProvider_ = std::move(provider);
+    }
 
     /** @name Counters (observability for the daemon and the tests) */
     /// @{
@@ -201,13 +237,14 @@ class SolverService
 
   private:
     std::optional<Packet> dispatch(const Message &message,
-                                   bool preaccounted);
+                                   bool preaccounted,
+                                   bool replicated = false);
 
     Packet onUtilization(const UtilizationUpdate &msg,
                          bool note_sequence);
     Packet onSensorRequest(const SensorRequest &msg);
     Packet onMultiReadRequest(const MultiReadRequest &msg);
-    Packet onFiddleRequest(const FiddleRequest &msg);
+    Packet onFiddleRequest(const FiddleRequest &msg, bool replicated);
     Packet onGuardCommand(const std::string &args, FiddleReply reply);
 
     static uint64_t
@@ -290,6 +327,7 @@ class SolverService
 
     std::atomic<uint64_t> updatesApplied_{0};
     std::atomic<uint64_t> updatesRejected_{0};
+    std::atomic<uint64_t> updatesRefusedReadOnly_{0};
     std::atomic<uint64_t> updatesSubstituted_{0};
     std::atomic<uint64_t> sensorReads_{0};
     std::atomic<uint64_t> multiReads_{0};
@@ -314,6 +352,14 @@ class SolverService
     /** Guard report being paged out by `guard page <offset>`,
      *  re-rendered on offset 0 (solver-thread only, like the guard). */
     std::string guardPageCache_;
+
+    /** Standby role: refuse external mutations (solver-thread only,
+     *  like the paths that read it). */
+    bool readOnly_ = false;
+    std::string readOnlyReason_;
+
+    /** `fiddle replica` report source (borrowed from the daemon). */
+    std::function<std::string()> replicaInfoProvider_;
 };
 
 } // namespace proto

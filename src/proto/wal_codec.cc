@@ -1,0 +1,184 @@
+#include "proto/wal_codec.hh"
+
+#include <cstring>
+
+#include "util/strings.hh"
+
+namespace mercury {
+namespace proto {
+
+namespace {
+
+/** Payload type tags; match MessageType values for log readability. */
+constexpr uint8_t kTagUtilization = 1;
+constexpr uint8_t kTagFiddle = 4;
+
+constexpr size_t kMaxNameBytes = 31;
+constexpr size_t kMaxLineBytes = 115;
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putShortString(std::vector<uint8_t> &out, const std::string &s)
+{
+    out.push_back(static_cast<uint8_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Cursor
+{
+    const uint8_t *data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    bool
+    need(size_t bytes)
+    {
+        if (!ok || size - pos < bytes)
+            ok = false;
+        return ok;
+    }
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data[pos++];
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::string
+    shortString(size_t max_bytes)
+    {
+        uint8_t length = u8();
+        if (length > max_bytes || !need(length))
+            ok = false;
+        if (!ok)
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + pos), length);
+        pos += length;
+        return s;
+    }
+};
+
+} // namespace
+
+bool
+fiddleLineMutates(const std::string &line)
+{
+    std::string trimmed = trim(line);
+    // Tolerate the "fiddle "-prefixed variants the service accepts.
+    if (startsWith(trimmed, "fiddle "))
+        trimmed = trim(trimmed.substr(7));
+    if (trimmed.empty())
+        return false;
+    if (trimmed == "stats" || trimmed == "metrics" ||
+        trimmed == "replica" || trimmed == "checkpoint")
+        return false;
+    if (trimmed == "guard" || startsWith(trimmed, "guard "))
+        return false;
+    return true;
+}
+
+std::vector<uint8_t>
+encodeWalMutation(const Message &message)
+{
+    std::vector<uint8_t> out;
+    if (const auto *update = std::get_if<UtilizationUpdate>(&message)) {
+        out.reserve(2 + update->machine.size() + update->component.size() +
+                    8 + 8 + 4 + 2);
+        out.push_back(kTagUtilization);
+        putShortString(out, update->machine);
+        putShortString(out, update->component);
+        uint64_t bits;
+        std::memcpy(&bits, &update->utilization, sizeof(bits));
+        putU64(out, bits);
+        putU64(out, update->sequence);
+        putU32(out, update->backlog);
+        out.push_back(update->substituted);
+        return out;
+    }
+    if (const auto *request = std::get_if<FiddleRequest>(&message)) {
+        if (!fiddleLineMutates(request->commandLine))
+            return {};
+        out.reserve(6 + request->commandLine.size());
+        out.push_back(kTagFiddle);
+        putU32(out, request->requestId);
+        putShortString(out, request->commandLine);
+        return out;
+    }
+    // Read RPCs and reply types: nothing to log.
+    return {};
+}
+
+std::optional<Message>
+decodeWalMutation(const uint8_t *data, size_t size)
+{
+    Cursor in{data, size};
+    uint8_t tag = in.u8();
+    if (!in.ok)
+        return std::nullopt;
+    if (tag == kTagUtilization) {
+        UtilizationUpdate update;
+        update.machine = in.shortString(kMaxNameBytes);
+        update.component = in.shortString(kMaxNameBytes);
+        uint64_t bits = in.u64();
+        std::memcpy(&update.utilization, &bits,
+                    sizeof(update.utilization));
+        update.sequence = in.u64();
+        update.backlog = in.u32();
+        update.substituted = in.u8();
+        if (!in.ok || in.pos != size || update.machine.empty())
+            return std::nullopt;
+        return Message{std::move(update)};
+    }
+    if (tag == kTagFiddle) {
+        FiddleRequest request;
+        request.requestId = in.u32();
+        request.commandLine = in.shortString(kMaxLineBytes);
+        if (!in.ok || in.pos != size)
+            return std::nullopt;
+        return Message{std::move(request)};
+    }
+    return std::nullopt;
+}
+
+} // namespace proto
+} // namespace mercury

@@ -1,0 +1,330 @@
+#include "replica/standby.hh"
+
+#include "util/logging.hh"
+
+namespace mercury {
+namespace replica {
+
+namespace {
+
+/** Out-of-order buffer ceiling; far above the primary's retransmit
+ *  ring, so only a hostile peer ever hits it. */
+constexpr size_t kMaxPending = 65536;
+
+const char *
+helloStatusName(HelloStatus status)
+{
+    switch (status) {
+    case HelloStatus::Ok:
+        return "ok";
+    case HelloStatus::NotPrimary:
+        return "not-primary";
+    case HelloStatus::TopologyMismatch:
+        return "topology-mismatch";
+    case HelloStatus::HistoryUnavailable:
+        return "history-unavailable";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+StandbyClient::StandbyClient(Config config)
+    : config_(std::move(config))
+{
+    auto address = net::resolveHost(config_.host);
+    if (!address)
+        fatal("standby: cannot resolve primary host '", config_.host,
+              "'");
+    primary_.address = *address;
+    primary_.port = config_.port;
+    socket_.bind(0);
+    boot_ = Clock::now();
+    leaseSeconds_ = config_.leaseSeconds;
+    localHashes_.reserve(16);
+}
+
+void
+StandbyClient::sendHello()
+{
+    ReplicaHello hello;
+    hello.topologyHash = config_.topologyHash;
+    hello.lastAppliedSeq = seeded_ ? nextApplySeq_ - 1 : 0;
+    hello.standbyIteration =
+        config_.localIteration ? config_.localIteration() : 0;
+    std::vector<uint8_t> bytes = encodeReplica(hello);
+    socket_.sendTo(primary_, bytes.data(), bytes.size());
+    lastHelloSent_ = Clock::now();
+}
+
+void
+StandbyClient::notePrimaryHash(uint64_t iteration, uint64_t hash,
+                               uint8_t valid)
+{
+    if (!valid)
+        return;
+    primaryHashIteration_ = iteration;
+    primaryHash_ = hash;
+    primaryHashPending_ = true;
+    checkPrimaryHash();
+}
+
+void
+StandbyClient::checkPrimaryHash()
+{
+    if (!primaryHashPending_)
+        return;
+    for (const auto &[iteration, hash] : localHashes_) {
+        if (iteration != primaryHashIteration_)
+            continue;
+        ++hashChecks_;
+        if (hash == primaryHash_) {
+            lastHashVerdict_ = 1;
+        } else {
+            lastHashVerdict_ = -1;
+            ++hashMismatches_;
+            warn("standby: state hash diverged from the primary at "
+                 "iteration ", iteration,
+                 " — this shadow is not bitwise-identical");
+        }
+        primaryHashPending_ = false;
+        return;
+    }
+}
+
+void
+StandbyClient::handleMessage(const ReplicaMessage &message)
+{
+    everContacted_ = true;
+    lastContact_ = Clock::now();
+
+    if (const auto *ack = std::get_if<ReplicaHelloAck>(&message)) {
+        if (ack->status != HelloStatus::Ok) {
+            std::string refusal = helloStatusName(ack->status);
+            if (refusal != lastRefusal_) {
+                warn("standby: primary refused replication: ", refusal);
+                lastRefusal_ = refusal;
+            }
+            return;
+        }
+        if (ack->leaseSeconds > 0.0)
+            leaseSeconds_ = ack->leaseSeconds;
+        primaryIteration_ = ack->primaryIteration;
+        primaryNextSeq_ = ack->nextSeq;
+        if (attached_)
+            return; // duplicate ack for a retried hello
+        if (!seeded_) {
+            uint64_t local = config_.localIteration
+                                 ? config_.localIteration()
+                                 : 0;
+            if (local != ack->baseIteration) {
+                std::string refusal =
+                    "seed-mismatch (local iteration " +
+                    std::to_string(local) + ", primary generation base " +
+                    std::to_string(ack->baseIteration) + ")";
+                if (refusal != lastRefusal_) {
+                    warn("standby: cannot attach: ", refusal,
+                         "; re-seed from the primary's latest "
+                         "checkpoint");
+                    lastRefusal_ = refusal;
+                }
+                return;
+            }
+            nextApplySeq_ = ack->baseSequence;
+            seeded_ = true;
+        }
+        attached_ = true;
+        lastRefusal_.clear();
+        inform("standby: attached to ", primary_.toString(),
+               " at seq ", nextApplySeq_, ", primary iteration ",
+               ack->primaryIteration, ", lease ", leaseSeconds_, " s");
+        return;
+    }
+    if (const auto *records = std::get_if<ReplicaRecords>(&message)) {
+        if (!attached_)
+            return; // stream from a session we have not accepted yet
+        primaryIteration_ = records->primaryIteration;
+        primaryNextSeq_ = records->nextSeq;
+        for (const WalRecord &record : records->records) {
+            ++recordsReceived_;
+            if (record.sequence < nextApplySeq_)
+                continue; // retransmit overlap
+            if (pending_.size() >= kMaxPending)
+                break;
+            pending_.emplace(record.sequence, record);
+        }
+        // A gap at the head means a lost datagram: ack immediately so
+        // the primary's go-back-N timer has fresh evidence.
+        if (!pending_.empty() &&
+            pending_.begin()->first != nextApplySeq_)
+            ackSoon_ = true;
+        return;
+    }
+    if (const auto *beat = std::get_if<ReplicaHeartbeat>(&message)) {
+        if (!attached_)
+            return;
+        primaryIteration_ = beat->primaryIteration;
+        primaryNextSeq_ = beat->nextSeq;
+        if (beat->leaseSeconds > 0.0)
+            leaseSeconds_ = beat->leaseSeconds;
+        notePrimaryHash(beat->hashIteration, beat->stateHash,
+                        beat->hashValid);
+        return;
+    }
+    // Hello/Ack arriving at a standby are peer bugs; drop.
+}
+
+void
+StandbyClient::pump(double max_wait_seconds)
+{
+    if (!attached_) {
+        auto now = Clock::now();
+        if (lastHelloSent_ == Clock::time_point{} ||
+            std::chrono::duration<double>(now - lastHelloSent_).count() >
+                config_.helloSeconds)
+            sendHello();
+    }
+
+    uint8_t buffers[net::UdpSocket::kMaxBatch][kReplicaDatagramMax];
+    net::UdpSocket::RecvDatagram metas[net::UdpSocket::kMaxBatch];
+    double wait = max_wait_seconds;
+    for (int rounds = 0; rounds < 8; ++rounds) {
+        size_t got = socket_.recvMany(buffers, kReplicaDatagramMax, metas,
+                                      net::UdpSocket::kMaxBatch, wait);
+        if (got == 0)
+            break;
+        wait = 0.0; // drain without blocking once traffic arrived
+        for (size_t i = 0; i < got; ++i) {
+            if (metas[i].from.address != primary_.address)
+                continue; // replication speaks to one primary only
+            auto message = decodeReplica(buffers[i], metas[i].length);
+            if (message)
+                handleMessage(*message);
+        }
+    }
+}
+
+const WalRecord *
+StandbyClient::nextApplicable() const
+{
+    if (pending_.empty() || pending_.begin()->first != nextApplySeq_)
+        return nullptr;
+    return &pending_.begin()->second;
+}
+
+void
+StandbyClient::markApplied()
+{
+    pending_.erase(pending_.begin());
+    ++nextApplySeq_;
+}
+
+uint64_t
+StandbyClient::safeStepIteration() const
+{
+    if (!attached_ || !pending_.empty() ||
+        nextApplySeq_ != primaryNextSeq_)
+        return 0;
+    return primaryIteration_;
+}
+
+void
+StandbyClient::noteLocalHash(uint64_t iteration, uint64_t hash)
+{
+    if (localHashes_.size() >= 16)
+        localHashes_.erase(localHashes_.begin());
+    localHashes_.emplace_back(iteration, hash);
+    checkPrimaryHash();
+}
+
+uint64_t
+StandbyClient::contiguousSeq() const
+{
+    uint64_t seq = nextApplySeq_ - 1;
+    for (const auto &[pending_seq, record] : pending_) {
+        (void)record;
+        if (pending_seq != seq + 1)
+            break;
+        seq = pending_seq;
+    }
+    return seq;
+}
+
+void
+StandbyClient::sendAck()
+{
+    ReplicaAck ack;
+    ack.contiguousSeq = contiguousSeq();
+    ack.appliedSeq = nextApplySeq_ - 1;
+    ack.standbyIteration =
+        config_.localIteration ? config_.localIteration() : 0;
+    if (!localHashes_.empty() &&
+        localHashes_.back().first != echoedHashIteration_) {
+        ack.hashIteration = localHashes_.back().first;
+        ack.stateHash = localHashes_.back().second;
+        ack.hashValid = 1;
+        echoedHashIteration_ = localHashes_.back().first;
+    }
+    std::vector<uint8_t> bytes = encodeReplica(ack);
+    socket_.sendTo(primary_, bytes.data(), bytes.size());
+    lastAckSent_ = Clock::now();
+    ackSoon_ = false;
+}
+
+void
+StandbyClient::maybeAck()
+{
+    if (!attached_)
+        return;
+    auto now = Clock::now();
+    bool due =
+        lastAckSent_ == Clock::time_point{} ||
+        std::chrono::duration<double>(now - lastAckSent_).count() >
+            config_.ackSeconds;
+    if (ackSoon_ || due)
+        sendAck();
+}
+
+bool
+StandbyClient::leaseExpired() const
+{
+    auto now = Clock::now();
+    if (everContacted_) {
+        return std::chrono::duration<double>(now - lastContact_)
+                   .count() > leaseSeconds_;
+    }
+    if (config_.graceSeconds <= 0.0)
+        return false;
+    return std::chrono::duration<double>(now - boot_).count() >
+           config_.graceSeconds;
+}
+
+uint64_t
+StandbyClient::lagRecords() const
+{
+    if (primaryNextSeq_ <= nextApplySeq_)
+        return 0;
+    return primaryNextSeq_ - nextApplySeq_;
+}
+
+double
+StandbyClient::secondsSinceContact() const
+{
+    if (!everContacted_)
+        return -1.0;
+    return std::chrono::duration<double>(Clock::now() - lastContact_)
+        .count();
+}
+
+std::string
+StandbyClient::status() const
+{
+    if (attached_)
+        return "attached";
+    if (!lastRefusal_.empty())
+        return lastRefusal_;
+    return everContacted_ ? "detached" : "connecting";
+}
+
+} // namespace replica
+} // namespace mercury

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Standby-side replication: receives the primary's WAL stream,
+ * buffers out-of-order records, exposes the contiguous prefix for the
+ * daemon to apply at iteration boundaries, acks cumulatively, and
+ * tracks the promotion lease.
+ *
+ * Solver-thread only, like the Replicator. The daemon's standby loop
+ * pumps the socket (the pump doubles as the loop's sleep), applies
+ * whatever became contiguous, steps the solver to the primary's
+ * iteration only when no gaps remain (the safe-step rule — stepping
+ * past a missing mutation would fork the shadow), and promotes when
+ * the lease runs dry.
+ */
+
+#ifndef MERCURY_REPLICA_STANDBY_HH
+#define MERCURY_REPLICA_STANDBY_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/udp.hh"
+#include "replica/wire.hh"
+
+namespace mercury {
+namespace replica {
+
+class StandbyClient
+{
+  public:
+    struct Config
+    {
+        std::string host;   //!< primary's replication address
+        uint16_t port = 0;  //!< primary's replication port
+        uint64_t topologyHash = 0;
+
+        /** Hello retry period while unattached. */
+        double helloSeconds = 0.5;
+
+        /** Minimum gap between cumulative acks (a detected gap acks
+         *  immediately regardless, to trigger retransmission). */
+        double ackSeconds = 0.05;
+
+        /** Fallback lease until the primary advertises one. */
+        double leaseSeconds = 3.0;
+
+        /** Promote this long after boot when the primary was NEVER
+         *  reached (<= 0: wait forever). Kept well above the lease so
+         *  a slow-starting primary wins the race. */
+        double graceSeconds = 0.0;
+
+        /** The local solver's iteration count. A fresh attach is
+         *  refused locally unless it equals the primary's generation
+         *  base — streaming from mismatched seed state would fork the
+         *  shadow silently. */
+        std::function<uint64_t()> localIteration;
+    };
+
+    explicit StandbyClient(Config config);
+
+    /** @name Solver-thread API */
+    /// @{
+
+    /**
+     * Wait up to @p max_wait_seconds for replication traffic and
+     * process everything that arrived (hellos are retried from here
+     * while unattached). This is the standby loop's sleep.
+     */
+    void pump(double max_wait_seconds);
+
+    /** Next record to apply, when the head of the stream is here. */
+    const WalRecord *nextApplicable() const;
+
+    /** The daemon applied (and logged) nextApplicable(). */
+    void markApplied();
+
+    /**
+     * The iteration the solver may safely step to: the primary's
+     * announced iteration when every announced record is here and
+     * applied, 0 while gaps remain (stepping would fork the shadow).
+     */
+    uint64_t safeStepIteration() const;
+
+    /** Record the local state hash at @p iteration: echoed to the
+     *  primary in acks, and checked against the primary's heartbeat
+     *  hash when iterations line up. */
+    void noteLocalHash(uint64_t iteration, uint64_t hash);
+
+    /** Send a cumulative ack if one is due. */
+    void maybeAck();
+
+    /** Lease verdict: true once the primary has been silent past the
+     *  lease (or, never having answered, past the boot grace). */
+    bool leaseExpired() const;
+
+    /// @}
+
+    /** @name Observability */
+    /// @{
+    bool attached() const { return attached_; }
+    bool everContacted() const { return everContacted_; }
+    uint64_t lastAppliedSeq() const { return nextApplySeq_ - 1; }
+    uint64_t contiguousSeq() const;
+    uint64_t primaryIteration() const { return primaryIteration_; }
+    uint64_t primaryNextSeq() const { return primaryNextSeq_; }
+
+    /** Records the primary has assigned that we have not applied. */
+    uint64_t lagRecords() const;
+
+    double leaseSeconds() const { return leaseSeconds_; }
+    double secondsSinceContact() const;
+    int lastHashVerdict() const { return lastHashVerdict_; }
+    uint64_t hashChecks() const { return hashChecks_; }
+    uint64_t hashMismatches() const { return hashMismatches_; }
+    uint64_t recordsReceived() const { return recordsReceived_; }
+
+    /** One-word session state for `fiddle replica` and logs. */
+    std::string status() const;
+    /// @}
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void handleMessage(const ReplicaMessage &message);
+    void notePrimaryHash(uint64_t iteration, uint64_t hash,
+                         uint8_t valid);
+    void checkPrimaryHash();
+    void sendHello();
+    void sendAck();
+
+    Config config_;
+    net::Endpoint primary_;
+    net::UdpSocket socket_;
+
+    bool attached_ = false;
+    bool everContacted_ = false;
+    bool seeded_ = false; //!< first attach done; hellos resume, not restart
+    std::string lastRefusal_; //!< last non-Ok hello verdict, for logs
+
+    /** Next sequence to hand the daemon; everything below is applied. */
+    uint64_t nextApplySeq_ = 1;
+    /** Out-of-order buffer keyed by sequence. */
+    std::map<uint64_t, WalRecord> pending_;
+
+    uint64_t primaryIteration_ = 0;
+    uint64_t primaryNextSeq_ = 0;
+    double leaseSeconds_ = 0.0;
+
+    Clock::time_point boot_;
+    Clock::time_point lastContact_;
+    Clock::time_point lastHelloSent_;
+    Clock::time_point lastAckSent_;
+    bool ackSoon_ = false; //!< gap seen: ack now, don't wait the timer
+
+    /** Local hashes by iteration (echoed + checked). */
+    std::vector<std::pair<uint64_t, uint64_t>> localHashes_;
+    uint64_t echoedHashIteration_ = 0;
+
+    /** Primary's latest advertised hash, awaiting a local match. */
+    uint64_t primaryHashIteration_ = 0;
+    uint64_t primaryHash_ = 0;
+    bool primaryHashPending_ = false;
+
+    int lastHashVerdict_ = 0;
+    uint64_t hashChecks_ = 0;
+    uint64_t hashMismatches_ = 0;
+    uint64_t recordsReceived_ = 0;
+};
+
+} // namespace replica
+} // namespace mercury
+
+#endif // MERCURY_REPLICA_STANDBY_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Replication wire format: the datagrams a primary solverd and its
+ * hot standby exchange on the dedicated replication socket.
+ *
+ * WAL records do not fit the request plane's fixed 128-byte framing,
+ * so replication runs its own variable-size datagrams (<= 1400 bytes,
+ * under any sane MTU) with its own magic:
+ *
+ *   u32 magic "MRP1" | u8 version | u8 type | u16 reserved | body
+ *
+ * The session mirrors the monitord->solverd sender-window machinery,
+ * inverted: the primary streams sequence-numbered records, the standby
+ * acks the highest contiguous sequence it holds, and the primary
+ * go-back-N retransmits past the ack on a short timer. Acks and
+ * heartbeats piggyback a periodic state hash so both sides verify the
+ * standby really is a bitwise shadow (docs/protocol.md).
+ */
+
+#ifndef MERCURY_REPLICA_WIRE_HH
+#define MERCURY_REPLICA_WIRE_HH
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "replica/wal.hh"
+
+namespace mercury {
+namespace replica {
+
+constexpr uint32_t kReplicaMagic = 0x3150524d; // "MRP1" little-endian
+constexpr uint8_t kReplicaVersion = 1;
+constexpr size_t kReplicaWireHeaderBytes = 8;
+constexpr size_t kReplicaDatagramMax = 1400;
+
+enum class ReplicaMsgType : uint8_t {
+    Hello = 1,
+    HelloAck = 2,
+    Records = 3,
+    Ack = 4,
+    Heartbeat = 5,
+};
+
+/** Standby -> primary: open (or re-open) a replication session. */
+struct ReplicaHello
+{
+    uint64_t topologyHash = 0;
+    uint64_t lastAppliedSeq = 0; //!< 0 = fresh standby, start of stream
+    uint64_t standbyIteration = 0;
+};
+
+enum class HelloStatus : uint8_t {
+    Ok = 0,
+    NotPrimary = 1,          //!< target is itself a standby
+    TopologyMismatch = 2,    //!< different config; refuse to stream
+    HistoryUnavailable = 3,  //!< asked-for suffix left the retain ring
+};
+
+/** Primary -> standby: session verdict + stream position. */
+struct ReplicaHelloAck
+{
+    HelloStatus status = HelloStatus::Ok;
+    uint64_t primaryIteration = 0;
+    /** Iteration the primary's current WAL generation starts at. A
+     *  fresh standby must have seeded itself from a checkpoint at
+     *  exactly this iteration (0 = primary booted cold). */
+    uint64_t baseIteration = 0;
+    /** First sequence of that generation: where a fresh standby's
+     *  stream starts. */
+    uint64_t baseSequence = 0;
+    uint64_t nextSeq = 0; //!< next sequence the primary will assign
+    double leaseSeconds = 0.0;
+    uint32_t hashIterations = 0;
+};
+
+/** Primary -> standby: a run of consecutive WAL records. */
+struct ReplicaRecords
+{
+    uint64_t primaryIteration = 0;
+    uint64_t nextSeq = 0; //!< so the standby can tell "caught up"
+    std::vector<WalRecord> records;
+};
+
+/** Standby -> primary: cumulative ack + optional state-hash echo. */
+struct ReplicaAck
+{
+    uint64_t contiguousSeq = 0; //!< highest gap-free sequence received
+    uint64_t appliedSeq = 0;
+    uint64_t standbyIteration = 0;
+    uint64_t hashIteration = 0;
+    uint64_t stateHash = 0;
+    uint8_t hashValid = 0;
+};
+
+/** Primary -> standby: lease keep-alive when no records flow. */
+struct ReplicaHeartbeat
+{
+    uint64_t primaryIteration = 0;
+    uint64_t nextSeq = 0;
+    double leaseSeconds = 0.0;
+    uint64_t hashIteration = 0;
+    uint64_t stateHash = 0;
+    uint8_t hashValid = 0;
+};
+
+using ReplicaMessage =
+    std::variant<ReplicaHello, ReplicaHelloAck, ReplicaRecords,
+                 ReplicaAck, ReplicaHeartbeat>;
+
+std::vector<uint8_t> encodeReplica(const ReplicaHello &msg);
+std::vector<uint8_t> encodeReplica(const ReplicaHelloAck &msg);
+std::vector<uint8_t> encodeReplica(const ReplicaRecords &msg);
+std::vector<uint8_t> encodeReplica(const ReplicaAck &msg);
+std::vector<uint8_t> encodeReplica(const ReplicaHeartbeat &msg);
+
+/** Bounds- and CRC-checked decode; nullopt for anything malformed. */
+std::optional<ReplicaMessage> decodeReplica(const uint8_t *data,
+                                            size_t size);
+
+/** Bytes @p record adds to a Records datagram (record framing reuses
+ *  the on-disk layout, CRC included). */
+size_t recordWireBytes(const WalRecord &record);
+
+} // namespace replica
+} // namespace mercury
+
+#endif // MERCURY_REPLICA_WIRE_HH

@@ -1,0 +1,76 @@
+#include "util/fileio.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mercury {
+
+namespace {
+
+void
+setError(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents,
+                std::string *error)
+{
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setError(error, "open " + tmp + ": " + std::strerror(errno));
+        return false;
+    }
+    size_t written = 0;
+    while (written < contents.size()) {
+        ssize_t n = ::write(fd, contents.data() + written,
+                            contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "write " + tmp + ": " + std::strerror(errno));
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        setError(error, "fsync " + tmp + ": " + std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setError(error, "close " + tmp + ": " + std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "rename " + tmp + ": " + std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // Persist the rename itself: fsync the containing directory.
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, slash + 1);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
+} // namespace mercury

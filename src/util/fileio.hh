@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small durable-file helpers shared by the daemons.
+ *
+ * atomicWriteFile() is the tmp+fsync+rename+dir-fsync dance the
+ * checkpoint saver uses, packaged for the little metadata files
+ * (--port-file, supervisord's failover flip) where a reader must never
+ * observe a half-written value.
+ */
+
+#ifndef MERCURY_UTIL_FILEIO_HH
+#define MERCURY_UTIL_FILEIO_HH
+
+#include <string>
+
+namespace mercury {
+
+/**
+ * Replace @p path with @p contents atomically: write to path.tmp,
+ * fsync, rename over path, fsync the containing directory. Readers see
+ * either the old file or the new one, never a prefix. Returns false
+ * (with a diagnostic in @p error when non-null) on any syscall
+ * failure; the destination is untouched in that case.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &contents,
+                     std::string *error = nullptr);
+
+} // namespace mercury
+
+#endif // MERCURY_UTIL_FILEIO_HH

@@ -1,0 +1,726 @@
+/**
+ * @file
+ * The replication subsystem in-process: WAL encode/decode and tail
+ * tolerance, the compact mutation codec, bitwise replay (fresh and
+ * from a checkpoint), the replication wire format, a primary/standby
+ * loopback over real UDP, and the state hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.hh"
+#include "proto/solver_service.hh"
+#include "proto/wal_codec.hh"
+#include "replica/replicator.hh"
+#include "replica/standby.hh"
+#include "replica/wal.hh"
+#include "replica/wire.hh"
+#include "state/checkpoint.hh"
+
+namespace mercury {
+namespace {
+
+std::string
+tempPath(const std::string &tag)
+{
+    return "/tmp/mercury_replica_test." + tag + "." +
+           std::to_string(::getpid());
+}
+
+core::SolverConfig
+testSolverConfig()
+{
+    core::SolverConfig config;
+    config.iterationSeconds = 1.0;
+    return config;
+}
+
+void
+addServer(core::Solver &solver)
+{
+    solver.addMachine(core::table1Server("server"));
+}
+
+proto::Message
+utilizationMessage(double utilization, uint64_t sequence)
+{
+    proto::UtilizationUpdate update;
+    update.machine = "server";
+    update.component = "cpu";
+    update.utilization = utilization;
+    update.sequence = sequence;
+    return update;
+}
+
+std::vector<uint8_t>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              std::streamsize(bytes.size()));
+}
+
+TEST(WalCodec, UtilizationRoundTrip)
+{
+    proto::UtilizationUpdate update;
+    update.machine = "server";
+    update.component = "disk";
+    update.utilization = 0.728515625;
+    update.sequence = 91234;
+    update.backlog = 17;
+    update.substituted = 1;
+
+    auto payload = proto::encodeWalMutation(update);
+    ASSERT_FALSE(payload.empty());
+    auto decoded =
+        proto::decodeWalMutation(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.has_value());
+    const auto *got = std::get_if<proto::UtilizationUpdate>(&*decoded);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->machine, update.machine);
+    EXPECT_EQ(got->component, update.component);
+    EXPECT_EQ(got->utilization, update.utilization); // bitwise
+    EXPECT_EQ(got->sequence, update.sequence);
+    EXPECT_EQ(got->backlog, update.backlog);
+    EXPECT_EQ(got->substituted, update.substituted);
+}
+
+TEST(WalCodec, FiddleRoundTrip)
+{
+    proto::FiddleRequest request;
+    request.requestId = 77;
+    request.commandLine = "server pin cpu 55";
+
+    auto payload = proto::encodeWalMutation(request);
+    ASSERT_FALSE(payload.empty());
+    auto decoded =
+        proto::decodeWalMutation(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.has_value());
+    const auto *got = std::get_if<proto::FiddleRequest>(&*decoded);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->requestId, request.requestId);
+    EXPECT_EQ(got->commandLine, request.commandLine);
+}
+
+TEST(WalCodec, ReadOnlyFiddleLinesAreNotLoggable)
+{
+    EXPECT_FALSE(proto::fiddleLineMutates("stats"));
+    EXPECT_FALSE(proto::fiddleLineMutates("metrics"));
+    EXPECT_FALSE(proto::fiddleLineMutates("replica"));
+    EXPECT_FALSE(proto::fiddleLineMutates("checkpoint"));
+    EXPECT_FALSE(proto::fiddleLineMutates("guard"));
+    EXPECT_FALSE(proto::fiddleLineMutates("guard page 2"));
+    EXPECT_FALSE(proto::fiddleLineMutates("fiddle stats"));
+    EXPECT_FALSE(proto::fiddleLineMutates("  "));
+    EXPECT_TRUE(proto::fiddleLineMutates("server pin cpu 55"));
+    EXPECT_TRUE(proto::fiddleLineMutates("fiddle server fan 120"));
+    EXPECT_TRUE(proto::fiddleLineMutates("room ac crac1 18"));
+
+    proto::FiddleRequest stats;
+    stats.requestId = 1;
+    stats.commandLine = "stats";
+    EXPECT_TRUE(proto::encodeWalMutation(stats).empty());
+
+    // Read RPCs never belong in the WAL at all.
+    proto::SensorRequest read;
+    read.machine = "server";
+    read.component = "cpu";
+    EXPECT_TRUE(proto::encodeWalMutation(read).empty());
+}
+
+TEST(WalCodec, HostileBytesAreRejected)
+{
+    EXPECT_FALSE(proto::decodeWalMutation(nullptr, 0).has_value());
+
+    auto payload = proto::encodeWalMutation(utilizationMessage(0.5, 1));
+    ASSERT_FALSE(payload.empty());
+    // Every truncation must fail cleanly, never read out of bounds.
+    for (size_t length = 0; length < payload.size(); ++length)
+        EXPECT_FALSE(
+            proto::decodeWalMutation(payload.data(), length).has_value())
+            << "length " << length;
+
+    std::vector<uint8_t> bad_tag = payload;
+    bad_tag[0] = 0x7f;
+    EXPECT_FALSE(
+        proto::decodeWalMutation(bad_tag.data(), bad_tag.size())
+            .has_value());
+
+    std::vector<uint8_t> trailing = payload;
+    trailing.push_back(0);
+    EXPECT_FALSE(
+        proto::decodeWalMutation(trailing.data(), trailing.size())
+            .has_value());
+}
+
+TEST(Wal, WriterReaderRoundTrip)
+{
+    const std::string path = tempPath("roundtrip");
+    std::remove(path.c_str());
+    std::remove((path + ".old").c_str());
+
+    replica::WalHeader header;
+    header.topologyHash = 0xfeedface;
+    header.startIteration = 12;
+    header.startSequence = 5;
+    std::string error;
+    auto writer = replica::WalWriter::create(path, header, &error);
+    ASSERT_NE(writer, nullptr) << error;
+
+    for (uint64_t i = 0; i < 10; ++i) {
+        replica::WalRecord record;
+        record.sequence = 5 + i;
+        record.iteration = 12 + i / 2;
+        record.kind = i == 9 ? replica::WalRecordKind::CheckpointMarker
+                             : replica::WalRecordKind::Mutation;
+        record.payload.assign(i + 1, uint8_t(0x40 + i));
+        writer->append(record);
+    }
+    EXPECT_TRUE(writer->sync());
+    EXPECT_EQ(writer->recordsAppended(), 10u);
+    writer.reset();
+
+    replica::WalReadResult wal;
+    ASSERT_TRUE(replica::readWalFile(path, &wal, &error)) << error;
+    EXPECT_TRUE(wal.tailOk) << wal.tailError;
+    EXPECT_EQ(wal.header.topologyHash, header.topologyHash);
+    EXPECT_EQ(wal.header.startIteration, header.startIteration);
+    EXPECT_EQ(wal.header.startSequence, header.startSequence);
+    ASSERT_EQ(wal.records.size(), 10u);
+    for (uint64_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(wal.records[i].sequence, 5 + i);
+        EXPECT_EQ(wal.records[i].payload.size(), i + 1);
+    }
+    EXPECT_EQ(wal.records[9].kind,
+              replica::WalRecordKind::CheckpointMarker);
+    std::remove(path.c_str());
+}
+
+TEST(Wal, TailCorruptionYieldsValidPrefix)
+{
+    const std::string path = tempPath("corrupt");
+    std::remove(path.c_str());
+
+    replica::WalHeader header;
+    header.topologyHash = 1;
+    std::string error;
+    auto writer = replica::WalWriter::create(path, header, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    for (uint64_t i = 0; i < 6; ++i) {
+        replica::WalRecord record;
+        record.sequence = 1 + i;
+        record.iteration = i;
+        record.payload.assign(8, uint8_t(i));
+        writer->append(record);
+    }
+    ASSERT_TRUE(writer->sync());
+    writer.reset();
+
+    // Flip one byte inside the last record's payload.
+    auto bytes = fileBytes(path);
+    ASSERT_GT(bytes.size(), 4u);
+    bytes[bytes.size() - 3] ^= 0xff;
+    writeBytes(path, bytes);
+
+    replica::WalReadResult wal;
+    ASSERT_TRUE(replica::readWalFile(path, &wal, &error)) << error;
+    EXPECT_FALSE(wal.tailOk);
+    EXPECT_EQ(wal.records.size(), 5u);
+    EXPECT_FALSE(wal.tailError.empty());
+
+    // Truncation mid-record degrades the same way.
+    writeBytes(path, std::vector<uint8_t>(bytes.begin(),
+                                          bytes.end() - 10));
+    ASSERT_TRUE(replica::readWalFile(path, &wal, &error)) << error;
+    EXPECT_FALSE(wal.tailOk);
+    EXPECT_EQ(wal.records.size(), 5u);
+    std::remove(path.c_str());
+}
+
+TEST(Wal, SequenceBreakEndsThePrefix)
+{
+    const std::string path = tempPath("gap");
+    std::remove(path.c_str());
+
+    replica::WalHeader header;
+    std::vector<uint8_t> bytes = replica::encodeWalHeader(header);
+    for (uint64_t seq : {1, 2, 4}) { // 3 is missing
+        replica::WalRecord record;
+        record.sequence = seq;
+        record.iteration = seq;
+        record.payload = {uint8_t(seq)};
+        replica::appendRecordBytes(bytes, record);
+    }
+    writeBytes(path, bytes);
+
+    replica::WalReadResult wal;
+    std::string error;
+    ASSERT_TRUE(replica::readWalFile(path, &wal, &error)) << error;
+    EXPECT_FALSE(wal.tailOk);
+    EXPECT_EQ(wal.records.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Wal, CreatePreservesThePredecessorAsOld)
+{
+    const std::string path = tempPath("old");
+    std::remove(path.c_str());
+    std::remove((path + ".old").c_str());
+
+    replica::WalHeader first;
+    first.startIteration = 7;
+    std::string error;
+    auto writer = replica::WalWriter::create(path, first, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    writer.reset();
+
+    replica::WalHeader second;
+    second.startIteration = 99;
+    writer = replica::WalWriter::create(path, second, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    writer.reset();
+
+    replica::WalReadResult old_wal;
+    ASSERT_TRUE(
+        replica::readWalFile(path + ".old", &old_wal, &error))
+        << error;
+    EXPECT_EQ(old_wal.header.startIteration, 7u);
+    replica::WalReadResult new_wal;
+    ASSERT_TRUE(replica::readWalFile(path, &new_wal, &error)) << error;
+    EXPECT_EQ(new_wal.header.startIteration, 99u);
+    std::remove(path.c_str());
+    std::remove((path + ".old").c_str());
+}
+
+/**
+ * Drive a "live" solver the way the daemon does — iterate, then apply
+ * drained mutations logged to a WAL — and prove replaying that WAL
+ * into a fresh solver reproduces the run bitwise.
+ */
+TEST(WalReplay, ReproducesALiveRunBitwise)
+{
+    const std::string path = tempPath("replay");
+    std::remove(path.c_str());
+
+    core::Solver live(testSolverConfig());
+    addServer(live);
+    proto::SolverService live_service(live);
+
+    replica::WalHeader header;
+    header.topologyHash = state::topologyHash(live);
+    header.startIteration = 0;
+    std::string error;
+    auto writer = replica::WalWriter::create(path, header, &error);
+    ASSERT_NE(writer, nullptr) << error;
+
+    uint64_t next_seq = 1;
+    auto log_and_apply = [&](const proto::Message &message) {
+        auto payload = proto::encodeWalMutation(message);
+        ASSERT_FALSE(payload.empty());
+        replica::WalRecord record;
+        record.sequence = next_seq++;
+        record.iteration = live.iterations();
+        record.payload = std::move(payload);
+        writer->append(record);
+        live_service.handleReplicated(message);
+    };
+
+    for (int i = 0; i < 120; ++i) {
+        live.iterate();
+        if (i % 7 == 0)
+            log_and_apply(
+                utilizationMessage(0.15 + 0.007 * i, uint64_t(i + 1)));
+        if (i == 40) {
+            proto::FiddleRequest fiddle;
+            fiddle.requestId = 9;
+            fiddle.commandLine = "server fan 140";
+            log_and_apply(fiddle);
+        }
+    }
+    ASSERT_TRUE(writer->sync());
+    writer.reset();
+
+    core::Solver replayed(testSolverConfig());
+    addServer(replayed);
+    proto::SolverService replay_service(replayed);
+    replica::WalReadResult wal;
+    ASSERT_TRUE(replica::readWalFile(path, &wal, &error)) << error;
+    ASSERT_TRUE(wal.tailOk) << wal.tailError;
+
+    replica::ReplayStats stats;
+    ASSERT_TRUE(replica::replayWal(
+        replayed, wal,
+        [&](const replica::WalRecord &record) {
+            auto message = proto::decodeWalMutation(
+                record.payload.data(), record.payload.size());
+            ASSERT_TRUE(message.has_value());
+            replay_service.handleReplicated(*message);
+        },
+        live.iterations(), &stats, &error))
+        << error;
+
+    EXPECT_EQ(stats.applied, next_seq - 1);
+    EXPECT_EQ(replayed.iterations(), live.iterations());
+    EXPECT_EQ(replica::stateHash(replayed), replica::stateHash(live));
+
+    state::Checkpoint want = state::captureSolver(live);
+    state::Checkpoint got = state::captureSolver(replayed);
+    ASSERT_EQ(got.machines.size(), want.machines.size());
+    for (size_t m = 0; m < want.machines.size(); ++m) {
+        ASSERT_EQ(got.machines[m].temperatures.size(),
+                  want.machines[m].temperatures.size());
+        for (size_t n = 0; n < want.machines[m].temperatures.size(); ++n)
+            EXPECT_EQ(got.machines[m].temperatures[n],
+                      want.machines[m].temperatures[n]) // bitwise
+                << "node " << n;
+        EXPECT_EQ(got.machines[m].energyConsumed,
+                  want.machines[m].energyConsumed);
+    }
+    std::remove(path.c_str());
+}
+
+/**
+ * The checkpoint interaction: rotate the WAL at a mid-run checkpoint
+ * save, keep running, then restore the checkpoint and replay only the
+ * rotated suffix — landing bitwise on the live run.
+ */
+TEST(WalReplay, CheckpointPlusSuffixLandsBitwiseOnTheLiveRun)
+{
+    const std::string wal_path = tempPath("suffix.wal");
+    const std::string checkpoint_path = tempPath("suffix.ck");
+    std::remove(wal_path.c_str());
+    std::remove((wal_path + ".old").c_str());
+    std::remove(checkpoint_path.c_str());
+
+    core::Solver live(testSolverConfig());
+    addServer(live);
+    proto::SolverService live_service(live);
+
+    replica::WalHeader header;
+    header.topologyHash = state::topologyHash(live);
+    std::string error;
+    auto writer = replica::WalWriter::create(wal_path, header, &error);
+    ASSERT_NE(writer, nullptr) << error;
+
+    uint64_t next_seq = 1;
+    auto log_and_apply = [&](const proto::Message &message) {
+        auto payload = proto::encodeWalMutation(message);
+        ASSERT_FALSE(payload.empty());
+        replica::WalRecord record;
+        record.sequence = next_seq++;
+        record.iteration = live.iterations();
+        record.payload = std::move(payload);
+        writer->append(record);
+        live_service.handleReplicated(message);
+    };
+
+    for (int i = 0; i < 150; ++i) {
+        live.iterate();
+        if (i % 5 == 0)
+            log_and_apply(
+                utilizationMessage(0.9 - 0.004 * i, uint64_t(i + 1)));
+        if (i == 75) {
+            // Loop-top checkpoint save + rotation, daemon style.
+            ASSERT_TRUE(state::saveCheckpointFile(
+                checkpoint_path, state::captureSolver(live), &error))
+                << error;
+            replica::WalHeader fresh;
+            fresh.topologyHash = header.topologyHash;
+            fresh.startIteration = live.iterations();
+            fresh.startSequence = next_seq;
+            ASSERT_TRUE(writer->rotate(fresh, &error)) << error;
+        }
+    }
+    ASSERT_TRUE(writer->sync());
+    writer.reset();
+
+    // Restore the checkpoint, replay only the post-rotation suffix.
+    core::Solver resumed(testSolverConfig());
+    addServer(resumed);
+    proto::SolverService resumed_service(resumed);
+    state::Checkpoint checkpoint;
+    ASSERT_TRUE(state::loadCheckpointFile(checkpoint_path, &checkpoint,
+                                          &error))
+        << error;
+    ASSERT_TRUE(state::restoreSolver(resumed, checkpoint, &error))
+        << error;
+
+    replica::WalReadResult wal;
+    ASSERT_TRUE(replica::readWalFile(wal_path, &wal, &error)) << error;
+    ASSERT_TRUE(wal.tailOk) << wal.tailError;
+    EXPECT_EQ(wal.header.startIteration, checkpoint.iterations);
+
+    replica::ReplayStats stats;
+    ASSERT_TRUE(replica::replayWal(
+        resumed, wal,
+        [&](const replica::WalRecord &record) {
+            auto message = proto::decodeWalMutation(
+                record.payload.data(), record.payload.size());
+            ASSERT_TRUE(message.has_value());
+            resumed_service.handleReplicated(*message);
+        },
+        live.iterations(), &stats, &error))
+        << error;
+
+    EXPECT_EQ(resumed.iterations(), live.iterations());
+    EXPECT_EQ(replica::stateHash(resumed), replica::stateHash(live));
+
+    std::remove(wal_path.c_str());
+    std::remove((wal_path + ".old").c_str());
+    std::remove(checkpoint_path.c_str());
+}
+
+TEST(WalReplay, TopologyMismatchIsRefused)
+{
+    const std::string path = tempPath("topo");
+    std::remove(path.c_str());
+
+    replica::WalHeader header;
+    header.topologyHash = 0xdeadbeef; // not the solver's
+    writeBytes(path, replica::encodeWalHeader(header));
+
+    core::Solver solver(testSolverConfig());
+    addServer(solver);
+    replica::WalReadResult wal;
+    std::string error;
+    ASSERT_TRUE(replica::readWalFile(path, &wal, &error)) << error;
+    replica::ReplayStats stats;
+    EXPECT_FALSE(replica::replayWal(
+        solver, wal, [](const replica::WalRecord &) {}, 0, &stats,
+        &error));
+    EXPECT_NE(error.find("topology"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(ReplicaWire, MessagesRoundTrip)
+{
+    replica::ReplicaHello hello;
+    hello.topologyHash = 0xabc;
+    hello.lastAppliedSeq = 41;
+    hello.standbyIteration = 12;
+    auto bytes = replica::encodeReplica(hello);
+    auto decoded = replica::decodeReplica(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.has_value());
+    const auto *hello_got = std::get_if<replica::ReplicaHello>(&*decoded);
+    ASSERT_NE(hello_got, nullptr);
+    EXPECT_EQ(hello_got->lastAppliedSeq, 41u);
+
+    replica::ReplicaRecords records;
+    records.primaryIteration = 99;
+    records.nextSeq = 8;
+    for (uint64_t i = 0; i < 3; ++i) {
+        replica::WalRecord record;
+        record.sequence = 5 + i;
+        record.iteration = 90 + i;
+        record.payload.assign(6, uint8_t(i));
+        records.records.push_back(record);
+    }
+    bytes = replica::encodeReplica(records);
+    ASSERT_LE(bytes.size(), replica::kReplicaDatagramMax);
+    decoded = replica::decodeReplica(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.has_value());
+    const auto *records_got =
+        std::get_if<replica::ReplicaRecords>(&*decoded);
+    ASSERT_NE(records_got, nullptr);
+    ASSERT_EQ(records_got->records.size(), 3u);
+    EXPECT_EQ(records_got->records[2].sequence, 7u);
+
+    // A corrupted record inside a Records datagram kills the decode
+    // (the CRC travels with the record).
+    bytes[bytes.size() - 2] ^= 0xff;
+    EXPECT_FALSE(
+        replica::decodeReplica(bytes.data(), bytes.size()).has_value());
+
+    replica::ReplicaAck ack_msg;
+    ack_msg.contiguousSeq = 20;
+    ack_msg.appliedSeq = 19;
+    ack_msg.standbyIteration = 18;
+    ack_msg.hashIteration = 16;
+    ack_msg.stateHash = 0xdeadbeefcafef00dull;
+    ack_msg.hashValid = 1;
+    bytes = replica::encodeReplica(ack_msg);
+    decoded = replica::decodeReplica(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.has_value());
+    const auto *ack_got = std::get_if<replica::ReplicaAck>(&*decoded);
+    ASSERT_NE(ack_got, nullptr);
+    EXPECT_EQ(ack_got->contiguousSeq, 20u);
+    EXPECT_EQ(ack_got->appliedSeq, 19u);
+    EXPECT_EQ(ack_got->stateHash, ack_msg.stateHash);
+    EXPECT_EQ(ack_got->hashValid, 1);
+
+    replica::ReplicaHeartbeat heartbeat;
+    heartbeat.primaryIteration = 1234;
+    heartbeat.nextSeq = 55;
+    heartbeat.leaseSeconds = 2.5;
+    heartbeat.hashIteration = 1216;
+    heartbeat.stateHash = 0x1122334455667788ull;
+    heartbeat.hashValid = 1;
+    bytes = replica::encodeReplica(heartbeat);
+    decoded = replica::decodeReplica(bytes.data(), bytes.size());
+    ASSERT_TRUE(decoded.has_value());
+    const auto *heartbeat_got =
+        std::get_if<replica::ReplicaHeartbeat>(&*decoded);
+    ASSERT_NE(heartbeat_got, nullptr);
+    EXPECT_EQ(heartbeat_got->stateHash, heartbeat.stateHash);
+    EXPECT_EQ(heartbeat_got->leaseSeconds, 2.5);
+
+    // Truncations never decode.
+    for (size_t length = 0; length < bytes.size(); ++length)
+        EXPECT_FALSE(
+            replica::decodeReplica(bytes.data(), length).has_value());
+}
+
+/** Primary and standby endpoints talking over loopback UDP. */
+TEST(ReplicaLoopback, StreamsAcksAndVerifiesHashes)
+{
+    replica::Replicator::Config primary_config;
+    primary_config.heartbeatSeconds = 0.05;
+    primary_config.leaseSeconds = 0.8;
+    primary_config.retransmitSeconds = 0.05;
+    replica::Replicator primary(primary_config, /*topology_hash=*/7,
+                                /*base_iteration=*/0,
+                                /*base_sequence=*/1);
+    ASSERT_GT(primary.port(), 0);
+
+    uint64_t standby_iteration = 0;
+    replica::StandbyClient::Config standby_config;
+    standby_config.host = "127.0.0.1";
+    standby_config.port = primary.port();
+    standby_config.topologyHash = 7;
+    standby_config.helloSeconds = 0.05;
+    standby_config.ackSeconds = 0.01;
+    standby_config.leaseSeconds = 0.8;
+    standby_config.localIteration = [&] { return standby_iteration; };
+    replica::StandbyClient standby(standby_config);
+
+    uint64_t primary_iteration = 0;
+    // The daemon's standby loop calls maybeAck() every pass; mirror
+    // that, or the ack stream dries up after the first send.
+    auto pump_both = [&](int rounds) {
+        for (int i = 0; i < rounds; ++i) {
+            standby.pump(0.01);
+            standby.maybeAck();
+            primary.poll(primary_iteration);
+        }
+    };
+
+    pump_both(60);
+    ASSERT_TRUE(standby.attached()) << standby.status();
+    EXPECT_EQ(primary.standbyCount(), 1u);
+
+    // Stream 20 records across several polls.
+    std::vector<replica::WalRecord> applied;
+    for (uint64_t seq = 1; seq <= 20; ++seq) {
+        replica::WalRecord record;
+        record.sequence = seq;
+        record.iteration = seq;
+        record.payload.assign(16, uint8_t(seq));
+        primary.offer(record);
+        primary_iteration = seq;
+    }
+    for (int round = 0; round < 200 && applied.size() < 20; ++round) {
+        pump_both(1);
+        while (const replica::WalRecord *record =
+                   standby.nextApplicable()) {
+            applied.push_back(*record);
+            standby_iteration = record->iteration;
+            standby.markApplied();
+        }
+        standby.maybeAck();
+    }
+    ASSERT_EQ(applied.size(), 20u);
+    for (uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(applied[i].sequence, i + 1);
+    EXPECT_EQ(standby.safeStepIteration(), 20u);
+    EXPECT_FALSE(standby.leaseExpired());
+
+    pump_both(40);
+    EXPECT_EQ(primary.ackedSeq(), 20u);
+    EXPECT_EQ(primary.standbyIteration(), 20u);
+
+    // Matching state hashes: the standby echoes, the primary verifies.
+    primary.noteHash(20, 0x5a5a5a5a);
+    standby.noteLocalHash(20, 0x5a5a5a5a);
+    for (int round = 0; round < 100 && primary.hashChecks() == 0;
+         ++round) {
+        pump_both(1);
+        standby.maybeAck();
+    }
+    EXPECT_GE(primary.hashChecks(), 1u);
+    EXPECT_EQ(primary.hashMismatches(), 0u);
+    EXPECT_EQ(primary.lastHashVerdict(), 1);
+}
+
+TEST(ReplicaLoopback, InactivePrimaryAndTopologyMismatchRefuse)
+{
+    replica::Replicator::Config primary_config;
+    primary_config.heartbeatSeconds = 0.05;
+    replica::Replicator primary(primary_config, 7, 0, 1);
+    primary.setActive(false);
+
+    replica::StandbyClient::Config standby_config;
+    standby_config.host = "127.0.0.1";
+    standby_config.port = primary.port();
+    standby_config.topologyHash = 7;
+    standby_config.helloSeconds = 0.02;
+    standby_config.graceSeconds = 30.0;
+    standby_config.localIteration = [] { return uint64_t(0); };
+    replica::StandbyClient refused(standby_config);
+    for (int i = 0; i < 50 && !refused.everContacted(); ++i) {
+        refused.pump(0.01);
+        primary.poll(0);
+    }
+    EXPECT_TRUE(refused.everContacted());
+    EXPECT_FALSE(refused.attached());
+    // An answering (if refusing) peer suppresses grace promotion:
+    // promoting against a live not-yet-primary would split the brain.
+    EXPECT_FALSE(refused.leaseExpired());
+
+    primary.setActive(true);
+    standby_config.topologyHash = 8; // wrong cluster
+    replica::StandbyClient mismatched(standby_config);
+    for (int i = 0; i < 50 && !mismatched.everContacted(); ++i) {
+        mismatched.pump(0.01);
+        primary.poll(0);
+    }
+    EXPECT_TRUE(mismatched.everContacted());
+    EXPECT_FALSE(mismatched.attached());
+}
+
+TEST(StateHash, TracksBitwiseState)
+{
+    core::Solver a(testSolverConfig());
+    core::Solver b(testSolverConfig());
+    addServer(a);
+    addServer(b);
+    EXPECT_EQ(replica::stateHash(a), replica::stateHash(b));
+
+    for (int i = 0; i < 10; ++i) {
+        a.iterate();
+        b.iterate();
+    }
+    EXPECT_EQ(replica::stateHash(a), replica::stateHash(b));
+
+    b.setUtilization("server", "cpu", 0.9);
+    b.iterate();
+    a.iterate();
+    EXPECT_NE(replica::stateHash(a), replica::stateHash(b));
+}
+
+} // namespace
+} // namespace mercury

@@ -5,10 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "util/csv.hh"
+#include "util/fileio.hh"
 #include "util/flags.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -383,6 +388,39 @@ TEST(FlagsDeathTest, RejectsMalformedInts)
         const char *argv[] = {"prog", "--count=x"};
         EXPECT_DEATH(flags.parse(2, argv), "not an integer");
     }
+}
+
+TEST(FileIo, AtomicWriteReplacesWholeFiles)
+{
+    const std::string path =
+        "/tmp/mercury_util_test.atomic." + std::to_string(::getpid());
+    std::remove(path.c_str());
+
+    std::string error;
+    ASSERT_TRUE(atomicWriteFile(path, "8367\n", &error)) << error;
+    {
+        std::ifstream in(path);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        EXPECT_EQ(content, "8367\n");
+    }
+
+    // Overwrite: readers see old or new, and no .tmp litter remains.
+    ASSERT_TRUE(atomicWriteFile(path, "9412\n", &error)) << error;
+    {
+        std::ifstream in(path);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        EXPECT_EQ(content, "9412\n");
+    }
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+    // A failure leaves the destination untouched.
+    EXPECT_FALSE(atomicWriteFile("/nonexistent-dir/nope/file", "x",
+                                 &error));
+    EXPECT_FALSE(error.empty());
+
+    std::remove(path.c_str());
 }
 
 TEST(Flags, HelpReturnsFalse)
